@@ -1,0 +1,44 @@
+//! Run-time driver benchmarks: per-query discovery cost of the basic
+//! (Figure 7) and optimized (Figure 13) drivers at shallow / mid / deep
+//! true locations, plus the full-grid metric evaluation used by the
+//! Figures 14–17 experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pb_bouquet::eval::run_profile;
+use pb_bouquet::{Bouquet, BouquetConfig};
+use pb_workloads::by_name;
+
+fn bench_drivers(c: &mut Criterion) {
+    let w = by_name("3D_H_Q5").unwrap();
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+    let mut g = c.benchmark_group("discovery_run");
+    for (label, f) in [("shallow", 0.1), ("mid", 0.5), ("deep", 0.9)] {
+        let qa = w.ess.point_at_fractions(&vec![f; w.d()]);
+        g.bench_function(format!("basic_{label}"), |bch| {
+            bch.iter(|| black_box(b.run_basic(black_box(&qa)).total_cost))
+        });
+        g.bench_function(format!("optimized_{label}"), |bch| {
+            bch.iter(|| black_box(b.run_optimized(black_box(&qa)).total_cost))
+        });
+    }
+    g.finish();
+}
+
+fn bench_grid_profile(c: &mut Criterion) {
+    let w = by_name("2D_H_Q8A").unwrap();
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+    let mut g = c.benchmark_group("grid_profile_2304pts");
+    g.sample_size(10);
+    g.bench_function("basic_driver", |bch| {
+        bch.iter(|| black_box(run_profile(&b, false).len()))
+    });
+    g.bench_function("optimized_driver", |bch| {
+        bch.iter(|| black_box(run_profile(&b, true).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_drivers, bench_grid_profile);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Tuple-engine benchmarks: data generation, full plan execution, budgeted
+//! (aborting) execution, and spill-mode prefix execution — the primitives of
+//! the Table 3 run-time experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pb_bouquet::{Bouquet, BouquetConfig};
+use pb_engine::{Database, Engine};
+use pb_executor::learnable_node;
+use pb_workloads::h_q8a_2d;
+
+fn bench_engine(c: &mut Criterion) {
+    let w = h_q8a_2d(0.01);
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+    let db = Database::generate(&w.catalog, 42, &[]);
+    let engine = Engine::new(&db, &w.query, &w.model.p);
+    let plan = &b.plan(b.plan_ids()[0]).root;
+    let full_cost = engine.execute(plan, f64::INFINITY).cost();
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    g.bench_function("generate_sf0.01", |bch| {
+        bch.iter(|| black_box(Database::generate(&w.catalog, 42, &[]).catalog.len()))
+    });
+    g.bench_function("full_execution", |bch| {
+        bch.iter(|| black_box(engine.execute(black_box(plan), f64::INFINITY).cost()))
+    });
+    g.bench_function("budgeted_abort_10pct", |bch| {
+        bch.iter(|| black_box(engine.execute(black_box(plan), full_cost * 0.1).cost()))
+    });
+    let resolved = vec![false; w.d()];
+    if let Some((node, _)) = learnable_node(plan, &w.query, &resolved) {
+        let spilled = node.clone().spilled();
+        g.bench_function("spilled_prefix_execution", |bch| {
+            bch.iter(|| black_box(engine.execute(black_box(&spilled), f64::INFINITY).cost()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Compile-time benchmarks: plan-diagram construction (serial vs parallel),
+//! contour-band exploration, anorexic reduction, and full bouquet
+//! identification — the Section 6.1 cost centres.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pb_bouquet::{band, Bouquet, BouquetConfig};
+use pb_optimizer::{AnorexicReduction, PlanDiagram};
+use pb_workloads::by_name;
+
+fn bench_diagram(c: &mut Criterion) {
+    let w = by_name("2D_H_Q8A").unwrap();
+    let mut g = c.benchmark_group("plan_diagram_2304pts");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(PlanDiagram::build_serial(
+                &w.catalog, &w.query, &w.model, &w.ess,
+            ))
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| black_box(PlanDiagram::build(&w.catalog, &w.query, &w.model, &w.ess)))
+    });
+    g.bench_function("contour_band", |b| {
+        b.iter(|| black_box(band::explore(&w, 2.0).optimizer_calls))
+    });
+    g.finish();
+}
+
+fn bench_anorexic(c: &mut Criterion) {
+    let w = by_name("2D_H_Q8A").unwrap();
+    let d = PlanDiagram::build(&w.catalog, &w.query, &w.model, &w.ess);
+    let costs = d.cost_matrix(&w.catalog, &w.query, &w.model);
+    c.bench_function("anorexic_reduction_full_diagram", |b| {
+        b.iter(|| black_box(AnorexicReduction::reduce(&d, &costs, 0.2).plan_count()))
+    });
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bouquet_identify");
+    g.sample_size(10);
+    for name in ["EQ_1D", "2D_H_Q8A", "3D_H_Q5"] {
+        let w = by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(Bouquet::identify(&w, &BouquetConfig::default()).unwrap().rho()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_diagram, bench_anorexic, bench_identify);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Optimizer micro-benchmarks: single optimization latency (the unit of
+//! POSP-generation work) and abstract plan recosting throughput (the unit of
+//! metric-evaluation and anorexic-reduction work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pb_workloads::{by_name, eq_1d};
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimize_at_point");
+    for name in ["EQ_1D", "3D_H_Q5", "4D_H_Q8", "5D_DS_Q19"] {
+        let w = by_name(name).unwrap();
+        let opt = w.optimizer();
+        let q = w.ess.point_at_fractions(&vec![0.5; w.d()]);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(opt.optimize(black_box(&q)).cost))
+        });
+    }
+    g.finish();
+}
+
+fn bench_recost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abstract_plan_costing");
+    for name in ["EQ_1D", "5D_DS_Q19"] {
+        let w = by_name(name).unwrap();
+        let opt = w.optimizer();
+        let coster = w.coster();
+        let q_hi = w.ess.point_at_fractions(&vec![0.9; w.d()]);
+        let q_lo = w.ess.point_at_fractions(&vec![0.1; w.d()]);
+        let plan = opt.optimize(&q_hi).plan;
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(coster.plan_cost(black_box(&plan.root), black_box(&q_lo))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let w = eq_1d();
+    let est = pb_cost::Estimator::new(&w.catalog);
+    let lo: Vec<f64> = w.ess.dims.iter().map(|d| d.lo).collect();
+    let hi: Vec<f64> = w.ess.dims.iter().map(|d| d.hi).collect();
+    c.bench_function("avi_estimate_point", |b| {
+        b.iter(|| black_box(est.estimate_point(black_box(&w.query), &lo, &hi)))
+    });
+}
+
+criterion_group!(benches, bench_optimize, bench_recost, bench_estimator);
+criterion_main!(benches);

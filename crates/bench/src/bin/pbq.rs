@@ -1,0 +1,244 @@
+//! `pbq` — interactive exploration of the plan-bouquet system.
+//!
+//! ```text
+//! pbq list                                   # available workloads
+//! pbq show WORKLOAD                          # query, ESS dims, join graph
+//! pbq classify WORKLOAD                      # predicate uncertainty (§4.1)
+//! pbq diagram WORKLOAD                       # POSP summary (+ASCII map in 2D)
+//! pbq optimize WORKLOAD f1,f2,...            # optimal plan at a location
+//! pbq identify WORKLOAD [--save FILE]        # compile the bouquet
+//! pbq run WORKLOAD f1,f2,... [--optimized] [--load FILE]
+//! pbq sensitivity WORKLOAD                   # §8 dimension analysis
+//! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
+//! ```
+//!
+//! Locations are given as per-axis fractions in `[0,1]` (geometric
+//! interpolation between each dimension's bounds).
+
+use pb_bouquet::{dim_analysis, persist, Bouquet, BouquetConfig};
+use pb_cost::uncertainty::{classify, Uncertainty};
+use pb_workloads::{by_name, specs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage();
+        return;
+    };
+    match cmd {
+        "list" => list(),
+        "show" => with_workload(&args, show),
+        "classify" => with_workload(&args, classify_cmd),
+        "diagram" => with_workload(&args, diagram),
+        "optimize" => with_workload(&args, optimize),
+        "identify" => with_workload(&args, identify),
+        "run" => with_workload(&args, run_cmd),
+        "sensitivity" => with_workload(&args, sensitivity),
+        "sql" => sql_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity> \
+         [WORKLOAD] [args...]\nrun `pbq list` for workload names"
+    );
+}
+
+fn with_workload(args: &[String], f: fn(pb_bouquet::Workload, &[String])) {
+    let Some(name) = args.get(1) else {
+        usage();
+        return;
+    };
+    match by_name(name) {
+        Some(w) => f(w, &args[2..]),
+        None => {
+            eprintln!("unknown workload {name}; run `pbq list`");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_fractions(w: &pb_bouquet::Workload, s: &str) -> pb_cost::SelPoint {
+    let fr: Vec<f64> = s
+        .split(',')
+        .map(|t| t.trim().parse().expect("fraction in [0,1]"))
+        .collect();
+    assert_eq!(fr.len(), w.d(), "need {} comma-separated fractions", w.d());
+    w.ess.point_at_fractions(&fr)
+}
+
+fn list() {
+    println!("benchmark suite (paper Table 2):");
+    for s in specs() {
+        println!(
+            "  {:<11} {:?}({}) dims={} paper C_max/C_min≈{}",
+            s.name, s.shape, s.relations, s.dims, s.paper_cost_ratio
+        );
+    }
+    println!("auxiliary: EQ_1D  2D_H_Q8A  3D_H_Q5B  4D_H_Q8B");
+}
+
+fn show(w: pb_bouquet::Workload, _rest: &[String]) {
+    println!("workload {}  (catalog {})", w.name, w.catalog.name);
+    println!("relations:");
+    for r in &w.query.relations {
+        let t = w.catalog.table_by_id(r.table);
+        println!("  {:<20} {:>12} rows, {} selections", r.alias, t.rows as u64, r.selections.len());
+    }
+    println!("joins:");
+    for (i, j) in w.query.joins.iter().enumerate() {
+        let tag = match j.selectivity.error_dim() {
+            Some(d) => format!("ERROR-PRONE dim {d}"),
+            None => "fixed".into(),
+        };
+        println!(
+            "  #{i} {} ⋈ {} [{tag}]",
+            w.query.relations[j.left_rel].alias, w.query.relations[j.right_rel].alias
+        );
+    }
+    println!("ESS ({} dims, {} grid points):", w.d(), w.ess.num_points());
+    for (d, dim) in w.ess.dims.iter().enumerate() {
+        println!(
+            "  dim {d}: {:<14} [{:.3e}, {:.3e}] x{}",
+            dim.name, dim.lo, dim.hi, w.ess.res[d]
+        );
+    }
+    println!("join graph: {:?}", w.query.join_graph().shape());
+}
+
+fn classify_cmd(w: pb_bouquet::Workload, _rest: &[String]) {
+    println!("predicate uncertainty classification (Section 4.1 rules):");
+    for c in classify(&w.catalog, &w.query) {
+        println!("  {:<34} {:?}: {}", format!("{:?}", c.predicate), c.uncertainty, c.reason);
+    }
+    let n_high = classify(&w.catalog, &w.query)
+        .iter()
+        .filter(|c| c.uncertainty >= Uncertainty::High)
+        .count();
+    println!("suggested ESS dimensions (High+): {n_high}");
+}
+
+fn diagram(w: pb_bouquet::Workload, _rest: &[String]) {
+    let d = w.diagram();
+    let (cmin, cmax) = d.cost_bounds();
+    println!(
+        "POSP: {} plans over {} points; C_min {:.0}, C_max {:.0} ({:.0}x)",
+        d.plan_count(),
+        w.ess.num_points(),
+        cmin,
+        cmax,
+        cmax / cmin
+    );
+    let mut sizes: Vec<(usize, usize)> = d.region_sizes().into_iter().enumerate().collect();
+    sizes.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    for (pid, size) in sizes.iter().take(8) {
+        println!("  P{pid:<3} owns {size:>6} points");
+    }
+    if w.d() == 2 {
+        println!("\nplan diagram (selectivities grow up/right):");
+        print!("{}", d.render_2d());
+    }
+}
+
+fn optimize(w: pb_bouquet::Workload, rest: &[String]) {
+    let Some(loc) = rest.first() else {
+        eprintln!("usage: pbq optimize WORKLOAD f1,f2,...");
+        return;
+    };
+    let q = parse_fractions(&w, loc);
+    let best = w.optimizer().optimize(&q);
+    println!("location {:?}", &q.0);
+    println!("optimal cost {:.1}, estimated rows {:.1}", best.cost, best.rows);
+    print!("{}", best.plan.root.explain(&w.query, &w.catalog));
+}
+
+fn identify(w: pb_bouquet::Workload, rest: &[String]) {
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).expect("identify");
+    println!(
+        "bouquet: {} plans on {} contours (ρ = {}), guarantee MSO ≤ {:.1}",
+        b.stats.bouquet_cardinality,
+        b.stats.num_contours,
+        b.rho(),
+        b.mso_bound()
+    );
+    for c in &b.contours {
+        println!(
+            "  IC{:<2} budget {:>14.0}  {:>4} frontier pts  plans {:?}",
+            c.id, c.budget, c.points.len(), c.plan_set
+        );
+    }
+    if let Some(i) = rest.iter().position(|a| a == "--save") {
+        let path = rest.get(i + 1).expect("--save FILE");
+        persist::save(&b, path).expect("save bouquet");
+        println!("saved to {path}");
+    }
+}
+
+fn run_cmd(w: pb_bouquet::Workload, rest: &[String]) {
+    let Some(loc) = rest.first() else {
+        eprintln!("usage: pbq run WORKLOAD f1,f2,... [--optimized] [--load FILE]");
+        return;
+    };
+    let qa = parse_fractions(&w, loc);
+    let b = match rest.iter().position(|a| a == "--load") {
+        Some(i) => persist::load(rest.get(i + 1).expect("--load FILE")).expect("load bouquet"),
+        None => Bouquet::identify(&w, &BouquetConfig::default()).expect("identify"),
+    };
+    let optimized = rest.iter().any(|a| a == "--optimized");
+    let run = if optimized { b.run_optimized(&qa) } else { b.run_basic(&qa) };
+    for e in &run.trace {
+        let learned = e
+            .learned
+            .map(|(d, v)| format!("  learned dim{d} -> {v:.3e}"))
+            .unwrap_or_default();
+        println!(
+            "IC{:<2} P{:<3} spent {:>14.1} / {:>14.1} {}{}{}",
+            e.contour,
+            e.plan,
+            e.spent,
+            e.budget,
+            if e.spilled { "spill " } else { "" },
+            if e.completed { "DONE" } else { "" },
+            learned
+        );
+    }
+    let opt = b.pic_cost(&qa);
+    println!(
+        "total {:.1}; SubOpt(∗,qa) = {:.2} (guarantee {:.1})",
+        run.total_cost,
+        run.suboptimality(opt),
+        b.mso_bound()
+    );
+}
+
+fn sql_cmd(rest: &[String]) {
+    let Some(sql) = rest.first() else {
+        eprintln!("usage: pbq sql \"SELECT ... WHERE pred?\" [f1,f2,...]");
+        return;
+    };
+    let cat = pb_catalog::tpch::catalog(1.0);
+    let w = match pb_workloads::workload_from_sql(&cat, sql, "adhoc", 4.0, 24) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("parsed: {} relations, {} error dims", w.query.num_relations(), w.d());
+    identify(w.clone(), &[]);
+    if let Some(loc) = rest.get(1) {
+        run_cmd(w, &[loc.clone()]);
+    }
+}
+
+fn sensitivity(w: pb_bouquet::Workload, _rest: &[String]) {
+    println!("dimension sensitivity (Section 8 low-resolution map):");
+    for s in dim_analysis::sensitivities(&w, 3) {
+        println!(
+            "  dim {} ({:<14}) max cost swing {:>10.1}x",
+            s.dim, s.name, s.max_cost_ratio
+        );
+    }
+}

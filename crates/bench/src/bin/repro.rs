@@ -1,0 +1,67 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                 # run everything (paper order)
+//! repro fig14 table1    # run selected exhibits
+//! repro --list          # list available exhibits
+//! repro --out results   # also tee each report into <dir>/<id>.txt
+//! ```
+
+use std::time::Instant;
+
+use pb_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] [--out DIR] [exhibit ...]");
+        eprintln!("exhibits: {}", experiments::ALL.join(" "));
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        selected.iter().map(|s| s.as_str()).collect()
+    };
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let t_all = Instant::now();
+    for id in ids {
+        let t0 = Instant::now();
+        match experiments::run(id) {
+            Some(report) => {
+                println!("{}", "=".repeat(78));
+                println!("== {id}  [{:.1?}]", t0.elapsed());
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+                if let Some(dir) = &out_dir {
+                    std::fs::write(format!("{dir}/{id}.txt"), &report)
+                        .expect("write report file");
+                }
+            }
+            None => eprintln!("unknown exhibit: {id} (try --list)"),
+        }
+    }
+    eprintln!("total: {:.1?}", t_all.elapsed());
+}

@@ -1,0 +1,171 @@
+//! Extension exhibits beyond the paper's own tables/figures:
+//!
+//! * `reopt` — the Section 7 claim that POP/Rio-style mid-query
+//!   re-optimization "could be arbitrarily poor", made executable.
+//! * `pcmflip` — the Section 2 exception (existential operators violate
+//!   PCM) and its axis-flip remedy.
+//! * `maintenance` — the Section 8 future-work item (incremental bouquet
+//!   maintenance under database scale-up), implemented.
+
+use std::fmt::Write as _;
+
+use pb_bouquet::baselines::reopt_worst_profile;
+use pb_bouquet::flip::{dim_directions, flip_decreasing};
+use pb_bouquet::{maintenance, Bouquet, BouquetConfig};
+use pb_workloads::{anti_2d, by_name, h_q8a_2d};
+
+use crate::table::{fnum, Table};
+
+/// Section 7: re-optimization improves on NAT but carries no guarantee.
+pub fn reopt() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section 7 extension — mid-query re-optimization (POP/Rio-style) vs bouquet\n\
+         (paper's claim: re-optimizers may be arbitrarily poor wrt both P_oe and P_oa)\n"
+    );
+    let mut t = Table::new(vec![
+        "query",
+        "NAT MSO",
+        "REOPT MSO (sampled qe)",
+        "BOU MSO",
+        "BOU guarantee",
+    ]);
+    for name in ["2D_H_Q8A", "3D_H_Q5"] {
+        let w = by_name(name).unwrap();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let nat_mso = (0..w.ess.num_points())
+            .map(|li| {
+                b.costs
+                    .iter()
+                    .map(|row| row[li] / b.diagram.opt_cost[li])
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(0.0f64, f64::max);
+        let reopt = reopt_worst_profile(&w, &b.diagram.opt_cost);
+        let reopt_mso = reopt.iter().cloned().fold(0.0f64, f64::max);
+        let bou = pb_bouquet::eval::run_profile(&b, false);
+        let bou_mso = bou.iter().cloned().fold(0.0f64, f64::max);
+        t.row(vec![
+            name.to_string(),
+            fnum(nat_mso),
+            fnum(reopt_mso),
+            format!("{bou_mso:.1}"),
+            format!("{:.1}", b.mso_bound()),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "re-optimization repairs much of NAT's worst case but still exceeds the\n\
+         bouquet guarantee by 1-2 orders of magnitude: its exploratory spend is\n\
+         the prefix of whatever plan the estimate seduced it into, with no\n\
+         budget ladder to cap it."
+    );
+    out
+}
+
+/// Section 2 extension: PCM violation by an existential operator, detected
+/// and repaired by flipping the offending axis.
+pub fn pcmflip() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section 2 extension — existential operators break PCM; axis flip repairs it\n\
+         (paper: 'the basic bouquet technique can be utilized by the simple\n\
+          expedient of plotting the ESS with (1-s) instead of s')\n"
+    );
+    let w = anti_2d();
+    let dirs = dim_directions(&w, 2, 4);
+    let _ = writeln!(out, "query: part ⋈ lineitem with NOT EXISTS(partsupp)");
+    for (d, dir) in dirs.iter().enumerate() {
+        let _ = writeln!(out, "  dim {d} ({}): {:?}", w.ess.dims[d].name, dir);
+    }
+    match Bouquet::identify(&w, &BouquetConfig::default()) {
+        Err(e) => {
+            let _ = writeln!(out, "\nraw space identification: REJECTED — {e}");
+        }
+        Ok(_) => {
+            let _ = writeln!(out, "\nraw space identification: unexpectedly succeeded!");
+        }
+    }
+    let (flipped, flips) = flip_decreasing(&w).expect("flip");
+    let _ = writeln!(out, "flipped dimensions: {flips:?}");
+    let b = Bouquet::identify(&flipped, &BouquetConfig::default()).expect("flipped identify");
+    let mut mso = 0.0f64;
+    for li in 0..flipped.ess.num_points() {
+        let qa = flipped.ess.point(&flipped.ess.unlinear(li));
+        mso = mso.max(b.run_basic(&qa).suboptimality(b.pic_cost_at(li)));
+    }
+    let _ = writeln!(
+        out,
+        "flipped space: {} contours, bouquet {}, measured MSO {:.2} <= guarantee {:.1}",
+        b.stats.num_contours,
+        b.stats.bouquet_cardinality,
+        mso,
+        b.mso_bound()
+    );
+    out
+}
+
+/// Section 8 extension: incremental maintenance under database scale-up.
+pub fn maintenance_exhibit() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section 8 extension — incremental bouquet maintenance under scale-up\n\
+         (paper: 'developing incremental bouquet maintenance strategies is an\n\
+          interesting future research challenge')\n"
+    );
+    let old_w = h_q8a_2d(1.0);
+    let old = Bouquet::identify(&old_w, &BouquetConfig::default()).unwrap();
+    let mut t = Table::new(vec![
+        "scale-up",
+        "optimizer calls (maintenance)",
+        "vs full rebuild",
+        "reused plans",
+        "new plans",
+        "contours",
+    ]);
+    for factor in [2.0, 4.0, 8.0] {
+        let new_w = h_q8a_2d(factor);
+        let (maintained, rep) =
+            maintenance::rescale(&old, new_w.catalog.clone(), Some(new_w.clone())).unwrap();
+        t.row(vec![
+            format!("{factor}x"),
+            format!("{}", rep.optimizer_calls),
+            format!("{:.0}%", rep.effort_fraction() * 100.0),
+            format!("{}", rep.reused_plans),
+            format!("{}", rep.new_plans),
+            format!("{}", maintained.stats.num_contours),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "frontier points are re-optimized exactly; interior costs come from\n\
+         recosting the inherited plans — the budgets and coverage argument only\n\
+         depend on frontier costs, so the guarantees carry over."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_extension_exhibits_render() {
+        for f in [reopt, pcmflip, maintenance_exhibit] {
+            let s = f();
+            assert!(s.lines().count() > 5, "{s}");
+        }
+    }
+
+    #[test]
+    fn pcmflip_reports_rejection_then_success() {
+        let s = pcmflip();
+        assert!(s.contains("REJECTED"));
+        assert!(s.contains("<= guarantee"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Section 3.4: robustness under bounded cost-modeling errors.
+//!
+//! "Unbounded estimation errors, bounded modeling errors": the executor's
+//! actual costs are the modeled costs perturbed by a deterministic adversary
+//! inside the δ band. The paper proves `MSO ≤ MSO_perfect · (1+δ)²`; with
+//! δ = 0.4 (the observed PostgreSQL average) the inflation is at most ~2×.
+
+use std::fmt::Write as _;
+
+use pb_bouquet::theory::model_error_inflation;
+use pb_bouquet::{Bouquet, BouquetConfig};
+use pb_cost::CostPerturbation;
+use pb_workloads::by_name;
+
+use crate::table::Table;
+
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section 3.4 — bounded modeling errors: MSO ≤ MSO_perfect · (1+δ)²\n"
+    );
+    let w = by_name("3D_DS_Q96").unwrap();
+    let mut t = Table::new(vec![
+        "δ",
+        "measured MSO",
+        "perfect-model MSO",
+        "inflation",
+        "(1+δ)² cap",
+        "within cap",
+    ]);
+    // Perfect-model baseline.
+    let base = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+    let base_mso = grid_mso(&base);
+    for delta in [0.0, 0.2, 0.4, 0.8] {
+        let cfg = BouquetConfig {
+            perturbation: CostPerturbation::with_delta(delta, 17),
+            ..Default::default()
+        };
+        let b = Bouquet::identify(&w, &cfg).unwrap();
+        let mso = grid_mso(&b);
+        let inflation = mso / base_mso;
+        let cap = model_error_inflation(delta);
+        t.row(vec![
+            format!("{delta:.1}"),
+            format!("{mso:.2}"),
+            format!("{base_mso:.2}"),
+            format!("{inflation:.2}"),
+            format!("{cap:.2}"),
+            format!("{}", inflation <= cap * (1.0 + 1e-9)),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "MSO here is measured against the *actual* (perturbed) optimal cost at\n\
+         each location, exactly as the Section 3.4 analysis defines it."
+    );
+    out
+}
+
+/// Worst-case sub-optimality of the basic driver over the grid, with the
+/// denominator being the actual (perturbed) optimal cost at each point.
+fn grid_mso(b: &Bouquet) -> f64 {
+    let w = &b.workload;
+    let ess = &w.ess;
+    let coster = w.coster();
+    let ex = pb_executor::Executor::with_perturbation(coster, b.config.perturbation);
+    let mut worst = 0.0f64;
+    for li in 0..ess.num_points() {
+        let qa = ess.point(&ess.unlinear(li));
+        let run = b.run_basic(&qa);
+        assert!(run.completed());
+        // Actual optimal cost: cheapest POSP plan under perturbation.
+        let opt_actual = b
+            .costs
+            .iter()
+            .enumerate()
+            .map(|(p, _)| ex.actual_cost(&b.diagram.plans[p].root, &qa))
+            .fold(f64::INFINITY, f64::min);
+        worst = worst.max(run.total_cost / opt_actual);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_deltas_within_cap() {
+        let s = run();
+        // every data row's last column must be "true"
+        let falses = s.lines().filter(|l| l.trim_end().ends_with("false")).count();
+        assert_eq!(falses, 0, "some δ exceeded the (1+δ)² cap:\n{s}");
+    }
+}

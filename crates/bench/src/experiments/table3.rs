@@ -1,0 +1,162 @@
+//! Table 3: engine-measured bouquet execution for 2D_H_Q8A.
+//!
+//! The paper's run-time experiment: a 2D query whose actual location is far
+//! from the AVI estimate (incorrect independence/uniqueness assumptions).
+//! NAT's plan, chosen at the estimate, is badly sub-optimal; the bouquet
+//! discovers the true location through budget-limited engine executions.
+//! All times are engine cost units (hardware-neutral); the paper's shape —
+//! optimal < optimized BOU < basic BOU << NAT — is what's reproduced.
+
+use std::fmt::Write as _;
+
+use pb_bouquet::{Bouquet, BouquetConfig};
+use pb_cost::Estimator;
+use pb_engine::{ColumnOverride, Database, Engine};
+use pb_workloads::h_q8a_2d;
+
+use crate::engine_driver::{engine_run_bouquet, engine_run_nat, measure_qa};
+use crate::table::{fnum, Table};
+
+pub fn run() -> String {
+    let mut w = h_q8a_2d(0.01);
+    // Stale statistics: the estimator believes the join columns still have
+    // their full-scale NDVs (as if the statistics were gathered on a much
+    // larger database and never refreshed). The AVI join estimate 1/NDV is
+    // then a gross under-estimate, pushing the native optimizer deep into
+    // nested-loops territory — the paper's "outdated statistics" scenario.
+    w.catalog.column_stats_mut("part", "p_partkey").ndv = 200_000.0;
+    w.catalog.column_stats_mut("lineitem", "l_partkey").ndv = 200_000.0;
+    w.catalog.column_stats_mut("orders", "o_orderkey").ndv = 1_500_000.0;
+    w.catalog.column_stats_mut("lineitem", "l_orderkey").ndv = 1_500_000.0;
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+    // Generated data additionally violates the uniqueness assumptions: join
+    // keys are duplicated on both sides, raising the actual selectivities.
+    let db = Database::generate(
+        &w.catalog,
+        7,
+        &[
+            ColumnOverride::EffectiveNdv { table: "part".into(), column: "p_partkey".into(), ndv: 200 },
+            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_partkey".into(), ndv: 200 },
+            ColumnOverride::EffectiveNdv { table: "orders".into(), column: "o_orderkey".into(), ndv: 500 },
+            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_orderkey".into(), ndv: 500 },
+        ],
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — engine-measured bouquet execution for 2D_H_Q8A\n");
+
+    // Estimated vs actual locations.
+    let est = Estimator::new(&w.catalog);
+    let lo: Vec<f64> = w.ess.dims.iter().map(|d| d.lo).collect();
+    let hi: Vec<f64> = w.ess.dims.iter().map(|d| d.hi).collect();
+    let qe = est.estimate_point(&w.query, &lo, &hi);
+    let qa = measure_qa(&db, &w.query, &w.ess);
+    let _ = writeln!(
+        out,
+        "qe (AVI estimate) = [{:.3e}, {:.3e}]   qa (measured) = [{:.3e}, {:.3e}]",
+        qe[0], qe[1], qa[0], qa[1]
+    );
+    let _ = writeln!(
+        out,
+        "underestimation factors: {:.0}x, {:.0}x\n",
+        qa[0] / qe[0],
+        qa[1] / qe[1]
+    );
+
+    // NAT: plan chosen at qe, run to completion.
+    let nat_cost = engine_run_nat(&b, &db, &qe);
+    // Oracle: plan chosen at the true location, run to completion.
+    let oracle_plan = w.optimizer().optimize(&qa).plan;
+    let engine = Engine::new(&db, &w.query, &w.model.p);
+    let oracle_cost = engine.execute(&oracle_plan.root, f64::INFINITY).cost();
+
+    let basic = engine_run_bouquet(&b, &db, false);
+    let optd = engine_run_bouquet(&b, &db, true);
+    assert!(basic.completed && optd.completed, "bouquet runs must complete");
+
+    let _ = writeln!(out, "contour-wise breakdown (engine cost units):");
+    let mut t = Table::new(vec![
+        "contour",
+        "#exec (basic)",
+        "cost (basic)",
+        "#exec (opt)",
+        "cost (opt)",
+    ]);
+    let bb = basic.contour_breakdown();
+    let oo = optd.contour_breakdown();
+    let max_contour = bb
+        .iter()
+        .chain(&oo)
+        .map(|r| r.0)
+        .max()
+        .unwrap_or(0);
+    for cid in 1..=max_contour {
+        let b_row = bb.iter().find(|r| r.0 == cid);
+        let o_row = oo.iter().find(|r| r.0 == cid);
+        t.row(vec![
+            format!("{cid}"),
+            b_row.map(|r| r.1.to_string()).unwrap_or_else(|| "-".into()),
+            b_row.map(|r| fnum(r.2)).unwrap_or_else(|| "-".into()),
+            o_row.map(|r| r.1.to_string()).unwrap_or_else(|| "-".into()),
+            o_row.map(|r| fnum(r.2)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.row(vec![
+        "total".into(),
+        basic.executions.len().to_string(),
+        fnum(basic.total_cost),
+        optd.executions.len().to_string(),
+        fnum(optd.total_cost),
+    ]);
+    let _ = writeln!(out, "{}", t.render());
+
+    let _ = writeln!(
+        out,
+        "performance summary       NAT        basic BOU   opt. BOU    optimal\n\
+         (engine cost units)  {:>10} {:>11} {:>10} {:>10}",
+        fnum(nat_cost),
+        fnum(basic.total_cost),
+        fnum(optd.total_cost),
+        fnum(oracle_cost)
+    );
+    let _ = writeln!(
+        out,
+        "sub-optimality vs oracle: NAT {:.1}  basic {:.1}  optimized {:.1}",
+        nat_cost / oracle_cost,
+        basic.total_cost / oracle_cost,
+        optd.total_cost / oracle_cost
+    );
+    let _ = writeln!(
+        out,
+        "(paper: NAT 579s, basic 117s, optimized 69s, optimal 16s — i.e. 36x/7.2x/4.3x)"
+    );
+    let _ = writeln!(out, "result rows: {}", basic.result_rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let s = run();
+        let line = s
+            .lines()
+            .find(|l| l.starts_with("sub-optimality vs oracle"))
+            .unwrap();
+        let nums: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        let (nat, basic, opt) = (nums[0], nums[1], nums[2]);
+        // The paper's headline: NAT is an order of magnitude (or more)
+        // worse than either bouquet driver (36x vs 7.2x/4.3x there).
+        assert!(
+            nat > 10.0 * basic,
+            "NAT {nat} must dwarf basic BOU {basic}"
+        );
+        assert!(basic >= opt * 0.95, "basic {basic} should not beat optimized {opt} materially");
+        assert!(opt >= 1.0);
+    }
+}

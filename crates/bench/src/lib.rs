@@ -1,0 +1,15 @@
+//! Benchmark/reproduction harness library.
+//!
+//! Shared helpers for the `repro` binary (which regenerates every table and
+//! figure of the paper) and the Criterion benches: table rendering, result
+//! serialization, and the engine-backed bouquet driver used for the Table 3
+//! run-time experiment.
+
+pub mod calibration;
+pub mod engine_driver;
+pub mod table;
+
+pub use engine_driver::{engine_run_nat, engine_run_bouquet, EngineRunReport};
+pub use table::Table;
+
+pub mod experiments;

@@ -1,0 +1,301 @@
+//! Bouquet identification — the compile-time pipeline of Figure 8.
+//!
+//! Steps: build the plan diagram over the ESS (POSP + PIC) → slice the PIC
+//! with a geometric isocost grading → take the frontier of each isocost step
+//! → anorexically reduce each contour's plan set → the union of contour
+//! plans is the bouquet, handed to the run-time drivers together with the
+//! (λ-inflated) budgets.
+
+use pb_cost::{CostPerturbation, SelPoint};
+use pb_optimizer::{PlanDiagram, PlanId};
+use pb_plan::PhysicalPlan;
+
+use crate::contour::{rho, Contour};
+use crate::grading::IsoCostGrading;
+use crate::workload::Workload;
+
+/// Tunables of the bouquet mechanism.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BouquetConfig {
+    /// Anorexic-reduction threshold λ (paper default 20%).
+    pub lambda: f64,
+    /// Isocost common ratio r (Theorem 1's optimum is 2).
+    pub r: f64,
+    /// Bounded model-error adversary (δ-framework, Section 3.4);
+    /// `CostPerturbation::none()` for the perfect-model setting.
+    pub perturbation: CostPerturbation,
+}
+
+impl Default for BouquetConfig {
+    fn default() -> Self {
+        BouquetConfig {
+            lambda: 0.2,
+            r: 2.0,
+            perturbation: CostPerturbation::none(),
+        }
+    }
+}
+
+/// Compile-time effort and outcome statistics (Section 6.1).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompileStats {
+    /// Optimizer invocations for the exhaustive diagram (= grid size).
+    pub exhaustive_optimizer_calls: usize,
+    /// Distinct POSP plans over the full grid.
+    pub posp_cardinality: usize,
+    /// Distinct plans in the bouquet (union over contours).
+    pub bouquet_cardinality: usize,
+    /// Densest contour's plan count *before* anorexic reduction.
+    pub rho_posp: usize,
+    /// Densest contour's plan count after anorexic reduction (the ρ of
+    /// Theorem 3).
+    pub rho: usize,
+    /// Number of isocost steps m.
+    pub num_contours: usize,
+    /// PIC extremes.
+    pub cmin: f64,
+    pub cmax: f64,
+}
+
+/// A compiled plan bouquet, ready for run-time discovery.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Bouquet {
+    pub workload: Workload,
+    pub diagram: PlanDiagram,
+    /// `costs[plan][linear_point]` — every POSP plan recosted everywhere.
+    pub costs: Vec<Vec<f64>>,
+    pub grading: IsoCostGrading,
+    pub contours: Vec<Contour>,
+    pub config: BouquetConfig,
+    pub stats: CompileStats,
+}
+
+impl Bouquet {
+    /// Run the full compile-time pipeline for a workload.
+    pub fn identify(w: &Workload, cfg: &BouquetConfig) -> Result<Bouquet, String> {
+        if cfg.lambda < 0.0 {
+            return Err("lambda must be non-negative".into());
+        }
+        if cfg.r <= 1.0 {
+            return Err("isocost ratio r must exceed 1".into());
+        }
+        let diagram = w.diagram();
+        let (cmin, cmax) = diagram.cost_bounds();
+        // PCM sanity: the PIC must be monotone along every axis; queries
+        // violating this (e.g. existential operators, Section 2) are not
+        // amenable to the bouquet technique.
+        check_pic_monotone(&diagram)?;
+
+        let grading = IsoCostGrading::geometric(cmin, cmax, cfg.r);
+        let costs = diagram.cost_matrix(&w.catalog, &w.query, &w.model);
+
+        // ρ before reduction: distinct optimal plans per frontier.
+        let rho_posp = grading
+            .steps
+            .iter()
+            .map(|&b| {
+                let f = Contour::frontier(&diagram, b);
+                let mut plans: Vec<u32> = f.iter().map(|&li| diagram.optimal[li]).collect();
+                plans.sort_unstable();
+                plans.dedup();
+                plans.len()
+            })
+            .max()
+            .unwrap_or(0);
+
+        let contours = Contour::build_all(&diagram, &grading, &costs, cfg.lambda);
+        let bouquet_cardinality = {
+            let mut all: Vec<PlanId> = contours.iter().flat_map(|c| c.plan_set.clone()).collect();
+            all.sort_unstable();
+            all.dedup();
+            all.len()
+        };
+        let stats = CompileStats {
+            exhaustive_optimizer_calls: w.ess.num_points(),
+            posp_cardinality: diagram.plan_count(),
+            bouquet_cardinality,
+            rho_posp,
+            rho: rho(&contours),
+            num_contours: contours.len(),
+            cmin,
+            cmax,
+        };
+        Ok(Bouquet {
+            workload: w.clone(),
+            diagram,
+            costs,
+            grading,
+            contours,
+            config: cfg.clone(),
+            stats,
+        })
+    }
+
+    /// The bouquet plan set: union of contour plan sets (diagram plan ids).
+    pub fn plan_ids(&self) -> Vec<PlanId> {
+        let mut all: Vec<PlanId> = self
+            .contours
+            .iter()
+            .flat_map(|c| c.plan_set.clone())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    pub fn plan(&self, id: PlanId) -> &PhysicalPlan {
+        &self.diagram.plans[id]
+    }
+
+    /// Maximum contour plan density ρ.
+    pub fn rho(&self) -> usize {
+        self.stats.rho
+    }
+
+    /// The deterministic worst-case guarantee of Theorem 3 with the anorexic
+    /// correction of Section 3.3: `MSO ≤ (1+λ) · ρ · r² / (r−1)`.
+    pub fn mso_bound(&self) -> f64 {
+        crate::theory::mso_bound_anorexic(self.rho(), self.config.r, self.config.lambda)
+    }
+
+    /// Equation 8's tighter per-contour bound:
+    /// `max_k Σ_{i≤k} n_i · cost(IC_i) / IC_{k−1}` (with λ inflation).
+    pub fn mso_bound_eq8(&self) -> f64 {
+        let mut cum = 0.0;
+        let mut worst: f64 = 0.0;
+        for (k, c) in self.contours.iter().enumerate() {
+            cum += c.density() as f64 * c.budget;
+            // Cheapest possible optimal cost for a query discovered on
+            // contour k: just above the previous step (C_min for k = 0).
+            let floor = if k == 0 {
+                self.stats.cmin
+            } else {
+                self.contours[k - 1].step_cost
+            };
+            worst = worst.max(cum / floor);
+        }
+        worst
+    }
+
+    /// PIC (optimal) cost at a grid point given by linear index.
+    pub fn pic_cost_at(&self, li: usize) -> f64 {
+        self.diagram.opt_cost[li]
+    }
+
+    /// PIC cost at an arbitrary location (snapped down to the grid when
+    /// off-grid, which under-estimates — the conservative direction).
+    pub fn pic_cost(&self, q: &SelPoint) -> f64 {
+        let ix = self.workload.ess.snap_floor(q);
+        self.diagram.opt_cost[self.workload.ess.linear(&ix)]
+    }
+}
+
+fn check_pic_monotone(diagram: &PlanDiagram) -> Result<(), String> {
+    let ess = &diagram.ess;
+    for li in 0..ess.num_points() {
+        let ix = ess.unlinear(li);
+        for d in 0..ess.d() {
+            if ix[d] + 1 < ess.res[d] {
+                let mut up = ix.clone();
+                up[d] += 1;
+                let upc = diagram.opt_cost[ess.linear(&up)];
+                if upc < diagram.opt_cost[li] * (1.0 - 1e-9) {
+                    return Err(format!(
+                        "PIC violates Plan Cost Monotonicity at point {ix:?} dim {d}: \
+                         {} -> {upc}",
+                        diagram.opt_cost[li]
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_cost::{CostModel, Ess, EssDim};
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn eq_1d() -> Workload {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "EQ");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(vec![EssDim::new("p_retailprice", 1e-4, 1.0)], 48);
+        Workload::new("EQ_1D", cat.clone(), q, ess, CostModel::postgresish())
+    }
+
+    #[test]
+    fn identify_produces_consistent_bouquet() {
+        let w = eq_1d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        assert!(b.stats.num_contours >= 2);
+        assert!(b.stats.bouquet_cardinality >= 2);
+        assert!(b.stats.bouquet_cardinality <= b.stats.posp_cardinality);
+        assert!(b.stats.rho <= b.stats.rho_posp);
+        assert_eq!(b.plan_ids().len(), b.stats.bouquet_cardinality);
+        // 1D contours hold exactly one frontier point each.
+        for c in &b.contours {
+            assert_eq!(c.points.len(), 1, "1D contour must be a single point");
+            assert_eq!(c.density(), 1);
+        }
+    }
+
+    #[test]
+    fn one_dim_rho_is_one_so_bound_is_anorexic_four() {
+        let w = eq_1d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        assert_eq!(b.rho(), 1);
+        assert!((b.mso_bound() - 4.8).abs() < 1e-9); // 4 · (1 + 0.2)
+    }
+
+    #[test]
+    fn eq8_bound_is_no_looser_than_closed_form() {
+        let w = eq_1d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        // Equation 8 accounts for actual densities; closed form uses ρ and
+        // the worst geometric tail, so eq8 ≤ closed form — but only up to
+        // grid effects on the first contour. Allow equality slack.
+        assert!(b.mso_bound_eq8() <= b.mso_bound() * (b.grading.r / (b.grading.r - 1.0)));
+        assert!(b.mso_bound_eq8() >= 1.0);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let w = eq_1d();
+        assert!(Bouquet::identify(
+            &w,
+            &BouquetConfig {
+                lambda: -0.1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(Bouquet::identify(
+            &w,
+            &BouquetConfig {
+                r: 1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pic_cost_lookup_matches_diagram() {
+        let w = eq_1d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        for li in (0..w.ess.num_points()).step_by(5) {
+            let q = w.ess.point(&w.ess.unlinear(li));
+            assert!((b.pic_cost(&q) - b.pic_cost_at(li)).abs() < 1e-9 * b.pic_cost_at(li));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Discrete isocost contours over the ESS grid.
+//!
+//! On the continuous PIC surface, an isocost step cuts a (D−1)-dimensional
+//! contour (Figure 6a). On the discretized grid we take the *dominance
+//! frontier* of the region `{q : opt_cost(q) ≤ IC_k}`: the maximal points of
+//! that downward-closed region under the componentwise order. Every interior
+//! location is dominated by a frontier point, so — by PCM — the plan
+//! assigned to that frontier point is guaranteed to execute it within the
+//! contour budget. This staircase construction is the standard discrete
+//! realisation in the bouquet literature.
+
+use pb_optimizer::{AnorexicReduction, PlanDiagram, PlanId};
+
+use crate::grading::IsoCostGrading;
+
+/// One isocost contour: budget, frontier points, and the (anorexically
+/// reduced) plans covering them.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Contour {
+    /// 1-based contour number `k`.
+    pub id: usize,
+    /// The isocost step's cost value `cost(IC_k)` (not λ-inflated).
+    pub step_cost: f64,
+    /// Execution budget: `cost(IC_k) · (1+λ)` (Section 4.3 inflates budgets
+    /// to account for anorexic replacements).
+    pub budget: f64,
+    /// Linear grid indices of the frontier points.
+    pub points: Vec<usize>,
+    /// For each frontier point (parallel to `points`): the bouquet plan
+    /// responsible for it.
+    pub assignment: Vec<PlanId>,
+    /// Distinct plans on this contour, ascending.
+    pub plan_set: Vec<PlanId>,
+}
+
+impl Contour {
+    /// Compute the dominance frontier of `{q : opt_cost(q) ≤ budget}`.
+    pub fn frontier(diagram: &PlanDiagram, budget: f64) -> Vec<usize> {
+        let ess = &diagram.ess;
+        let d = ess.d();
+        let mut out = Vec::new();
+        'pts: for li in 0..ess.num_points() {
+            if diagram.opt_cost[li] > budget {
+                continue;
+            }
+            let ix = ess.unlinear(li);
+            for dim in 0..d {
+                if ix[dim] + 1 < ess.res[dim] {
+                    let mut up = ix.clone();
+                    up[dim] += 1;
+                    if diagram.opt_cost[ess.linear(&up)] <= budget {
+                        continue 'pts; // dominated within the region
+                    }
+                }
+            }
+            out.push(li);
+        }
+        out
+    }
+
+    /// Build all contours for a grading, reducing each contour's plan set
+    /// anorexically with threshold `lambda`.
+    pub fn build_all(
+        diagram: &PlanDiagram,
+        grading: &IsoCostGrading,
+        costs: &[Vec<f64>],
+        lambda: f64,
+    ) -> Vec<Contour> {
+        grading
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(k, &step_cost)| {
+                let points = Self::frontier(diagram, step_cost);
+                assert!(
+                    !points.is_empty(),
+                    "contour {} (budget {step_cost}) has no frontier points",
+                    k + 1
+                );
+                let red = AnorexicReduction::reduce_points(diagram, costs, &points, lambda);
+                let mut plan_set = red.kept.clone();
+                plan_set.sort_unstable();
+                Contour {
+                    id: k + 1,
+                    step_cost,
+                    budget: step_cost * (1.0 + lambda),
+                    points,
+                    assignment: red.assignment,
+                    plan_set,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of plans on this contour (its density `n_k`).
+    pub fn density(&self) -> usize {
+        self.plan_set.len()
+    }
+
+    /// Whether some frontier point dominates (componentwise ≥) `ix` — i.e.
+    /// a query at `ix` is guaranteed discoverable on this contour.
+    pub fn dominates(&self, diagram: &PlanDiagram, ix: &[usize]) -> bool {
+        self.points.iter().any(|&li| {
+            diagram
+                .ess
+                .unlinear(li)
+                .iter()
+                .zip(ix)
+                .all(|(f, q)| f >= q)
+        })
+    }
+
+    /// Frontier points (with their plans) that dominate `ix` — the plans
+    /// still viable for discovery from running location `ix` (the
+    /// first-quadrant pruning of Section 5.1).
+    pub fn viable_plans(&self, diagram: &PlanDiagram, ix: &[usize]) -> Vec<PlanId> {
+        let mut plans: Vec<PlanId> = self
+            .points
+            .iter()
+            .zip(&self.assignment)
+            .filter(|(&li, _)| {
+                diagram
+                    .ess
+                    .unlinear(li)
+                    .iter()
+                    .zip(ix)
+                    .all(|(f, q)| f >= q)
+            })
+            .map(|(_, &p)| p)
+            .collect();
+        plans.sort_unstable();
+        plans.dedup();
+        plans
+    }
+
+    /// Per-plan coverage regions within this contour's budget (Figure 6b):
+    /// for each plan on the contour, the set of grid points it can finish
+    /// within the budget.
+    pub fn coverage(&self, costs: &[Vec<f64>], num_points: usize) -> Vec<(PlanId, Vec<usize>)> {
+        self.plan_set
+            .iter()
+            .map(|&p| {
+                let covered = (0..num_points)
+                    .filter(|&li| costs[p][li] <= self.budget)
+                    .collect();
+                (p, covered)
+            })
+            .collect()
+    }
+}
+
+/// Maximum contour plan density ρ (Section 3.2) across a contour list.
+pub fn rho(contours: &[Contour]) -> usize {
+    contours.iter().map(Contour::density).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use pb_catalog::tpch;
+    use pb_cost::{CostModel, Ess, EssDim};
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn eq_2d() -> Workload {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "EQ2D");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(
+            vec![
+                EssDim::new("p_retailprice", 1e-4, 1.0),
+                EssDim::new("p⋈l", 1e-8, 5e-6),
+            ],
+            20,
+        );
+        Workload::new("EQ_2D", cat.clone(), q, ess, CostModel::postgresish())
+    }
+
+    #[test]
+    fn frontier_points_are_maximal_and_within_budget() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let (cmin, cmax) = d.cost_bounds();
+        let budget = (cmin * cmax).sqrt();
+        let f = Contour::frontier(&d, budget);
+        assert!(!f.is_empty());
+        for &li in &f {
+            assert!(d.opt_cost[li] <= budget);
+            let ix = d.ess.unlinear(li);
+            for dim in 0..d.ess.d() {
+                if ix[dim] + 1 < d.ess.res[dim] {
+                    let mut up = ix.clone();
+                    up[dim] += 1;
+                    assert!(d.opt_cost[d.ess.linear(&up)] > budget);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_interior_point_is_dominated_by_its_contour() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let costs = d.cost_matrix(&w.catalog, &w.query, &w.model);
+        let (cmin, cmax) = d.cost_bounds();
+        let grading = IsoCostGrading::geometric(cmin, cmax, 2.0);
+        let contours = Contour::build_all(&d, &grading, &costs, 0.2);
+        for li in 0..d.ess.num_points() {
+            let ix = d.ess.unlinear(li);
+            let k = contours
+                .iter()
+                .position(|c| d.opt_cost[li] <= c.step_cost)
+                .expect("last contour covers everything");
+            assert!(
+                contours[k].dominates(&d, &ix),
+                "point {li} not dominated on its contour"
+            );
+        }
+    }
+
+    #[test]
+    fn assigned_plan_completes_within_inflated_budget() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let costs = d.cost_matrix(&w.catalog, &w.query, &w.model);
+        let (cmin, cmax) = d.cost_bounds();
+        let grading = IsoCostGrading::geometric(cmin, cmax, 2.0);
+        let contours = Contour::build_all(&d, &grading, &costs, 0.2);
+        for c in &contours {
+            for (&li, &p) in c.points.iter().zip(&c.assignment) {
+                assert!(
+                    costs[p][li] <= c.budget * (1.0 + 1e-9),
+                    "plan {p} cannot finish its own frontier point on contour {}",
+                    c.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn viable_plans_shrink_as_qrun_advances() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let costs = d.cost_matrix(&w.catalog, &w.query, &w.model);
+        let (cmin, cmax) = d.cost_bounds();
+        let grading = IsoCostGrading::geometric(cmin, cmax, 2.0);
+        let contours = Contour::build_all(&d, &grading, &costs, 0.2);
+        let mid = contours.len() / 2;
+        let c = &contours[mid];
+        let all = c.viable_plans(&d, &[0, 0]);
+        assert_eq!(all, c.plan_set);
+        let far = c.viable_plans(&d, &d.ess.terminus());
+        assert!(far.len() <= all.len());
+    }
+
+    #[test]
+    fn rho_is_max_density() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let costs = d.cost_matrix(&w.catalog, &w.query, &w.model);
+        let (cmin, cmax) = d.cost_bounds();
+        let grading = IsoCostGrading::geometric(cmin, cmax, 2.0);
+        let contours = Contour::build_all(&d, &grading, &costs, 0.2);
+        let r = rho(&contours);
+        assert!(r >= 1);
+        assert_eq!(r, contours.iter().map(|c| c.density()).max().unwrap());
+    }
+
+    #[test]
+    fn coverage_includes_own_frontier_points() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let costs = d.cost_matrix(&w.catalog, &w.query, &w.model);
+        let (cmin, cmax) = d.cost_bounds();
+        let grading = IsoCostGrading::geometric(cmin, cmax, 2.0);
+        let contours = Contour::build_all(&d, &grading, &costs, 0.2);
+        let c = &contours[contours.len() / 2];
+        let cov = c.coverage(&costs, d.ess.num_points());
+        for (&li, &p) in c.points.iter().zip(&c.assignment) {
+            let (_, pts) = cov.iter().find(|(pid, _)| *pid == p).unwrap();
+            assert!(pts.contains(&li));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Run-time discovery drivers.
+//!
+//! * [`basic`] — Figure 7: sequential cost-limited executions of every plan
+//!   on every contour until one completes.
+//! * [`optimized`] — Figure 13: selectivity monitoring (qrun), AxisPlans
+//!   plan selection, spill-based learning, first-quadrant pruning and early
+//!   contour changes.
+//!
+//! Both drivers are fully deterministic: the sequence of partial executions
+//! for a given (query, qa) never depends on optimizer estimates or database
+//! statistics — the repeatability property the paper highlights.
+
+pub mod basic;
+pub mod optimized;
+
+use pb_optimizer::PlanId;
+use pb_plan::DimId;
+use serde::{Deserialize, Serialize};
+
+/// One cost-limited (partial or final) plan execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialExec {
+    /// Contour number (1-based; values beyond the grading length denote
+    /// overflow contours used only under model error).
+    pub contour: usize,
+    /// Diagram plan id of the executed plan.
+    pub plan: PlanId,
+    /// Cost budget granted to this execution.
+    pub budget: f64,
+    /// Cost actually consumed (= budget if aborted).
+    pub spent: f64,
+    pub completed: bool,
+    /// Whether the spill directive was applied (optimized driver only).
+    pub spilled: bool,
+    /// Selectivity lower bound learned, if any: `(dim, value)`.
+    pub learned: Option<(DimId, f64)>,
+}
+
+/// Terminal state of a bouquet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExecutionOutcome {
+    /// The query completed; `final_plan` produced the result.
+    Completed { final_plan: PlanId, final_cost: f64 },
+    /// Discovery failed (can only happen if `qa` lies outside the ESS).
+    Exhausted,
+}
+
+/// A complete bouquet run: the execution trace and its total cost
+/// (conservative accounting — every aborted execution's work is wasted,
+/// intermediate results are jettisoned as in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BouquetRun {
+    pub trace: Vec<PartialExec>,
+    pub total_cost: f64,
+    pub outcome: ExecutionOutcome,
+}
+
+impl BouquetRun {
+    /// SubOpt(∗, qa) = total bouquet cost / optimal cost at qa (Section 2).
+    pub fn suboptimality(&self, optimal_cost: f64) -> f64 {
+        self.total_cost / optimal_cost
+    }
+
+    /// Number of executions that did not complete the query.
+    pub fn num_partial_executions(&self) -> usize {
+        self.trace.iter().filter(|e| !e.completed).count()
+    }
+
+    /// Highest contour reached.
+    pub fn contours_crossed(&self) -> usize {
+        self.trace.iter().map(|e| e.contour).max().unwrap_or(0)
+    }
+
+    pub fn completed(&self) -> bool {
+        matches!(self.outcome, ExecutionOutcome::Completed { .. })
+    }
+}

@@ -1,0 +1,377 @@
+//! The optimized bouquet driver (paper, Figure 13).
+//!
+//! Enhancements over the basic driver:
+//!
+//! * **qrun tracking** (Section 5.2): a running lower bound on the true
+//!   location, updated from node tuple counters after every partial
+//!   execution. The first-quadrant invariant — `qrun ≤ qa` componentwise —
+//!   is maintained throughout.
+//! * **First-quadrant pruning** (Section 5.1): contour plans whose frontier
+//!   segments fall outside qrun's first quadrant are skipped without
+//!   execution.
+//! * **AxisPlans selection** (Section 5.1): candidate plans are those at the
+//!   intersections of the contour with the axes through qrun; the cheapest
+//!   cost-equivalence group is formed and the plan with the deepest
+//!   unresolved error node is picked.
+//! * **Spill-based learning** (Section 5.3): while more than one of a plan's
+//!   error dimensions is unresolved, its spilled version P̃ is executed so
+//!   the whole budget works on the first error node (Manhattan movement of
+//!   qrun). With at most one unresolved dimension the plan runs unspilled
+//!   and may complete the query.
+//! * **Early contour change** (Figure 13): when the PIC cost at qrun already
+//!   exceeds the contour budget, no plan on the contour can complete, so the
+//!   driver jumps ahead without executing anything further.
+
+use std::collections::HashSet;
+
+use pb_cost::SelPoint;
+use pb_executor::Executor;
+use pb_optimizer::PlanId;
+
+use crate::bouquet::Bouquet;
+use crate::contour::Contour;
+use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
+
+const MAX_OVERFLOW: usize = 64;
+
+impl Bouquet {
+    /// Run the optimized (Figure 13) driver at true location `qa`.
+    pub fn run_optimized(&self, qa: &SelPoint) -> BouquetRun {
+        let ess = &self.workload.ess;
+        assert_eq!(qa.dims(), ess.d(), "qa dimensionality");
+        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation);
+        let d = ess.d();
+        let m = self.contours.len();
+
+        let mut qrun: Vec<f64> = ess.dims.iter().map(|dim| dim.lo).collect();
+        let mut resolved = vec![false; d];
+        let mut trace: Vec<PartialExec> = Vec::new();
+        let mut total = 0.0;
+        let mut cid = 0usize;
+        // Plans already executed on the current contour. Each plan runs at
+        // most once per contour, so the optimized driver never exceeds the
+        // basic driver's per-contour execution count n_k (the quantity the
+        // Equation 8 bound is built from).
+        let mut executed: HashSet<PlanId> = HashSet::new();
+
+        while cid < m + MAX_OVERFLOW {
+            let (contour_id, budget, step_cost) = if cid < m {
+                let c = &self.contours[cid];
+                (c.id, c.budget, c.step_cost)
+            } else {
+                let last = &self.contours[m - 1];
+                let f = self.config.r.powi((cid - m + 1) as i32);
+                (cid + 1, last.budget * f, last.step_cost * f)
+            };
+
+            // Early contour change: the PIC at qrun already exceeds this
+            // step, so nothing here can complete (PCM argument).
+            let qrun_pt = SelPoint(qrun.clone());
+            if self.pic_cost(&qrun_pt) > step_cost {
+                cid += 1;
+                executed.clear();
+                continue;
+            }
+
+            // Viable plans: first-quadrant pruning against qrun.
+            let qix = ess.snap_floor(&qrun_pt);
+            let viable: Vec<PlanId> = if cid < m {
+                self.contours[cid].viable_plans(&self.diagram, &qix)
+            } else {
+                self.contours[m - 1].plan_set.clone()
+            };
+            let candidates: Vec<PlanId> = viable
+                .into_iter()
+                .filter(|&p| !executed.contains(&p))
+                .collect();
+            if candidates.is_empty() {
+                cid += 1;
+                executed.clear();
+                continue;
+            }
+
+            let contour_for_axes = &self.contours[cid.min(m - 1)];
+            let pid = self.select_plan(contour_for_axes, &candidates, &qix, &qrun, &resolved);
+            let plan = &self.plan(pid).root;
+            let has_unresolved = plan
+                .error_dims(&self.workload.query)
+                .iter()
+                .any(|&dm| !resolved[dm]);
+            // Spill-based learning (Section 5.3) is engaged only when this
+            // plan provably cannot complete within the budget: its cost at
+            // qrun — a lower bound on its cost at qa, by PCM and the
+            // first-quadrant invariant — already exceeds the budget. In that
+            // regime the execution is pure discovery, so breaking the
+            // pipeline at the first error node maximizes the selectivity
+            // movement per unit budget. Otherwise the plan runs unspilled
+            // and may complete the query (it still learns on abort, just
+            // with a shallower movement).
+            let spilled = has_unresolved
+                && self.workload.coster().plan_cost(plan, &qrun) > budget;
+
+            let r = ex.execute_monitored(plan, qa, &resolved, budget, spilled);
+            total += r.spent;
+            executed.insert(pid);
+            trace.push(PartialExec {
+                contour: contour_id,
+                plan: pid,
+                budget,
+                spent: r.spent,
+                completed: r.completed,
+                spilled,
+                learned: r.learned,
+            });
+            if r.completed {
+                return BouquetRun {
+                    trace,
+                    total_cost: total,
+                    outcome: ExecutionOutcome::Completed {
+                        final_plan: pid,
+                        final_cost: r.spent,
+                    },
+                };
+            }
+            if let Some((dim, v)) = r.learned {
+                debug_assert!(
+                    v <= qa[dim] * (1.0 + 1e-9),
+                    "first-quadrant invariant violated"
+                );
+                qrun[dim] = qrun[dim].max(v);
+            }
+            for dm in r.resolved {
+                resolved[dm] = true;
+                qrun[dm] = qa[dm];
+            }
+        }
+        BouquetRun {
+            trace,
+            total_cost: total,
+            outcome: ExecutionOutcome::Exhausted,
+        }
+    }
+
+    /// AxisPlans selection (Section 5.1): restrict to the plans responsible
+    /// for the contour's intersection with the axes through qrun, then pick
+    /// from the cheapest cost-equivalence group the plan whose unresolved
+    /// error node sits deepest in the plan tree.
+    ///
+    /// Public so that alternative run-time backends (e.g. the tuple-engine
+    /// driver in `pb-bench`) can reuse the same selection policy.
+    pub fn select_plan(
+        &self,
+        contour: &Contour,
+        candidates: &[PlanId],
+        qix: &[usize],
+        qrun: &[f64],
+        resolved: &[bool],
+    ) -> PlanId {
+        let axis = self.axis_plan_set(contour, qix);
+        let pool: Vec<PlanId> = if axis.iter().any(|p| candidates.contains(p)) {
+            candidates
+                .iter()
+                .copied()
+                .filter(|p| axis.contains(p))
+                .collect()
+        } else {
+            candidates.to_vec()
+        };
+
+        let coster = self.workload.coster();
+        let costs: Vec<(PlanId, f64)> = pool
+            .iter()
+            .map(|&p| (p, coster.plan_cost(&self.plan(p).root, qrun)))
+            .collect();
+        let cheapest = costs
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+        // Cost-equivalence group: within 20% of the cheapest.
+        let group: Vec<PlanId> = costs
+            .iter()
+            .filter(|&&(_, c)| c <= cheapest * 1.2)
+            .map(|&(p, _)| p)
+            .collect();
+        // Deepest unresolved error node wins (spare budget flows to it).
+        *group
+            .iter()
+            .max_by_key(|&&p| {
+                let plan = &self.plan(p).root;
+                let depth = plan
+                    .error_dims(&self.workload.query)
+                    .into_iter()
+                    .filter(|&dm| !resolved[dm])
+                    .filter_map(|dm| plan.error_dim_depth(&self.workload.query, dm))
+                    .max()
+                    .unwrap_or(0);
+                (depth, std::cmp::Reverse(p))
+            })
+            .expect("pool is non-empty")
+    }
+
+    /// Plans at the intersection of `contour` with the positive axes through
+    /// grid location `qix`: for each dimension, walk outward along that axis
+    /// to the last point still inside the step, and take the cheapest
+    /// contour plan that covers it within the budget.
+    fn axis_plan_set(&self, contour: &Contour, qix: &[usize]) -> Vec<PlanId> {
+        let ess = &self.workload.ess;
+        let mut out: Vec<PlanId> = Vec::new();
+        for dim in 0..ess.d() {
+            let mut ix = qix.to_vec();
+            let mut last_inside = None;
+            for t in qix[dim]..ess.res[dim] {
+                ix[dim] = t;
+                if self.diagram.opt_cost[ess.linear(&ix)] <= contour.step_cost {
+                    last_inside = Some(t);
+                } else {
+                    break;
+                }
+            }
+            if let Some(t) = last_inside {
+                ix[dim] = t;
+                let li = ess.linear(&ix);
+                if let Some(&p) = contour
+                    .plan_set
+                    .iter()
+                    .filter(|&&p| self.costs[p][li] <= contour.budget * (1.0 + 1e-9))
+                    .min_by(|&&a, &&b| self.costs[a][li].total_cmp(&self.costs[b][li]))
+                {
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bouquet::BouquetConfig;
+    use crate::workload::Workload;
+    use pb_catalog::tpch;
+    use pb_cost::{CostModel, Ess, EssDim};
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn eq_2d() -> Workload {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "EQ2D");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(
+            vec![
+                EssDim::new("p_retailprice", 1e-4, 1.0),
+                EssDim::new("p⋈l", 1e-8, 5e-6),
+            ],
+            20,
+        );
+        Workload::new("EQ_2D", cat.clone(), q, ess, CostModel::postgresish())
+    }
+
+    #[test]
+    fn completes_everywhere_and_never_wildly_exceeds_basic() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        for li in (0..w.ess.num_points()).step_by(7) {
+            let qa = w.ess.point(&w.ess.unlinear(li));
+            let run = b.run_optimized(&qa);
+            assert!(run.completed(), "optimized driver failed at {li}");
+        }
+    }
+
+    #[test]
+    fn optimized_is_repeatable() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let qa = w.ess.point_at_fractions(&[0.8, 0.5]);
+        assert_eq!(b.run_optimized(&qa), b.run_optimized(&qa));
+    }
+
+    #[test]
+    fn qrun_learning_shows_in_trace() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let qa = w.ess.point_at_fractions(&[0.9, 0.9]);
+        let run = b.run_optimized(&qa);
+        assert!(run.completed());
+        // For an expensive location the driver must have learned something.
+        assert!(
+            run.trace.iter().any(|e| e.learned.is_some()),
+            "no learning recorded: {:?}",
+            run.trace
+        );
+        // Learned values never exceed truth (first-quadrant invariant).
+        for e in &run.trace {
+            if let Some((dm, v)) = e.learned {
+                assert!(v <= qa[dm] * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_uses_no_more_cost_than_basic_on_average() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let (mut tot_basic, mut tot_opt) = (0.0, 0.0);
+        for li in (0..w.ess.num_points()).step_by(3) {
+            let qa = w.ess.point(&w.ess.unlinear(li));
+            tot_basic += b.run_basic(&qa).total_cost;
+            tot_opt += b.run_optimized(&qa).total_cost;
+        }
+        assert!(
+            tot_opt <= tot_basic * 1.05,
+            "optimized driver should not cost more overall: {tot_opt} vs {tot_basic}"
+        );
+    }
+
+    /// Spill-policy soundness: a spilled execution is only issued when the
+    /// plan provably cannot complete within the budget, so it must abort at
+    /// exactly its budget and can never complete the query. Also checks the
+    /// optimized driver's Equation 8 accounting: each plan runs at most once
+    /// per contour.
+    #[test]
+    fn spill_policy_is_sound_across_the_grid() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        for li in (0..w.ess.num_points()).step_by(5) {
+            let qa = w.ess.point(&w.ess.unlinear(li));
+            let run = b.run_optimized(&qa);
+            assert!(run.completed());
+            for e in &run.trace {
+                if e.spilled {
+                    assert!(!e.completed, "spilled execution cannot complete the query");
+                    assert_eq!(e.spent, e.budget, "doomed execution must burn its budget");
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            for e in &run.trace {
+                assert!(
+                    seen.insert((e.contour, e.plan)),
+                    "plan {} executed twice on contour {}",
+                    e.plan,
+                    e.contour
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_contour_change_skips_low_contours_after_resolution() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let qa = w.ess.point(&w.ess.terminus());
+        let run = b.run_optimized(&qa);
+        // Contours visited should be weakly increasing in the trace.
+        let mut last = 0;
+        for e in &run.trace {
+            assert!(e.contour >= last);
+            last = e.contour;
+        }
+    }
+}

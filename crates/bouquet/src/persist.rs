@@ -1,0 +1,154 @@
+//! Bouquet persistence — the "canned queries" deployment path.
+//!
+//! The paper observes (Section 4.2) that user queries are often submitted
+//! through form-based interfaces, making it feasible to precompute bouquets
+//! offline. This module serializes a compiled [`Bouquet`] — workload,
+//! diagram, contours, budgets and all — so identification can run once (on
+//! a build server, say) and the run-time drivers can load the artifact
+//! instantly. Plan fingerprints are recomputed on load, so artifacts remain
+//! valid across toolchain changes.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::bouquet::Bouquet;
+
+/// Serialize a bouquet to JSON.
+pub fn to_json(bouquet: &Bouquet) -> Result<String, String> {
+    serde_json::to_string(bouquet).map_err(|e| format!("serialize bouquet: {e}"))
+}
+
+/// Deserialize a bouquet from JSON, re-validating its internal consistency.
+pub fn from_json(json: &str) -> Result<Bouquet, String> {
+    let b: Bouquet = serde_json::from_str(json).map_err(|e| format!("parse bouquet: {e}"))?;
+    validate(&b)?;
+    Ok(b)
+}
+
+/// Write a bouquet to a file.
+pub fn save(bouquet: &Bouquet, path: impl AsRef<Path>) -> Result<(), String> {
+    let json = to_json(bouquet)?;
+    let mut f = std::fs::File::create(path.as_ref())
+        .map_err(|e| format!("create {}: {e}", path.as_ref().display()))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| format!("write bouquet: {e}"))
+}
+
+/// Load a bouquet from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Bouquet, String> {
+    let mut json = String::new();
+    std::fs::File::open(path.as_ref())
+        .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?
+        .read_to_string(&mut json)
+        .map_err(|e| format!("read bouquet: {e}"))?;
+    from_json(&json)
+}
+
+/// Structural validation of a (possibly externally-produced) artifact.
+fn validate(b: &Bouquet) -> Result<(), String> {
+    let n = b.workload.ess.num_points();
+    if b.diagram.optimal.len() != n || b.diagram.opt_cost.len() != n {
+        return Err("diagram size disagrees with ESS".into());
+    }
+    if b.costs.len() != b.diagram.plans.len() {
+        return Err("cost matrix row count disagrees with plan count".into());
+    }
+    for row in &b.costs {
+        if row.len() != n {
+            return Err("cost matrix column count disagrees with grid".into());
+        }
+    }
+    if b.contours.len() != b.grading.len() {
+        return Err("contour count disagrees with grading".into());
+    }
+    for c in &b.contours {
+        if c.points.len() != c.assignment.len() {
+            return Err(format!("contour {} assignment arity mismatch", c.id));
+        }
+        for &p in c.plan_set.iter().chain(&c.assignment) {
+            if p >= b.diagram.plans.len() {
+                return Err(format!("contour {} references unknown plan {p}", c.id));
+            }
+        }
+        for &li in &c.points {
+            if li >= n {
+                return Err(format!("contour {} references out-of-grid point {li}", c.id));
+            }
+        }
+    }
+    b.workload.query.validate(&b.workload.catalog);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bouquet::BouquetConfig;
+    use crate::workload::Workload;
+    use pb_catalog::tpch;
+    use pb_cost::{CostModel, Ess, EssDim};
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn small_workload() -> Workload {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "EQ");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(vec![EssDim::new("p_retailprice", 1e-4, 1.0)], 32);
+        Workload::new("EQ_1D", cat.clone(), q, ess, CostModel::postgresish())
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_runtime_behaviour() {
+        let w = small_workload();
+        let original = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let json = to_json(&original).unwrap();
+        let loaded = from_json(&json).unwrap();
+        assert_eq!(original.stats, loaded.stats);
+        assert_eq!(original.grading, loaded.grading);
+        // Identical discovery traces — the property that matters.
+        for f in [0.1, 0.5, 0.9] {
+            let qa = w.ess.point_at_fractions(&[f]);
+            assert_eq!(original.run_basic(&qa), loaded.run_basic(&qa));
+            assert_eq!(original.run_optimized(&qa), loaded.run_optimized(&qa));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let w = small_workload();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let path = std::env::temp_dir().join("pb_test_bouquet.json");
+        save(&b, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(b.stats, loaded.stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_artifacts_are_rejected() {
+        let w = small_workload();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let json = to_json(&b).unwrap();
+        // Truncate the cost matrix.
+        let bad = json.replacen("\"costs\":[[", "\"costs\":[[999.0,", 1);
+        assert!(from_json(&bad).is_err());
+        // Garbage is rejected outright.
+        assert!(from_json("{\"not\": \"a bouquet\"}").is_err());
+    }
+
+    #[test]
+    fn fingerprints_recomputed_on_load() {
+        let w = small_workload();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let loaded = from_json(&to_json(&b).unwrap()).unwrap();
+        for (a, c) in b.diagram.plans.iter().zip(&loaded.diagram.plans) {
+            assert_eq!(a.fingerprint(), c.fingerprint());
+        }
+    }
+}

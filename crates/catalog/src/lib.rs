@@ -1,0 +1,49 @@
+//! Statistics-level catalogs for the plan-bouquet reproduction.
+//!
+//! The bouquet machinery (POSP generation, isocost contours, cost-limited
+//! execution) consumes the database only through *statistics*: relation
+//! cardinalities, tuple widths, number of distinct values, and index
+//! availability. This crate provides those statistics for synthetic
+//! renditions of the TPC-H and TPC-DS schemas at arbitrary scale factors,
+//! mirroring the environments used in the paper's evaluation (TPC-H at 1 GB,
+//! TPC-DS at 100 GB, "indexes on all columns featuring in the queries").
+//!
+//! The tuple-level engine (`pb-engine`) generates actual rows that conform to
+//! these statistics for its end-to-end experiments.
+
+pub mod histogram;
+pub mod schema;
+pub mod stats;
+pub mod tpcds;
+pub mod tpch;
+
+pub use histogram::EquiDepthHistogram;
+pub use schema::{Catalog, Column, ColumnId, IndexInfo, Table, TableId};
+pub use stats::{ColumnStats, Distribution};
+
+/// Default page size used to convert row counts/widths into page counts,
+/// matching PostgreSQL's 8 KiB heap pages.
+pub const PAGE_SIZE: f64 = 8192.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_default_scale_has_expected_cardinalities() {
+        let cat = tpch::catalog(1.0);
+        assert_eq!(cat.table("lineitem").unwrap().rows as u64, 6_000_000);
+        assert_eq!(cat.table("orders").unwrap().rows as u64, 1_500_000);
+        assert_eq!(cat.table("part").unwrap().rows as u64, 200_000);
+        assert_eq!(cat.table("region").unwrap().rows as u64, 5);
+    }
+
+    #[test]
+    fn tpcds_scales_with_factor() {
+        let small = tpcds::catalog(1.0);
+        let big = tpcds::catalog(100.0);
+        let s = small.table("store_sales").unwrap().rows;
+        let b = big.table("store_sales").unwrap().rows;
+        assert!(b > 50.0 * s, "store_sales should scale: {s} -> {b}");
+    }
+}

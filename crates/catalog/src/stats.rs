@@ -1,0 +1,139 @@
+//! Column statistics used by the cardinality estimator.
+//!
+//! The native optimizer baseline ("NAT") estimates selectivities from these
+//! statistics under the attribute-value-independence (AVI) assumption — the
+//! very assumption whose failure the paper exploits to manufacture estimation
+//! errors (Section 6.7). The bouquet itself never consumes estimates for
+//! error-prone predicates; it only needs the *ranges* of legal selectivities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::EquiDepthHistogram;
+
+/// Per-column statistics: distinct count, value bounds and a distribution tag
+/// that the tuple engine's data generator honours.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub ndv: f64,
+    pub min: f64,
+    pub max: f64,
+    pub distribution: Distribution,
+    /// Fraction of NULLs (kept for completeness; generators emit 0 here).
+    pub null_frac: f64,
+    /// Optional equi-depth histogram; refines range selectivities when
+    /// present (populated by `pb-engine`'s `Database::analyze`).
+    pub histogram: Option<EquiDepthHistogram>,
+}
+
+/// Value distribution shape for synthetic data generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    Uniform,
+    /// Zipfian with the given skew parameter.
+    Zipf(f64),
+}
+
+impl ColumnStats {
+    pub fn uniform(ndv: f64, min: f64, max: f64) -> Self {
+        ColumnStats {
+            ndv,
+            min,
+            max,
+            distribution: Distribution::Uniform,
+            null_frac: 0.0,
+            histogram: None,
+        }
+    }
+
+    pub fn zipf(ndv: f64, min: f64, max: f64, skew: f64) -> Self {
+        ColumnStats {
+            ndv,
+            min,
+            max,
+            distribution: Distribution::Zipf(skew),
+            null_frac: 0.0,
+            histogram: None,
+        }
+    }
+
+    /// Selectivity of `col = constant` under the uniform-frequency assumption
+    /// (Selinger's 1/NDV; the paper's "magic number" fallback corresponds to
+    /// NDV-less columns where engines assume 1/10).
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.ndv <= 0.0 {
+            0.1
+        } else {
+            (1.0 / self.ndv).min(1.0)
+        }
+    }
+
+    /// Selectivity of `col < constant`: histogram interpolation when a
+    /// histogram is available, otherwise linear interpolation between the
+    /// recorded bounds (PostgreSQL's scalarltsel).
+    pub fn lt_selectivity(&self, constant: f64) -> f64 {
+        if let Some(h) = &self.histogram {
+            return h.lt_selectivity(constant);
+        }
+        if self.max <= self.min {
+            return 0.5;
+        }
+        ((constant - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    /// Range selectivity for `lo <= col <= hi`.
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.lt_selectivity(hi) - self.lt_selectivity(lo)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_selectivity_inverse_ndv() {
+        let s = ColumnStats::uniform(200.0, 0.0, 199.0);
+        assert!((s.eq_selectivity() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_selectivity_magic_number_without_ndv() {
+        let s = ColumnStats::uniform(0.0, 0.0, 0.0);
+        assert_eq!(s.eq_selectivity(), 0.1);
+    }
+
+    #[test]
+    fn lt_selectivity_interpolates_and_clamps() {
+        let s = ColumnStats::uniform(100.0, 0.0, 100.0);
+        assert!((s.lt_selectivity(25.0) - 0.25).abs() < 1e-12);
+        assert_eq!(s.lt_selectivity(-5.0), 0.0);
+        assert_eq!(s.lt_selectivity(500.0), 1.0);
+    }
+
+    #[test]
+    fn range_selectivity_is_difference_of_cdfs() {
+        let s = ColumnStats::uniform(100.0, 0.0, 100.0);
+        assert!((s.range_selectivity(25.0, 75.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.range_selectivity(75.0, 25.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_overrides_linear_interpolation() {
+        let mut s = ColumnStats::uniform(100.0, 0.0, 100.0);
+        // A histogram that concentrates 3/4 of the mass below 10.
+        s.histogram = Some(crate::histogram::EquiDepthHistogram {
+            bounds: vec![0.0, 3.0, 6.0, 10.0, 100.0],
+        });
+        assert!((s.lt_selectivity(10.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_bounds_fall_back() {
+        let s = ColumnStats::uniform(10.0, 5.0, 5.0);
+        assert_eq!(s.lt_selectivity(7.0), 0.5);
+    }
+}

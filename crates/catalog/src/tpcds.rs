@@ -1,0 +1,219 @@
+//! Synthetic TPC-DS catalog.
+//!
+//! Cardinalities approximate the TPC-DS specification at the given scale
+//! factor (the paper uses SF 100 == 100 GB). The snowflake shape — large fact
+//! tables (`store_sales`, `catalog_sales`, `web_sales`) surrounded by
+//! dimension tables — is what produces the star/branch join graphs of the
+//! paper's DS workload (Table 2).
+
+use crate::schema::Catalog;
+use crate::stats::ColumnStats as CS;
+
+/// Build the TPC-DS catalog at scale factor `sf` (100.0 == the paper's 100 GB).
+pub fn catalog(sf: f64) -> Catalog {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut c = Catalog::new(format!("tpcds-sf{sf}"));
+
+    // Dimension cardinalities grow sub-linearly in TPC-DS; we use the spec's
+    // SF-100 values scaled by sqrt for dimensions and linearly for facts.
+    let dim = |base: f64| (base * (sf / 100.0).sqrt()).max(base.min(1000.0));
+    let fact = |base: f64| base * sf / 100.0;
+
+    c.add_table(
+        "date_dim",
+        73_049.0,
+        vec![
+            ("d_date_sk", CS::uniform(73_049.0, 0.0, 73_048.0), 8),
+            ("d_year", CS::uniform(200.0, 1900.0, 2100.0), 8),
+            ("d_moy", CS::uniform(12.0, 1.0, 12.0), 8),
+            ("d_qoy", CS::uniform(4.0, 1.0, 4.0), 8),
+        ],
+    );
+    c.add_table(
+        "item",
+        dim(204_000.0),
+        vec![
+            ("i_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
+            ("i_category", CS::uniform(10.0, 0.0, 9.0), 12),
+            ("i_manufact_id", CS::uniform(1_000.0, 0.0, 999.0), 8),
+            ("i_brand_id", CS::uniform(1_000.0, 0.0, 999.0), 8),
+            ("i_current_price", CS::uniform(100.0, 0.09, 99.99), 8),
+        ],
+    );
+    c.add_table(
+        "customer",
+        dim(2_000_000.0),
+        vec![
+            ("c_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            ("c_current_addr_sk", CS::uniform(dim(1_000_000.0), 0.0, dim(1_000_000.0) - 1.0), 8),
+            ("c_current_cdemo_sk", CS::uniform(dim(1_920_800.0), 0.0, dim(1_920_800.0) - 1.0), 8),
+            ("c_current_hdemo_sk", CS::uniform(7_200.0, 0.0, 7_199.0), 8),
+            ("c_birth_month", CS::uniform(12.0, 1.0, 12.0), 8),
+        ],
+    );
+    c.add_table(
+        "customer_address",
+        dim(1_000_000.0),
+        vec![
+            ("ca_address_sk", CS::uniform(dim(1_000_000.0), 0.0, dim(1_000_000.0) - 1.0), 8),
+            ("ca_state", CS::uniform(51.0, 0.0, 50.0), 8),
+            ("ca_zip", CS::uniform(10_000.0, 0.0, 9_999.0), 8),
+            ("ca_gmt_offset", CS::uniform(6.0, -10.0, -5.0), 8),
+        ],
+    );
+    c.add_table(
+        "customer_demographics",
+        1_920_800.0,
+        vec![
+            ("cd_demo_sk", CS::uniform(1_920_800.0, 0.0, 1_920_799.0), 8),
+            ("cd_gender", CS::uniform(2.0, 0.0, 1.0), 4),
+            ("cd_marital_status", CS::uniform(5.0, 0.0, 4.0), 4),
+            ("cd_education_status", CS::uniform(7.0, 0.0, 6.0), 12),
+        ],
+    );
+    c.add_table(
+        "household_demographics",
+        7_200.0,
+        vec![
+            ("hd_demo_sk", CS::uniform(7_200.0, 0.0, 7_199.0), 8),
+            ("hd_dep_count", CS::uniform(10.0, 0.0, 9.0), 8),
+            ("hd_buy_potential", CS::uniform(6.0, 0.0, 5.0), 12),
+        ],
+    );
+    c.add_table(
+        "store",
+        dim(402.0).max(12.0),
+        vec![
+            ("s_store_sk", CS::uniform(dim(402.0).max(12.0), 0.0, dim(402.0).max(12.0) - 1.0), 8),
+            ("s_state", CS::uniform(9.0, 0.0, 8.0), 8),
+            ("s_gmt_offset", CS::uniform(6.0, -10.0, -5.0), 8),
+        ],
+    );
+    c.add_table(
+        "call_center",
+        dim(30.0).max(6.0),
+        vec![
+            ("cc_call_center_sk", CS::uniform(dim(30.0).max(6.0), 0.0, dim(30.0).max(6.0) - 1.0), 8),
+            ("cc_class", CS::uniform(3.0, 0.0, 2.0), 12),
+        ],
+    );
+    c.add_table(
+        "warehouse",
+        dim(15.0).max(5.0),
+        vec![
+            ("w_warehouse_sk", CS::uniform(dim(15.0).max(5.0), 0.0, dim(15.0).max(5.0) - 1.0), 8),
+            ("w_state", CS::uniform(9.0, 0.0, 8.0), 8),
+        ],
+    );
+    c.add_table(
+        "promotion",
+        dim(1_000.0).max(300.0),
+        vec![
+            ("p_promo_sk", CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0), 8),
+            ("p_channel_email", CS::uniform(2.0, 0.0, 1.0), 4),
+        ],
+    );
+    c.add_table(
+        "store_sales",
+        fact(288_000_000.0),
+        vec![
+            ("ss_sold_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
+            ("ss_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
+            ("ss_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            ("ss_cdemo_sk", CS::uniform(1_920_800.0, 0.0, 1_920_799.0), 8),
+            ("ss_hdemo_sk", CS::uniform(7_200.0, 0.0, 7_199.0), 8),
+            ("ss_store_sk", CS::uniform(dim(402.0).max(12.0), 0.0, dim(402.0).max(12.0) - 1.0), 8),
+            ("ss_promo_sk", CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0), 8),
+            ("ss_sales_price", CS::uniform(20_000.0, 0.0, 200.0), 8),
+        ],
+    );
+    c.add_table(
+        "catalog_sales",
+        fact(144_000_000.0),
+        vec![
+            ("cs_sold_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
+            ("cs_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
+            ("cs_bill_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            ("cs_bill_cdemo_sk", CS::uniform(1_920_800.0, 0.0, 1_920_799.0), 8),
+            ("cs_call_center_sk", CS::uniform(dim(30.0).max(6.0), 0.0, dim(30.0).max(6.0) - 1.0), 8),
+            ("cs_warehouse_sk", CS::uniform(dim(15.0).max(5.0), 0.0, dim(15.0).max(5.0) - 1.0), 8),
+            ("cs_promo_sk", CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0), 8),
+        ],
+    );
+    c.add_table(
+        "web_sales",
+        fact(72_000_000.0),
+        vec![
+            ("ws_sold_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
+            ("ws_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
+            ("ws_bill_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            ("ws_web_page_sk", CS::uniform(2_040.0, 0.0, 2_039.0), 8),
+        ],
+    );
+    c.add_table(
+        "catalog_returns",
+        fact(14_400_000.0),
+        vec![
+            ("cr_returned_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
+            ("cr_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
+            ("cr_returning_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+        ],
+    );
+
+    c.index_everything();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_tables_dominate_dimensions() {
+        let c = catalog(100.0);
+        let ss = c.table("store_sales").unwrap().rows;
+        let item = c.table("item").unwrap().rows;
+        assert!(ss > 1000.0 * item);
+    }
+
+    #[test]
+    fn snowflake_tables_present() {
+        let c = catalog(100.0);
+        for t in [
+            "date_dim",
+            "item",
+            "customer",
+            "customer_address",
+            "customer_demographics",
+            "household_demographics",
+            "store",
+            "call_center",
+            "warehouse",
+            "promotion",
+            "store_sales",
+            "catalog_sales",
+            "web_sales",
+            "catalog_returns",
+        ] {
+            assert!(c.table(t).is_some(), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn everything_indexed() {
+        let c = catalog(100.0);
+        for t in c.tables() {
+            assert_eq!(t.indexes.len(), t.columns.len());
+        }
+    }
+
+    #[test]
+    fn dimension_scaling_is_sublinear() {
+        let a = catalog(1.0);
+        let b = catalog(100.0);
+        let ra = a.table("customer").unwrap().rows;
+        let rb = b.table("customer").unwrap().rows;
+        assert!(rb / ra < 100.0, "customer should scale sublinearly");
+        assert!(rb > ra);
+    }
+}

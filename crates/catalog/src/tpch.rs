@@ -1,0 +1,136 @@
+//! Synthetic TPC-H catalog.
+//!
+//! Cardinalities follow the TPC-H specification at the given scale factor
+//! (SF 1 == the paper's 1 GB default). Only the columns referenced by the
+//! reproduction's query workload are modelled; every one of them is indexed,
+//! matching the paper's "indexes on all columns featuring in the queries"
+//! physical design.
+
+use crate::schema::Catalog;
+use crate::stats::ColumnStats as CS;
+
+/// Build the TPC-H catalog at scale factor `sf` (1.0 == 1 GB).
+pub fn catalog(sf: f64) -> Catalog {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut c = Catalog::new(format!("tpch-sf{sf}"));
+
+    c.add_table(
+        "region",
+        5.0,
+        vec![
+            ("r_regionkey", CS::uniform(5.0, 0.0, 4.0), 8),
+            ("r_name", CS::uniform(5.0, 0.0, 4.0), 26),
+        ],
+    );
+    c.add_table(
+        "nation",
+        25.0,
+        vec![
+            ("n_nationkey", CS::uniform(25.0, 0.0, 24.0), 8),
+            ("n_regionkey", CS::uniform(5.0, 0.0, 4.0), 8),
+            ("n_name", CS::uniform(25.0, 0.0, 24.0), 26),
+        ],
+    );
+    c.add_table(
+        "supplier",
+        10_000.0 * sf,
+        vec![
+            ("s_suppkey", CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0), 8),
+            ("s_nationkey", CS::uniform(25.0, 0.0, 24.0), 8),
+            ("s_acctbal", CS::uniform(9_999.0, -999.99, 9_999.99), 8),
+        ],
+    );
+    c.add_table(
+        "customer",
+        150_000.0 * sf,
+        vec![
+            ("c_custkey", CS::uniform(150_000.0 * sf, 0.0, 150_000.0 * sf - 1.0), 8),
+            ("c_nationkey", CS::uniform(25.0, 0.0, 24.0), 8),
+            ("c_mktsegment", CS::uniform(5.0, 0.0, 4.0), 12),
+            ("c_acctbal", CS::uniform(9_999.0, -999.99, 9_999.99), 8),
+        ],
+    );
+    c.add_table(
+        "part",
+        200_000.0 * sf,
+        vec![
+            ("p_partkey", CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0), 8),
+            ("p_retailprice", CS::uniform(100_000.0, 900.0, 2_099.0), 8),
+            ("p_brand", CS::uniform(25.0, 0.0, 24.0), 12),
+            ("p_type", CS::uniform(150.0, 0.0, 149.0), 26),
+            ("p_size", CS::uniform(50.0, 1.0, 50.0), 8),
+            ("p_container", CS::uniform(40.0, 0.0, 39.0), 12),
+        ],
+    );
+    c.add_table(
+        "partsupp",
+        800_000.0 * sf,
+        vec![
+            ("ps_partkey", CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0), 8),
+            ("ps_suppkey", CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0), 8),
+            ("ps_supplycost", CS::uniform(99_901.0, 1.0, 1_000.0), 8),
+        ],
+    );
+    c.add_table(
+        "orders",
+        1_500_000.0 * sf,
+        vec![
+            ("o_orderkey", CS::uniform(1_500_000.0 * sf, 0.0, 1_500_000.0 * sf - 1.0), 8),
+            ("o_custkey", CS::uniform(150_000.0 * sf, 0.0, 150_000.0 * sf - 1.0), 8),
+            ("o_orderdate", CS::uniform(2_406.0, 0.0, 2_405.0), 8),
+            ("o_totalprice", CS::uniform(1_500_000.0, 857.71, 555_285.16), 8),
+        ],
+    );
+    c.add_table(
+        "lineitem",
+        6_000_000.0 * sf,
+        vec![
+            ("l_orderkey", CS::uniform(1_500_000.0 * sf, 0.0, 1_500_000.0 * sf - 1.0), 8),
+            ("l_partkey", CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0), 8),
+            ("l_suppkey", CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0), 8),
+            ("l_shipdate", CS::uniform(2_526.0, 0.0, 2_525.0), 8),
+            ("l_quantity", CS::uniform(50.0, 1.0, 50.0), 8),
+            ("l_extendedprice", CS::uniform(933_900.0, 901.0, 104_949.5), 8),
+        ],
+    );
+
+    c.index_everything();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_tables_present() {
+        let c = catalog(1.0);
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
+            assert!(c.table(t).is_some(), "missing table {t}");
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn scale_factor_scales_big_tables_not_nation() {
+        let c10 = catalog(10.0);
+        assert_eq!(c10.table("lineitem").unwrap().rows as u64, 60_000_000);
+        assert_eq!(c10.table("nation").unwrap().rows as u64, 25);
+    }
+
+    #[test]
+    fn every_column_is_indexed() {
+        let c = catalog(1.0);
+        for t in c.tables() {
+            assert_eq!(t.indexes.len(), t.columns.len(), "table {}", t.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_rejected() {
+        let _ = catalog(0.0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Operator cost formulas and abstract plan costing.
+//!
+//! One `Coster` instance binds a catalog, a query and a cost-model
+//! personality. Its per-operator methods are used incrementally by the
+//! dynamic-programming optimizer, and [`Coster::cost`] walks a complete plan
+//! tree to re-cost it at an arbitrary ESS location — the paper's "abstract
+//! plan costing" requirement. Both paths share the same formulas, so the
+//! optimizer and the bouquet runtime can never disagree about a plan's cost.
+
+use pb_catalog::{Catalog, Table};
+use pb_plan::{PlanNode, QuerySpec, RelIdx, SelectionPredicate};
+
+use crate::params::CostModel;
+
+/// Cost estimate for a (sub)plan: output cardinality, cumulative cost and
+/// output tuple width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCost {
+    pub rows: f64,
+    pub cost: f64,
+    pub width: f64,
+}
+
+impl NodeCost {
+    /// Pages needed to materialize this output.
+    fn pages(&self, page_bytes: f64) -> f64 {
+        (self.rows * self.width / page_bytes).max(1.0)
+    }
+}
+
+/// Binds catalog + query + cost model; all methods take the ESS location `q`
+/// (absolute selectivity per error-prone dimension) explicitly.
+#[derive(Clone, Copy)]
+pub struct Coster<'a> {
+    pub catalog: &'a Catalog,
+    pub query: &'a QuerySpec,
+    pub model: &'a CostModel,
+}
+
+impl<'a> Coster<'a> {
+    pub fn new(catalog: &'a Catalog, query: &'a QuerySpec, model: &'a CostModel) -> Self {
+        Coster {
+            catalog,
+            query,
+            model,
+        }
+    }
+
+    fn table(&self, rel: RelIdx) -> &Table {
+        self.catalog.table_by_id(self.query.relations[rel].table)
+    }
+
+    /// Selectivity of one selection predicate at location `q`.
+    pub fn pred_sel(&self, pred: &SelectionPredicate, q: &[f64]) -> f64 {
+        pred.selectivity.resolve(q).clamp(0.0, 1.0)
+    }
+
+    /// Combined selectivity of all of `rel`'s selection predicates.
+    pub fn rel_sel(&self, rel: RelIdx, q: &[f64]) -> f64 {
+        self.query.relations[rel]
+            .selections
+            .iter()
+            .map(|s| self.pred_sel(s, q))
+            .product()
+    }
+
+    /// Combined selectivity of a set of join edges.
+    pub fn edges_sel(&self, edges: &[usize], q: &[f64]) -> f64 {
+        edges
+            .iter()
+            .map(|&e| self.query.joins[e].selectivity.resolve(q).clamp(0.0, 1.0))
+            .product()
+    }
+
+    /// Sequential scan of `rel` with all selections applied on the fly.
+    pub fn seq_scan(&self, rel: RelIdx, q: &[f64]) -> NodeCost {
+        let p = &self.model.p;
+        let t = self.table(rel);
+        let npred = self.query.relations[rel].selections.len() as f64;
+        let out = t.rows * self.rel_sel(rel, q);
+        NodeCost {
+            rows: out,
+            cost: t.pages() * p.seq_page
+                + t.rows * (p.cpu_tuple + npred * p.cpu_operator)
+                + out * p.emit_tuple,
+            width: t.row_width as f64,
+        }
+    }
+
+    /// Index scan of `rel` driven by selection `sel_idx`; remaining
+    /// selections are residual filters on the fetched tuples.
+    pub fn index_scan(&self, rel: RelIdx, sel_idx: usize, q: &[f64]) -> NodeCost {
+        let p = &self.model.p;
+        let t = self.table(rel);
+        let r = &self.query.relations[rel];
+        let ix_sel = self.pred_sel(&r.selections[sel_idx], q);
+        let matches = t.rows * ix_sel;
+        let residual: f64 = r
+            .selections
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != sel_idx)
+            .map(|(_, s)| self.pred_sel(s, q))
+            .product();
+        let height = t
+            .index_on(r.selections[sel_idx].column)
+            .map_or(2.0, |ix| ix.height as f64);
+        let leaf_pages = (t.rows / 256.0).max(1.0);
+        let out = matches * residual;
+        NodeCost {
+            rows: out,
+            cost: height * p.random_page
+                + ix_sel * leaf_pages * p.seq_page
+                + matches * (p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)
+                + matches * (r.selections.len() as f64 - 1.0).max(0.0) * p.cpu_operator
+                + out * p.emit_tuple,
+            width: t.row_width as f64,
+        }
+    }
+
+    /// Full scan through the index on `column` — delivers tuples ordered on
+    /// that column at the price of random heap fetches for every row.
+    pub fn full_index_scan(&self, rel: RelIdx, q: &[f64]) -> NodeCost {
+        let p = &self.model.p;
+        let t = self.table(rel);
+        let npred = self.query.relations[rel].selections.len() as f64;
+        let leaf_pages = (t.rows / 256.0).max(1.0);
+        let out = t.rows * self.rel_sel(rel, q);
+        NodeCost {
+            rows: out,
+            cost: leaf_pages * p.seq_page
+                + t.rows
+                    * (p.cpu_index_tuple
+                        + p.random_page * p.heap_fetch_factor
+                        + npred * p.cpu_operator)
+                + out * p.emit_tuple,
+            width: t.row_width as f64,
+        }
+    }
+
+    /// Cost of sorting `input` (in-memory quicksort, external merge when the
+    /// input exceeds work_mem).
+    pub fn sort_cost(&self, input: &NodeCost) -> f64 {
+        let p = &self.model.p;
+        let n = input.rows.max(2.0);
+        let mut cost = n * n.log2() * 2.0 * p.cpu_operator;
+        let pages = input.pages(p.page_bytes);
+        if pages > p.work_mem_pages {
+            let passes = (pages / p.work_mem_pages).log2().max(1.0).ceil();
+            cost += 2.0 * pages * p.seq_page * passes;
+        }
+        cost
+    }
+
+    /// Output cardinality of a join applying `edges`.
+    pub fn join_rows(&self, left: &NodeCost, right: &NodeCost, edges: &[usize], q: &[f64]) -> f64 {
+        left.rows * right.rows * self.edges_sel(edges, q)
+    }
+
+    /// Hybrid hash join: `build` is hashed, `probe` streams past it.
+    pub fn hash_join(
+        &self,
+        build: &NodeCost,
+        probe: &NodeCost,
+        edges: &[usize],
+        q: &[f64],
+    ) -> NodeCost {
+        let p = &self.model.p;
+        let rows = self.join_rows(build, probe, edges, q);
+        let mut cost = build.cost
+            + probe.cost
+            + build.rows * (p.cpu_tuple + p.hash_build)
+            + probe.rows * p.hash_probe
+            + rows * (edges.len() as f64 - 1.0).max(0.0) * p.cpu_operator
+            + rows * p.emit_tuple;
+        // Grace partitioning when the build side exceeds work_mem: both
+        // inputs are written out and re-read once.
+        let build_pages = build.pages(p.page_bytes);
+        if build_pages > p.work_mem_pages {
+            cost += 2.0 * (build_pages + probe.pages(p.page_bytes)) * p.seq_page;
+        }
+        NodeCost {
+            rows,
+            cost,
+            width: build.width + probe.width,
+        }
+    }
+
+    /// Sort-merge join; `sort_left`/`sort_right` indicate explicit sorts.
+    pub fn merge_join(
+        &self,
+        left: &NodeCost,
+        right: &NodeCost,
+        edges: &[usize],
+        q: &[f64],
+        sort_left: bool,
+        sort_right: bool,
+    ) -> NodeCost {
+        let p = &self.model.p;
+        let rows = self.join_rows(left, right, edges, q);
+        let mut cost = left.cost + right.cost;
+        if sort_left {
+            cost += self.sort_cost(left);
+        }
+        if sort_right {
+            cost += self.sort_cost(right);
+        }
+        cost += (left.rows + right.rows) * 2.0 * p.cpu_operator
+            + rows * (edges.len() as f64 - 1.0).max(0.0) * p.cpu_operator
+            + rows * p.emit_tuple;
+        NodeCost {
+            rows,
+            cost,
+            width: left.width + right.width,
+        }
+    }
+
+    /// Index nested-loops join: one index probe into `inner_rel` per outer
+    /// tuple. The first edge is the lookup key; the inner relation's own
+    /// selections are residual filters on every fetched match.
+    pub fn index_nl_join(
+        &self,
+        outer: &NodeCost,
+        inner_rel: RelIdx,
+        edges: &[usize],
+        q: &[f64],
+    ) -> NodeCost {
+        let p = &self.model.p;
+        let t = self.table(inner_rel);
+        let primary_sel = self.edges_sel(&edges[..1], q);
+        let residual_edges = self.edges_sel(&edges[1..], q);
+        let inner_sel = self.rel_sel(inner_rel, q);
+        let matches = outer.rows * t.rows * primary_sel;
+        let rows = matches * residual_edges * inner_sel;
+        let npred = self.query.relations[inner_rel].selections.len() as f64
+            + (edges.len() as f64 - 1.0).max(0.0);
+        let cost = outer.cost
+            + outer.rows * p.index_lookup
+            + matches * (p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)
+            + matches * npred * p.cpu_operator
+            + rows * p.emit_tuple;
+        NodeCost {
+            rows,
+            cost,
+            width: outer.width + t.row_width as f64,
+        }
+    }
+
+    /// Block nested-loops join with a materialized inner.
+    pub fn block_nl_join(
+        &self,
+        outer: &NodeCost,
+        inner: &NodeCost,
+        edges: &[usize],
+        q: &[f64],
+    ) -> NodeCost {
+        let p = &self.model.p;
+        let rows = self.join_rows(outer, inner, edges, q);
+        let inner_pages = inner.pages(p.page_bytes);
+        let chunk_rows = (p.work_mem_pages * p.page_bytes / outer.width.max(1.0)).max(1.0);
+        let passes = (outer.rows / chunk_rows).ceil().max(1.0);
+        let cost = outer.cost
+            + inner.cost
+            + inner_pages * p.seq_page // materialize
+            + passes * inner_pages * p.seq_page // rescans
+            + outer.rows * inner.rows * p.cpu_operator * edges.len().max(1) as f64
+            + rows * p.emit_tuple;
+        NodeCost {
+            rows,
+            cost,
+            width: outer.width + inner.width,
+        }
+    }
+
+    /// Hash anti-join (NOT EXISTS): build a key set from `right`, stream
+    /// `left` past it, keep the non-matching rows. With match density `s`
+    /// (the edge parameter), a left row survives with probability
+    /// `1 − min(s·|R|, 0.99)`; the 1% floor keeps the cost strictly
+    /// monotone and the output non-degenerate. Note the *decreasing*
+    /// dependence on `s` — this operator deliberately violates PCM.
+    pub fn anti_join(
+        &self,
+        left: &NodeCost,
+        right: &NodeCost,
+        edges: &[usize],
+        q: &[f64],
+    ) -> NodeCost {
+        let p = &self.model.p;
+        let s = self.edges_sel(&edges[..1], q);
+        let survive = (1.0 - (s * right.rows).min(0.99)).max(0.01);
+        let rows = left.rows * survive;
+        let cost = left.cost
+            + right.cost
+            + right.rows * (p.cpu_tuple + p.hash_build)
+            + left.rows * p.hash_probe
+            + rows * p.emit_tuple;
+        NodeCost {
+            rows,
+            cost,
+            width: left.width,
+        }
+    }
+
+    /// Hash aggregation: one output row per distinct grouping-key value,
+    /// capped by the input cardinality (distinct counts from statistics).
+    pub fn hash_aggregate(&self, input: &NodeCost, _q: &[f64]) -> NodeCost {
+        let p = &self.model.p;
+        let ndv_product: f64 = self
+            .query
+            .group_by
+            .iter()
+            .map(|&(rel, col)| {
+                let t = self.table(rel);
+                t.columns[col.column as usize].stats.ndv.max(1.0)
+            })
+            .product();
+        let groups = ndv_product.min(input.rows).max(1.0);
+        NodeCost {
+            rows: groups,
+            cost: input.cost
+                + input.rows * (p.cpu_tuple + p.hash_build)
+                + groups * p.emit_tuple,
+            width: (self.query.group_by.len() as f64 + 1.0) * 8.0,
+        }
+    }
+
+    /// Spill directive: execute the input, count and discard its output
+    /// (pipeline deliberately broken — Section 5.3).
+    pub fn spill(&self, input: &NodeCost) -> NodeCost {
+        let p = &self.model.p;
+        NodeCost {
+            rows: 0.0,
+            cost: input.cost + input.rows * p.cpu_tuple,
+            width: 0.0,
+        }
+    }
+
+    /// Abstract plan costing: re-cost a full plan tree at ESS location `q`.
+    pub fn cost(&self, node: &PlanNode, q: &[f64]) -> NodeCost {
+        match node {
+            PlanNode::SeqScan { rel } => self.seq_scan(*rel, q),
+            PlanNode::IndexScan { rel, sel_idx } => self.index_scan(*rel, *sel_idx, q),
+            PlanNode::FullIndexScan { rel, .. } => self.full_index_scan(*rel, q),
+            PlanNode::HashJoin { build, probe, edges } => {
+                let b = self.cost(build, q);
+                let p = self.cost(probe, q);
+                self.hash_join(&b, &p, edges, q)
+            }
+            PlanNode::SortMergeJoin {
+                left,
+                right,
+                edges,
+                sort_left,
+                sort_right,
+            } => {
+                let l = self.cost(left, q);
+                let r = self.cost(right, q);
+                self.merge_join(&l, &r, edges, q, *sort_left, *sort_right)
+            }
+            PlanNode::IndexNLJoin {
+                outer,
+                inner_rel,
+                edges,
+            } => {
+                let o = self.cost(outer, q);
+                self.index_nl_join(&o, *inner_rel, edges, q)
+            }
+            PlanNode::BlockNLJoin { outer, inner, edges } => {
+                let o = self.cost(outer, q);
+                let i = self.cost(inner, q);
+                self.block_nl_join(&o, &i, edges, q)
+            }
+            PlanNode::AntiJoin { left, right, edges } => {
+                let l = self.cost(left, q);
+                let r = self.cost(right, q);
+                self.anti_join(&l, &r, edges, q)
+            }
+            PlanNode::HashAggregate { input } => {
+                let i = self.cost(input, q);
+                self.hash_aggregate(&i, q)
+            }
+            PlanNode::Spill { input } => {
+                let i = self.cost(input, q);
+                self.spill(&i)
+            }
+        }
+    }
+
+    /// Convenience: plan cost only.
+    pub fn plan_cost(&self, node: &PlanNode, q: &[f64]) -> f64 {
+        self.cost(node, q).cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn setup() -> (pb_catalog::Catalog, QuerySpec, CostModel) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "eq");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        (cat.clone(), qb.build(), CostModel::postgresish())
+    }
+
+    #[test]
+    fn seq_scan_cost_independent_of_selectivity_io() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        let lo = c.seq_scan(0, &[1e-4]);
+        let hi = c.seq_scan(0, &[1.0]);
+        // Scan I/O identical; only emitted rows differ.
+        assert!(hi.cost > lo.cost);
+        assert!(hi.cost - lo.cost < 0.02 * hi.cost + 2100.0);
+        assert!((hi.rows / lo.rows - 1e4).abs() < 1.0);
+    }
+
+    #[test]
+    fn index_scan_beats_seq_scan_at_low_selectivity_only() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        assert!(c.index_scan(0, 0, &[1e-4]).cost < c.seq_scan(0, &[1e-4]).cost);
+        assert!(c.index_scan(0, 0, &[0.5]).cost > c.seq_scan(0, &[0.5]).cost);
+    }
+
+    #[test]
+    fn inl_join_beats_hash_join_at_low_selectivity_only() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        for (s, inl_wins) in [(1e-4, true), (1.0, false)] {
+            let outer = c.index_scan(0, 0, &[s]);
+            let inl = c.index_nl_join(&outer, 1, &[0], &[s]);
+            let probe = c.seq_scan(1, &[s]);
+            let hj = c.hash_join(&outer, &probe, &[0], &[s]);
+            assert_eq!(
+                inl.cost < hj.cost,
+                inl_wins,
+                "s={s}: inl={} hj={}",
+                inl.cost,
+                hj.cost
+            );
+            // Cardinalities agree between join algorithms.
+            assert!((inl.rows - hj.rows).abs() < 1e-6 * inl.rows.max(1.0));
+        }
+    }
+
+    #[test]
+    fn merge_join_sort_flags_change_cost_not_rows() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        let l = c.seq_scan(1, &[0.5]);
+        let r = c.seq_scan(2, &[0.5]);
+        let sorted = c.merge_join(&l, &r, &[1], &[0.5], false, false);
+        let unsorted = c.merge_join(&l, &r, &[1], &[0.5], true, true);
+        assert!(unsorted.cost > sorted.cost);
+        assert_eq!(sorted.rows, unsorted.rows);
+    }
+
+    #[test]
+    fn spill_discards_rows_but_keeps_cost() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        let input = c.seq_scan(0, &[0.5]);
+        let sp = c.spill(&input);
+        assert_eq!(sp.rows, 0.0);
+        assert!(sp.cost >= input.cost);
+    }
+
+    #[test]
+    fn tree_walk_matches_incremental() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        let plan = PlanNode::IndexNLJoin {
+            outer: Box::new(PlanNode::HashJoin {
+                build: Box::new(PlanNode::IndexScan { rel: 0, sel_idx: 0 }),
+                probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+                edges: vec![0],
+            }),
+            inner_rel: 2,
+            edges: vec![1],
+        };
+        let s = [0.01];
+        let walked = c.cost(&plan, &s);
+        let b = c.index_scan(0, 0, &s);
+        let p = c.seq_scan(1, &s);
+        let hj = c.hash_join(&b, &p, &[0], &s);
+        let inl = c.index_nl_join(&hj, 2, &[1], &s);
+        assert_eq!(walked.cost, inl.cost);
+        assert_eq!(walked.rows, inl.rows);
+    }
+
+    #[test]
+    fn pcm_all_operators_monotone() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        let plan = PlanNode::HashJoin {
+            build: Box::new(PlanNode::SeqScan { rel: 0 }),
+            probe: Box::new(PlanNode::IndexNLJoin {
+                outer: Box::new(PlanNode::SeqScan { rel: 2 }),
+                inner_rel: 1,
+                edges: vec![1],
+            }),
+            edges: vec![0],
+        };
+        let mut last = 0.0;
+        for i in 0..20 {
+            let s = 1e-4 * 10f64.powf(4.0 * i as f64 / 19.0);
+            let cost = c.plan_cost(&plan, &[s.min(1.0)]);
+            assert!(cost >= last, "PCM violated at s={s}");
+            last = cost;
+        }
+    }
+
+    #[test]
+    fn hash_join_grace_penalty_kicks_in() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        // Build fits: part at low sel. Build spills: lineitem full.
+        let small = NodeCost { rows: 1000.0, cost: 0.0, width: 100.0 };
+        let big = NodeCost { rows: 10_000_000.0, cost: 0.0, width: 100.0 };
+        let probe = NodeCost { rows: 1000.0, cost: 0.0, width: 100.0 };
+        let hj_small = c.hash_join(&small, &probe, &[0], &[1.0]);
+        let hj_big = c.hash_join(&big, &probe, &[0], &[1.0]);
+        let linear_scale = big.rows / small.rows;
+        assert!(hj_big.cost > hj_small.cost * linear_scale * 0.5); // sanity
+        // The big build must include partitioning I/O beyond pure CPU scaling.
+        let pure_cpu = big.rows * (m.p.cpu_tuple + m.p.hash_build);
+        assert!(hj_big.cost > pure_cpu);
+    }
+}

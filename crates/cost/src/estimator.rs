@@ -1,0 +1,126 @@
+//! Compile-time selectivity estimation — what the *native optimizer* does.
+//!
+//! The bouquet never estimates error-prone selectivities; this module exists
+//! for the NAT baseline and the engine experiments (Section 6.7), where the
+//! optimizer's estimate `qe` is derived from column statistics under the
+//! attribute-value-independence (AVI) and uniformity assumptions, and then
+//! differs — sometimes catastrophically — from the actual location `qa`.
+
+use pb_catalog::Catalog;
+use pb_plan::{CmpOp, JoinPredicate, QuerySpec, SelectionPredicate};
+
+use crate::ess::SelPoint;
+
+/// AVI/uniformity-based selectivity estimator over catalog statistics.
+pub struct Estimator<'a> {
+    pub catalog: &'a Catalog,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Estimator { catalog }
+    }
+
+    /// Estimate a selection predicate's selectivity from column statistics.
+    pub fn selection(&self, pred: &SelectionPredicate) -> f64 {
+        let t = self.catalog.table_by_id(pred.column.table);
+        let stats = &t.columns[pred.column.column as usize].stats;
+        match pred.op {
+            CmpOp::Eq => stats.eq_selectivity(),
+            CmpOp::Lt => stats.lt_selectivity(pred.constant),
+            CmpOp::Gt => 1.0 - stats.lt_selectivity(pred.constant),
+            CmpOp::Between => stats.range_selectivity(pred.constant2, pred.constant),
+        }
+        .clamp(1e-9, 1.0)
+    }
+
+    /// Estimate a join predicate's selectivity: Selinger's
+    /// `1 / max(NDV(left), NDV(right))`.
+    pub fn join(&self, pred: &JoinPredicate) -> f64 {
+        let ndv = |c: pb_catalog::ColumnId| {
+            let t = self.catalog.table_by_id(c.table);
+            t.columns[c.column as usize].stats.ndv.max(1.0)
+        };
+        (1.0 / ndv(pred.left_col).max(ndv(pred.right_col))).clamp(1e-12, 1.0)
+    }
+
+    /// The native optimizer's estimated ESS location `qe` for a query:
+    /// per-dimension AVI estimates, clamped into the given bounds.
+    pub fn estimate_point(&self, query: &QuerySpec, lo: &[f64], hi: &[f64]) -> SelPoint {
+        let mut q = vec![f64::NAN; query.num_dims];
+        for r in &query.relations {
+            for s in &r.selections {
+                if let Some(d) = s.selectivity.error_dim() {
+                    q[d] = self.selection(s);
+                }
+            }
+        }
+        for j in &query.joins {
+            if let Some(d) = j.selectivity.error_dim() {
+                q[d] = self.join(j);
+            }
+        }
+        for (d, v) in q.iter_mut().enumerate() {
+            assert!(!v.is_nan(), "dimension {d} not referenced by any predicate");
+            *v = v.clamp(lo[d], hi[d]);
+        }
+        SelPoint(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_plan::{QueryBuilder, SelSpec};
+
+    #[test]
+    fn selection_estimates_follow_stats() {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        let q = qb.build();
+        let est = Estimator::new(&cat);
+
+        // p_retailprice range is [900, 2099]; `< 1000` ≈ 100/1199.
+        let s = est.selection(&q.relations[0].selections[0]);
+        assert!((s - 100.0 / 1199.0).abs() < 1e-6);
+
+        // join ndv = 200_000 partkeys on both sides.
+        let j = est.join(&q.joins[0]);
+        assert!((j - 1.0 / 200_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_point_fills_every_dim_and_clamps() {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        let q = qb.build();
+        let est = Estimator::new(&cat);
+        let qe = est.estimate_point(&q, &[0.2, 1e-9], &[1.0, 1.0]);
+        assert_eq!(qe.dims(), 2);
+        assert_eq!(qe[0], 0.2); // clamped up to lo
+        assert!(qe[1] > 0.0 && qe[1] < 1e-4);
+    }
+
+    #[test]
+    fn gt_and_between_ops() {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(p, "p_size", CmpOp::Gt, 25.0, SelSpec::Fixed(0.5));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+        let q = qb.build();
+        let est = Estimator::new(&cat);
+        let s = est.selection(&q.relations[0].selections[0]);
+        assert!(s > 0.4 && s < 0.6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Cost models with first-class selectivity injection.
+//!
+//! The plan-bouquet technique consumes the database engine through exactly
+//! two costing interfaces (paper, Section 5.4):
+//!
+//! 1. **Selectivity injection** — optimize / cost a query with *chosen*
+//!    values for the error-prone selectivities instead of estimated ones.
+//!    Here every error-prone predicate carries a dimension id and the
+//!    [`SelPoint`] supplies its value, so injection is the default mode of
+//!    operation rather than a patch.
+//! 2. **Abstract plan costing** — re-cost a fixed plan tree at an arbitrary
+//!    location of the error-prone selectivity space ([`Coster::cost`]).
+//!
+//! The operator cost formulas are deliberately textbook (a PostgreSQL-flavour
+//! personality and a "commercial" personality with different constants). What
+//! matters for the reproduction is not the constants but the structural
+//! properties the paper relies on:
+//!
+//! * **Plan Cost Monotonicity (PCM)**: every operator cost is monotone
+//!   non-decreasing in every input cardinality, hence plan costs are monotone
+//!   in every ESS dimension (property-tested here and in `pb-optimizer`).
+//! * **Plan diversity**: different regions of the selectivity space favour
+//!   different operators (index nested-loops at low selectivity, hash joins
+//!   at high), which is what gives the POSP its multi-plan structure.
+
+pub mod coster;
+pub mod ess;
+pub mod estimator;
+pub mod model_error;
+pub mod params;
+pub mod uncertainty;
+
+pub use coster::{Coster, NodeCost};
+pub use ess::{Ess, EssDim, GridIx, SelPoint};
+pub use estimator::Estimator;
+pub use model_error::CostPerturbation;
+pub use params::{CostModel, CostParams};

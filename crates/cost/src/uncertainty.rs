@@ -1,0 +1,211 @@
+//! Uncertainty classification of predicate selectivities (paper,
+//! Section 4.1, following Kabra & DeWitt's modeling rules).
+//!
+//! The first compile-time step of the bouquet pipeline is deciding *which*
+//! selectivities are error-prone enough to become ESS dimensions. This
+//! module implements the rule-based classification the paper describes:
+//! each predicate is placed into an uncertainty bucket from the shape of
+//! the predicate and the quality of the statistics backing it, and the
+//! buckets above a chosen threshold become the error space. (The fallback —
+//! make every estimated selectivity a dimension — is the identity case.)
+
+use pb_catalog::Catalog;
+use pb_plan::{CmpOp, QuerySpec};
+use serde::{Deserialize, Serialize};
+
+/// Estimation-uncertainty buckets, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Uncertainty {
+    /// Structurally reliable (e.g. a key join consumed in full).
+    None,
+    /// Backed by exact statistics (equality on a column with NDV).
+    Low,
+    /// Interpolated from coarse summaries (range predicates).
+    Medium,
+    /// Independence/containment assumptions in play (general joins).
+    High,
+    /// No usable statistics — "magic number" territory.
+    VeryHigh,
+}
+
+/// A classified predicate: either the `sel_idx`-th selection of relation
+/// `rel`, or join edge `join_idx`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PredicateRef {
+    Selection { rel: usize, sel_idx: usize },
+    Join { join_idx: usize },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedPredicate {
+    pub predicate: PredicateRef,
+    pub uncertainty: Uncertainty,
+    pub reason: String,
+}
+
+/// Classify every predicate of `query` against `catalog`'s statistics.
+pub fn classify(catalog: &Catalog, query: &QuerySpec) -> Vec<ClassifiedPredicate> {
+    let mut out = Vec::new();
+    for (ri, r) in query.relations.iter().enumerate() {
+        let table = catalog.table_by_id(r.table);
+        for (si, s) in r.selections.iter().enumerate() {
+            let stats = &table.columns[s.column.column as usize].stats;
+            let (u, reason) = if stats.ndv <= 0.0 {
+                (
+                    Uncertainty::VeryHigh,
+                    "no statistics; estimator falls back to magic numbers".into(),
+                )
+            } else {
+                match s.op {
+                    CmpOp::Eq => (
+                        Uncertainty::Low,
+                        format!("equality over NDV={} statistics", stats.ndv),
+                    ),
+                    CmpOp::Lt | CmpOp::Gt | CmpOp::Between => (
+                        Uncertainty::Medium,
+                        "range predicate interpolated from column bounds".into(),
+                    ),
+                }
+            };
+            out.push(ClassifiedPredicate {
+                predicate: PredicateRef::Selection { rel: ri, sel_idx: si },
+                uncertainty: u,
+                reason,
+            });
+        }
+    }
+    for (ji, j) in query.joins.iter().enumerate() {
+        let ndv = |c: pb_catalog::ColumnId| {
+            let t = catalog.table_by_id(c.table);
+            (
+                t.columns[c.column as usize].stats.ndv,
+                t.rows,
+            )
+        };
+        let (ndv_l, rows_l) = ndv(j.left_col);
+        let (ndv_r, rows_r) = ndv(j.right_col);
+        let key_left = (ndv_l - rows_l).abs() < 0.5 * rows_l.max(1.0) && ndv_l >= rows_l * 0.99;
+        let key_right = (ndv_r - rows_r).abs() < 0.5 * rows_r.max(1.0) && ndv_r >= rows_r * 0.99;
+        let (u, reason) = if ndv_l <= 0.0 || ndv_r <= 0.0 {
+            (
+                Uncertainty::VeryHigh,
+                "join column without statistics".into(),
+            )
+        } else if key_left || key_right {
+            // Paper, Section 8: PK–FK join selectivities can be estimated
+            // accurately *if the entire PK relation participates*; with
+            // selections on the PK side that premise breaks, so only an
+            // unfiltered key side earns Low.
+            let key_rel = if key_left { j.left_rel } else { j.right_rel };
+            if query.relations[key_rel].selections.is_empty() {
+                (Uncertainty::Low, "unfiltered key join".into())
+            } else {
+                (
+                    Uncertainty::High,
+                    "key join, but the key side is filtered".into(),
+                )
+            }
+        } else {
+            (
+                Uncertainty::High,
+                "non-key join under the independence assumption".into(),
+            )
+        };
+        out.push(ClassifiedPredicate {
+            predicate: PredicateRef::Join { join_idx: ji },
+            uncertainty: u,
+            reason,
+        });
+    }
+    out
+}
+
+/// Predicates whose uncertainty is at or above `threshold` — the suggested
+/// ESS dimensions for a query.
+pub fn suggest_error_dims(
+    catalog: &Catalog,
+    query: &QuerySpec,
+    threshold: Uncertainty,
+) -> Vec<ClassifiedPredicate> {
+    classify(catalog, query)
+        .into_iter()
+        .filter(|c| c.uncertainty >= threshold)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_plan::{QueryBuilder, SelSpec};
+
+    fn sample() -> (Catalog, QuerySpec) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "q");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_brand", CmpOp::Eq, 3.0, SelSpec::Fixed(0.04));
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(2));
+        (cat.clone(), qb.build())
+    }
+
+    #[test]
+    fn equality_low_range_medium() {
+        let (cat, q) = sample();
+        let cls = classify(&cat, &q);
+        let eq = cls
+            .iter()
+            .find(|c| c.predicate == PredicateRef::Selection { rel: 0, sel_idx: 0 })
+            .unwrap();
+        assert_eq!(eq.uncertainty, Uncertainty::Low);
+        let range = cls
+            .iter()
+            .find(|c| c.predicate == PredicateRef::Selection { rel: 0, sel_idx: 1 })
+            .unwrap();
+        assert_eq!(range.uncertainty, Uncertainty::Medium);
+    }
+
+    #[test]
+    fn filtered_key_join_is_high_unfiltered_is_low() {
+        let (cat, q) = sample();
+        let cls = classify(&cat, &q);
+        // p⋈l: part is the key side but carries selections -> High.
+        let j0 = cls
+            .iter()
+            .find(|c| c.predicate == PredicateRef::Join { join_idx: 0 })
+            .unwrap();
+        assert_eq!(j0.uncertainty, Uncertainty::High, "{}", j0.reason);
+        // l⋈o: orders is an unfiltered key side -> Low.
+        let j1 = cls
+            .iter()
+            .find(|c| c.predicate == PredicateRef::Join { join_idx: 1 })
+            .unwrap();
+        assert_eq!(j1.uncertainty, Uncertainty::Low, "{}", j1.reason);
+    }
+
+    #[test]
+    fn suggestion_respects_threshold() {
+        let (cat, q) = sample();
+        let med = suggest_error_dims(&cat, &q, Uncertainty::Medium);
+        let high = suggest_error_dims(&cat, &q, Uncertainty::High);
+        assert!(high.len() < med.len());
+        assert!(high
+            .iter()
+            .all(|c| c.uncertainty >= Uncertainty::High));
+    }
+
+    #[test]
+    fn missing_stats_are_very_high() {
+        let (mut cat, q) = sample();
+        cat.column_stats_mut("part", "p_brand").ndv = 0.0;
+        let cls = classify(&cat, &q);
+        let eq = cls
+            .iter()
+            .find(|c| c.predicate == PredicateRef::Selection { rel: 0, sel_idx: 0 })
+            .unwrap();
+        assert_eq!(eq.uncertainty, Uncertainty::VeryHigh);
+    }
+}

@@ -1,0 +1,385 @@
+//! Deterministic in-memory data generation conforming to catalog statistics.
+
+use std::collections::HashMap;
+
+use pb_catalog::{Catalog, Distribution};
+use pb_plan::{CmpOp, QuerySpec, SelectionPredicate};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Overrides that make the generated data deviate from what the statistics
+/// (and hence the AVI estimator) suggest — the controlled source of
+/// estimation error for the engine experiments.
+#[derive(Debug, Clone)]
+pub enum ColumnOverride {
+    /// Generate the column with only `ndv` distinct values although the
+    /// statistics claim more: equality/join selectivities on it come out
+    /// `claimed_ndv / ndv` times larger than estimated.
+    EffectiveNdv { table: String, column: String, ndv: u64 },
+    /// Make the column a monotone function of another column of the same
+    /// table, so conjunctive predicates on the pair are fully correlated
+    /// (AVI multiplies their selectivities; reality takes the minimum).
+    CorrelatedWith { table: String, column: String, with: String },
+}
+
+/// Column-major table data plus sorted secondary indexes.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// `columns[c][row]`.
+    pub columns: Vec<Vec<i64>>,
+    /// Per indexed column: `(value, row)` sorted by value then row.
+    pub indexes: HashMap<u32, Vec<(i64, u32)>>,
+    pub rows: usize,
+}
+
+/// An in-memory database instance for a catalog.
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub catalog: Catalog,
+    tables: Vec<TableData>,
+}
+
+impl Database {
+    /// Generate data for every catalog table with the given seed.
+    pub fn generate(catalog: &Catalog, seed: u64, overrides: &[ColumnOverride]) -> Self {
+        let mut tables = Vec::new();
+        for t in catalog.tables() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t.id.0 as u64).wrapping_mul(0x9E37));
+            let nrows = t.rows.round() as usize;
+            let mut columns: Vec<Vec<i64>> = Vec::with_capacity(t.columns.len());
+            for col in &t.columns {
+                let ov = overrides.iter().find_map(|o| match o {
+                    ColumnOverride::EffectiveNdv { table, column, ndv }
+                        if *table == t.name && *column == col.name =>
+                    {
+                        Some(Ov::Ndv(*ndv))
+                    }
+                    ColumnOverride::CorrelatedWith { table, column, with }
+                        if *table == t.name && *column == col.name =>
+                    {
+                        let src = t
+                            .columns
+                            .iter()
+                            .position(|c| c.name == *with)
+                            .unwrap_or_else(|| panic!("correlation source {with} missing"));
+                        Some(Ov::Corr(src))
+                    }
+                    _ => None,
+                });
+                let data: Vec<i64> = match ov {
+                    Some(Ov::Ndv(ndv)) => {
+                        let lo = col.stats.min as i64;
+                        (0..nrows)
+                            .map(|_| lo + rng.random_range(0..ndv.max(1)) as i64)
+                            .collect()
+                    }
+                    Some(Ov::Corr(src)) => {
+                        // Monotone copy of the source column, rescaled into
+                        // this column's range.
+                        let source = &columns[src];
+                        let t_col = &t.columns[src];
+                        let (slo, shi) = (t_col.stats.min, t_col.stats.max.max(t_col.stats.min + 1.0));
+                        let (dlo, dhi) = (col.stats.min, col.stats.max.max(col.stats.min + 1.0));
+                        source
+                            .iter()
+                            .map(|&v| {
+                                let f = (v as f64 - slo) / (shi - slo);
+                                (dlo + f * (dhi - dlo)).round() as i64
+                            })
+                            .collect()
+                    }
+                    None => match col.stats.distribution {
+                        Distribution::Uniform => {
+                            let ndv = (col.stats.ndv.round() as i64).max(1);
+                            let lo = col.stats.min as i64;
+                            let span = ((col.stats.max - col.stats.min) as i64 + 1).max(1);
+                            if ndv >= span {
+                                (0..nrows).map(|_| lo + rng.random_range(0..span)).collect()
+                            } else {
+                                // fewer distinct values than the range: use a
+                                // deterministic stride embedding
+                                let stride = span / ndv;
+                                (0..nrows)
+                                    .map(|_| lo + rng.random_range(0..ndv) * stride)
+                                    .collect()
+                            }
+                        }
+                        Distribution::Zipf(skew) => {
+                            let ndv = (col.stats.ndv.round() as u64).max(1);
+                            let lo = col.stats.min as i64;
+                            (0..nrows)
+                                .map(|_| lo + zipf_sample(&mut rng, ndv, skew) as i64)
+                                .collect()
+                        }
+                    },
+                };
+                columns.push(data);
+            }
+            // Build indexes on every indexed column.
+            let mut indexes = HashMap::new();
+            for ix in &t.indexes {
+                let c = ix.column.column;
+                let mut entries: Vec<(i64, u32)> = columns[c as usize]
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &v)| (v, r as u32))
+                    .collect();
+                entries.sort_unstable();
+                indexes.insert(c, entries);
+            }
+            tables.push(TableData {
+                columns,
+                indexes,
+                rows: nrows,
+            });
+        }
+        Database {
+            catalog: catalog.clone(),
+            tables,
+        }
+    }
+
+    pub fn table(&self, id: pb_catalog::TableId) -> &TableData {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Recompute catalog statistics from the actual data — the engine's
+    /// `ANALYZE`. Returns a fresh catalog whose NDVs, bounds and equi-depth
+    /// histograms reflect what is really stored, so the AVI estimator
+    /// becomes accurate again (the counterpart of the *stale statistics*
+    /// scenario used by the Table 3 experiment).
+    pub fn analyze(&self, histogram_buckets: usize) -> Catalog {
+        let mut cat = self.catalog.clone();
+        let names: Vec<String> = self.catalog.tables().map(|t| t.name.clone()).collect();
+        for tname in names {
+            let t = self.catalog.table(&tname).unwrap();
+            let td = self.table(t.id);
+            for col in &t.columns {
+                let data = &td.columns[col.id.column as usize];
+                let stats = cat.column_stats_mut(&tname, &col.name);
+                if data.is_empty() {
+                    continue;
+                }
+                let mut distinct: Vec<i64> = data.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                stats.ndv = distinct.len() as f64;
+                stats.min = *data.iter().min().unwrap() as f64;
+                stats.max = *data.iter().max().unwrap() as f64;
+                stats.histogram = pb_catalog::EquiDepthHistogram::from_values(
+                    data.iter().map(|&v| v as f64).collect(),
+                    histogram_buckets,
+                );
+            }
+        }
+        cat
+    }
+
+    /// Actual selectivity of a selection predicate against this data.
+    pub fn actual_selection_selectivity(&self, pred: &SelectionPredicate) -> f64 {
+        let t = self.table(pred.column.table);
+        let col = &t.columns[pred.column.column as usize];
+        if col.is_empty() {
+            return 0.0;
+        }
+        let hits = col.iter().filter(|&&v| eval_pred(pred, v)).count();
+        hits as f64 / col.len() as f64
+    }
+
+    /// Actual selectivity of a join predicate: |matches| / (|L| · |R|).
+    pub fn actual_join_selectivity(&self, query: &QuerySpec, join_idx: usize) -> f64 {
+        let j = &query.joins[join_idx];
+        let lt = self.table(query.relations[j.left_rel].table);
+        let rt = self.table(query.relations[j.right_rel].table);
+        let lcol = &lt.columns[j.left_col.column as usize];
+        let rcol = &rt.columns[j.right_col.column as usize];
+        if lcol.is_empty() || rcol.is_empty() {
+            return 0.0;
+        }
+        let mut freq: HashMap<i64, u64> = HashMap::new();
+        for &v in lcol {
+            *freq.entry(v).or_insert(0) += 1;
+        }
+        let matches: u64 = rcol.iter().map(|v| freq.get(v).copied().unwrap_or(0)).sum();
+        matches as f64 / (lcol.len() as f64 * rcol.len() as f64)
+    }
+}
+
+enum Ov {
+    Ndv(u64),
+    Corr(usize),
+}
+
+/// Evaluate a selection predicate against an i64 value.
+pub fn eval_pred(pred: &SelectionPredicate, v: i64) -> bool {
+    let x = v as f64;
+    match pred.op {
+        CmpOp::Eq => x == pred.constant,
+        CmpOp::Lt => x < pred.constant,
+        CmpOp::Gt => x > pred.constant,
+        CmpOp::Between => x >= pred.constant2 && x <= pred.constant,
+    }
+}
+
+/// Rejection-free Zipf sampler via the inverse-CDF power-law approximation.
+fn zipf_sample(rng: &mut StdRng, n: u64, skew: f64) -> u64 {
+    let u: f64 = rng.random();
+    if skew <= 0.0 {
+        return (u * n as f64) as u64;
+    }
+    let x = ((n as f64).powf(1.0 - skew) * u + 1.0 - u).powf(1.0 / (1.0 - skew));
+    (x.floor() as u64).clamp(1, n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_plan::{QueryBuilder, SelSpec};
+
+    fn db() -> Database {
+        Database::generate(&tpch::catalog(0.01), 42, &[])
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cat = tpch::catalog(0.01);
+        let a = Database::generate(&cat, 7, &[]);
+        let b = Database::generate(&cat, 7, &[]);
+        let t = cat.table("part").unwrap().id;
+        assert_eq!(a.table(t).columns, b.table(t).columns);
+    }
+
+    #[test]
+    fn row_counts_match_catalog() {
+        let d = db();
+        let part = d.catalog.table("part").unwrap();
+        assert_eq!(d.table(part.id).rows, part.rows.round() as usize);
+        assert_eq!(d.table(part.id).columns.len(), part.columns.len());
+    }
+
+    #[test]
+    fn indexes_are_sorted_and_complete() {
+        let d = db();
+        let part = d.catalog.table("part").unwrap();
+        let td = d.table(part.id);
+        for (c, ix) in &td.indexes {
+            assert_eq!(ix.len(), td.rows);
+            assert!(ix.windows(2).all(|w| w[0] <= w[1]), "index on col {c} unsorted");
+        }
+    }
+
+    #[test]
+    fn selection_selectivity_tracks_stats() {
+        let cat = tpch::catalog(0.01);
+        let d = Database::generate(&cat, 3, &[]);
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        // p_retailprice in [900, 2099]; < 1500 → ≈ 0.5.
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1500.0, SelSpec::Fixed(0.5));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+        let q = qb.build();
+        let s = d.actual_selection_selectivity(&q.relations[0].selections[0]);
+        assert!((s - 0.5).abs() < 0.05, "observed {s}");
+    }
+
+    #[test]
+    fn join_selectivity_matches_fk_expectation() {
+        let cat = tpch::catalog(0.01);
+        let d = Database::generate(&cat, 3, &[]);
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+        let q = qb.build();
+        // Both sides uniform over 2000 part keys: s ≈ 1/2000.
+        let s = d.actual_join_selectivity(&q, 0);
+        assert!((s - 1.0 / 2000.0).abs() < 0.3 / 2000.0, "observed {s}");
+    }
+
+    #[test]
+    fn effective_ndv_override_inflates_join_selectivity() {
+        let cat = tpch::catalog(0.01);
+        let ov = vec![ColumnOverride::EffectiveNdv {
+            table: "lineitem".into(),
+            column: "l_partkey".into(),
+            ndv: 50,
+        }];
+        let d = Database::generate(&cat, 3, &ov);
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+        let q = qb.build();
+        let s = d.actual_join_selectivity(&q, 0);
+        // Matching density is bounded by part's uniform density; the point
+        // of the override is that the estimator's 1/200e3 is a gross
+        // *underestimate* of the actual selectivity.
+        assert!(s > 2.0 / 200_000.0, "override had no effect: {s}");
+    }
+
+    #[test]
+    fn analyze_refreshes_stats_to_match_data() {
+        let cat = tpch::catalog(0.01);
+        let ov = vec![ColumnOverride::EffectiveNdv {
+            table: "lineitem".into(),
+            column: "l_partkey".into(),
+            ndv: 70,
+        }];
+        let d = Database::generate(&cat, 3, &ov);
+        let fresh = d.analyze(16);
+        let stats = fresh
+            .table("lineitem")
+            .unwrap()
+            .column("l_partkey")
+            .unwrap()
+            .stats
+            .clone();
+        // ANALYZE sees the true (overridden) NDV, not the stale claim.
+        assert!((stats.ndv - 70.0).abs() < 1.0, "ndv = {}", stats.ndv);
+        assert!(stats.histogram.is_some());
+        // After ANALYZE the AVI join estimate is accurate again.
+        let mut qb = QueryBuilder::new(&fresh, "t");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+        let q = qb.build();
+        let est = pb_cost_free_estimate(&fresh, &q);
+        let actual = d.actual_join_selectivity(&q, 0);
+        assert!(
+            est / actual < 3.0 && actual / est < 3.0,
+            "post-ANALYZE estimate {est} vs actual {actual}"
+        );
+    }
+
+    /// Selinger join estimate without depending on pb-cost (dev-dep cycle).
+    fn pb_cost_free_estimate(cat: &Catalog, q: &QuerySpec) -> f64 {
+        let j = &q.joins[0];
+        let ndv = |c: pb_catalog::ColumnId| {
+            cat.table_by_id(c.table).columns[c.column as usize].stats.ndv
+        };
+        1.0 / ndv(j.left_col).max(ndv(j.right_col)).max(1.0)
+    }
+
+    #[test]
+    fn correlated_override_tracks_source_column() {
+        let cat = tpch::catalog(0.01);
+        let ov = vec![ColumnOverride::CorrelatedWith {
+            table: "part".into(),
+            column: "p_size".into(),
+            with: "p_retailprice".into(),
+        }];
+        let d = Database::generate(&cat, 3, &ov);
+        let part = cat.table("part").unwrap();
+        let td = d.table(part.id);
+        let price = part.column("p_retailprice").unwrap().id.column as usize;
+        let size = part.column("p_size").unwrap().id.column as usize;
+        // Correlated: ordering by price must order size too.
+        for i in 1..200 {
+            if td.columns[price][i] >= td.columns[price][i - 1] {
+                assert!(td.columns[size][i] >= td.columns[size][i - 1] - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Budgeted plan execution in cost units.
+
+use pb_cost::{CostPerturbation, Coster};
+use pb_plan::{DimId, PlanNode, QuerySpec, RelIdx};
+
+/// Outcome of a plain cost-limited execution (basic bouquet driver).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecOutcome {
+    /// The plan finished within the budget; `cost` is what it consumed.
+    Completed { cost: f64 },
+    /// The budget was exhausted first; exactly `spent == budget` was wasted.
+    Aborted { spent: f64 },
+}
+
+impl ExecOutcome {
+    pub fn spent(&self) -> f64 {
+        match *self {
+            ExecOutcome::Completed { cost } => cost,
+            ExecOutcome::Aborted { spent } => spent,
+        }
+    }
+
+    pub fn completed(&self) -> bool {
+        matches!(self, ExecOutcome::Completed { .. })
+    }
+}
+
+/// Outcome of an execution that also monitors selectivities (optimized
+/// bouquet driver, Sections 5.2–5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The query finished (only possible for unspilled executions).
+    pub completed: bool,
+    /// Cost units actually consumed (≤ budget).
+    pub spent: f64,
+    /// Updated lower bound for one dimension, if an unresolved error node
+    /// was observed: `(dim, new_lower_bound)`.
+    pub learned: Option<(DimId, f64)>,
+    /// Dimensions whose error node consumed its entire input — their true
+    /// selectivity is now exactly known.
+    pub resolved: Vec<DimId>,
+}
+
+/// Find the first node, in execution (post)order, that applies at least one
+/// error dimension not yet in `resolved`. Because the traversal is
+/// post-order, no unresolved dimension is applied below the returned node,
+/// so its input cardinalities are fully known — the precondition for
+/// learning a selectivity lower bound from its tuple counter (Section 5.2).
+///
+/// Returns `(node, dims_applied_here)`.
+pub fn learnable_node<'p>(
+    plan: &'p PlanNode,
+    query: &QuerySpec,
+    resolved: &[bool],
+) -> Option<(&'p PlanNode, Vec<DimId>)> {
+    for child in plan.children() {
+        if let Some(hit) = learnable_node(child, query, resolved) {
+            return Some(hit);
+        }
+    }
+    let mut dims: Vec<DimId> = Vec::new();
+    for &e in plan.edges() {
+        if let Some(d) = query.joins[e].selectivity.error_dim() {
+            if !resolved[d] && !dims.contains(&d) {
+                dims.push(d);
+            }
+        }
+    }
+    let scan_rel: Option<RelIdx> = match plan {
+        PlanNode::SeqScan { rel }
+        | PlanNode::IndexScan { rel, .. }
+        | PlanNode::FullIndexScan { rel, .. } => Some(*rel),
+        PlanNode::IndexNLJoin { inner_rel, .. } => Some(*inner_rel),
+        _ => None,
+    };
+    if let Some(rel) = scan_rel {
+        for s in &query.relations[rel].selections {
+            if let Some(d) = s.selectivity.error_dim() {
+                if !resolved[d] && !dims.contains(&d) {
+                    dims.push(d);
+                }
+            }
+        }
+    }
+    if dims.is_empty() {
+        None
+    } else {
+        Some((plan, dims))
+    }
+}
+
+/// Cost-unit execution simulator bound to (catalog, query, cost model) via a
+/// [`Coster`], with an optional bounded model-error perturbation.
+pub struct Executor<'a> {
+    pub coster: Coster<'a>,
+    pub perturb: CostPerturbation,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(coster: Coster<'a>) -> Self {
+        Executor {
+            coster,
+            perturb: CostPerturbation::none(),
+        }
+    }
+
+    pub fn with_perturbation(coster: Coster<'a>, perturb: CostPerturbation) -> Self {
+        Executor { coster, perturb }
+    }
+
+    /// The actual run-time cost of executing `plan` to completion at the
+    /// true location `qa` (modeled cost × bounded model-error factor).
+    pub fn actual_cost(&self, plan: &PlanNode, qa: &[f64]) -> f64 {
+        let modeled = self.coster.plan_cost(plan, qa);
+        self.perturb.actual_cost(plan.fingerprint(), qa, modeled)
+    }
+
+    /// Plain cost-limited execution (the basic driver's primitive).
+    pub fn execute(&self, plan: &PlanNode, qa: &[f64], budget: f64) -> ExecOutcome {
+        let cost = self.actual_cost(plan, qa);
+        if cost <= budget {
+            ExecOutcome::Completed { cost }
+        } else {
+            ExecOutcome::Aborted { spent: budget }
+        }
+    }
+
+    /// Cost-limited execution with selectivity monitoring.
+    ///
+    /// With `spilled == true` the pipeline is broken immediately above the
+    /// first unresolved error node (Section 5.3): the entire budget goes to
+    /// that node's subtree and the query can never complete here. With
+    /// `spilled == false` the full plan runs and may complete the query.
+    ///
+    /// Learning model: let `E` be the first unresolved error node, `C_in`
+    /// the (known) cost of `E`'s inputs and `C_exec` the cost of the
+    /// executed tree (spilled prefix or full plan). A budget `B < C_exec`
+    /// drives `E` through a fraction `(B − C_in)/(C_exec − C_in)` of its
+    /// input, so its tuple counter certifies a selectivity lower bound of
+    /// that fraction × the true value. The fraction is capped at 1, which
+    /// guarantees the first-quadrant invariant.
+    pub fn execute_monitored(
+        &self,
+        plan: &PlanNode,
+        qa: &[f64],
+        resolved: &[bool],
+        budget: f64,
+        spilled: bool,
+    ) -> RunResult {
+        let learnable = learnable_node(plan, self.coster.query, resolved);
+        let Some((node, dims)) = learnable else {
+            // No unresolved error dimension in this plan: pure completion
+            // attempt; nothing to learn on abort.
+            let out = self.execute(plan, qa, budget);
+            return RunResult {
+                completed: out.completed(),
+                spent: out.spent(),
+                learned: None,
+                resolved: Vec::new(),
+            };
+        };
+
+        // Cost of the executed tree.
+        let exec_tree_cost = if spilled {
+            // Subtree rooted at the error node, output discarded.
+            let sub = self.coster.cost(node, qa);
+            self.perturb
+                .actual_cost(node.fingerprint(), qa, self.coster.spill(&sub).cost)
+        } else {
+            self.actual_cost(plan, qa)
+        };
+        // Cost of the error node's inputs — fully known to the driver since
+        // no unresolved dimension occurs below the node.
+        let input_cost: f64 = node
+            .children()
+            .iter()
+            .map(|c| self.actual_cost(c, qa))
+            .sum();
+
+        let dim = dims[0];
+        if exec_tree_cost <= budget {
+            if spilled {
+                // Prefix completed: all dims applied at this node resolve.
+                RunResult {
+                    completed: false,
+                    spent: exec_tree_cost,
+                    learned: Some((dim, qa[dim])),
+                    resolved: dims,
+                }
+            } else {
+                RunResult {
+                    completed: true,
+                    spent: exec_tree_cost,
+                    learned: Some((dim, qa[dim])),
+                    resolved: dims,
+                }
+            }
+        } else {
+            let denom = (exec_tree_cost - input_cost).max(f64::MIN_POSITIVE);
+            let frac = ((budget - input_cost) / denom).clamp(0.0, 1.0);
+            RunResult {
+                completed: false,
+                spent: budget,
+                learned: (frac > 0.0).then_some((dim, frac * qa[dim])),
+                resolved: Vec::new(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_cost::CostModel;
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn setup() -> (pb_catalog::Catalog, QuerySpec, CostModel) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "eq2d");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        (cat.clone(), qb.build(), CostModel::postgresish())
+    }
+
+    fn sample_plan() -> PlanNode {
+        PlanNode::IndexNLJoin {
+            outer: Box::new(PlanNode::HashJoin {
+                build: Box::new(PlanNode::IndexScan { rel: 0, sel_idx: 0 }),
+                probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+                edges: vec![0],
+            }),
+            inner_rel: 2,
+            edges: vec![1],
+        }
+    }
+
+    #[test]
+    fn execute_completes_iff_cost_fits() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.01, 1e-6];
+        let cost = ex.actual_cost(&sample_plan(), &qa);
+        assert!(ex.execute(&sample_plan(), &qa, cost * 1.01).completed());
+        let aborted = ex.execute(&sample_plan(), &qa, cost * 0.5);
+        assert!(!aborted.completed());
+        assert_eq!(aborted.spent(), cost * 0.5);
+    }
+
+    #[test]
+    fn learnable_node_finds_deepest_unresolved() {
+        let (_, q, _) = setup();
+        let plan = sample_plan();
+        // Nothing resolved: the IndexScan leaf (dim 0) comes first.
+        let (node, dims) = learnable_node(&plan, &q, &[false, false]).unwrap();
+        assert!(matches!(node, PlanNode::IndexScan { rel: 0, .. }));
+        assert_eq!(dims, vec![0]);
+        // Dim 0 resolved: the hash join (dim 1) is next.
+        let (node, dims) = learnable_node(&plan, &q, &[true, false]).unwrap();
+        assert!(matches!(node, PlanNode::HashJoin { .. }));
+        assert_eq!(dims, vec![1]);
+        // Everything resolved: no error nodes.
+        assert!(learnable_node(&plan, &q, &[true, true]).is_none());
+    }
+
+    #[test]
+    fn monitored_learning_respects_first_quadrant() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.05, 2e-6];
+        let plan = sample_plan();
+        for budget_frac in [0.01, 0.1, 0.5, 0.9] {
+            let full = ex.actual_cost(&plan, &qa);
+            let r = ex.execute_monitored(&plan, &qa, &[false, false], full * budget_frac, false);
+            assert!(!r.completed);
+            if let Some((d, v)) = r.learned {
+                assert_eq!(d, 0);
+                assert!(v <= qa[0] * (1.0 + 1e-12), "learned {v} > true {}", qa[0]);
+                assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_learns_at_least_as_fast_as_unspilled() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.05, 2e-6];
+        let plan = sample_plan();
+        let budget = ex.actual_cost(&plan, &qa) * 0.2;
+        let spilled = ex.execute_monitored(&plan, &qa, &[false, false], budget, true);
+        let unspilled = ex.execute_monitored(&plan, &qa, &[false, false], budget, false);
+        let lv = |r: &RunResult| r.learned.map(|(_, v)| v).unwrap_or(0.0);
+        assert!(
+            lv(&spilled) >= lv(&unspilled) - 1e-15,
+            "spilled {} < unspilled {}",
+            lv(&spilled),
+            lv(&unspilled)
+        );
+    }
+
+    #[test]
+    fn spilled_prefix_completion_resolves_dim_without_completing_query() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.05, 2e-6];
+        let plan = sample_plan();
+        // Huge budget: the spilled prefix (IndexScan on part) completes.
+        let r = ex.execute_monitored(&plan, &qa, &[false, false], 1e12, true);
+        assert!(!r.completed);
+        assert_eq!(r.resolved, vec![0]);
+        assert_eq!(r.learned, Some((0, qa[0])));
+        assert!(r.spent < 1e12);
+    }
+
+    #[test]
+    fn unspilled_with_huge_budget_completes_and_resolves() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.05, 2e-6];
+        let r = ex.execute_monitored(&sample_plan(), &qa, &[false, false], 1e12, false);
+        assert!(r.completed);
+        assert_eq!(r.resolved, vec![0]);
+    }
+
+    #[test]
+    fn fully_resolved_plan_is_pure_completion_attempt() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.05, 2e-6];
+        let plan = sample_plan();
+        let cost = ex.actual_cost(&plan, &qa);
+        let r = ex.execute_monitored(&plan, &qa, &[true, true], cost * 0.5, false);
+        assert!(!r.completed);
+        assert!(r.learned.is_none());
+        assert_eq!(r.spent, cost * 0.5);
+    }
+
+    #[test]
+    fn model_error_perturbation_changes_actual_cost_within_band() {
+        let (cat, q, m) = setup();
+        let coster = Coster::new(&cat, &q, &m);
+        let plain = Executor::new(coster);
+        let noisy =
+            Executor::with_perturbation(coster, CostPerturbation::with_delta(0.4, 99));
+        let qa = [0.05, 2e-6];
+        let c0 = plain.actual_cost(&sample_plan(), &qa);
+        let c1 = noisy.actual_cost(&sample_plan(), &qa);
+        assert!(c1 >= c0 / 1.4 - 1e-9 && c1 <= c0 * 1.4 + 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Plan diagrams: exhaustive optimization over the ESS grid.
+//!
+//! A plan diagram (Harish et al., VLDB 2007) maps every grid point of the
+//! error-prone selectivity space to its optimal plan and optimal cost. The
+//! distinct plans form the *parametric optimal set of plans* (POSP) and the
+//! per-point optimal costs form the *POSP infimum curve* (PIC) that the
+//! bouquet discretizes (paper, Sections 1 and 4.2).
+
+use std::collections::HashMap;
+
+use pb_catalog::Catalog;
+use pb_cost::{CostModel, Coster, Ess};
+use pb_plan::{PhysicalPlan, PlanFingerprint, QuerySpec};
+
+use crate::dp::Optimizer;
+
+/// Index into a diagram's `plans` vector.
+pub type PlanId = usize;
+
+/// Optimal plan + cost at every grid point of an ESS.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PlanDiagram {
+    pub ess: Ess,
+    /// Distinct optimal plans (the POSP set).
+    pub plans: Vec<PhysicalPlan>,
+    /// Per linear grid index: which plan is optimal.
+    pub optimal: Vec<u32>,
+    /// Per linear grid index: the optimal (PIC) cost.
+    pub opt_cost: Vec<f64>,
+}
+
+impl PlanDiagram {
+    /// Build the diagram by optimizing at every grid point, using all
+    /// available cores (the task is embarrassingly parallel).
+    pub fn build(catalog: &Catalog, query: &QuerySpec, model: &CostModel, ess: &Ess) -> Self {
+        let n = ess.num_points();
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 || n < 256 {
+            return Self::build_serial(catalog, query, model, ess);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Vec<(PlanFingerprint, Option<PhysicalPlan>, f64)>> =
+            Vec::with_capacity(threads);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    s.spawn(move |_| {
+                        let opt = Optimizer::new(catalog, query, model);
+                        let mut seen: HashMap<PlanFingerprint, ()> = HashMap::new();
+                        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                        for li in lo..hi {
+                            let ix = ess.unlinear(li);
+                            let p = ess.point(&ix);
+                            let best = opt.optimize(&p);
+                            let fp = best.plan.fingerprint();
+                            let plan = if seen.insert(fp, ()).is_none() {
+                                Some(best.plan)
+                            } else {
+                                None
+                            };
+                            out.push((fp, plan, best.cost));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("diagram worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut plans: Vec<PhysicalPlan> = Vec::new();
+        let mut ids: HashMap<PlanFingerprint, u32> = HashMap::new();
+        let mut optimal = Vec::with_capacity(n);
+        let mut opt_cost = Vec::with_capacity(n);
+        for chunk_res in results {
+            for (fp, plan, cost) in chunk_res {
+                let id = *ids.entry(fp).or_insert_with(|| {
+                    plans.push(plan.clone().expect("first occurrence carries the plan"));
+                    (plans.len() - 1) as u32
+                });
+                optimal.push(id);
+                opt_cost.push(cost);
+            }
+        }
+        PlanDiagram {
+            ess: ess.clone(),
+            plans,
+            optimal,
+            opt_cost,
+        }
+    }
+
+    /// Single-threaded build (useful for tests and small grids).
+    pub fn build_serial(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        ess: &Ess,
+    ) -> Self {
+        let opt = Optimizer::new(catalog, query, model);
+        let n = ess.num_points();
+        let mut plans: Vec<PhysicalPlan> = Vec::new();
+        let mut ids: HashMap<PlanFingerprint, u32> = HashMap::new();
+        let mut optimal = Vec::with_capacity(n);
+        let mut opt_cost = Vec::with_capacity(n);
+        for li in 0..n {
+            let ix = ess.unlinear(li);
+            let best = opt.optimize(&ess.point(&ix));
+            let fp = best.plan.fingerprint();
+            let id = *ids.entry(fp).or_insert_with(|| {
+                plans.push(best.plan.clone());
+                (plans.len() - 1) as u32
+            });
+            optimal.push(id);
+            opt_cost.push(best.cost);
+        }
+        PlanDiagram {
+            ess: ess.clone(),
+            plans,
+            optimal,
+            opt_cost,
+        }
+    }
+
+    /// Number of distinct POSP plans.
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of grid points owned by each plan.
+    pub fn region_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.plans.len()];
+        for &p in &self.optimal {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Minimum and maximum optimal cost over the grid — C_min and C_max of
+    /// the PIC. By PCM these occur at the origin and terminus corners.
+    pub fn cost_bounds(&self) -> (f64, f64) {
+        let cmin = self.opt_cost[self.ess.linear(&self.ess.origin())];
+        let cmax = self.opt_cost[self.ess.linear(&self.ess.terminus())];
+        (cmin, cmax)
+    }
+
+    /// ASCII rendering of a 2D plan diagram: one letter per grid cell, row 0
+    /// at the bottom (selectivities grow up and right, as in the paper's
+    /// figures). Plans beyond 26 wrap through the alphabet.
+    pub fn render_2d(&self) -> String {
+        assert_eq!(self.ess.d(), 2, "render_2d requires a 2D diagram");
+        let (rx, ry) = (self.ess.res[0], self.ess.res[1]);
+        let mut out = String::new();
+        for y in (0..ry).rev() {
+            for x in 0..rx {
+                let pid = self.optimal[self.ess.linear(&[x, y])] as usize;
+                out.push((b'A' + (pid % 26) as u8) as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Cost of every plan at every grid point (row-major `[plan][point]`),
+    /// computed in parallel. This is the input to anorexic reduction and to
+    /// exact NAT worst-case metrics.
+    pub fn cost_matrix(&self, catalog: &Catalog, query: &QuerySpec, model: &CostModel) -> Vec<Vec<f64>> {
+        let n = self.ess.num_points();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.plans.len());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .plans
+                .iter()
+                .map(|plan| {
+                    let ess = &self.ess;
+                    s.spawn(move |_| {
+                        let c = Coster::new(catalog, query, model);
+                        (0..n)
+                            .map(|li| c.plan_cost(&plan.root, &ess.point(&ess.unlinear(li))))
+                            .collect::<Vec<f64>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                rows.push(h.join().expect("cost matrix worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_cost::EssDim;
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn setup_1d() -> (pb_catalog::Catalog, QuerySpec, CostModel, Ess) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "eq");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(vec![EssDim::new("p_retailprice", 1e-4, 1.0)], 64);
+        (cat.clone(), q, CostModel::postgresish(), ess)
+    }
+
+    #[test]
+    fn diagram_has_multiple_posp_plans() {
+        let (cat, q, m, ess) = setup_1d();
+        let d = PlanDiagram::build_serial(&cat, &q, &m, &ess);
+        assert!(
+            d.plan_count() >= 3,
+            "1D EQ diagram should have several POSP plans, got {}",
+            d.plan_count()
+        );
+        assert_eq!(d.optimal.len(), 64);
+        assert_eq!(d.region_sizes().iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn pic_is_monotone_1d() {
+        let (cat, q, m, ess) = setup_1d();
+        let d = PlanDiagram::build_serial(&cat, &q, &m, &ess);
+        for w in d.opt_cost.windows(2) {
+            assert!(w[1] >= w[0] * (1.0 - 1e-9), "PIC not monotone: {w:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let (cat, q, m, ess) = setup_1d();
+        let a = PlanDiagram::build_serial(&cat, &q, &m, &ess);
+        let b = PlanDiagram::build(&cat, &q, &m, &ess);
+        assert_eq!(a.opt_cost, b.opt_cost);
+        assert_eq!(a.plan_count(), b.plan_count());
+        // Plan assignment must agree modulo plan-id renumbering.
+        for li in 0..ess.num_points() {
+            assert_eq!(
+                a.plans[a.optimal[li] as usize].fingerprint(),
+                b.plans[b.optimal[li] as usize].fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_bounds_are_grid_extremes() {
+        let (cat, q, m, ess) = setup_1d();
+        let d = PlanDiagram::build_serial(&cat, &q, &m, &ess);
+        let (cmin, cmax) = d.cost_bounds();
+        assert!(cmin > 0.0 && cmax > cmin);
+        let lo = d.opt_cost.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = d.opt_cost.iter().cloned().fold(0.0, f64::max);
+        assert!((cmin - lo).abs() < 1e-9 * lo);
+        assert!((cmax - hi).abs() < 1e-9 * hi);
+    }
+
+    #[test]
+    fn render_2d_shape_and_regions() {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "eq2");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        let q = qb.build();
+        let ess = Ess::uniform(
+            vec![
+                EssDim::new("a", 1e-4, 1.0),
+                EssDim::new("b", 1e-8, 5e-6),
+            ],
+            12,
+        );
+        let d = PlanDiagram::build_serial(&cat, &q, &CostModel::postgresish(), &ess);
+        let art = d.render_2d();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 12);
+        assert!(lines.iter().all(|l| l.chars().count() == 12));
+        // More than one plan letter appears.
+        let letters: std::collections::BTreeSet<char> = art.chars().filter(|c| c.is_alphabetic()).collect();
+        assert!(letters.len() >= 2, "{art}");
+    }
+
+    #[test]
+    fn cost_matrix_diag_matches_opt_cost() {
+        let (cat, q, m, ess) = setup_1d();
+        let d = PlanDiagram::build_serial(&cat, &q, &m, &ess);
+        let cm = d.cost_matrix(&cat, &q, &m);
+        assert_eq!(cm.len(), d.plan_count());
+        for li in 0..ess.num_points() {
+            let pid = d.optimal[li] as usize;
+            assert!(
+                (cm[pid][li] - d.opt_cost[li]).abs() < 1e-6 * d.opt_cost[li],
+                "matrix disagrees with diagram at point {li}"
+            );
+            // Optimality: no plan is cheaper than the diagram's optimum.
+            for row in &cm {
+                assert!(row[li] >= d.opt_cost[li] * (1.0 - 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,752 @@
+//! Bushy dynamic-programming join enumeration with interesting orders.
+//!
+//! The memo stores, per connected relation subset, the cheapest entry for
+//! each delivered sort order (System-R interesting orders, with order
+//! identity = equivalence class of join columns). Entries reference child
+//! entries by `(mask, index)`, so no plan trees are built during
+//! enumeration; the winning tree is reconstructed once at the end. This
+//! keeps a single optimization in the tens of microseconds, which matters
+//! because POSP generation calls the optimizer at thousands of grid points.
+
+use std::collections::HashMap;
+
+use pb_catalog::{Catalog, ColumnId};
+use pb_cost::{CostModel, Coster, NodeCost};
+use pb_plan::{JoinGraph, PhysicalPlan, PlanNode, QuerySpec, RelIdx};
+
+/// Result of one optimization call: the optimal plan plus its estimates.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    pub plan: PhysicalPlan,
+    pub cost: f64,
+    pub rows: f64,
+}
+
+/// Equivalence classes of join columns (transitively merged through join
+/// edges); sort orders are identified by class id.
+#[derive(Debug, Clone)]
+struct ColClasses {
+    map: HashMap<(RelIdx, ColumnId), usize>,
+}
+
+impl ColClasses {
+    fn build(query: &QuerySpec) -> Self {
+        // Union-find over the (rel, col) endpoints of join edges.
+        let mut keys: Vec<(RelIdx, ColumnId)> = Vec::new();
+        let mut index = HashMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+        let intern = |k: (RelIdx, ColumnId),
+                          keys: &mut Vec<(RelIdx, ColumnId)>,
+                          parent: &mut Vec<usize>,
+                          index: &mut HashMap<(RelIdx, ColumnId), usize>| {
+            *index.entry(k).or_insert_with(|| {
+                keys.push(k);
+                parent.push(keys.len() - 1);
+                keys.len() - 1
+            })
+        };
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for j in &query.joins {
+            let a = intern((j.left_rel, j.left_col), &mut keys, &mut parent, &mut index);
+            let b = intern((j.right_rel, j.right_col), &mut keys, &mut parent, &mut index);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        // Canonicalise to root representative.
+        let mut map = HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let r = find(&mut parent, i);
+            map.insert(*k, r);
+        }
+        ColClasses { map }
+    }
+
+    fn class_of(&self, rel: RelIdx, col: ColumnId) -> Option<usize> {
+        self.map.get(&(rel, col)).copied()
+    }
+}
+
+/// Reference to a finalized memo entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EntryRef {
+    mask: u32,
+    idx: usize,
+}
+
+/// Compact operator descriptor; trees are materialized only for the winner.
+#[derive(Debug, Clone)]
+enum EntryOp {
+    SeqScan(RelIdx),
+    IndexScan(RelIdx, usize),
+    FullIndexScan(RelIdx, ColumnId),
+    Hash {
+        build: EntryRef,
+        probe: EntryRef,
+        edges: Vec<usize>,
+    },
+    Merge {
+        left: EntryRef,
+        right: EntryRef,
+        edges: Vec<usize>,
+        sort_left: bool,
+        sort_right: bool,
+    },
+    Inl {
+        outer: EntryRef,
+        inner_rel: RelIdx,
+        edges: Vec<usize>,
+    },
+    Bnl {
+        outer: EntryRef,
+        inner: EntryRef,
+        edges: Vec<usize>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct DpEntry {
+    order: Option<usize>,
+    op: EntryOp,
+    est: NodeCost,
+}
+
+/// The dynamic-programming optimizer, bound to (catalog, query, model).
+///
+/// Anti-join (NOT EXISTS) edges are not freely reorderable with inner
+/// joins; following common practice the DP enumerates the inner-join core
+/// and the anti-joins are applied on top in edge order, each against the
+/// anti relation's cheapest access path.
+pub struct Optimizer<'a> {
+    pub catalog: &'a Catalog,
+    pub query: &'a QuerySpec,
+    pub model: &'a CostModel,
+    /// Join graph over the *inner* (non-anti) edges only.
+    graph: JoinGraph,
+    classes: ColClasses,
+    /// (edge index, anti relation) pairs, ascending by edge.
+    anti: Vec<(usize, RelIdx)>,
+    /// Bitmask of the inner-join core relations.
+    core_mask: u32,
+}
+
+impl<'a> Optimizer<'a> {
+    pub fn new(catalog: &'a Catalog, query: &'a QuerySpec, model: &'a CostModel) -> Self {
+        assert!(
+            query.num_relations() <= 16,
+            "DP enumeration limited to 16 relations"
+        );
+        // Identify anti relations: the side of each anti edge that touches
+        // no other edge (the NOT EXISTS subquery relation).
+        let degree = |r: RelIdx| {
+            query
+                .joins
+                .iter()
+                .filter(|j| j.left_rel == r || j.right_rel == r)
+                .count()
+        };
+        let mut anti = Vec::new();
+        let mut anti_rels: u32 = 0;
+        for (ji, j) in query.joins.iter().enumerate() {
+            if j.anti {
+                let rel = if degree(j.right_rel) == 1 {
+                    j.right_rel
+                } else if degree(j.left_rel) == 1 {
+                    j.left_rel
+                } else {
+                    panic!("anti-join relation must hang off a single edge");
+                };
+                anti.push((ji, rel));
+                anti_rels |= 1 << rel;
+            }
+        }
+        let core_mask = (((1u64 << query.num_relations()) - 1) as u32) & !anti_rels;
+        assert!(core_mask != 0, "query must have at least one inner relation");
+        let inner_edges: Vec<(usize, usize)> = query
+            .joins
+            .iter()
+            .filter(|j| !j.anti)
+            .map(|j| j.rels())
+            .collect();
+        let graph = JoinGraph::new(query.num_relations(), inner_edges);
+        assert!(
+            graph.is_subset_connected(core_mask),
+            "inner-join core must be connected"
+        );
+        Optimizer {
+            catalog,
+            query,
+            model,
+            graph,
+            classes: ColClasses::build(query),
+            anti,
+            core_mask,
+        }
+    }
+
+    fn coster(&self) -> Coster<'a> {
+        Coster::new(self.catalog, self.query, self.model)
+    }
+
+    /// Cross inner-join edges between disjoint subsets, ascending by index.
+    fn cross_edges(&self, a: u32, b: u32) -> Vec<usize> {
+        self.query
+            .joins
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !j.anti)
+            .filter(|(_, j)| {
+                let (l, r) = (1u32 << j.left_rel, 1u32 << j.right_rel);
+                (l & a != 0 && r & b != 0) || (l & b != 0 && r & a != 0)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Access-path entries for a single relation at location `q`.
+    fn access_paths(&self, rel: RelIdx, q: &[f64]) -> Vec<DpEntry> {
+        let c = self.coster();
+        let table = self.catalog.table_by_id(self.query.relations[rel].table);
+        let mut out = vec![DpEntry {
+            order: None,
+            op: EntryOp::SeqScan(rel),
+            est: c.seq_scan(rel, q),
+        }];
+        // Selection-driven index scans.
+        for (i, s) in self.query.relations[rel].selections.iter().enumerate() {
+            if table.index_on(s.column).is_some() {
+                out.push(DpEntry {
+                    order: self.classes.class_of(rel, s.column),
+                    op: EntryOp::IndexScan(rel, i),
+                    est: c.index_scan(rel, i, q),
+                });
+            }
+        }
+        // Order-producing full index scans on join columns.
+        let mut seen_classes = Vec::new();
+        for j in &self.query.joins {
+            if let Some(col) = j.col_on(rel) {
+                if let Some(cls) = self.classes.class_of(rel, col) {
+                    if !seen_classes.contains(&cls) && table.index_on(col).is_some() {
+                        seen_classes.push(cls);
+                        out.push(DpEntry {
+                            order: Some(cls),
+                            op: EntryOp::FullIndexScan(rel, col),
+                            est: c.full_index_scan(rel, q),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Keep only the cheapest entry per delivered order, and drop ordered
+    /// entries that cannot beat re-sorting the overall cheapest entry.
+    fn prune(&self, mut cands: Vec<DpEntry>) -> Vec<DpEntry> {
+        cands.sort_by(|a, b| a.est.cost.total_cmp(&b.est.cost));
+        let mut out: Vec<DpEntry> = Vec::new();
+        for e in cands {
+            if !out.iter().any(|kept| kept.order == e.order || kept.order.is_none() && {
+                // An unordered cheaper plan only dominates if adding an
+                // explicit sort still beats `e`.
+                let c = self.coster();
+                kept.est.cost + c.sort_cost(&kept.est) <= e.est.cost
+            }) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// Optimize the query at ESS location `q`; returns the cheapest plan.
+    pub fn optimize(&self, q: &[f64]) -> OptimizedPlan {
+        let n = self.query.num_relations();
+        let full: u32 = self.core_mask;
+        let c = self.coster();
+        let all: u32 = ((1u64 << n) - 1) as u32;
+        let mut memo: Vec<Vec<DpEntry>> = vec![Vec::new(); (all as usize) + 1];
+
+        for rel in 0..n {
+            memo[1usize << rel] = self.prune(self.access_paths(rel, q));
+        }
+
+        // DPsize over connected subsets of the inner-join core.
+        for mask in 1..=full {
+            if mask & !self.core_mask != 0 {
+                continue;
+            }
+            if mask.count_ones() < 2 || !self.graph.is_subset_connected(mask) {
+                continue;
+            }
+            let mut cands: Vec<DpEntry> = Vec::new();
+            // Enumerate unordered partitions {s1, s2}; orientation handled
+            // per operator below.
+            let mut s1 = (mask - 1) & mask;
+            while s1 != 0 {
+                let s2 = mask & !s1;
+                if s1 < s2
+                    && self.graph.is_subset_connected(s1)
+                    && self.graph.is_subset_connected(s2)
+                {
+                    let edges = self.cross_edges(s1, s2);
+                    if !edges.is_empty() {
+                        self.join_candidates(&c, &memo, s1, s2, &edges, q, &mut cands);
+                        self.join_candidates(&c, &memo, s2, s1, &edges, q, &mut cands);
+                    }
+                }
+                s1 = (s1 - 1) & mask;
+            }
+            memo[mask as usize] = self.prune(cands);
+        }
+
+        let best = memo[full as usize]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
+            .map(|(i, _)| i)
+            .expect("query join graph must be connected");
+        let mut root = self.build_tree(&memo, EntryRef { mask: full, idx: best });
+        let mut est = memo[full as usize][best].est;
+        // Apply anti-joins on top, each against the anti relation's
+        // cheapest access path.
+        for &(edge, rel) in &self.anti {
+            let right_entries = &memo[1usize << rel];
+            let ridx = right_entries
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
+                .map(|(i, _)| i)
+                .expect("anti relation has access paths");
+            let right = self.build_tree(
+                &memo,
+                EntryRef {
+                    mask: 1 << rel,
+                    idx: ridx,
+                },
+            );
+            est = c.anti_join(&est, &right_entries[ridx].est, &[edge], q);
+            root = PlanNode::AntiJoin {
+                left: Box::new(root),
+                right: Box::new(right),
+                edges: vec![edge],
+            };
+        }
+        // Aggregation, if the query groups.
+        if !self.query.group_by.is_empty() {
+            est = c.hash_aggregate(&est, q);
+            root = PlanNode::HashAggregate {
+                input: Box::new(root),
+            };
+        }
+        OptimizedPlan {
+            plan: PhysicalPlan::new(root),
+            cost: est.cost,
+            rows: est.rows,
+        }
+    }
+
+    /// Generate join candidates with `left_mask` as the left/outer/build side.
+    #[allow(clippy::too_many_arguments)]
+    fn join_candidates(
+        &self,
+        c: &Coster,
+        memo: &[Vec<DpEntry>],
+        left_mask: u32,
+        right_mask: u32,
+        edges: &[usize],
+        q: &[f64],
+        cands: &mut Vec<DpEntry>,
+    ) {
+        let lefts = &memo[left_mask as usize];
+        let rights = &memo[right_mask as usize];
+        if lefts.is_empty() || rights.is_empty() {
+            return;
+        }
+        let cheapest =
+            |entries: &[DpEntry]| -> usize {
+                entries
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            };
+        let li = cheapest(lefts);
+        let ri = cheapest(rights);
+        let lref = EntryRef { mask: left_mask, idx: li };
+        let rref = EntryRef { mask: right_mask, idx: ri };
+        let l = &lefts[li].est;
+        let r = &rights[ri].est;
+
+        // Hash join: left side builds.
+        cands.push(DpEntry {
+            order: None,
+            op: EntryOp::Hash {
+                build: lref,
+                probe: rref,
+                edges: edges.to_vec(),
+            },
+            est: c.hash_join(l, r, edges, q),
+        });
+
+        // Sort-merge join on the primary edge's class: try (cheapest +
+        // explicit sort) and (pre-ordered entry, no sort) on each side.
+        let merge_class = {
+            let j = &self.query.joins[edges[0]];
+            self.classes.class_of(j.left_rel, j.left_col)
+        };
+        if let Some(cls) = merge_class {
+            let pick = |entries: &[DpEntry]| -> Vec<(usize, bool)> {
+                let mut v = vec![(cheapest(entries), true)];
+                if let Some((i, _)) = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.order == Some(cls))
+                    .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
+                {
+                    v.push((i, false));
+                }
+                v
+            };
+            for (lidx, sort_l) in pick(lefts) {
+                for (ridx, sort_r) in pick(rights) {
+                    cands.push(DpEntry {
+                        order: Some(cls),
+                        op: EntryOp::Merge {
+                            left: EntryRef { mask: left_mask, idx: lidx },
+                            right: EntryRef { mask: right_mask, idx: ridx },
+                            edges: edges.to_vec(),
+                            sort_left: sort_l,
+                            sort_right: sort_r,
+                        },
+                        est: c.merge_join(
+                            &lefts[lidx].est,
+                            &rights[ridx].est,
+                            edges,
+                            q,
+                            sort_l,
+                            sort_r,
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Index nested-loops: right side must be a single base relation; the
+        // lookup key is the first cross edge. Preserves the outer's order, so
+        // every outer memo entry is a candidate.
+        if right_mask.count_ones() == 1 {
+            let inner_rel = right_mask.trailing_zeros() as usize;
+            let inner_table = self
+                .catalog
+                .table_by_id(self.query.relations[inner_rel].table);
+            let lookup_col = self.query.joins[edges[0]].col_on(inner_rel);
+            if lookup_col.is_some_and(|col| inner_table.index_on(col).is_some()) {
+                for (lidx, le) in lefts.iter().enumerate() {
+                    cands.push(DpEntry {
+                        order: le.order,
+                        op: EntryOp::Inl {
+                            outer: EntryRef { mask: left_mask, idx: lidx },
+                            inner_rel,
+                            edges: edges.to_vec(),
+                        },
+                        est: c.index_nl_join(&le.est, inner_rel, edges, q),
+                    });
+                }
+            }
+        }
+
+        // Block nested-loops (materialized inner).
+        cands.push(DpEntry {
+            order: None,
+            op: EntryOp::Bnl {
+                outer: lref,
+                inner: rref,
+                edges: edges.to_vec(),
+            },
+            est: c.block_nl_join(l, r, edges, q),
+        });
+    }
+
+    fn build_tree(&self, memo: &[Vec<DpEntry>], r: EntryRef) -> PlanNode {
+        let e = &memo[r.mask as usize][r.idx];
+        match &e.op {
+            EntryOp::SeqScan(rel) => PlanNode::SeqScan { rel: *rel },
+            EntryOp::IndexScan(rel, sel_idx) => PlanNode::IndexScan {
+                rel: *rel,
+                sel_idx: *sel_idx,
+            },
+            EntryOp::FullIndexScan(rel, col) => PlanNode::FullIndexScan {
+                rel: *rel,
+                column: *col,
+            },
+            EntryOp::Hash { build, probe, edges } => PlanNode::HashJoin {
+                build: Box::new(self.build_tree(memo, *build)),
+                probe: Box::new(self.build_tree(memo, *probe)),
+                edges: edges.clone(),
+            },
+            EntryOp::Merge {
+                left,
+                right,
+                edges,
+                sort_left,
+                sort_right,
+            } => PlanNode::SortMergeJoin {
+                left: Box::new(self.build_tree(memo, *left)),
+                right: Box::new(self.build_tree(memo, *right)),
+                edges: edges.clone(),
+                sort_left: *sort_left,
+                sort_right: *sort_right,
+            },
+            EntryOp::Inl {
+                outer,
+                inner_rel,
+                edges,
+            } => PlanNode::IndexNLJoin {
+                outer: Box::new(self.build_tree(memo, *outer)),
+                inner_rel: *inner_rel,
+                edges: edges.clone(),
+            },
+            EntryOp::Bnl { outer, inner, edges } => PlanNode::BlockNLJoin {
+                outer: Box::new(self.build_tree(memo, *outer)),
+                inner: Box::new(self.build_tree(memo, *inner)),
+                edges: edges.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn eq_query() -> (pb_catalog::Catalog, QuerySpec) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "eq");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        (cat.clone(), qb.build())
+    }
+
+    #[test]
+    fn optimizer_produces_complete_plan() {
+        let (cat, q) = eq_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let best = opt.optimize(&[0.01]);
+        assert_eq!(best.plan.root.rels_mask(), 0b111);
+        assert!(best.cost > 0.0 && best.cost.is_finite());
+        assert!(best.rows > 0.0);
+    }
+
+    #[test]
+    fn optimizer_cost_matches_abstract_recosting() {
+        let (cat, q) = eq_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let c = Coster::new(&cat, &q, &m);
+        for s in [1e-4, 1e-3, 1e-2, 0.1, 1.0] {
+            let best = opt.optimize(&[s]);
+            let recost = c.plan_cost(&best.plan.root, &[s]);
+            assert!(
+                (best.cost - recost).abs() < 1e-6 * best.cost,
+                "s={s}: dp={} recost={}",
+                best.cost,
+                recost
+            );
+        }
+    }
+
+    #[test]
+    fn plan_changes_across_the_selectivity_range() {
+        let (cat, q) = eq_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let lo = opt.optimize(&[1e-4]).plan.fingerprint();
+        let hi = opt.optimize(&[1.0]).plan.fingerprint();
+        assert_ne!(lo, hi, "POSP must contain more than one plan");
+    }
+
+    #[test]
+    fn optimization_is_deterministic() {
+        let (cat, q) = eq_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let a = opt.optimize(&[0.037]);
+        let b = opt.optimize(&[0.037]);
+        assert_eq!(a.plan.fingerprint(), b.plan.fingerprint());
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn optimal_cost_is_monotone_in_selectivity() {
+        let (cat, q) = eq_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let mut last = 0.0;
+        for i in 0..30 {
+            let s = 1e-4 * 1e4f64.powf(i as f64 / 29.0);
+            let cost = opt.optimize(&[s.min(1.0)]).cost;
+            assert!(
+                cost >= last * (1.0 - 1e-9),
+                "PIC not monotone at s={s}: {cost} < {last}"
+            );
+            last = cost;
+        }
+    }
+
+    /// Exhaustive cross-check on a 2-relation query: the DP optimum must not
+    /// be beaten by any hand-enumerable alternative.
+    #[test]
+    fn dp_beats_every_handwritten_two_way_plan() {
+        let cat = tpch::catalog(0.1);
+        let mut qb = QueryBuilder::new(&cat, "two");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        let q = qb.build();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let c = Coster::new(&cat, &q, &m);
+
+        let scans_p = vec![
+            PlanNode::SeqScan { rel: 0 },
+            PlanNode::IndexScan { rel: 0, sel_idx: 0 },
+        ];
+        let scans_l = vec![PlanNode::SeqScan { rel: 1 }];
+        for s in [1e-4, 0.01, 0.3, 1.0] {
+            let best = opt.optimize(&[s]);
+            let mut alternatives: Vec<PlanNode> = Vec::new();
+            for sp in &scans_p {
+                for sl in &scans_l {
+                    alternatives.push(PlanNode::HashJoin {
+                        build: Box::new(sp.clone()),
+                        probe: Box::new(sl.clone()),
+                        edges: vec![0],
+                    });
+                    alternatives.push(PlanNode::HashJoin {
+                        build: Box::new(sl.clone()),
+                        probe: Box::new(sp.clone()),
+                        edges: vec![0],
+                    });
+                    alternatives.push(PlanNode::SortMergeJoin {
+                        left: Box::new(sp.clone()),
+                        right: Box::new(sl.clone()),
+                        edges: vec![0],
+                        sort_left: true,
+                        sort_right: true,
+                    });
+                    alternatives.push(PlanNode::BlockNLJoin {
+                        outer: Box::new(sp.clone()),
+                        inner: Box::new(sl.clone()),
+                        edges: vec![0],
+                    });
+                }
+                alternatives.push(PlanNode::IndexNLJoin {
+                    outer: Box::new(sp.clone()),
+                    inner_rel: 1,
+                    edges: vec![0],
+                });
+            }
+            for alt in &alternatives {
+                let alt_cost = c.plan_cost(alt, &[s]);
+                assert!(
+                    best.cost <= alt_cost * (1.0 + 1e-9),
+                    "s={s}: DP {} beaten by {:?} at {}",
+                    best.cost,
+                    alt,
+                    alt_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_way_chain_optimizes_quickly_and_correctly() {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "chain5");
+        let r = qb.rel("region");
+        let n = qb.rel("nation");
+        let s = qb.rel("supplier");
+        let c_ = qb.rel("customer");
+        let o = qb.rel("orders");
+        qb.join(r, "r_regionkey", n, "n_regionkey", SelSpec::Fixed(0.2));
+        qb.join(n, "n_nationkey", s, "s_nationkey", SelSpec::ErrorProne(0));
+        qb.join(s, "s_nationkey", c_, "c_nationkey", SelSpec::ErrorProne(1));
+        qb.join(c_, "c_custkey", o, "o_custkey", SelSpec::Fixed(1.0 / 150_000.0));
+        let q = qb.build();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let best = opt.optimize(&[0.01, 0.001]);
+        assert_eq!(best.plan.root.rels_mask(), 0b11111);
+        assert!(best.cost.is_finite());
+    }
+}
+
+#[cfg(test)]
+mod agg_tests {
+    use super::*;
+    use pb_catalog::tpch;
+    use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+    fn agg_query() -> (pb_catalog::Catalog, QuerySpec) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "agg");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.group_by(p, "p_brand");
+        (cat.clone(), qb.build())
+    }
+
+    #[test]
+    fn aggregate_appears_at_the_root_only() {
+        let (cat, q) = agg_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let best = opt.optimize(&[0.01]);
+        assert!(matches!(best.plan.root, PlanNode::HashAggregate { .. }));
+        let mut agg_count = 0;
+        best.plan.root.visit(&mut |n| {
+            if matches!(n, PlanNode::HashAggregate { .. }) {
+                agg_count += 1;
+            }
+        });
+        assert_eq!(agg_count, 1);
+        // Output cardinality is bounded by the grouping column's NDV (25).
+        assert!(best.rows <= 25.0 + 1e-9, "rows = {}", best.rows);
+    }
+
+    #[test]
+    fn aggregate_cost_stays_monotone_and_recostable() {
+        let (cat, q) = agg_query();
+        let m = CostModel::postgresish();
+        let opt = Optimizer::new(&cat, &q, &m);
+        let c = Coster::new(&cat, &q, &m);
+        let mut last = 0.0;
+        for i in 0..12 {
+            let s = 1e-4 * 1e4f64.powf(i as f64 / 11.0);
+            let best = opt.optimize(&[s.min(1.0)]);
+            assert!(best.cost >= last * (1.0 - 1e-9), "PCM with aggregate");
+            last = best.cost;
+            let recost = c.plan_cost(&best.plan.root, &[s.min(1.0)]);
+            assert!((recost - best.cost).abs() < 1e-6 * best.cost);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Select-project-join query specifications with error-prone selectivities.
+
+use pb_catalog::{Catalog, ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+
+use crate::graph::JoinGraph;
+
+/// Index of a relation within a [`QuerySpec`] (not a catalog table id — the
+/// same table may appear under several aliases).
+pub type RelIdx = usize;
+
+/// Index of an error-prone selectivity dimension within the query's ESS.
+pub type DimId = usize;
+
+/// How a predicate's selectivity is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelSpec {
+    /// Trusted compile-time estimate (error-free dimension).
+    Fixed(f64),
+    /// Error-prone: the value is an ESS coordinate, injected at run time.
+    /// This is the paper's "selectivity injection" (Section 4.2).
+    ErrorProne(DimId),
+    /// Error-prone with a *reversed* axis: the predicate's actual
+    /// selectivity is `pivot / coordinate`, so a plan cost that decreases
+    /// with the raw selectivity (existential operators — paper, Section 2)
+    /// becomes increasing in the ESS coordinate. This is the paper's
+    /// "(1 − s) instead of s on the selectivity axes" remedy, realized
+    /// geometrically (the grids are log-scale, so the reflection is
+    /// multiplicative).
+    Flipped { dim: DimId, pivot: f64 },
+}
+
+impl SelSpec {
+    /// Resolve against an ESS location `q` (absolute selectivities per dim).
+    #[inline]
+    pub fn resolve(&self, q: &[f64]) -> f64 {
+        match *self {
+            SelSpec::Fixed(s) => s,
+            SelSpec::ErrorProne(d) => q[d],
+            SelSpec::Flipped { dim, pivot } => (pivot / q[dim]).clamp(0.0, 1.0),
+        }
+    }
+
+    pub fn error_dim(&self) -> Option<DimId> {
+        match *self {
+            SelSpec::Fixed(_) => None,
+            SelSpec::ErrorProne(d) => Some(d),
+            SelSpec::Flipped { dim, .. } => Some(dim),
+        }
+    }
+}
+
+/// Comparison operator of a selection predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Lt,
+    Gt,
+    /// `lo <= col <= hi`; the engine uses `constant` as `hi` and
+    /// `constant2` as `lo`.
+    Between,
+}
+
+/// A selection predicate `column op constant` on a base relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionPredicate {
+    pub column: ColumnId,
+    pub op: CmpOp,
+    pub constant: f64,
+    pub constant2: f64,
+    pub selectivity: SelSpec,
+}
+
+/// An equi-join predicate `left.col = right.col` between two relations.
+///
+/// With `anti == true` the edge is a NOT EXISTS (anti-join): the left side
+/// keeps the tuples with *no* match on the right. The selectivity parameter
+/// is still the match density `|matches| / (|L|·|R|)`, but the operator's
+/// output — and hence downstream cost — *decreases* as it grows: the
+/// PCM-breaking case of the paper's Section 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinPredicate {
+    pub left_rel: RelIdx,
+    pub left_col: ColumnId,
+    pub right_rel: RelIdx,
+    pub right_col: ColumnId,
+    pub selectivity: SelSpec,
+    #[serde(default)]
+    pub anti: bool,
+}
+
+impl JoinPredicate {
+    /// The two relations this edge connects.
+    pub fn rels(&self) -> (RelIdx, RelIdx) {
+        (self.left_rel, self.right_rel)
+    }
+
+    /// The join column on relation `rel`, if the edge touches it.
+    pub fn col_on(&self, rel: RelIdx) -> Option<ColumnId> {
+        if self.left_rel == rel {
+            Some(self.left_col)
+        } else if self.right_rel == rel {
+            Some(self.right_col)
+        } else {
+            None
+        }
+    }
+}
+
+/// A base-relation occurrence in the query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationRef {
+    pub table: TableId,
+    pub alias: String,
+    pub selections: Vec<SelectionPredicate>,
+}
+
+/// A select-project-join query with designated error-prone selectivities,
+/// optionally aggregated (`GROUP BY` + COUNT) at the top.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    pub name: String,
+    pub relations: Vec<RelationRef>,
+    pub joins: Vec<JoinPredicate>,
+    /// Number of error-prone dimensions (D of the ESS).
+    pub num_dims: usize,
+    /// Grouping columns; empty = no aggregation. The optimizer places a
+    /// hash aggregate above the join tree when non-empty.
+    #[serde(default)]
+    pub group_by: Vec<(RelIdx, ColumnId)>,
+}
+
+impl QuerySpec {
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The join graph over relation indices.
+    pub fn join_graph(&self) -> JoinGraph {
+        JoinGraph::new(
+            self.relations.len(),
+            self.joins.iter().map(|j| j.rels()).collect(),
+        )
+    }
+
+    /// All predicates (selections and joins) tagged with the given error dim.
+    /// Returns `(rel, Some(sel_idx))` for selections and the joining rels for
+    /// join predicates via `JoinDimRef`.
+    pub fn dims_of_joins(&self) -> Vec<Option<DimId>> {
+        self.joins.iter().map(|j| j.selectivity.error_dim()).collect()
+    }
+
+    /// Whether dimension `d` is referenced by any predicate (sanity check).
+    pub fn references_dim(&self, d: DimId) -> bool {
+        self.joins
+            .iter()
+            .any(|j| j.selectivity.error_dim() == Some(d))
+            || self.relations.iter().any(|r| {
+                r.selections
+                    .iter()
+                    .any(|s| s.selectivity.error_dim() == Some(d))
+            })
+    }
+
+    /// Validate internal consistency against a catalog; panics on structural
+    /// errors (used by workload constructors and tests).
+    pub fn validate(&self, catalog: &Catalog) {
+        assert!(!self.relations.is_empty(), "query has no relations");
+        for (i, r) in self.relations.iter().enumerate() {
+            let t = catalog.table_by_id(r.table);
+            for s in &r.selections {
+                assert_eq!(
+                    s.column.table, r.table,
+                    "selection on rel {i} references a foreign table"
+                );
+                assert!(
+                    (s.column.column as usize) < t.columns.len(),
+                    "selection column out of range"
+                );
+            }
+        }
+        for j in &self.joins {
+            assert!(j.left_rel < self.relations.len() && j.right_rel < self.relations.len());
+            assert_ne!(j.left_rel, j.right_rel, "self-join edge");
+            assert_eq!(j.left_col.table, self.relations[j.left_rel].table);
+            assert_eq!(j.right_col.table, self.relations[j.right_rel].table);
+        }
+        assert!(
+            self.join_graph().is_connected(),
+            "join graph must be connected"
+        );
+        for d in 0..self.num_dims {
+            assert!(self.references_dim(d), "dimension {d} unused");
+        }
+    }
+}
+
+/// Convenience builder used by the workload definitions.
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    spec: QuerySpec,
+}
+
+impl<'a> QueryBuilder<'a> {
+    pub fn new(catalog: &'a Catalog, name: impl Into<String>) -> Self {
+        QueryBuilder {
+            catalog,
+            spec: QuerySpec {
+                name: name.into(),
+                relations: Vec::new(),
+                joins: Vec::new(),
+                num_dims: 0,
+                group_by: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a base relation by table name; the alias defaults to the name.
+    pub fn rel(&mut self, table: &str) -> RelIdx {
+        self.rel_aliased(table, table)
+    }
+
+    pub fn rel_aliased(&mut self, table: &str, alias: &str) -> RelIdx {
+        let t = self
+            .catalog
+            .table(table)
+            .unwrap_or_else(|| panic!("unknown table {table}"));
+        self.spec.relations.push(RelationRef {
+            table: t.id,
+            alias: alias.to_string(),
+            selections: Vec::new(),
+        });
+        self.spec.relations.len() - 1
+    }
+
+    /// Add a selection predicate on `rel.column`.
+    pub fn select(
+        &mut self,
+        rel: RelIdx,
+        column: &str,
+        op: CmpOp,
+        constant: f64,
+        sel: SelSpec,
+    ) -> &mut Self {
+        let table = self.spec.relations[rel].table;
+        let col = self
+            .catalog
+            .table_by_id(table)
+            .column(column)
+            .unwrap_or_else(|| panic!("unknown column {column}"))
+            .id;
+        self.track_dim(sel);
+        self.spec.relations[rel].selections.push(SelectionPredicate {
+            column: col,
+            op,
+            constant,
+            // Unused except by CmpOp::Between (see `select_between`); kept
+            // finite so plans serialize cleanly to JSON.
+            constant2: f64::MIN,
+            selectivity: sel,
+        });
+        self
+    }
+
+    /// Aggregate the result, grouping on `rel.column` (COUNT per group).
+    pub fn group_by(&mut self, rel: RelIdx, column: &str) -> &mut Self {
+        let table = self.spec.relations[rel].table;
+        let col = self
+            .catalog
+            .table_by_id(table)
+            .column(column)
+            .unwrap_or_else(|| panic!("unknown column {column}"))
+            .id;
+        self.spec.group_by.push((rel, col));
+        self
+    }
+
+    /// Add a range predicate `lo <= rel.column <= hi`.
+    pub fn select_between(
+        &mut self,
+        rel: RelIdx,
+        column: &str,
+        lo: f64,
+        hi: f64,
+        sel: SelSpec,
+    ) -> &mut Self {
+        let table = self.spec.relations[rel].table;
+        let col = self
+            .catalog
+            .table_by_id(table)
+            .column(column)
+            .unwrap_or_else(|| panic!("unknown column {column}"))
+            .id;
+        self.track_dim(sel);
+        self.spec.relations[rel].selections.push(SelectionPredicate {
+            column: col,
+            op: CmpOp::Between,
+            constant: hi,
+            constant2: lo,
+            selectivity: sel,
+        });
+        self
+    }
+
+    /// Add an equi-join edge `l.lcol = r.rcol`.
+    pub fn join(
+        &mut self,
+        l: RelIdx,
+        lcol: &str,
+        r: RelIdx,
+        rcol: &str,
+        sel: SelSpec,
+    ) -> &mut Self {
+        let lcid = self
+            .catalog
+            .table_by_id(self.spec.relations[l].table)
+            .column(lcol)
+            .unwrap_or_else(|| panic!("unknown column {lcol}"))
+            .id;
+        let rcid = self
+            .catalog
+            .table_by_id(self.spec.relations[r].table)
+            .column(rcol)
+            .unwrap_or_else(|| panic!("unknown column {rcol}"))
+            .id;
+        self.track_dim(sel);
+        self.spec.joins.push(JoinPredicate {
+            left_rel: l,
+            left_col: lcid,
+            right_rel: r,
+            right_col: rcid,
+            selectivity: sel,
+            anti: false,
+        });
+        self
+    }
+
+    /// Add an anti-join edge: keep `l` rows with no `r` match on
+    /// `l.lcol = r.rcol` (NOT EXISTS). The relation `r` must hang off the
+    /// query exclusively through this edge.
+    pub fn anti_join(
+        &mut self,
+        l: RelIdx,
+        lcol: &str,
+        r: RelIdx,
+        rcol: &str,
+        sel: SelSpec,
+    ) -> &mut Self {
+        self.join(l, lcol, r, rcol, sel);
+        self.spec.joins.last_mut().unwrap().anti = true;
+        self
+    }
+
+    fn track_dim(&mut self, sel: SelSpec) {
+        if let Some(d) = sel.error_dim() {
+            self.spec.num_dims = self.spec.num_dims.max(d + 1);
+        }
+    }
+
+    /// Rewrite every predicate's selectivity spec (used by the axis-flip
+    /// remedy for PCM-violating dimensions).
+    pub fn rewrite_specs(spec: &mut QuerySpec, f: impl Fn(&SelSpec) -> SelSpec) {
+        for r in &mut spec.relations {
+            for s in &mut r.selections {
+                s.selectivity = f(&s.selectivity);
+            }
+        }
+        for j in &mut spec.joins {
+            j.selectivity = f(&j.selectivity);
+        }
+    }
+
+    /// Finish, validating against the catalog.
+    pub fn build(self) -> QuerySpec {
+        self.spec.validate(self.catalog);
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_catalog::tpch;
+
+    fn three_way() -> (Catalog, QuerySpec) {
+        let cat = tpch::catalog(0.1);
+        let mut qb = QueryBuilder::new(&cat, "eq");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        (cat, q)
+    }
+
+    #[test]
+    fn builder_produces_connected_query() {
+        let (_, q) = three_way();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.num_dims, 1);
+        assert!(q.join_graph().is_connected());
+    }
+
+    #[test]
+    fn selspec_resolution() {
+        let q = [0.25, 0.5];
+        assert_eq!(SelSpec::Fixed(0.1).resolve(&q), 0.1);
+        assert_eq!(SelSpec::ErrorProne(1).resolve(&q), 0.5);
+        assert_eq!(SelSpec::ErrorProne(0).error_dim(), Some(0));
+        assert_eq!(SelSpec::Fixed(0.1).error_dim(), None);
+    }
+
+    #[test]
+    fn references_dim_sees_selections_and_joins() {
+        let (_, q) = three_way();
+        assert!(q.references_dim(0));
+        assert!(!q.references_dim(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_join_graph_rejected() {
+        let cat = tpch::catalog(0.1);
+        let mut qb = QueryBuilder::new(&cat, "bad");
+        let _p = qb.rel("part");
+        let _l = qb.rel("lineitem");
+        qb.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_rejected() {
+        let cat = tpch::catalog(0.1);
+        let mut qb = QueryBuilder::new(&cat, "bad");
+        let p = qb.rel("part");
+        qb.select(p, "no_such_col", CmpOp::Lt, 0.0, SelSpec::Fixed(0.1));
+    }
+
+    #[test]
+    fn join_predicate_col_on() {
+        let (_, q) = three_way();
+        let j = &q.joins[0];
+        assert!(j.col_on(j.left_rel).is_some());
+        assert!(j.col_on(99).is_none());
+    }
+}

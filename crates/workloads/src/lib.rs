@@ -1,0 +1,26 @@
+//! The paper's benchmark error-selectivity spaces (Table 2).
+//!
+//! Queries are named `xD_y_Qz`: `x` error-prone dimensions, `y` the
+//! benchmark (H = TPC-H at 1 GB, DS = TPC-DS at 100 GB), `z` the benchmark
+//! query number. Each constructor reproduces the paper's join-graph geometry
+//! (chain / star / branch with the stated relation count) and declares the
+//! same number of error-prone join-selectivity dimensions; the ESS ranges
+//! are calibrated so the cost gradient C_max/C_min is in the neighbourhood
+//! of the paper's Table 2 values.
+//!
+//! Also provided: the 1D introductory example `EQ` (Figures 1–4), the
+//! run-time experiment query `2D_H_Q8A` (Table 3), and the commercial-engine
+//! variants `3D_H_Q5B` / `4D_H_Q8B` whose error dimensions are selection
+//! predicates (Section 6.8).
+
+pub mod from_sql;
+pub mod random;
+pub mod registry;
+pub mod tpcds_queries;
+pub mod tpch_queries;
+
+pub use from_sql::{derive_ess, workload_from_sql};
+pub use random::{random_workload, RandomConfig};
+pub use registry::{benchmark_suite, by_name, specs, WorkloadSpec};
+pub use tpcds_queries::*;
+pub use tpch_queries::*;

@@ -1,0 +1,100 @@
+//! Registry of the benchmark suite (the paper's Table 2) plus auxiliary
+//! workloads, addressable by name.
+
+use pb_bouquet::Workload;
+use pb_plan::GraphShape;
+
+use crate::{tpcds_queries::*, tpch_queries::*};
+
+/// Static description of one Table 2 entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    pub name: &'static str,
+    pub shape: GraphShape,
+    pub relations: usize,
+    pub dims: usize,
+    /// The paper's reported C_max/C_min (Table 2) — our calibration target.
+    pub paper_cost_ratio: f64,
+}
+
+/// The ten benchmark error spaces of Table 2, in the paper's order.
+pub fn specs() -> Vec<WorkloadSpec> {
+    use GraphShape::*;
+    vec![
+        WorkloadSpec { name: "3D_H_Q5", shape: Chain, relations: 6, dims: 3, paper_cost_ratio: 16.0 },
+        WorkloadSpec { name: "3D_H_Q7", shape: Chain, relations: 6, dims: 3, paper_cost_ratio: 5.0 },
+        WorkloadSpec { name: "4D_H_Q8", shape: Branch, relations: 8, dims: 4, paper_cost_ratio: 28.0 },
+        WorkloadSpec { name: "5D_H_Q7", shape: Chain, relations: 6, dims: 5, paper_cost_ratio: 50.0 },
+        WorkloadSpec { name: "3D_DS_Q15", shape: Chain, relations: 4, dims: 3, paper_cost_ratio: 668.0 },
+        WorkloadSpec { name: "3D_DS_Q96", shape: Star, relations: 4, dims: 3, paper_cost_ratio: 185.0 },
+        WorkloadSpec { name: "4D_DS_Q7", shape: Star, relations: 5, dims: 4, paper_cost_ratio: 283.0 },
+        WorkloadSpec { name: "4D_DS_Q26", shape: Star, relations: 5, dims: 4, paper_cost_ratio: 341.0 },
+        WorkloadSpec { name: "4D_DS_Q91", shape: Branch, relations: 7, dims: 4, paper_cost_ratio: 149.0 },
+        WorkloadSpec { name: "5D_DS_Q19", shape: Branch, relations: 6, dims: 5, paper_cost_ratio: 183.0 },
+    ]
+}
+
+/// Instantiate the full Table 2 suite.
+pub fn benchmark_suite() -> Vec<Workload> {
+    vec![
+        h_q5_3d(),
+        h_q7_3d(),
+        h_q8_4d(),
+        h_q7_5d(),
+        ds_q15_3d(),
+        ds_q96_3d(),
+        ds_q7_4d(),
+        ds_q26_4d(),
+        ds_q91_4d(),
+        ds_q19_5d(),
+    ]
+}
+
+/// Look up any workload (benchmark suite + auxiliaries) by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    match name {
+        "EQ_1D" => Some(eq_1d()),
+        "2D_H_Q8A" => Some(h_q8a_2d(0.01)),
+        "3D_H_Q5" => Some(h_q5_3d()),
+        "3D_H_Q7" => Some(h_q7_3d()),
+        "4D_H_Q8" => Some(h_q8_4d()),
+        "5D_H_Q7" => Some(h_q7_5d()),
+        "3D_DS_Q15" => Some(ds_q15_3d()),
+        "3D_DS_Q96" => Some(ds_q96_3d()),
+        "4D_DS_Q7" => Some(ds_q7_4d()),
+        "4D_DS_Q26" => Some(ds_q26_4d()),
+        "4D_DS_Q91" => Some(ds_q91_4d()),
+        "5D_DS_Q19" => Some(ds_q19_5d()),
+        "ANTI_2D" => Some(anti_2d()),
+        "3D_H_Q5B" => Some(h_q5b_3d_com()),
+        "4D_H_Q8B" => Some(h_q8b_4d_com()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_specs() {
+        let suite = benchmark_suite();
+        let specs = specs();
+        assert_eq!(suite.len(), specs.len());
+        for (w, s) in suite.iter().zip(&specs) {
+            assert_eq!(w.name, s.name);
+            assert_eq!(w.query.join_graph().shape(), s.shape, "{}", s.name);
+            assert_eq!(w.query.num_relations(), s.relations, "{}", s.name);
+            assert_eq!(w.d(), s.dims, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_all_specs() {
+        for s in specs() {
+            assert!(by_name(s.name).is_some(), "{} missing", s.name);
+        }
+        assert!(by_name("EQ_1D").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! TPC-DS based error spaces (100 GB scale, per the paper).
+
+use pb_bouquet::Workload;
+use pb_catalog::tpcds;
+use pb_cost::{CostModel, Ess};
+use pb_plan::{QueryBuilder, SelSpec};
+
+use crate::tpch_queries::{default_resolution, join_dim};
+
+const DS_SCALE: f64 = 100.0;
+
+/// 3D_DS_Q15 — chain(4): date_dim–catalog_sales–customer–customer_address,
+/// all three joins error-prone (Table 2: C_max/C_min ≈ 668).
+pub fn ds_q15_3d() -> Workload {
+    let cat = tpcds::catalog(DS_SCALE);
+    let mut qb = QueryBuilder::new(&cat, "3D_DS_Q15");
+    let d = qb.rel("date_dim");
+    let cs = qb.rel("catalog_sales");
+    let c = qb.rel("customer");
+    let ca = qb.rel("customer_address");
+    qb.join(d, "d_date_sk", cs, "cs_sold_date_sk", SelSpec::ErrorProne(0));
+    qb.join(cs, "cs_bill_customer_sk", c, "c_customer_sk", SelSpec::ErrorProne(1));
+    qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", SelSpec::ErrorProne(2));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("d⋈cs", &cat, "date_dim", 4.0),
+            join_dim("cs⋈c", &cat, "customer", 4.0),
+            join_dim("c⋈ca", &cat, "customer_address", 4.0),
+        ],
+        default_resolution(3),
+    );
+    Workload::new("3D_DS_Q15", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 3D_DS_Q96 — star(4): store_sales hub with date_dim,
+/// household_demographics and store (Table 2: C_max/C_min ≈ 185).
+pub fn ds_q96_3d() -> Workload {
+    let cat = tpcds::catalog(DS_SCALE);
+    let mut qb = QueryBuilder::new(&cat, "3D_DS_Q96");
+    let ss = qb.rel("store_sales");
+    let d = qb.rel("date_dim");
+    let hd = qb.rel("household_demographics");
+    let s = qb.rel("store");
+    qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(0));
+    qb.join(ss, "ss_hdemo_sk", hd, "hd_demo_sk", SelSpec::ErrorProne(1));
+    qb.join(ss, "ss_store_sk", s, "s_store_sk", SelSpec::ErrorProne(2));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("ss⋈d", &cat, "date_dim", 4.0),
+            join_dim("ss⋈hd", &cat, "household_demographics", 4.0),
+            join_dim("ss⋈s", &cat, "store", 4.0),
+        ],
+        default_resolution(3),
+    );
+    Workload::new("3D_DS_Q96", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 4D_DS_Q7 — star(5): store_sales hub with customer_demographics,
+/// date_dim, item and promotion (Table 2: C_max/C_min ≈ 283).
+pub fn ds_q7_4d() -> Workload {
+    let cat = tpcds::catalog(DS_SCALE);
+    let mut qb = QueryBuilder::new(&cat, "4D_DS_Q7");
+    let ss = qb.rel("store_sales");
+    let cd = qb.rel("customer_demographics");
+    let d = qb.rel("date_dim");
+    let i = qb.rel("item");
+    let p = qb.rel("promotion");
+    qb.join(ss, "ss_cdemo_sk", cd, "cd_demo_sk", SelSpec::ErrorProne(0));
+    qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(1));
+    qb.join(ss, "ss_item_sk", i, "i_item_sk", SelSpec::ErrorProne(2));
+    qb.join(ss, "ss_promo_sk", p, "p_promo_sk", SelSpec::ErrorProne(3));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("ss⋈cd", &cat, "customer_demographics", 4.0),
+            join_dim("ss⋈d", &cat, "date_dim", 4.0),
+            join_dim("ss⋈i", &cat, "item", 4.0),
+            join_dim("ss⋈p", &cat, "promotion", 4.0),
+        ],
+        default_resolution(4),
+    );
+    Workload::new("4D_DS_Q7", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 4D_DS_Q26 — star(5): catalog_sales hub with customer_demographics,
+/// date_dim, item and promotion (Table 2: C_max/C_min ≈ 341).
+pub fn ds_q26_4d() -> Workload {
+    let cat = tpcds::catalog(DS_SCALE);
+    let mut qb = QueryBuilder::new(&cat, "4D_DS_Q26");
+    let cs = qb.rel("catalog_sales");
+    let cd = qb.rel("customer_demographics");
+    let d = qb.rel("date_dim");
+    let i = qb.rel("item");
+    let p = qb.rel("promotion");
+    qb.join(cs, "cs_bill_cdemo_sk", cd, "cd_demo_sk", SelSpec::ErrorProne(0));
+    qb.join(cs, "cs_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(1));
+    qb.join(cs, "cs_item_sk", i, "i_item_sk", SelSpec::ErrorProne(2));
+    qb.join(cs, "cs_promo_sk", p, "p_promo_sk", SelSpec::ErrorProne(3));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("cs⋈cd", &cat, "customer_demographics", 4.0),
+            join_dim("cs⋈d", &cat, "date_dim", 4.0),
+            join_dim("cs⋈i", &cat, "item", 4.0),
+            join_dim("cs⋈p", &cat, "promotion", 4.0),
+        ],
+        default_resolution(4),
+    );
+    Workload::new("4D_DS_Q26", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 4D_DS_Q91 — branch(7): catalog_returns joined to call_center and
+/// date_dim, customer joined to address/demographics branches
+/// (Table 2: C_max/C_min ≈ 149).
+pub fn ds_q91_4d() -> Workload {
+    let cat = tpcds::catalog(DS_SCALE);
+    let mut qb = QueryBuilder::new(&cat, "4D_DS_Q91");
+    let cr = qb.rel("catalog_returns");
+    let cc = qb.rel("call_center");
+    let d = qb.rel("date_dim");
+    let c = qb.rel("customer");
+    let ca = qb.rel("customer_address");
+    let cd = qb.rel("customer_demographics");
+    let hd = qb.rel("household_demographics");
+    qb.join(cr, "cr_item_sk", cc, "cc_call_center_sk", SelSpec::Fixed(1.0 / 30.0));
+    qb.join(cr, "cr_returned_date_sk", d, "d_date_sk", SelSpec::ErrorProne(0));
+    qb.join(cr, "cr_returning_customer_sk", c, "c_customer_sk", SelSpec::ErrorProne(1));
+    qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", SelSpec::ErrorProne(2));
+    qb.join(c, "c_current_cdemo_sk", cd, "cd_demo_sk", SelSpec::ErrorProne(3));
+    qb.join(c, "c_current_hdemo_sk", hd, "hd_demo_sk", SelSpec::Fixed(1.0 / 7200.0));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("cr⋈d", &cat, "date_dim", 4.0),
+            join_dim("cr⋈c", &cat, "customer", 4.0),
+            join_dim("c⋈ca", &cat, "customer_address", 4.0),
+            join_dim("c⋈cd", &cat, "customer_demographics", 4.0),
+        ],
+        default_resolution(4),
+    );
+    Workload::new("4D_DS_Q91", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 5D_DS_Q19 — branch(6): store_sales hub (date_dim, item, store, customer)
+/// with a customer–customer_address tail; all five joins error-prone
+/// (Table 2: C_max/C_min ≈ 183). The paper's flagship example: NAT's MSO of
+/// ~10⁶ collapses to ~10 under the bouquet.
+pub fn ds_q19_5d() -> Workload {
+    let cat = tpcds::catalog(DS_SCALE);
+    let mut qb = QueryBuilder::new(&cat, "5D_DS_Q19");
+    let ss = qb.rel("store_sales");
+    let d = qb.rel("date_dim");
+    let i = qb.rel("item");
+    let c = qb.rel("customer");
+    let ca = qb.rel("customer_address");
+    let s = qb.rel("store");
+    qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(0));
+    qb.join(ss, "ss_item_sk", i, "i_item_sk", SelSpec::ErrorProne(1));
+    qb.join(ss, "ss_customer_sk", c, "c_customer_sk", SelSpec::ErrorProne(2));
+    qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", SelSpec::ErrorProne(3));
+    qb.join(ss, "ss_store_sk", s, "s_store_sk", SelSpec::ErrorProne(4));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("ss⋈d", &cat, "date_dim", 4.0),
+            join_dim("ss⋈i", &cat, "item", 4.0),
+            join_dim("ss⋈c", &cat, "customer", 4.0),
+            join_dim("c⋈ca", &cat, "customer_address", 4.0),
+            join_dim("ss⋈s", &cat, "store", 4.0),
+        ],
+        default_resolution(5),
+    );
+    Workload::new("5D_DS_Q19", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_plan::GraphShape;
+
+    #[test]
+    fn join_graph_geometries_match_table2() {
+        assert_eq!(ds_q15_3d().query.join_graph().shape(), GraphShape::Chain);
+        assert_eq!(ds_q15_3d().query.num_relations(), 4);
+        assert_eq!(ds_q96_3d().query.join_graph().shape(), GraphShape::Star);
+        assert_eq!(ds_q96_3d().query.num_relations(), 4);
+        assert_eq!(ds_q7_4d().query.join_graph().shape(), GraphShape::Star);
+        assert_eq!(ds_q7_4d().query.num_relations(), 5);
+        assert_eq!(ds_q26_4d().query.join_graph().shape(), GraphShape::Star);
+        assert_eq!(ds_q26_4d().query.num_relations(), 5);
+        assert_eq!(ds_q91_4d().query.join_graph().shape(), GraphShape::Branch);
+        assert_eq!(ds_q91_4d().query.num_relations(), 7);
+        assert_eq!(ds_q19_5d().query.join_graph().shape(), GraphShape::Branch);
+        assert_eq!(ds_q19_5d().query.num_relations(), 6);
+    }
+
+    #[test]
+    fn dimensionalities_match_names() {
+        assert_eq!(ds_q15_3d().d(), 3);
+        assert_eq!(ds_q96_3d().d(), 3);
+        assert_eq!(ds_q7_4d().d(), 4);
+        assert_eq!(ds_q26_4d().d(), 4);
+        assert_eq!(ds_q91_4d().d(), 4);
+        assert_eq!(ds_q19_5d().d(), 5);
+    }
+}

@@ -1,0 +1,327 @@
+//! TPC-H based error spaces.
+
+use pb_bouquet::Workload;
+use pb_catalog::{tpch, Catalog};
+use pb_cost::{CostModel, Ess, EssDim};
+use pb_plan::{CmpOp, QueryBuilder, SelSpec};
+
+/// Grid resolutions per dimensionality (exhaustive ground truth stays cheap).
+pub fn default_resolution(dims: usize) -> usize {
+    match dims {
+        1 => 100,
+        2 => 48,
+        3 => 20,
+        4 => 11,
+        _ => 7,
+    }
+}
+
+/// An error-prone join dimension spanning `decades` decades below the
+/// maximum legal join selectivity `1 / |PK relation|` (Section 4.1).
+pub(crate) fn join_dim(name: &str, catalog: &Catalog, pk_table: &str, decades: f64) -> EssDim {
+    let hi = (1.0 / catalog.table(pk_table).unwrap().rows).min(1.0);
+    EssDim::new(name, hi / 10f64.powf(decades), hi)
+}
+
+/// The paper's introductory example EQ (Figure 1): part ⋈ lineitem ⋈ orders
+/// with an error-prone selection on p_retailprice. One dimension spanning
+/// 0.01%–100%, as in the paper's Figures 2–4.
+pub fn eq_1d() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "EQ");
+    let p = qb.rel("part");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+    qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![EssDim::new("p_retailprice", 1e-4, 1.0)],
+        default_resolution(1),
+    );
+    Workload::new("EQ_1D", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// The run-time experiment query of Section 6.7 / Table 3: a 2D join error
+/// space on a part–lineitem–orders chain. Built at a reduced scale factor so
+/// the tuple engine (`pb-engine`) can execute it end to end.
+///
+/// The ESS upper bounds deliberately exceed the PK–FK reciprocal cap: the
+/// experiment's generated data duplicates the "key" columns (the AVI
+/// violation that manufactures the under-estimate), so actual join
+/// selectivities can legally rise well above `1/|PK relation|`.
+pub fn h_q8a_2d(scale: f64) -> Workload {
+    let cat = tpch::catalog(scale);
+    let mut qb = QueryBuilder::new(&cat, "2D_H_Q8A");
+    let p = qb.rel("part");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    qb.select(p, "p_retailprice", CmpOp::Lt, 1100.0, SelSpec::Fixed(200.0 / 1199.0));
+    qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(1));
+    let query = qb.build();
+    let hi0 = (50.0 / cat.table("part").unwrap().rows).min(1.0);
+    let hi1 = (100.0 / cat.table("orders").unwrap().rows).min(1.0);
+    let ess = Ess::uniform(
+        vec![
+            EssDim::new("p⋈l", hi0 / 10f64.powf(3.5), hi0),
+            EssDim::new("l⋈o", hi1 / 10f64.powf(3.5), hi1),
+        ],
+        default_resolution(2),
+    );
+    Workload::new("2D_H_Q8A", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 3D_H_Q5 — chain(6): region–nation–supplier–lineitem–orders–customer,
+/// three error-prone join selectivities (Table 2: C_max/C_min ≈ 16).
+pub fn h_q5_3d() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "3D_H_Q5");
+    let r = qb.rel("region");
+    let n = qb.rel("nation");
+    let s = qb.rel("supplier");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    let c = qb.rel("customer");
+    qb.join(r, "r_regionkey", n, "n_regionkey", SelSpec::Fixed(0.2));
+    qb.join(n, "n_nationkey", s, "s_nationkey", SelSpec::Fixed(0.04));
+    qb.join(s, "s_suppkey", l, "l_suppkey", SelSpec::ErrorProne(0));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(1));
+    qb.join(o, "o_custkey", c, "c_custkey", SelSpec::ErrorProne(2));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("s⋈l", &cat, "supplier", 4.0),
+            join_dim("l⋈o", &cat, "orders", 4.0),
+            join_dim("o⋈c", &cat, "customer", 4.0),
+        ],
+        default_resolution(3),
+    );
+    Workload::new("3D_H_Q5", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 3D_H_Q7 — chain(6): nation–supplier–lineitem–orders–customer–nation,
+/// three error-prone joins (Table 2: C_max/C_min ≈ 5).
+pub fn h_q7_3d() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "3D_H_Q7");
+    let n1 = qb.rel_aliased("nation", "n1");
+    let s = qb.rel("supplier");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    let c = qb.rel("customer");
+    let n2 = qb.rel_aliased("nation", "n2");
+    qb.join(n1, "n_nationkey", s, "s_nationkey", SelSpec::Fixed(0.04));
+    qb.join(s, "s_suppkey", l, "l_suppkey", SelSpec::ErrorProne(0));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(1));
+    qb.join(o, "o_custkey", c, "c_custkey", SelSpec::ErrorProne(2));
+    qb.join(c, "c_nationkey", n2, "n_nationkey", SelSpec::Fixed(0.04));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("s⋈l", &cat, "supplier", 4.0),
+            join_dim("l⋈o", &cat, "orders", 4.0),
+            join_dim("o⋈c", &cat, "customer", 4.0),
+        ],
+        default_resolution(3),
+    );
+    Workload::new("3D_H_Q7", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 4D_H_Q8 — branch(8): part and supplier branch off lineitem; nations and
+/// region hang off customer (Table 2: C_max/C_min ≈ 28).
+pub fn h_q8_4d() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "4D_H_Q8");
+    let p = qb.rel("part");
+    let s = qb.rel("supplier");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    let c = qb.rel("customer");
+    let n1 = qb.rel_aliased("nation", "n1");
+    let n2 = qb.rel_aliased("nation", "n2");
+    let r = qb.rel("region");
+    qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
+    qb.join(s, "s_suppkey", l, "l_suppkey", SelSpec::ErrorProne(1));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(2));
+    qb.join(o, "o_custkey", c, "c_custkey", SelSpec::ErrorProne(3));
+    qb.join(c, "c_nationkey", n1, "n_nationkey", SelSpec::Fixed(0.04));
+    qb.join(n1, "n_regionkey", r, "r_regionkey", SelSpec::Fixed(0.2));
+    qb.join(s, "s_nationkey", n2, "n_nationkey", SelSpec::Fixed(0.04));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("p⋈l", &cat, "part", 4.0),
+            join_dim("s⋈l", &cat, "supplier", 4.0),
+            join_dim("l⋈o", &cat, "orders", 4.0),
+            join_dim("o⋈c", &cat, "customer", 4.0),
+        ],
+        default_resolution(4),
+    );
+    Workload::new("4D_H_Q8", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 5D_H_Q7 — the chain(6) of Q7 with all five joins error-prone
+/// (Table 2: C_max/C_min ≈ 50).
+pub fn h_q7_5d() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "5D_H_Q7");
+    let n1 = qb.rel_aliased("nation", "n1");
+    let s = qb.rel("supplier");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    let c = qb.rel("customer");
+    let n2 = qb.rel_aliased("nation", "n2");
+    qb.join(n1, "n_nationkey", s, "s_nationkey", SelSpec::ErrorProne(0));
+    qb.join(s, "s_suppkey", l, "l_suppkey", SelSpec::ErrorProne(1));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(2));
+    qb.join(o, "o_custkey", c, "c_custkey", SelSpec::ErrorProne(3));
+    qb.join(c, "c_nationkey", n2, "n_nationkey", SelSpec::ErrorProne(4));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            join_dim("n1⋈s", &cat, "nation", 1.5),
+            join_dim("s⋈l", &cat, "supplier", 1.5),
+            join_dim("l⋈o", &cat, "orders", 1.5),
+            join_dim("o⋈c", &cat, "customer", 1.5),
+            join_dim("c⋈n2", &cat, "nation", 1.5),
+        ],
+        default_resolution(5),
+    );
+    Workload::new("5D_H_Q7", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+/// 3D_H_Q5B — commercial-engine variant (Section 6.8): the error dimensions
+/// are *selection* predicates on base relations (which COM can inject by
+/// changing query constants), costed with the commercial personality.
+pub fn h_q5b_3d_com() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "3D_H_Q5B");
+    let s = qb.rel("supplier");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    let c = qb.rel("customer");
+    qb.select(s, "s_acctbal", CmpOp::Lt, 0.0, SelSpec::ErrorProne(0));
+    qb.select(o, "o_totalprice", CmpOp::Lt, 0.0, SelSpec::ErrorProne(1));
+    qb.select(c, "c_acctbal", CmpOp::Lt, 0.0, SelSpec::ErrorProne(2));
+    qb.join(s, "s_suppkey", l, "l_suppkey", SelSpec::Fixed(1e-4));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+    qb.join(o, "o_custkey", c, "c_custkey", SelSpec::Fixed(6.7e-6));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            EssDim::new("s_acctbal", 1e-3, 1.0),
+            EssDim::new("o_totalprice", 1e-3, 1.0),
+            EssDim::new("c_acctbal", 1e-3, 1.0),
+        ],
+        default_resolution(3),
+    );
+    Workload::new("3D_H_Q5B", cat.clone(), query, ess, CostModel::commercialish())
+}
+
+/// 4D_H_Q8B — commercial-engine variant with four selection dimensions.
+pub fn h_q8b_4d_com() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "4D_H_Q8B");
+    let p = qb.rel("part");
+    let s = qb.rel("supplier");
+    let l = qb.rel("lineitem");
+    let o = qb.rel("orders");
+    let c = qb.rel("customer");
+    qb.select(p, "p_retailprice", CmpOp::Lt, 0.0, SelSpec::ErrorProne(0));
+    qb.select(s, "s_acctbal", CmpOp::Lt, 0.0, SelSpec::ErrorProne(1));
+    qb.select(o, "o_totalprice", CmpOp::Lt, 0.0, SelSpec::ErrorProne(2));
+    qb.select(c, "c_acctbal", CmpOp::Lt, 0.0, SelSpec::ErrorProne(3));
+    qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+    qb.join(s, "s_suppkey", l, "l_suppkey", SelSpec::Fixed(1e-4));
+    qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+    qb.join(o, "o_custkey", c, "c_custkey", SelSpec::Fixed(6.7e-6));
+    let query = qb.build();
+    let ess = Ess::uniform(
+        vec![
+            EssDim::new("p_retailprice", 1e-3, 1.0),
+            EssDim::new("s_acctbal", 1e-3, 1.0),
+            EssDim::new("o_totalprice", 1e-3, 1.0),
+            EssDim::new("c_acctbal", 1e-3, 1.0),
+        ],
+        default_resolution(4),
+    );
+    Workload::new("4D_H_Q8B", cat.clone(), query, ess, CostModel::commercialish())
+}
+
+/// ANTI_2D — the PCM-violating space of the `pcmflip` exhibit: a NOT EXISTS
+/// (anti-join) dimension whose raw axis makes the PIC *decrease*.
+/// Identification on this workload is expected to fail until the axis is
+/// flipped with `pb_bouquet::flip::flip_decreasing`.
+pub fn anti_2d() -> Workload {
+    let cat = tpch::catalog(1.0);
+    let mut qb = QueryBuilder::new(&cat, "ANTI_2D");
+    let p = qb.rel("part");
+    let l = qb.rel("lineitem");
+    let ps = qb.rel("partsupp");
+    qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+    qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+    qb.anti_join(l, "l_partkey", ps, "ps_partkey", SelSpec::ErrorProne(1));
+    let query = qb.build();
+    let hi = 1.0 / cat.table("partsupp").unwrap().rows;
+    let ess = Ess::uniform(
+        vec![
+            EssDim::new("p_retailprice", 1e-4, 1.0),
+            EssDim::new("anti l⋈ps", hi / 100.0, hi),
+        ],
+        16,
+    );
+    Workload::new("ANTI_2D", cat.clone(), query, ess, CostModel::postgresish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_plan::GraphShape;
+
+    #[test]
+    fn join_graph_geometries_match_table2() {
+        assert_eq!(h_q5_3d().query.join_graph().shape(), GraphShape::Chain);
+        assert_eq!(h_q5_3d().query.num_relations(), 6);
+        assert_eq!(h_q7_3d().query.join_graph().shape(), GraphShape::Chain);
+        assert_eq!(h_q7_3d().query.num_relations(), 6);
+        assert_eq!(h_q8_4d().query.join_graph().shape(), GraphShape::Branch);
+        assert_eq!(h_q8_4d().query.num_relations(), 8);
+        assert_eq!(h_q7_5d().query.join_graph().shape(), GraphShape::Chain);
+        assert_eq!(h_q7_5d().query.num_relations(), 6);
+    }
+
+    #[test]
+    fn dimensionalities_match_names() {
+        assert_eq!(eq_1d().d(), 1);
+        assert_eq!(h_q8a_2d(0.01).d(), 2);
+        assert_eq!(h_q5_3d().d(), 3);
+        assert_eq!(h_q8_4d().d(), 4);
+        assert_eq!(h_q7_5d().d(), 5);
+        assert_eq!(h_q5b_3d_com().d(), 3);
+        assert_eq!(h_q8b_4d_com().d(), 4);
+    }
+
+    #[test]
+    fn join_dims_respect_pk_fk_legal_maximum() {
+        let w = h_q5_3d();
+        // s⋈l max legal = 1/|supplier| = 1e-4.
+        assert!((w.ess.dims[0].hi - 1e-4).abs() < 1e-12);
+        assert!(w.ess.dims[0].lo < w.ess.dims[0].hi);
+    }
+
+    #[test]
+    fn anti_2d_has_an_anti_edge() {
+        let w = anti_2d();
+        assert!(w.query.joins.iter().any(|j| j.anti));
+        assert_eq!(w.d(), 2);
+    }
+
+    #[test]
+    fn com_variants_use_commercial_personality() {
+        assert_eq!(h_q5b_3d_com().model.name, "commercialish");
+        assert_eq!(h_q8b_4d_com().model.name, "commercialish");
+        assert_eq!(h_q5_3d().model.name, "postgresish");
+    }
+}

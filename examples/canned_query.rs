@@ -1,0 +1,67 @@
+//! The "canned query" deployment story (paper, Section 4.2): compile the
+//! bouquet offline once, persist it, load it at run time, and — when the
+//! database scales up — refresh it incrementally instead of rebuilding.
+//!
+//! ```sh
+//! cargo run --release --example canned_query
+//! ```
+
+use std::time::Instant;
+
+use plan_bouquet::bouquet::{maintenance, persist, Bouquet, BouquetConfig};
+use plan_bouquet::workloads;
+
+fn main() {
+    let artifact = std::env::temp_dir().join("pb_canned_bouquet.json");
+
+    // ---- Offline: compile and persist -------------------------------------
+    let w = workloads::h_q8a_2d(1.0);
+    let t0 = Instant::now();
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).expect("identify");
+    let compile_time = t0.elapsed();
+    persist::save(&b, &artifact).expect("save");
+    println!(
+        "offline: compiled {} in {compile_time:.2?} ({} optimizer calls), saved {} KiB",
+        w.name,
+        b.stats.exhaustive_optimizer_calls,
+        std::fs::metadata(&artifact).unwrap().len() / 1024
+    );
+
+    // ---- Run time: load and discover --------------------------------------
+    let t1 = Instant::now();
+    let loaded = persist::load(&artifact).expect("load");
+    println!("runtime: loaded bouquet in {:.2?} (no optimizer calls)", t1.elapsed());
+    let qa = w.ess.point_at_fractions(&[0.65, 0.8]);
+    let run = loaded.run_optimized(&qa);
+    println!(
+        "         discovered qa in {} executions, SubOpt {:.2} (guarantee {:.1})",
+        run.trace.len(),
+        run.suboptimality(loaded.pic_cost(&qa)),
+        loaded.mso_bound()
+    );
+
+    // ---- Later: the database quadruples ------------------------------------
+    let grown = workloads::h_q8a_2d(4.0);
+    let t2 = Instant::now();
+    let (refreshed, report) =
+        maintenance::rescale(&loaded, grown.catalog.clone(), Some(grown.clone()))
+            .expect("rescale");
+    println!(
+        "\nscale-up 4x: maintained in {:.2?} with {} optimizer calls \
+         ({:.0}% of a rebuild), {} plans reused, {} new",
+        t2.elapsed(),
+        report.optimizer_calls,
+        report.effort_fraction() * 100.0,
+        report.reused_plans,
+        report.new_plans
+    );
+    let qa4 = grown.ess.point_at_fractions(&[0.65, 0.8]);
+    let run4 = refreshed.run_optimized(&qa4);
+    println!(
+        "refreshed bouquet still discovers within bound: SubOpt {:.2} <= {:.1}",
+        run4.suboptimality(refreshed.pic_cost(&qa4)),
+        refreshed.mso_bound()
+    );
+
+    std::fs::remove_file(&artifact).ok();
+}

@@ -1,0 +1,107 @@
+//! Tuple-level engine demo: manufacture an AVI estimation disaster on real
+//! generated data, then watch the bouquet discover the truth while the
+//! native optimizer's plan drowns (the paper's Section 6.7 experiment).
+//!
+//! ```sh
+//! cargo run --release --example engine_demo
+//! ```
+
+use plan_bouquet::bouquet::{Bouquet, BouquetConfig};
+use plan_bouquet::cost::Estimator;
+use plan_bouquet::engine::{ColumnOverride, Database, Engine};
+use plan_bouquet::workloads;
+
+// The full engine-backed optimized driver lives in the pb-bench crate (it
+// needs both the bouquet and the engine); this example runs the basic
+// (Figure 7) loop inline, which only needs the facade API.
+
+fn main() {
+    // Small scale factor so generation + execution stay instant.
+    let mut w = workloads::h_q8a_2d(0.01);
+    // Stale statistics: the estimator still believes full-scale NDVs.
+    w.catalog.column_stats_mut("part", "p_partkey").ndv = 200_000.0;
+    w.catalog.column_stats_mut("lineitem", "l_partkey").ndv = 200_000.0;
+    w.catalog.column_stats_mut("orders", "o_orderkey").ndv = 1_500_000.0;
+    w.catalog.column_stats_mut("lineitem", "l_orderkey").ndv = 1_500_000.0;
+
+    println!("generating data for {} ...", w.catalog.name);
+    // Duplicated join keys: actual join selectivities far above estimates.
+    let db = Database::generate(
+        &w.catalog,
+        7,
+        &[
+            ColumnOverride::EffectiveNdv { table: "part".into(), column: "p_partkey".into(), ndv: 200 },
+            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_partkey".into(), ndv: 200 },
+            ColumnOverride::EffectiveNdv { table: "orders".into(), column: "o_orderkey".into(), ndv: 500 },
+            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_orderkey".into(), ndv: 500 },
+        ],
+    );
+
+    // Where does the optimizer THINK the query is, and where IS it?
+    let est = Estimator::new(&w.catalog);
+    let lo: Vec<f64> = w.ess.dims.iter().map(|d| d.lo).collect();
+    let hi: Vec<f64> = w.ess.dims.iter().map(|d| d.hi).collect();
+    let qe = est.estimate_point(&w.query, &lo, &hi);
+    let mut qa = vec![0.0; 2];
+    for (ji, j) in w.query.joins.iter().enumerate() {
+        if let Some(d) = j.selectivity.error_dim() {
+            qa[d] = db
+                .actual_join_selectivity(&w.query, ji)
+                .clamp(w.ess.dims[d].lo, w.ess.dims[d].hi);
+        }
+    }
+    println!("estimated qe = [{:.2e}, {:.2e}]", qe[0], qe[1]);
+    println!(
+        "actual    qa = [{:.2e}, {:.2e}]  (errors {:.0}x, {:.0}x)\n",
+        qa[0],
+        qa[1],
+        qa[0] / qe[0],
+        qa[1] / qe[1]
+    );
+
+    let engine = Engine::new(&db, &w.query, &w.model.p);
+
+    // NAT: the plan chosen at the estimate, executed on real tuples.
+    let nat_plan = w.optimizer().optimize(&qe).plan;
+    println!("NAT plan (chosen at qe):");
+    print!("{}", nat_plan.root.explain(&w.query, &w.catalog));
+    let nat = engine.execute(&nat_plan.root, f64::INFINITY);
+    println!("NAT actual cost: {:.0}\n", nat.cost());
+
+    // Oracle: the plan an all-knowing optimizer would pick.
+    let oracle_plan = w.optimizer().optimize(&plan_bouquet::cost::SelPoint(qa.clone())).plan;
+    let oracle = engine.execute(&oracle_plan.root, f64::INFINITY);
+    println!("oracle plan (chosen at qa):");
+    print!("{}", oracle_plan.root.explain(&w.query, &w.catalog));
+    println!("oracle actual cost: {:.0}\n", oracle.cost());
+
+    // Bouquet: compile once, then budget-limited engine executions.
+    let b = Bouquet::identify(&w, &BouquetConfig::default()).expect("identify");
+    let mut total = 0.0;
+    let mut rows = 0;
+    'outer: for c in &b.contours {
+        for &pid in &c.plan_set {
+            let out = engine.execute(&b.plan(pid).root, c.budget);
+            total += out.cost();
+            println!(
+                "  IC{:<2} P{:<3} spent {:>10.0} / {:>10.0} {}",
+                c.id,
+                pid,
+                out.cost(),
+                c.budget,
+                if out.completed() { "COMPLETED" } else { "aborted" }
+            );
+            if let plan_bouquet::engine::EngineOutcome::Completed { rows: r, .. } = out {
+                rows = r;
+                break 'outer;
+            }
+        }
+    }
+    println!("\nbouquet total cost: {:.0} ({} result rows)", total, rows);
+    println!(
+        "sub-optimality vs oracle: NAT {:.1}x, bouquet {:.1}x (guarantee {:.1})",
+        nat.cost() / oracle.cost(),
+        total / oracle.cost(),
+        b.mso_bound()
+    );
+}

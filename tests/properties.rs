@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) over the core invariants: Plan Cost
+//! Monotonicity, grading geometry, the first-quadrant invariant, and the
+//! sub-optimality guarantee at arbitrary (off-grid) locations.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use plan_bouquet::bouquet::{Bouquet, BouquetConfig, IsoCostGrading};
+use plan_bouquet::cost::SelPoint;
+use plan_bouquet::workloads;
+
+fn bouquet_2d() -> &'static Bouquet {
+    static B: OnceLock<Bouquet> = OnceLock::new();
+    B.get_or_init(|| {
+        let w = workloads::h_q8a_2d(1.0);
+        Bouquet::identify(&w, &BouquetConfig::default()).unwrap()
+    })
+}
+
+/// A random location inside the 2D ESS, as per-axis fractions.
+fn fractions_2d() -> impl Strategy<Value = [f64; 2]> {
+    [0.0f64..=1.0, 0.0f64..=1.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PCM: every bouquet plan's cost is monotone along every axis, for
+    /// arbitrary location pairs ordered componentwise.
+    #[test]
+    fn plan_cost_monotonicity(f in fractions_2d(), g in fractions_2d()) {
+        let b = bouquet_2d();
+        let w = &b.workload;
+        let lo = w.ess.point_at_fractions(&[f[0].min(g[0]), f[1].min(g[1])]);
+        let hi = w.ess.point_at_fractions(&[f[0].max(g[0]), f[1].max(g[1])]);
+        let coster = w.coster();
+        for pid in b.plan_ids() {
+            let plan = &b.plan(pid).root;
+            let c_lo = coster.plan_cost(plan, &lo);
+            let c_hi = coster.plan_cost(plan, &hi);
+            prop_assert!(
+                c_hi >= c_lo * (1.0 - 1e-9),
+                "PCM violated for plan {pid}: {c_lo} -> {c_hi}"
+            );
+        }
+    }
+
+    /// The optimizer's optimal cost (the PIC) is monotone too, and the
+    /// optimal plan's cost equals the reported optimal cost.
+    #[test]
+    fn pic_monotone_and_self_consistent(f in fractions_2d(), g in fractions_2d()) {
+        let b = bouquet_2d();
+        let w = &b.workload;
+        let lo = w.ess.point_at_fractions(&[f[0].min(g[0]), f[1].min(g[1])]);
+        let hi = w.ess.point_at_fractions(&[f[0].max(g[0]), f[1].max(g[1])]);
+        let opt = w.optimizer();
+        let best_lo = opt.optimize(&lo);
+        let best_hi = opt.optimize(&hi);
+        prop_assert!(best_hi.cost >= best_lo.cost * (1.0 - 1e-9));
+        let recost = w.coster().plan_cost(&best_lo.plan.root, &lo);
+        prop_assert!((recost - best_lo.cost).abs() < 1e-6 * best_lo.cost);
+    }
+
+    /// Discovery completes at any (off-grid) location with SubOpt in
+    /// [1, bound·slack], and the trace is deterministic.
+    #[test]
+    fn discovery_bounded_at_arbitrary_locations(f in fractions_2d()) {
+        let b = bouquet_2d();
+        let w = &b.workload;
+        let qa = w.ess.point_at_fractions(&f);
+        let run = b.run_basic(&qa);
+        prop_assert!(run.completed());
+        let opt = w.optimal_cost(&qa);
+        let so = run.suboptimality(opt);
+        prop_assert!(so >= 1.0 - 1e-9, "SubOpt below 1: {so}");
+        // Off-grid locations sit between grid layers; allow one grid-cell
+        // of slack on top of the guarantee.
+        prop_assert!(so <= b.mso_bound() * 1.10, "SubOpt {so} vs bound {}", b.mso_bound());
+        prop_assert_eq!(run, b.run_basic(&qa));
+    }
+
+    /// First-quadrant invariant: every learned value in an optimized run is
+    /// a true lower bound, and learned values never decrease per dimension.
+    #[test]
+    fn first_quadrant_invariant(f in fractions_2d()) {
+        let b = bouquet_2d();
+        let w = &b.workload;
+        let qa = w.ess.point_at_fractions(&f);
+        let run = b.run_optimized(&qa);
+        prop_assert!(run.completed());
+        let mut last = vec![0.0f64; w.ess.d()];
+        for e in &run.trace {
+            if let Some((d, v)) = e.learned {
+                prop_assert!(v <= qa[d] * (1.0 + 1e-9), "learned {v} > qa {}", qa[d]);
+                prop_assert!(v >= 0.0);
+                prop_assert!(v >= last[d] * (1.0 - 1e-9) || v <= last[d], "learning is a max-update");
+                last[d] = last[d].max(v);
+            }
+        }
+    }
+
+    /// Grading geometry for arbitrary (cmin, cmax, r): boundary conditions
+    /// of Section 3.1 always hold.
+    #[test]
+    fn grading_boundary_conditions(
+        cmin in 1e-3f64..1e6,
+        span in 1.0f64..1e6,
+        r in 1.01f64..8.0,
+    ) {
+        let cmax = cmin * span;
+        let g = IsoCostGrading::geometric(cmin, cmax, r);
+        prop_assert!((g.budget(g.len() - 1) - cmax).abs() <= 1e-9 * cmax);
+        prop_assert!(g.budget(0) >= cmin * (1.0 - 1e-12));
+        prop_assert!(g.budget(0) / r < cmin * (1.0 + 1e-12));
+        for w in g.steps.windows(2) {
+            prop_assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+        // The worst-case cumulative-sum ratio respects Theorem 1 algebra.
+        let m = g.len();
+        if m >= 2 {
+            let cum = g.cumulative(m - 1);
+            prop_assert!(cum <= g.budget(m - 1) * r / (r - 1.0) * (1.0 + 1e-9));
+        }
+    }
+
+    /// ESS snap functions: floor-snapping never overshoots, round-snapping
+    /// stays within half a (geometric) step.
+    #[test]
+    fn ess_snapping(f in fractions_2d()) {
+        let b = bouquet_2d();
+        let ess = &b.workload.ess;
+        let p = ess.point_at_fractions(&f);
+        let fl = ess.snap_floor(&p);
+        for d in 0..ess.d() {
+            prop_assert!(ess.sel_at(d, fl[d]) <= p[d] * (1.0 + 1e-9));
+        }
+        let rd = ess.snap(&p);
+        for d in 0..ess.d() {
+            let step = (ess.dims[d].hi / ess.dims[d].lo).powf(1.0 / (ess.res[d] as f64 - 1.0));
+            let s = ess.sel_at(d, rd[d]);
+            prop_assert!(s / p[d] <= step && p[d] / s <= step);
+        }
+    }
+
+    /// The executor's learning model is budget-monotone: more budget never
+    /// teaches less.
+    #[test]
+    fn learning_is_budget_monotone(f in fractions_2d(), b1 in 0.01f64..1.0, b2 in 0.01f64..1.0) {
+        let b = bouquet_2d();
+        let w = &b.workload;
+        let qa = w.ess.point_at_fractions(&f);
+        let ex = plan_bouquet::executor::Executor::new(w.coster());
+        let plan = &b.plan(b.plan_ids()[0]).root;
+        let full = ex.actual_cost(plan, &qa);
+        let (lo_b, hi_b) = (full * b1.min(b2), full * b1.max(b2));
+        let resolved = vec![false; w.ess.d()];
+        let r_lo = ex.execute_monitored(plan, &qa, &resolved, lo_b, true);
+        let r_hi = ex.execute_monitored(plan, &qa, &resolved, hi_b, true);
+        let v = |r: &plan_bouquet::executor::RunResult| r.learned.map(|(_, v)| v).unwrap_or(0.0);
+        prop_assert!(v(&r_hi) >= v(&r_lo) * (1.0 - 1e-12));
+    }
+}
+
+/// Non-proptest sanity companion: the 2D bouquet used above is well-formed.
+#[test]
+fn fixture_is_well_formed() {
+    let b = bouquet_2d();
+    assert!(b.stats.bouquet_cardinality >= 2);
+    assert!(b.stats.num_contours >= 3);
+}
+
+/// SelPoint domination is a partial order compatible with the grid.
+#[test]
+fn selpoint_domination_matches_grid_order() {
+    let b = bouquet_2d();
+    let ess = &b.workload.ess;
+    let a = ess.point(&vec![3, 7]);
+    let c = ess.point(&vec![5, 7]);
+    assert!(a.dominated_by(&c));
+    assert!(!c.dominated_by(&a));
+    assert!(a.dominated_by(&a));
+    let d = SelPoint(vec![a[0], c[1] * 2.0]);
+    assert!(!d.dominated_by(&c) || c[1] * 2.0 <= c[1]);
+}
