@@ -1,0 +1,312 @@
+//! Offline subset of `proptest`: the `proptest!` runner macro, `Strategy`
+//! trait, range/array/char-class strategies, `collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are drawn from a seeded PRNG (the seed
+//! is a hash of the test name, so runs are reproducible) and failures are
+//! reported via plain `assert!` panics — there is no shrinking.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        // Closed upper bound: scale a [0,1) draw onto [lo, hi] by using the
+        // next-representable span; clamping keeps it exact at the ends.
+        let (lo, hi) = (*self.start(), *self.end());
+        (lo + rng.random::<f64>() * (hi - lo) * (1.0 + 1e-15)).clamp(lo, hi)
+    }
+}
+
+/// `[strat_a, strat_b]` — fixed-size array of strategies, as upstream.
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any` strategy
+// ---------------------------------------------------------------------------
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+any_strategy!(bool, u32, u64, f64);
+
+// ---------------------------------------------------------------------------
+// String strategies: simple char-class regex `[...]{lo,hi}`
+// ---------------------------------------------------------------------------
+
+/// String literals act as generation patterns. Only the shape
+/// `[chars]{lo,hi}` (single char class with `a-z` ranges, fixed or bounded
+/// repetition) is supported — the subset this workspace uses.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, lo, hi) = parse_char_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_char_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let rep = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match rep.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = rep.parse().ok()?;
+            (n, n)
+        }
+    };
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            for c in chars[i]..=chars[i + 2] {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{SizeBounds, Strategy};
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `collection::vec(strategy, 1..6)` — a Vec with length drawn from the
+    /// size range.
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.lo..=self.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Size specifications accepted by `collection::vec` (inclusive bounds).
+pub trait SizeBounds {
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing used by the `proptest!` macro expansion
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declare property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::new_rng($crate::seed_for(stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body. Panics (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_arrays(x in 1u64..10, f in [0.0f64..=1.0, 0.0f64..=1.0]) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f[0]) && (0.0..=1.0).contains(&f[1]));
+        }
+
+        #[test]
+        fn vec_and_string(v in crate::collection::vec(any::<bool>(), 1..6), s in "[a-c0-2]{0,8}") {
+            prop_assert!((1..=5).contains(&v.len()));
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| "abc012".contains(c)));
+        }
+    }
+}

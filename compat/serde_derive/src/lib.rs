@@ -1,0 +1,513 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline serde
+//! subset — no `syn`/`quote`, since the build container cannot reach
+//! crates.io. The input item is parsed directly from the raw
+//! `proc_macro::TokenStream` and the impl is emitted as a source string
+//! (then re-parsed into a `TokenStream`).
+//!
+//! Supported shapes (everything this workspace serializes):
+//! - structs with named fields, tuple (newtype) structs, unit structs
+//! - enums with unit, tuple and struct variants (externally tagged)
+//! - field attributes `#[serde(default)]`, `#[serde(skip)]`
+//! - container attribute `#[serde(from = "T", into = "T")]`
+//!
+//! Generics are deliberately unsupported: the macro panics with a clear
+//! message rather than silently emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(from = "T")]` — deserialize via `T` then `From<T>`.
+    from: Option<String>,
+    /// `#[serde(into = "T")]` — serialize by converting to `T` (needs Clone).
+    into: Option<String>,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip: bool,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        self.i += 1;
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Consume leading attributes, folding any `#[serde(...)]` into `attrs`.
+    fn skip_attrs(&mut self, attrs: &mut SerdeAttrs) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+                         // Inner attributes (`#![...]`) do not occur in derive input.
+            if let Some(TokenTree::Group(g)) = self.next() {
+                scan_serde_attr(&g.stream(), attrs);
+            }
+        }
+    }
+
+    /// Consume `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume a type (everything up to a top-level `,`), tracking `<...>`
+    /// nesting so commas inside generic arguments don't terminate early.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn scan_serde_attr(attr: &TokenStream, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // #[doc], #[derive], #[cfg], ...
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let TokenTree::Ident(key) = &args[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let value = match (args.get(i + 1), args.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                i += 3;
+                Some(lit.to_string().trim_matches('"').to_string())
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        match (key.as_str(), value) {
+            ("default", _) => out.default = true,
+            ("skip", _) => out.skip = true,
+            ("from", Some(t)) => out.from = Some(t),
+            ("into", Some(t)) => out.into = Some(t),
+            (other, _) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        // Skip a separating comma if present.
+        if let Some(TokenTree::Punct(p)) = args.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let mut container = SerdeAttrs::default();
+    c.skip_attrs(&mut container);
+    c.skip_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match (kw.as_str(), c.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde_derive: cannot parse {kw} {name} body at {other:?}"),
+    };
+    Item {
+        name,
+        kind,
+        from: container.from,
+        into: container.into,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let mut attrs = SerdeAttrs::default();
+        c.skip_attrs(&mut attrs);
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        c.next(); // the separating ',' (or end)
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut n = 0;
+    while !c.at_end() {
+        let mut attrs = SerdeAttrs::default();
+        c.skip_attrs(&mut attrs);
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_type();
+        c.next(); // ','
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let mut attrs = SerdeAttrs::default();
+        c.skip_attrs(&mut attrs);
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                c.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                c.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Separating ',' (discriminants are unsupported and would land here).
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                panic!("serde_derive: enum discriminants are not supported ({name})");
+            }
+            if p.as_char() == ',' {
+                c.next();
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let __proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Unit => "::serde::Value::Null".to_string(),
+            Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+            }
+            Kind::Named(fields) => gen_named_ser(fields, "self.", ""),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                                binds.join(", ")
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = gen_named_ser(fields, "", "");
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                                binds.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Serialize named fields to a `Value::Obj` expression. `access` prefixes
+/// each field ("self." for structs, "" for enum-variant bindings).
+fn gen_named_ser(fields: &[Field], access: &str, deref: &str) -> String {
+    let mut s = String::from("{ let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let fname = &f.name;
+        s.push_str(&format!(
+            "__obj.push((\"{fname}\".to_string(), ::serde::Serialize::to_value({deref}&{access}{fname})));\n"
+        ));
+    }
+    s.push_str("::serde::Value::Obj(__obj) }");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.from {
+        format!(
+            "let __proxy: {proxy} = ::serde::Deserialize::from_value(__v)?;\n\
+             Ok(::core::convert::From::from(__proxy))"
+        )
+    } else {
+        match &item.kind {
+            Kind::Unit => format!(
+                "match __v {{ ::serde::Value::Null => Ok({name}), _ => Err(::serde::DeError::new(\"{name}: expected null\")) }}"
+            ),
+            Kind::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Kind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_arr().ok_or_else(|| ::serde::DeError::new(\"{name}: expected array\"))?;\n\
+                     if __a.len() != {n} {{ return Err(::serde::DeError::new(\"{name}: wrong tuple arity\")); }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Kind::Named(fields) => format!(
+                "let __obj = __v.as_obj().ok_or_else(|| ::serde::DeError::new(\"{name}: expected object\"))?;\n\
+                 Ok({name} {{ {} }})",
+                gen_named_de(fields, name)
+            ),
+            Kind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                        Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => {{ let __a = __inner.as_arr().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                                 if __a.len() != {n} {{ return Err(::serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                                 Ok({name}::{vn}({})) }}\n",
+                                items.join(", ")
+                            ));
+                        }
+                        Shape::Named(fields) => tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __inner.as_obj().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected object\"))?;\n\
+                             Ok({name}::{vn} {{ {} }}) }}\n",
+                            gen_named_de(fields, &format!("{name}::{vn}"))
+                        )),
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                       ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                           __other => Err(::serde::DeError::new(format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Obj(__o) if __o.len() == 1 => {{\n\
+                           let (__tag, __inner) = &__o[0];\n\
+                           match __tag.as_str() {{\n{tagged_arms}\
+                               __other => Err(::serde::DeError::new(format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                           }}\n\
+                       }}\n\
+                       _ => Err(::serde::DeError::new(\"{name}: expected variant tag\")),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Field initializers for a named-field constructor, looking each field up
+/// by name in `__obj`.
+fn gen_named_de(fields: &[Field], ctx: &str) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        let fname = &f.name;
+        let init = if f.skip {
+            format!("{fname}: ::core::default::Default::default()")
+        } else if f.default {
+            format!(
+                "{fname}: match ::serde::find(__obj, \"{fname}\") {{\n\
+                     Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     None => ::core::default::Default::default(),\n\
+                 }}"
+            )
+        } else {
+            format!(
+                "{fname}: match ::serde::find(__obj, \"{fname}\") {{\n\
+                     Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     None => return Err(::serde::DeError::new(\"{ctx}: missing field {fname}\")),\n\
+                 }}"
+            )
+        };
+        inits.push(init);
+    }
+    inits.join(",\n")
+}

@@ -44,7 +44,13 @@ fn bench_identify(c: &mut Criterion) {
     for name in ["EQ_1D", "2D_H_Q8A", "3D_H_Q5"] {
         let w = by_name(name).unwrap();
         g.bench_function(name, |b| {
-            b.iter(|| black_box(Bouquet::identify(&w, &BouquetConfig::default()).unwrap().rho()))
+            b.iter(|| {
+                black_box(
+                    Bouquet::identify(&w, &BouquetConfig::default())
+                        .unwrap()
+                        .rho(),
+                )
+            })
         });
     }
     g.finish();

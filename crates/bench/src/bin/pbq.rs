@@ -9,18 +9,21 @@
 //! pbq identify WORKLOAD [--save FILE]        # compile the bouquet
 //! pbq run WORKLOAD f1,f2,... [--optimized] [--load FILE]
 //! pbq sensitivity WORKLOAD                   # §8 dimension analysis
+//! pbq speedup WORKLOAD [--workers N]         # parallel identification bench
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
 //! ```
 //!
 //! Locations are given as per-axis fractions in `[0,1]` (geometric
-//! interpolation between each dimension's bounds).
+//! interpolation between each dimension's bounds). Every subcommand accepts
+//! `--jobs N` to cap identification worker threads (default: all cores).
 
 use pb_bouquet::{dim_analysis, persist, Bouquet, BouquetConfig};
 use pb_cost::uncertainty::{classify, Uncertainty};
+use pb_cost::Parallelism;
 use pb_workloads::{by_name, specs};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = extract_jobs_flag(std::env::args().skip(1).collect());
     let Some(cmd) = args.first().map(String::as_str) else {
         usage();
         return;
@@ -34,15 +37,33 @@ fn main() {
         "identify" => with_workload(&args, identify),
         "run" => with_workload(&args, run_cmd),
         "sensitivity" => with_workload(&args, sensitivity),
+        "speedup" => with_workload(&args, speedup),
         "sql" => sql_cmd(&args[1..]),
         _ => usage(),
     }
 }
 
+/// Strip a global `--jobs N` flag, routing it to the pipeline's worker
+/// override.
+fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
+    if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+        pb_cost::set_default_workers(n);
+        args.drain(i..=i + 1);
+    }
+    args
+}
+
 fn usage() {
     eprintln!(
-        "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity> \
-         [WORKLOAD] [args...]\nrun `pbq list` for workload names"
+        "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup> \
+         [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
     );
 }
 
@@ -85,7 +106,12 @@ fn show(w: pb_bouquet::Workload, _rest: &[String]) {
     println!("relations:");
     for r in &w.query.relations {
         let t = w.catalog.table_by_id(r.table);
-        println!("  {:<20} {:>12} rows, {} selections", r.alias, t.rows as u64, r.selections.len());
+        println!(
+            "  {:<20} {:>12} rows, {} selections",
+            r.alias,
+            t.rows as u64,
+            r.selections.len()
+        );
     }
     println!("joins:");
     for (i, j) in w.query.joins.iter().enumerate() {
@@ -111,7 +137,12 @@ fn show(w: pb_bouquet::Workload, _rest: &[String]) {
 fn classify_cmd(w: pb_bouquet::Workload, _rest: &[String]) {
     println!("predicate uncertainty classification (Section 4.1 rules):");
     for c in classify(&w.catalog, &w.query) {
-        println!("  {:<34} {:?}: {}", format!("{:?}", c.predicate), c.uncertainty, c.reason);
+        println!(
+            "  {:<34} {:?}: {}",
+            format!("{:?}", c.predicate),
+            c.uncertainty,
+            c.reason
+        );
     }
     let n_high = classify(&w.catalog, &w.query)
         .iter()
@@ -150,7 +181,10 @@ fn optimize(w: pb_bouquet::Workload, rest: &[String]) {
     let q = parse_fractions(&w, loc);
     let best = w.optimizer().optimize(&q);
     println!("location {:?}", &q.0);
-    println!("optimal cost {:.1}, estimated rows {:.1}", best.cost, best.rows);
+    println!(
+        "optimal cost {:.1}, estimated rows {:.1}",
+        best.cost, best.rows
+    );
     print!("{}", best.plan.root.explain(&w.query, &w.catalog));
 }
 
@@ -166,7 +200,10 @@ fn identify(w: pb_bouquet::Workload, rest: &[String]) {
     for c in &b.contours {
         println!(
             "  IC{:<2} budget {:>14.0}  {:>4} frontier pts  plans {:?}",
-            c.id, c.budget, c.points.len(), c.plan_set
+            c.id,
+            c.budget,
+            c.points.len(),
+            c.plan_set
         );
     }
     if let Some(i) = rest.iter().position(|a| a == "--save") {
@@ -187,7 +224,11 @@ fn run_cmd(w: pb_bouquet::Workload, rest: &[String]) {
         None => Bouquet::identify(&w, &BouquetConfig::default()).expect("identify"),
     };
     let optimized = rest.iter().any(|a| a == "--optimized");
-    let run = if optimized { b.run_optimized(&qa) } else { b.run_basic(&qa) };
+    let run = if optimized {
+        b.run_optimized(&qa)
+    } else {
+        b.run_basic(&qa)
+    };
     for e in &run.trace {
         let learned = e
             .learned
@@ -226,10 +267,75 @@ fn sql_cmd(rest: &[String]) {
             std::process::exit(1);
         }
     };
-    println!("parsed: {} relations, {} error dims", w.query.num_relations(), w.d());
+    println!(
+        "parsed: {} relations, {} error dims",
+        w.query.num_relations(),
+        w.d()
+    );
     identify(w.clone(), &[]);
     if let Some(loc) = rest.get(1) {
-        run_cmd(w, &[loc.clone()]);
+        run_cmd(w, std::slice::from_ref(loc));
+    }
+}
+
+/// Benchmark identification sequential vs. parallel and verify the two
+/// produce byte-identical artefacts. `--workers N` pins the parallel run's
+/// worker count (default: all cores / the global `--jobs` override).
+fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
+    let par = match rest.iter().position(|a| a == "--workers") {
+        Some(i) => {
+            let n: usize = rest
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--workers needs a positive integer");
+                    std::process::exit(2);
+                });
+            Parallelism::new(n)
+        }
+        None => Parallelism::auto(),
+    };
+    let cfg = BouquetConfig::default();
+    println!(
+        "identification speedup on {} ({} grid points, {} dims)",
+        w.name,
+        w.ess.num_points(),
+        w.d()
+    );
+
+    let (b_seq, t_seq) =
+        Bouquet::identify_timed(&w, &cfg, Parallelism::serial()).expect("sequential identify");
+    let (b_par, t_par) = Bouquet::identify_timed(&w, &cfg, par).expect("parallel identify");
+
+    let json_seq = persist::to_json(&b_seq).expect("serialize sequential");
+    let json_par = persist::to_json(&b_par).expect("serialize parallel");
+    let identical = json_seq == json_par;
+
+    let row = |phase: &str, seq: std::time::Duration, par_t: std::time::Duration| {
+        let sp = seq.as_secs_f64() / par_t.as_secs_f64().max(1e-12);
+        println!("  {phase:<12} {:>12.1?} {:>12.1?} {sp:>9.2}x", seq, par_t);
+    };
+    println!(
+        "  {:<12} {:>12} {:>12} {:>10}",
+        "phase",
+        "1 worker",
+        format!("{} workers", t_par.workers),
+        "speedup"
+    );
+    row("diagram", t_seq.diagram, t_par.diagram);
+    row("cost_matrix", t_seq.cost_matrix, t_par.cost_matrix);
+    row("contours", t_seq.contours, t_par.contours);
+    row("total", t_seq.total, t_par.total);
+    println!(
+        "  artefacts byte-identical: {}",
+        if identical {
+            "yes"
+        } else {
+            "NO — DETERMINISM BUG"
+        }
+    );
+    if !identical {
+        std::process::exit(1);
     }
 }
 

@@ -7,6 +7,7 @@
 //! repro fig14 table1    # run selected exhibits
 //! repro --list          # list available exhibits
 //! repro --out results   # also tee each report into <dir>/<id>.txt
+//! repro --jobs N        # cap identification worker threads
 //! ```
 
 use std::time::Instant;
@@ -14,9 +15,20 @@ use std::time::Instant;
 use pb_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+        pb_cost::set_default_workers(n);
+        args.drain(i..=i + 1);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--list] [--out DIR] [exhibit ...]");
+        eprintln!("usage: repro [--list] [--out DIR] [--jobs N] [exhibit ...]");
         eprintln!("exhibits: {}", experiments::ALL.join(" "));
         return;
     }
@@ -56,8 +68,7 @@ fn main() {
                 println!("{}", "=".repeat(78));
                 println!("{report}");
                 if let Some(dir) = &out_dir {
-                    std::fs::write(format!("{dir}/{id}.txt"), &report)
-                        .expect("write report file");
+                    std::fs::write(format!("{dir}/{id}.txt"), &report).expect("write report file");
                 }
             }
             None => eprintln!("unknown exhibit: {id} (try --list)"),

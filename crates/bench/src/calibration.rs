@@ -216,7 +216,11 @@ mod tests {
         );
         // The engine and model are close relatives: post-calibration δ
         // should land in the neighbourhood the paper cites.
-        assert!(c.delta_after < 1.0, "post-calibration δ = {}", c.delta_after);
+        assert!(
+            c.delta_after < 1.0,
+            "post-calibration δ = {}",
+            c.delta_after
+        );
     }
 
     #[test]

@@ -254,7 +254,11 @@ mod tests {
     fn engine_bouquet_completes_and_produces_rows() {
         let (b, db) = setup();
         let basic = engine_run_bouquet(&b, &db, false);
-        assert!(basic.completed, "basic engine run failed: {:?}", basic.executions);
+        assert!(
+            basic.completed,
+            "basic engine run failed: {:?}",
+            basic.executions
+        );
         assert!(basic.result_rows > 0);
         let opt = engine_run_bouquet(&b, &db, true);
         assert!(opt.completed);

@@ -22,7 +22,12 @@ pub fn fig19() -> String {
           order-of-magnitude improvements with a small bouquet and MH < 0 or tiny)\n"
     );
     let mut t = Table::new(vec![
-        "query", "metric", "NAT", "SEER", "BOU basic", "BOU opt",
+        "query",
+        "metric",
+        "NAT",
+        "SEER",
+        "BOU basic",
+        "BOU opt",
     ]);
     for w in [h_q5b_3d_com(), h_q8b_4d_com()] {
         let ev = evaluate(&w, &EvalConfig::default());
@@ -77,7 +82,11 @@ mod tests {
         for w in [h_q5b_3d_com(), h_q8b_4d_com()] {
             let ev = evaluate(&w, &EvalConfig::default());
             let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
-            assert!(ev.bou_basic.mso <= b.mso_bound() * (1.0 + 1e-9), "{}", w.name);
+            assert!(
+                ev.bou_basic.mso <= b.mso_bound() * (1.0 + 1e-9),
+                "{}",
+                w.name
+            );
             assert!(ev.nat.mso > 10.0 * ev.bou_basic.mso, "{}", w.name);
         }
     }

@@ -91,6 +91,9 @@ mod tests {
             assert!(calls < grid, "{line}");
             checked += 1;
         }
-        assert!(checked >= 5, "expected at least five data rows, saw {checked}");
+        assert!(
+            checked >= 5,
+            "expected at least five data rows, saw {checked}"
+        );
     }
 }

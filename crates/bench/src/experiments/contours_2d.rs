@@ -34,7 +34,10 @@ pub fn fig6() -> String {
             c.id,
             fnum(c.step_cost),
             c.points.len(),
-            c.plan_set.iter().map(|p| format!("P{}", p + 1)).collect::<Vec<_>>()
+            c.plan_set
+                .iter()
+                .map(|p| format!("P{}", p + 1))
+                .collect::<Vec<_>>()
         );
     }
     // Pick the densest contour for the coverage exhibit.
@@ -78,8 +81,13 @@ pub fn fig6() -> String {
             unique
         );
     }
-    let all_covered = inside.iter().all(|&li| cov.iter().any(|(_, pts)| pts.contains(&li)));
-    let _ = writeln!(out, "every interior point covered by some contour plan: {all_covered}");
+    let all_covered = inside
+        .iter()
+        .all(|&li| cov.iter().any(|(_, pts)| pts.contains(&li)));
+    let _ = writeln!(
+        out,
+        "every interior point covered by some contour plan: {all_covered}"
+    );
     out
 }
 

@@ -57,7 +57,12 @@ pub fn fig3() -> String {
         "Figure 3 — PIC of EQ discretized with doubling isocost steps\n\
          (paper: 7 steps IC1..IC7, bouquet {{P1,P2,P3,P5}})\n"
     );
-    let mut t = Table::new(vec!["step", "cost(IC_k)", "sel at PIC∩IC_k", "bouquet plan"]);
+    let mut t = Table::new(vec![
+        "step",
+        "cost(IC_k)",
+        "sel at PIC∩IC_k",
+        "bouquet plan",
+    ]);
     for c in &b.contours {
         let li = c.points[0];
         t.row(vec![
@@ -77,7 +82,13 @@ pub fn fig3() -> String {
         b.stats.posp_cardinality
     );
     let (cmin, cmax) = (b.stats.cmin, b.stats.cmax);
-    let _ = writeln!(out, "C_min = {}  C_max = {}  (ratio {:.1})", fnum(cmin), fnum(cmax), cmax / cmin);
+    let _ = writeln!(
+        out,
+        "C_min = {}  C_max = {}  (ratio {:.1})",
+        fnum(cmin),
+        fnum(cmax),
+        cmax / cmin
+    );
     out
 }
 
@@ -111,7 +122,13 @@ pub fn fig4() -> String {
         basic.push(b.run_basic(&qa).suboptimality(b.diagram.opt_cost[li]));
         optd.push(b.run_optimized(&qa).suboptimality(b.diagram.opt_cost[li]));
     }
-    let mut t = Table::new(vec!["sel%", "PIC cost", "NAT worst", "BOU basic", "BOU optimized"]);
+    let mut t = Table::new(vec![
+        "sel%",
+        "PIC cost",
+        "NAT worst",
+        "BOU basic",
+        "BOU optimized",
+    ]);
     for li in (0..n).step_by(n / 16) {
         t.row(vec![
             format!("{:.4}", ess.sel_at(0, li) * 100.0),
@@ -163,7 +180,8 @@ pub fn fig5() -> String {
     for (k, s) in b.grading.steps.iter().enumerate() {
         let _ = writeln!(out, "  IC{:<2} = {}", k + 1, fnum(*s));
     }
-    let ok1 = b.grading.budget(0) >= b.stats.cmin && b.grading.budget(0) / b.grading.r < b.stats.cmin;
+    let ok1 =
+        b.grading.budget(0) >= b.stats.cmin && b.grading.budget(0) / b.grading.r < b.stats.cmin;
     let okm = (b.grading.budget(b.grading.len() - 1) - b.stats.cmax).abs() < 1e-9 * b.stats.cmax;
     let _ = writeln!(out, "boundary conditions hold: IC1 {}  ICm {}", ok1, okm);
     out
@@ -204,7 +222,15 @@ mod tests {
         // Parse the MSO numbers back out.
         let grab = |tag: &str| -> f64 {
             let line = s.lines().find(|l| l.starts_with(tag)).unwrap();
-            line.split("MSO =").nth(1).unwrap().split("ASO").next().unwrap().trim().parse().unwrap()
+            line.split("MSO =")
+                .nth(1)
+                .unwrap()
+                .split("ASO")
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
         };
         let nat = grab("NAT:");
         let bas = grab("BOU basic:");

@@ -7,8 +7,8 @@
 
 pub mod com;
 pub mod compiletime;
-pub mod extensions;
 pub mod contours_2d;
+pub mod extensions;
 pub mod intro_1d;
 pub mod modelerror;
 pub mod rsweep;
@@ -17,9 +17,28 @@ pub mod table3;
 
 /// All experiment ids in paper order.
 pub const ALL: &[&str] = &[
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig12", "table1", "table2", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "table3", "fig19", "modelerror", "compiletime", "rsweep",
-    "reopt", "pcmflip", "maintenance", "calibrate",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig12",
+    "table1",
+    "table2",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "table3",
+    "fig19",
+    "modelerror",
+    "compiletime",
+    "rsweep",
+    "reopt",
+    "pcmflip",
+    "maintenance",
+    "calibrate",
 ];
 
 /// Run one experiment by id.

@@ -91,7 +91,10 @@ mod tests {
     fn all_deltas_within_cap() {
         let s = run();
         // every data row's last column must be "true"
-        let falses = s.lines().filter(|l| l.trim_end().ends_with("false")).count();
+        let falses = s
+            .lines()
+            .filter(|l| l.trim_end().ends_with("false"))
+            .count();
         assert_eq!(falses, 0, "some δ exceeded the (1+δ)² cap:\n{s}");
     }
 }

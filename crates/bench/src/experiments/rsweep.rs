@@ -30,7 +30,10 @@ pub fn run() -> String {
         "adversarial LB sim",
     ]);
     for r in [1.3, 1.5, 2.0, 3.0, 4.0] {
-        let cfg = BouquetConfig { r, ..Default::default() };
+        let cfg = BouquetConfig {
+            r,
+            ..Default::default()
+        };
         let b = Bouquet::identify(&w, &cfg).unwrap();
         let mut mso = 0.0f64;
         for li in 0..w.ess.num_points() {
@@ -76,7 +79,11 @@ mod tests {
             }
         }
         assert!(msos.len() >= 5);
-        let at2 = msos.iter().find(|(r, _)| (*r - 2.0).abs() < 0.01).unwrap().1;
+        let at2 = msos
+            .iter()
+            .find(|(r, _)| (*r - 2.0).abs() < 0.01)
+            .unwrap()
+            .1;
         let best = msos.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
         // Theorem 1 is about the *guarantee*: the bound r²/(r−1) is uniquely
         // minimized at r = 2. The measured MSO on one finite workload can

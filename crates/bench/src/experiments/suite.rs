@@ -90,14 +90,24 @@ pub fn fig14() -> String {
          (paper shape: NAT 10^3..10^7, SEER similar to NAT, BOU < 10 absolute;\n\
           flagship 5D_DS_Q19: 10^6 -> ~10)\n"
     );
-    let mut t = Table::new(vec!["query", "NAT", "SEER", "BOU basic", "BOU opt", "bound"]);
+    let mut t = Table::new(vec![
+        "query",
+        "NAT",
+        "SEER",
+        "BOU basic",
+        "BOU opt",
+        "bound",
+    ]);
     for ev in suite_evaluations() {
         t.row(vec![
             ev.name.clone(),
             fnum(ev.nat.mso),
             fnum(ev.seer.mso),
             format!("{:.1}", ev.bou_basic.mso),
-            format!("{:.1}", ev.bou_opt.as_ref().map(|m| m.mso).unwrap_or(f64::NAN)),
+            format!(
+                "{:.1}",
+                ev.bou_opt.as_ref().map(|m| m.mso).unwrap_or(f64::NAN)
+            ),
             format!("{:.1}", ev.guarantees.bound_anorexic),
         ]);
     }
@@ -121,7 +131,10 @@ pub fn fig15() -> String {
             fnum(ev.nat.aso),
             fnum(ev.seer.aso),
             format!("{:.2}", ev.bou_basic.aso),
-            format!("{:.2}", ev.bou_opt.as_ref().map(|m| m.aso).unwrap_or(f64::NAN)),
+            format!(
+                "{:.2}",
+                ev.bou_opt.as_ref().map(|m| m.aso).unwrap_or(f64::NAN)
+            ),
         ]);
     }
     let _ = writeln!(out, "{}", t.render());
@@ -140,7 +153,10 @@ pub fn fig16() -> String {
         .iter()
         .find(|e| e.name == "5D_DS_Q19")
         .expect("flagship query in suite");
-    let mut t = Table::new(vec!["improvement factor (NAT worst / BOU)", "% of ESS locations"]);
+    let mut t = Table::new(vec![
+        "improvement factor (NAT worst / BOU)",
+        "% of ESS locations",
+    ]);
     for (label, frac) in &ev.distribution.buckets {
         t.row(vec![label.clone(), format!("{:.1}", frac * 100.0)]);
     }
@@ -152,7 +168,11 @@ pub fn fig16() -> String {
         .filter(|(l, _)| l.contains("100") || l.contains("1000"))
         .map(|(_, f)| f)
         .sum();
-    let _ = writeln!(out, ">= two orders of magnitude improvement: {:.1}%", ge100 * 100.0);
+    let _ = writeln!(
+        out,
+        ">= two orders of magnitude improvement: {:.1}%",
+        ge100 * 100.0
+    );
     out
 }
 
@@ -165,7 +185,12 @@ pub fn fig17() -> String {
          (paper shape: BOU can be up to ~4x worse than NAT's worst case, but\n\
           harm occurs at under 1% of locations; SEER's harm is bounded by λ)\n"
     );
-    let mut t = Table::new(vec!["query", "MH (basic)", "harmed locations %", "MH (opt)"]);
+    let mut t = Table::new(vec![
+        "query",
+        "MH (basic)",
+        "harmed locations %",
+        "MH (opt)",
+    ]);
     for ev in suite_evaluations() {
         t.row(vec![
             ev.name.clone(),
@@ -173,7 +198,10 @@ pub fn fig17() -> String {
             format!("{:.2}", ev.bou_basic_harm.harm_fraction * 100.0),
             format!(
                 "{:.2}",
-                ev.bou_opt_harm.as_ref().map(|h| h.max_harm).unwrap_or(f64::NAN)
+                ev.bou_opt_harm
+                    .as_ref()
+                    .map(|h| h.max_harm)
+                    .unwrap_or(f64::NAN)
             ),
         ]);
     }

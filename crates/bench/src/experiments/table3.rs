@@ -35,15 +35,34 @@ pub fn run() -> String {
         &w.catalog,
         7,
         &[
-            ColumnOverride::EffectiveNdv { table: "part".into(), column: "p_partkey".into(), ndv: 200 },
-            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_partkey".into(), ndv: 200 },
-            ColumnOverride::EffectiveNdv { table: "orders".into(), column: "o_orderkey".into(), ndv: 500 },
-            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_orderkey".into(), ndv: 500 },
+            ColumnOverride::EffectiveNdv {
+                table: "part".into(),
+                column: "p_partkey".into(),
+                ndv: 200,
+            },
+            ColumnOverride::EffectiveNdv {
+                table: "lineitem".into(),
+                column: "l_partkey".into(),
+                ndv: 200,
+            },
+            ColumnOverride::EffectiveNdv {
+                table: "orders".into(),
+                column: "o_orderkey".into(),
+                ndv: 500,
+            },
+            ColumnOverride::EffectiveNdv {
+                table: "lineitem".into(),
+                column: "l_orderkey".into(),
+                ndv: 500,
+            },
         ],
     );
 
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3 — engine-measured bouquet execution for 2D_H_Q8A\n");
+    let _ = writeln!(
+        out,
+        "Table 3 — engine-measured bouquet execution for 2D_H_Q8A\n"
+    );
 
     // Estimated vs actual locations.
     let est = Estimator::new(&w.catalog);
@@ -72,7 +91,10 @@ pub fn run() -> String {
 
     let basic = engine_run_bouquet(&b, &db, false);
     let optd = engine_run_bouquet(&b, &db, true);
-    assert!(basic.completed && optd.completed, "bouquet runs must complete");
+    assert!(
+        basic.completed && optd.completed,
+        "bouquet runs must complete"
+    );
 
     let _ = writeln!(out, "contour-wise breakdown (engine cost units):");
     let mut t = Table::new(vec![
@@ -84,12 +106,7 @@ pub fn run() -> String {
     ]);
     let bb = basic.contour_breakdown();
     let oo = optd.contour_breakdown();
-    let max_contour = bb
-        .iter()
-        .chain(&oo)
-        .map(|r| r.0)
-        .max()
-        .unwrap_or(0);
+    let max_contour = bb.iter().chain(&oo).map(|r| r.0).max().unwrap_or(0);
     for cid in 1..=max_contour {
         let b_row = bb.iter().find(|r| r.0 == cid);
         let o_row = oo.iter().find(|r| r.0 == cid);
@@ -152,11 +169,11 @@ mod tests {
         let (nat, basic, opt) = (nums[0], nums[1], nums[2]);
         // The paper's headline: NAT is an order of magnitude (or more)
         // worse than either bouquet driver (36x vs 7.2x/4.3x there).
+        assert!(nat > 10.0 * basic, "NAT {nat} must dwarf basic BOU {basic}");
         assert!(
-            nat > 10.0 * basic,
-            "NAT {nat} must dwarf basic BOU {basic}"
+            basic >= opt * 0.95,
+            "basic {basic} should not beat optimized {opt} materially"
         );
-        assert!(basic >= opt * 0.95, "basic {basic} should not beat optimized {opt} materially");
         assert!(opt >= 1.0);
     }
 }

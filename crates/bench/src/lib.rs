@@ -9,7 +9,7 @@ pub mod calibration;
 pub mod engine_driver;
 pub mod table;
 
-pub use engine_driver::{engine_run_nat, engine_run_bouquet, EngineRunReport};
+pub use engine_driver::{engine_run_bouquet, engine_run_nat, EngineRunReport};
 pub use table::Table;
 
 pub mod experiments;

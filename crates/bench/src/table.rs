@@ -85,7 +85,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(7.46219), "7.46");
         assert_eq!(fnum(123.4), "123");
         assert_eq!(fnum(1.5e7), "1.50e7");
         assert_eq!(fnum(2e-5), "2.00e-5");

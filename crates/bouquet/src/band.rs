@@ -125,9 +125,7 @@ fn enumerate_box(lo: &[usize], hi: &[usize], f: &mut impl FnMut(&[usize])) {
             return;
         }
         ix[dim] += 1;
-        for i in dim + 1..d {
-            ix[i] = lo[i];
-        }
+        ix[(dim + 1)..d].copy_from_slice(&lo[(dim + 1)..d]);
     }
 }
 
@@ -145,7 +143,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();
@@ -183,7 +187,10 @@ mod tests {
             ff < fc,
             "finer grid should need a smaller optimized fraction: {ff} vs {fc}"
         );
-        assert!(ff < 0.6, "at 96² the band should cover well under 60%: {ff}");
+        assert!(
+            ff < 0.6,
+            "at 96² the band should cover well under 60%: {ff}"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! plans is the bouquet, handed to the run-time drivers together with the
 //! (λ-inflated) budgets.
 
-use pb_cost::{CostPerturbation, SelPoint};
+use std::time::{Duration, Instant};
+
+use pb_cost::{par_map, CostPerturbation, Parallelism, SelPoint};
 use pb_optimizer::{PlanDiagram, PlanId};
 use pb_plan::PhysicalPlan;
 
@@ -57,6 +59,24 @@ pub struct CompileStats {
     pub cmax: f64,
 }
 
+/// Wall-clock breakdown of one identification run. Kept outside
+/// [`CompileStats`] (and unserialized) so that timing jitter can never leak
+/// into persisted artefacts — parallel and sequential runs must produce
+/// byte-identical serializations.
+#[derive(Debug, Clone)]
+pub struct PhaseTimings {
+    /// Workers the run was configured with.
+    pub workers: usize,
+    /// Plan-diagram construction (exhaustive optimization over the grid).
+    pub diagram: Duration,
+    /// POSP cost matrix (abstract-plan recosting of every plan everywhere).
+    pub cost_matrix: Duration,
+    /// Frontier scans + anorexic reduction over all isocost steps.
+    pub contours: Duration,
+    /// End-to-end identification time.
+    pub total: Duration,
+}
+
 /// A compiled plan bouquet, ready for run-time discovery.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Bouquet {
@@ -71,15 +91,40 @@ pub struct Bouquet {
 }
 
 impl Bouquet {
-    /// Run the full compile-time pipeline for a workload.
+    /// Run the full compile-time pipeline for a workload, using all
+    /// available cores (or the `--jobs` override).
     pub fn identify(w: &Workload, cfg: &BouquetConfig) -> Result<Bouquet, String> {
+        Self::identify_with(w, cfg, Parallelism::auto())
+    }
+
+    /// Identification with an explicit worker policy. Any worker count
+    /// produces an identical bouquet — parallel phases merge in
+    /// deterministic grid/step order.
+    pub fn identify_with(
+        w: &Workload,
+        cfg: &BouquetConfig,
+        par: Parallelism,
+    ) -> Result<Bouquet, String> {
+        Self::identify_timed(w, cfg, par).map(|(b, _)| b)
+    }
+
+    /// Identification returning the per-phase wall-clock breakdown next to
+    /// the bouquet (timings stay outside the serialized artefact).
+    pub fn identify_timed(
+        w: &Workload,
+        cfg: &BouquetConfig,
+        par: Parallelism,
+    ) -> Result<(Bouquet, PhaseTimings), String> {
         if cfg.lambda < 0.0 {
             return Err("lambda must be non-negative".into());
         }
         if cfg.r <= 1.0 {
             return Err("isocost ratio r must exceed 1".into());
         }
-        let diagram = w.diagram();
+        let t_start = Instant::now();
+        let diagram = PlanDiagram::build_with(&w.catalog, &w.query, &w.model, &w.ess, par);
+        let t_diagram = t_start.elapsed();
+
         let (cmin, cmax) = diagram.cost_bounds();
         // PCM sanity: the PIC must be monotone along every axis; queries
         // violating this (e.g. existential operators, Section 2) are not
@@ -87,14 +132,21 @@ impl Bouquet {
         check_pic_monotone(&diagram)?;
 
         let grading = IsoCostGrading::geometric(cmin, cmax, cfg.r);
-        let costs = diagram.cost_matrix(&w.catalog, &w.query, &w.model);
+        let t0 = Instant::now();
+        let costs = diagram.cost_matrix_with(&w.catalog, &w.query, &w.model, par);
+        let t_cost_matrix = t0.elapsed();
+
+        // One frontier scan per isocost step, fanned out across steps, then
+        // reused for both ρ_posp and the contours themselves.
+        let t0 = Instant::now();
+        let frontiers = par_map(par, grading.steps.len(), |k| {
+            Contour::frontier(&diagram, grading.steps[k])
+        });
 
         // ρ before reduction: distinct optimal plans per frontier.
-        let rho_posp = grading
-            .steps
+        let rho_posp = frontiers
             .iter()
-            .map(|&b| {
-                let f = Contour::frontier(&diagram, b);
+            .map(|f| {
                 let mut plans: Vec<u32> = f.iter().map(|&li| diagram.optimal[li]).collect();
                 plans.sort_unstable();
                 plans.dedup();
@@ -103,7 +155,10 @@ impl Bouquet {
             .max()
             .unwrap_or(0);
 
-        let contours = Contour::build_all(&diagram, &grading, &costs, cfg.lambda);
+        let contours =
+            Contour::build_from_frontiers(&diagram, &grading, &costs, cfg.lambda, frontiers, par);
+        let t_contours = t0.elapsed();
+
         let bouquet_cardinality = {
             let mut all: Vec<PlanId> = contours.iter().flat_map(|c| c.plan_set.clone()).collect();
             all.sort_unstable();
@@ -120,15 +175,25 @@ impl Bouquet {
             cmin,
             cmax,
         };
-        Ok(Bouquet {
-            workload: w.clone(),
-            diagram,
-            costs,
-            grading,
-            contours,
-            config: cfg.clone(),
-            stats,
-        })
+        let timings = PhaseTimings {
+            workers: par.workers,
+            diagram: t_diagram,
+            cost_matrix: t_cost_matrix,
+            contours: t_contours,
+            total: t_start.elapsed(),
+        };
+        Ok((
+            Bouquet {
+                workload: w.clone(),
+                diagram,
+                costs,
+                grading,
+                contours,
+                config: cfg.clone(),
+                stats,
+            },
+            timings,
+        ))
     }
 
     /// The bouquet plan set: union of contour plan sets (diagram plan ids).
@@ -225,7 +290,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();

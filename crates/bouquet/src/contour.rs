@@ -9,6 +9,7 @@
 //! contour budget. This staircase construction is the standard discrete
 //! realisation in the bouquet literature.
 
+use pb_cost::{par_map, Parallelism};
 use pb_optimizer::{AnorexicReduction, PlanDiagram, PlanId};
 
 use crate::grading::IsoCostGrading;
@@ -34,28 +35,39 @@ pub struct Contour {
 }
 
 impl Contour {
-    /// Compute the dominance frontier of `{q : opt_cost(q) ≤ budget}`.
-    pub fn frontier(diagram: &PlanDiagram, budget: f64) -> Vec<usize> {
+    /// Whether grid point `li` lies on the dominance frontier of
+    /// `{q : opt_cost(q) ≤ budget}`: within budget, and every axis
+    /// successor (where one exists) is over budget.
+    fn on_frontier(diagram: &PlanDiagram, budget: f64, li: usize) -> bool {
         let ess = &diagram.ess;
-        let d = ess.d();
-        let mut out = Vec::new();
-        'pts: for li in 0..ess.num_points() {
-            if diagram.opt_cost[li] > budget {
-                continue;
-            }
-            let ix = ess.unlinear(li);
-            for dim in 0..d {
-                if ix[dim] + 1 < ess.res[dim] {
-                    let mut up = ix.clone();
-                    up[dim] += 1;
-                    if diagram.opt_cost[ess.linear(&up)] <= budget {
-                        continue 'pts; // dominated within the region
-                    }
+        if diagram.opt_cost[li] > budget {
+            return false;
+        }
+        let ix = ess.unlinear(li);
+        for dim in 0..ess.d() {
+            if ix[dim] + 1 < ess.res[dim] {
+                let mut up = ix.clone();
+                up[dim] += 1;
+                if diagram.opt_cost[ess.linear(&up)] <= budget {
+                    return false; // dominated within the region
                 }
             }
-            out.push(li);
         }
-        out
+        true
+    }
+
+    /// Compute the dominance frontier of `{q : opt_cost(q) ≤ budget}`.
+    pub fn frontier(diagram: &PlanDiagram, budget: f64) -> Vec<usize> {
+        Self::frontier_with(diagram, budget, Parallelism::serial())
+    }
+
+    /// Frontier with an explicit worker policy. The per-point dominance
+    /// check is independent, so the scan chunks over the grid; results keep
+    /// ascending linear order regardless of worker count.
+    pub fn frontier_with(diagram: &PlanDiagram, budget: f64, par: Parallelism) -> Vec<usize> {
+        let n = diagram.ess.num_points();
+        let mask = par_map(par, n, |li| Self::on_frontier(diagram, budget, li));
+        (0..n).filter(|&li| mask[li]).collect()
     }
 
     /// Build all contours for a grading, reducing each contour's plan set
@@ -66,30 +78,57 @@ impl Contour {
         costs: &[Vec<f64>],
         lambda: f64,
     ) -> Vec<Contour> {
-        grading
-            .steps
-            .iter()
-            .enumerate()
-            .map(|(k, &step_cost)| {
-                let points = Self::frontier(diagram, step_cost);
-                assert!(
-                    !points.is_empty(),
-                    "contour {} (budget {step_cost}) has no frontier points",
-                    k + 1
-                );
-                let red = AnorexicReduction::reduce_points(diagram, costs, &points, lambda);
-                let mut plan_set = red.kept.clone();
-                plan_set.sort_unstable();
-                Contour {
-                    id: k + 1,
-                    step_cost,
-                    budget: step_cost * (1.0 + lambda),
-                    points,
-                    assignment: red.assignment,
-                    plan_set,
-                }
-            })
-            .collect()
+        Self::build_all_with(diagram, grading, costs, lambda, Parallelism::serial())
+    }
+
+    /// Build all contours with an explicit worker policy: the per-step
+    /// frontier scan plus anorexic reduction fans out across steps (each
+    /// step is independent; output order follows the grading).
+    pub fn build_all_with(
+        diagram: &PlanDiagram,
+        grading: &IsoCostGrading,
+        costs: &[Vec<f64>],
+        lambda: f64,
+        par: Parallelism,
+    ) -> Vec<Contour> {
+        let frontiers = par_map(par, grading.steps.len(), |k| {
+            Self::frontier(diagram, grading.steps[k])
+        });
+        Self::build_from_frontiers(diagram, grading, costs, lambda, frontiers, par)
+    }
+
+    /// Assemble contours from precomputed per-step frontiers (lets callers
+    /// that already ran the frontier scans — e.g. for ρ_posp — reuse them).
+    pub fn build_from_frontiers(
+        diagram: &PlanDiagram,
+        grading: &IsoCostGrading,
+        costs: &[Vec<f64>],
+        lambda: f64,
+        frontiers: Vec<Vec<usize>>,
+        par: Parallelism,
+    ) -> Vec<Contour> {
+        assert_eq!(frontiers.len(), grading.steps.len());
+        let contours = par_map(par, grading.steps.len(), |k| {
+            let step_cost = grading.steps[k];
+            let points = frontiers[k].clone();
+            assert!(
+                !points.is_empty(),
+                "contour {} (budget {step_cost}) has no frontier points",
+                k + 1
+            );
+            let red = AnorexicReduction::reduce_points(diagram, costs, &points, lambda);
+            let mut plan_set = red.kept.clone();
+            plan_set.sort_unstable();
+            Contour {
+                id: k + 1,
+                step_cost,
+                budget: step_cost * (1.0 + lambda),
+                points,
+                assignment: red.assignment,
+                plan_set,
+            }
+        });
+        contours
     }
 
     /// Number of plans on this contour (its density `n_k`).
@@ -100,14 +139,9 @@ impl Contour {
     /// Whether some frontier point dominates (componentwise ≥) `ix` — i.e.
     /// a query at `ix` is guaranteed discoverable on this contour.
     pub fn dominates(&self, diagram: &PlanDiagram, ix: &[usize]) -> bool {
-        self.points.iter().any(|&li| {
-            diagram
-                .ess
-                .unlinear(li)
-                .iter()
-                .zip(ix)
-                .all(|(f, q)| f >= q)
-        })
+        self.points
+            .iter()
+            .any(|&li| diagram.ess.unlinear(li).iter().zip(ix).all(|(f, q)| f >= q))
     }
 
     /// Frontier points (with their plans) that dominate `ix` — the plans
@@ -118,14 +152,7 @@ impl Contour {
             .points
             .iter()
             .zip(&self.assignment)
-            .filter(|(&li, _)| {
-                diagram
-                    .ess
-                    .unlinear(li)
-                    .iter()
-                    .zip(ix)
-                    .all(|(f, q)| f >= q)
-            })
+            .filter(|(&li, _)| diagram.ess.unlinear(li).iter().zip(ix).all(|(f, q)| f >= q))
             .map(|(_, &p)| p)
             .collect();
         plans.sort_unstable();
@@ -168,7 +195,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();
@@ -180,6 +213,99 @@ mod tests {
             20,
         );
         Workload::new("EQ_2D", cat.clone(), q, ess, CostModel::postgresish())
+    }
+
+    /// A hand-built diagram over an explicit cost grid (plan trees are
+    /// irrelevant to frontier geometry, so every point uses one dummy plan).
+    fn synthetic_diagram(res: Vec<usize>, opt_cost: Vec<f64>) -> PlanDiagram {
+        use pb_plan::{PhysicalPlan, PlanNode};
+        let dims = (0..res.len())
+            .map(|d| EssDim::new(format!("d{d}"), 1e-4, 1.0))
+            .collect();
+        let ess = Ess::new(dims, res);
+        assert_eq!(ess.num_points(), opt_cost.len());
+        let n = opt_cost.len();
+        PlanDiagram {
+            ess,
+            plans: vec![PhysicalPlan::new(PlanNode::SeqScan { rel: 0 })],
+            optimal: vec![0; n],
+            opt_cost,
+        }
+    }
+
+    #[test]
+    fn frontier_of_single_point_grid() {
+        // 1×1 grid: the lone point is the whole frontier when affordable,
+        // and nothing is on the frontier below its cost.
+        let d = synthetic_diagram(vec![1, 1], vec![100.0]);
+        assert_eq!(Contour::frontier(&d, 100.0), vec![0]);
+        assert_eq!(Contour::frontier(&d, 150.0), vec![0]);
+        assert!(Contour::frontier(&d, 99.9).is_empty());
+    }
+
+    #[test]
+    fn frontier_below_cmin_is_empty() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let (cmin, _) = d.cost_bounds();
+        assert!(Contour::frontier(&d, cmin * 0.5).is_empty());
+        // Exactly at C_min the origin becomes reachable.
+        assert!(!Contour::frontier(&d, cmin).is_empty());
+    }
+
+    #[test]
+    fn frontier_above_cmax_is_the_terminus() {
+        let w = eq_2d();
+        let d = w.diagram();
+        let (_, cmax) = d.cost_bounds();
+        // Every point is within budget, so the only maximal point of the
+        // region is the grid's terminus corner.
+        let f = Contour::frontier(&d, cmax * 2.0);
+        assert_eq!(f, vec![d.ess.linear(&d.ess.terminus())]);
+    }
+
+    #[test]
+    fn frontier_keeps_all_points_of_a_cost_plateau() {
+        // 3×3 grid where the anti-diagonal staircase {[2,0],[1,1],[0,2]}
+        // ties at cost 5 and everything beyond costs 10: all three tied,
+        // mutually incomparable points must stay on the frontier.
+        let cost = |ix: &[usize]| if ix[0] + ix[1] <= 2 { 5.0 } else { 10.0 };
+        let dims = vec![3, 3];
+        let probe = synthetic_diagram(dims.clone(), vec![0.0; 9]);
+        let costs: Vec<f64> = (0..9).map(|li| cost(&probe.ess.unlinear(li))).collect();
+        let d = synthetic_diagram(dims, costs);
+        let f = Contour::frontier(&d, 5.0);
+        let expect: Vec<usize> = (0..9)
+            .filter(|&li| {
+                let ix = d.ess.unlinear(li);
+                ix[0] + ix[1] == 2
+            })
+            .collect();
+        assert_eq!(f, expect, "tied staircase points must all survive");
+        // On a uniform plateau covering the whole grid, every point except
+        // the terminus is (non-strictly) dominated.
+        let flat = synthetic_diagram(vec![3, 3], vec![5.0; 9]);
+        assert_eq!(
+            Contour::frontier(&flat, 5.0),
+            vec![flat.ess.linear(&flat.ess.terminus())]
+        );
+        // Below the plateau cost nothing qualifies.
+        assert!(Contour::frontier(&flat, 4.9).is_empty());
+    }
+
+    #[test]
+    fn frontier_parallel_matches_serial_on_synthetic_grids() {
+        // Staircase costs: frontier shape is non-trivial, so this checks
+        // ordering is preserved by the chunked scan.
+        let costs: Vec<f64> = (0..64).map(|li| ((li % 8) + (li / 8)) as f64).collect();
+        let d = synthetic_diagram(vec![8, 8], costs);
+        for budget in [0.0, 3.0, 7.5, 14.0] {
+            let serial = Contour::frontier(&d, budget);
+            for workers in [2, 3, 5] {
+                let par = Contour::frontier_with(&d, budget, Parallelism::new(workers));
+                assert_eq!(serial, par, "budget {budget}, workers {workers}");
+            }
+        }
     }
 
     #[test]

@@ -98,9 +98,9 @@ pub fn eliminate_insensitive(
     let d = w.ess.d();
     let mut remap: Vec<Option<usize>> = vec![None; d];
     let mut next = 0usize;
-    for dim in 0..d {
+    for (dim, slot) in remap.iter_mut().enumerate() {
         if !frozen.contains(&dim) {
-            remap[dim] = Some(next);
+            *slot = Some(next);
             next += 1;
         }
     }
@@ -164,7 +164,13 @@ mod tests {
         let l = qb.rel("lineitem");
         let n = qb.rel("nation");
         let s = qb.rel("supplier");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_suppkey", s, "s_suppkey", SelSpec::Fixed(1e-4));
         qb.join(s, "s_nationkey", n, "n_nationkey", SelSpec::Fixed(0.04));

@@ -106,8 +106,7 @@ impl Bouquet {
             // movement per unit budget. Otherwise the plan runs unspilled
             // and may complete the query (it still learns on abort, just
             // with a shallower movement).
-            let spilled = has_unresolved
-                && self.workload.coster().plan_cost(plan, &qrun) > budget;
+            let spilled = has_unresolved && self.workload.coster().plan_cost(plan, &qrun) > budget;
 
             let r = ex.execute_monitored(plan, qa, &resolved, budget, spilled);
             total += r.spent;
@@ -181,10 +180,7 @@ impl Bouquet {
             .iter()
             .map(|&p| (p, coster.plan_cost(&self.plan(p).root, qrun)))
             .collect();
-        let cheapest = costs
-            .iter()
-            .map(|&(_, c)| c)
-            .fold(f64::INFINITY, f64::min);
+        let cheapest = costs.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
         // Cost-equivalence group: within 20% of the cheapest.
         let group: Vec<PlanId> = costs
             .iter()
@@ -260,7 +256,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();

@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 use crate::bouquet::{Bouquet, BouquetConfig};
 use crate::contour::Contour;
 use crate::metrics::{
-    bouquet_metrics, harm, robustness_distribution, single_plan_metrics,
-    single_plan_worst_profile, HarmReport, MetricsSummary, RobustnessDistribution,
+    bouquet_metrics, harm, robustness_distribution, single_plan_metrics, single_plan_worst_profile,
+    HarmReport, MetricsSummary, RobustnessDistribution,
 };
 use crate::workload::Workload;
 
@@ -144,37 +144,16 @@ pub fn evaluate_with_bouquet(
 pub fn run_profile(bouquet: &Bouquet, optimized: bool) -> Vec<f64> {
     let ess = &bouquet.workload.ess;
     let n = ess.num_points();
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    let chunk = n.div_ceil(threads);
-    let mut out = vec![0.0f64; n];
-    crossbeam::thread::scope(|s| {
-        let mut slices: Vec<&mut [f64]> = out.chunks_mut(chunk).collect();
-        let mut handles = Vec::new();
-        for (t, slice) in slices.drain(..).enumerate() {
-            handles.push(s.spawn(move |_| {
-                let lo = t * chunk;
-                for (i, v) in slice.iter_mut().enumerate() {
-                    let li = lo + i;
-                    let qa = ess.point(&ess.unlinear(li));
-                    let run = if optimized {
-                        bouquet.run_optimized(&qa)
-                    } else {
-                        bouquet.run_basic(&qa)
-                    };
-                    assert!(run.completed(), "driver failed at grid point {li}");
-                    *v = run.suboptimality(bouquet.pic_cost_at(li));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("profile worker panicked");
-        }
+    pb_cost::par_map(pb_cost::Parallelism::auto(), n, |li| {
+        let qa = ess.point(&ess.unlinear(li));
+        let run = if optimized {
+            bouquet.run_optimized(&qa)
+        } else {
+            bouquet.run_basic(&qa)
+        };
+        assert!(run.completed(), "driver failed at grid point {li}");
+        run.suboptimality(bouquet.pic_cost_at(li))
     })
-    .expect("crossbeam scope failed");
-    out
 }
 
 /// Compute the Table 1 guarantee row: Equation 8 evaluated with the raw
@@ -235,7 +214,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();

@@ -82,7 +82,10 @@ pub fn flip_decreasing(w: &Workload) -> Result<(Workload, Vec<bool>), String> {
             w.ess.dims[bad].name
         ));
     }
-    let flips: Vec<bool> = dirs.iter().map(|&d| d == DimDirection::Decreasing).collect();
+    let flips: Vec<bool> = dirs
+        .iter()
+        .map(|&d| d == DimDirection::Decreasing)
+        .collect();
     if !flips.iter().any(|&f| f) {
         return Ok((w.clone(), flips));
     }
@@ -144,7 +147,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let ps = qb.rel("partsupp");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.anti_join(l, "l_partkey", ps, "ps_partkey", SelSpec::ErrorProne(1));
         let q = qb.build();
@@ -222,7 +231,13 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat, "plain");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         let q = qb.build();
         let ess = Ess::uniform(vec![EssDim::new("s", 1e-4, 1.0)], 10);

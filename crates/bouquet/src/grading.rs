@@ -85,7 +85,11 @@ mod tests {
             // IC_m = cmax
             assert!((g.budget(m - 1) - cmax).abs() < 1e-9 * cmax);
             // IC_1 >= cmin > IC_1 / r
-            assert!(g.budget(0) >= cmin * (1.0 - 1e-12), "IC1 {} < cmin {cmin}", g.budget(0));
+            assert!(
+                g.budget(0) >= cmin * (1.0 - 1e-12),
+                "IC1 {} < cmin {cmin}",
+                g.budget(0)
+            );
             assert!(g.budget(0) / r < cmin * (1.0 + 1e-12));
             // geometric with ratio r
             for w in g.steps.windows(2) {

@@ -30,7 +30,7 @@ pub mod persist;
 pub mod theory;
 pub mod workload;
 
-pub use bouquet::{Bouquet, BouquetConfig, CompileStats};
+pub use bouquet::{Bouquet, BouquetConfig, CompileStats, PhaseTimings};
 pub use contour::Contour;
 pub use drivers::{BouquetRun, ExecutionOutcome, PartialExec};
 pub use eval::{EvalConfig, WorkloadEvaluation};

@@ -234,9 +234,21 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
-        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7 / scale));
+        qb.join(
+            l,
+            "l_orderkey",
+            o,
+            "o_orderkey",
+            SelSpec::Fixed(6.7e-7 / scale),
+        );
         let q = qb.build();
         let ess = Ess::uniform(
             vec![
@@ -252,8 +264,7 @@ mod tests {
     fn rescale_costs_far_fewer_optimizer_calls_than_rebuild() {
         let old = Bouquet::identify(&workload_at(1.0), &BouquetConfig::default()).unwrap();
         let new_w = workload_at(4.0);
-        let (_, report) =
-            rescale(&old, new_w.catalog.clone(), Some(new_w.clone())).unwrap();
+        let (_, report) = rescale(&old, new_w.catalog.clone(), Some(new_w.clone())).unwrap();
         assert!(
             report.effort_fraction() < 0.5,
             "maintenance should cost well under half a rebuild: {:.2}",
@@ -266,8 +277,7 @@ mod tests {
     fn rescaled_bouquet_matches_rebuild_on_frontiers_and_guarantees() {
         let old = Bouquet::identify(&workload_at(1.0), &BouquetConfig::default()).unwrap();
         let new_w = workload_at(4.0);
-        let (maintained, _) =
-            rescale(&old, new_w.catalog.clone(), Some(new_w.clone())).unwrap();
+        let (maintained, _) = rescale(&old, new_w.catalog.clone(), Some(new_w.clone())).unwrap();
         let rebuilt = Bouquet::identify(&new_w, &BouquetConfig::default()).unwrap();
         // The PIC extremes are exact (corners are frontier points).
         assert!((maintained.stats.cmin - rebuilt.stats.cmin).abs() < 1e-6 * rebuilt.stats.cmin);
@@ -295,6 +305,9 @@ mod tests {
         let (same, report) = rescale(&old, w.catalog.clone(), None).unwrap();
         assert_eq!(report.new_plans, 0, "no new plans on an unchanged catalog");
         assert_eq!(same.grading, old.grading);
-        assert_eq!(same.stats.bouquet_cardinality, old.stats.bouquet_cardinality);
+        assert_eq!(
+            same.stats.bouquet_cardinality,
+            old.stats.bouquet_cardinality
+        );
     }
 }

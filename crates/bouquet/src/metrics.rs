@@ -66,12 +66,7 @@ pub fn single_plan_metrics(
         weight[p] += 1.0 / n as f64;
     }
     let aso = (0..n)
-        .map(|qa| {
-            used.iter()
-                .map(|&p| weight[p] * costs[p][qa])
-                .sum::<f64>()
-                / opt_cost[qa]
-        })
+        .map(|qa| used.iter().map(|&p| weight[p] * costs[p][qa]).sum::<f64>() / opt_cost[qa])
         .sum::<f64>()
         / n as f64;
 
@@ -144,7 +139,10 @@ pub struct RobustnessDistribution {
     pub buckets: Vec<(String, f64)>,
 }
 
-pub fn robustness_distribution(bouquet_subopt: &[f64], nat_worst: &[f64]) -> RobustnessDistribution {
+pub fn robustness_distribution(
+    bouquet_subopt: &[f64],
+    nat_worst: &[f64],
+) -> RobustnessDistribution {
     let edges = [1.0, 10.0, 100.0, 1000.0];
     let labels = ["<1 (harm)", "[1,10)", "[10,100)", "[100,1000)", ">=1000"];
     let mut counts = [0usize; 5];

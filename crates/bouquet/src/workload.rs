@@ -80,7 +80,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();
@@ -106,6 +112,12 @@ mod tests {
             vec![EssDim::new("a", 1e-4, 1.0), EssDim::new("b", 1e-4, 1.0)],
             8,
         );
-        Workload::new("bad", w.catalog.clone(), w.query.clone(), bad_ess, w.model.clone());
+        Workload::new(
+            "bad",
+            w.catalog.clone(),
+            w.query.clone(),
+            bad_ess,
+            w.model.clone(),
+        );
     }
 }

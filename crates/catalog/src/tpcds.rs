@@ -33,7 +33,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "item",
         dim(204_000.0),
         vec![
-            ("i_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
+            (
+                "i_item_sk",
+                CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0),
+                8,
+            ),
             ("i_category", CS::uniform(10.0, 0.0, 9.0), 12),
             ("i_manufact_id", CS::uniform(1_000.0, 0.0, 999.0), 8),
             ("i_brand_id", CS::uniform(1_000.0, 0.0, 999.0), 8),
@@ -44,9 +48,21 @@ pub fn catalog(sf: f64) -> Catalog {
         "customer",
         dim(2_000_000.0),
         vec![
-            ("c_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
-            ("c_current_addr_sk", CS::uniform(dim(1_000_000.0), 0.0, dim(1_000_000.0) - 1.0), 8),
-            ("c_current_cdemo_sk", CS::uniform(dim(1_920_800.0), 0.0, dim(1_920_800.0) - 1.0), 8),
+            (
+                "c_customer_sk",
+                CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0),
+                8,
+            ),
+            (
+                "c_current_addr_sk",
+                CS::uniform(dim(1_000_000.0), 0.0, dim(1_000_000.0) - 1.0),
+                8,
+            ),
+            (
+                "c_current_cdemo_sk",
+                CS::uniform(dim(1_920_800.0), 0.0, dim(1_920_800.0) - 1.0),
+                8,
+            ),
             ("c_current_hdemo_sk", CS::uniform(7_200.0, 0.0, 7_199.0), 8),
             ("c_birth_month", CS::uniform(12.0, 1.0, 12.0), 8),
         ],
@@ -55,7 +71,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "customer_address",
         dim(1_000_000.0),
         vec![
-            ("ca_address_sk", CS::uniform(dim(1_000_000.0), 0.0, dim(1_000_000.0) - 1.0), 8),
+            (
+                "ca_address_sk",
+                CS::uniform(dim(1_000_000.0), 0.0, dim(1_000_000.0) - 1.0),
+                8,
+            ),
             ("ca_state", CS::uniform(51.0, 0.0, 50.0), 8),
             ("ca_zip", CS::uniform(10_000.0, 0.0, 9_999.0), 8),
             ("ca_gmt_offset", CS::uniform(6.0, -10.0, -5.0), 8),
@@ -84,7 +104,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "store",
         dim(402.0).max(12.0),
         vec![
-            ("s_store_sk", CS::uniform(dim(402.0).max(12.0), 0.0, dim(402.0).max(12.0) - 1.0), 8),
+            (
+                "s_store_sk",
+                CS::uniform(dim(402.0).max(12.0), 0.0, dim(402.0).max(12.0) - 1.0),
+                8,
+            ),
             ("s_state", CS::uniform(9.0, 0.0, 8.0), 8),
             ("s_gmt_offset", CS::uniform(6.0, -10.0, -5.0), 8),
         ],
@@ -93,7 +117,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "call_center",
         dim(30.0).max(6.0),
         vec![
-            ("cc_call_center_sk", CS::uniform(dim(30.0).max(6.0), 0.0, dim(30.0).max(6.0) - 1.0), 8),
+            (
+                "cc_call_center_sk",
+                CS::uniform(dim(30.0).max(6.0), 0.0, dim(30.0).max(6.0) - 1.0),
+                8,
+            ),
             ("cc_class", CS::uniform(3.0, 0.0, 2.0), 12),
         ],
     );
@@ -101,7 +129,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "warehouse",
         dim(15.0).max(5.0),
         vec![
-            ("w_warehouse_sk", CS::uniform(dim(15.0).max(5.0), 0.0, dim(15.0).max(5.0) - 1.0), 8),
+            (
+                "w_warehouse_sk",
+                CS::uniform(dim(15.0).max(5.0), 0.0, dim(15.0).max(5.0) - 1.0),
+                8,
+            ),
             ("w_state", CS::uniform(9.0, 0.0, 8.0), 8),
         ],
     );
@@ -109,7 +141,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "promotion",
         dim(1_000.0).max(300.0),
         vec![
-            ("p_promo_sk", CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0), 8),
+            (
+                "p_promo_sk",
+                CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0),
+                8,
+            ),
             ("p_channel_email", CS::uniform(2.0, 0.0, 1.0), 4),
         ],
     );
@@ -118,12 +154,28 @@ pub fn catalog(sf: f64) -> Catalog {
         fact(288_000_000.0),
         vec![
             ("ss_sold_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
-            ("ss_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
-            ("ss_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            (
+                "ss_item_sk",
+                CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0),
+                8,
+            ),
+            (
+                "ss_customer_sk",
+                CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0),
+                8,
+            ),
             ("ss_cdemo_sk", CS::uniform(1_920_800.0, 0.0, 1_920_799.0), 8),
             ("ss_hdemo_sk", CS::uniform(7_200.0, 0.0, 7_199.0), 8),
-            ("ss_store_sk", CS::uniform(dim(402.0).max(12.0), 0.0, dim(402.0).max(12.0) - 1.0), 8),
-            ("ss_promo_sk", CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0), 8),
+            (
+                "ss_store_sk",
+                CS::uniform(dim(402.0).max(12.0), 0.0, dim(402.0).max(12.0) - 1.0),
+                8,
+            ),
+            (
+                "ss_promo_sk",
+                CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0),
+                8,
+            ),
             ("ss_sales_price", CS::uniform(20_000.0, 0.0, 200.0), 8),
         ],
     );
@@ -132,12 +184,36 @@ pub fn catalog(sf: f64) -> Catalog {
         fact(144_000_000.0),
         vec![
             ("cs_sold_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
-            ("cs_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
-            ("cs_bill_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
-            ("cs_bill_cdemo_sk", CS::uniform(1_920_800.0, 0.0, 1_920_799.0), 8),
-            ("cs_call_center_sk", CS::uniform(dim(30.0).max(6.0), 0.0, dim(30.0).max(6.0) - 1.0), 8),
-            ("cs_warehouse_sk", CS::uniform(dim(15.0).max(5.0), 0.0, dim(15.0).max(5.0) - 1.0), 8),
-            ("cs_promo_sk", CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0), 8),
+            (
+                "cs_item_sk",
+                CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0),
+                8,
+            ),
+            (
+                "cs_bill_customer_sk",
+                CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0),
+                8,
+            ),
+            (
+                "cs_bill_cdemo_sk",
+                CS::uniform(1_920_800.0, 0.0, 1_920_799.0),
+                8,
+            ),
+            (
+                "cs_call_center_sk",
+                CS::uniform(dim(30.0).max(6.0), 0.0, dim(30.0).max(6.0) - 1.0),
+                8,
+            ),
+            (
+                "cs_warehouse_sk",
+                CS::uniform(dim(15.0).max(5.0), 0.0, dim(15.0).max(5.0) - 1.0),
+                8,
+            ),
+            (
+                "cs_promo_sk",
+                CS::uniform(dim(1_000.0).max(300.0), 0.0, dim(1_000.0).max(300.0) - 1.0),
+                8,
+            ),
         ],
     );
     c.add_table(
@@ -145,8 +221,16 @@ pub fn catalog(sf: f64) -> Catalog {
         fact(72_000_000.0),
         vec![
             ("ws_sold_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
-            ("ws_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
-            ("ws_bill_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            (
+                "ws_item_sk",
+                CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0),
+                8,
+            ),
+            (
+                "ws_bill_customer_sk",
+                CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0),
+                8,
+            ),
             ("ws_web_page_sk", CS::uniform(2_040.0, 0.0, 2_039.0), 8),
         ],
     );
@@ -154,9 +238,21 @@ pub fn catalog(sf: f64) -> Catalog {
         "catalog_returns",
         fact(14_400_000.0),
         vec![
-            ("cr_returned_date_sk", CS::uniform(1_823.0, 0.0, 73_048.0), 8),
-            ("cr_item_sk", CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0), 8),
-            ("cr_returning_customer_sk", CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0), 8),
+            (
+                "cr_returned_date_sk",
+                CS::uniform(1_823.0, 0.0, 73_048.0),
+                8,
+            ),
+            (
+                "cr_item_sk",
+                CS::uniform(dim(204_000.0), 0.0, dim(204_000.0) - 1.0),
+                8,
+            ),
+            (
+                "cr_returning_customer_sk",
+                CS::uniform(dim(2_000_000.0), 0.0, dim(2_000_000.0) - 1.0),
+                8,
+            ),
         ],
     );
 

@@ -35,7 +35,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "supplier",
         10_000.0 * sf,
         vec![
-            ("s_suppkey", CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0), 8),
+            (
+                "s_suppkey",
+                CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0),
+                8,
+            ),
             ("s_nationkey", CS::uniform(25.0, 0.0, 24.0), 8),
             ("s_acctbal", CS::uniform(9_999.0, -999.99, 9_999.99), 8),
         ],
@@ -44,7 +48,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "customer",
         150_000.0 * sf,
         vec![
-            ("c_custkey", CS::uniform(150_000.0 * sf, 0.0, 150_000.0 * sf - 1.0), 8),
+            (
+                "c_custkey",
+                CS::uniform(150_000.0 * sf, 0.0, 150_000.0 * sf - 1.0),
+                8,
+            ),
             ("c_nationkey", CS::uniform(25.0, 0.0, 24.0), 8),
             ("c_mktsegment", CS::uniform(5.0, 0.0, 4.0), 12),
             ("c_acctbal", CS::uniform(9_999.0, -999.99, 9_999.99), 8),
@@ -54,7 +62,11 @@ pub fn catalog(sf: f64) -> Catalog {
         "part",
         200_000.0 * sf,
         vec![
-            ("p_partkey", CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0), 8),
+            (
+                "p_partkey",
+                CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0),
+                8,
+            ),
             ("p_retailprice", CS::uniform(100_000.0, 900.0, 2_099.0), 8),
             ("p_brand", CS::uniform(25.0, 0.0, 24.0), 12),
             ("p_type", CS::uniform(150.0, 0.0, 149.0), 26),
@@ -66,8 +78,16 @@ pub fn catalog(sf: f64) -> Catalog {
         "partsupp",
         800_000.0 * sf,
         vec![
-            ("ps_partkey", CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0), 8),
-            ("ps_suppkey", CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0), 8),
+            (
+                "ps_partkey",
+                CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0),
+                8,
+            ),
+            (
+                "ps_suppkey",
+                CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0),
+                8,
+            ),
             ("ps_supplycost", CS::uniform(99_901.0, 1.0, 1_000.0), 8),
         ],
     );
@@ -75,22 +95,50 @@ pub fn catalog(sf: f64) -> Catalog {
         "orders",
         1_500_000.0 * sf,
         vec![
-            ("o_orderkey", CS::uniform(1_500_000.0 * sf, 0.0, 1_500_000.0 * sf - 1.0), 8),
-            ("o_custkey", CS::uniform(150_000.0 * sf, 0.0, 150_000.0 * sf - 1.0), 8),
+            (
+                "o_orderkey",
+                CS::uniform(1_500_000.0 * sf, 0.0, 1_500_000.0 * sf - 1.0),
+                8,
+            ),
+            (
+                "o_custkey",
+                CS::uniform(150_000.0 * sf, 0.0, 150_000.0 * sf - 1.0),
+                8,
+            ),
             ("o_orderdate", CS::uniform(2_406.0, 0.0, 2_405.0), 8),
-            ("o_totalprice", CS::uniform(1_500_000.0, 857.71, 555_285.16), 8),
+            (
+                "o_totalprice",
+                CS::uniform(1_500_000.0, 857.71, 555_285.16),
+                8,
+            ),
         ],
     );
     c.add_table(
         "lineitem",
         6_000_000.0 * sf,
         vec![
-            ("l_orderkey", CS::uniform(1_500_000.0 * sf, 0.0, 1_500_000.0 * sf - 1.0), 8),
-            ("l_partkey", CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0), 8),
-            ("l_suppkey", CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0), 8),
+            (
+                "l_orderkey",
+                CS::uniform(1_500_000.0 * sf, 0.0, 1_500_000.0 * sf - 1.0),
+                8,
+            ),
+            (
+                "l_partkey",
+                CS::uniform(200_000.0 * sf, 0.0, 200_000.0 * sf - 1.0),
+                8,
+            ),
+            (
+                "l_suppkey",
+                CS::uniform(10_000.0 * sf, 0.0, 10_000.0 * sf - 1.0),
+                8,
+            ),
             ("l_shipdate", CS::uniform(2_526.0, 0.0, 2_525.0), 8),
             ("l_quantity", CS::uniform(50.0, 1.0, 50.0), 8),
-            ("l_extendedprice", CS::uniform(933_900.0, 901.0, 104_949.5), 8),
+            (
+                "l_extendedprice",
+                CS::uniform(933_900.0, 901.0, 104_949.5),
+                8,
+            ),
         ],
     );
 

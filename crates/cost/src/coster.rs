@@ -317,9 +317,7 @@ impl<'a> Coster<'a> {
         let groups = ndv_product.min(input.rows).max(1.0);
         NodeCost {
             rows: groups,
-            cost: input.cost
-                + input.rows * (p.cpu_tuple + p.hash_build)
-                + groups * p.emit_tuple,
+            cost: input.cost + input.rows * (p.cpu_tuple + p.hash_build) + groups * p.emit_tuple,
             width: (self.query.group_by.len() as f64 + 1.0) * 8.0,
         }
     }
@@ -341,7 +339,11 @@ impl<'a> Coster<'a> {
             PlanNode::SeqScan { rel } => self.seq_scan(*rel, q),
             PlanNode::IndexScan { rel, sel_idx } => self.index_scan(*rel, *sel_idx, q),
             PlanNode::FullIndexScan { rel, .. } => self.full_index_scan(*rel, q),
-            PlanNode::HashJoin { build, probe, edges } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                edges,
+            } => {
                 let b = self.cost(build, q);
                 let p = self.cost(probe, q);
                 self.hash_join(&b, &p, edges, q)
@@ -365,7 +367,11 @@ impl<'a> Coster<'a> {
                 let o = self.cost(outer, q);
                 self.index_nl_join(&o, *inner_rel, edges, q)
             }
-            PlanNode::BlockNLJoin { outer, inner, edges } => {
+            PlanNode::BlockNLJoin {
+                outer,
+                inner,
+                edges,
+            } => {
                 let o = self.cost(outer, q);
                 let i = self.cost(inner, q);
                 self.block_nl_join(&o, &i, edges, q)
@@ -404,7 +410,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         (cat.clone(), qb.build(), CostModel::postgresish())
@@ -523,14 +535,26 @@ mod tests {
         let (cat, q, m) = setup();
         let c = Coster::new(&cat, &q, &m);
         // Build fits: part at low sel. Build spills: lineitem full.
-        let small = NodeCost { rows: 1000.0, cost: 0.0, width: 100.0 };
-        let big = NodeCost { rows: 10_000_000.0, cost: 0.0, width: 100.0 };
-        let probe = NodeCost { rows: 1000.0, cost: 0.0, width: 100.0 };
+        let small = NodeCost {
+            rows: 1000.0,
+            cost: 0.0,
+            width: 100.0,
+        };
+        let big = NodeCost {
+            rows: 10_000_000.0,
+            cost: 0.0,
+            width: 100.0,
+        };
+        let probe = NodeCost {
+            rows: 1000.0,
+            cost: 0.0,
+            width: 100.0,
+        };
         let hj_small = c.hash_join(&small, &probe, &[0], &[1.0]);
         let hj_big = c.hash_join(&big, &probe, &[0], &[1.0]);
         let linear_scale = big.rows / small.rows;
         assert!(hj_big.cost > hj_small.cost * linear_scale * 0.5); // sanity
-        // The big build must include partitioning I/O beyond pure CPU scaling.
+                                                                   // The big build must include partitioning I/O beyond pure CPU scaling.
         let pure_cpu = big.rows * (m.p.cpu_tuple + m.p.hash_build);
         assert!(hj_big.cost > pure_cpu);
     }

@@ -21,7 +21,10 @@ pub struct EssDim {
 
 impl EssDim {
     pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo > 0.0 && hi > lo && hi <= 1.0, "bad dim range [{lo},{hi}]");
+        assert!(
+            lo > 0.0 && hi > lo && hi <= 1.0,
+            "bad dim range [{lo},{hi}]"
+        );
         EssDim {
             name: name.into(),
             lo,
@@ -67,7 +70,12 @@ impl Ess {
     pub fn new(dims: Vec<EssDim>, res: Vec<usize>) -> Self {
         assert_eq!(dims.len(), res.len());
         assert!(!dims.is_empty(), "ESS needs at least one dimension");
-        assert!(res.iter().all(|&r| r >= 2), "each dimension needs >= 2 steps");
+        // A 1-step axis is a degenerate but legal grid (the single point
+        // sits at the dimension's upper bound).
+        assert!(
+            res.iter().all(|&r| r >= 1),
+            "each dimension needs >= 1 step"
+        );
         Ess { dims, res }
     }
 

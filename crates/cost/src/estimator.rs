@@ -80,7 +80,13 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat, "t");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         let q = qb.build();
         let est = Estimator::new(&cat);
@@ -100,7 +106,13 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat, "t");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         let q = qb.build();
         let est = Estimator::new(&cat);

@@ -27,6 +27,7 @@ pub mod coster;
 pub mod ess;
 pub mod estimator;
 pub mod model_error;
+pub mod parallel;
 pub mod params;
 pub mod uncertainty;
 
@@ -34,4 +35,5 @@ pub use coster::{Coster, NodeCost};
 pub use ess::{Ess, EssDim, GridIx, SelPoint};
 pub use estimator::Estimator;
 pub use model_error::CostPerturbation;
+pub use parallel::{par_map, run_chunked, set_default_workers, Parallelism};
 pub use params::{CostModel, CostParams};

@@ -28,7 +28,10 @@ pub struct CostPerturbation {
 
 impl CostPerturbation {
     pub fn none() -> Self {
-        CostPerturbation { delta: 0.0, seed: 0 }
+        CostPerturbation {
+            delta: 0.0,
+            seed: 0,
+        }
     }
 
     pub fn with_delta(delta: f64, seed: u64) -> Self {
@@ -87,7 +90,7 @@ mod tests {
         for fp in 0..200u64 {
             for s in [1e-4, 1e-2, 0.3, 1.0] {
                 let f = p.factor(PlanFingerprint(fp), &[s]);
-                assert!(f >= 1.0 / 1.4 - 1e-12 && f <= 1.4 + 1e-12, "f={f}");
+                assert!((1.0 / 1.4 - 1e-12..=1.4 + 1e-12).contains(&f), "f={f}");
             }
         }
     }

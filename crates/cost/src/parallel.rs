@@ -1,0 +1,206 @@
+//! Worker-pool configuration and deterministic chunked work-stealing for
+//! the identification pipeline.
+//!
+//! Every parallel phase in the pipeline (plan-diagram construction, the
+//! POSP cost matrix, per-contour frontier scans) fans work out over linear
+//! indices with [`run_chunked`]: workers claim fixed-size chunks from a
+//! shared atomic cursor, and the per-chunk results are reassembled in chunk
+//! order. Because chunk boundaries depend only on the item count — never on
+//! worker count or scheduling — merged output is identical for any worker
+//! count, which is what lets the parallel pipeline promise byte-identical
+//! artefacts to the sequential one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override (0 = unset), set once at startup by the
+/// `--jobs` CLI flag and read by [`Parallelism::auto`].
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count [`Parallelism::auto`] hands out. `0` restores
+/// the hardware default. Intended for `--jobs N` style CLI flags.
+pub fn set_default_workers(n: usize) {
+    DEFAULT_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// Worker-count policy for the identification pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Number of worker threads to use (>= 1). `1` means run inline on the
+    /// calling thread.
+    pub workers: usize,
+}
+
+impl Parallelism {
+    /// The default policy: the `--jobs` override if set, else all available
+    /// cores.
+    pub fn auto() -> Self {
+        let override_n = DEFAULT_WORKERS.load(Ordering::Relaxed);
+        if override_n > 0 {
+            return Parallelism {
+                workers: override_n,
+            };
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        Parallelism { workers: cores }
+    }
+
+    /// Exactly one worker: the sequential reference path.
+    pub fn serial() -> Self {
+        Parallelism { workers: 1 }
+    }
+
+    /// A fixed worker count (clamped to >= 1).
+    pub fn new(workers: usize) -> Self {
+        Parallelism {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Workers capped to the amount of work actually available.
+    pub fn for_items(&self, n_items: usize) -> usize {
+        self.workers.min(n_items.max(1))
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// Chunk size used by [`run_chunked`]: large enough to amortize the atomic
+/// claim, small enough that stealing balances skewed per-item cost.
+fn chunk_size(n_items: usize, workers: usize) -> usize {
+    // Aim for ~8 chunks per worker so fast workers can steal from slow ones.
+    (n_items / (workers * 8)).clamp(1, 4096)
+}
+
+/// Run `work(chunk_index, lo..hi)` over `0..n_items` with chunked
+/// work-stealing, returning per-chunk results **in chunk order** (i.e.
+/// ascending item order), independent of how chunks were claimed.
+///
+/// `work` must be a pure function of the item range; workers get no
+/// identity, so output cannot depend on thread assignment. With one worker
+/// (or trivially little work) everything runs inline on the caller.
+pub fn run_chunked<T, F>(par: Parallelism, n_items: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let workers = par.for_items(n_items);
+    let chunk = chunk_size(n_items, workers);
+    let n_chunks = n_items.div_ceil(chunk);
+
+    if workers <= 1 || n_chunks == 1 {
+        return (0..n_chunks)
+            .map(|c| work(c, c * chunk..((c + 1) * chunk).min(n_items)))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+    let slots_ptr = SlotWriter {
+        slots: slots.as_mut_ptr(),
+        len: n_chunks,
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let work = &work;
+            let slots_ptr = &slots_ptr;
+            s.spawn(move || loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n_items);
+                let result = work(c, lo..hi);
+                // SAFETY: each chunk index is claimed by exactly one worker
+                // (fetch_add), so no two threads write the same slot, and
+                // the scope joins all workers before `slots` is read.
+                unsafe { slots_ptr.write(c, result) };
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk claimed exactly once"))
+        .collect()
+}
+
+/// Shared mutable access to the result slots. Soundness argument lives at
+/// the single `write` call site.
+struct SlotWriter<T> {
+    slots: *mut Option<T>,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+impl<T> SlotWriter<T> {
+    /// # Safety
+    /// `i < len` and no other thread writes slot `i`.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.slots.add(i) = Some(value) };
+    }
+}
+
+/// Map `f` over `0..n_items`, returning results in item order. Convenience
+/// wrapper over [`run_chunked`] for per-item outputs.
+pub fn par_map<T, F>(par: Parallelism, n_items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = run_chunked(par, n_items, |_, range| range.map(&f).collect::<Vec<T>>());
+    let mut out = Vec::with_capacity(n_items);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_order_is_deterministic_across_worker_counts() {
+        let n = 1000;
+        let serial = par_map(Parallelism::serial(), n, |i| i * 3);
+        for workers in [2, 3, 4, 7] {
+            let par = par_map(Parallelism::new(workers), n, |i| i * 3);
+            assert_eq!(serial, par, "worker count {workers} changed output");
+        }
+    }
+
+    #[test]
+    fn run_chunked_covers_every_item_once() {
+        let n = 777;
+        let chunks = run_chunked(Parallelism::new(4), n, |_, r| r.collect::<Vec<_>>());
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(par_map(Parallelism::new(8), 0, |i| i).is_empty());
+        assert_eq!(par_map(Parallelism::new(8), 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn for_items_caps_workers() {
+        assert_eq!(Parallelism::new(16).for_items(3), 3);
+        assert_eq!(Parallelism::new(2).for_items(100), 2);
+        assert_eq!(Parallelism::new(5).for_items(0), 1);
+    }
+}

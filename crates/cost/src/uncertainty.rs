@@ -68,7 +68,10 @@ pub fn classify(catalog: &Catalog, query: &QuerySpec) -> Vec<ClassifiedPredicate
                 }
             };
             out.push(ClassifiedPredicate {
-                predicate: PredicateRef::Selection { rel: ri, sel_idx: si },
+                predicate: PredicateRef::Selection {
+                    rel: ri,
+                    sel_idx: si,
+                },
                 uncertainty: u,
                 reason,
             });
@@ -77,10 +80,7 @@ pub fn classify(catalog: &Catalog, query: &QuerySpec) -> Vec<ClassifiedPredicate
     for (ji, j) in query.joins.iter().enumerate() {
         let ndv = |c: pb_catalog::ColumnId| {
             let t = catalog.table_by_id(c.table);
-            (
-                t.columns[c.column as usize].stats.ndv,
-                t.rows,
-            )
+            (t.columns[c.column as usize].stats.ndv, t.rows)
         };
         let (ndv_l, rows_l) = ndv(j.left_col);
         let (ndv_r, rows_r) = ndv(j.right_col);
@@ -146,7 +146,13 @@ mod tests {
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
         qb.select(p, "p_brand", CmpOp::Eq, 3.0, SelSpec::Fixed(0.04));
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(2));
         (cat.clone(), qb.build())
@@ -192,9 +198,7 @@ mod tests {
         let med = suggest_error_dims(&cat, &q, Uncertainty::Medium);
         let high = suggest_error_dims(&cat, &q, Uncertainty::High);
         assert!(high.len() < med.len());
-        assert!(high
-            .iter()
-            .all(|c| c.uncertainty >= Uncertainty::High));
+        assert!(high.iter().all(|c| c.uncertainty >= Uncertainty::High));
     }
 
     #[test]

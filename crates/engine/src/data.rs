@@ -15,11 +15,19 @@ pub enum ColumnOverride {
     /// Generate the column with only `ndv` distinct values although the
     /// statistics claim more: equality/join selectivities on it come out
     /// `claimed_ndv / ndv` times larger than estimated.
-    EffectiveNdv { table: String, column: String, ndv: u64 },
+    EffectiveNdv {
+        table: String,
+        column: String,
+        ndv: u64,
+    },
     /// Make the column a monotone function of another column of the same
     /// table, so conjunctive predicates on the pair are fully correlated
     /// (AVI multiplies their selectivities; reality takes the minimum).
-    CorrelatedWith { table: String, column: String, with: String },
+    CorrelatedWith {
+        table: String,
+        column: String,
+        with: String,
+    },
 }
 
 /// Column-major table data plus sorted secondary indexes.
@@ -54,9 +62,11 @@ impl Database {
                     {
                         Some(Ov::Ndv(*ndv))
                     }
-                    ColumnOverride::CorrelatedWith { table, column, with }
-                        if *table == t.name && *column == col.name =>
-                    {
+                    ColumnOverride::CorrelatedWith {
+                        table,
+                        column,
+                        with,
+                    } if *table == t.name && *column == col.name => {
                         let src = t
                             .columns
                             .iter()
@@ -78,7 +88,8 @@ impl Database {
                         // this column's range.
                         let source = &columns[src];
                         let t_col = &t.columns[src];
-                        let (slo, shi) = (t_col.stats.min, t_col.stats.max.max(t_col.stats.min + 1.0));
+                        let (slo, shi) =
+                            (t_col.stats.min, t_col.stats.max.max(t_col.stats.min + 1.0));
                         let (dlo, dhi) = (col.stats.min, col.stats.max.max(col.stats.min + 1.0));
                         source
                             .iter()
@@ -265,7 +276,10 @@ mod tests {
         let td = d.table(part.id);
         for (c, ix) in &td.indexes {
             assert_eq!(ix.len(), td.rows);
-            assert!(ix.windows(2).all(|w| w[0] <= w[1]), "index on col {c} unsorted");
+            assert!(
+                ix.windows(2).all(|w| w[0] <= w[1]),
+                "index on col {c} unsorted"
+            );
         }
     }
 
@@ -357,7 +371,9 @@ mod tests {
     fn pb_cost_free_estimate(cat: &Catalog, q: &QuerySpec) -> f64 {
         let j = &q.joins[0];
         let ndv = |c: pb_catalog::ColumnId| {
-            cat.table_by_id(c.table).columns[c.column as usize].stats.ndv
+            cat.table_by_id(c.table).columns[c.column as usize]
+                .stats
+                .ndv
         };
         1.0 / ndv(j.left_col).max(ndv(j.right_col)).max(1.0)
     }

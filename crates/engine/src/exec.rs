@@ -251,7 +251,10 @@ impl<'a> Engine<'a> {
         match node {
             PlanNode::SeqScan { rel } => {
                 let t = self.db.table(self.query.relations[*rel].table);
-                let table_meta = self.db.catalog.table_by_id(self.query.relations[*rel].table);
+                let table_meta = self
+                    .db
+                    .catalog
+                    .table_by_id(self.query.relations[*rel].table);
                 let preds = &self.query.relations[*rel].selections;
                 ctx.charge(table_meta.pages() * p.seq_page)?;
                 let mut rows = Vec::new();
@@ -269,7 +272,10 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: vec![*rel], rows })
+                Ok(Rel {
+                    rels: vec![*rel],
+                    rows,
+                })
             }
             PlanNode::IndexScan { rel, sel_idx } => {
                 let t = self.db.table(self.query.relations[*rel].table);
@@ -285,12 +291,9 @@ impl<'a> Engine<'a> {
                 for &(_, r) in &ix[range] {
                     ctx.charge(p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)?;
                     let r = r as usize;
-                    let ok = preds
-                        .iter()
-                        .enumerate()
-                        .all(|(i, pr)| {
-                            i == *sel_idx || eval_pred(pr, t.columns[pr.column.column as usize][r])
-                        });
+                    let ok = preds.iter().enumerate().all(|(i, pr)| {
+                        i == *sel_idx || eval_pred(pr, t.columns[pr.column.column as usize][r])
+                    });
                     if ok {
                         ctx.charge(p.emit_tuple)?;
                         if store {
@@ -300,7 +303,10 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: vec![*rel], rows })
+                Ok(Rel {
+                    rels: vec![*rel],
+                    rows,
+                })
             }
             PlanNode::FullIndexScan { rel, column } => {
                 let t = self.db.table(self.query.relations[*rel].table);
@@ -330,9 +336,16 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: vec![*rel], rows })
+                Ok(Rel {
+                    rels: vec![*rel],
+                    rows,
+                })
             }
-            PlanNode::HashJoin { build, probe, edges } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                edges,
+            } => {
                 let b = self.eval(build, ctx, next_id, true)?;
                 let pr = self.eval(probe, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
@@ -342,8 +355,7 @@ impl<'a> Engine<'a> {
                     ctx.charge(p.cpu_tuple + p.hash_build)?;
                     table.entry(row[bkey]).or_default().push(i);
                 }
-                let out_rels: Vec<RelIdx> =
-                    b.rels.iter().chain(&pr.rels).copied().collect();
+                let out_rels: Vec<RelIdx> = b.rels.iter().chain(&pr.rels).copied().collect();
                 let mut rows = Vec::new();
                 for prow in &pr.rows {
                     ctx.charge(p.hash_probe)?;
@@ -362,7 +374,10 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: out_rels, rows })
+                Ok(Rel {
+                    rels: out_rels,
+                    rows,
+                })
             }
             PlanNode::SortMergeJoin {
                 left,
@@ -421,9 +436,16 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: out_rels, rows })
+                Ok(Rel {
+                    rels: out_rels,
+                    rows,
+                })
             }
-            PlanNode::IndexNLJoin { outer, inner_rel, edges } => {
+            PlanNode::IndexNLJoin {
+                outer,
+                inner_rel,
+                edges,
+            } => {
                 let o = self.eval(outer, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
                 let t = self.db.table(self.query.relations[*inner_rel].table);
@@ -472,9 +494,16 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: out_rels, rows })
+                Ok(Rel {
+                    rels: out_rels,
+                    rows,
+                })
             }
-            PlanNode::BlockNLJoin { outer, inner, edges } => {
+            PlanNode::BlockNLJoin {
+                outer,
+                inner,
+                edges,
+            } => {
                 let o = self.eval(outer, ctx, next_id, true)?;
                 let inn = self.eval(inner, ctx, next_id, true)?;
                 let out_rels: Vec<RelIdx> = o.rels.iter().chain(&inn.rels).copied().collect();
@@ -482,8 +511,7 @@ impl<'a> Engine<'a> {
                 for orow in &o.rows {
                     for irow in &inn.rows {
                         ctx.charge(p.cpu_operator * edges.len().max(1) as f64)?;
-                        let joined: Vec<i64> =
-                            orow.iter().chain(irow.iter()).copied().collect();
+                        let joined: Vec<i64> = orow.iter().chain(irow.iter()).copied().collect();
                         if self.residual_ok(&out_rels, &joined, edges) {
                             ctx.charge(p.emit_tuple)?;
                             if store {
@@ -494,7 +522,10 @@ impl<'a> Engine<'a> {
                     }
                 }
                 ctx.instr[my_id].complete = true;
-                Ok(Rel { rels: out_rels, rows })
+                Ok(Rel {
+                    rels: out_rels,
+                    rows,
+                })
             }
             PlanNode::AntiJoin { left, right, edges } => {
                 let l = self.eval(left, ctx, next_id, true)?;
@@ -546,7 +577,10 @@ impl<'a> Engine<'a> {
                 ctx.instr[my_id].complete = true;
                 // The aggregate is always the plan root; its synthetic
                 // (group keys + count) schema is never consumed by a join.
-                Ok(Rel { rels: Vec::new(), rows })
+                Ok(Rel {
+                    rels: Vec::new(),
+                    rows,
+                })
             }
             PlanNode::Spill { input } => {
                 // The input's output is counted but never materialized.
@@ -589,10 +623,7 @@ impl<'a> Engine<'a> {
     }
 }
 
-fn index_range(
-    ix: &[(i64, u32)],
-    pred: &pb_plan::SelectionPredicate,
-) -> std::ops::Range<usize> {
+fn index_range(ix: &[(i64, u32)], pred: &pb_plan::SelectionPredicate) -> std::ops::Range<usize> {
     match pred.op {
         CmpOp::Lt => 0..ix.partition_point(|&(v, _)| (v as f64) < pred.constant),
         CmpOp::Gt => ix.partition_point(|&(v, _)| (v as f64) <= pred.constant)..ix.len(),
@@ -623,7 +654,13 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat, "eq");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1200.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1200.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         (db, qb.build(), CostModel::postgresish())
     }
@@ -659,9 +696,11 @@ mod tests {
             },
             f64::INFINITY,
         );
-        let (EngineOutcome::Completed { rows: r1, .. },
-             EngineOutcome::Completed { rows: r2, .. },
-             EngineOutcome::Completed { rows: r3, .. }) = (hj, smj, inl)
+        let (
+            EngineOutcome::Completed { rows: r1, .. },
+            EngineOutcome::Completed { rows: r2, .. },
+            EngineOutcome::Completed { rows: r3, .. },
+        ) = (hj, smj, inl)
         else {
             panic!("all executions should complete without budget");
         };
@@ -726,7 +765,8 @@ mod tests {
         let eng = Engine::new(&db, &q, &m.p);
         let plan = hj_plan();
         let full = eng.execute(&plan, f64::INFINITY);
-        let s_true = db.actual_join_selectivity(&q, 0) * db.actual_selection_selectivity(&q.relations[0].selections[0]);
+        let s_true = db.actual_join_selectivity(&q, 0)
+            * db.actual_selection_selectivity(&q.relations[0].selections[0]);
         let s_obs = full
             .instr()
             .observed_selectivity(&plan, &q, &db, 1)
@@ -754,7 +794,13 @@ mod tests {
         let mut qb = pb_plan::QueryBuilder::new(&cat, "agg");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.join(p, "p_partkey", l, "l_partkey", pb_plan::SelSpec::ErrorProne(0));
+        qb.join(
+            p,
+            "p_partkey",
+            l,
+            "l_partkey",
+            pb_plan::SelSpec::ErrorProne(0),
+        );
         qb.group_by(p, "p_brand");
         let q = qb.build();
         let eng = Engine::new(&db, &q, &m.p);
@@ -782,8 +828,20 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.join(p, "p_partkey", o, "o_custkey", pb_plan::SelSpec::Fixed(1e-4));
-        qb.anti_join(p, "p_partkey", l, "l_partkey", pb_plan::SelSpec::ErrorProne(0));
+        qb.join(
+            p,
+            "p_partkey",
+            o,
+            "o_custkey",
+            pb_plan::SelSpec::Fixed(1e-4),
+        );
+        qb.anti_join(
+            p,
+            "p_partkey",
+            l,
+            "l_partkey",
+            pb_plan::SelSpec::ErrorProne(0),
+        );
         let q = qb.build();
         let _ = q0;
         let eng = Engine::new(&db, &q, &m.p);
@@ -824,8 +882,7 @@ mod tests {
         let plan = PlanNode::Spill {
             input: Box::new(hj_plan()),
         };
-        let EngineOutcome::Completed { rows, instr, .. } = eng.execute(&plan, f64::INFINITY)
-        else {
+        let EngineOutcome::Completed { rows, instr, .. } = eng.execute(&plan, f64::INFINITY) else {
             panic!("should complete");
         };
         assert_eq!(rows, 0, "spill discards its output");

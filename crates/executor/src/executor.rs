@@ -221,7 +221,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         (cat.clone(), qb.build(), CostModel::postgresish())
@@ -345,8 +351,7 @@ mod tests {
         let (cat, q, m) = setup();
         let coster = Coster::new(&cat, &q, &m);
         let plain = Executor::new(coster);
-        let noisy =
-            Executor::with_perturbation(coster, CostPerturbation::with_delta(0.4, 99));
+        let noisy = Executor::with_perturbation(coster, CostPerturbation::with_delta(0.4, 99));
         let qa = [0.05, 2e-6];
         let c0 = plain.actual_cost(&sample_plan(), &qa);
         let c1 = noisy.actual_cost(&sample_plan(), &qa);

@@ -81,8 +81,14 @@ pub fn greedy_cover(
             .map(|p| (p, uncovered.iter().filter(|&&pt| covers(p, pt)).count()))
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
             .expect("ran out of plans with points still uncovered");
-        let gain = uncovered.iter().filter(|&&pt| covers(best_plan, pt)).count();
-        assert!(gain > 0, "no plan covers the remaining points — corrupt cost data");
+        let gain = uncovered
+            .iter()
+            .filter(|&&pt| covers(best_plan, pt))
+            .count();
+        assert!(
+            gain > 0,
+            "no plan covers the remaining points — corrupt cost data"
+        );
         kept.push(best_plan);
         uncovered.retain(|&pt| !covers(best_plan, pt));
     }
@@ -103,7 +109,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();

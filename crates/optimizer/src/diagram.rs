@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use pb_catalog::Catalog;
-use pb_cost::{CostModel, Coster, Ess};
+use pb_cost::{run_chunked, CostModel, Coster, Ess, Parallelism};
 use pb_plan::{PhysicalPlan, PlanFingerprint, QuerySpec};
 
 use crate::dp::Optimizer;
@@ -33,56 +33,51 @@ impl PlanDiagram {
     /// Build the diagram by optimizing at every grid point, using all
     /// available cores (the task is embarrassingly parallel).
     pub fn build(catalog: &Catalog, query: &QuerySpec, model: &CostModel, ess: &Ess) -> Self {
-        let n = ess.num_points();
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(n);
-        if threads <= 1 || n < 256 {
-            return Self::build_serial(catalog, query, model, ess);
-        }
-        let chunk = n.div_ceil(threads);
-        let mut results: Vec<Vec<(PlanFingerprint, Option<PhysicalPlan>, f64)>> =
-            Vec::with_capacity(threads);
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    s.spawn(move |_| {
-                        let opt = Optimizer::new(catalog, query, model);
-                        let mut seen: HashMap<PlanFingerprint, ()> = HashMap::new();
-                        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                        for li in lo..hi {
-                            let ix = ess.unlinear(li);
-                            let p = ess.point(&ix);
-                            let best = opt.optimize(&p);
-                            let fp = best.plan.fingerprint();
-                            let plan = if seen.insert(fp, ()).is_none() {
-                                Some(best.plan)
-                            } else {
-                                None
-                            };
-                            out.push((fp, plan, best.cost));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("diagram worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+        Self::build_with(catalog, query, model, ess, Parallelism::auto())
+    }
 
+    /// Build with an explicit worker policy. Output is identical for every
+    /// worker count: workers claim fixed-boundary chunks of the linear grid
+    /// order, chunks are merged back in grid order, and plans are numbered
+    /// by first appearance in that order — exactly the sequential numbering.
+    pub fn build_with(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        ess: &Ess,
+        par: Parallelism,
+    ) -> Self {
+        let n = ess.num_points();
+        // Per chunk: (fingerprint, plan-at-local-first-occurrence, cost).
+        let chunks = run_chunked(par, n, |_, range| {
+            let opt = Optimizer::new(catalog, query, model);
+            let mut seen: HashMap<PlanFingerprint, ()> = HashMap::new();
+            let mut out = Vec::with_capacity(range.len());
+            for li in range {
+                let ix = ess.unlinear(li);
+                let best = opt.optimize(&ess.point(&ix));
+                let fp = best.plan.fingerprint();
+                let plan = if seen.insert(fp, ()).is_none() {
+                    Some(best.plan)
+                } else {
+                    None
+                };
+                out.push((fp, plan, best.cost));
+            }
+            out
+        });
+
+        // Merge in chunk (= grid) order. The first chunk containing a
+        // fingerprint carries its plan, because each worker records the plan
+        // at the fingerprint's first occurrence within its own chunk.
         let mut plans: Vec<PhysicalPlan> = Vec::new();
         let mut ids: HashMap<PlanFingerprint, u32> = HashMap::new();
         let mut optimal = Vec::with_capacity(n);
         let mut opt_cost = Vec::with_capacity(n);
-        for chunk_res in results {
+        for chunk_res in chunks {
             for (fp, plan, cost) in chunk_res {
                 let id = *ids.entry(fp).or_insert_with(|| {
-                    plans.push(plan.clone().expect("first occurrence carries the plan"));
+                    plans.push(plan.expect("first occurrence carries the plan"));
                     (plans.len() - 1) as u32
                 });
                 optimal.push(id);
@@ -171,29 +166,42 @@ impl PlanDiagram {
     /// Cost of every plan at every grid point (row-major `[plan][point]`),
     /// computed in parallel. This is the input to anorexic reduction and to
     /// exact NAT worst-case metrics.
-    pub fn cost_matrix(&self, catalog: &Catalog, query: &QuerySpec, model: &CostModel) -> Vec<Vec<f64>> {
+    pub fn cost_matrix(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+    ) -> Vec<Vec<f64>> {
+        self.cost_matrix_with(catalog, query, model, Parallelism::auto())
+    }
+
+    /// Cost matrix with an explicit worker policy. Work is chunked over the
+    /// flattened plans × grid space so skew between plans (deep trees cost
+    /// more to re-cost) still balances across workers.
+    pub fn cost_matrix_with(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        par: Parallelism,
+    ) -> Vec<Vec<f64>> {
         let n = self.ess.num_points();
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(self.plans.len());
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .plans
-                .iter()
-                .map(|plan| {
-                    let ess = &self.ess;
-                    s.spawn(move |_| {
-                        let c = Coster::new(catalog, query, model);
-                        (0..n)
-                            .map(|li| c.plan_cost(&plan.root, &ess.point(&ess.unlinear(li))))
-                            .collect::<Vec<f64>>()
-                    })
+        let total = self.plans.len() * n;
+        let ess = &self.ess;
+        let chunks = run_chunked(par, total, |_, range| {
+            let c = Coster::new(catalog, query, model);
+            range
+                .map(|i| {
+                    let plan = &self.plans[i / n];
+                    c.plan_cost(&plan.root, &ess.point(&ess.unlinear(i % n)))
                 })
-                .collect();
-            for h in handles {
-                rows.push(h.join().expect("cost matrix worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        rows
+                .collect::<Vec<f64>>()
+        });
+        let mut flat = Vec::with_capacity(total);
+        for chunk in chunks {
+            flat.extend(chunk);
+        }
+        flat.chunks(n.max(1)).map(|row| row.to_vec()).collect()
     }
 }
 
@@ -210,7 +218,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();
@@ -274,14 +288,17 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat, "eq2");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         let q = qb.build();
         let ess = Ess::uniform(
-            vec![
-                EssDim::new("a", 1e-4, 1.0),
-                EssDim::new("b", 1e-8, 5e-6),
-            ],
+            vec![EssDim::new("a", 1e-4, 1.0), EssDim::new("b", 1e-8, 5e-6)],
             12,
         );
         let d = PlanDiagram::build_serial(&cat, &q, &CostModel::postgresish(), &ess);
@@ -290,7 +307,8 @@ mod tests {
         assert_eq!(lines.len(), 12);
         assert!(lines.iter().all(|l| l.chars().count() == 12));
         // More than one plan letter appears.
-        let letters: std::collections::BTreeSet<char> = art.chars().filter(|c| c.is_alphabetic()).collect();
+        let letters: std::collections::BTreeSet<char> =
+            art.chars().filter(|c| c.is_alphabetic()).collect();
         assert!(letters.len() >= 2, "{art}");
     }
 

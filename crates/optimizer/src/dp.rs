@@ -36,9 +36,9 @@ impl ColClasses {
         let mut index = HashMap::new();
         let mut parent: Vec<usize> = Vec::new();
         let intern = |k: (RelIdx, ColumnId),
-                          keys: &mut Vec<(RelIdx, ColumnId)>,
-                          parent: &mut Vec<usize>,
-                          index: &mut HashMap<(RelIdx, ColumnId), usize>| {
+                      keys: &mut Vec<(RelIdx, ColumnId)>,
+                      parent: &mut Vec<usize>,
+                      index: &mut HashMap<(RelIdx, ColumnId), usize>| {
             *index.entry(k).or_insert_with(|| {
                 keys.push(k);
                 parent.push(keys.len() - 1);
@@ -54,7 +54,12 @@ impl ColClasses {
         }
         for j in &query.joins {
             let a = intern((j.left_rel, j.left_col), &mut keys, &mut parent, &mut index);
-            let b = intern((j.right_rel, j.right_col), &mut keys, &mut parent, &mut index);
+            let b = intern(
+                (j.right_rel, j.right_col),
+                &mut keys,
+                &mut parent,
+                &mut index,
+            );
             let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
             if ra != rb {
                 parent[ra.max(rb)] = ra.min(rb);
@@ -168,7 +173,10 @@ impl<'a> Optimizer<'a> {
             }
         }
         let core_mask = (((1u64 << query.num_relations()) - 1) as u32) & !anti_rels;
-        assert!(core_mask != 0, "query must have at least one inner relation");
+        assert!(
+            core_mask != 0,
+            "query must have at least one inner relation"
+        );
         let inner_edges: Vec<(usize, usize)> = query
             .joins
             .iter()
@@ -254,11 +262,14 @@ impl<'a> Optimizer<'a> {
         cands.sort_by(|a, b| a.est.cost.total_cmp(&b.est.cost));
         let mut out: Vec<DpEntry> = Vec::new();
         for e in cands {
-            if !out.iter().any(|kept| kept.order == e.order || kept.order.is_none() && {
-                // An unordered cheaper plan only dominates if adding an
-                // explicit sort still beats `e`.
-                let c = self.coster();
-                kept.est.cost + c.sort_cost(&kept.est) <= e.est.cost
+            if !out.iter().any(|kept| {
+                kept.order == e.order
+                    || kept.order.is_none() && {
+                        // An unordered cheaper plan only dominates if adding an
+                        // explicit sort still beats `e`.
+                        let c = self.coster();
+                        kept.est.cost + c.sort_cost(&kept.est) <= e.est.cost
+                    }
             }) {
                 out.push(e);
             }
@@ -313,7 +324,13 @@ impl<'a> Optimizer<'a> {
             .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
             .map(|(i, _)| i)
             .expect("query join graph must be connected");
-        let mut root = self.build_tree(&memo, EntryRef { mask: full, idx: best });
+        let mut root = self.build_tree(
+            &memo,
+            EntryRef {
+                mask: full,
+                idx: best,
+            },
+        );
         let mut est = memo[full as usize][best].est;
         // Apply anti-joins on top, each against the anti relation's
         // cheapest access path.
@@ -370,19 +387,24 @@ impl<'a> Optimizer<'a> {
         if lefts.is_empty() || rights.is_empty() {
             return;
         }
-        let cheapest =
-            |entries: &[DpEntry]| -> usize {
-                entries
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
-                    .map(|(i, _)| i)
-                    .unwrap()
-            };
+        let cheapest = |entries: &[DpEntry]| -> usize {
+            entries
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
         let li = cheapest(lefts);
         let ri = cheapest(rights);
-        let lref = EntryRef { mask: left_mask, idx: li };
-        let rref = EntryRef { mask: right_mask, idx: ri };
+        let lref = EntryRef {
+            mask: left_mask,
+            idx: li,
+        };
+        let rref = EntryRef {
+            mask: right_mask,
+            idx: ri,
+        };
         let l = &lefts[li].est;
         let r = &rights[ri].est;
 
@@ -421,8 +443,14 @@ impl<'a> Optimizer<'a> {
                     cands.push(DpEntry {
                         order: Some(cls),
                         op: EntryOp::Merge {
-                            left: EntryRef { mask: left_mask, idx: lidx },
-                            right: EntryRef { mask: right_mask, idx: ridx },
+                            left: EntryRef {
+                                mask: left_mask,
+                                idx: lidx,
+                            },
+                            right: EntryRef {
+                                mask: right_mask,
+                                idx: ridx,
+                            },
                             edges: edges.to_vec(),
                             sort_left: sort_l,
                             sort_right: sort_r,
@@ -454,7 +482,10 @@ impl<'a> Optimizer<'a> {
                     cands.push(DpEntry {
                         order: le.order,
                         op: EntryOp::Inl {
-                            outer: EntryRef { mask: left_mask, idx: lidx },
+                            outer: EntryRef {
+                                mask: left_mask,
+                                idx: lidx,
+                            },
                             inner_rel,
                             edges: edges.to_vec(),
                         },
@@ -488,7 +519,11 @@ impl<'a> Optimizer<'a> {
                 rel: *rel,
                 column: *col,
             },
-            EntryOp::Hash { build, probe, edges } => PlanNode::HashJoin {
+            EntryOp::Hash {
+                build,
+                probe,
+                edges,
+            } => PlanNode::HashJoin {
                 build: Box::new(self.build_tree(memo, *build)),
                 probe: Box::new(self.build_tree(memo, *probe)),
                 edges: edges.clone(),
@@ -515,7 +550,11 @@ impl<'a> Optimizer<'a> {
                 inner_rel: *inner_rel,
                 edges: edges.clone(),
             },
-            EntryOp::Bnl { outer, inner, edges } => PlanNode::BlockNLJoin {
+            EntryOp::Bnl {
+                outer,
+                inner,
+                edges,
+            } => PlanNode::BlockNLJoin {
                 outer: Box::new(self.build_tree(memo, *outer)),
                 inner: Box::new(self.build_tree(memo, *inner)),
                 edges: edges.clone(),
@@ -536,7 +575,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         (cat.clone(), qb.build())
@@ -617,7 +662,13 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat, "two");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         let q = qb.build();
         let m = CostModel::postgresish();
@@ -688,7 +739,13 @@ mod tests {
         qb.join(r, "r_regionkey", n, "n_regionkey", SelSpec::Fixed(0.2));
         qb.join(n, "n_nationkey", s, "s_nationkey", SelSpec::ErrorProne(0));
         qb.join(s, "s_nationkey", c_, "c_nationkey", SelSpec::ErrorProne(1));
-        qb.join(c_, "c_custkey", o, "o_custkey", SelSpec::Fixed(1.0 / 150_000.0));
+        qb.join(
+            c_,
+            "c_custkey",
+            o,
+            "o_custkey",
+            SelSpec::Fixed(1.0 / 150_000.0),
+        );
         let q = qb.build();
         let m = CostModel::postgresish();
         let opt = Optimizer::new(&cat, &q, &m);
@@ -709,7 +766,13 @@ mod agg_tests {
         let mut qb = QueryBuilder::new(&cat, "agg");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.group_by(p, "p_brand");
         (cat.clone(), qb.build())

@@ -82,7 +82,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();
@@ -107,9 +113,9 @@ mod tests {
         for qe in 0..ess.num_points() {
             let native = d.optimal[qe] as usize;
             let chosen = seer.assignment[qe];
-            for qa in 0..ess.num_points() {
+            for (qa, (cc, cn)) in costs[chosen].iter().zip(&costs[native]).enumerate() {
                 assert!(
-                    costs[chosen][qa] <= 1.2 * costs[native][qa] * (1.0 + 1e-9),
+                    *cc <= 1.2 * cn * (1.0 + 1e-9),
                     "harm beyond λ at qe={qe} qa={qa}"
                 );
             }

@@ -98,7 +98,9 @@ impl JoinGraph {
         if self.edges.len() >= self.n {
             return GraphShape::Cyclic;
         }
-        let degrees: Vec<usize> = (0..self.n).map(|v| self.adj[v].count_ones() as usize).collect();
+        let degrees: Vec<usize> = (0..self.n)
+            .map(|v| self.adj[v].count_ones() as usize)
+            .collect();
         let max_deg = degrees.iter().copied().max().unwrap_or(0);
         if max_deg <= 2 {
             GraphShape::Chain

@@ -111,13 +111,10 @@ impl PlanNode {
             PlanNode::SeqScan { rel }
             | PlanNode::IndexScan { rel, .. }
             | PlanNode::FullIndexScan { rel, .. } => 1 << rel,
-            PlanNode::IndexNLJoin { outer, inner_rel, .. } => {
-                outer.rels_mask() | (1 << inner_rel)
-            }
-            _ => self
-                .children()
-                .iter()
-                .fold(0, |m, c| m | c.rels_mask()),
+            PlanNode::IndexNLJoin {
+                outer, inner_rel, ..
+            } => outer.rels_mask() | (1 << inner_rel),
+            _ => self.children().iter().fold(0, |m, c| m | c.rels_mask()),
         }
     }
 
@@ -138,12 +135,7 @@ impl PlanNode {
 
     /// Depth of this operator tree.
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// Error-prone dimensions referenced anywhere in this subtree (through
@@ -240,8 +232,7 @@ impl PlanNode {
 
     fn explain_into(&self, query: &QuerySpec, catalog: &Catalog, indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
-        let rel_name =
-            |r: RelIdx| -> &str { &query.relations[r].alias };
+        let rel_name = |r: RelIdx| -> &str { &query.relations[r].alias };
         let col_name = |c: ColumnId| -> String {
             let t = catalog.table_by_id(c.table);
             t.columns[c.column as usize].name.clone()
@@ -283,7 +274,11 @@ impl PlanNode {
                     col_name(*column)
                 );
             }
-            PlanNode::HashJoin { build, probe, edges } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                edges,
+            } => {
                 let _ = writeln!(out, "{pad}HashJoin [{}]", edge_desc(edges));
                 build.explain_into(query, catalog, indent + 1, out);
                 probe.explain_into(query, catalog, indent + 1, out);
@@ -305,7 +300,11 @@ impl PlanNode {
                 left.explain_into(query, catalog, indent + 1, out);
                 right.explain_into(query, catalog, indent + 1, out);
             }
-            PlanNode::IndexNLJoin { outer, inner_rel, edges } => {
+            PlanNode::IndexNLJoin {
+                outer,
+                inner_rel,
+                edges,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}IndexNLJoin -> {} [{}]",
@@ -314,7 +313,11 @@ impl PlanNode {
                 );
                 outer.explain_into(query, catalog, indent + 1, out);
             }
-            PlanNode::BlockNLJoin { outer, inner, edges } => {
+            PlanNode::BlockNLJoin {
+                outer,
+                inner,
+                edges,
+            } => {
                 let _ = writeln!(out, "{pad}BlockNLJoin [{}]", edge_desc(edges));
                 outer.explain_into(query, catalog, indent + 1, out);
                 inner.explain_into(query, catalog, indent + 1, out);
@@ -388,7 +391,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();

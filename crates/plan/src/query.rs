@@ -147,7 +147,10 @@ impl QuerySpec {
     /// Returns `(rel, Some(sel_idx))` for selections and the joining rels for
     /// join predicates via `JoinDimRef`.
     pub fn dims_of_joins(&self) -> Vec<Option<DimId>> {
-        self.joins.iter().map(|j| j.selectivity.error_dim()).collect()
+        self.joins
+            .iter()
+            .map(|j| j.selectivity.error_dim())
+            .collect()
     }
 
     /// Whether dimension `d` is referenced by any predicate (sanity check).
@@ -250,15 +253,17 @@ impl<'a> QueryBuilder<'a> {
             .unwrap_or_else(|| panic!("unknown column {column}"))
             .id;
         self.track_dim(sel);
-        self.spec.relations[rel].selections.push(SelectionPredicate {
-            column: col,
-            op,
-            constant,
-            // Unused except by CmpOp::Between (see `select_between`); kept
-            // finite so plans serialize cleanly to JSON.
-            constant2: f64::MIN,
-            selectivity: sel,
-        });
+        self.spec.relations[rel]
+            .selections
+            .push(SelectionPredicate {
+                column: col,
+                op,
+                constant,
+                // Unused except by CmpOp::Between (see `select_between`); kept
+                // finite so plans serialize cleanly to JSON.
+                constant2: f64::MIN,
+                selectivity: sel,
+            });
         self
     }
 
@@ -292,13 +297,15 @@ impl<'a> QueryBuilder<'a> {
             .unwrap_or_else(|| panic!("unknown column {column}"))
             .id;
         self.track_dim(sel);
-        self.spec.relations[rel].selections.push(SelectionPredicate {
-            column: col,
-            op: CmpOp::Between,
-            constant: hi,
-            constant2: lo,
-            selectivity: sel,
-        });
+        self.spec.relations[rel]
+            .selections
+            .push(SelectionPredicate {
+                column: col,
+                op: CmpOp::Between,
+                constant: hi,
+                constant2: lo,
+                selectivity: sel,
+            });
         self
     }
 
@@ -388,7 +395,13 @@ mod tests {
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
         let o = qb.rel("orders");
-        qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
         qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
         qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
         let q = qb.build();

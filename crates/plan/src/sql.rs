@@ -114,7 +114,12 @@ fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
                 let start = i;
                 chars.next();
                 while let Some(&(_, d)) = chars.peek() {
-                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+'
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '-'
+                        || d == '+'
                     {
                         chars.next();
                     } else {
@@ -259,7 +264,14 @@ fn resolve(
 }
 
 /// AVI estimates for unmarked predicates (the native optimizer's defaults).
-fn estimate_selection(catalog: &Catalog, table: &str, col: &str, op: CmpOp, c1: f64, c2: f64) -> f64 {
+fn estimate_selection(
+    catalog: &Catalog,
+    table: &str,
+    col: &str,
+    op: CmpOp,
+    c1: f64,
+    c2: f64,
+) -> f64 {
     let stats = &catalog.table(table).unwrap().column(col).unwrap().stats;
     match op {
         CmpOp::Eq => stats.eq_selectivity(),
@@ -271,7 +283,16 @@ fn estimate_selection(catalog: &Catalog, table: &str, col: &str, op: CmpOp, c1: 
 }
 
 fn estimate_join(catalog: &Catalog, lt: &str, lc: &str, rt: &str, rc: &str) -> f64 {
-    let ndv = |t: &str, c: &str| catalog.table(t).unwrap().column(c).unwrap().stats.ndv.max(1.0);
+    let ndv = |t: &str, c: &str| {
+        catalog
+            .table(t)
+            .unwrap()
+            .column(c)
+            .unwrap()
+            .stats
+            .ndv
+            .max(1.0)
+    };
     (1.0 / ndv(lt, lc).max(ndv(rt, rc))).clamp(1e-12, 1.0)
 }
 
@@ -306,7 +327,11 @@ pub fn parse(catalog: &Catalog, sql: &str) -> Result<QuerySpec, ParseError> {
                 near: table,
             });
         }
-        let alias = if p.try_keyword("AS") { p.ident()? } else { table.clone() };
+        let alias = if p.try_keyword("AS") {
+            p.ident()?
+        } else {
+            table.clone()
+        };
         from.push((alias, table));
         if !matches!(p.peek(), Some(Tok::Comma)) {
             break;
@@ -343,7 +368,11 @@ pub fn parse(catalog: &Catalog, sql: &str) -> Result<QuerySpec, ParseError> {
                     near: sub_table,
                 });
             }
-            let sub_alias = if p.try_keyword("AS") { p.ident()? } else { sub_table.clone() };
+            let sub_alias = if p.try_keyword("AS") {
+                p.ident()?
+            } else {
+                sub_table.clone()
+            };
             p.keyword("WHERE")?;
             let a = parse_colref(&mut p)?;
             match p.next() {
@@ -361,8 +390,11 @@ pub fn parse(catalog: &Catalog, sql: &str) -> Result<QuerySpec, ParseError> {
             }
             // One side resolves in the subquery scope, the other outside.
             let sub_scope = vec![(sub_alias.clone(), sub_table.clone())];
-            let (inner_ref, outer_ref) =
-                if resolve(catalog, &sub_scope, &a).is_ok() { (&a, &b) } else { (&b, &a) };
+            let (inner_ref, outer_ref) = if resolve(catalog, &sub_scope, &a).is_ok() {
+                (&a, &b)
+            } else {
+                (&b, &a)
+            };
             let (_, inner_col) = resolve(catalog, &sub_scope, inner_ref)?;
             let (outer_rel, outer_col) = resolve(catalog, &from, outer_ref)?;
             let sub_rel = qb.rel_aliased(&sub_table, &sub_alias);
@@ -372,7 +404,11 @@ pub fn parse(catalog: &Catalog, sql: &str) -> Result<QuerySpec, ParseError> {
                 SelSpec::ErrorProne(d)
             } else {
                 SelSpec::Fixed(estimate_join(
-                    catalog, &from[outer_rel].1, &outer_col, &sub_table, &inner_col,
+                    catalog,
+                    &from[outer_rel].1,
+                    &outer_col,
+                    &sub_table,
+                    &inner_col,
                 ))
             };
             qb.anti_join(rels[outer_rel], &outer_col, sub_rel, &inner_col, sel);
@@ -394,7 +430,12 @@ pub fn parse(catalog: &Catalog, sql: &str) -> Result<QuerySpec, ParseError> {
                     SelSpec::ErrorProne(d)
                 } else {
                     SelSpec::Fixed(estimate_selection(
-                        catalog, &from[rel].1, &col, CmpOp::Between, hi, lo,
+                        catalog,
+                        &from[rel].1,
+                        &col,
+                        CmpOp::Between,
+                        hi,
+                        lo,
                     ))
                 };
                 qb.select_between(rels[rel], &col, lo, hi, sel);
@@ -447,7 +488,11 @@ pub fn parse(catalog: &Catalog, sql: &str) -> Result<QuerySpec, ParseError> {
                             SelSpec::ErrorProne(d)
                         } else {
                             SelSpec::Fixed(estimate_join(
-                                catalog, &from[lr].1, &lc, &from[rr].1, &rc,
+                                catalog,
+                                &from[lr].1,
+                                &lc,
+                                &from[rr].1,
+                                &rc,
                             ))
                         };
                         qb.join(rels[lr], &lc, rels[rr], &rc, sel);
@@ -607,10 +652,19 @@ mod tests {
         for (sql, frag) in [
             ("SELECT * FROM nosuch WHERE a = b", "unknown table"),
             ("SELECT * FROM part WHERE p_zzz < 3", "not found"),
-            ("SELECT * FROM part WHERE p_size < ", "expected number or column"),
+            (
+                "SELECT * FROM part WHERE p_size < ",
+                "expected number or column",
+            ),
             ("FROM part", "expected SELECT"),
-            ("SELECT * FROM part WHERE p_size < 3 GROUP p_brand", "expected BY"),
-            ("SELECT * FROM part WHERE p_size < 3 EXTRA", "trailing input"),
+            (
+                "SELECT * FROM part WHERE p_size < 3 GROUP p_brand",
+                "expected BY",
+            ),
+            (
+                "SELECT * FROM part WHERE p_size < 3 EXTRA",
+                "trailing input",
+            ),
         ] {
             let err = parse(&cat, sql).unwrap_err();
             assert!(err.message.contains(frag), "{sql}: {err}");

@@ -11,12 +11,7 @@ use pb_cost::{CostModel, Ess, EssDim};
 use pb_plan::{parse_sql, ParseError, QuerySpec};
 
 /// Derive the ESS for a parsed query's error dimensions.
-pub fn derive_ess(
-    catalog: &Catalog,
-    query: &QuerySpec,
-    decades: f64,
-    resolution: usize,
-) -> Ess {
+pub fn derive_ess(catalog: &Catalog, query: &QuerySpec, decades: f64, resolution: usize) -> Ess {
     let mut dims: Vec<Option<EssDim>> = vec![None; query.num_dims];
     for r in &query.relations {
         for s in &r.selections {

@@ -115,7 +115,10 @@ pub fn random_workload(cfg: &RandomConfig) -> Workload {
     for (ei, (fi, fc, pi, pc, pk_table)) in edges.iter().enumerate() {
         let spec = if let Some(d) = error_edges.iter().position(|&x| x == ei) {
             let hi = (1.0 / cat.table(pk_table).unwrap().rows).min(1.0);
-            ess_dims.push((d, EssDim::new(format!("{fc}⋈{pc}"), hi / 10f64.powf(cfg.decades), hi)));
+            ess_dims.push((
+                d,
+                EssDim::new(format!("{fc}⋈{pc}"), hi / 10f64.powf(cfg.decades), hi),
+            ));
             SelSpec::ErrorProne(d)
         } else {
             SelSpec::Fixed((1.0 / cat.table(pk_table).unwrap().rows).min(1.0))
@@ -155,7 +158,10 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let cfg = RandomConfig { seed: 5, ..Default::default() };
+        let cfg = RandomConfig {
+            seed: 5,
+            ..Default::default()
+        };
         let a = random_workload(&cfg);
         let b = random_workload(&cfg);
         assert_eq!(a.query, b.query);
@@ -165,7 +171,10 @@ mod tests {
     #[test]
     fn draws_are_structurally_valid() {
         for seed in 0..20 {
-            let cfg = RandomConfig { seed, ..Default::default() };
+            let cfg = RandomConfig {
+                seed,
+                ..Default::default()
+            };
             let w = random_workload(&cfg);
             w.query.validate(&w.catalog);
             assert!(w.d() >= 1 && w.d() <= cfg.dims);
@@ -178,7 +187,11 @@ mod tests {
     #[test]
     fn bouquet_guarantee_holds_on_random_workloads() {
         for seed in 0..8 {
-            let cfg = RandomConfig { seed, resolution: 10, ..Default::default() };
+            let cfg = RandomConfig {
+                seed,
+                resolution: 10,
+                ..Default::default()
+            };
             let w = random_workload(&cfg);
             let b = match Bouquet::identify(&w, &BouquetConfig::default()) {
                 Ok(b) => b,
@@ -204,10 +217,17 @@ mod tests {
     fn varying_shapes_come_out() {
         let mut shapes = std::collections::BTreeSet::new();
         for seed in 0..30 {
-            let cfg = RandomConfig { seed, relations: 5, ..Default::default() };
+            let cfg = RandomConfig {
+                seed,
+                relations: 5,
+                ..Default::default()
+            };
             let w = random_workload(&cfg);
             shapes.insert(format!("{:?}", w.query.join_graph().shape()));
         }
-        assert!(shapes.len() >= 2, "generator stuck on one shape: {shapes:?}");
+        assert!(
+            shapes.len() >= 2,
+            "generator stuck on one shape: {shapes:?}"
+        );
     }
 }

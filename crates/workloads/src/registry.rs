@@ -21,16 +21,76 @@ pub struct WorkloadSpec {
 pub fn specs() -> Vec<WorkloadSpec> {
     use GraphShape::*;
     vec![
-        WorkloadSpec { name: "3D_H_Q5", shape: Chain, relations: 6, dims: 3, paper_cost_ratio: 16.0 },
-        WorkloadSpec { name: "3D_H_Q7", shape: Chain, relations: 6, dims: 3, paper_cost_ratio: 5.0 },
-        WorkloadSpec { name: "4D_H_Q8", shape: Branch, relations: 8, dims: 4, paper_cost_ratio: 28.0 },
-        WorkloadSpec { name: "5D_H_Q7", shape: Chain, relations: 6, dims: 5, paper_cost_ratio: 50.0 },
-        WorkloadSpec { name: "3D_DS_Q15", shape: Chain, relations: 4, dims: 3, paper_cost_ratio: 668.0 },
-        WorkloadSpec { name: "3D_DS_Q96", shape: Star, relations: 4, dims: 3, paper_cost_ratio: 185.0 },
-        WorkloadSpec { name: "4D_DS_Q7", shape: Star, relations: 5, dims: 4, paper_cost_ratio: 283.0 },
-        WorkloadSpec { name: "4D_DS_Q26", shape: Star, relations: 5, dims: 4, paper_cost_ratio: 341.0 },
-        WorkloadSpec { name: "4D_DS_Q91", shape: Branch, relations: 7, dims: 4, paper_cost_ratio: 149.0 },
-        WorkloadSpec { name: "5D_DS_Q19", shape: Branch, relations: 6, dims: 5, paper_cost_ratio: 183.0 },
+        WorkloadSpec {
+            name: "3D_H_Q5",
+            shape: Chain,
+            relations: 6,
+            dims: 3,
+            paper_cost_ratio: 16.0,
+        },
+        WorkloadSpec {
+            name: "3D_H_Q7",
+            shape: Chain,
+            relations: 6,
+            dims: 3,
+            paper_cost_ratio: 5.0,
+        },
+        WorkloadSpec {
+            name: "4D_H_Q8",
+            shape: Branch,
+            relations: 8,
+            dims: 4,
+            paper_cost_ratio: 28.0,
+        },
+        WorkloadSpec {
+            name: "5D_H_Q7",
+            shape: Chain,
+            relations: 6,
+            dims: 5,
+            paper_cost_ratio: 50.0,
+        },
+        WorkloadSpec {
+            name: "3D_DS_Q15",
+            shape: Chain,
+            relations: 4,
+            dims: 3,
+            paper_cost_ratio: 668.0,
+        },
+        WorkloadSpec {
+            name: "3D_DS_Q96",
+            shape: Star,
+            relations: 4,
+            dims: 3,
+            paper_cost_ratio: 185.0,
+        },
+        WorkloadSpec {
+            name: "4D_DS_Q7",
+            shape: Star,
+            relations: 5,
+            dims: 4,
+            paper_cost_ratio: 283.0,
+        },
+        WorkloadSpec {
+            name: "4D_DS_Q26",
+            shape: Star,
+            relations: 5,
+            dims: 4,
+            paper_cost_ratio: 341.0,
+        },
+        WorkloadSpec {
+            name: "4D_DS_Q91",
+            shape: Branch,
+            relations: 7,
+            dims: 4,
+            paper_cost_ratio: 149.0,
+        },
+        WorkloadSpec {
+            name: "5D_DS_Q19",
+            shape: Branch,
+            relations: 6,
+            dims: 5,
+            paper_cost_ratio: 183.0,
+        },
     ]
 }
 

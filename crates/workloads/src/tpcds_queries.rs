@@ -18,9 +18,27 @@ pub fn ds_q15_3d() -> Workload {
     let cs = qb.rel("catalog_sales");
     let c = qb.rel("customer");
     let ca = qb.rel("customer_address");
-    qb.join(d, "d_date_sk", cs, "cs_sold_date_sk", SelSpec::ErrorProne(0));
-    qb.join(cs, "cs_bill_customer_sk", c, "c_customer_sk", SelSpec::ErrorProne(1));
-    qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", SelSpec::ErrorProne(2));
+    qb.join(
+        d,
+        "d_date_sk",
+        cs,
+        "cs_sold_date_sk",
+        SelSpec::ErrorProne(0),
+    );
+    qb.join(
+        cs,
+        "cs_bill_customer_sk",
+        c,
+        "c_customer_sk",
+        SelSpec::ErrorProne(1),
+    );
+    qb.join(
+        c,
+        "c_current_addr_sk",
+        ca,
+        "ca_address_sk",
+        SelSpec::ErrorProne(2),
+    );
     let query = qb.build();
     let ess = Ess::uniform(
         vec![
@@ -30,7 +48,13 @@ pub fn ds_q15_3d() -> Workload {
         ],
         default_resolution(3),
     );
-    Workload::new("3D_DS_Q15", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "3D_DS_Q15",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 /// 3D_DS_Q96 — star(4): store_sales hub with date_dim,
@@ -42,7 +66,13 @@ pub fn ds_q96_3d() -> Workload {
     let d = qb.rel("date_dim");
     let hd = qb.rel("household_demographics");
     let s = qb.rel("store");
-    qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(0));
+    qb.join(
+        ss,
+        "ss_sold_date_sk",
+        d,
+        "d_date_sk",
+        SelSpec::ErrorProne(0),
+    );
     qb.join(ss, "ss_hdemo_sk", hd, "hd_demo_sk", SelSpec::ErrorProne(1));
     qb.join(ss, "ss_store_sk", s, "s_store_sk", SelSpec::ErrorProne(2));
     let query = qb.build();
@@ -54,7 +84,13 @@ pub fn ds_q96_3d() -> Workload {
         ],
         default_resolution(3),
     );
-    Workload::new("3D_DS_Q96", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "3D_DS_Q96",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 /// 4D_DS_Q7 — star(5): store_sales hub with customer_demographics,
@@ -68,7 +104,13 @@ pub fn ds_q7_4d() -> Workload {
     let i = qb.rel("item");
     let p = qb.rel("promotion");
     qb.join(ss, "ss_cdemo_sk", cd, "cd_demo_sk", SelSpec::ErrorProne(0));
-    qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(1));
+    qb.join(
+        ss,
+        "ss_sold_date_sk",
+        d,
+        "d_date_sk",
+        SelSpec::ErrorProne(1),
+    );
     qb.join(ss, "ss_item_sk", i, "i_item_sk", SelSpec::ErrorProne(2));
     qb.join(ss, "ss_promo_sk", p, "p_promo_sk", SelSpec::ErrorProne(3));
     let query = qb.build();
@@ -81,7 +123,13 @@ pub fn ds_q7_4d() -> Workload {
         ],
         default_resolution(4),
     );
-    Workload::new("4D_DS_Q7", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "4D_DS_Q7",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 /// 4D_DS_Q26 — star(5): catalog_sales hub with customer_demographics,
@@ -94,8 +142,20 @@ pub fn ds_q26_4d() -> Workload {
     let d = qb.rel("date_dim");
     let i = qb.rel("item");
     let p = qb.rel("promotion");
-    qb.join(cs, "cs_bill_cdemo_sk", cd, "cd_demo_sk", SelSpec::ErrorProne(0));
-    qb.join(cs, "cs_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(1));
+    qb.join(
+        cs,
+        "cs_bill_cdemo_sk",
+        cd,
+        "cd_demo_sk",
+        SelSpec::ErrorProne(0),
+    );
+    qb.join(
+        cs,
+        "cs_sold_date_sk",
+        d,
+        "d_date_sk",
+        SelSpec::ErrorProne(1),
+    );
     qb.join(cs, "cs_item_sk", i, "i_item_sk", SelSpec::ErrorProne(2));
     qb.join(cs, "cs_promo_sk", p, "p_promo_sk", SelSpec::ErrorProne(3));
     let query = qb.build();
@@ -108,7 +168,13 @@ pub fn ds_q26_4d() -> Workload {
         ],
         default_resolution(4),
     );
-    Workload::new("4D_DS_Q26", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "4D_DS_Q26",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 /// 4D_DS_Q91 — branch(7): catalog_returns joined to call_center and
@@ -124,12 +190,48 @@ pub fn ds_q91_4d() -> Workload {
     let ca = qb.rel("customer_address");
     let cd = qb.rel("customer_demographics");
     let hd = qb.rel("household_demographics");
-    qb.join(cr, "cr_item_sk", cc, "cc_call_center_sk", SelSpec::Fixed(1.0 / 30.0));
-    qb.join(cr, "cr_returned_date_sk", d, "d_date_sk", SelSpec::ErrorProne(0));
-    qb.join(cr, "cr_returning_customer_sk", c, "c_customer_sk", SelSpec::ErrorProne(1));
-    qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", SelSpec::ErrorProne(2));
-    qb.join(c, "c_current_cdemo_sk", cd, "cd_demo_sk", SelSpec::ErrorProne(3));
-    qb.join(c, "c_current_hdemo_sk", hd, "hd_demo_sk", SelSpec::Fixed(1.0 / 7200.0));
+    qb.join(
+        cr,
+        "cr_item_sk",
+        cc,
+        "cc_call_center_sk",
+        SelSpec::Fixed(1.0 / 30.0),
+    );
+    qb.join(
+        cr,
+        "cr_returned_date_sk",
+        d,
+        "d_date_sk",
+        SelSpec::ErrorProne(0),
+    );
+    qb.join(
+        cr,
+        "cr_returning_customer_sk",
+        c,
+        "c_customer_sk",
+        SelSpec::ErrorProne(1),
+    );
+    qb.join(
+        c,
+        "c_current_addr_sk",
+        ca,
+        "ca_address_sk",
+        SelSpec::ErrorProne(2),
+    );
+    qb.join(
+        c,
+        "c_current_cdemo_sk",
+        cd,
+        "cd_demo_sk",
+        SelSpec::ErrorProne(3),
+    );
+    qb.join(
+        c,
+        "c_current_hdemo_sk",
+        hd,
+        "hd_demo_sk",
+        SelSpec::Fixed(1.0 / 7200.0),
+    );
     let query = qb.build();
     let ess = Ess::uniform(
         vec![
@@ -140,7 +242,13 @@ pub fn ds_q91_4d() -> Workload {
         ],
         default_resolution(4),
     );
-    Workload::new("4D_DS_Q91", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "4D_DS_Q91",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 /// 5D_DS_Q19 — branch(6): store_sales hub (date_dim, item, store, customer)
@@ -156,10 +264,28 @@ pub fn ds_q19_5d() -> Workload {
     let c = qb.rel("customer");
     let ca = qb.rel("customer_address");
     let s = qb.rel("store");
-    qb.join(ss, "ss_sold_date_sk", d, "d_date_sk", SelSpec::ErrorProne(0));
+    qb.join(
+        ss,
+        "ss_sold_date_sk",
+        d,
+        "d_date_sk",
+        SelSpec::ErrorProne(0),
+    );
     qb.join(ss, "ss_item_sk", i, "i_item_sk", SelSpec::ErrorProne(1));
-    qb.join(ss, "ss_customer_sk", c, "c_customer_sk", SelSpec::ErrorProne(2));
-    qb.join(c, "c_current_addr_sk", ca, "ca_address_sk", SelSpec::ErrorProne(3));
+    qb.join(
+        ss,
+        "ss_customer_sk",
+        c,
+        "c_customer_sk",
+        SelSpec::ErrorProne(2),
+    );
+    qb.join(
+        c,
+        "c_current_addr_sk",
+        ca,
+        "ca_address_sk",
+        SelSpec::ErrorProne(3),
+    );
     qb.join(ss, "ss_store_sk", s, "s_store_sk", SelSpec::ErrorProne(4));
     let query = qb.build();
     let ess = Ess::uniform(
@@ -172,7 +298,13 @@ pub fn ds_q19_5d() -> Workload {
         ],
         default_resolution(5),
     );
-    Workload::new("5D_DS_Q19", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "5D_DS_Q19",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 #[cfg(test)]

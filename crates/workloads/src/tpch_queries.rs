@@ -32,7 +32,13 @@ pub fn eq_1d() -> Workload {
     let p = qb.rel("part");
     let l = qb.rel("lineitem");
     let o = qb.rel("orders");
-    qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+    qb.select(
+        p,
+        "p_retailprice",
+        CmpOp::Lt,
+        1000.0,
+        SelSpec::ErrorProne(0),
+    );
     qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
     qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
     let query = qb.build();
@@ -57,7 +63,13 @@ pub fn h_q8a_2d(scale: f64) -> Workload {
     let p = qb.rel("part");
     let l = qb.rel("lineitem");
     let o = qb.rel("orders");
-    qb.select(p, "p_retailprice", CmpOp::Lt, 1100.0, SelSpec::Fixed(200.0 / 1199.0));
+    qb.select(
+        p,
+        "p_retailprice",
+        CmpOp::Lt,
+        1100.0,
+        SelSpec::Fixed(200.0 / 1199.0),
+    );
     qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(0));
     qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::ErrorProne(1));
     let query = qb.build();
@@ -70,7 +82,13 @@ pub fn h_q8a_2d(scale: f64) -> Workload {
         ],
         default_resolution(2),
     );
-    Workload::new("2D_H_Q8A", cat.clone(), query, ess, CostModel::postgresish())
+    Workload::new(
+        "2D_H_Q8A",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::postgresish(),
+    )
 }
 
 /// 3D_H_Q5 — chain(6): region–nation–supplier–lineitem–orders–customer,
@@ -217,7 +235,13 @@ pub fn h_q5b_3d_com() -> Workload {
         ],
         default_resolution(3),
     );
-    Workload::new("3D_H_Q5B", cat.clone(), query, ess, CostModel::commercialish())
+    Workload::new(
+        "3D_H_Q5B",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::commercialish(),
+    )
 }
 
 /// 4D_H_Q8B — commercial-engine variant with four selection dimensions.
@@ -247,7 +271,13 @@ pub fn h_q8b_4d_com() -> Workload {
         ],
         default_resolution(4),
     );
-    Workload::new("4D_H_Q8B", cat.clone(), query, ess, CostModel::commercialish())
+    Workload::new(
+        "4D_H_Q8B",
+        cat.clone(),
+        query,
+        ess,
+        CostModel::commercialish(),
+    )
 }
 
 /// ANTI_2D — the PCM-violating space of the `pcmflip` exhibit: a NOT EXISTS
@@ -260,7 +290,13 @@ pub fn anti_2d() -> Workload {
     let p = qb.rel("part");
     let l = qb.rel("lineitem");
     let ps = qb.rel("partsupp");
-    qb.select(p, "p_retailprice", CmpOp::Lt, 1000.0, SelSpec::ErrorProne(0));
+    qb.select(
+        p,
+        "p_retailprice",
+        CmpOp::Lt,
+        1000.0,
+        SelSpec::ErrorProne(0),
+    );
     qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
     qb.anti_join(l, "l_partkey", ps, "ps_partkey", SelSpec::ErrorProne(1));
     let query = qb.build();

@@ -30,7 +30,10 @@ fn main() {
     // ---- Run time: load and discover --------------------------------------
     let t1 = Instant::now();
     let loaded = persist::load(&artifact).expect("load");
-    println!("runtime: loaded bouquet in {:.2?} (no optimizer calls)", t1.elapsed());
+    println!(
+        "runtime: loaded bouquet in {:.2?} (no optimizer calls)",
+        t1.elapsed()
+    );
     let qa = w.ess.point_at_fractions(&[0.65, 0.8]);
     let run = loaded.run_optimized(&qa);
     println!(
@@ -44,8 +47,7 @@ fn main() {
     let grown = workloads::h_q8a_2d(4.0);
     let t2 = Instant::now();
     let (refreshed, report) =
-        maintenance::rescale(&loaded, grown.catalog.clone(), Some(grown.clone()))
-            .expect("rescale");
+        maintenance::rescale(&loaded, grown.catalog.clone(), Some(grown.clone())).expect("rescale");
     println!(
         "\nscale-up 4x: maintained in {:.2?} with {} optimizer calls \
          ({:.0}% of a rebuild), {} plans reused, {} new",

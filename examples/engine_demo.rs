@@ -30,10 +30,26 @@ fn main() {
         &w.catalog,
         7,
         &[
-            ColumnOverride::EffectiveNdv { table: "part".into(), column: "p_partkey".into(), ndv: 200 },
-            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_partkey".into(), ndv: 200 },
-            ColumnOverride::EffectiveNdv { table: "orders".into(), column: "o_orderkey".into(), ndv: 500 },
-            ColumnOverride::EffectiveNdv { table: "lineitem".into(), column: "l_orderkey".into(), ndv: 500 },
+            ColumnOverride::EffectiveNdv {
+                table: "part".into(),
+                column: "p_partkey".into(),
+                ndv: 200,
+            },
+            ColumnOverride::EffectiveNdv {
+                table: "lineitem".into(),
+                column: "l_partkey".into(),
+                ndv: 200,
+            },
+            ColumnOverride::EffectiveNdv {
+                table: "orders".into(),
+                column: "o_orderkey".into(),
+                ndv: 500,
+            },
+            ColumnOverride::EffectiveNdv {
+                table: "lineitem".into(),
+                column: "l_orderkey".into(),
+                ndv: 500,
+            },
         ],
     );
 
@@ -69,7 +85,10 @@ fn main() {
     println!("NAT actual cost: {:.0}\n", nat.cost());
 
     // Oracle: the plan an all-knowing optimizer would pick.
-    let oracle_plan = w.optimizer().optimize(&plan_bouquet::cost::SelPoint(qa.clone())).plan;
+    let oracle_plan = w
+        .optimizer()
+        .optimize(&plan_bouquet::cost::SelPoint(qa.clone()))
+        .plan;
     let oracle = engine.execute(&oracle_plan.root, f64::INFINITY);
     println!("oracle plan (chosen at qa):");
     print!("{}", oracle_plan.root.explain(&w.query, &w.catalog));
@@ -89,7 +108,11 @@ fn main() {
                 pid,
                 out.cost(),
                 c.budget,
-                if out.completed() { "COMPLETED" } else { "aborted" }
+                if out.completed() {
+                    "COMPLETED"
+                } else {
+                    "aborted"
+                }
             );
             if let plan_bouquet::engine::EngineOutcome::Completed { rows: r, .. } = out {
                 rows = r;

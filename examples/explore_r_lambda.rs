@@ -15,9 +15,15 @@ fn main() {
     println!("workload {} ({} grid points)\n", w.name, w.ess.num_points());
 
     println!("--- sweep of the isocost common ratio r (λ = 0.2) ---");
-    println!("{:>5} {:>9} {:>7} {:>12} {:>13} {:>13}", "r", "contours", "ρ", "bound", "measured MSO", "measured ASO");
+    println!(
+        "{:>5} {:>9} {:>7} {:>12} {:>13} {:>13}",
+        "r", "contours", "ρ", "bound", "measured MSO", "measured ASO"
+    );
     for r in [1.41, 2.0, 2.83, 4.0] {
-        let cfg = BouquetConfig { r, ..Default::default() };
+        let cfg = BouquetConfig {
+            r,
+            ..Default::default()
+        };
         let b = Bouquet::identify(&w, &cfg).expect("identify");
         let (mso, aso) = measure(&b);
         println!(
@@ -33,9 +39,15 @@ fn main() {
     println!("(the bound r²/(r−1) is minimized at r = 2 — Theorem 1)\n");
 
     println!("--- sweep of the anorexic threshold λ (r = 2) ---");
-    println!("{:>5} {:>7} {:>9} {:>12} {:>13} {:>13}", "λ", "ρ", "bouquet", "bound", "measured MSO", "measured ASO");
+    println!(
+        "{:>5} {:>7} {:>9} {:>12} {:>13} {:>13}",
+        "λ", "ρ", "bouquet", "bound", "measured MSO", "measured ASO"
+    );
     for lambda in [0.0, 0.1, 0.2, 0.5] {
-        let cfg = BouquetConfig { lambda, ..Default::default() };
+        let cfg = BouquetConfig {
+            lambda,
+            ..Default::default()
+        };
         let b = Bouquet::identify(&w, &cfg).expect("identify");
         let (mso, aso) = measure(&b);
         println!(

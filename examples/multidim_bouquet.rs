@@ -32,7 +32,10 @@ fn main() {
             c.id,
             c.budget,
             c.points.len(),
-            c.plan_set.iter().map(|p| format!("P{p}")).collect::<Vec<_>>()
+            c.plan_set
+                .iter()
+                .map(|p| format!("P{p}"))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -51,7 +54,10 @@ fn main() {
         "\ntrue location qa = [{:.2e}, {:.2e}, {:.2e}]",
         qa[0], qa[1], qa[2]
     );
-    for (label, run) in [("basic", b.run_basic(&qa)), ("optimized", b.run_optimized(&qa))] {
+    for (label, run) in [
+        ("basic", b.run_basic(&qa)),
+        ("optimized", b.run_optimized(&qa)),
+    ] {
         let opt = b.pic_cost(&qa);
         println!(
             "{label:>10}: {:>2} executions ({} partial), cost {:>12.0}, SubOpt {:.2}",

@@ -51,7 +51,10 @@ fn main() {
     // ---- Run time (Figure 8, right half) -----------------------------------
     // Suppose the actual selectivity is 5% — the optimizer never saw it.
     let qa = w.ess.point_at_fractions(&[f_of(&w, 0.05)]);
-    println!("true selectivity qa = {:.2}% (never estimated!)", qa[0] * 100.0);
+    println!(
+        "true selectivity qa = {:.2}% (never estimated!)",
+        qa[0] * 100.0
+    );
     let run = bouquet.run_basic(&qa);
     println!("discovery sequence:");
     for e in &run.trace {

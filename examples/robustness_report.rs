@@ -12,7 +12,9 @@ use plan_bouquet::bouquet::eval::{evaluate, EvalConfig};
 use plan_bouquet::workloads;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "3D_DS_Q96".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "3D_DS_Q96".into());
     let Some(w) = workloads::by_name(&name) else {
         eprintln!("unknown workload {name}; available:");
         for s in workloads::specs() {
@@ -21,7 +23,10 @@ fn main() {
         std::process::exit(1);
     };
 
-    println!("evaluating {name} over {} grid locations ...", w.ess.num_points());
+    println!(
+        "evaluating {name} over {} grid locations ...",
+        w.ess.num_points()
+    );
     let ev = evaluate(&w, &EvalConfig::default());
 
     println!("\ncost gradient C_max/C_min: {:.0}", ev.cmax / ev.cmin);

@@ -50,7 +50,11 @@ fn main() {
             e.plan,
             e.spent,
             e.budget,
-            if e.completed { "COMPLETED" } else { "jettisoned" }
+            if e.completed {
+                "COMPLETED"
+            } else {
+                "jettisoned"
+            }
         );
     }
     println!(

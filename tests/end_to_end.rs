@@ -21,7 +21,11 @@ fn identification_pipeline_is_consistent() {
     for w in sample_workloads() {
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         // Grading brackets the PIC.
-        assert!(b.grading.budget(0) >= b.stats.cmin * (1.0 - 1e-9), "{}", w.name);
+        assert!(
+            b.grading.budget(0) >= b.stats.cmin * (1.0 - 1e-9),
+            "{}",
+            w.name
+        );
         let last = b.grading.budget(b.grading.len() - 1);
         assert!(last >= b.stats.cmax * (1.0 - 1e-9), "{}", w.name);
         // Every contour is non-empty and its plans are bouquet members.
@@ -105,8 +109,22 @@ fn off_grid_locations_are_also_discovered() {
 #[test]
 fn monotone_workloads_reject_nothing_but_bad_configs() {
     let w = workloads::eq_1d();
-    assert!(Bouquet::identify(&w, &BouquetConfig { r: 0.5, ..Default::default() }).is_err());
-    assert!(Bouquet::identify(&w, &BouquetConfig { lambda: -1.0, ..Default::default() }).is_err());
+    assert!(Bouquet::identify(
+        &w,
+        &BouquetConfig {
+            r: 0.5,
+            ..Default::default()
+        }
+    )
+    .is_err());
+    assert!(Bouquet::identify(
+        &w,
+        &BouquetConfig {
+            lambda: -1.0,
+            ..Default::default()
+        }
+    )
+    .is_err());
     assert!(Bouquet::identify(&w, &BouquetConfig::default()).is_ok());
 }
 
@@ -118,7 +136,10 @@ fn deeper_locations_cost_more_to_discover() {
     for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let qa = w.ess.point_at_fractions(&[f]);
         let run = b.run_basic(&qa);
-        assert!(run.total_cost >= last * 0.99, "discovery cost should grow with depth");
+        assert!(
+            run.total_cost >= last * 0.99,
+            "discovery cost should grow with depth"
+        );
         last = run.total_cost;
     }
 }

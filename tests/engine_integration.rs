@@ -39,7 +39,11 @@ fn engine_costs_track_model_within_delta() {
         let actual = engine.execute(plan, f64::INFINITY).cost();
         let modeled = coster.plan_cost(plan, &qa);
         let ratio = actual / modeled;
-        let delta = if ratio >= 1.0 { ratio - 1.0 } else { 1.0 / ratio - 1.0 };
+        let delta = if ratio >= 1.0 {
+            ratio - 1.0
+        } else {
+            1.0 / ratio - 1.0
+        };
         max_delta = max_delta.max(delta);
     }
     assert!(
@@ -93,10 +97,7 @@ fn engine_observed_selectivity_first_quadrant() {
         let full = engine.execute(plan, f64::INFINITY);
         for frac in [0.05, 0.3, 0.8] {
             let partial = engine.execute(plan, full.cost() * frac);
-            if let Some(s) = partial
-                .instr()
-                .observed_selectivity(plan, &w.query, &db, 0)
-            {
+            if let Some(s) = partial.instr().observed_selectivity(plan, &w.query, &db, 0) {
                 assert!(
                     s <= s_true0 * 1.05,
                     "plan {pid} frac {frac}: observed {s} > true {s_true0}"
@@ -125,7 +126,10 @@ fn engine_bouquet_result_matches_oracle() {
     }
     let oracle_plan = w.optimizer().optimize(&SelPoint(qa)).plan;
     let oracle = engine.execute(&oracle_plan.root, f64::INFINITY);
-    let plan_bouquet::engine::EngineOutcome::Completed { rows: oracle_rows, .. } = oracle else {
+    let plan_bouquet::engine::EngineOutcome::Completed {
+        rows: oracle_rows, ..
+    } = oracle
+    else {
         panic!("oracle must complete");
     };
 
@@ -141,7 +145,11 @@ fn engine_bouquet_result_matches_oracle() {
             }
         }
     }
-    assert_eq!(rows, Some(oracle_rows), "bouquet must return the oracle's result");
+    assert_eq!(
+        rows,
+        Some(oracle_rows),
+        "bouquet must return the oracle's result"
+    );
 }
 
 /// Data generation honours overrides; selectivity measurement reflects them.

@@ -15,7 +15,13 @@ fn setup(seed: u64, price_cut: f64) -> (Database, plan_bouquet::plan::QuerySpec,
     let mut qb = QueryBuilder::new(&cat, "prop");
     let p = qb.rel("part");
     let l = qb.rel("lineitem");
-    qb.select(p, "p_retailprice", CmpOp::Lt, price_cut, SelSpec::ErrorProne(0));
+    qb.select(
+        p,
+        "p_retailprice",
+        CmpOp::Lt,
+        price_cut,
+        SelSpec::ErrorProne(0),
+    );
     qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
     (db, qb.build(), CostModel::postgresish())
 }

@@ -175,8 +175,8 @@ fn fixture_is_well_formed() {
 fn selpoint_domination_matches_grid_order() {
     let b = bouquet_2d();
     let ess = &b.workload.ess;
-    let a = ess.point(&vec![3, 7]);
-    let c = ess.point(&vec![5, 7]);
+    let a = ess.point(&[3, 7]);
+    let c = ess.point(&[5, 7]);
     assert!(a.dominated_by(&c));
     assert!(!c.dominated_by(&a));
     assert!(a.dominated_by(&a));

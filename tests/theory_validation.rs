@@ -11,7 +11,10 @@ use plan_bouquet::workloads;
 fn theorem1_holds_for_all_ratios_1d() {
     let w = workloads::eq_1d();
     for r in [1.25, 1.5, 2.0, 2.5, 3.0, 5.0] {
-        let cfg = BouquetConfig { r, ..Default::default() };
+        let cfg = BouquetConfig {
+            r,
+            ..Default::default()
+        };
         let b = Bouquet::identify(&w, &cfg).unwrap();
         let bound = (1.0 + cfg.lambda) * theory::mso_bound_1d(r);
         for li in 0..w.ess.num_points() {
@@ -65,7 +68,10 @@ fn anorexic_tradeoff_monotone_in_lambda() {
     let w = workloads::h_q8a_2d(1.0);
     let mut last_rho = usize::MAX;
     for lambda in [0.0, 0.1, 0.2, 0.4, 0.8] {
-        let cfg = BouquetConfig { lambda, ..Default::default() };
+        let cfg = BouquetConfig {
+            lambda,
+            ..Default::default()
+        };
         let b = Bouquet::identify(&w, &cfg).unwrap();
         assert!(b.rho() <= last_rho, "ρ must not grow with λ");
         last_rho = b.rho();
@@ -104,7 +110,10 @@ fn model_error_inflation_bounded() {
                 .map(|p| ex.actual_cost(&p.root, &qa))
                 .fold(f64::INFINITY, f64::min);
             let so = run.total_cost / opt_actual;
-            assert!(so <= cap * (1.0 + 1e-9), "seed {seed} li {li}: {so} > {cap}");
+            assert!(
+                so <= cap * (1.0 + 1e-9),
+                "seed {seed} li {li}: {so} > {cap}"
+            );
         }
     }
 }
@@ -113,7 +122,12 @@ fn model_error_inflation_bounded() {
 #[test]
 fn bound_function_consistency() {
     assert_eq!(theory::mso_bound_multi(1, 2.0), theory::mso_bound_1d(2.0));
-    assert_eq!(theory::mso_bound_anorexic(3, 2.0, 0.0), theory::mso_bound_multi(3, 2.0));
-    assert!(theory::mso_bound_1d(theory::optimal_ratio()) <= theory::DETERMINISTIC_LOWER_BOUND + 1e-12);
+    assert_eq!(
+        theory::mso_bound_anorexic(3, 2.0, 0.0),
+        theory::mso_bound_multi(3, 2.0)
+    );
+    assert!(
+        theory::mso_bound_1d(theory::optimal_ratio()) <= theory::DETERMINISTIC_LOWER_BOUND + 1e-12
+    );
     assert_eq!(theory::model_error_inflation(0.0), 1.0);
 }
