@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use pb_bouquet::{band, Bouquet, BouquetConfig};
+use pb_cost::{CostProgram, Coster, Parallelism};
 use pb_optimizer::{AnorexicReduction, PlanDiagram};
 use pb_workloads::by_name;
 
@@ -38,6 +39,74 @@ fn bench_anorexic(c: &mut Criterion) {
     });
 }
 
+/// Compiled-program evaluation vs the recursive tree walk: one POSP plan
+/// re-costed at every ESS grid point of the TPC-H 2D workload.
+fn bench_cost_paths(c: &mut Criterion) {
+    let w = by_name("2D_H_Q8A").unwrap();
+    let d = PlanDiagram::build(&w.catalog, &w.query, &w.model, &w.ess);
+    let plan = &d.plans[d.optimal[0] as usize].root;
+    let coster = Coster::new(&w.catalog, &w.query, &w.model);
+    let prog = CostProgram::compile(&w.catalog, &w.query, &w.model, plan);
+    let points = w.ess.points_flat();
+    let dims = w.ess.d();
+    let n = w.ess.num_points();
+
+    let mut g = c.benchmark_group("plan_recost_grid");
+    g.bench_function("tree_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for li in 0..n {
+                acc += coster.plan_cost(plan, &points[li * dims..(li + 1) * dims]);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("compiled_program", |b| {
+        let mut stack = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for li in 0..n {
+                acc += prog
+                    .eval_with(&points[li * dims..(li + 1) * dims], &mut stack)
+                    .cost;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// Incumbent-bound-pruned diagram build vs the plain DP everywhere, both
+/// serial (isolates the pruning win from parallel speedup).
+fn bench_pruned_build(c: &mut Criterion) {
+    let w = by_name("2D_H_Q8A").unwrap();
+    let mut g = c.benchmark_group("diagram_build_serial");
+    g.sample_size(10);
+    g.bench_function("unpruned", |b| {
+        b.iter(|| {
+            black_box(PlanDiagram::build_with_unpruned(
+                &w.catalog,
+                &w.query,
+                &w.model,
+                &w.ess,
+                Parallelism::serial(),
+            ))
+        })
+    });
+    g.bench_function("bound_pruned", |b| {
+        b.iter(|| {
+            black_box(PlanDiagram::build_with(
+                &w.catalog,
+                &w.query,
+                &w.model,
+                &w.ess,
+                Parallelism::serial(),
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn bench_identify(c: &mut Criterion) {
     let mut g = c.benchmark_group("bouquet_identify");
     g.sample_size(10);
@@ -56,5 +125,12 @@ fn bench_identify(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_diagram, bench_anorexic, bench_identify);
+criterion_group!(
+    benches,
+    bench_diagram,
+    bench_anorexic,
+    bench_cost_paths,
+    bench_pruned_build,
+    bench_identify
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! pbq identify WORKLOAD [--save FILE]        # compile the bouquet
 //! pbq run WORKLOAD f1,f2,... [--optimized] [--load FILE]
 //! pbq sensitivity WORKLOAD                   # §8 dimension analysis
-//! pbq speedup WORKLOAD [--workers N]         # parallel identification bench
+//! pbq speedup WORKLOAD [--workers N] [--json PATH]  # identification bench
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
 //! ```
 //!
@@ -281,7 +281,12 @@ fn sql_cmd(rest: &[String]) {
 /// Benchmark identification sequential vs. parallel and verify the two
 /// produce byte-identical artefacts. `--workers N` pins the parallel run's
 /// worker count (default: all cores / the global `--jobs` override).
+/// `--json PATH` additionally writes the per-phase wall-clock numbers —
+/// including the unpruned-build and tree-walk cost-matrix reference paths —
+/// as a machine-readable report (the CI `BENCH_identify.json` artifact).
 fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
+    use std::time::Instant;
+
     let par = match rest.iter().position(|a| a == "--workers") {
         Some(i) => {
             let n: usize = rest
@@ -295,6 +300,10 @@ fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
         }
         None => Parallelism::auto(),
     };
+    let json_path = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.get(i + 1).expect("--json PATH").clone());
     let cfg = BouquetConfig::default();
     println!(
         "identification speedup on {} ({} grid points, {} dims)",
@@ -311,8 +320,30 @@ fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
     let json_par = persist::to_json(&b_par).expect("serialize parallel");
     let identical = json_seq == json_par;
 
+    // Reference paths: the bound-pruned build vs the plain DP everywhere,
+    // and the compiled-program cost matrix vs the recursive tree walk.
+    let t0 = Instant::now();
+    let unpruned = pb_optimizer::PlanDiagram::build_with_unpruned(
+        &w.catalog,
+        &w.query,
+        &w.model,
+        &w.ess,
+        Parallelism::serial(),
+    );
+    let t_unpruned = t0.elapsed();
+    let pruned_matches = unpruned.optimal == b_seq.diagram.optimal
+        && unpruned.opt_cost == b_seq.diagram.opt_cost
+        && unpruned.plans.len() == b_seq.diagram.plans.len();
+    let t0 = Instant::now();
+    let treewalk_cm = b_seq
+        .diagram
+        .cost_matrix_reference(&w.catalog, &w.query, &w.model);
+    let t_treewalk = t0.elapsed();
+    let matrix_matches = treewalk_cm == b_seq.costs;
+
+    let secs = std::time::Duration::as_secs_f64;
     let row = |phase: &str, seq: std::time::Duration, par_t: std::time::Duration| {
-        let sp = seq.as_secs_f64() / par_t.as_secs_f64().max(1e-12);
+        let sp = secs(&seq) / secs(&par_t).max(1e-12);
         println!("  {phase:<12} {:>12.1?} {:>12.1?} {sp:>9.2}x", seq, par_t);
     };
     println!(
@@ -327,6 +358,20 @@ fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
     row("contours", t_seq.contours, t_par.contours);
     row("total", t_seq.total, t_par.total);
     println!(
+        "  diagram      bound-pruned vs unpruned (serial): {:.1?} vs {:.1?} ({:.2}x), identical: {}",
+        t_seq.diagram,
+        t_unpruned,
+        secs(&t_unpruned) / secs(&t_seq.diagram).max(1e-12),
+        if pruned_matches { "yes" } else { "NO" }
+    );
+    println!(
+        "  cost_matrix  compiled vs tree-walk (serial):    {:.1?} vs {:.1?} ({:.2}x), identical: {}",
+        t_seq.cost_matrix,
+        t_treewalk,
+        secs(&t_treewalk) / secs(&t_seq.cost_matrix).max(1e-12),
+        if matrix_matches { "yes" } else { "NO" }
+    );
+    println!(
         "  artefacts byte-identical: {}",
         if identical {
             "yes"
@@ -334,7 +379,38 @@ fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
             "NO — DETERMINISM BUG"
         }
     );
-    if !identical {
+
+    if let Some(path) = json_path {
+        let phase_obj = |t: &pb_bouquet::PhaseTimings| {
+            format!(
+                "{{\"workers\":{},\"diagram_s\":{:.6},\"cost_matrix_s\":{:.6},\"contours_s\":{:.6},\"total_s\":{:.6}}}",
+                t.workers,
+                secs(&t.diagram),
+                secs(&t.cost_matrix),
+                secs(&t.contours),
+                secs(&t.total)
+            )
+        };
+        let report = format!(
+            "{{\n  \"workload\": \"{}\",\n  \"grid_points\": {},\n  \"dims\": {},\n  \"serial\": {},\n  \"parallel\": {},\n  \"unpruned_diagram_serial_s\": {:.6},\n  \"treewalk_cost_matrix_serial_s\": {:.6},\n  \"diagram_pruning_gain\": {:.3},\n  \"cost_matrix_compiled_gain\": {:.3},\n  \"byte_identical\": {},\n  \"pruned_build_identical\": {},\n  \"cost_matrix_identical\": {}\n}}\n",
+            w.name,
+            w.ess.num_points(),
+            w.d(),
+            phase_obj(&t_seq),
+            phase_obj(&t_par),
+            secs(&t_unpruned),
+            secs(&t_treewalk),
+            secs(&t_unpruned) / secs(&t_seq.diagram).max(1e-12),
+            secs(&t_treewalk) / secs(&t_seq.cost_matrix).max(1e-12),
+            identical,
+            pruned_matches,
+            matrix_matches
+        );
+        std::fs::write(&path, report).expect("write --json report");
+        println!("  wrote {path}");
+    }
+
+    if !identical || !pruned_matches || !matrix_matches {
         std::process::exit(1);
     }
 }

@@ -37,7 +37,7 @@ pub fn reopt() -> String {
         let nat_mso = (0..w.ess.num_points())
             .map(|li| {
                 b.costs
-                    .iter()
+                    .rows()
                     .map(|row| row[li] / b.diagram.opt_cost[li])
                     .fold(0.0f64, f64::max)
             })

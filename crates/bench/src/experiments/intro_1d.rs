@@ -110,7 +110,7 @@ pub fn fig4() -> String {
     let mut nat_worst = vec![0.0f64; n];
     for li in 0..n {
         let mut worst = 1.0f64;
-        for row in &b.costs {
+        for row in b.costs.rows() {
             worst = worst.max(row[li] / b.diagram.opt_cost[li]);
         }
         nat_worst[li] = worst;

@@ -72,11 +72,8 @@ fn grid_mso(b: &Bouquet) -> f64 {
         let run = b.run_basic(&qa);
         assert!(run.completed());
         // Actual optimal cost: cheapest POSP plan under perturbation.
-        let opt_actual = b
-            .costs
-            .iter()
-            .enumerate()
-            .map(|(p, _)| ex.actual_cost(&b.diagram.plans[p].root, &qa))
+        let opt_actual = (0..b.costs.len())
+            .map(|p| ex.actual_cost(&b.diagram.plans[p].root, &qa))
             .fold(f64::INFINITY, f64::min);
         worst = worst.max(run.total_cost / opt_actual);
     }

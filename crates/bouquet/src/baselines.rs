@@ -165,7 +165,7 @@ mod tests {
         let nat_worst: f64 = (0..w.ess.num_points())
             .map(|li| {
                 b.costs
-                    .iter()
+                    .rows()
                     .map(|row| row[li] / b.diagram.opt_cost[li])
                     .fold(0.0f64, f64::max)
             })

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use pb_cost::{par_map, CostPerturbation, Parallelism, SelPoint};
+use pb_cost::{par_map, CostMatrix, CostPerturbation, CostProgram, Parallelism, SelPoint};
 use pb_optimizer::{PlanDiagram, PlanId};
 use pb_plan::PhysicalPlan;
 
@@ -83,11 +83,15 @@ pub struct Bouquet {
     pub workload: Workload,
     pub diagram: PlanDiagram,
     /// `costs[plan][linear_point]` — every POSP plan recosted everywhere.
-    pub costs: Vec<Vec<f64>>,
+    pub costs: CostMatrix,
     pub grading: IsoCostGrading,
     pub contours: Vec<Contour>,
     pub config: BouquetConfig,
     pub stats: CompileStats,
+    /// Compiled cost programs, one per diagram plan, built lazily on first
+    /// use. Never serialized — recompiled on demand after a reload.
+    #[serde(skip)]
+    pub(crate) programs: std::sync::OnceLock<Vec<CostProgram>>,
 }
 
 impl Bouquet {
@@ -191,9 +195,31 @@ impl Bouquet {
                 contours,
                 config: cfg.clone(),
                 stats,
+                programs: std::sync::OnceLock::new(),
             },
             timings,
         ))
+    }
+
+    /// Compiled cost programs for every diagram plan (indexed by [`PlanId`]),
+    /// built once on first use. The run-time drivers re-cost pool plans at
+    /// every budget step; evaluating the flat programs avoids re-walking the
+    /// plan trees on each probe.
+    pub fn programs(&self) -> &[CostProgram] {
+        self.programs.get_or_init(|| {
+            self.diagram
+                .plans
+                .iter()
+                .map(|p| {
+                    CostProgram::compile(
+                        &self.workload.catalog,
+                        &self.workload.query,
+                        &self.workload.model,
+                        &p.root,
+                    )
+                })
+                .collect()
+        })
     }
 
     /// The bouquet plan set: union of contour plan sets (diagram plan ids).
@@ -257,13 +283,14 @@ impl Bouquet {
 
 fn check_pic_monotone(diagram: &PlanDiagram) -> Result<(), String> {
     let ess = &diagram.ess;
+    let mut ix = Vec::new();
     for li in 0..ess.num_points() {
-        let ix = ess.unlinear(li);
+        ess.unlinear_into(li, &mut ix);
         for d in 0..ess.d() {
             if ix[d] + 1 < ess.res[d] {
-                let mut up = ix.clone();
-                up[d] += 1;
-                let upc = diagram.opt_cost[ess.linear(&up)];
+                ix[d] += 1;
+                let upc = diagram.opt_cost[ess.linear(&ix)];
+                ix[d] -= 1;
                 if upc < diagram.opt_cost[li] * (1.0 - 1e-9) {
                     return Err(format!(
                         "PIC violates Plan Cost Monotonicity at point {ix:?} dim {d}: \

@@ -9,7 +9,7 @@
 //! contour budget. This staircase construction is the standard discrete
 //! realisation in the bouquet literature.
 
-use pb_cost::{par_map, Parallelism};
+use pb_cost::{par_map, run_chunked, CostMatrix, GridIx, Parallelism};
 use pb_optimizer::{AnorexicReduction, PlanDiagram, PlanId};
 
 use crate::grading::IsoCostGrading;
@@ -37,18 +37,21 @@ pub struct Contour {
 impl Contour {
     /// Whether grid point `li` lies on the dominance frontier of
     /// `{q : opt_cost(q) ≤ budget}`: within budget, and every axis
-    /// successor (where one exists) is over budget.
-    fn on_frontier(diagram: &PlanDiagram, budget: f64, li: usize) -> bool {
+    /// successor (where one exists) is over budget. `ix` is a reusable
+    /// scratch buffer (left holding `li`'s coordinates on return) so the
+    /// hot frontier scan never allocates per point.
+    fn on_frontier(diagram: &PlanDiagram, budget: f64, li: usize, ix: &mut GridIx) -> bool {
         let ess = &diagram.ess;
         if diagram.opt_cost[li] > budget {
             return false;
         }
-        let ix = ess.unlinear(li);
+        ess.unlinear_into(li, ix);
         for dim in 0..ess.d() {
             if ix[dim] + 1 < ess.res[dim] {
-                let mut up = ix.clone();
-                up[dim] += 1;
-                if diagram.opt_cost[ess.linear(&up)] <= budget {
+                ix[dim] += 1;
+                let up_cost = diagram.opt_cost[ess.linear(ix)];
+                ix[dim] -= 1;
+                if up_cost <= budget {
                     return false; // dominated within the region
                 }
             }
@@ -62,12 +65,18 @@ impl Contour {
     }
 
     /// Frontier with an explicit worker policy. The per-point dominance
-    /// check is independent, so the scan chunks over the grid; results keep
-    /// ascending linear order regardless of worker count.
+    /// check is independent, so the scan chunks over the grid with one
+    /// scratch coordinate buffer per chunk; concatenating the per-chunk
+    /// hits keeps ascending linear order regardless of worker count.
     pub fn frontier_with(diagram: &PlanDiagram, budget: f64, par: Parallelism) -> Vec<usize> {
         let n = diagram.ess.num_points();
-        let mask = par_map(par, n, |li| Self::on_frontier(diagram, budget, li));
-        (0..n).filter(|&li| mask[li]).collect()
+        let chunks = run_chunked(par, n, |_, range| {
+            let mut ix = GridIx::new();
+            range
+                .filter(|&li| Self::on_frontier(diagram, budget, li, &mut ix))
+                .collect::<Vec<usize>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// Build all contours for a grading, reducing each contour's plan set
@@ -75,7 +84,7 @@ impl Contour {
     pub fn build_all(
         diagram: &PlanDiagram,
         grading: &IsoCostGrading,
-        costs: &[Vec<f64>],
+        costs: &CostMatrix,
         lambda: f64,
     ) -> Vec<Contour> {
         Self::build_all_with(diagram, grading, costs, lambda, Parallelism::serial())
@@ -87,7 +96,7 @@ impl Contour {
     pub fn build_all_with(
         diagram: &PlanDiagram,
         grading: &IsoCostGrading,
-        costs: &[Vec<f64>],
+        costs: &CostMatrix,
         lambda: f64,
         par: Parallelism,
     ) -> Vec<Contour> {
@@ -102,7 +111,7 @@ impl Contour {
     pub fn build_from_frontiers(
         diagram: &PlanDiagram,
         grading: &IsoCostGrading,
-        costs: &[Vec<f64>],
+        costs: &CostMatrix,
         lambda: f64,
         frontiers: Vec<Vec<usize>>,
         par: Parallelism,
@@ -139,20 +148,28 @@ impl Contour {
     /// Whether some frontier point dominates (componentwise ≥) `ix` — i.e.
     /// a query at `ix` is guaranteed discoverable on this contour.
     pub fn dominates(&self, diagram: &PlanDiagram, ix: &[usize]) -> bool {
-        self.points
-            .iter()
-            .any(|&li| diagram.ess.unlinear(li).iter().zip(ix).all(|(f, q)| f >= q))
+        let ess = &diagram.ess;
+        let mut fix = GridIx::new();
+        self.points.iter().any(|&li| {
+            ess.unlinear_into(li, &mut fix);
+            fix.iter().zip(ix).all(|(f, q)| f >= q)
+        })
     }
 
     /// Frontier points (with their plans) that dominate `ix` — the plans
     /// still viable for discovery from running location `ix` (the
     /// first-quadrant pruning of Section 5.1).
     pub fn viable_plans(&self, diagram: &PlanDiagram, ix: &[usize]) -> Vec<PlanId> {
+        let ess = &diagram.ess;
+        let mut fix = GridIx::new();
         let mut plans: Vec<PlanId> = self
             .points
             .iter()
             .zip(&self.assignment)
-            .filter(|(&li, _)| diagram.ess.unlinear(li).iter().zip(ix).all(|(f, q)| f >= q))
+            .filter(|(&li, _)| {
+                ess.unlinear_into(li, &mut fix);
+                fix.iter().zip(ix).all(|(f, q)| f >= q)
+            })
             .map(|(_, &p)| p)
             .collect();
         plans.sort_unstable();
@@ -163,7 +180,7 @@ impl Contour {
     /// Per-plan coverage regions within this contour's budget (Figure 6b):
     /// for each plan on the contour, the set of grid points it can finish
     /// within the budget.
-    pub fn coverage(&self, costs: &[Vec<f64>], num_points: usize) -> Vec<(PlanId, Vec<usize>)> {
+    pub fn coverage(&self, costs: &CostMatrix, num_points: usize) -> Vec<(PlanId, Vec<usize>)> {
         self.plan_set
             .iter()
             .map(|&p| {

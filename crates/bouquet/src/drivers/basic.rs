@@ -28,6 +28,11 @@ impl Bouquet {
     pub fn run_basic(&self, qa: &SelPoint) -> BouquetRun {
         assert_eq!(qa.dims(), self.workload.ess.d(), "qa dimensionality");
         let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation);
+        // Compiled programs for the pool plans: each budget probe is one
+        // flat-program evaluation (bit-identical to the tree walk) instead
+        // of a recursive plan recosting.
+        let progs = self.programs();
+        let mut stack = Vec::new();
         let mut trace: Vec<PartialExec> = Vec::new();
         let mut total = 0.0;
 
@@ -44,7 +49,13 @@ impl Bouquet {
                 (k + 1, budget, &last.plan_set)
             };
             for &pid in plan_set {
-                let out = ex.execute(&self.plan(pid).root, qa, budget);
+                let out = ex.execute_compiled(
+                    &progs[pid],
+                    self.plan(pid).fingerprint(),
+                    qa,
+                    budget,
+                    &mut stack,
+                );
                 total += out.spent();
                 let completed = out.completed();
                 trace.push(PartialExec {

@@ -40,6 +40,8 @@ impl Bouquet {
         let ess = &self.workload.ess;
         assert_eq!(qa.dims(), ess.d(), "qa dimensionality");
         let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation);
+        let progs = self.programs();
+        let mut stack = Vec::new();
         let d = ess.d();
         let m = self.contours.len();
 
@@ -106,7 +108,7 @@ impl Bouquet {
             // movement per unit budget. Otherwise the plan runs unspilled
             // and may complete the query (it still learns on abort, just
             // with a shallower movement).
-            let spilled = has_unresolved && self.workload.coster().plan_cost(plan, &qrun) > budget;
+            let spilled = has_unresolved && progs[pid].eval_with(&qrun, &mut stack).cost > budget;
 
             let r = ex.execute_monitored(plan, qa, &resolved, budget, spilled);
             total += r.spent;
@@ -175,10 +177,11 @@ impl Bouquet {
             candidates.to_vec()
         };
 
-        let coster = self.workload.coster();
+        let progs = self.programs();
+        let mut stack = Vec::new();
         let costs: Vec<(PlanId, f64)> = pool
             .iter()
-            .map(|&p| (p, coster.plan_cost(&self.plan(p).root, qrun)))
+            .map(|&p| (p, progs[p].eval_with(qrun, &mut stack).cost))
             .collect();
         let cheapest = costs.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
         // Cost-equivalence group: within 20% of the cheapest.

@@ -26,7 +26,9 @@
 use std::collections::HashSet;
 
 use pb_catalog::Catalog;
+use pb_cost::{CostMatrix, CostProgram};
 use pb_optimizer::PlanDiagram;
+use pb_plan::PlanNode;
 use serde::{Deserialize, Serialize};
 
 use crate::bouquet::{Bouquet, CompileStats};
@@ -74,18 +76,27 @@ pub fn rescale(
     let n = ess.num_points();
     let cfg = old.config.clone();
 
-    // 1. Recost every known plan everywhere (cheap, parallel-friendly, but
-    //    small enough grids that serial recosting is fine here).
-    let coster = w.coster();
+    // 1. Recost every known plan everywhere via its compiled cost program
+    //    (bit-identical to the tree walk, but with the catalog constants
+    //    resolved once and a single reusable evaluation stack).
+    let points = ess.points_flat();
+    let d = ess.d();
+    let mut stack = Vec::new();
+    let mut recost_row = |root: &PlanNode| -> Vec<f64> {
+        let prog = CostProgram::compile(&w.catalog, &w.query, &w.model, root);
+        (0..n)
+            .map(|li| {
+                prog.eval_with(&points[li * d..(li + 1) * d], &mut stack)
+                    .cost
+            })
+            .collect()
+    };
     let mut plans = old.diagram.plans.clone();
-    let mut costs: Vec<Vec<f64>> = plans
-        .iter()
-        .map(|p| {
-            (0..n)
-                .map(|li| coster.plan_cost(&p.root, &ess.point(&ess.unlinear(li))))
-                .collect()
-        })
-        .collect();
+    let mut costs = CostMatrix::new(n);
+    for p in &plans {
+        let row = recost_row(&p.root);
+        costs.push_row(&row);
+    }
 
     let reused = plans.len();
     let mut optimizer_calls = 0usize;
@@ -130,11 +141,8 @@ pub fn rescale(
                     .any(|p| p.fingerprint() == best.plan.fingerprint())
             {
                 // Admit the new plan: recost it over the whole grid.
-                costs.push(
-                    (0..n)
-                        .map(|li| coster.plan_cost(&best.plan.root, &ess.point(&ess.unlinear(li))))
-                        .collect(),
-                );
+                let row = recost_row(&best.plan.root);
+                costs.push_row(&row);
                 plans.push(best.plan);
                 found_better = true;
             }
@@ -199,17 +207,18 @@ pub fn rescale(
             contours,
             config: cfg,
             stats,
+            programs: std::sync::OnceLock::new(),
         },
         report,
     ))
 }
 
 /// Pointwise cheapest plan over a cost matrix.
-fn pseudo_surface(costs: &[Vec<f64>]) -> (Vec<u32>, Vec<f64>) {
-    let n = costs[0].len();
+fn pseudo_surface(costs: &CostMatrix) -> (Vec<u32>, Vec<f64>) {
+    let n = costs.num_points();
     let mut optimal = vec![0u32; n];
     let mut opt_cost = vec![f64::INFINITY; n];
-    for (p, row) in costs.iter().enumerate() {
+    for (p, row) in costs.rows().enumerate() {
         for (li, &c) in row.iter().enumerate() {
             if c < opt_cost[li] {
                 opt_cost[li] = c;

@@ -1,6 +1,7 @@
 //! Robustness metrics (paper, Section 2): SubOpt, MSO, ASO, MaxHarm, and
 //! the spatial robustness distribution of Figure 16.
 
+use pb_cost::CostMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a strategy's sub-optimality profile over the ESS.
@@ -23,7 +24,7 @@ pub struct MetricsSummary {
 /// maximum ranges only over the distinct assigned plans, it is computed in
 /// `O(|plans| · |grid|)` rather than `O(|grid|²)`.
 pub fn single_plan_worst_profile(
-    costs: &[Vec<f64>],
+    costs: &CostMatrix,
     opt_cost: &[f64],
     assignment: &[usize],
 ) -> Vec<f64> {
@@ -42,7 +43,7 @@ pub fn single_plan_worst_profile(
 /// MSO/ASO for a single-plan strategy under the paper's uniformity
 /// assumption (estimates and actuals uniform over the grid).
 pub fn single_plan_metrics(
-    costs: &[Vec<f64>],
+    costs: &CostMatrix,
     opt_cost: &[f64],
     assignment: &[usize],
 ) -> MetricsSummary {
@@ -208,7 +209,7 @@ impl LocationPrior {
 /// Weighted ASO for a single-plan strategy: expectation over independent
 /// qe ~ prior, qa ~ prior of `c_{P(qe)}(qa) / opt(qa)`.
 pub fn single_plan_aso_weighted(
-    costs: &[Vec<f64>],
+    costs: &CostMatrix,
     opt_cost: &[f64],
     assignment: &[usize],
     prior: &LocationPrior,
@@ -247,8 +248,8 @@ mod tests {
     use super::*;
 
     /// Two plans over three points; plan 0 optimal at 0/1, plan 1 at 2.
-    fn fixture() -> (Vec<Vec<f64>>, Vec<f64>, Vec<usize>) {
-        let costs = vec![vec![10.0, 20.0, 400.0], vec![100.0, 90.0, 40.0]];
+    fn fixture() -> (CostMatrix, Vec<f64>, Vec<usize>) {
+        let costs = CostMatrix::from_rows(vec![vec![10.0, 20.0, 400.0], vec![100.0, 90.0, 40.0]]);
         let opt = vec![10.0, 20.0, 40.0];
         let assignment = vec![0, 0, 1];
         (costs, opt, assignment)

@@ -53,7 +53,7 @@ fn validate(b: &Bouquet) -> Result<(), String> {
     if b.costs.len() != b.diagram.plans.len() {
         return Err("cost matrix row count disagrees with plan count".into());
     }
-    for row in &b.costs {
+    for row in b.costs.rows() {
         if row.len() != n {
             return Err("cost matrix column count disagrees with grid".into());
         }

@@ -6,10 +6,15 @@
 //! tree to re-cost it at an arbitrary ESS location — the paper's "abstract
 //! plan costing" requirement. Both paths share the same formulas, so the
 //! optimizer and the bouquet runtime can never disagree about a plan's cost.
+//!
+//! The scalar arithmetic itself lives in [`crate::formulas`] and is shared
+//! with the compiled-program evaluator ([`crate::program::CostProgram`]), so
+//! tree-walk and compiled costing are bit-for-bit identical by construction.
 
 use pb_catalog::{Catalog, Table};
 use pb_plan::{PlanNode, QuerySpec, RelIdx, SelectionPredicate};
 
+use crate::formulas;
 use crate::params::CostModel;
 
 /// Cost estimate for a (sub)plan: output cardinality, cumulative cost and
@@ -23,7 +28,7 @@ pub struct NodeCost {
 
 impl NodeCost {
     /// Pages needed to materialize this output.
-    fn pages(&self, page_bytes: f64) -> f64 {
+    pub(crate) fn pages(&self, page_bytes: f64) -> f64 {
         (self.rows * self.width / page_bytes).max(1.0)
     }
 }
@@ -74,27 +79,24 @@ impl<'a> Coster<'a> {
 
     /// Sequential scan of `rel` with all selections applied on the fly.
     pub fn seq_scan(&self, rel: RelIdx, q: &[f64]) -> NodeCost {
-        let p = &self.model.p;
         let t = self.table(rel);
         let npred = self.query.relations[rel].selections.len() as f64;
-        let out = t.rows * self.rel_sel(rel, q);
-        NodeCost {
-            rows: out,
-            cost: t.pages() * p.seq_page
-                + t.rows * (p.cpu_tuple + npred * p.cpu_operator)
-                + out * p.emit_tuple,
-            width: t.row_width as f64,
-        }
+        formulas::seq_scan(
+            &self.model.p,
+            t.rows,
+            t.pages(),
+            t.row_width as f64,
+            npred,
+            self.rel_sel(rel, q),
+        )
     }
 
     /// Index scan of `rel` driven by selection `sel_idx`; remaining
     /// selections are residual filters on the fetched tuples.
     pub fn index_scan(&self, rel: RelIdx, sel_idx: usize, q: &[f64]) -> NodeCost {
-        let p = &self.model.p;
         let t = self.table(rel);
         let r = &self.query.relations[rel];
         let ix_sel = self.pred_sel(&r.selections[sel_idx], q);
-        let matches = t.rows * ix_sel;
         let residual: f64 = r
             .selections
             .iter()
@@ -106,50 +108,38 @@ impl<'a> Coster<'a> {
             .index_on(r.selections[sel_idx].column)
             .map_or(2.0, |ix| ix.height as f64);
         let leaf_pages = (t.rows / 256.0).max(1.0);
-        let out = matches * residual;
-        NodeCost {
-            rows: out,
-            cost: height * p.random_page
-                + ix_sel * leaf_pages * p.seq_page
-                + matches * (p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)
-                + matches * (r.selections.len() as f64 - 1.0).max(0.0) * p.cpu_operator
-                + out * p.emit_tuple,
-            width: t.row_width as f64,
-        }
+        formulas::index_scan(
+            &self.model.p,
+            t.rows,
+            t.row_width as f64,
+            height,
+            leaf_pages,
+            r.selections.len() as f64,
+            ix_sel,
+            residual,
+        )
     }
 
     /// Full scan through the index on `column` — delivers tuples ordered on
     /// that column at the price of random heap fetches for every row.
     pub fn full_index_scan(&self, rel: RelIdx, q: &[f64]) -> NodeCost {
-        let p = &self.model.p;
         let t = self.table(rel);
         let npred = self.query.relations[rel].selections.len() as f64;
         let leaf_pages = (t.rows / 256.0).max(1.0);
-        let out = t.rows * self.rel_sel(rel, q);
-        NodeCost {
-            rows: out,
-            cost: leaf_pages * p.seq_page
-                + t.rows
-                    * (p.cpu_index_tuple
-                        + p.random_page * p.heap_fetch_factor
-                        + npred * p.cpu_operator)
-                + out * p.emit_tuple,
-            width: t.row_width as f64,
-        }
+        formulas::full_index_scan(
+            &self.model.p,
+            t.rows,
+            t.row_width as f64,
+            leaf_pages,
+            npred,
+            self.rel_sel(rel, q),
+        )
     }
 
     /// Cost of sorting `input` (in-memory quicksort, external merge when the
     /// input exceeds work_mem).
     pub fn sort_cost(&self, input: &NodeCost) -> f64 {
-        let p = &self.model.p;
-        let n = input.rows.max(2.0);
-        let mut cost = n * n.log2() * 2.0 * p.cpu_operator;
-        let pages = input.pages(p.page_bytes);
-        if pages > p.work_mem_pages {
-            let passes = (pages / p.work_mem_pages).log2().max(1.0).ceil();
-            cost += 2.0 * pages * p.seq_page * passes;
-        }
-        cost
+        formulas::sort_cost(&self.model.p, input)
     }
 
     /// Output cardinality of a join applying `edges`.
@@ -165,25 +155,13 @@ impl<'a> Coster<'a> {
         edges: &[usize],
         q: &[f64],
     ) -> NodeCost {
-        let p = &self.model.p;
-        let rows = self.join_rows(build, probe, edges, q);
-        let mut cost = build.cost
-            + probe.cost
-            + build.rows * (p.cpu_tuple + p.hash_build)
-            + probe.rows * p.hash_probe
-            + rows * (edges.len() as f64 - 1.0).max(0.0) * p.cpu_operator
-            + rows * p.emit_tuple;
-        // Grace partitioning when the build side exceeds work_mem: both
-        // inputs are written out and re-read once.
-        let build_pages = build.pages(p.page_bytes);
-        if build_pages > p.work_mem_pages {
-            cost += 2.0 * (build_pages + probe.pages(p.page_bytes)) * p.seq_page;
-        }
-        NodeCost {
-            rows,
-            cost,
-            width: build.width + probe.width,
-        }
+        formulas::hash_join(
+            &self.model.p,
+            build,
+            probe,
+            self.edges_sel(edges, q),
+            edges.len() as f64,
+        )
     }
 
     /// Sort-merge join; `sort_left`/`sort_right` indicate explicit sorts.
@@ -196,23 +174,15 @@ impl<'a> Coster<'a> {
         sort_left: bool,
         sort_right: bool,
     ) -> NodeCost {
-        let p = &self.model.p;
-        let rows = self.join_rows(left, right, edges, q);
-        let mut cost = left.cost + right.cost;
-        if sort_left {
-            cost += self.sort_cost(left);
-        }
-        if sort_right {
-            cost += self.sort_cost(right);
-        }
-        cost += (left.rows + right.rows) * 2.0 * p.cpu_operator
-            + rows * (edges.len() as f64 - 1.0).max(0.0) * p.cpu_operator
-            + rows * p.emit_tuple;
-        NodeCost {
-            rows,
-            cost,
-            width: left.width + right.width,
-        }
+        formulas::merge_join(
+            &self.model.p,
+            left,
+            right,
+            self.edges_sel(edges, q),
+            edges.len() as f64,
+            sort_left,
+            sort_right,
+        )
     }
 
     /// Index nested-loops join: one index probe into `inner_rel` per outer
@@ -225,25 +195,19 @@ impl<'a> Coster<'a> {
         edges: &[usize],
         q: &[f64],
     ) -> NodeCost {
-        let p = &self.model.p;
         let t = self.table(inner_rel);
-        let primary_sel = self.edges_sel(&edges[..1], q);
-        let residual_edges = self.edges_sel(&edges[1..], q);
-        let inner_sel = self.rel_sel(inner_rel, q);
-        let matches = outer.rows * t.rows * primary_sel;
-        let rows = matches * residual_edges * inner_sel;
         let npred = self.query.relations[inner_rel].selections.len() as f64
             + (edges.len() as f64 - 1.0).max(0.0);
-        let cost = outer.cost
-            + outer.rows * p.index_lookup
-            + matches * (p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)
-            + matches * npred * p.cpu_operator
-            + rows * p.emit_tuple;
-        NodeCost {
-            rows,
-            cost,
-            width: outer.width + t.row_width as f64,
-        }
+        formulas::index_nl_join(
+            &self.model.p,
+            outer,
+            t.rows,
+            t.row_width as f64,
+            self.edges_sel(&edges[..1], q),
+            self.edges_sel(&edges[1..], q),
+            self.rel_sel(inner_rel, q),
+            npred,
+        )
     }
 
     /// Block nested-loops join with a materialized inner.
@@ -254,22 +218,13 @@ impl<'a> Coster<'a> {
         edges: &[usize],
         q: &[f64],
     ) -> NodeCost {
-        let p = &self.model.p;
-        let rows = self.join_rows(outer, inner, edges, q);
-        let inner_pages = inner.pages(p.page_bytes);
-        let chunk_rows = (p.work_mem_pages * p.page_bytes / outer.width.max(1.0)).max(1.0);
-        let passes = (outer.rows / chunk_rows).ceil().max(1.0);
-        let cost = outer.cost
-            + inner.cost
-            + inner_pages * p.seq_page // materialize
-            + passes * inner_pages * p.seq_page // rescans
-            + outer.rows * inner.rows * p.cpu_operator * edges.len().max(1) as f64
-            + rows * p.emit_tuple;
-        NodeCost {
-            rows,
-            cost,
-            width: outer.width + inner.width,
-        }
+        formulas::block_nl_join(
+            &self.model.p,
+            outer,
+            inner,
+            self.edges_sel(edges, q),
+            edges.len().max(1) as f64,
+        )
     }
 
     /// Hash anti-join (NOT EXISTS): build a key set from `right`, stream
@@ -285,26 +240,12 @@ impl<'a> Coster<'a> {
         edges: &[usize],
         q: &[f64],
     ) -> NodeCost {
-        let p = &self.model.p;
-        let s = self.edges_sel(&edges[..1], q);
-        let survive = (1.0 - (s * right.rows).min(0.99)).max(0.01);
-        let rows = left.rows * survive;
-        let cost = left.cost
-            + right.cost
-            + right.rows * (p.cpu_tuple + p.hash_build)
-            + left.rows * p.hash_probe
-            + rows * p.emit_tuple;
-        NodeCost {
-            rows,
-            cost,
-            width: left.width,
-        }
+        formulas::anti_join(&self.model.p, left, right, self.edges_sel(&edges[..1], q))
     }
 
     /// Hash aggregation: one output row per distinct grouping-key value,
     /// capped by the input cardinality (distinct counts from statistics).
     pub fn hash_aggregate(&self, input: &NodeCost, _q: &[f64]) -> NodeCost {
-        let p = &self.model.p;
         let ndv_product: f64 = self
             .query
             .group_by
@@ -314,23 +255,18 @@ impl<'a> Coster<'a> {
                 t.columns[col.column as usize].stats.ndv.max(1.0)
             })
             .product();
-        let groups = ndv_product.min(input.rows).max(1.0);
-        NodeCost {
-            rows: groups,
-            cost: input.cost + input.rows * (p.cpu_tuple + p.hash_build) + groups * p.emit_tuple,
-            width: (self.query.group_by.len() as f64 + 1.0) * 8.0,
-        }
+        formulas::hash_aggregate(
+            &self.model.p,
+            input,
+            ndv_product,
+            (self.query.group_by.len() as f64 + 1.0) * 8.0,
+        )
     }
 
     /// Spill directive: execute the input, count and discard its output
     /// (pipeline deliberately broken — Section 5.3).
     pub fn spill(&self, input: &NodeCost) -> NodeCost {
-        let p = &self.model.p;
-        NodeCost {
-            rows: 0.0,
-            cost: input.cost + input.rows * p.cpu_tuple,
-            width: 0.0,
-        }
+        formulas::spill(&self.model.p, input)
     }
 
     /// Abstract plan costing: re-cost a full plan tree at ESS location `q`.

@@ -116,6 +116,14 @@ impl Ess {
         )
     }
 
+    /// Allocation-free [`point`](Ess::point) into a scratch buffer; cell
+    /// values are exactly those `point` would produce.
+    pub fn point_into(&self, ix: &[usize], out: &mut Vec<f64>) {
+        debug_assert_eq!(ix.len(), self.d());
+        out.clear();
+        out.extend(ix.iter().enumerate().map(|(d, &i)| self.sel_at(d, i)));
+    }
+
     /// A point located at the given fraction (0.0 = lo, 1.0 = hi, geometric
     /// interpolation) along each axis — convenient for tests and examples.
     pub fn point_at_fractions(&self, f: &[f64]) -> SelPoint {
@@ -140,13 +148,37 @@ impl Ess {
     }
 
     /// Inverse of [`linear`](Ess::linear).
-    pub fn unlinear(&self, mut li: usize) -> GridIx {
+    pub fn unlinear(&self, li: usize) -> GridIx {
         let mut ix = vec![0; self.d()];
+        self.unlinear_into(li, &mut ix);
+        ix
+    }
+
+    /// Allocation-free [`unlinear`](Ess::unlinear) into a scratch buffer
+    /// (resized to the grid dimensionality if needed).
+    pub fn unlinear_into(&self, mut li: usize, ix: &mut GridIx) {
+        ix.resize(self.d(), 0);
         for d in (0..self.d()).rev() {
             ix[d] = li % self.res[d];
             li /= self.res[d];
         }
-        ix
+    }
+
+    /// All grid points flattened row-major into one buffer of
+    /// `num_points() × d()` selectivities. Cell values are exactly those of
+    /// `point(&unlinear(li))` — same `sel_at` calls — so costing against
+    /// this buffer is bit-identical to costing per-point.
+    pub fn points_flat(&self) -> Vec<f64> {
+        let d = self.d();
+        let mut out = Vec::with_capacity(self.num_points() * d);
+        let mut ix = vec![0; d];
+        for li in 0..self.num_points() {
+            self.unlinear_into(li, &mut ix);
+            for (dim, &i) in ix.iter().enumerate() {
+                out.push(self.sel_at(dim, i));
+            }
+        }
+        out
     }
 
     /// Iterate all grid coordinates in row-major order.

@@ -26,14 +26,19 @@
 pub mod coster;
 pub mod ess;
 pub mod estimator;
+mod formulas;
+pub mod matrix;
 pub mod model_error;
 pub mod parallel;
 pub mod params;
+pub mod program;
 pub mod uncertainty;
 
 pub use coster::{Coster, NodeCost};
 pub use ess::{Ess, EssDim, GridIx, SelPoint};
 pub use estimator::Estimator;
+pub use matrix::CostMatrix;
 pub use model_error::CostPerturbation;
 pub use parallel::{par_map, run_chunked, set_default_workers, Parallelism};
 pub use params::{CostModel, CostParams};
+pub use program::CostProgram;

@@ -1,0 +1,526 @@
+//! Compiled cost programs: abstract plan costing without the tree walk.
+//!
+//! [`Coster::cost`](crate::Coster::cost) re-costs a plan by recursing over
+//! `Box`ed plan nodes, resolving catalog constants (table cardinalities,
+//! index heights, NDVs) at every node on every call. Bouquet identification
+//! evaluates the *same* plan at thousands of ESS grid points, so that
+//! per-call resolution work is pure overhead.
+//!
+//! [`CostProgram::compile`] lowers a plan once into a flat post-order array
+//! of [`ProgOp`]s with every catalog constant pre-resolved; only the
+//! predicate→ESS-dimension bindings ([`SelSpec`]) remain symbolic. The
+//! program is then evaluated with a reusable [`NodeCost`] stack — no
+//! recursion, no pointer chasing, no per-evaluation allocation.
+//!
+//! Both paths call the scalar formulas in [`crate::formulas`] and resolve
+//! selectivity products over the same predicate sequences in the same
+//! order, so a program's result is **bit-for-bit identical** to the tree
+//! walk's (pinned by `tests/compiled_cost.rs`). That exactness is what lets
+//! the pruned diagram build and the runtime drivers swap costing paths
+//! freely without perturbing any serialized artifact.
+
+use pb_catalog::Catalog;
+use pb_plan::{PlanNode, QuerySpec, SelSpec};
+
+use crate::coster::NodeCost;
+use crate::formulas;
+use crate::params::{CostModel, CostParams};
+
+/// A `[start, len)` window into the program's selectivity pool.
+#[derive(Debug, Clone, Copy)]
+struct SelRange {
+    start: u32,
+    len: u32,
+}
+
+/// One post-order instruction. Leaf ops push a [`NodeCost`]; interior ops
+/// pop their inputs (right/probe side first — it was compiled last) and
+/// push the combined estimate. All `f64` fields are catalog/statistics
+/// constants resolved at compile time.
+#[derive(Debug, Clone)]
+enum ProgOp {
+    SeqScan {
+        rows: f64,
+        pages: f64,
+        width: f64,
+        npred: f64,
+        sels: SelRange,
+    },
+    IndexScan {
+        rows: f64,
+        width: f64,
+        height: f64,
+        leaf_pages: f64,
+        nsels: f64,
+        ix_sel: SelSpec,
+        residual: SelRange,
+    },
+    FullIndexScan {
+        rows: f64,
+        width: f64,
+        leaf_pages: f64,
+        npred: f64,
+        sels: SelRange,
+    },
+    HashJoin {
+        nedges: f64,
+        edges: SelRange,
+    },
+    MergeJoin {
+        nedges: f64,
+        edges: SelRange,
+        sort_left: bool,
+        sort_right: bool,
+    },
+    IndexNlJoin {
+        inner_rows: f64,
+        inner_width: f64,
+        npred: f64,
+        primary: SelRange,
+        residual_edges: SelRange,
+        inner_sels: SelRange,
+    },
+    BlockNlJoin {
+        nedges_capped: f64,
+        edges: SelRange,
+    },
+    AntiJoin {
+        first_edge: SelRange,
+    },
+    HashAggregate {
+        ndv_product: f64,
+        width: f64,
+    },
+    Spill,
+}
+
+/// A plan lowered to a flat post-order op array (see module docs).
+#[derive(Debug, Clone)]
+pub struct CostProgram {
+    params: CostParams,
+    ops: Vec<ProgOp>,
+    /// Selectivity pool; each op references a contiguous window, preserving
+    /// the predicate order of the originating query spec.
+    sels: Vec<SelSpec>,
+}
+
+impl CostProgram {
+    /// Lower `root` into a program. Catalog constants are resolved exactly
+    /// like [`Coster`](crate::Coster)'s per-operator methods resolve them.
+    pub fn compile(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        root: &PlanNode,
+    ) -> Self {
+        let mut prog = CostProgram {
+            params: model.p.clone(),
+            ops: Vec::new(),
+            sels: Vec::new(),
+        };
+        prog.lower(catalog, query, root);
+        prog
+    }
+
+    /// Number of ops (= plan nodes).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn push_sels<'s>(&mut self, specs: impl Iterator<Item = &'s SelSpec>) -> SelRange {
+        let start = self.sels.len() as u32;
+        self.sels.extend(specs.copied());
+        SelRange {
+            start,
+            len: self.sels.len() as u32 - start,
+        }
+    }
+
+    fn lower(&mut self, catalog: &Catalog, query: &QuerySpec, node: &PlanNode) {
+        let rel_sels = |rel: usize| {
+            query.relations[rel]
+                .selections
+                .iter()
+                .map(|s| &s.selectivity)
+        };
+        let op = match node {
+            PlanNode::SeqScan { rel } => {
+                let t = catalog.table_by_id(query.relations[*rel].table);
+                let sels = self.push_sels(rel_sels(*rel));
+                ProgOp::SeqScan {
+                    rows: t.rows,
+                    pages: t.pages(),
+                    width: t.row_width as f64,
+                    npred: query.relations[*rel].selections.len() as f64,
+                    sels,
+                }
+            }
+            PlanNode::IndexScan { rel, sel_idx } => {
+                let t = catalog.table_by_id(query.relations[*rel].table);
+                let r = &query.relations[*rel];
+                let residual = self.push_sels(
+                    r.selections
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i != sel_idx)
+                        .map(|(_, s)| &s.selectivity),
+                );
+                ProgOp::IndexScan {
+                    rows: t.rows,
+                    width: t.row_width as f64,
+                    height: t
+                        .index_on(r.selections[*sel_idx].column)
+                        .map_or(2.0, |ix| ix.height as f64),
+                    leaf_pages: (t.rows / 256.0).max(1.0),
+                    nsels: r.selections.len() as f64,
+                    ix_sel: r.selections[*sel_idx].selectivity,
+                    residual,
+                }
+            }
+            PlanNode::FullIndexScan { rel, .. } => {
+                let t = catalog.table_by_id(query.relations[*rel].table);
+                let sels = self.push_sels(rel_sels(*rel));
+                ProgOp::FullIndexScan {
+                    rows: t.rows,
+                    width: t.row_width as f64,
+                    leaf_pages: (t.rows / 256.0).max(1.0),
+                    npred: query.relations[*rel].selections.len() as f64,
+                    sels,
+                }
+            }
+            PlanNode::HashJoin {
+                build,
+                probe,
+                edges,
+            } => {
+                self.lower(catalog, query, build);
+                self.lower(catalog, query, probe);
+                let edges = self.push_sels(edges.iter().map(|&e| &query.joins[e].selectivity));
+                ProgOp::HashJoin {
+                    nedges: edges.len as f64,
+                    edges,
+                }
+            }
+            PlanNode::SortMergeJoin {
+                left,
+                right,
+                edges,
+                sort_left,
+                sort_right,
+            } => {
+                self.lower(catalog, query, left);
+                self.lower(catalog, query, right);
+                let edges = self.push_sels(edges.iter().map(|&e| &query.joins[e].selectivity));
+                ProgOp::MergeJoin {
+                    nedges: edges.len as f64,
+                    edges,
+                    sort_left: *sort_left,
+                    sort_right: *sort_right,
+                }
+            }
+            PlanNode::IndexNLJoin {
+                outer,
+                inner_rel,
+                edges,
+            } => {
+                self.lower(catalog, query, outer);
+                let t = catalog.table_by_id(query.relations[*inner_rel].table);
+                let primary =
+                    self.push_sels(edges[..1].iter().map(|&e| &query.joins[e].selectivity));
+                let residual_edges =
+                    self.push_sels(edges[1..].iter().map(|&e| &query.joins[e].selectivity));
+                let inner_sels = self.push_sels(rel_sels(*inner_rel));
+                ProgOp::IndexNlJoin {
+                    inner_rows: t.rows,
+                    inner_width: t.row_width as f64,
+                    npred: query.relations[*inner_rel].selections.len() as f64
+                        + (edges.len() as f64 - 1.0).max(0.0),
+                    primary,
+                    residual_edges,
+                    inner_sels,
+                }
+            }
+            PlanNode::BlockNLJoin {
+                outer,
+                inner,
+                edges,
+            } => {
+                self.lower(catalog, query, outer);
+                self.lower(catalog, query, inner);
+                let nedges_capped = edges.len().max(1) as f64;
+                let edges = self.push_sels(edges.iter().map(|&e| &query.joins[e].selectivity));
+                ProgOp::BlockNlJoin {
+                    nedges_capped,
+                    edges,
+                }
+            }
+            PlanNode::AntiJoin { left, right, edges } => {
+                self.lower(catalog, query, left);
+                self.lower(catalog, query, right);
+                let first_edge =
+                    self.push_sels(edges[..1].iter().map(|&e| &query.joins[e].selectivity));
+                ProgOp::AntiJoin { first_edge }
+            }
+            PlanNode::HashAggregate { input } => {
+                self.lower(catalog, query, input);
+                let ndv_product: f64 = query
+                    .group_by
+                    .iter()
+                    .map(|&(rel, col)| {
+                        let t = catalog.table_by_id(query.relations[rel].table);
+                        t.columns[col.column as usize].stats.ndv.max(1.0)
+                    })
+                    .product();
+                ProgOp::HashAggregate {
+                    ndv_product,
+                    width: (query.group_by.len() as f64 + 1.0) * 8.0,
+                }
+            }
+            PlanNode::Spill { input } => {
+                self.lower(catalog, query, input);
+                ProgOp::Spill
+            }
+        };
+        self.ops.push(op);
+    }
+
+    /// Resolve a selectivity window at `q` — same iterator shape (and thus
+    /// the same multiplication order) as `Coster::rel_sel`/`edges_sel`.
+    #[inline]
+    fn sel_product(&self, r: SelRange, q: &[f64]) -> f64 {
+        self.sels[r.start as usize..(r.start + r.len) as usize]
+            .iter()
+            .map(|s| s.resolve(q).clamp(0.0, 1.0))
+            .product()
+    }
+
+    /// Evaluate at ESS location `q` reusing `stack` as scratch space.
+    pub fn eval_with(&self, q: &[f64], stack: &mut Vec<NodeCost>) -> NodeCost {
+        stack.clear();
+        let p = &self.params;
+        for op in &self.ops {
+            let nc = match op {
+                ProgOp::SeqScan {
+                    rows,
+                    pages,
+                    width,
+                    npred,
+                    sels,
+                } => {
+                    formulas::seq_scan(p, *rows, *pages, *width, *npred, self.sel_product(*sels, q))
+                }
+                ProgOp::IndexScan {
+                    rows,
+                    width,
+                    height,
+                    leaf_pages,
+                    nsels,
+                    ix_sel,
+                    residual,
+                } => formulas::index_scan(
+                    p,
+                    *rows,
+                    *width,
+                    *height,
+                    *leaf_pages,
+                    *nsels,
+                    ix_sel.resolve(q).clamp(0.0, 1.0),
+                    self.sel_product(*residual, q),
+                ),
+                ProgOp::FullIndexScan {
+                    rows,
+                    width,
+                    leaf_pages,
+                    npred,
+                    sels,
+                } => formulas::full_index_scan(
+                    p,
+                    *rows,
+                    *width,
+                    *leaf_pages,
+                    *npred,
+                    self.sel_product(*sels, q),
+                ),
+                ProgOp::HashJoin { nedges, edges } => {
+                    let probe = stack.pop().expect("hash join: missing probe input");
+                    let build = stack.pop().expect("hash join: missing build input");
+                    formulas::hash_join(p, &build, &probe, self.sel_product(*edges, q), *nedges)
+                }
+                ProgOp::MergeJoin {
+                    nedges,
+                    edges,
+                    sort_left,
+                    sort_right,
+                } => {
+                    let right = stack.pop().expect("merge join: missing right input");
+                    let left = stack.pop().expect("merge join: missing left input");
+                    formulas::merge_join(
+                        p,
+                        &left,
+                        &right,
+                        self.sel_product(*edges, q),
+                        *nedges,
+                        *sort_left,
+                        *sort_right,
+                    )
+                }
+                ProgOp::IndexNlJoin {
+                    inner_rows,
+                    inner_width,
+                    npred,
+                    primary,
+                    residual_edges,
+                    inner_sels,
+                } => {
+                    let outer = stack.pop().expect("inl join: missing outer input");
+                    formulas::index_nl_join(
+                        p,
+                        &outer,
+                        *inner_rows,
+                        *inner_width,
+                        self.sel_product(*primary, q),
+                        self.sel_product(*residual_edges, q),
+                        self.sel_product(*inner_sels, q),
+                        *npred,
+                    )
+                }
+                ProgOp::BlockNlJoin {
+                    nedges_capped,
+                    edges,
+                } => {
+                    let inner = stack.pop().expect("bnl join: missing inner input");
+                    let outer = stack.pop().expect("bnl join: missing outer input");
+                    formulas::block_nl_join(
+                        p,
+                        &outer,
+                        &inner,
+                        self.sel_product(*edges, q),
+                        *nedges_capped,
+                    )
+                }
+                ProgOp::AntiJoin { first_edge } => {
+                    let right = stack.pop().expect("anti join: missing right input");
+                    let left = stack.pop().expect("anti join: missing left input");
+                    formulas::anti_join(p, &left, &right, self.sel_product(*first_edge, q))
+                }
+                ProgOp::HashAggregate { ndv_product, width } => {
+                    let input = stack.pop().expect("aggregate: missing input");
+                    formulas::hash_aggregate(p, &input, *ndv_product, *width)
+                }
+                ProgOp::Spill => {
+                    let input = stack.pop().expect("spill: missing input");
+                    formulas::spill(p, &input)
+                }
+            };
+            stack.push(nc);
+        }
+        stack.pop().expect("empty cost program")
+    }
+
+    /// Evaluate with a private stack (convenience; allocates).
+    pub fn eval(&self, q: &[f64]) -> NodeCost {
+        let mut stack = Vec::with_capacity(self.ops.len());
+        self.eval_with(q, &mut stack)
+    }
+
+    /// Plan cost at `q` (convenience; allocates a stack).
+    pub fn cost(&self, q: &[f64]) -> f64 {
+        self.eval(q).cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coster::Coster;
+    use pb_catalog::tpch;
+    use pb_plan::{CmpOp, QueryBuilder};
+
+    fn setup() -> (pb_catalog::Catalog, QuerySpec, CostModel) {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "eq");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::Fixed(5e-6));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        (cat.clone(), qb.build(), CostModel::postgresish())
+    }
+
+    fn deep_plan() -> PlanNode {
+        PlanNode::Spill {
+            input: Box::new(PlanNode::HashAggregate {
+                input: Box::new(PlanNode::IndexNLJoin {
+                    outer: Box::new(PlanNode::SortMergeJoin {
+                        left: Box::new(PlanNode::IndexScan { rel: 0, sel_idx: 0 }),
+                        right: Box::new(PlanNode::SeqScan { rel: 1 }),
+                        edges: vec![0],
+                        sort_left: true,
+                        sort_right: false,
+                    }),
+                    inner_rel: 2,
+                    edges: vec![1],
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn matches_tree_walk_bitwise_on_all_operators() {
+        let (cat, q, m) = setup();
+        let c = Coster::new(&cat, &q, &m);
+        let plans = [
+            deep_plan(),
+            PlanNode::HashJoin {
+                build: Box::new(PlanNode::FullIndexScan {
+                    rel: 0,
+                    column: cat.table("part").unwrap().columns[0].id,
+                }),
+                probe: Box::new(PlanNode::BlockNLJoin {
+                    outer: Box::new(PlanNode::SeqScan { rel: 1 }),
+                    inner: Box::new(PlanNode::SeqScan { rel: 2 }),
+                    edges: vec![1],
+                }),
+                edges: vec![0],
+            },
+            PlanNode::AntiJoin {
+                left: Box::new(PlanNode::SeqScan { rel: 1 }),
+                right: Box::new(PlanNode::SeqScan { rel: 0 }),
+                edges: vec![0],
+            },
+        ];
+        let mut stack = Vec::new();
+        for plan in &plans {
+            let prog = CostProgram::compile(&cat, &q, &m, plan);
+            for s in [1e-4, 3.7e-3, 0.2512, 1.0] {
+                let walked = c.cost(plan, &[s]);
+                let compiled = prog.eval_with(&[s], &mut stack);
+                assert_eq!(walked.cost.to_bits(), compiled.cost.to_bits());
+                assert_eq!(walked.rows.to_bits(), compiled.rows.to_bits());
+                assert_eq!(walked.width.to_bits(), compiled.width.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn program_is_flat_postorder() {
+        let (cat, q, m) = setup();
+        let plan = deep_plan();
+        let prog = CostProgram::compile(&cat, &q, &m, &plan);
+        assert_eq!(prog.len(), plan.size());
+        assert!(!prog.is_empty());
+        // Post-order: the root (Spill) op comes last.
+        assert!(matches!(prog.ops.last(), Some(ProgOp::Spill)));
+    }
+}

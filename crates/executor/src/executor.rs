@@ -1,7 +1,7 @@
 //! Budgeted plan execution in cost units.
 
-use pb_cost::{CostPerturbation, Coster};
-use pb_plan::{DimId, PlanNode, QuerySpec, RelIdx};
+use pb_cost::{CostPerturbation, CostProgram, Coster, NodeCost};
+use pb_plan::{DimId, PlanFingerprint, PlanNode, QuerySpec, RelIdx};
 
 /// Outcome of a plain cost-limited execution (basic bouquet driver).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +118,41 @@ impl<'a> Executor<'a> {
     /// Plain cost-limited execution (the basic driver's primitive).
     pub fn execute(&self, plan: &PlanNode, qa: &[f64], budget: f64) -> ExecOutcome {
         let cost = self.actual_cost(plan, qa);
+        if cost <= budget {
+            ExecOutcome::Completed { cost }
+        } else {
+            ExecOutcome::Aborted { spent: budget }
+        }
+    }
+
+    /// [`actual_cost`](Executor::actual_cost) via a compiled program. The
+    /// program's modeled cost is bit-identical to the tree walk's, so the
+    /// two paths are interchangeable. `fp` must be the fingerprint of the
+    /// plan the program was compiled from (the model-error perturbation
+    /// keys off it); `stack` is reusable evaluation scratch.
+    pub fn actual_cost_compiled(
+        &self,
+        prog: &CostProgram,
+        fp: PlanFingerprint,
+        qa: &[f64],
+        stack: &mut Vec<NodeCost>,
+    ) -> f64 {
+        let modeled = prog.eval_with(qa, stack).cost;
+        self.perturb.actual_cost(fp, qa, modeled)
+    }
+
+    /// [`execute`](Executor::execute) via a compiled program — the basic
+    /// driver's hot path, which re-costs whole pool plans once per budget
+    /// probe.
+    pub fn execute_compiled(
+        &self,
+        prog: &CostProgram,
+        fp: PlanFingerprint,
+        qa: &[f64],
+        budget: f64,
+        stack: &mut Vec<NodeCost>,
+    ) -> ExecOutcome {
+        let cost = self.actual_cost_compiled(prog, fp, qa, stack);
         if cost <= budget {
             ExecOutcome::Completed { cost }
         } else {
@@ -255,6 +290,30 @@ mod tests {
         let aborted = ex.execute(&sample_plan(), &qa, cost * 0.5);
         assert!(!aborted.completed());
         assert_eq!(aborted.spent(), cost * 0.5);
+    }
+
+    #[test]
+    fn compiled_execution_matches_tree_walk_bitwise() {
+        let (cat, q, m) = setup();
+        let noisy = Executor::with_perturbation(
+            Coster::new(&cat, &q, &m),
+            CostPerturbation::with_delta(0.4, 7),
+        );
+        let plan = sample_plan();
+        let prog = CostProgram::compile(&cat, &q, &m, &plan);
+        let fp = plan.fingerprint();
+        let mut stack = Vec::new();
+        for qa in [[0.01, 1e-6], [0.05, 2e-6], [1.0, 5e-6]] {
+            let walked = noisy.actual_cost(&plan, &qa);
+            let compiled = noisy.actual_cost_compiled(&prog, fp, &qa, &mut stack);
+            assert_eq!(walked.to_bits(), compiled.to_bits());
+            for budget in [walked * 0.5, walked, walked * 2.0] {
+                assert_eq!(
+                    noisy.execute(&plan, &qa, budget),
+                    noisy.execute_compiled(&prog, fp, &qa, budget, &mut stack)
+                );
+            }
+        }
     }
 
     #[test]

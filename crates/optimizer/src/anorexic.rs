@@ -6,6 +6,8 @@
 //! to around ten — the paper leans on this to keep the isocost-contour plan
 //! density ρ (and hence the MSO bound `4·(1+λ)·ρ`) small (Section 3.3).
 
+use pb_cost::CostMatrix;
+
 use crate::diagram::{PlanDiagram, PlanId};
 
 /// Result of an anorexic reduction over a set of points.
@@ -22,7 +24,7 @@ pub struct AnorexicReduction {
 impl AnorexicReduction {
     /// Reduce a full diagram: every grid point must end up assigned to a
     /// retained plan whose cost is within `(1+λ)` of that point's optimum.
-    pub fn reduce(diagram: &PlanDiagram, costs: &[Vec<f64>], lambda: f64) -> Self {
+    pub fn reduce(diagram: &PlanDiagram, costs: &CostMatrix, lambda: f64) -> Self {
         let points: Vec<usize> = (0..diagram.ess.num_points()).collect();
         Self::reduce_points(diagram, costs, &points, lambda)
     }
@@ -32,7 +34,7 @@ impl AnorexicReduction {
     /// *linear grid indices*; `points` selects the linear indices to cover.
     pub fn reduce_points(
         diagram: &PlanDiagram,
-        costs: &[Vec<f64>],
+        costs: &CostMatrix,
         points: &[usize],
         lambda: f64,
     ) -> Self {

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use pb_catalog::Catalog;
-use pb_cost::{run_chunked, CostModel, Coster, Ess, Parallelism};
+use pb_cost::{run_chunked, CostMatrix, CostModel, CostProgram, Coster, Ess, Parallelism};
 use pb_plan::{PhysicalPlan, PlanFingerprint, QuerySpec};
 
 use crate::dp::Optimizer;
@@ -40,6 +40,13 @@ impl PlanDiagram {
     /// worker count: workers claim fixed-boundary chunks of the linear grid
     /// order, chunks are merged back in grid order, and plans are numbered
     /// by first appearance in that order — exactly the sequential numbering.
+    ///
+    /// Within each chunk the previous point's winning plan (compiled once
+    /// into a [`CostProgram`]) is recosted at the next point and fed to
+    /// [`Optimizer::optimize_bounded`] as an incumbent upper bound, pruning
+    /// strictly-worse memo entries early. The output stays byte-identical
+    /// to the unpruned build (see [`build_with_unpruned`]
+    /// (PlanDiagram::build_with_unpruned) and `tests/compiled_cost.rs`).
     pub fn build_with(
         catalog: &Catalog,
         query: &QuerySpec,
@@ -47,16 +54,58 @@ impl PlanDiagram {
         ess: &Ess,
         par: Parallelism,
     ) -> Self {
+        Self::build_impl(catalog, query, model, ess, par, true)
+    }
+
+    /// The historical exhaustive build: no incumbent bound is passed to the
+    /// DP. Kept as the reference implementation for equality tests and for
+    /// measuring the pruning win.
+    pub fn build_with_unpruned(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        ess: &Ess,
+        par: Parallelism,
+    ) -> Self {
+        Self::build_impl(catalog, query, model, ess, par, false)
+    }
+
+    fn build_impl(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        ess: &Ess,
+        par: Parallelism,
+        pruned: bool,
+    ) -> Self {
         let n = ess.num_points();
         // Per chunk: (fingerprint, plan-at-local-first-occurrence, cost).
         let chunks = run_chunked(par, n, |_, range| {
             let opt = Optimizer::new(catalog, query, model);
             let mut seen: HashMap<PlanFingerprint, ()> = HashMap::new();
             let mut out = Vec::with_capacity(range.len());
+            let mut ix = Vec::new();
+            let mut q = Vec::new();
+            let mut stack = Vec::new();
+            // The incumbent: previous point's winner, compiled for cheap
+            // recosting. Chunk-local, so chunk boundaries (which depend only
+            // on the item count) fully determine the bounds each point sees.
+            let mut incumbent: Option<(PlanFingerprint, CostProgram)> = None;
             for li in range {
-                let ix = ess.unlinear(li);
-                let best = opt.optimize(&ess.point(&ix));
+                ess.unlinear_into(li, &mut ix);
+                ess.point_into(&ix, &mut q);
+                let bound = match &incumbent {
+                    Some((_, prog)) => prog.eval_with(&q, &mut stack).cost,
+                    None => f64::INFINITY,
+                };
+                let best = opt.optimize_bounded(&q, bound);
                 let fp = best.plan.fingerprint();
+                if pruned && incumbent.as_ref().is_none_or(|(ifp, _)| *ifp != fp) {
+                    incumbent = Some((
+                        fp,
+                        CostProgram::compile(catalog, query, model, &best.plan.root),
+                    ));
+                }
                 let plan = if seen.insert(fp, ()).is_none() {
                     Some(best.plan)
                 } else {
@@ -171,29 +220,42 @@ impl PlanDiagram {
         catalog: &Catalog,
         query: &QuerySpec,
         model: &CostModel,
-    ) -> Vec<Vec<f64>> {
+    ) -> CostMatrix {
         self.cost_matrix_with(catalog, query, model, Parallelism::auto())
     }
 
-    /// Cost matrix with an explicit worker policy. Work is chunked over the
-    /// flattened plans × grid space so skew between plans (deep trees cost
-    /// more to re-cost) still balances across workers.
+    /// Cost matrix with an explicit worker policy. Every POSP plan is
+    /// compiled once into a [`CostProgram`]; grid points are materialized
+    /// once into a flat buffer; workers then evaluate cells with a reusable
+    /// stack — the inner loop performs no allocation and no tree walk. Work
+    /// is chunked over the flattened plans × grid space so skew between
+    /// plans (deep trees cost more to re-cost) still balances across
+    /// workers. Results are bit-identical to
+    /// [`cost_matrix_reference`](PlanDiagram::cost_matrix_reference).
     pub fn cost_matrix_with(
         &self,
         catalog: &Catalog,
         query: &QuerySpec,
         model: &CostModel,
         par: Parallelism,
-    ) -> Vec<Vec<f64>> {
+    ) -> CostMatrix {
         let n = self.ess.num_points();
+        let d = self.ess.d();
         let total = self.plans.len() * n;
-        let ess = &self.ess;
+        let points = self.ess.points_flat();
+        let progs: Vec<CostProgram> = self
+            .plans
+            .iter()
+            .map(|p| CostProgram::compile(catalog, query, model, &p.root))
+            .collect();
         let chunks = run_chunked(par, total, |_, range| {
-            let c = Coster::new(catalog, query, model);
+            let mut stack = Vec::new();
             range
                 .map(|i| {
-                    let plan = &self.plans[i / n];
-                    c.plan_cost(&plan.root, &ess.point(&ess.unlinear(i % n)))
+                    let li = i % n;
+                    progs[i / n]
+                        .eval_with(&points[li * d..(li + 1) * d], &mut stack)
+                        .cost
                 })
                 .collect::<Vec<f64>>()
         });
@@ -201,7 +263,30 @@ impl PlanDiagram {
         for chunk in chunks {
             flat.extend(chunk);
         }
-        flat.chunks(n.max(1)).map(|row| row.to_vec()).collect()
+        CostMatrix::from_flat(n, flat)
+    }
+
+    /// Reference cost matrix via the recursive [`Coster`] tree walk
+    /// (serial). Kept to pin the compiled path bit-for-bit and to measure
+    /// its speedup.
+    pub fn cost_matrix_reference(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+    ) -> CostMatrix {
+        let c = Coster::new(catalog, query, model);
+        let n = self.ess.num_points();
+        let mut m = CostMatrix::new(n);
+        let mut row = Vec::with_capacity(n);
+        for plan in &self.plans {
+            row.clear();
+            for li in 0..n {
+                row.push(c.plan_cost(&plan.root, &self.ess.point(&self.ess.unlinear(li))));
+            }
+            m.push_row(&row);
+        }
+        m
     }
 }
 
@@ -325,8 +410,37 @@ mod tests {
                 "matrix disagrees with diagram at point {li}"
             );
             // Optimality: no plan is cheaper than the diagram's optimum.
-            for row in &cm {
+            for row in cm.rows() {
                 assert!(row[li] >= d.opt_cost[li] * (1.0 - 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_matrix_matches_tree_walk_bitwise() {
+        let (cat, q, m, ess) = setup_1d();
+        let d = PlanDiagram::build_serial(&cat, &q, &m, &ess);
+        let compiled = d.cost_matrix_with(&cat, &q, &m, Parallelism::new(3));
+        let reference = d.cost_matrix_reference(&cat, &q, &m);
+        assert_eq!(compiled.len(), reference.len());
+        for (a, b) in compiled.as_flat().iter().zip(reference.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pruned_build_matches_unpruned_bitwise() {
+        let (cat, q, m, ess) = setup_1d();
+        for par in [Parallelism::serial(), Parallelism::new(4)] {
+            let pruned = PlanDiagram::build_with(&cat, &q, &m, &ess, par);
+            let unpruned = PlanDiagram::build_with_unpruned(&cat, &q, &m, &ess, par);
+            assert_eq!(pruned.optimal, unpruned.optimal);
+            assert_eq!(pruned.plan_count(), unpruned.plan_count());
+            for (a, b) in pruned.opt_cost.iter().zip(&unpruned.opt_cost) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in pruned.plans.iter().zip(&unpruned.plans) {
+                assert_eq!(a.fingerprint(), b.fingerprint());
             }
         }
     }

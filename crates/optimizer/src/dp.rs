@@ -279,14 +279,53 @@ impl<'a> Optimizer<'a> {
 
     /// Optimize the query at ESS location `q`; returns the cheapest plan.
     pub fn optimize(&self, q: &[f64]) -> OptimizedPlan {
+        self.optimize_impl(q, f64::INFINITY)
+            .expect("query join graph must be connected")
+    }
+
+    /// Like [`optimize`](Optimizer::optimize), but additionally drops memo
+    /// entries whose estimated cost *strictly* exceeds `upper_bound`.
+    ///
+    /// Because every operator's cost is the sum of its inputs' costs plus
+    /// non-negative terms, a subplan estimated above the bound can only grow
+    /// on its way to the root, so when `upper_bound` is the cost of *some*
+    /// valid complete plan at `q` (e.g. the previous grid point's winner,
+    /// recosted here) the pruned search returns exactly the same plan and
+    /// cost as the unpruned one: pruned entries are strictly worse than the
+    /// winner and memo slots are cost-ascending, so pruning removes a slot
+    /// suffix and cannot shift the indices or relative order of surviving
+    /// entries. Ties with the bound are kept. Should a caller ever pass a
+    /// bound below the optimum (possible only if abstract recosting of a
+    /// foreign plan undercuts every plan the DP enumerates at `q`), the
+    /// search detects the empty memo and transparently falls back to the
+    /// unpruned path — output is identical to [`optimize`] in every case.
+    pub fn optimize_bounded(&self, q: &[f64], upper_bound: f64) -> OptimizedPlan {
+        if upper_bound.is_finite() {
+            if let Some(best) = self.optimize_impl(q, upper_bound) {
+                return best;
+            }
+        }
+        self.optimize(q)
+    }
+
+    fn optimize_impl(&self, q: &[f64], upper_bound: f64) -> Option<OptimizedPlan> {
         let n = self.query.num_relations();
         let full: u32 = self.core_mask;
         let c = self.coster();
         let all: u32 = ((1u64 << n) - 1) as u32;
         let mut memo: Vec<Vec<DpEntry>> = vec![Vec::new(); (all as usize) + 1];
+        // `prune` returns entries in ascending cost order, so the bound
+        // removes a strictly-worse suffix (ties survive).
+        let bound_prune = |slot: &mut Vec<DpEntry>| {
+            if upper_bound.is_finite() {
+                slot.retain(|e| e.est.cost <= upper_bound);
+            }
+        };
 
         for rel in 0..n {
-            memo[1usize << rel] = self.prune(self.access_paths(rel, q));
+            let mut slot = self.prune(self.access_paths(rel, q));
+            bound_prune(&mut slot);
+            memo[1usize << rel] = slot;
         }
 
         // DPsize over connected subsets of the inner-join core.
@@ -315,15 +354,16 @@ impl<'a> Optimizer<'a> {
                 }
                 s1 = (s1 - 1) & mask;
             }
-            memo[mask as usize] = self.prune(cands);
+            let mut slot = self.prune(cands);
+            bound_prune(&mut slot);
+            memo[mask as usize] = slot;
         }
 
         let best = memo[full as usize]
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
-            .map(|(i, _)| i)
-            .expect("query join graph must be connected");
+            .map(|(i, _)| i)?;
         let mut root = self.build_tree(
             &memo,
             EntryRef {
@@ -340,8 +380,7 @@ impl<'a> Optimizer<'a> {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.est.cost.total_cmp(&b.1.est.cost))
-                .map(|(i, _)| i)
-                .expect("anti relation has access paths");
+                .map(|(i, _)| i)?;
             let right = self.build_tree(
                 &memo,
                 EntryRef {
@@ -363,11 +402,11 @@ impl<'a> Optimizer<'a> {
                 input: Box::new(root),
             };
         }
-        OptimizedPlan {
+        Some(OptimizedPlan {
             plan: PhysicalPlan::new(root),
             cost: est.cost,
             rows: est.rows,
-        }
+        })
     }
 
     /// Generate join candidates with `left_mask` as the left/outer/build side.

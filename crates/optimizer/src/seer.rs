@@ -9,6 +9,8 @@
 //! plan at the *estimated* location, not the optimal plan at the *actual*
 //! location.
 
+use pb_cost::CostMatrix;
+
 use crate::diagram::{PlanDiagram, PlanId};
 
 /// A SEER reduction: per grid point, the (possibly replaced) plan the
@@ -24,7 +26,7 @@ pub struct SeerReduction {
 impl SeerReduction {
     /// Compute the reduction. Safety of `P' replaces P` is checked across
     /// the full grid via the cost matrix (`costs[plan][point]`).
-    pub fn reduce(diagram: &PlanDiagram, costs: &[Vec<f64>], lambda: f64) -> Self {
+    pub fn reduce(diagram: &PlanDiagram, costs: &CostMatrix, lambda: f64) -> Self {
         assert!(lambda >= 0.0);
         let nplans = diagram.plans.len();
         let npoints = diagram.ess.num_points();

@@ -1,0 +1,247 @@
+//! The compiled costing pipeline must be an *exact* replacement for the
+//! recursive tree walk:
+//!
+//! 1. `CostProgram::eval` equals `Coster::plan_cost` bit-for-bit, for
+//!    randomly generated plan trees (every operator, both join orders) at
+//!    random off-grid ESS locations.
+//! 2. The incumbent-bound-pruned `PlanDiagram::build` produces exactly the
+//!    same diagram as the unpruned reference build on both benchmark
+//!    catalogs — the bound only removes memo entries that can never win.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use plan_bouquet::bouquet::Workload;
+use plan_bouquet::catalog::{tpcds, tpch};
+use plan_bouquet::cost::{CostModel, CostProgram, Coster, Ess, EssDim, Parallelism};
+use plan_bouquet::optimizer::PlanDiagram;
+use plan_bouquet::plan::{CmpOp, PlanNode, QueryBuilder, SelSpec};
+
+/// The three-relation TPC-H workload used for random-plan generation:
+/// part ⋈ lineitem ⋈ orders with an error-prone selection on part.
+fn tpch_2d() -> &'static Workload {
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "CC_H_2D");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(
+            vec![
+                EssDim::new("p_retailprice", 1e-4, 1.0),
+                EssDim::new("p⋈l", 1e-8, 5e-6),
+            ],
+            20,
+        );
+        Workload::new("CC_H_2D", cat.clone(), q, ess, CostModel::postgresish())
+    })
+}
+
+fn tpcds_2d() -> Workload {
+    let cat = tpcds::catalog(0.1);
+    let mut qb = QueryBuilder::new(&cat, "CC_DS_2D");
+    let d = qb.rel("date_dim");
+    let cs = qb.rel("catalog_sales");
+    let c = qb.rel("customer");
+    qb.join(
+        d,
+        "d_date_sk",
+        cs,
+        "cs_sold_date_sk",
+        SelSpec::ErrorProne(0),
+    );
+    qb.join(
+        cs,
+        "cs_bill_customer_sk",
+        c,
+        "c_customer_sk",
+        SelSpec::ErrorProne(1),
+    );
+    let q = qb.build();
+    let rows_d = cat.table("date_dim").unwrap().rows;
+    let rows_c = cat.table("customer").unwrap().rows;
+    let hi0 = (30.0 / rows_d).min(1.0);
+    let hi1 = (50.0 / rows_c).min(1.0);
+    let ess = Ess::uniform(
+        vec![
+            EssDim::new("d⋈cs", hi0 * 1e-3, hi0),
+            EssDim::new("cs⋈c", hi1 * 1e-3, hi1),
+        ],
+        16,
+    );
+    Workload::new("CC_DS_2D", cat.clone(), q, ess, CostModel::postgresish())
+}
+
+/// A scan of `part` (relation 0): all three access paths are exercised.
+fn part_scan(kind: u8) -> PlanNode {
+    match kind % 3 {
+        0 => PlanNode::SeqScan { rel: 0 },
+        1 => PlanNode::IndexScan { rel: 0, sel_idx: 0 },
+        _ => {
+            let cat = &tpch_2d().catalog;
+            PlanNode::FullIndexScan {
+                rel: 0,
+                column: cat.table("part").unwrap().columns[0].id,
+            }
+        }
+    }
+}
+
+/// A join of `left` (covering `left_rels`) with base relation `rel` on join
+/// predicate `edge`, drawn from all five join operators with both operand
+/// orders for the symmetric ones.
+fn join(kind: u8, left: PlanNode, rel: usize, edge: usize, sorted: bool) -> PlanNode {
+    let right = PlanNode::SeqScan { rel };
+    match kind % 6 {
+        0 => PlanNode::HashJoin {
+            build: Box::new(left),
+            probe: Box::new(right),
+            edges: vec![edge],
+        },
+        1 => PlanNode::HashJoin {
+            build: Box::new(right),
+            probe: Box::new(left),
+            edges: vec![edge],
+        },
+        2 => PlanNode::SortMergeJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            edges: vec![edge],
+            sort_left: sorted,
+            sort_right: !sorted,
+        },
+        3 => PlanNode::BlockNLJoin {
+            outer: Box::new(left),
+            inner: Box::new(right),
+            edges: vec![edge],
+        },
+        4 => PlanNode::IndexNLJoin {
+            outer: Box::new(left),
+            inner_rel: rel,
+            edges: vec![edge],
+        },
+        _ => PlanNode::AntiJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            edges: vec![edge],
+        },
+    }
+}
+
+/// Assemble a full random plan over part(0) ⋈ lineitem(1) ⋈ orders(2).
+/// `order` flips the join order; `wrap` optionally roots the tree with a
+/// spill directive or a hash aggregate.
+fn random_plan(scan: u8, j1: u8, j2: u8, order: bool, sorted: bool, wrap: u8) -> PlanNode {
+    let base = part_scan(scan);
+    // Edge 0 is p⋈l, edge 1 is l⋈o.
+    let joined = if order {
+        join(j2, join(j1, base, 1, 0, sorted), 2, 1, sorted)
+    } else {
+        // Start from lineitem ⋈ orders, then bring in part.
+        let lo = join(j1, PlanNode::SeqScan { rel: 1 }, 2, 1, sorted);
+        join(j2, lo, 0, 0, sorted)
+    };
+    match wrap % 3 {
+        0 => joined,
+        1 => PlanNode::Spill {
+            input: Box::new(joined),
+        },
+        _ => PlanNode::HashAggregate {
+            input: Box::new(joined),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compiled program evaluation is bit-for-bit identical to the
+    /// recursive tree walk — total cost AND the full NodeCost triple —
+    /// for random plan shapes at random ESS locations.
+    #[test]
+    fn compiled_program_matches_tree_walk(
+        scan in 0u8..3,
+        j1 in 0u8..6,
+        j2 in 0u8..6,
+        order in any::<bool>(),
+        sorted in any::<bool>(),
+        wrap in 0u8..3,
+        f in [0.0f64..=1.0, 0.0f64..=1.0],
+    ) {
+        let w = tpch_2d();
+        let plan = random_plan(scan, j1, j2, order, sorted, wrap);
+        let q = w.ess.point_at_fractions(&f);
+
+        let coster = Coster::new(&w.catalog, &w.query, &w.model);
+        let walked = coster.cost(&plan, &q);
+
+        let prog = CostProgram::compile(&w.catalog, &w.query, &w.model, &plan);
+        let compiled = prog.eval(&q);
+
+        prop_assert_eq!(
+            compiled.cost.to_bits(),
+            walked.cost.to_bits(),
+            "cost diverged: compiled {} vs walked {} for {:?}",
+            compiled.cost,
+            walked.cost,
+            plan
+        );
+        prop_assert_eq!(compiled.rows.to_bits(), walked.rows.to_bits());
+        prop_assert_eq!(
+            compiled.cost.to_bits(),
+            coster.plan_cost(&plan, &q).to_bits()
+        );
+    }
+}
+
+/// The pruned and unpruned builds must agree exactly: same POSP plans in
+/// the same order, same per-point winners, bitwise-equal PIC.
+fn assert_pruned_matches_unpruned(w: &Workload) {
+    for workers in [1, 4] {
+        let par = Parallelism::new(workers);
+        let pruned = PlanDiagram::build_with(&w.catalog, &w.query, &w.model, &w.ess, par);
+        let plain = PlanDiagram::build_with_unpruned(&w.catalog, &w.query, &w.model, &w.ess, par);
+
+        assert_eq!(
+            pruned.plans.len(),
+            plain.plans.len(),
+            "{}: POSP size differs with {workers} workers",
+            w.name
+        );
+        for (a, b) in pruned.plans.iter().zip(&plain.plans) {
+            assert_eq!(a.root, b.root, "{}: POSP plan differs", w.name);
+        }
+        assert_eq!(pruned.optimal, plain.optimal, "{}: winners differ", w.name);
+        assert_eq!(pruned.opt_cost.len(), plain.opt_cost.len());
+        for (li, (a, b)) in pruned.opt_cost.iter().zip(&plain.opt_cost).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: PIC cost differs at grid point {li}: {a} vs {b}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_build_matches_unpruned_tpch() {
+    assert_pruned_matches_unpruned(tpch_2d());
+}
+
+#[test]
+fn pruned_build_matches_unpruned_tpcds() {
+    assert_pruned_matches_unpruned(&tpcds_2d());
+}
