@@ -1,0 +1,72 @@
+//! Vectorized vs tuple-at-a-time execution benchmarks. Both paths run the
+//! same plans on the same database so the criterion report directly shows
+//! the batch-kernel speedup, for full runs and for budget-aborted runs
+//! (where the vectorized path has to detect the crossing batch and replay
+//! it tuple-exactly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pb_engine::{Database, Engine};
+use pb_plan::PlanNode;
+use pb_workloads::h_q8a_2d;
+
+fn bench_engine_exec(c: &mut Criterion) {
+    let w = h_q8a_2d(0.01);
+    let db = Database::generate(&w.catalog, 42, &[]);
+    let engine = Engine::new(&db, &w.query, &w.model.p);
+    // part ⋈ lineitem ⋈ orders as a hash-join chain: the bread-and-butter
+    // plan shape where columnar batching pays the most.
+    let plan = PlanNode::HashJoin {
+        build: Box::new(PlanNode::HashJoin {
+            build: Box::new(PlanNode::SeqScan { rel: 0 }),
+            probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+            edges: vec![0],
+        }),
+        probe: Box::new(PlanNode::SeqScan { rel: 2 }),
+        edges: vec![1],
+    };
+    let full_cost = engine.execute_tuple(&plan, f64::INFINITY).cost();
+    assert_eq!(
+        engine.execute_tuple(&plan, f64::INFINITY),
+        engine.execute_vectorized(&plan, f64::INFINITY),
+        "engines must agree before we benchmark them"
+    );
+
+    let mut g = c.benchmark_group("engine_exec");
+    g.sample_size(20);
+    g.bench_function("tuple_full", |bch| {
+        bch.iter(|| black_box(engine.execute_tuple(black_box(&plan), f64::INFINITY).cost()))
+    });
+    g.bench_function("vectorized_full", |bch| {
+        bch.iter(|| {
+            black_box(
+                engine
+                    .execute_vectorized(black_box(&plan), f64::INFINITY)
+                    .cost(),
+            )
+        })
+    });
+    g.bench_function("tuple_abort_20pct", |bch| {
+        bch.iter(|| {
+            black_box(
+                engine
+                    .execute_tuple(black_box(&plan), full_cost * 0.2)
+                    .cost(),
+            )
+        })
+    });
+    g.bench_function("vectorized_abort_20pct", |bch| {
+        bch.iter(|| {
+            black_box(
+                engine
+                    .execute_vectorized(black_box(&plan), full_cost * 0.2)
+                    .cost(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_exec);
+criterion_main!(benches);

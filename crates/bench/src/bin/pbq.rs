@@ -10,6 +10,7 @@
 //! pbq run WORKLOAD f1,f2,... [--optimized] [--load FILE]
 //! pbq sensitivity WORKLOAD                   # §8 dimension analysis
 //! pbq speedup WORKLOAD [--workers N] [--json PATH]  # identification bench
+//! pbq engine-speedup [--sf X] [--json PATH]  # vectorized-vs-tuple engine bench
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
 //! ```
 //!
@@ -38,6 +39,7 @@ fn main() {
         "run" => with_workload(&args, run_cmd),
         "sensitivity" => with_workload(&args, sensitivity),
         "speedup" => with_workload(&args, speedup),
+        "engine-speedup" => engine_speedup(&args[1..]),
         "sql" => sql_cmd(&args[1..]),
         _ => usage(),
     }
@@ -62,8 +64,8 @@ fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
 
 fn usage() {
     eprintln!(
-        "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup> \
-         [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
+        "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup\
+         |engine-speedup> [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
     );
 }
 
@@ -411,6 +413,191 @@ fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
     }
 
     if !identical || !pruned_matches || !matrix_matches {
+        std::process::exit(1);
+    }
+}
+
+/// Benchmark the vectorized engine against the tuple-at-a-time reference
+/// and verify the two produce identical outcomes — cost, row count,
+/// per-node instrumentation, and abort point — under a ladder of budgets.
+/// `--sf X` picks the TPC-H scale factor (default 0.02, ≈154k base rows);
+/// `--json PATH` writes the machine-readable report (the CI
+/// `BENCH_engine.json` artifact). Exits non-zero on any outcome mismatch.
+fn engine_speedup(rest: &[String]) {
+    use pb_engine::{Database, Engine};
+    use pb_plan::PlanNode;
+    use std::time::Instant;
+
+    let sf: f64 = match rest.iter().position(|a| a == "--sf") {
+        Some(i) => rest
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--sf needs a positive number");
+                std::process::exit(2);
+            }),
+        None => 0.02,
+    };
+    let json_path = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.get(i + 1).expect("--json PATH").clone());
+
+    // part ⋈ lineitem ⋈ orders with a fixed part selection; join edge 0 is
+    // p⋈l, edge 1 is l⋈o. All columns are indexed, so every operator in the
+    // engine can appear.
+    let w = pb_workloads::h_q8a_2d(sf);
+    let db = Database::generate(&w.catalog, 42, &[]);
+    let base_rows: u64 = w
+        .query
+        .relations
+        .iter()
+        .map(|r| db.table(r.table).rows as u64)
+        .sum();
+    let eng = Engine::new(&db, &w.query, &w.model.p);
+
+    let hj_pl = || PlanNode::HashJoin {
+        build: Box::new(PlanNode::SeqScan { rel: 0 }),
+        probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+        edges: vec![0],
+    };
+    let plans: Vec<(&str, PlanNode)> = vec![
+        (
+            "hash_join_chain",
+            PlanNode::HashJoin {
+                build: Box::new(hj_pl()),
+                probe: Box::new(PlanNode::SeqScan { rel: 2 }),
+                edges: vec![1],
+            },
+        ),
+        (
+            "merge_join_top",
+            PlanNode::SortMergeJoin {
+                left: Box::new(hj_pl()),
+                right: Box::new(PlanNode::SeqScan { rel: 2 }),
+                edges: vec![1],
+                sort_left: true,
+                sort_right: true,
+            },
+        ),
+        (
+            "index_nl_chain",
+            PlanNode::IndexNLJoin {
+                outer: Box::new(PlanNode::IndexNLJoin {
+                    outer: Box::new(PlanNode::IndexScan { rel: 0, sel_idx: 0 }),
+                    inner_rel: 1,
+                    edges: vec![0],
+                }),
+                inner_rel: 2,
+                edges: vec![1],
+            },
+        ),
+        (
+            "anti_join",
+            PlanNode::AntiJoin {
+                left: Box::new(PlanNode::SeqScan { rel: 0 }),
+                right: Box::new(PlanNode::SeqScan { rel: 1 }),
+                edges: vec![0],
+            },
+        ),
+        (
+            "hash_aggregate",
+            PlanNode::HashAggregate {
+                input: Box::new(hj_pl()),
+            },
+        ),
+        (
+            "spill_chain",
+            PlanNode::Spill {
+                input: Box::new(hj_pl()),
+            },
+        ),
+    ];
+
+    println!(
+        "engine speedup on {} (sf {sf}, {base_rows} base rows, {} plans)",
+        w.name,
+        plans.len()
+    );
+
+    // Outcome-equality ladder: full run plus budgets that abort in
+    // different operators and phases of each plan.
+    let fracs = [1.0, 0.75, 0.4, 0.1, 0.02];
+    let mut checks = 0usize;
+    let mut all_equal = true;
+    for (name, plan) in &plans {
+        let full = eng.execute_tuple(plan, f64::INFINITY);
+        let mut plan_ok = true;
+        for frac in fracs {
+            let budget = if frac >= 1.0 {
+                f64::INFINITY
+            } else {
+                full.cost() * frac
+            };
+            let t = eng.execute_tuple(plan, budget);
+            let v = eng.execute_vectorized(plan, budget);
+            checks += 1;
+            if t != v {
+                all_equal = false;
+                plan_ok = false;
+                eprintln!(
+                    "  MISMATCH {name} at budget fraction {frac}: tuple (cost {:.6}, done {}) vs vectorized (cost {:.6}, done {})",
+                    t.cost(),
+                    t.completed(),
+                    v.cost(),
+                    v.completed()
+                );
+            }
+        }
+        let t0 = Instant::now();
+        std::hint::black_box(eng.execute_tuple(plan, f64::INFINITY));
+        let pt = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        std::hint::black_box(eng.execute(plan, f64::INFINITY));
+        let pv = t0.elapsed().as_secs_f64();
+        println!(
+            "  {name:<16} cost {:>14.0}  tuple {:>8.2}ms vec {:>8.2}ms ({:>5.2}x)  equal at {} budgets: {}",
+            full.cost(),
+            pt * 1e3,
+            pv * 1e3,
+            pt / pv.max(1e-12),
+            fracs.len(),
+            if plan_ok { "yes" } else { "NO" }
+        );
+    }
+
+    // Throughput: best-of-3 full executions of the whole plan set.
+    let mut tuple_s = f64::INFINITY;
+    let mut vec_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for (_, plan) in &plans {
+            std::hint::black_box(eng.execute_tuple(plan, f64::INFINITY));
+        }
+        tuple_s = tuple_s.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for (_, plan) in &plans {
+            std::hint::black_box(eng.execute(plan, f64::INFINITY));
+        }
+        vec_s = vec_s.min(t0.elapsed().as_secs_f64());
+    }
+    let speedup = tuple_s / vec_s.max(1e-12);
+    println!(
+        "  tuple {tuple_s:.4}s, vectorized {vec_s:.4}s -> {speedup:.2}x; {checks} equality checks: {}",
+        if all_equal { "all green" } else { "MISMATCH" }
+    );
+
+    if let Some(path) = json_path {
+        let report = format!(
+            "{{\n  \"workload\": \"{}\",\n  \"scale_factor\": {sf},\n  \"base_rows\": {base_rows},\n  \"plans\": {},\n  \"equality_checks\": {checks},\n  \"equality_ok\": {all_equal},\n  \"tuple_s\": {tuple_s:.6},\n  \"vectorized_s\": {vec_s:.6},\n  \"speedup\": {speedup:.3}\n}}\n",
+            w.name,
+            plans.len()
+        );
+        std::fs::write(&path, report).expect("write --json report");
+        println!("  wrote {path}");
+    }
+
+    if !all_equal {
         std::process::exit(1);
     }
 }

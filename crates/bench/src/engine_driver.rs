@@ -6,6 +6,12 @@
 //! selectivities observed from its node counters. This validates that the
 //! discovery machinery works when the "actual" costs come from a real
 //! executor rather than from the cost model itself.
+//!
+//! `Engine::execute` runs the vectorized (columnar batch) path by default;
+//! the tuple-at-a-time reference is available as `Engine::execute_tuple` and
+//! both produce identical `EngineOutcome`s (see `pbq engine-speedup`), so
+//! every driver below benefits from the batch kernels without any change in
+//! observed selectivities or abort behaviour.
 
 use pb_bouquet::Bouquet;
 use pb_cost::SelPoint;

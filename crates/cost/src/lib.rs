@@ -39,6 +39,6 @@ pub use ess::{Ess, EssDim, GridIx, SelPoint};
 pub use estimator::Estimator;
 pub use matrix::CostMatrix;
 pub use model_error::CostPerturbation;
-pub use parallel::{par_map, run_chunked, set_default_workers, Parallelism};
+pub use parallel::{par_map, run_chunked, set_default_workers, Parallelism, PARALLEL_MIN_GRID};
 pub use params::{CostModel, CostParams};
 pub use program::CostProgram;

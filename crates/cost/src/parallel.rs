@@ -62,7 +62,26 @@ impl Parallelism {
     pub fn for_items(&self, n_items: usize) -> usize {
         self.workers.min(n_items.max(1))
     }
+
+    /// Demote to serial for small grids, where thread spawn and chunk
+    /// hand-off cost more than the work saves (BENCH_identify.json: the
+    /// 4-worker diagram build ran 0.0117s vs 0.0092s serial, and the cost
+    /// matrix 0.0010s vs 0.0009s, on a 2304-point 2D grid). The output is
+    /// unchanged either way — chunked merges are deterministic — so this
+    /// only moves the crossover point.
+    pub fn for_grid(&self, n_points: usize) -> Parallelism {
+        if n_points < PARALLEL_MIN_GRID {
+            Parallelism::serial()
+        } else {
+            *self
+        }
+    }
 }
+
+/// Grid sizes below this run serially even when workers are available:
+/// between the 2304-point 2D grids (measurably slower in parallel) and the
+/// 8000-point 3D grids (where parallelism wins).
+pub const PARALLEL_MIN_GRID: usize = 4096;
 
 impl Default for Parallelism {
     fn default() -> Self {
@@ -189,6 +208,17 @@ mod tests {
         let chunks = run_chunked(Parallelism::new(4), n, |_, r| r.collect::<Vec<_>>());
         let flat: Vec<usize> = chunks.into_iter().flatten().collect();
         assert_eq!(flat, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_grid_demotes_small_grids_to_serial() {
+        let par = Parallelism::new(4);
+        assert_eq!(par.for_grid(PARALLEL_MIN_GRID - 1), Parallelism::serial());
+        assert_eq!(par.for_grid(PARALLEL_MIN_GRID), par);
+        assert_eq!(
+            Parallelism::serial().for_grid(1 << 20),
+            Parallelism::serial()
+        );
     }
 
     #[test]

@@ -1,5 +1,12 @@
-//! Volcano-style plan execution with cost charging, budget aborts and
-//! node-level instrumentation.
+//! Volcano-style tuple-at-a-time plan execution with cost charging, budget
+//! aborts and node-level instrumentation.
+//!
+//! This is the *reference* engine: one [`Ctx::settle`] per tuple, row-major
+//! intermediates. [`Engine::execute`] runs the vectorized engine in
+//! [`crate::vec_exec`], which batches both the data movement and the cost
+//! accounting; [`Engine::execute_tuple`] runs this path. Both share the
+//! closed-form ledger in [`crate::ledger`] and produce bit-identical
+//! [`EngineOutcome`]s, including the abort tuple under finite budgets.
 
 use std::collections::HashMap;
 
@@ -8,6 +15,7 @@ use pb_cost::CostParams;
 use pb_plan::{CmpOp, PlanNode, QuerySpec, RelIdx};
 
 use crate::data::{eval_pred, Database};
+use crate::ledger::{lin2, lin3, Abort, Ctx};
 
 /// Tuple counters for one plan node (PostgreSQL `Instrumentation` analogue).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -19,7 +27,7 @@ pub struct NodeStats {
 }
 
 /// Per-node statistics, indexed by preorder node id.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Instrumentation {
     pub nodes: Vec<NodeStats>,
 }
@@ -49,19 +57,12 @@ impl Instrumentation {
         db: &Database,
         dim: usize,
     ) -> Option<f64> {
-        // Locate the deepest node applying `dim`, in preorder ids.
+        // Candidates are collected children-first, so the first entry is the
+        // deepest node applying `dim`.
         let mut id = 0usize;
-        let mut best: Option<(usize, f64)> = None; // (node id, input product)
-        let mut stack_inputs: Vec<f64> = Vec::new();
-        let _ = &mut stack_inputs;
         let mut candidates: Vec<(usize, f64)> = Vec::new();
         collect_dim_nodes(root, query, db, dim, &mut id, &mut candidates);
-        // deepest = the one found last in post-order collection; candidates
-        // are pushed children-first, so take the first.
-        if let Some(&(nid, denom)) = candidates.first() {
-            best = Some((nid, denom));
-        }
-        let (nid, denom) = best?;
+        let &(nid, denom) = candidates.first()?;
         let stats = self.nodes.get(nid)?;
         if denom <= 0.0 {
             return None;
@@ -118,7 +119,7 @@ fn collect_dim_nodes(
 }
 
 /// Result of a (possibly budget-limited) engine execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EngineOutcome {
     Completed {
         rows: usize,
@@ -149,32 +150,11 @@ impl EngineOutcome {
     }
 }
 
-/// The tuple-at-a-time engine.
+/// The execution engine (vectorized by default; see [`Engine::execute`]).
 pub struct Engine<'a> {
     pub db: &'a Database,
     pub query: &'a QuerySpec,
     pub params: &'a CostParams,
-}
-
-struct Abort;
-
-struct Ctx {
-    spent: f64,
-    budget: f64,
-    instr: Vec<NodeStats>,
-}
-
-impl Ctx {
-    #[inline]
-    fn charge(&mut self, c: f64) -> Result<(), Abort> {
-        self.spent += c;
-        if self.spent > self.budget {
-            self.spent = self.budget;
-            Err(Abort)
-        } else {
-            Ok(())
-        }
-    }
 }
 
 /// Materialized intermediate relation: concatenated base-relation blocks.
@@ -190,8 +170,16 @@ impl<'a> Engine<'a> {
     }
 
     /// Execute `plan` with a cost budget (use `f64::INFINITY` to run to
-    /// completion unconditionally).
+    /// completion unconditionally). Runs the vectorized engine;
+    /// [`Engine::execute_tuple`] is the tuple-at-a-time reference path with
+    /// an identical observable outcome (cost, rows, instrumentation, abort
+    /// point — see `tests/engine_properties.rs`).
     pub fn execute(&self, plan: &PlanNode, budget: f64) -> EngineOutcome {
+        self.execute_vectorized(plan, budget)
+    }
+
+    /// Tuple-at-a-time reference execution.
+    pub fn execute_tuple(&self, plan: &PlanNode, budget: f64) -> EngineOutcome {
         let mut ctx = Ctx {
             spent: 0.0,
             budget,
@@ -217,7 +205,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn ncols(&self, rel: RelIdx) -> usize {
+    pub(crate) fn ncols(&self, rel: RelIdx) -> usize {
         self.db
             .catalog
             .table_by_id(self.query.relations[rel].table)
@@ -225,7 +213,7 @@ impl<'a> Engine<'a> {
             .len()
     }
 
-    fn offset(&self, rels: &[RelIdx], rel: RelIdx, col: ColumnId) -> usize {
+    pub(crate) fn offset(&self, rels: &[RelIdx], rel: RelIdx, col: ColumnId) -> usize {
         let mut off = 0;
         for &r in rels {
             if r == rel {
@@ -257,14 +245,19 @@ impl<'a> Engine<'a> {
                     .table_by_id(self.query.relations[*rel].table);
                 let preds = &self.query.relations[*rel].selections;
                 ctx.charge(table_meta.pages() * p.seq_page)?;
+                let base = ctx.spent;
+                let row_rate = p.cpu_tuple + preds.len() as f64 * p.cpu_operator;
+                let (mut seen, mut emitted) = (0u64, 0u64);
                 let mut rows = Vec::new();
                 for r in 0..t.rows {
-                    ctx.charge(p.cpu_tuple + preds.len() as f64 * p.cpu_operator)?;
+                    seen += 1;
+                    ctx.settle(lin2(base, seen, row_rate, emitted, p.emit_tuple))?;
                     if preds
                         .iter()
                         .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
                     {
-                        ctx.charge(p.emit_tuple)?;
+                        emitted += 1;
+                        ctx.settle(lin2(base, seen, row_rate, emitted, p.emit_tuple))?;
                         if store {
                             rows.push(t.columns.iter().map(|c| c[r]).collect());
                         }
@@ -286,16 +279,21 @@ impl<'a> Engine<'a> {
                     .get(&key_pred.column.column)
                     .expect("index scan over unindexed column");
                 ctx.charge(3.0 * p.random_page)?;
+                let base = ctx.spent;
+                let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
                 let range = index_range(ix, key_pred);
+                let (mut seen, mut emitted) = (0u64, 0u64);
                 let mut rows = Vec::new();
                 for &(_, r) in &ix[range] {
-                    ctx.charge(p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)?;
+                    seen += 1;
+                    ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
                     let r = r as usize;
                     let ok = preds.iter().enumerate().all(|(i, pr)| {
                         i == *sel_idx || eval_pred(pr, t.columns[pr.column.column as usize][r])
                     });
                     if ok {
-                        ctx.charge(p.emit_tuple)?;
+                        emitted += 1;
+                        ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
                         if store {
                             rows.push(t.columns.iter().map(|c| c[r]).collect());
                         }
@@ -316,19 +314,22 @@ impl<'a> Engine<'a> {
                     .get(&column.column)
                     .expect("full index scan over unindexed column");
                 ctx.charge((t.rows as f64 / 256.0).max(1.0) * p.seq_page)?;
+                let base = ctx.spent;
+                let entry_rate = p.cpu_index_tuple
+                    + p.random_page * p.heap_fetch_factor
+                    + preds.len() as f64 * p.cpu_operator;
+                let (mut seen, mut emitted) = (0u64, 0u64);
                 let mut rows = Vec::new();
                 for &(_, r) in ix {
-                    ctx.charge(
-                        p.cpu_index_tuple
-                            + p.random_page * p.heap_fetch_factor
-                            + preds.len() as f64 * p.cpu_operator,
-                    )?;
+                    seen += 1;
+                    ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
                     let r = r as usize;
                     if preds
                         .iter()
                         .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
                     {
-                        ctx.charge(p.emit_tuple)?;
+                        emitted += 1;
+                        ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
                         if store {
                             rows.push(t.columns.iter().map(|c| c[r]).collect());
                         }
@@ -349,22 +350,39 @@ impl<'a> Engine<'a> {
                 let b = self.eval(build, ctx, next_id, true)?;
                 let pr = self.eval(probe, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (bkey, pkey) = self.key_offsets(&b, &pr, j0);
+                let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0);
+                let base = ctx.spent;
+                let build_rate = p.cpu_tuple + p.hash_build;
                 let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
                 for (i, row) in b.rows.iter().enumerate() {
-                    ctx.charge(p.cpu_tuple + p.hash_build)?;
+                    ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
                     table.entry(row[bkey]).or_default().push(i);
                 }
                 let out_rels: Vec<RelIdx> = b.rels.iter().chain(&pr.rels).copied().collect();
+                let pbase = ctx.spent;
+                let mut emitted = 0u64;
                 let mut rows = Vec::new();
-                for prow in &pr.rows {
-                    ctx.charge(p.hash_probe)?;
+                for (i, prow) in pr.rows.iter().enumerate() {
+                    ctx.settle(lin2(
+                        pbase,
+                        i as u64 + 1,
+                        p.hash_probe,
+                        emitted,
+                        p.emit_tuple,
+                    ))?;
                     if let Some(bs) = table.get(&prow[pkey]) {
                         for &bi in bs {
                             let joined: Vec<i64> =
                                 b.rows[bi].iter().chain(prow.iter()).copied().collect();
                             if self.residual_ok(&out_rels, &joined, &edges[1..]) {
-                                ctx.charge(p.emit_tuple)?;
+                                emitted += 1;
+                                ctx.settle(lin2(
+                                    pbase,
+                                    i as u64 + 1,
+                                    p.hash_probe,
+                                    emitted,
+                                    p.emit_tuple,
+                                ))?;
                                 if store {
                                     rows.push(joined);
                                 }
@@ -389,7 +407,7 @@ impl<'a> Engine<'a> {
                 let mut l = self.eval(left, ctx, next_id, true)?;
                 let mut r = self.eval(right, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (lkey, rkey) = self.key_offsets(&l, &r, j0);
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
                 // Sort both (an un-flagged input is already ordered, but
                 // re-sorting is a no-op for correctness; we charge only for
                 // flagged sorts, mirroring the cost model).
@@ -404,10 +422,14 @@ impl<'a> Engine<'a> {
                 l.rows.sort_by_key(|row| row[lkey]);
                 r.rows.sort_by_key(|row| row[rkey]);
                 let out_rels: Vec<RelIdx> = l.rels.iter().chain(&r.rels).copied().collect();
+                let base = ctx.spent;
+                let step_rate = 2.0 * p.cpu_operator;
+                let (mut steps, mut emitted) = (0u64, 0u64);
                 let mut rows = Vec::new();
                 let (mut i, mut j) = (0usize, 0usize);
                 while i < l.rows.len() && j < r.rows.len() {
-                    ctx.charge(2.0 * p.cpu_operator)?;
+                    steps += 1;
+                    ctx.settle(lin2(base, steps, step_rate, emitted, p.emit_tuple))?;
                     let (a, b) = (l.rows[i][lkey], r.rows[j][rkey]);
                     if a < b {
                         i += 1;
@@ -425,8 +447,17 @@ impl<'a> Engine<'a> {
                                     .copied()
                                     .collect();
                                 if self.residual_ok(&out_rels, &joined, &edges[1..]) {
-                                    ctx.charge(p.emit_tuple)?;
-                                    rows.push(joined);
+                                    emitted += 1;
+                                    ctx.settle(lin2(
+                                        base,
+                                        steps,
+                                        step_rate,
+                                        emitted,
+                                        p.emit_tuple,
+                                    ))?;
+                                    if store {
+                                        rows.push(joined);
+                                    }
                                     ctx.instr[my_id].output_tuples += 1;
                                 }
                             }
@@ -462,16 +493,37 @@ impl<'a> Engine<'a> {
                     .get(&ikey_col.column)
                     .expect("index NL join over unindexed inner column");
                 let out_rels: Vec<RelIdx> = o.rels.iter().copied().chain([*inner_rel]).collect();
+                let base = ctx.spent;
+                let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
+                let (mut looks, mut probed, mut emitted) = (0u64, 0u64, 0u64);
                 let mut rows = Vec::new();
                 for orow in &o.rows {
-                    ctx.charge(p.index_lookup)?;
+                    looks += 1;
+                    ctx.settle(lin3(
+                        base,
+                        looks,
+                        p.index_lookup,
+                        probed,
+                        entry_rate,
+                        emitted,
+                        p.emit_tuple,
+                    ))?;
                     let key = orow[okey];
                     let start = ix.partition_point(|&(v, _)| v < key);
                     for &(v, r) in &ix[start..] {
                         if v != key {
                             break;
                         }
-                        ctx.charge(p.cpu_index_tuple + p.random_page * p.heap_fetch_factor)?;
+                        probed += 1;
+                        ctx.settle(lin3(
+                            base,
+                            looks,
+                            p.index_lookup,
+                            probed,
+                            entry_rate,
+                            emitted,
+                            p.emit_tuple,
+                        ))?;
                         let r = r as usize;
                         let ok = inner_preds
                             .iter()
@@ -485,7 +537,16 @@ impl<'a> Engine<'a> {
                             .chain(t.columns.iter().map(|c| c[r]))
                             .collect();
                         if self.residual_ok(&out_rels, &joined, &edges[1..]) {
-                            ctx.charge(p.emit_tuple)?;
+                            emitted += 1;
+                            ctx.settle(lin3(
+                                base,
+                                looks,
+                                p.index_lookup,
+                                probed,
+                                entry_rate,
+                                emitted,
+                                p.emit_tuple,
+                            ))?;
                             if store {
                                 rows.push(joined);
                             }
@@ -507,13 +568,18 @@ impl<'a> Engine<'a> {
                 let o = self.eval(outer, ctx, next_id, true)?;
                 let inn = self.eval(inner, ctx, next_id, true)?;
                 let out_rels: Vec<RelIdx> = o.rels.iter().chain(&inn.rels).copied().collect();
+                let base = ctx.spent;
+                let pair_rate = p.cpu_operator * edges.len().max(1) as f64;
+                let (mut pairs, mut emitted) = (0u64, 0u64);
                 let mut rows = Vec::new();
                 for orow in &o.rows {
                     for irow in &inn.rows {
-                        ctx.charge(p.cpu_operator * edges.len().max(1) as f64)?;
+                        pairs += 1;
+                        ctx.settle(lin2(base, pairs, pair_rate, emitted, p.emit_tuple))?;
                         let joined: Vec<i64> = orow.iter().chain(irow.iter()).copied().collect();
                         if self.residual_ok(&out_rels, &joined, edges) {
-                            ctx.charge(p.emit_tuple)?;
+                            emitted += 1;
+                            ctx.settle(lin2(base, pairs, pair_rate, emitted, p.emit_tuple))?;
                             if store {
                                 rows.push(joined);
                             }
@@ -531,17 +597,34 @@ impl<'a> Engine<'a> {
                 let l = self.eval(left, ctx, next_id, true)?;
                 let r = self.eval(right, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (lkey, rkey) = self.key_offsets(&l, &r, j0);
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                let base = ctx.spent;
+                let build_rate = p.cpu_tuple + p.hash_build;
                 let mut keys: std::collections::HashSet<i64> = std::collections::HashSet::new();
-                for row in &r.rows {
-                    ctx.charge(p.cpu_tuple + p.hash_build)?;
+                for (i, row) in r.rows.iter().enumerate() {
+                    ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
                     keys.insert(row[rkey]);
                 }
+                let pbase = ctx.spent;
+                let mut emitted = 0u64;
                 let mut rows = Vec::new();
-                for lrow in &l.rows {
-                    ctx.charge(p.hash_probe)?;
+                for (i, lrow) in l.rows.iter().enumerate() {
+                    ctx.settle(lin2(
+                        pbase,
+                        i as u64 + 1,
+                        p.hash_probe,
+                        emitted,
+                        p.emit_tuple,
+                    ))?;
                     if !keys.contains(&lrow[lkey]) {
-                        ctx.charge(p.emit_tuple)?;
+                        emitted += 1;
+                        ctx.settle(lin2(
+                            pbase,
+                            i as u64 + 1,
+                            p.hash_probe,
+                            emitted,
+                            p.emit_tuple,
+                        ))?;
                         if store {
                             rows.push(lrow.clone());
                         }
@@ -553,9 +636,11 @@ impl<'a> Engine<'a> {
             }
             PlanNode::HashAggregate { input } => {
                 let i = self.eval(input, ctx, next_id, true)?;
+                let base = ctx.spent;
+                let in_rate = p.cpu_tuple + p.hash_build;
                 let mut groups: HashMap<Vec<i64>, i64> = HashMap::new();
-                for row in &i.rows {
-                    ctx.charge(p.cpu_tuple + p.hash_build)?;
+                for (n, row) in i.rows.iter().enumerate() {
+                    ctx.settle(lin2(base, n as u64 + 1, in_rate, 0, 0.0))?;
                     let key: Vec<i64> = self
                         .query
                         .group_by
@@ -564,9 +649,12 @@ impl<'a> Engine<'a> {
                         .collect();
                     *groups.entry(key).or_insert(0) += 1;
                 }
+                let gbase = ctx.spent;
+                let mut emitted = 0u64;
                 let mut rows = Vec::new();
                 for (key, count) in groups {
-                    ctx.charge(p.emit_tuple)?;
+                    emitted += 1;
+                    ctx.settle(lin2(gbase, emitted, p.emit_tuple, 0, 0.0))?;
                     if store {
                         let mut out_row = key;
                         out_row.push(count);
@@ -599,16 +687,21 @@ impl<'a> Engine<'a> {
     }
 
     /// Offsets of the primary join key on each side.
-    fn key_offsets(&self, l: &Rel, r: &Rel, j: &pb_plan::JoinPredicate) -> (usize, usize) {
-        if l.rels.contains(&j.left_rel) {
+    pub(crate) fn key_offsets(
+        &self,
+        lrels: &[RelIdx],
+        rrels: &[RelIdx],
+        j: &pb_plan::JoinPredicate,
+    ) -> (usize, usize) {
+        if lrels.contains(&j.left_rel) {
             (
-                self.offset(&l.rels, j.left_rel, j.left_col),
-                self.offset(&r.rels, j.right_rel, j.right_col),
+                self.offset(lrels, j.left_rel, j.left_col),
+                self.offset(rrels, j.right_rel, j.right_col),
             )
         } else {
             (
-                self.offset(&l.rels, j.right_rel, j.right_col),
-                self.offset(&r.rels, j.left_rel, j.left_col),
+                self.offset(lrels, j.right_rel, j.right_col),
+                self.offset(rrels, j.left_rel, j.left_col),
             )
         }
     }
@@ -623,7 +716,10 @@ impl<'a> Engine<'a> {
     }
 }
 
-fn index_range(ix: &[(i64, u32)], pred: &pb_plan::SelectionPredicate) -> std::ops::Range<usize> {
+pub(crate) fn index_range(
+    ix: &[(i64, u32)],
+    pred: &pb_plan::SelectionPredicate,
+) -> std::ops::Range<usize> {
     match pred.op {
         CmpOp::Lt => 0..ix.partition_point(|&(v, _)| (v as f64) < pred.constant),
         CmpOp::Gt => ix.partition_point(|&(v, _)| (v as f64) <= pred.constant)..ix.len(),
@@ -744,6 +840,51 @@ mod tests {
         let out = eng.execute(&hj_plan(), full * 0.3);
         assert!(!out.completed());
         assert!((out.cost() - full * 0.3).abs() < 1e-9 * full);
+    }
+
+    #[test]
+    fn tuple_and_vectorized_agree_on_basic_plan() {
+        let (db, q, m) = setup();
+        let eng = Engine::new(&db, &q, &m.p);
+        let full_t = eng.execute_tuple(&hj_plan(), f64::INFINITY);
+        let full_v = eng.execute_vectorized(&hj_plan(), f64::INFINITY);
+        assert_eq!(full_t, full_v);
+        for frac in [0.9, 0.5, 0.2, 0.05, 0.001] {
+            let budget = full_t.cost() * frac;
+            assert_eq!(
+                eng.execute_tuple(&hj_plan(), budget),
+                eng.execute_vectorized(&hj_plan(), budget),
+                "divergence at budget fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_join_respects_store_flag() {
+        // Regression: SortMergeJoin used to push joined rows even with
+        // store == false, materializing the full result at the plan root.
+        let (db, q, m) = setup();
+        let eng = Engine::new(&db, &q, &m.p);
+        let plan = PlanNode::SortMergeJoin {
+            left: Box::new(PlanNode::SeqScan { rel: 0 }),
+            right: Box::new(PlanNode::SeqScan { rel: 1 }),
+            edges: vec![0],
+            sort_left: true,
+            sort_right: true,
+        };
+        let mut ctx = Ctx {
+            spent: 0.0,
+            budget: f64::INFINITY,
+            instr: vec![NodeStats::default(); plan.size()],
+        };
+        let mut next_id = 0usize;
+        let rel = eng.eval(&plan, &mut ctx, &mut next_id, false).ok().unwrap();
+        assert!(
+            rel.rows.is_empty(),
+            "store == false must not materialize merge-join output ({} rows kept)",
+            rel.rows.len()
+        );
+        assert!(ctx.instr[0].output_tuples > 0, "rows must still be counted");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Shared budget ledger for the two execution engines.
+//!
+//! Both the tuple-at-a-time reference engine ([`crate::exec`]) and the
+//! vectorized engine ([`crate::vec_exec`]) account work through this module
+//! and only through it. Every charge is either a one-off ([`Ctx::charge`]:
+//! scan setup, sorts, spill penalties) or part of a *linear phase*: a
+//! closed-form `base + Σ counterᵢ·rateᵢ` value computed by [`lin2`]/[`lin3`]
+//! and installed with [`Ctx::settle`]. The tuple engine settles after every
+//! counter increment; the vectorized engine settles once per batch with the
+//! same closed form and the same counters — so both observe bit-identical
+//! `spent` values at every shared program point.
+//!
+//! Why aborts stay exact: all rates are non-negative, so the closed form is
+//! weakly monotone in each counter even under floating-point rounding
+//! (`c as f64` is monotone in `c`, `c·r` rounds monotonically for `r ≥ 0`,
+//! and `x + t` rounds monotonically in `t`). A batch whose settled end value
+//! is within budget therefore cannot have crossed it at any interior tuple,
+//! and when the end value exceeds the budget the batch is replayed
+//! tuple-at-a-time — the replay's final settle recomputes the very value
+//! that crossed, so the replay is guaranteed to abort, at the identical
+//! tuple, with the identical instrumentation and the identical clamped cost
+//! the reference engine produces.
+
+use crate::exec::NodeStats;
+
+/// Rows per vectorized batch — the cadence of budget settlement and the
+/// bound on wasted work past an abort point.
+pub(crate) const BATCH: usize = 4096;
+
+/// Budget exhausted mid-execution.
+pub(crate) struct Abort;
+
+/// Execution context: the ledger plus per-node counters.
+pub(crate) struct Ctx {
+    pub spent: f64,
+    pub budget: f64,
+    pub instr: Vec<NodeStats>,
+}
+
+impl Ctx {
+    /// Add a one-off charge (operator setup, sorts, spill penalties).
+    #[inline]
+    pub fn charge(&mut self, c: f64) -> Result<(), Abort> {
+        self.spent += c;
+        if self.spent > self.budget {
+            self.spent = self.budget;
+            Err(Abort)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Install an absolute ledger value computed by [`lin2`]/[`lin3`].
+    #[inline]
+    pub fn settle(&mut self, s: f64) -> Result<(), Abort> {
+        if s > self.budget {
+            self.spent = self.budget;
+            Err(Abort)
+        } else {
+            self.spent = s;
+            Ok(())
+        }
+    }
+}
+
+/// Two-counter linear phase. The left-to-right evaluation order is part of
+/// the contract: both engines must produce bit-identical values.
+#[inline]
+pub(crate) fn lin2(base: f64, c0: u64, r0: f64, c1: u64, r1: f64) -> f64 {
+    (base + c0 as f64 * r0) + c1 as f64 * r1
+}
+
+/// Three-counter linear phase (index nested-loops: lookups, probed entries,
+/// emitted tuples advance independently within one phase).
+#[inline]
+pub(crate) fn lin3(base: f64, c0: u64, r0: f64, c1: u64, r1: f64, c2: u64, r2: f64) -> f64 {
+    ((base + c0 as f64 * r0) + c1 as f64 * r1) + c2 as f64 * r2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_clamps_to_budget_on_abort() {
+        let mut ctx = Ctx {
+            spent: 0.0,
+            budget: 10.0,
+            instr: Vec::new(),
+        };
+        assert!(ctx.settle(9.5).is_ok());
+        assert_eq!(ctx.spent, 9.5);
+        assert!(ctx.settle(10.0 + 1e-9).is_err());
+        assert_eq!(ctx.spent, 10.0);
+    }
+
+    #[test]
+    fn lin_phases_are_monotone_in_each_counter() {
+        let base = 123.456;
+        let (r0, r1, r2) = (0.01, 0.005, 1e-7);
+        let mut prev = f64::NEG_INFINITY;
+        for c in 0..10_000u64 {
+            let v = lin3(base, c, r0, c / 2, r1, c / 3, r2);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lin2_equals_lin3_with_zero_third_term() {
+        // The engines rely on phases with an unused counter charging nothing.
+        assert_eq!(lin2(5.0, 3, 0.5, 0, 0.0), (5.0 + 3.0 * 0.5));
+    }
+}

@@ -1,4 +1,4 @@
-//! Tuple-at-a-time execution engine over generated in-memory data.
+//! Execution engine over generated in-memory data.
 //!
 //! The cost-unit simulator (`pb-executor`) is sufficient for the paper's
 //! grid metrics, which are defined in optimizer cost units. This crate goes
@@ -13,9 +13,17 @@
 //!   and the run aborts mid-operator once the budget is exhausted,
 //! * spill directives that count and discard an error node's output,
 //! * observed-selectivity extraction from the counters (Section 5.2).
+//!
+//! Two execution paths share one budget ledger ([`ledger`]): the vectorized
+//! columnar engine ([`vec_exec`], the default behind [`Engine::execute`])
+//! and the tuple-at-a-time reference ([`Engine::execute_tuple`]). Their
+//! outcomes — cost, rows, instrumentation, and abort point under finite
+//! budgets — are bit-identical by construction.
 
 pub mod data;
 pub mod exec;
+mod ledger;
+mod vec_exec;
 
 pub use data::{ColumnOverride, Database, TableData};
 pub use exec::{Engine, EngineOutcome, Instrumentation, NodeStats};

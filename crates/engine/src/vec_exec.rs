@@ -1,0 +1,1152 @@
+//! Vectorized columnar execution engine.
+//!
+//! Intermediates are column-major [`VRel`] blocks; predicate evaluation,
+//! hash-join build/probe, merge-join group expansion and index-NL lookups
+//! run as batch kernels over whole columns, producing selection vectors of
+//! qualifying row ids that are gathered into output columns at batch
+//! granularity. Cost is charged per batch: each operator phase is linear in
+//! its counters, so the batch-end ledger value is the closed form
+//! [`lin2`]/[`lin3`] of the final counters — bit-identical to the reference
+//! engine's last per-tuple settle (see `crate::ledger` for the argument).
+//!
+//! Budget aborts are exact: a batch whose end value stays within budget
+//! cannot have crossed it at any interior tuple (monotonicity), and a batch
+//! whose end value exceeds the budget is replayed tuple-at-a-time from the
+//! batch start (merge join: from the last checkpoint), reproducing the
+//! reference engine's abort tuple, instrumentation and clamped cost down to
+//! the bit.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+use pb_plan::{PlanNode, RelIdx, SelectionPredicate};
+
+use crate::data::eval_pred;
+use crate::exec::{index_range, Engine, EngineOutcome, Instrumentation, NodeStats};
+use crate::ledger::{lin2, lin3, Abort, Ctx, BATCH};
+
+/// Multiply–xorshift hasher for the vectorized engine's internal hash
+/// tables. Join/aggregate tables are private state — only the *outcome*
+/// must match the reference engine, which uses SipHash — so the batch
+/// kernels get to trade DoS resistance for raw probe throughput.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Columnar intermediate: one `Vec<i64>` per physical column of the
+/// concatenated base-relation blocks. With `store == false` (plan root,
+/// spill input) only `rels` is meaningful — rows are counted, not kept.
+struct VRel {
+    rels: Vec<RelIdx>,
+    cols: Vec<Vec<i64>>,
+    len: usize,
+}
+
+/// A residual join edge pre-resolved to (side, column) coordinates so the
+/// probe kernels never re-derive offsets per tuple.
+struct ResCheck {
+    a_left: bool,
+    a: usize,
+    b_left: bool,
+    b: usize,
+}
+
+/// Does the (left row `li`, right row `ri`) pair satisfy every residual
+/// equi-join edge?
+fn res_pass(
+    res: &[ResCheck],
+    lcols: &[Vec<i64>],
+    li: usize,
+    rcols: &[Vec<i64>],
+    ri: usize,
+) -> bool {
+    res.iter().all(|rc| {
+        let va = if rc.a_left {
+            lcols[rc.a][li]
+        } else {
+            rcols[rc.a][ri]
+        };
+        let vb = if rc.b_left {
+            lcols[rc.b][li]
+        } else {
+            rcols[rc.b][ri]
+        };
+        va == vb
+    })
+}
+
+/// Evaluate all predicates over a row range, producing a selection vector
+/// of qualifying row ids. The first predicate scans its column densely;
+/// the rest refine the (usually much smaller) selection in place.
+fn filter_batch(
+    preds: &[SelectionPredicate],
+    cols: &[Vec<i64>],
+    lo: usize,
+    hi: usize,
+    sel: &mut Vec<u32>,
+) {
+    sel.clear();
+    match preds.split_first() {
+        None => sel.extend(lo as u32..hi as u32),
+        Some((first, rest)) => {
+            let col = &cols[first.column.column as usize];
+            for (off, &v) in col[lo..hi].iter().enumerate() {
+                if eval_pred(first, v) {
+                    sel.push((lo + off) as u32);
+                }
+            }
+            for pr in rest {
+                let col = &cols[pr.column.column as usize];
+                sel.retain(|&r| eval_pred(pr, col[r as usize]));
+            }
+        }
+    }
+}
+
+/// Append the selected rows of every source column to the output columns.
+fn gather(src: &[Vec<i64>], sel: &[u32], out: &mut [Vec<i64>]) {
+    for (c, o) in src.iter().zip(out.iter_mut()) {
+        o.extend(sel.iter().map(|&r| c[r as usize]));
+    }
+}
+
+impl Engine<'_> {
+    /// Vectorized execution (the default behind [`Engine::execute`]).
+    pub fn execute_vectorized(&self, plan: &PlanNode, budget: f64) -> EngineOutcome {
+        let mut ctx = Ctx {
+            spent: 0.0,
+            budget,
+            instr: vec![NodeStats::default(); plan.size()],
+        };
+        let mut next_id = 0usize;
+        match self.veval(plan, &mut ctx, &mut next_id, false) {
+            Ok(_) => {
+                let rows = ctx.instr[0].output_tuples as usize;
+                EngineOutcome::Completed {
+                    rows,
+                    cost: ctx.spent,
+                    instr: Instrumentation { nodes: ctx.instr },
+                }
+            }
+            Err(Abort) => EngineOutcome::Aborted {
+                cost: ctx.spent,
+                instr: Instrumentation { nodes: ctx.instr },
+            },
+        }
+    }
+
+    fn resolve_residuals(&self, out_rels: &[RelIdx], lw: usize, edges: &[usize]) -> Vec<ResCheck> {
+        edges
+            .iter()
+            .map(|&e| {
+                let j = &self.query.joins[e];
+                let a = self.offset(out_rels, j.left_rel, j.left_col);
+                let b = self.offset(out_rels, j.right_rel, j.right_col);
+                ResCheck {
+                    a_left: a < lw,
+                    a: if a < lw { a } else { a - lw },
+                    b_left: b < lw,
+                    b: if b < lw { b } else { b - lw },
+                }
+            })
+            .collect()
+    }
+
+    /// Batched index-entry scan shared by `IndexScan` and `FullIndexScan`:
+    /// walk `entries`, keep rows passing `pass`, settle once per batch.
+    #[allow(clippy::too_many_arguments)]
+    fn ventry_scan(
+        &self,
+        ctx: &mut Ctx,
+        my_id: usize,
+        entries: &[(i64, u32)],
+        pass: &dyn Fn(usize) -> bool,
+        source: &[Vec<i64>],
+        entry_rate: f64,
+        store: bool,
+    ) -> Result<(Vec<Vec<i64>>, u64), Abort> {
+        let p = self.params;
+        let base = ctx.spent;
+        let mut emitted = 0u64;
+        let mut cols = if store {
+            vec![Vec::new(); source.len()]
+        } else {
+            Vec::new()
+        };
+        let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
+        let mut lo = 0usize;
+        while lo < entries.len() {
+            let hi = (lo + BATCH).min(entries.len());
+            sel.clear();
+            for &(_, r) in &entries[lo..hi] {
+                if pass(r as usize) {
+                    sel.push(r);
+                }
+            }
+            let k = sel.len() as u64;
+            let end = lin2(base, hi as u64, entry_rate, emitted + k, p.emit_tuple);
+            if end > ctx.budget {
+                let mut seen = lo as u64;
+                for &(_, r) in &entries[lo..hi] {
+                    seen += 1;
+                    ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
+                    if pass(r as usize) {
+                        emitted += 1;
+                        ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
+                        ctx.instr[my_id].output_tuples += 1;
+                    }
+                }
+                unreachable!("batch-end ledger value exceeded the budget but replay completed");
+            }
+            ctx.spent = end;
+            emitted += k;
+            ctx.instr[my_id].output_tuples = emitted;
+            if store {
+                gather(source, &sel, &mut cols);
+            }
+            lo = hi;
+        }
+        ctx.instr[my_id].complete = true;
+        Ok((cols, emitted))
+    }
+
+    /// Tuple-exact merge-join replay from the last settled checkpoint.
+    /// Only called when the checkpoint's ledger value exceeds the budget,
+    /// so the replay always aborts.
+    #[allow(clippy::too_many_arguments)]
+    fn smj_replay(
+        &self,
+        ctx: &mut Ctx,
+        my_id: usize,
+        base: f64,
+        step_rate: f64,
+        lk: &[i64],
+        rk: &[i64],
+        lperm: &[u32],
+        rperm: &[u32],
+        lcols: &[Vec<i64>],
+        rcols: &[Vec<i64>],
+        residuals: &[ResCheck],
+        mut i: usize,
+        mut j: usize,
+        mut steps: u64,
+        mut emitted: u64,
+    ) -> Abort {
+        let p = self.params;
+        ctx.instr[my_id].output_tuples = emitted;
+        while i < lk.len() && j < rk.len() {
+            steps += 1;
+            if ctx
+                .settle(lin2(base, steps, step_rate, emitted, p.emit_tuple))
+                .is_err()
+            {
+                return Abort;
+            }
+            let (a, b) = (lk[i], rk[j]);
+            if a < b {
+                i += 1;
+            } else if a > b {
+                j += 1;
+            } else {
+                let i_end = i + lk[i..].iter().take_while(|&&x| x == a).count();
+                let j_end = j + rk[j..].iter().take_while(|&&x| x == a).count();
+                for &lp in &lperm[i..i_end] {
+                    for &rp in &rperm[j..j_end] {
+                        if res_pass(residuals, lcols, lp as usize, rcols, rp as usize) {
+                            emitted += 1;
+                            if ctx
+                                .settle(lin2(base, steps, step_rate, emitted, p.emit_tuple))
+                                .is_err()
+                            {
+                                return Abort;
+                            }
+                            ctx.instr[my_id].output_tuples += 1;
+                        }
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+        unreachable!("checkpointed ledger value exceeded the budget but replay completed")
+    }
+
+    /// Evaluate a subtree vectorized. Mirrors `Engine::eval` operator by
+    /// operator; every phase settles via the same closed forms.
+    fn veval(
+        &self,
+        node: &PlanNode,
+        ctx: &mut Ctx,
+        next_id: &mut usize,
+        store: bool,
+    ) -> Result<VRel, Abort> {
+        let my_id = *next_id;
+        *next_id += 1;
+        let p = self.params;
+        match node {
+            PlanNode::SeqScan { rel } => {
+                let t = self.db.table(self.query.relations[*rel].table);
+                let table_meta = self
+                    .db
+                    .catalog
+                    .table_by_id(self.query.relations[*rel].table);
+                let preds = &self.query.relations[*rel].selections;
+                ctx.charge(table_meta.pages() * p.seq_page)?;
+                let base = ctx.spent;
+                let row_rate = p.cpu_tuple + preds.len() as f64 * p.cpu_operator;
+                let mut emitted = 0u64;
+                let mut cols = if store {
+                    vec![Vec::new(); t.columns.len()]
+                } else {
+                    Vec::new()
+                };
+                let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
+                let mut lo = 0usize;
+                while lo < t.rows {
+                    let hi = (lo + BATCH).min(t.rows);
+                    // Dense fast path: no predicates means the whole batch
+                    // qualifies and storing is a straight slice copy.
+                    let dense = preds.is_empty();
+                    let k = if dense {
+                        (hi - lo) as u64
+                    } else {
+                        filter_batch(preds, &t.columns, lo, hi, &mut sel);
+                        sel.len() as u64
+                    };
+                    let end = lin2(base, hi as u64, row_rate, emitted + k, p.emit_tuple);
+                    if end > ctx.budget {
+                        let mut seen = lo as u64;
+                        for r in lo..hi {
+                            seen += 1;
+                            ctx.settle(lin2(base, seen, row_rate, emitted, p.emit_tuple))?;
+                            if preds
+                                .iter()
+                                .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
+                            {
+                                emitted += 1;
+                                ctx.settle(lin2(base, seen, row_rate, emitted, p.emit_tuple))?;
+                                ctx.instr[my_id].output_tuples += 1;
+                            }
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    emitted += k;
+                    ctx.instr[my_id].output_tuples = emitted;
+                    if store {
+                        if dense {
+                            for (c, o) in t.columns.iter().zip(cols.iter_mut()) {
+                                o.extend_from_slice(&c[lo..hi]);
+                            }
+                        } else {
+                            gather(&t.columns, &sel, &mut cols);
+                        }
+                    }
+                    lo = hi;
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: vec![*rel],
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::IndexScan { rel, sel_idx } => {
+                let t = self.db.table(self.query.relations[*rel].table);
+                let preds = &self.query.relations[*rel].selections;
+                let key_pred = &preds[*sel_idx];
+                let ix = t
+                    .indexes
+                    .get(&key_pred.column.column)
+                    .expect("index scan over unindexed column");
+                ctx.charge(3.0 * p.random_page)?;
+                let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
+                let range = index_range(ix, key_pred);
+                let pass = |r: usize| {
+                    preds.iter().enumerate().all(|(i, pr)| {
+                        i == *sel_idx || eval_pred(pr, t.columns[pr.column.column as usize][r])
+                    })
+                };
+                let (cols, emitted) =
+                    self.ventry_scan(ctx, my_id, &ix[range], &pass, &t.columns, entry_rate, store)?;
+                Ok(VRel {
+                    rels: vec![*rel],
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::FullIndexScan { rel, column } => {
+                let t = self.db.table(self.query.relations[*rel].table);
+                let preds = &self.query.relations[*rel].selections;
+                let ix = t
+                    .indexes
+                    .get(&column.column)
+                    .expect("full index scan over unindexed column");
+                ctx.charge((t.rows as f64 / 256.0).max(1.0) * p.seq_page)?;
+                let entry_rate = p.cpu_index_tuple
+                    + p.random_page * p.heap_fetch_factor
+                    + preds.len() as f64 * p.cpu_operator;
+                let pass = |r: usize| {
+                    preds
+                        .iter()
+                        .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
+                };
+                let (cols, emitted) =
+                    self.ventry_scan(ctx, my_id, ix, &pass, &t.columns, entry_rate, store)?;
+                Ok(VRel {
+                    rels: vec![*rel],
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::HashJoin {
+                build,
+                probe,
+                edges,
+            } => {
+                let b = self.veval(build, ctx, next_id, true)?;
+                let pr = self.veval(probe, ctx, next_id, true)?;
+                let j0 = &self.query.joins[edges[0]];
+                let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0);
+                let base = ctx.spent;
+                let build_rate = p.cpu_tuple + p.hash_build;
+                let mut table: FastMap<i64, Vec<u32>> = FastMap::default();
+                let bcol = &b.cols[bkey];
+                let mut lo = 0usize;
+                while lo < b.len {
+                    let hi = (lo + BATCH).min(b.len);
+                    let end = lin2(base, hi as u64, build_rate, 0, 0.0);
+                    if end > ctx.budget {
+                        for i in lo..hi {
+                            ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    for (off, &v) in bcol[lo..hi].iter().enumerate() {
+                        table.entry(v).or_default().push((lo + off) as u32);
+                    }
+                    lo = hi;
+                }
+                let out_rels: Vec<RelIdx> = b.rels.iter().chain(&pr.rels).copied().collect();
+                let lw: usize = b.rels.iter().map(|&x| self.ncols(x)).sum();
+                let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..]);
+                let pbase = ctx.spent;
+                let mut emitted = 0u64;
+                let mut cols = if store {
+                    vec![Vec::new(); lw + pr.cols.len()]
+                } else {
+                    Vec::new()
+                };
+                let pcol = &pr.cols[pkey];
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                let mut lo = 0usize;
+                while lo < pr.len {
+                    let hi = (lo + BATCH).min(pr.len);
+                    pairs.clear();
+                    for (off, v) in pcol[lo..hi].iter().enumerate() {
+                        if let Some(bs) = table.get(v) {
+                            let i = lo + off;
+                            for &bi in bs {
+                                if res_pass(&residuals, &b.cols, bi as usize, &pr.cols, i) {
+                                    pairs.push((bi, i as u32));
+                                }
+                            }
+                        }
+                    }
+                    let k = pairs.len() as u64;
+                    let end = lin2(pbase, hi as u64, p.hash_probe, emitted + k, p.emit_tuple);
+                    if end > ctx.budget {
+                        for (off, v) in pcol[lo..hi].iter().enumerate() {
+                            let i = lo + off;
+                            ctx.settle(lin2(
+                                pbase,
+                                i as u64 + 1,
+                                p.hash_probe,
+                                emitted,
+                                p.emit_tuple,
+                            ))?;
+                            if let Some(bs) = table.get(v) {
+                                for &bi in bs {
+                                    if res_pass(&residuals, &b.cols, bi as usize, &pr.cols, i) {
+                                        emitted += 1;
+                                        ctx.settle(lin2(
+                                            pbase,
+                                            i as u64 + 1,
+                                            p.hash_probe,
+                                            emitted,
+                                            p.emit_tuple,
+                                        ))?;
+                                        ctx.instr[my_id].output_tuples += 1;
+                                    }
+                                }
+                            }
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    emitted += k;
+                    ctx.instr[my_id].output_tuples = emitted;
+                    if store {
+                        for (c, o) in b.cols.iter().zip(&mut cols[..lw]) {
+                            o.extend(pairs.iter().map(|&(bi, _)| c[bi as usize]));
+                        }
+                        for (c, o) in pr.cols.iter().zip(&mut cols[lw..]) {
+                            o.extend(pairs.iter().map(|&(_, pi)| c[pi as usize]));
+                        }
+                    }
+                    lo = hi;
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: out_rels,
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::SortMergeJoin {
+                left,
+                right,
+                edges,
+                sort_left,
+                sort_right,
+            } => {
+                let l = self.veval(left, ctx, next_id, true)?;
+                let r = self.veval(right, ctx, next_id, true)?;
+                let j0 = &self.query.joins[edges[0]];
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                if *sort_left {
+                    let n = l.len.max(2) as f64;
+                    ctx.charge(n * n.log2() * 2.0 * p.cpu_operator)?;
+                }
+                if *sort_right {
+                    let n = r.len.max(2) as f64;
+                    ctx.charge(n * n.log2() * 2.0 * p.cpu_operator)?;
+                }
+                // Stable argsort over the key column: `sort_by_key` is
+                // stable, so this is the exact permutation the reference
+                // engine's row sort applies.
+                let mut lperm: Vec<u32> = (0..l.len as u32).collect();
+                lperm.sort_by_key(|&x| l.cols[lkey][x as usize]);
+                let mut rperm: Vec<u32> = (0..r.len as u32).collect();
+                rperm.sort_by_key(|&x| r.cols[rkey][x as usize]);
+                let lk: Vec<i64> = lperm.iter().map(|&x| l.cols[lkey][x as usize]).collect();
+                let rk: Vec<i64> = rperm.iter().map(|&x| r.cols[rkey][x as usize]).collect();
+                let out_rels: Vec<RelIdx> = l.rels.iter().chain(&r.rels).copied().collect();
+                let lw: usize = l.rels.iter().map(|&x| self.ncols(x)).sum();
+                let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..]);
+                let base = ctx.spent;
+                let step_rate = 2.0 * p.cpu_operator;
+                let (ln, rn) = (lk.len(), rk.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                let (mut steps, mut emitted) = (0u64, 0u64);
+                // Checkpoint = merge state at the last successful settle.
+                let (mut ci, mut cj, mut csteps, mut cemitted) = (0usize, 0usize, 0u64, 0u64);
+                let mut pending: Vec<(u32, u32)> = Vec::new();
+                let mut cols = if store {
+                    vec![Vec::new(); lw + r.cols.len()]
+                } else {
+                    Vec::new()
+                };
+                while i < ln && j < rn {
+                    steps += 1;
+                    let (a, b) = (lk[i], rk[j]);
+                    if a < b {
+                        i += 1;
+                    } else if a > b {
+                        j += 1;
+                    } else {
+                        let i_end = i + lk[i..].iter().take_while(|&&x| x == a).count();
+                        let j_end = j + rk[j..].iter().take_while(|&&x| x == a).count();
+                        if residuals.is_empty() {
+                            emitted += ((i_end - i) * (j_end - j)) as u64;
+                            if store {
+                                for &lp in &lperm[i..i_end] {
+                                    for &rp in &rperm[j..j_end] {
+                                        pending.push((lp, rp));
+                                    }
+                                }
+                            }
+                        } else {
+                            for &lp in &lperm[i..i_end] {
+                                for &rp in &rperm[j..j_end] {
+                                    if res_pass(
+                                        &residuals,
+                                        &l.cols,
+                                        lp as usize,
+                                        &r.cols,
+                                        rp as usize,
+                                    ) {
+                                        emitted += 1;
+                                        if store {
+                                            pending.push((lp, rp));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        i = i_end;
+                        j = j_end;
+                    }
+                    if (steps - csteps) + (emitted - cemitted) >= BATCH as u64 {
+                        let end = lin2(base, steps, step_rate, emitted, p.emit_tuple);
+                        if end > ctx.budget {
+                            return Err(self.smj_replay(
+                                ctx, my_id, base, step_rate, &lk, &rk, &lperm, &rperm, &l.cols,
+                                &r.cols, &residuals, ci, cj, csteps, cemitted,
+                            ));
+                        }
+                        ctx.spent = end;
+                        ctx.instr[my_id].output_tuples = emitted;
+                        if store {
+                            for (c, o) in l.cols.iter().zip(&mut cols[..lw]) {
+                                o.extend(pending.iter().map(|&(li, _)| c[li as usize]));
+                            }
+                            for (c, o) in r.cols.iter().zip(&mut cols[lw..]) {
+                                o.extend(pending.iter().map(|&(_, rj)| c[rj as usize]));
+                            }
+                            pending.clear();
+                        }
+                        ci = i;
+                        cj = j;
+                        csteps = steps;
+                        cemitted = emitted;
+                    }
+                }
+                if steps > csteps {
+                    let end = lin2(base, steps, step_rate, emitted, p.emit_tuple);
+                    if end > ctx.budget {
+                        return Err(self.smj_replay(
+                            ctx, my_id, base, step_rate, &lk, &rk, &lperm, &rperm, &l.cols,
+                            &r.cols, &residuals, ci, cj, csteps, cemitted,
+                        ));
+                    }
+                    ctx.spent = end;
+                    ctx.instr[my_id].output_tuples = emitted;
+                    if store {
+                        for (c, o) in l.cols.iter().zip(&mut cols[..lw]) {
+                            o.extend(pending.iter().map(|&(li, _)| c[li as usize]));
+                        }
+                        for (c, o) in r.cols.iter().zip(&mut cols[lw..]) {
+                            o.extend(pending.iter().map(|&(_, rj)| c[rj as usize]));
+                        }
+                    }
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: out_rels,
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::IndexNLJoin {
+                outer,
+                inner_rel,
+                edges,
+            } => {
+                let o = self.veval(outer, ctx, next_id, true)?;
+                let j0 = &self.query.joins[edges[0]];
+                let t = self.db.table(self.query.relations[*inner_rel].table);
+                let inner_preds = &self.query.relations[*inner_rel].selections;
+                let (okey_rel, okey_col, ikey_col) = if o.rels.contains(&j0.left_rel) {
+                    (j0.left_rel, j0.left_col, j0.right_col)
+                } else {
+                    (j0.right_rel, j0.right_col, j0.left_col)
+                };
+                let okey = self.offset(&o.rels, okey_rel, okey_col);
+                let ix = t
+                    .indexes
+                    .get(&ikey_col.column)
+                    .expect("index NL join over unindexed inner column");
+                let out_rels: Vec<RelIdx> = o.rels.iter().copied().chain([*inner_rel]).collect();
+                let ow: usize = o.rels.iter().map(|&x| self.ncols(x)).sum();
+                let residuals = self.resolve_residuals(&out_rels, ow, &edges[1..]);
+                let base = ctx.spent;
+                let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
+                let (mut looks, mut probed, mut emitted) = (0u64, 0u64, 0u64);
+                let mut cols = if store {
+                    vec![Vec::new(); ow + t.columns.len()]
+                } else {
+                    Vec::new()
+                };
+                let mut matches: Vec<u32> = Vec::new();
+                let okeys = &o.cols[okey];
+                for (oi, &key) in okeys.iter().enumerate() {
+                    let start = ix.partition_point(|&(v, _)| v < key);
+                    matches.clear();
+                    let mut nprobe = 0u64;
+                    for &(v, r) in &ix[start..] {
+                        if v != key {
+                            break;
+                        }
+                        nprobe += 1;
+                        let r = r as usize;
+                        if inner_preds
+                            .iter()
+                            .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
+                            && res_pass(&residuals, &o.cols, oi, &t.columns, r)
+                        {
+                            matches.push(r as u32);
+                        }
+                    }
+                    let k = matches.len() as u64;
+                    let end = lin3(
+                        base,
+                        looks + 1,
+                        p.index_lookup,
+                        probed + nprobe,
+                        entry_rate,
+                        emitted + k,
+                        p.emit_tuple,
+                    );
+                    if end > ctx.budget {
+                        looks += 1;
+                        ctx.settle(lin3(
+                            base,
+                            looks,
+                            p.index_lookup,
+                            probed,
+                            entry_rate,
+                            emitted,
+                            p.emit_tuple,
+                        ))?;
+                        for &(v, r) in &ix[start..] {
+                            if v != key {
+                                break;
+                            }
+                            probed += 1;
+                            ctx.settle(lin3(
+                                base,
+                                looks,
+                                p.index_lookup,
+                                probed,
+                                entry_rate,
+                                emitted,
+                                p.emit_tuple,
+                            ))?;
+                            let r = r as usize;
+                            if !inner_preds
+                                .iter()
+                                .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
+                            {
+                                continue;
+                            }
+                            if res_pass(&residuals, &o.cols, oi, &t.columns, r) {
+                                emitted += 1;
+                                ctx.settle(lin3(
+                                    base,
+                                    looks,
+                                    p.index_lookup,
+                                    probed,
+                                    entry_rate,
+                                    emitted,
+                                    p.emit_tuple,
+                                ))?;
+                                ctx.instr[my_id].output_tuples += 1;
+                            }
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    looks += 1;
+                    probed += nprobe;
+                    emitted += k;
+                    ctx.instr[my_id].output_tuples = emitted;
+                    if store {
+                        for (c, out) in o.cols.iter().zip(&mut cols[..ow]) {
+                            out.extend(std::iter::repeat_n(c[oi], matches.len()));
+                        }
+                        for (c, out) in t.columns.iter().zip(&mut cols[ow..]) {
+                            out.extend(matches.iter().map(|&r| c[r as usize]));
+                        }
+                    }
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: out_rels,
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::BlockNLJoin {
+                outer,
+                inner,
+                edges,
+            } => {
+                let o = self.veval(outer, ctx, next_id, true)?;
+                let inn = self.veval(inner, ctx, next_id, true)?;
+                let out_rels: Vec<RelIdx> = o.rels.iter().chain(&inn.rels).copied().collect();
+                let ow: usize = o.rels.iter().map(|&x| self.ncols(x)).sum();
+                let residuals = self.resolve_residuals(&out_rels, ow, edges);
+                let base = ctx.spent;
+                let pair_rate = p.cpu_operator * edges.len().max(1) as f64;
+                let (mut pairs_n, mut emitted) = (0u64, 0u64);
+                let mut cols = if store {
+                    vec![Vec::new(); ow + inn.cols.len()]
+                } else {
+                    Vec::new()
+                };
+                let mut matches: Vec<u32> = Vec::new();
+                for oi in 0..o.len {
+                    matches.clear();
+                    for ii in 0..inn.len {
+                        if res_pass(&residuals, &o.cols, oi, &inn.cols, ii) {
+                            matches.push(ii as u32);
+                        }
+                    }
+                    let k = matches.len() as u64;
+                    let end = lin2(
+                        base,
+                        pairs_n + inn.len as u64,
+                        pair_rate,
+                        emitted + k,
+                        p.emit_tuple,
+                    );
+                    if end > ctx.budget {
+                        for ii in 0..inn.len {
+                            pairs_n += 1;
+                            ctx.settle(lin2(base, pairs_n, pair_rate, emitted, p.emit_tuple))?;
+                            if res_pass(&residuals, &o.cols, oi, &inn.cols, ii) {
+                                emitted += 1;
+                                ctx.settle(lin2(base, pairs_n, pair_rate, emitted, p.emit_tuple))?;
+                                ctx.instr[my_id].output_tuples += 1;
+                            }
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    pairs_n += inn.len as u64;
+                    emitted += k;
+                    ctx.instr[my_id].output_tuples = emitted;
+                    if store {
+                        for (c, out) in o.cols.iter().zip(&mut cols[..ow]) {
+                            out.extend(std::iter::repeat_n(c[oi], matches.len()));
+                        }
+                        for (c, out) in inn.cols.iter().zip(&mut cols[ow..]) {
+                            out.extend(matches.iter().map(|&r| c[r as usize]));
+                        }
+                    }
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: out_rels,
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::AntiJoin { left, right, edges } => {
+                let l = self.veval(left, ctx, next_id, true)?;
+                let r = self.veval(right, ctx, next_id, true)?;
+                let j0 = &self.query.joins[edges[0]];
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                let base = ctx.spent;
+                let build_rate = p.cpu_tuple + p.hash_build;
+                let mut keys: FastSet<i64> = FastSet::default();
+                let rcol = &r.cols[rkey];
+                let mut lo = 0usize;
+                while lo < r.len {
+                    let hi = (lo + BATCH).min(r.len);
+                    let end = lin2(base, hi as u64, build_rate, 0, 0.0);
+                    if end > ctx.budget {
+                        for i in lo..hi {
+                            ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    keys.extend(rcol[lo..hi].iter().copied());
+                    lo = hi;
+                }
+                let pbase = ctx.spent;
+                let mut emitted = 0u64;
+                let mut cols = if store {
+                    vec![Vec::new(); l.cols.len()]
+                } else {
+                    Vec::new()
+                };
+                let lcol = &l.cols[lkey];
+                let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
+                let mut lo = 0usize;
+                while lo < l.len {
+                    let hi = (lo + BATCH).min(l.len);
+                    sel.clear();
+                    for (off, v) in lcol[lo..hi].iter().enumerate() {
+                        if !keys.contains(v) {
+                            sel.push((lo + off) as u32);
+                        }
+                    }
+                    let k = sel.len() as u64;
+                    let end = lin2(pbase, hi as u64, p.hash_probe, emitted + k, p.emit_tuple);
+                    if end > ctx.budget {
+                        for (off, v) in lcol[lo..hi].iter().enumerate() {
+                            let i = lo + off;
+                            ctx.settle(lin2(
+                                pbase,
+                                i as u64 + 1,
+                                p.hash_probe,
+                                emitted,
+                                p.emit_tuple,
+                            ))?;
+                            if !keys.contains(v) {
+                                emitted += 1;
+                                ctx.settle(lin2(
+                                    pbase,
+                                    i as u64 + 1,
+                                    p.hash_probe,
+                                    emitted,
+                                    p.emit_tuple,
+                                ))?;
+                                ctx.instr[my_id].output_tuples += 1;
+                            }
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    emitted += k;
+                    ctx.instr[my_id].output_tuples = emitted;
+                    if store {
+                        gather(&l.cols, &sel, &mut cols);
+                    }
+                    lo = hi;
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: l.rels,
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::HashAggregate { input } => {
+                let i = self.veval(input, ctx, next_id, true)?;
+                let base = ctx.spent;
+                let in_rate = p.cpu_tuple + p.hash_build;
+                let key_offs: Vec<usize> = self
+                    .query
+                    .group_by
+                    .iter()
+                    .map(|&(r, c)| self.offset(&i.rels, r, c))
+                    .collect();
+                // Group keys: the general path hashes a Vec<i64> per row;
+                // zero- and one-column keys (the common shapes) skip that.
+                let mut groups: FastMap<Vec<i64>, i64> = FastMap::default();
+                let mut groups1: FastMap<i64, i64> = FastMap::default();
+                let mut lo = 0usize;
+                while lo < i.len {
+                    let hi = (lo + BATCH).min(i.len);
+                    let end = lin2(base, hi as u64, in_rate, 0, 0.0);
+                    if end > ctx.budget {
+                        for n in lo..hi {
+                            ctx.settle(lin2(base, n as u64 + 1, in_rate, 0, 0.0))?;
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    match key_offs.as_slice() {
+                        [] => *groups.entry(Vec::new()).or_insert(0) += (hi - lo) as i64,
+                        [c] => {
+                            for &v in &i.cols[*c][lo..hi] {
+                                *groups1.entry(v).or_insert(0) += 1;
+                            }
+                        }
+                        _ => {
+                            for row in lo..hi {
+                                let key: Vec<i64> =
+                                    key_offs.iter().map(|&c| i.cols[c][row]).collect();
+                                *groups.entry(key).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    lo = hi;
+                }
+                for (k, c) in groups1 {
+                    groups.insert(vec![k], c);
+                }
+                let gbase = ctx.spent;
+                let ng = groups.len() as u64;
+                let mut emitted = 0u64;
+                let mut cols = if store {
+                    vec![Vec::new(); key_offs.len() + 1]
+                } else {
+                    Vec::new()
+                };
+                let mut giter = groups.iter();
+                while emitted < ng {
+                    let chunk = (ng - emitted).min(BATCH as u64);
+                    let end = lin2(gbase, emitted + chunk, p.emit_tuple, 0, 0.0);
+                    if end > ctx.budget {
+                        for g in emitted + 1..=ng {
+                            ctx.settle(lin2(gbase, g, p.emit_tuple, 0, 0.0))?;
+                            ctx.instr[my_id].output_tuples += 1;
+                        }
+                        unreachable!(
+                            "batch-end ledger value exceeded the budget but replay completed"
+                        );
+                    }
+                    ctx.spent = end;
+                    if store {
+                        for _ in 0..chunk {
+                            let (key, count) = giter.next().expect("group under-count");
+                            for (c, v) in cols.iter_mut().zip(key.iter().chain([count])) {
+                                c.push(*v);
+                            }
+                        }
+                    }
+                    emitted += chunk;
+                    ctx.instr[my_id].output_tuples = emitted;
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: Vec::new(),
+                    cols,
+                    len: if store { ng as usize } else { 0 },
+                })
+            }
+            PlanNode::Spill { input } => {
+                let i = self.veval(input, ctx, next_id, false)?;
+                let discarded = ctx.instr[my_id + 1].output_tuples as f64;
+                ctx.charge(discarded * p.cpu_tuple)?;
+                ctx.instr[my_id].output_tuples = 0;
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: i.rels,
+                    cols: Vec::new(),
+                    len: 0,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Database;
+    use pb_catalog::tpch;
+    use pb_cost::CostModel;
+    use pb_plan::{CmpOp, QueryBuilder, QuerySpec, SelSpec};
+
+    fn setup() -> (Database, QuerySpec, CostModel) {
+        let cat = tpch::catalog(0.005);
+        let db = Database::generate(&cat, 7, &[]);
+        let mut qb = QueryBuilder::new(&cat, "vq");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1400.0,
+            SelSpec::ErrorProne(0),
+        );
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        (db, qb.build(), CostModel::postgresish())
+    }
+
+    #[test]
+    fn vectorized_merge_join_respects_store_flag() {
+        let (db, q, m) = setup();
+        let eng = Engine::new(&db, &q, &m.p);
+        let plan = PlanNode::SortMergeJoin {
+            left: Box::new(PlanNode::SeqScan { rel: 0 }),
+            right: Box::new(PlanNode::SeqScan { rel: 1 }),
+            edges: vec![0],
+            sort_left: true,
+            sort_right: true,
+        };
+        let mut ctx = Ctx {
+            spent: 0.0,
+            budget: f64::INFINITY,
+            instr: vec![NodeStats::default(); plan.size()],
+        };
+        let mut next_id = 0usize;
+        let rel = eng
+            .veval(&plan, &mut ctx, &mut next_id, false)
+            .ok()
+            .unwrap();
+        assert!(rel.cols.is_empty() && rel.len == 0);
+        assert!(ctx.instr[0].output_tuples > 0);
+    }
+
+    #[test]
+    fn vectorized_matches_tuple_on_all_operators() {
+        let (db, q, m) = setup();
+        let eng = Engine::new(&db, &q, &m.p);
+        let plans = [
+            PlanNode::HashJoin {
+                build: Box::new(PlanNode::SeqScan { rel: 0 }),
+                probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+                edges: vec![0],
+            },
+            PlanNode::SortMergeJoin {
+                left: Box::new(PlanNode::IndexScan { rel: 0, sel_idx: 0 }),
+                right: Box::new(PlanNode::SeqScan { rel: 1 }),
+                edges: vec![0],
+                sort_left: true,
+                sort_right: true,
+            },
+            PlanNode::IndexNLJoin {
+                outer: Box::new(PlanNode::SeqScan { rel: 0 }),
+                inner_rel: 1,
+                edges: vec![0],
+            },
+            PlanNode::Spill {
+                input: Box::new(PlanNode::HashJoin {
+                    build: Box::new(PlanNode::SeqScan { rel: 0 }),
+                    probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+                    edges: vec![0],
+                }),
+            },
+        ];
+        for plan in &plans {
+            let full = eng.execute_tuple(plan, f64::INFINITY);
+            assert_eq!(full, eng.execute_vectorized(plan, f64::INFINITY));
+            for frac in [0.999, 0.7, 0.35, 0.1, 0.01, 1e-4] {
+                let b = full.cost() * frac;
+                assert_eq!(
+                    eng.execute_tuple(plan, b),
+                    eng.execute_vectorized(plan, b),
+                    "divergence at fraction {frac}"
+                );
+            }
+        }
+    }
+}

@@ -79,6 +79,8 @@ impl PlanDiagram {
         pruned: bool,
     ) -> Self {
         let n = ess.num_points();
+        // Small grids run serially: thread hand-off costs more than it saves.
+        let par = par.for_grid(n);
         // Per chunk: (fingerprint, plan-at-local-first-occurrence, cost).
         let chunks = run_chunked(par, n, |_, range| {
             let opt = Optimizer::new(catalog, query, model);
@@ -240,6 +242,9 @@ impl PlanDiagram {
         par: Parallelism,
     ) -> CostMatrix {
         let n = self.ess.num_points();
+        // Gate on grid size (not total work) so matrix and diagram builds
+        // flip to parallel at the same workload scale.
+        let par = par.for_grid(n);
         let d = self.ess.d();
         let total = self.plans.len() * n;
         let points = self.ess.points_flat();
