@@ -17,10 +17,10 @@ fn bench_drivers(c: &mut Criterion) {
     for (label, f) in [("shallow", 0.1), ("mid", 0.5), ("deep", 0.9)] {
         let qa = w.ess.point_at_fractions(&vec![f; w.d()]);
         g.bench_function(format!("basic_{label}"), |bch| {
-            bch.iter(|| black_box(b.run_basic(black_box(&qa)).total_cost))
+            bch.iter(|| black_box(b.run_basic(black_box(&qa)).expect("run").total_cost))
         });
         g.bench_function(format!("optimized_{label}"), |bch| {
-            bch.iter(|| black_box(b.run_optimized(black_box(&qa)).total_cost))
+            bch.iter(|| black_box(b.run_optimized(black_box(&qa)).expect("run").total_cost))
         });
     }
     g.finish();
@@ -32,10 +32,10 @@ fn bench_grid_profile(c: &mut Criterion) {
     let mut g = c.benchmark_group("grid_profile_2304pts");
     g.sample_size(10);
     g.bench_function("basic_driver", |bch| {
-        bch.iter(|| black_box(run_profile(&b, false).len()))
+        bch.iter(|| black_box(run_profile(&b, false).expect("profile").len()))
     });
     g.bench_function("optimized_driver", |bch| {
-        bch.iter(|| black_box(run_profile(&b, true).len()))
+        bch.iter(|| black_box(run_profile(&b, true).expect("profile").len()))
     });
     g.finish();
 }

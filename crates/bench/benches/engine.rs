@@ -13,7 +13,7 @@ use pb_workloads::h_q8a_2d;
 fn bench_engine(c: &mut Criterion) {
     let w = h_q8a_2d(0.01);
     let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
-    let db = Database::generate(&w.catalog, 42, &[]);
+    let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
     let engine = Engine::new(&db, &w.query, &w.model.p);
     let plan = &b.plan(b.plan_ids()[0]).root;
     let full_cost = engine.execute(plan, f64::INFINITY).cost();
@@ -21,7 +21,14 @@ fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(20);
     g.bench_function("generate_sf0.01", |bch| {
-        bch.iter(|| black_box(Database::generate(&w.catalog, 42, &[]).catalog.len()))
+        bch.iter(|| {
+            black_box(
+                Database::generate(&w.catalog, 42, &[])
+                    .expect("generate")
+                    .catalog
+                    .len(),
+            )
+        })
     });
     g.bench_function("full_execution", |bch| {
         bch.iter(|| black_box(engine.execute(black_box(plan), f64::INFINITY).cost()))

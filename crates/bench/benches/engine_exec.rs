@@ -13,7 +13,7 @@ use pb_workloads::h_q8a_2d;
 
 fn bench_engine_exec(c: &mut Criterion) {
     let w = h_q8a_2d(0.01);
-    let db = Database::generate(&w.catalog, 42, &[]);
+    let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
     let engine = Engine::new(&db, &w.query, &w.model.p);
     // part ⋈ lineitem ⋈ orders as a hash-join chain: the bread-and-butter
     // plan shape where columnar batching pays the most.

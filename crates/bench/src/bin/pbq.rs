@@ -12,6 +12,7 @@
 //! pbq speedup WORKLOAD [--workers N] [--json PATH]  # identification bench
 //! pbq engine-speedup [--sf X] [--json PATH]  # vectorized-vs-tuple engine bench
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
+//! pbq chaos [--seed N]                       # fault-injection campaign
 //! ```
 //!
 //! Locations are given as per-axis fractions in `[0,1]` (geometric
@@ -41,6 +42,7 @@ fn main() {
         "speedup" => with_workload(&args, speedup),
         "engine-speedup" => engine_speedup(&args[1..]),
         "sql" => sql_cmd(&args[1..]),
+        "chaos" => chaos_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -65,7 +67,7 @@ fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
 fn usage() {
     eprintln!(
         "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup\
-         |engine-speedup> [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
+         |engine-speedup|chaos> [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
     );
 }
 
@@ -227,9 +229,9 @@ fn run_cmd(w: pb_bouquet::Workload, rest: &[String]) {
     };
     let optimized = rest.iter().any(|a| a == "--optimized");
     let run = if optimized {
-        b.run_optimized(&qa)
+        b.run_optimized(&qa).unwrap()
     } else {
-        b.run_basic(&qa)
+        b.run_basic(&qa).unwrap()
     };
     for e in &run.trace {
         let learned = e
@@ -417,6 +419,38 @@ fn speedup(w: pb_bouquet::Workload, rest: &[String]) {
     }
 }
 
+/// Seeded fault-injection campaign over the robust bouquet driver and the
+/// engine execution paths: `pbq chaos [--seed N]`. Sweeps fault kinds ×
+/// drivers × TPC-H/TPC-DS workloads × true locations, prints the survival
+/// table and exits non-zero if any robustness invariant is breached (panic,
+/// double charging, nondeterminism, or an empty fault plan failing to be
+/// bit-identical to the plain drivers).
+fn chaos_cmd(rest: &[String]) {
+    let seed: u64 = match rest.iter().position(|a| a == "--seed") {
+        Some(i) => rest
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--seed needs a non-negative integer");
+                std::process::exit(2);
+            }),
+        None => 20140622, // the paper's publication date
+    };
+    let report = pb_bench::chaos::run_campaign(seed);
+    print!("{}", report.table);
+    if !report.passed() {
+        eprintln!(
+            "chaos campaign FAILED: {} invariant breach(es)",
+            report.breaches.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "chaos campaign passed: {} scenarios, 0 breaches",
+        report.scenarios
+    );
+}
+
 /// Benchmark the vectorized engine against the tuple-at-a-time reference
 /// and verify the two produce identical outcomes — cost, row count,
 /// per-node instrumentation, and abort point — under a ladder of budgets.
@@ -447,7 +481,7 @@ fn engine_speedup(rest: &[String]) {
     // p⋈l, edge 1 is l⋈o. All columns are indexed, so every operator in the
     // engine can appear.
     let w = pb_workloads::h_q8a_2d(sf);
-    let db = Database::generate(&w.catalog, 42, &[]);
+    let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
     let base_rows: u64 = w
         .query
         .relations

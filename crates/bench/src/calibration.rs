@@ -116,7 +116,7 @@ pub fn exhibit() -> String {
             w.model = pb_cost::CostModel::commercialish();
             w.model.name = "commercialish-model-vs-postgresish-engine".into();
         }
-        let db = Database::generate(&w.catalog, 42, &[]);
+        let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
         // Engine always charges postgresish constants.
         let pg = pb_cost::CostModel::postgresish();
         let c = calibrate_with_engine_params(&w, &db, &pg.p, &fractions);
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn calibration_reduces_average_delta() {
         let w = h_q8a_2d(0.01);
-        let db = Database::generate(&w.catalog, 42, &[]);
+        let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
         let fr: Vec<f64> = (0..6).map(|i| i as f64 / 5.0).collect();
         let c = calibrate(&w, &db, &fr);
         assert!(c.samples >= 2, "need plan diversity, got {}", c.samples);

@@ -1,0 +1,416 @@
+//! Seeded chaos campaign for the robust bouquet driver.
+//!
+//! Sweeps fault kinds × drivers × TPC-H / TPC-DS workloads × true-location
+//! grid points through [`Bouquet::run_robust`], plus a block of engine-level
+//! scenarios exercising the tuple and vectorized execution paths, and checks
+//! the invariants the robustness layer promises:
+//!
+//! * **No panics** — every scenario runs under `catch_unwind`; a panic
+//!   anywhere in the identification/driver/engine stack is a breach.
+//! * **No double charging** — a run's `total_cost` must equal the sum of its
+//!   trace spends (every retry and degraded attempt is charged exactly once).
+//! * **Determinism** — replaying a scenario with the same seed must produce a
+//!   bit-identical `RobustRun` (serialized comparison).
+//! * **Inert equivalence** — with an empty fault plan, `run_robust` must be
+//!   structurally identical to the plain driver: same serialized
+//!   `BouquetRun`, no events, not degraded. On the engine, an inert injector
+//!   must yield a bit-identical `EngineOutcome`.
+//!
+//! The campaign is fully deterministic in its seed; `pbq chaos --seed N`
+//! exits non-zero if any invariant is breached.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pb_bouquet::{Bouquet, BouquetConfig, ExecutionOutcome, RobustConfig};
+use pb_engine::{Database, Engine};
+use pb_faults::{splitmix64, unit_f64, FaultInjector, FaultKind, FaultPlan, Trigger};
+use pb_workloads::{ds_q15_3d, eq_1d, h_q8a_2d};
+
+use crate::table::Table;
+
+/// Number of true-location grid points probed per (workload, driver, plan).
+const POINTS_PER_CELL: usize = 10;
+
+/// One row of the survival table.
+#[derive(Debug, Default, Clone)]
+struct Cell {
+    scenarios: usize,
+    completed: usize,
+    degraded: usize,
+    exhausted: usize,
+    events: usize,
+}
+
+/// Campaign outcome: survival statistics plus the list of invariant
+/// breaches (empty ⇒ the robustness layer held everywhere).
+#[derive(Debug)]
+pub struct CampaignReport {
+    pub seed: u64,
+    pub scenarios: usize,
+    pub breaches: Vec<String>,
+    pub table: String,
+}
+
+impl CampaignReport {
+    pub fn passed(&self) -> bool {
+        self.breaches.is_empty()
+    }
+}
+
+/// The fault-plan catalog: every fault kind alone (with seed-derived trigger
+/// phases), a combined plan, and the empty plan that anchors the
+/// inert-equivalence invariant.
+fn plan_catalog(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let mut s = seed;
+    let mut nth = |hi: u64| 1 + splitmix64(&mut s) % hi;
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "operator-failure",
+            FaultPlan::new(seed).with(
+                FaultKind::OperatorFailure { waste_frac: 0.5 },
+                Trigger::Nth(nth(4)),
+            ),
+        ),
+        (
+            "operator-storm",
+            FaultPlan::new(seed ^ 1).with(
+                FaultKind::OperatorFailure { waste_frac: 0.9 },
+                Trigger::PerMille(400),
+            ),
+        ),
+        (
+            "ledger-overcharge",
+            FaultPlan::new(seed ^ 2).with(
+                FaultKind::LedgerOverCharge { factor: 1.5 },
+                Trigger::Every(nth(3)),
+            ),
+        ),
+        (
+            "spill-failure",
+            FaultPlan::new(seed ^ 3).with(FaultKind::SpillFailure, Trigger::Nth(nth(2))),
+        ),
+        (
+            "corrupt-observation",
+            FaultPlan::new(seed ^ 4).with(
+                FaultKind::CorruptObservation { scale: 50.0 },
+                Trigger::Every(1),
+            ),
+        ),
+        (
+            "budget-clock-skew",
+            FaultPlan::new(seed ^ 5).with(
+                FaultKind::BudgetClockSkew { factor: 0.7 },
+                Trigger::Every(nth(3)),
+            ),
+        ),
+        (
+            "perturbation-spike",
+            FaultPlan::new(seed ^ 6).with(
+                FaultKind::PerturbationSpike { factor: 3.0 },
+                Trigger::PerMille(300),
+            ),
+        ),
+        (
+            "combined",
+            FaultPlan::new(seed ^ 7)
+                .with(
+                    FaultKind::OperatorFailure { waste_frac: 0.3 },
+                    Trigger::PerMille(200),
+                )
+                .with(
+                    FaultKind::BudgetClockSkew { factor: 1.2 },
+                    Trigger::Every(3),
+                )
+                .with(
+                    FaultKind::CorruptObservation { scale: 10.0 },
+                    Trigger::PerMille(250),
+                ),
+        ),
+    ]
+}
+
+fn cell_of(cells: &mut Vec<(String, Cell)>, key: String) -> usize {
+    match cells.iter().position(|(k, _)| *k == key) {
+        Some(i) => i,
+        None => {
+            cells.push((key, Cell::default()));
+            cells.len() - 1
+        }
+    }
+}
+
+fn run_scenario(
+    b: &Bouquet,
+    qa: &pb_cost::SelPoint,
+    cfg: &RobustConfig,
+) -> Result<pb_bouquet::RobustRun, String> {
+    let caught = catch_unwind(AssertUnwindSafe(|| b.run_robust(qa, cfg)));
+    match caught {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e)) => Err(format!("driver error: {e}")),
+        Err(_) => Err("PANIC".into()),
+    }
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).unwrap_or_else(|e| format!("<serialize failed: {e}>"))
+}
+
+/// Run the full campaign. Deterministic in `seed`.
+pub fn run_campaign(seed: u64) -> CampaignReport {
+    let mut breaches: Vec<String> = Vec::new();
+    let mut scenarios = 0usize;
+    let mut cells: Vec<(String, Cell)> = Vec::new();
+
+    // Identified once, reused for every scenario (identification is
+    // fault-free; the campaign targets the run-time drivers).
+    let workloads = [eq_1d(), h_q8a_2d(0.01), ds_q15_3d()];
+    let bouquets: Vec<Bouquet> = workloads
+        .iter()
+        .map(|w| {
+            Bouquet::identify(w, &BouquetConfig::default())
+                .unwrap_or_else(|e| panic!("identification of {} failed: {e}", w.name))
+        })
+        .collect();
+
+    let catalog = plan_catalog(seed);
+    let mut point_rng = seed ^ 0x5EED_CAFE;
+    for b in &bouquets {
+        let d = b.workload.ess.d();
+        for optimized in [false, true] {
+            let driver = if optimized { "opt" } else { "basic" };
+            // The plain run anchors the empty-plan equivalence check.
+            let plain = |qa: &pb_cost::SelPoint| {
+                if optimized {
+                    b.run_optimized(qa)
+                } else {
+                    b.run_basic(qa)
+                }
+            };
+            for (label, plan) in &catalog {
+                let ci = cell_of(&mut cells, format!("{label}|{driver}"));
+                for _ in 0..POINTS_PER_CELL {
+                    scenarios += 1;
+                    cells[ci].1.scenarios += 1;
+                    let fracs: Vec<f64> = (0..d)
+                        .map(|_| unit_f64(splitmix64(&mut point_rng)).clamp(0.01, 0.99))
+                        .collect();
+                    let qa = b.workload.ess.point_at_fractions(&fracs);
+                    let cfg = RobustConfig {
+                        faults: plan.clone(),
+                        plan_retries: 1,
+                        max_violations: 3,
+                        optimized,
+                    };
+                    let tag = || format!("{}/{driver}/{label}@{fracs:?}", b.workload.name);
+
+                    let run = match run_scenario(b, &qa, &cfg) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            breaches.push(format!("{}: {e}", tag()));
+                            continue;
+                        }
+                    };
+
+                    // Charging: total equals the sum of trace spends.
+                    let sum: f64 = run.run.trace.iter().map(|e| e.spent).sum();
+                    if (sum - run.run.total_cost).abs() > 1e-9 * sum.abs().max(1.0) {
+                        breaches.push(format!(
+                            "{}: double/under-charge: trace sum {sum} vs total {}",
+                            tag(),
+                            run.run.total_cost
+                        ));
+                    }
+
+                    // Determinism: a replay is bit-identical.
+                    match run_scenario(b, &qa, &cfg) {
+                        Ok(replay) if json(&replay) == json(&run) => {}
+                        Ok(_) => breaches.push(format!("{}: replay diverged", tag())),
+                        Err(e) => breaches.push(format!("{}: replay failed: {e}", tag())),
+                    }
+
+                    // Inert equivalence: empty plan ⇒ structurally the plain run.
+                    if plan.is_empty() {
+                        let reference = match catch_unwind(AssertUnwindSafe(|| plain(&qa))) {
+                            Ok(Ok(r)) => r,
+                            Ok(Err(e)) => {
+                                breaches.push(format!("{}: plain driver error: {e}", tag()));
+                                continue;
+                            }
+                            Err(_) => {
+                                breaches.push(format!("{}: plain driver PANIC", tag()));
+                                continue;
+                            }
+                        };
+                        if json(&run.run) != json(&reference) {
+                            breaches.push(format!("{}: empty-plan run != plain driver run", tag()));
+                        }
+                        if !run.events.is_empty() || run.degraded {
+                            breaches.push(format!("{}: empty-plan run recorded events", tag()));
+                        }
+                    }
+
+                    cells[ci].1.events += run.events.len();
+                    match run.run.outcome {
+                        ExecutionOutcome::Completed { .. } => cells[ci].1.completed += 1,
+                        ExecutionOutcome::Degraded { .. } => cells[ci].1.degraded += 1,
+                        ExecutionOutcome::BudgetExhausted { .. } => cells[ci].1.exhausted += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    scenarios += engine_scenarios(seed, &mut breaches, &mut cells);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos campaign: seed {seed}, {scenarios} scenarios, {} breach(es)\n",
+        breaches.len()
+    );
+    let mut t = Table::new(vec![
+        "fault × driver",
+        "runs",
+        "completed",
+        "degraded",
+        "exhausted",
+        "events",
+    ]);
+    for (key, c) in &cells {
+        t.row(vec![
+            key.clone(),
+            c.scenarios.to_string(),
+            c.completed.to_string(),
+            c.degraded.to_string(),
+            c.exhausted.to_string(),
+            c.events.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    for bch in &breaches {
+        let _ = writeln!(out, "BREACH: {bch}");
+    }
+
+    CampaignReport {
+        seed,
+        scenarios,
+        breaches,
+        table: out,
+    }
+}
+
+/// Engine-level block: tuple and vectorized execution under engine-side
+/// faults (operator failure, ledger over-charge, spill-free paths), checking
+/// panic-freedom, cost bounds and inert bit-identity.
+fn engine_scenarios(
+    seed: u64,
+    breaches: &mut Vec<String>,
+    cells: &mut Vec<(String, Cell)>,
+) -> usize {
+    let w = eq_1d();
+    let db = match Database::generate(&w.catalog, seed ^ 0xD0, &[]) {
+        Ok(db) => db,
+        Err(e) => {
+            breaches.push(format!("engine: data generation failed: {e}"));
+            return 0;
+        }
+    };
+    let engine = Engine::new(&db, &w.query, &w.model.p);
+    let qe = w.ess.point_at_fractions(&[0.5]);
+    let plan = w.optimizer().optimize(&qe).plan;
+
+    let fault_kinds: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        (
+            "operator-failure",
+            FaultPlan::new(seed).with(
+                FaultKind::OperatorFailure { waste_frac: 0.5 },
+                Trigger::Nth(1 + seed % 64),
+            ),
+        ),
+        (
+            "ledger-overcharge",
+            FaultPlan::new(seed ^ 9).with(
+                FaultKind::LedgerOverCharge { factor: 2.0 },
+                Trigger::Every(7),
+            ),
+        ),
+        (
+            "operator-storm",
+            FaultPlan::new(seed ^ 10).with(
+                FaultKind::OperatorFailure { waste_frac: 1.0 },
+                Trigger::PerMille(5),
+            ),
+        ),
+    ];
+
+    let mut ran = 0usize;
+    let reference = engine.execute(&plan.root, f64::INFINITY);
+    let ref_cost = reference.cost();
+    for (label, fp) in &fault_kinds {
+        for vectorized in [false, true] {
+            let path = if vectorized { "vec" } else { "tuple" };
+            let key = format!("engine:{label}|{path}");
+            let ci = cell_of(cells, key);
+            for bi in 0..5u32 {
+                ran += 1;
+                cells[ci].1.scenarios += 1;
+                let budget = if bi == 4 {
+                    f64::INFINITY
+                } else {
+                    ref_cost * f64::from(bi + 1) / 4.0
+                };
+                let tag = || format!("engine/{label}/{path}/budget#{bi}");
+                let faults = FaultInjector::new(fp);
+                let exec = || {
+                    if vectorized {
+                        engine.execute_with_faults(&plan.root, budget, &faults)
+                    } else {
+                        engine.execute_tuple_with(&plan.root, budget, &faults)
+                    }
+                };
+                let out = match catch_unwind(AssertUnwindSafe(exec)) {
+                    Ok(o) => o,
+                    Err(_) => {
+                        breaches.push(format!("{}: PANIC", tag()));
+                        continue;
+                    }
+                };
+                if out.completed() {
+                    cells[ci].1.completed += 1;
+                } else if out.error().is_some() {
+                    cells[ci].1.degraded += 1;
+                } else {
+                    cells[ci].1.exhausted += 1;
+                }
+                // Faulted/aborted runs never report spend beyond the budget
+                // they were granted (over-charge only inflates the ledger up
+                // to the abort point, which budget enforcement still caps).
+                if budget.is_finite() && out.cost() > budget * (1.0 + 1e-9) {
+                    breaches.push(format!(
+                        "{}: spent {} over budget {budget}",
+                        tag(),
+                        out.cost()
+                    ));
+                }
+                // Inert plan ⇒ bit-identical to the fault-free call.
+                if fp.is_empty() {
+                    let bare = if vectorized {
+                        engine.execute(&plan.root, budget)
+                    } else {
+                        engine.execute_tuple(&plan.root, budget)
+                    };
+                    if json(&out.cost()) != json(&bare.cost())
+                        || out.completed() != bare.completed()
+                    {
+                        breaches.push(format!("{}: inert engine run diverged", tag()));
+                    }
+                }
+            }
+        }
+    }
+    ran
+}

@@ -158,7 +158,8 @@ pub fn engine_run_bouquet(bouquet: &Bouquet, db: &Database, optimized: bool) -> 
         if completed_query {
             let rows = match out {
                 EngineOutcome::Completed { rows, .. } => rows,
-                EngineOutcome::Aborted { .. } => unreachable!(),
+                // `completed_query` implies `Completed`.
+                EngineOutcome::Aborted { .. } | EngineOutcome::Failed { .. } => 0,
             };
             return EngineRunReport {
                 executions,
@@ -252,7 +253,8 @@ mod tests {
                     ndv: 400,
                 },
             ],
-        );
+        )
+        .expect("generate");
         (b, db)
     }
 

@@ -30,7 +30,7 @@ pub fn fig19() -> String {
         "BOU opt",
     ]);
     for w in [h_q5b_3d_com(), h_q8b_4d_com()] {
-        let ev = evaluate(&w, &EvalConfig::default());
+        let ev = evaluate(&w, &EvalConfig::default()).expect("evaluate");
         t.row(vec![
             ev.name.clone(),
             "MSO".into(),
@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn com_bouquets_respect_bounds_and_beat_nat() {
         for w in [h_q5b_3d_com(), h_q8b_4d_com()] {
-            let ev = evaluate(&w, &EvalConfig::default());
+            let ev = evaluate(&w, &EvalConfig::default()).expect("evaluate");
             let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
             assert!(
                 ev.bou_basic.mso <= b.mso_bound() * (1.0 + 1e-9),

@@ -104,7 +104,7 @@ pub fn fig12() -> String {
         "Figure 12 — optimized-driver discovery walk on {} (qa = [{:.3e}, {:.3e}])\n",
         w.name, qa[0], qa[1]
     );
-    let run = b.run_optimized(&qa);
+    let run = b.run_optimized(&qa).unwrap();
     let _ = writeln!(
         out,
         "{:>4} {:>6} {:>12} {:>12} {:>7} {:>5}  learned",
@@ -136,7 +136,7 @@ pub fn fig12() -> String {
         run.suboptimality(opt),
         b.mso_bound()
     );
-    let basic = b.run_basic(&qa);
+    let basic = b.run_basic(&qa).unwrap();
     let _ = writeln!(
         out,
         "basic driver at the same qa: {} executions, cost {} (SubOpt {:.2})",

@@ -44,7 +44,7 @@ pub fn reopt() -> String {
             .fold(0.0f64, f64::max);
         let reopt = reopt_worst_profile(&w, &b.diagram.opt_cost);
         let reopt_mso = reopt.iter().cloned().fold(0.0f64, f64::max);
-        let bou = pb_bouquet::eval::run_profile(&b, false);
+        let bou = pb_bouquet::eval::run_profile(&b, false).expect("profile");
         let bou_mso = bou.iter().cloned().fold(0.0f64, f64::max);
         t.row(vec![
             name.to_string(),
@@ -95,7 +95,11 @@ pub fn pcmflip() -> String {
     let mut mso = 0.0f64;
     for li in 0..flipped.ess.num_points() {
         let qa = flipped.ess.point(&flipped.ess.unlinear(li));
-        mso = mso.max(b.run_basic(&qa).suboptimality(b.pic_cost_at(li)));
+        mso = mso.max(
+            b.run_basic(&qa)
+                .expect("run")
+                .suboptimality(b.pic_cost_at(li)),
+        );
     }
     let _ = writeln!(
         out,

@@ -119,8 +119,16 @@ pub fn fig4() -> String {
     let mut optd = Vec::with_capacity(n);
     for li in 0..n {
         let qa = ess.point(&ess.unlinear(li));
-        basic.push(b.run_basic(&qa).suboptimality(b.diagram.opt_cost[li]));
-        optd.push(b.run_optimized(&qa).suboptimality(b.diagram.opt_cost[li]));
+        basic.push(
+            b.run_basic(&qa)
+                .expect("run")
+                .suboptimality(b.diagram.opt_cost[li]),
+        );
+        optd.push(
+            b.run_optimized(&qa)
+                .expect("run")
+                .suboptimality(b.diagram.opt_cost[li]),
+        );
     }
     let mut t = Table::new(vec![
         "sel%",

@@ -69,7 +69,7 @@ fn grid_mso(b: &Bouquet) -> f64 {
     let mut worst = 0.0f64;
     for li in 0..ess.num_points() {
         let qa = ess.point(&ess.unlinear(li));
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         assert!(run.completed());
         // Actual optimal cost: cheapest POSP plan under perturbation.
         let opt_actual = (0..b.costs.len())

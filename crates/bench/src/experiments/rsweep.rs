@@ -38,7 +38,7 @@ pub fn run() -> String {
         let mut mso = 0.0f64;
         for li in 0..w.ess.num_points() {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let run = b.run_basic(&qa);
+            let run = b.run_basic(&qa).unwrap();
             mso = mso.max(run.suboptimality(b.pic_cost_at(li)));
         }
         let bound = (1.0 + cfg.lambda) * mso_bound_1d(r);

@@ -18,7 +18,7 @@ pub fn suite_evaluations() -> &'static [WorkloadEvaluation] {
     EVALS.get_or_init(|| {
         benchmark_suite()
             .iter()
-            .map(|w| evaluate(w, &EvalConfig::default()))
+            .map(|w| evaluate(w, &EvalConfig::default()).expect("evaluate"))
             .collect()
     })
 }

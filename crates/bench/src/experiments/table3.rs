@@ -56,7 +56,8 @@ pub fn run() -> String {
                 ndv: 500,
             },
         ],
-    );
+    )
+    .expect("generate");
 
     let mut out = String::new();
     let _ = writeln!(

@@ -6,6 +6,7 @@
 //! run-time experiment.
 
 pub mod calibration;
+pub mod chaos;
 pub mod engine_driver;
 pub mod table;
 

@@ -81,9 +81,7 @@ pub fn explore(w: &Workload, r: f64) -> BandResult {
         if !crossed {
             continue;
         }
-        let widest = (0..ess.d())
-            .max_by_key(|&d| hi[d] - lo[d])
-            .expect("non-empty dims");
+        let widest = (0..ess.d()).max_by_key(|&d| hi[d] - lo[d]).unwrap_or(0);
         if hi[widest] - lo[widest] <= 1 {
             // Small enough: optimize every point inside the box.
             enumerate_box(&lo, &hi, &mut |ix| {

@@ -9,6 +9,7 @@
 use std::time::{Duration, Instant};
 
 use pb_cost::{par_map, CostMatrix, CostPerturbation, CostProgram, Parallelism, SelPoint};
+use pb_faults::PbError;
 use pb_optimizer::{PlanDiagram, PlanId};
 use pb_plan::PhysicalPlan;
 
@@ -97,7 +98,7 @@ pub struct Bouquet {
 impl Bouquet {
     /// Run the full compile-time pipeline for a workload, using all
     /// available cores (or the `--jobs` override).
-    pub fn identify(w: &Workload, cfg: &BouquetConfig) -> Result<Bouquet, String> {
+    pub fn identify(w: &Workload, cfg: &BouquetConfig) -> Result<Bouquet, PbError> {
         Self::identify_with(w, cfg, Parallelism::auto())
     }
 
@@ -108,7 +109,7 @@ impl Bouquet {
         w: &Workload,
         cfg: &BouquetConfig,
         par: Parallelism,
-    ) -> Result<Bouquet, String> {
+    ) -> Result<Bouquet, PbError> {
         Self::identify_timed(w, cfg, par).map(|(b, _)| b)
     }
 
@@ -118,12 +119,14 @@ impl Bouquet {
         w: &Workload,
         cfg: &BouquetConfig,
         par: Parallelism,
-    ) -> Result<(Bouquet, PhaseTimings), String> {
+    ) -> Result<(Bouquet, PhaseTimings), PbError> {
         if cfg.lambda < 0.0 {
-            return Err("lambda must be non-negative".into());
+            return Err(PbError::InvalidConfig("lambda must be non-negative".into()));
         }
         if cfg.r <= 1.0 {
-            return Err("isocost ratio r must exceed 1".into());
+            return Err(PbError::InvalidConfig(
+                "isocost ratio r must exceed 1".into(),
+            ));
         }
         let t_start = Instant::now();
         let diagram = PlanDiagram::build_with(&w.catalog, &w.query, &w.model, &w.ess, par);
@@ -281,7 +284,7 @@ impl Bouquet {
     }
 }
 
-fn check_pic_monotone(diagram: &PlanDiagram) -> Result<(), String> {
+fn check_pic_monotone(diagram: &PlanDiagram) -> Result<(), PbError> {
     let ess = &diagram.ess;
     let mut ix = Vec::new();
     for li in 0..ess.num_points() {
@@ -292,11 +295,11 @@ fn check_pic_monotone(diagram: &PlanDiagram) -> Result<(), String> {
                 let upc = diagram.opt_cost[ess.linear(&ix)];
                 ix[d] -= 1;
                 if upc < diagram.opt_cost[li] * (1.0 - 1e-9) {
-                    return Err(format!(
+                    return Err(PbError::Identification(format!(
                         "PIC violates Plan Cost Monotonicity at point {ix:?} dim {d}: \
                          {} -> {upc}",
                         diagram.opt_cost[li]
-                    ));
+                    )));
                 }
             }
         }

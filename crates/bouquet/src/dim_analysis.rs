@@ -213,7 +213,7 @@ mod tests {
         // A bouquet on the reduced space still works end to end.
         let b = Bouquet::identify(&reduced, &BouquetConfig::default()).unwrap();
         let qa = reduced.ess.point_at_fractions(&[0.6, 0.6]);
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         assert!(run.completed());
         assert!(run.suboptimality(b.pic_cost(&qa)) <= b.mso_bound() * (1.0 + 1e-9));
     }

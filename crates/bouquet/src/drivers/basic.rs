@@ -15,19 +15,40 @@
 
 use pb_cost::SelPoint;
 use pb_executor::Executor;
+use pb_faults::{FaultInjector, PbError};
 
 use crate::bouquet::Bouquet;
+use crate::drivers::robust::{RobustCtx, RobustEvent};
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
 
 /// Safety valve: overflow contours beyond the grading (only reachable under
 /// model error). 64 doublings is far beyond any bounded δ.
-const MAX_OVERFLOW: usize = 64;
+pub(crate) const MAX_OVERFLOW: usize = 64;
 
 impl Bouquet {
     /// Run the basic (Figure 7) driver at true location `qa`.
-    pub fn run_basic(&self, qa: &SelPoint) -> BouquetRun {
-        assert_eq!(qa.dims(), self.workload.ess.d(), "qa dimensionality");
-        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation);
+    pub fn run_basic(&self, qa: &SelPoint) -> Result<BouquetRun, PbError> {
+        self.run_basic_inner(qa, FaultInjector::none(), &mut RobustCtx::inert())
+    }
+
+    /// Shared driver loop: the plain entry point uses an inert injector and
+    /// an inert robustness context (no retries, no degradation, no events),
+    /// so its behaviour is unchanged; `run_robust` threads live ones.
+    pub(crate) fn run_basic_inner(
+        &self,
+        qa: &SelPoint,
+        faults: FaultInjector,
+        rc: &mut RobustCtx,
+    ) -> Result<BouquetRun, PbError> {
+        let d = self.workload.ess.d();
+        if qa.dims() != d {
+            return Err(PbError::DimensionMismatch {
+                expected: d,
+                got: qa.dims(),
+            });
+        }
+        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation)
+            .with_faults(faults);
         // Compiled programs for the pool plans: each budget probe is one
         // flat-program evaluation (bit-identical to the tree walk) instead
         // of a recursive plan recosting.
@@ -49,41 +70,78 @@ impl Bouquet {
                 (k + 1, budget, &last.plan_set)
             };
             for &pid in plan_set {
-                let out = ex.execute_compiled(
-                    &progs[pid],
-                    self.plan(pid).fingerprint(),
-                    qa,
-                    budget,
-                    &mut stack,
-                );
-                total += out.spent();
-                let completed = out.completed();
-                trace.push(PartialExec {
-                    contour: contour_id,
-                    plan: pid,
-                    budget,
-                    spent: out.spent(),
-                    completed,
-                    spilled: false,
-                    learned: None,
-                });
-                if completed {
-                    return BouquetRun {
-                        trace,
-                        total_cost: total,
-                        outcome: ExecutionOutcome::Completed {
-                            final_plan: pid,
-                            final_cost: out.spent(),
-                        },
-                    };
+                let mut attempt = 0usize;
+                loop {
+                    let out = ex.execute_compiled(
+                        &progs[pid],
+                        self.plan(pid).fingerprint(),
+                        qa,
+                        budget,
+                        &mut stack,
+                    );
+                    total += out.spent();
+                    let completed = out.completed();
+                    let error = out.error().cloned();
+                    trace.push(PartialExec {
+                        contour: contour_id,
+                        plan: pid,
+                        budget,
+                        spent: out.spent(),
+                        completed,
+                        spilled: false,
+                        learned: None,
+                        error: error.clone(),
+                    });
+                    rc.monitor(
+                        contour_id,
+                        pid,
+                        budget,
+                        out.spent(),
+                        completed,
+                        error.is_some(),
+                    );
+                    if completed {
+                        return Ok(BouquetRun {
+                            trace,
+                            total_cost: total,
+                            outcome: ExecutionOutcome::Completed {
+                                final_plan: pid,
+                                final_cost: out.spent(),
+                            },
+                        });
+                    }
+                    if rc.should_degrade() {
+                        // Best estimate available to the basic driver: the
+                        // centre of the selectivity space.
+                        let est = self.workload.ess.point_at_fractions(&vec![0.5; d]);
+                        return Ok(self.degraded_finish(qa, &est, &ex, trace, total, rc, k + 1));
+                    }
+                    match error {
+                        Some(error) if attempt < rc.retries => {
+                            attempt += 1;
+                            rc.push(RobustEvent::Retry {
+                                contour: contour_id,
+                                plan: pid,
+                                attempt,
+                                error,
+                            });
+                        }
+                        Some(error) => {
+                            rc.abandoned(contour_id, pid, error);
+                            break;
+                        }
+                        None => break,
+                    }
                 }
             }
         }
-        BouquetRun {
+        Ok(BouquetRun {
             trace,
             total_cost: total,
-            outcome: ExecutionOutcome::Exhausted,
-        }
+            outcome: ExecutionOutcome::BudgetExhausted {
+                contours_tried: m + MAX_OVERFLOW,
+            },
+        })
     }
 }
 
@@ -123,7 +181,7 @@ mod tests {
         let bound = b.mso_bound();
         for li in 0..w.ess.num_points() {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let run = b.run_basic(&qa);
+            let run = b.run_basic(&qa).unwrap();
             assert!(run.completed(), "failed at grid point {li}");
             let subopt = run.suboptimality(b.pic_cost_at(li));
             assert!(
@@ -137,8 +195,8 @@ mod tests {
     fn low_selectivity_query_discovered_on_early_contour() {
         let w = eq_1d();
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
-        let cheap = b.run_basic(&w.ess.point(&[0]));
-        let dear = b.run_basic(&w.ess.point(&[47]));
+        let cheap = b.run_basic(&w.ess.point(&[0])).unwrap();
+        let dear = b.run_basic(&w.ess.point(&[47])).unwrap();
         assert!(cheap.contours_crossed() < dear.contours_crossed());
         assert!(cheap.total_cost < dear.total_cost);
     }
@@ -148,8 +206,8 @@ mod tests {
         let w = eq_1d();
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         let qa = w.ess.point_at_fractions(&[0.63]);
-        let a = b.run_basic(&qa);
-        let bb = b.run_basic(&qa);
+        let a = b.run_basic(&qa).unwrap();
+        let bb = b.run_basic(&qa).unwrap();
         assert_eq!(a, bb, "execution strategy must be repeatable");
     }
 
@@ -158,7 +216,7 @@ mod tests {
         let w = eq_1d();
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         let qa = w.ess.point(&[40]);
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         for e in &run.trace {
             if !e.completed {
                 assert_eq!(e.spent, e.budget);
@@ -183,7 +241,7 @@ mod tests {
         let inflated = b.mso_bound() * crate::theory::model_error_inflation(delta);
         for li in (0..w.ess.num_points()).step_by(3) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let run = b.run_basic(&qa);
+            let run = b.run_basic(&qa).unwrap();
             assert!(run.completed());
             // Sub-optimality is measured against the *actual* optimal cost,
             // which is itself within (1+δ) of the modeled PIC.

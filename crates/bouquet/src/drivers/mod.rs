@@ -12,7 +12,9 @@
 
 pub mod basic;
 pub mod optimized;
+pub mod robust;
 
+use pb_faults::PbError;
 use pb_optimizer::PlanId;
 use pb_plan::DimId;
 use serde::{Deserialize, Serialize};
@@ -21,7 +23,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartialExec {
     /// Contour number (1-based; values beyond the grading length denote
-    /// overflow contours used only under model error).
+    /// overflow contours used only under model error; 0 marks a degraded
+    /// native-optimizer execution outside the contour schedule).
     pub contour: usize,
     /// Diagram plan id of the executed plan.
     pub plan: PlanId,
@@ -34,6 +37,10 @@ pub struct PartialExec {
     pub spilled: bool,
     /// Selectivity lower bound learned, if any: `(dim, value)`.
     pub learned: Option<(DimId, f64)>,
+    /// Fault that killed this execution, if any (the spend above was still
+    /// wasted and is charged to the run).
+    #[serde(default)]
+    pub error: Option<PbError>,
 }
 
 /// Terminal state of a bouquet run.
@@ -41,8 +48,15 @@ pub struct PartialExec {
 pub enum ExecutionOutcome {
     /// The query completed; `final_plan` produced the result.
     Completed { final_plan: PlanId, final_cost: f64 },
-    /// Discovery failed (can only happen if `qa` lies outside the ESS).
-    Exhausted,
+    /// Every contour budget, including all `MAX_OVERFLOW` geometric
+    /// doublings past the grading, was exhausted without a completion.
+    /// Reachable only when actual costs exceed every modeled budget (qa
+    /// outside the ESS, or unbounded cost-model error / injected faults).
+    BudgetExhausted { contours_tried: usize },
+    /// The robust driver abandoned bouquet discovery (persistent faults or
+    /// accounting-monitor violations) and fell back to a single
+    /// native-optimizer plan executed without a budget.
+    Degraded { final_plan: PlanId, final_cost: f64 },
 }
 
 /// A complete bouquet run: the execution trace and its total cost
@@ -71,7 +85,12 @@ impl BouquetRun {
         self.trace.iter().map(|e| e.contour).max().unwrap_or(0)
     }
 
+    /// The query produced its result — via bouquet discovery or, for the
+    /// robust driver, via the degraded single-plan fallback.
     pub fn completed(&self) -> bool {
-        matches!(self.outcome, ExecutionOutcome::Completed { .. })
+        matches!(
+            self.outcome,
+            ExecutionOutcome::Completed { .. } | ExecutionOutcome::Degraded { .. }
+        )
     }
 }

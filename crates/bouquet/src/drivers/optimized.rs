@@ -26,20 +26,39 @@ use std::collections::HashSet;
 
 use pb_cost::SelPoint;
 use pb_executor::Executor;
+use pb_faults::{FaultInjector, PbError};
 use pb_optimizer::PlanId;
 
 use crate::bouquet::Bouquet;
 use crate::contour::Contour;
+use crate::drivers::basic::MAX_OVERFLOW;
+use crate::drivers::robust::{RobustCtx, RobustEvent};
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
-
-const MAX_OVERFLOW: usize = 64;
 
 impl Bouquet {
     /// Run the optimized (Figure 13) driver at true location `qa`.
-    pub fn run_optimized(&self, qa: &SelPoint) -> BouquetRun {
+    pub fn run_optimized(&self, qa: &SelPoint) -> Result<BouquetRun, PbError> {
+        self.run_optimized_inner(qa, FaultInjector::none(), &mut RobustCtx::inert())
+    }
+
+    /// Shared driver loop (see [`Bouquet::run_basic_inner`] for the inert /
+    /// robust split).
+    pub(crate) fn run_optimized_inner(
+        &self,
+        qa: &SelPoint,
+        faults: FaultInjector,
+        rc: &mut RobustCtx,
+    ) -> Result<BouquetRun, PbError> {
         let ess = &self.workload.ess;
-        assert_eq!(qa.dims(), ess.d(), "qa dimensionality");
-        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation);
+        if qa.dims() != ess.d() {
+            return Err(PbError::DimensionMismatch {
+                expected: ess.d(),
+                got: qa.dims(),
+            });
+        }
+        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation)
+            .with_faults(faults);
+        let faults_active = ex.faults.is_active();
         let progs = self.programs();
         let mut stack = Vec::new();
         let d = ess.d();
@@ -110,45 +129,107 @@ impl Bouquet {
             // with a shallower movement).
             let spilled = has_unresolved && progs[pid].eval_with(&qrun, &mut stack).cost > budget;
 
-            let r = ex.execute_monitored(plan, qa, &resolved, budget, spilled);
-            total += r.spent;
             executed.insert(pid);
-            trace.push(PartialExec {
-                contour: contour_id,
-                plan: pid,
-                budget,
-                spent: r.spent,
-                completed: r.completed,
-                spilled,
-                learned: r.learned,
-            });
-            if r.completed {
-                return BouquetRun {
-                    trace,
-                    total_cost: total,
-                    outcome: ExecutionOutcome::Completed {
-                        final_plan: pid,
-                        final_cost: r.spent,
-                    },
-                };
-            }
-            if let Some((dim, v)) = r.learned {
-                debug_assert!(
-                    v <= qa[dim] * (1.0 + 1e-9),
-                    "first-quadrant invariant violated"
+            let mut attempt = 0usize;
+            let mut spill_now = spilled;
+            loop {
+                let r = ex.execute_monitored(plan, qa, &resolved, budget, spill_now);
+                total += r.spent;
+                trace.push(PartialExec {
+                    contour: contour_id,
+                    plan: pid,
+                    budget,
+                    spent: r.spent,
+                    completed: r.completed,
+                    spilled: spill_now,
+                    learned: r.learned,
+                    error: r.error.clone(),
+                });
+                rc.monitor(
+                    contour_id,
+                    pid,
+                    budget,
+                    r.spent,
+                    r.completed,
+                    r.error.is_some(),
                 );
-                qrun[dim] = qrun[dim].max(v);
-            }
-            for dm in r.resolved {
-                resolved[dm] = true;
-                qrun[dm] = qa[dm];
+                if r.completed {
+                    return Ok(BouquetRun {
+                        trace,
+                        total_cost: total,
+                        outcome: ExecutionOutcome::Completed {
+                            final_plan: pid,
+                            final_cost: r.spent,
+                        },
+                    });
+                }
+                if let Some((dim, v)) = r.learned {
+                    let v = if faults_active {
+                        // A corrupted observation may exceed the ESS; clamp
+                        // it so qrun stays inside the space (first-quadrant
+                        // protection) and log the rejection.
+                        let hi = ess.dims[dim].hi;
+                        if v > hi {
+                            rc.push(RobustEvent::ObservationRejected {
+                                dim,
+                                observed: v,
+                                clamped_to: hi,
+                            });
+                            hi
+                        } else {
+                            v
+                        }
+                    } else {
+                        debug_assert!(
+                            v <= qa[dim] * (1.0 + 1e-9),
+                            "first-quadrant invariant violated"
+                        );
+                        v
+                    };
+                    qrun[dim] = qrun[dim].max(v);
+                }
+                for dm in r.resolved {
+                    resolved[dm] = true;
+                    qrun[dm] = qa[dm];
+                }
+                if rc.should_degrade() {
+                    let est = SelPoint(qrun.clone());
+                    return Ok(self.degraded_finish(qa, &est, &ex, trace, total, rc, cid + 1));
+                }
+                match r.error {
+                    Some(PbError::SpillFailure { .. }) if spill_now => {
+                        // Spill machinery failed: retry the same plan
+                        // unspilled (shallower learning, same budget).
+                        rc.push(RobustEvent::SpillRetry {
+                            contour: contour_id,
+                            plan: pid,
+                        });
+                        spill_now = false;
+                    }
+                    Some(error) if attempt < rc.retries => {
+                        attempt += 1;
+                        rc.push(RobustEvent::Retry {
+                            contour: contour_id,
+                            plan: pid,
+                            attempt,
+                            error,
+                        });
+                    }
+                    Some(error) => {
+                        rc.abandoned(contour_id, pid, error);
+                        break;
+                    }
+                    None => break,
+                }
             }
         }
-        BouquetRun {
+        Ok(BouquetRun {
             trace,
             total_cost: total,
-            outcome: ExecutionOutcome::Exhausted,
-        }
+            outcome: ExecutionOutcome::BudgetExhausted {
+                contours_tried: m + MAX_OVERFLOW,
+            },
+        })
     }
 
     /// AxisPlans selection (Section 5.1): restrict to the plans responsible
@@ -191,7 +272,11 @@ impl Bouquet {
             .map(|&(p, _)| p)
             .collect();
         // Deepest unresolved error node wins (spare budget flows to it).
-        *group
+        // `group` is non-empty whenever `candidates` is (the cheapest pool
+        // member always qualifies); an empty candidate list — a caller
+        // contract violation — falls back to the first candidate or plan 0
+        // rather than panicking.
+        group
             .iter()
             .max_by_key(|&&p| {
                 let plan = &self.plan(p).root;
@@ -204,7 +289,8 @@ impl Bouquet {
                     .unwrap_or(0);
                 (depth, std::cmp::Reverse(p))
             })
-            .expect("pool is non-empty")
+            .copied()
+            .unwrap_or_else(|| candidates.first().copied().unwrap_or(0))
     }
 
     /// Plans at the intersection of `contour` with the positive axes through
@@ -285,7 +371,7 @@ mod tests {
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         for li in (0..w.ess.num_points()).step_by(7) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let run = b.run_optimized(&qa);
+            let run = b.run_optimized(&qa).unwrap();
             assert!(run.completed(), "optimized driver failed at {li}");
         }
     }
@@ -295,7 +381,7 @@ mod tests {
         let w = eq_2d();
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         let qa = w.ess.point_at_fractions(&[0.8, 0.5]);
-        assert_eq!(b.run_optimized(&qa), b.run_optimized(&qa));
+        assert_eq!(b.run_optimized(&qa).unwrap(), b.run_optimized(&qa).unwrap());
     }
 
     #[test]
@@ -303,7 +389,7 @@ mod tests {
         let w = eq_2d();
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         let qa = w.ess.point_at_fractions(&[0.9, 0.9]);
-        let run = b.run_optimized(&qa);
+        let run = b.run_optimized(&qa).unwrap();
         assert!(run.completed());
         // For an expensive location the driver must have learned something.
         assert!(
@@ -326,8 +412,8 @@ mod tests {
         let (mut tot_basic, mut tot_opt) = (0.0, 0.0);
         for li in (0..w.ess.num_points()).step_by(3) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            tot_basic += b.run_basic(&qa).total_cost;
-            tot_opt += b.run_optimized(&qa).total_cost;
+            tot_basic += b.run_basic(&qa).unwrap().total_cost;
+            tot_opt += b.run_optimized(&qa).unwrap().total_cost;
         }
         assert!(
             tot_opt <= tot_basic * 1.05,
@@ -346,7 +432,7 @@ mod tests {
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         for li in (0..w.ess.num_points()).step_by(5) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let run = b.run_optimized(&qa);
+            let run = b.run_optimized(&qa).unwrap();
             assert!(run.completed());
             for e in &run.trace {
                 if e.spilled {
@@ -371,7 +457,7 @@ mod tests {
         let w = eq_2d();
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         let qa = w.ess.point(&w.ess.terminus());
-        let run = b.run_optimized(&qa);
+        let run = b.run_optimized(&qa).unwrap();
         // Contours visited should be weakly increasing in the trace.
         let mut last = 0;
         for e in &run.trace {

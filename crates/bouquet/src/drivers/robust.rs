@@ -1,0 +1,287 @@
+//! Degradation-aware robust execution on top of the bouquet drivers.
+//!
+//! [`Bouquet::run_robust`] wraps the basic (Figure 7) and optimized
+//! (Figure 13) drivers with a fault-tolerance ladder:
+//!
+//! 1. **Per-plan retry** — an execution killed by an operator fault is
+//!    retried up to [`RobustConfig::plan_retries`] times; every attempt's
+//!    spend is still charged to the run, so MSO accounting stays honest.
+//! 2. **Plan abandonment** — a plan that keeps faulting is abandoned and
+//!    discovery moves to the next plan / contour, exactly as if the plan had
+//!    aborted on budget.
+//! 3. **Spill fallback** — a failed spill directive (Section 5.3) is retried
+//!    unspilled; the execution loses learning depth but can still complete.
+//! 4. **Accounting monitor** — after every execution the observed spend is
+//!    checked against the granted budget (aborts must burn exactly their
+//!    budget, nothing may exceed it — the invariants the Theorem 3 bound is
+//!    built from). Violations are recorded as events.
+//! 5. **Graceful degradation** — when faults or monitor violations exceed
+//!    the configured tolerance, bouquet discovery is abandoned and the
+//!    native optimizer's plan at the best current selectivity estimate runs
+//!    without a budget, mirroring classical query processing. The outcome is
+//!    [`ExecutionOutcome::Degraded`]; all wasted discovery work remains
+//!    charged.
+//!
+//! With an empty [`FaultPlan`] the wrapper adds no behaviour: the run is
+//! structurally identical to [`Bouquet::run_basic`] /
+//! [`Bouquet::run_optimized`] (property-tested in `tests/robustness.rs`).
+
+use pb_cost::SelPoint;
+use pb_executor::Executor;
+use pb_faults::{FaultInjector, FaultPlan, PbError};
+use pb_optimizer::PlanId;
+use pb_plan::DimId;
+use serde::{Deserialize, Serialize};
+
+use crate::bouquet::Bouquet;
+use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
+
+/// Configuration of the robust driver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustConfig {
+    /// Fault plan to arm (empty ⇒ the wrapper is behaviourally inert).
+    pub faults: FaultPlan,
+    /// Retries per faulted plan execution before the plan is abandoned.
+    pub plan_retries: usize,
+    /// Monitor violations / plan abandonments tolerated before the driver
+    /// degrades to single-plan native-optimizer execution.
+    pub max_violations: usize,
+    /// Drive with the optimized (Figure 13) driver instead of the basic one.
+    pub optimized: bool,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            faults: FaultPlan::none(),
+            plan_retries: 1,
+            max_violations: 3,
+            optimized: false,
+        }
+    }
+}
+
+/// One recovery or monitoring action taken by the robust driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RobustEvent {
+    /// A faulted execution was retried on the same plan.
+    Retry {
+        contour: usize,
+        plan: PlanId,
+        attempt: usize,
+        error: PbError,
+    },
+    /// A plan exhausted its retries and was abandoned.
+    PlanAbandoned {
+        contour: usize,
+        plan: PlanId,
+        error: PbError,
+    },
+    /// A failed spill directive was retried unspilled.
+    SpillRetry { contour: usize, plan: PlanId },
+    /// A learned selectivity observation exceeded the ESS and was clamped
+    /// (first-quadrant protection against corrupted observations).
+    ObservationRejected {
+        dim: DimId,
+        observed: f64,
+        clamped_to: f64,
+    },
+    /// The spend monitor flagged an accounting invariant violation.
+    MonitorViolation { detail: String },
+    /// Discovery was abandoned in favour of the native-optimizer fallback.
+    Degraded { reason: String },
+}
+
+/// A robust run: the underlying bouquet run plus the recovery log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustRun {
+    pub run: BouquetRun,
+    pub events: Vec<RobustEvent>,
+    /// Whether the run ended on the degraded single-plan rung.
+    pub degraded: bool,
+}
+
+/// Mutable robustness state threaded through the driver loops. The plain
+/// drivers use [`RobustCtx::inert`], which never retries, never degrades and
+/// records nothing — keeping their behaviour (and cost) unchanged.
+pub(crate) struct RobustCtx {
+    pub(crate) retries: usize,
+    max_violations: usize,
+    violations: usize,
+    abandonments: usize,
+    recording: bool,
+    pub(crate) events: Vec<RobustEvent>,
+}
+
+impl RobustCtx {
+    pub(crate) fn inert() -> Self {
+        RobustCtx {
+            retries: 0,
+            max_violations: usize::MAX,
+            violations: 0,
+            abandonments: 0,
+            recording: false,
+            events: Vec::new(),
+        }
+    }
+
+    fn new(cfg: &RobustConfig) -> Self {
+        RobustCtx {
+            retries: cfg.plan_retries,
+            max_violations: cfg.max_violations,
+            violations: 0,
+            abandonments: 0,
+            recording: true,
+            events: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, ev: RobustEvent) {
+        if self.recording {
+            self.events.push(ev);
+        }
+    }
+
+    /// Record a plan abandonment (counts toward the degradation threshold).
+    pub(crate) fn abandoned(&mut self, contour: usize, plan: PlanId, error: PbError) {
+        self.abandonments += 1;
+        self.push(RobustEvent::PlanAbandoned {
+            contour,
+            plan,
+            error,
+        });
+    }
+
+    /// Spend monitor: check one execution's observed spend against the
+    /// budget it was granted. Completed and faulted executions may spend
+    /// less than the budget; aborts must burn exactly the budget; nothing
+    /// may ever exceed it. These are the accounting invariants behind the
+    /// worst-case multiplier, so breaking them is a monotonicity violation.
+    pub(crate) fn monitor(
+        &mut self,
+        contour: usize,
+        plan: PlanId,
+        budget: f64,
+        spent: f64,
+        completed: bool,
+        faulted: bool,
+    ) {
+        if !budget.is_finite() {
+            return;
+        }
+        let overcharge = spent > budget * (1.0 + 1e-9);
+        let skewed_abort = !completed && !faulted && spent < budget * (1.0 - 1e-9);
+        if overcharge || skewed_abort {
+            self.violations += 1;
+            self.push(RobustEvent::MonitorViolation {
+                detail: format!(
+                    "contour {contour} plan {plan}: spent {spent} vs budget {budget} ({})",
+                    if overcharge {
+                        "spend exceeds budget"
+                    } else {
+                        "abort burned less than its budget"
+                    }
+                ),
+            });
+        }
+    }
+
+    /// Has the fault/violation tolerance been exceeded?
+    pub(crate) fn should_degrade(&self) -> bool {
+        self.violations > self.max_violations || self.abandonments > self.max_violations
+    }
+
+    pub(crate) fn degrade_reason(&self) -> String {
+        format!(
+            "{} monitor violations, {} plan abandonments (tolerance {})",
+            self.violations, self.abandonments, self.max_violations
+        )
+    }
+}
+
+impl Bouquet {
+    /// Run the degradation-aware robust driver at true location `qa`.
+    ///
+    /// With an empty fault plan the returned [`BouquetRun`] is structurally
+    /// identical to the one produced by the underlying driver.
+    pub fn run_robust(&self, qa: &SelPoint, cfg: &RobustConfig) -> Result<RobustRun, PbError> {
+        let faults = FaultInjector::new(&cfg.faults);
+        let mut rc = RobustCtx::new(cfg);
+        let run = if cfg.optimized {
+            self.run_optimized_inner(qa, faults, &mut rc)?
+        } else {
+            self.run_basic_inner(qa, faults, &mut rc)?
+        };
+        Ok(RobustRun {
+            degraded: matches!(run.outcome, ExecutionOutcome::Degraded { .. }),
+            run,
+            events: std::mem::take(&mut rc.events),
+        })
+    }
+
+    /// The degradation rung: abandon discovery, run the native optimizer's
+    /// plan at the estimate `est` (the driver's best current knowledge)
+    /// without a budget. Spend from the abandoned discovery, and from every
+    /// fallback attempt, stays charged.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn degraded_finish(
+        &self,
+        qa: &SelPoint,
+        est: &SelPoint,
+        ex: &Executor<'_>,
+        mut trace: Vec<PartialExec>,
+        mut total: f64,
+        rc: &mut RobustCtx,
+        contours_tried: usize,
+    ) -> BouquetRun {
+        rc.push(RobustEvent::Degraded {
+            reason: rc.degrade_reason(),
+        });
+        let ess = &self.workload.ess;
+        let li = ess.linear(&ess.snap_floor(est));
+        let pid = self.diagram.optimal[li] as PlanId;
+        let plan = &self.plan(pid).root;
+        for attempt in 0..=rc.retries {
+            let out = ex.execute(plan, qa, f64::INFINITY);
+            total += out.spent();
+            let completed = out.completed();
+            let error = out.error().cloned();
+            trace.push(PartialExec {
+                contour: 0,
+                plan: pid,
+                budget: f64::INFINITY,
+                spent: out.spent(),
+                completed,
+                spilled: false,
+                learned: None,
+                error: error.clone(),
+            });
+            if completed {
+                return BouquetRun {
+                    trace,
+                    total_cost: total,
+                    outcome: ExecutionOutcome::Degraded {
+                        final_plan: pid,
+                        final_cost: out.spent(),
+                    },
+                };
+            }
+            match error {
+                Some(error) => rc.push(RobustEvent::Retry {
+                    contour: 0,
+                    plan: pid,
+                    attempt,
+                    error,
+                }),
+                // An abort under an infinite budget cannot happen; bail out
+                // rather than loop.
+                None => break,
+            }
+        }
+        BouquetRun {
+            trace,
+            total_cost: total,
+            outcome: ExecutionOutcome::BudgetExhausted { contours_tried },
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Whole-workload evaluation harness: NAT vs SEER vs BOU over the full ESS
 //! grid — the machinery behind the paper's Figures 14–18 and Table 1.
 
+use pb_faults::PbError;
 use pb_optimizer::SeerReduction;
 use serde::{Deserialize, Serialize};
 
@@ -75,8 +76,8 @@ pub struct WorkloadEvaluation {
 }
 
 /// Evaluate a workload end to end.
-pub fn evaluate(w: &Workload, cfg: &EvalConfig) -> WorkloadEvaluation {
-    let bouquet = Bouquet::identify(w, &cfg.bouquet).expect("bouquet identification failed");
+pub fn evaluate(w: &Workload, cfg: &EvalConfig) -> Result<WorkloadEvaluation, PbError> {
+    let bouquet = Bouquet::identify(w, &cfg.bouquet)?;
     evaluate_with_bouquet(w, cfg, &bouquet)
 }
 
@@ -86,7 +87,7 @@ pub fn evaluate_with_bouquet(
     w: &Workload,
     cfg: &EvalConfig,
     bouquet: &Bouquet,
-) -> WorkloadEvaluation {
+) -> Result<WorkloadEvaluation, PbError> {
     let d = &bouquet.diagram;
     let costs = &bouquet.costs;
     let n = w.ess.num_points();
@@ -101,13 +102,13 @@ pub fn evaluate_with_bouquet(
     let seer = single_plan_metrics(costs, &d.opt_cost, &seer_red.assignment);
 
     // Bouquet drivers, evaluated at every grid location in parallel.
-    let subopt_bou = run_profile(bouquet, false);
+    let subopt_bou = run_profile(bouquet, false)?;
     let bou_basic = bouquet_metrics(&subopt_bou, bouquet.stats.bouquet_cardinality);
     let bou_basic_harm = harm(&subopt_bou, &nat_worst);
     let distribution = robustness_distribution(&subopt_bou, &nat_worst);
 
     let (bou_opt, bou_opt_harm) = if cfg.run_optimized {
-        let profile = run_profile(bouquet, true);
+        let profile = run_profile(bouquet, true)?;
         let m = bouquet_metrics(&profile, bouquet.stats.bouquet_cardinality);
         let h = harm(&profile, &nat_worst);
         (Some(m), Some(h))
@@ -117,7 +118,7 @@ pub fn evaluate_with_bouquet(
 
     let guarantees = guarantee_row(bouquet);
 
-    WorkloadEvaluation {
+    Ok(WorkloadEvaluation {
         name: w.name.clone(),
         dims: w.ess.d(),
         grid_points: n,
@@ -137,11 +138,11 @@ pub fn evaluate_with_bouquet(
         guarantees,
         subopt_bou,
         nat_worst,
-    }
+    })
 }
 
 /// Sub-optimality profile of a driver over the whole grid, in parallel.
-pub fn run_profile(bouquet: &Bouquet, optimized: bool) -> Vec<f64> {
+pub fn run_profile(bouquet: &Bouquet, optimized: bool) -> Result<Vec<f64>, PbError> {
     let ess = &bouquet.workload.ess;
     let n = ess.num_points();
     pb_cost::par_map(pb_cost::Parallelism::auto(), n, |li| {
@@ -150,10 +151,16 @@ pub fn run_profile(bouquet: &Bouquet, optimized: bool) -> Vec<f64> {
             bouquet.run_optimized(&qa)
         } else {
             bouquet.run_basic(&qa)
-        };
-        assert!(run.completed(), "driver failed at grid point {li}");
-        run.suboptimality(bouquet.pic_cost_at(li))
+        }?;
+        if !run.completed() {
+            return Err(PbError::Identification(format!(
+                "driver failed at grid point {li}"
+            )));
+        }
+        Ok(run.suboptimality(bouquet.pic_cost_at(li)))
     })
+    .into_iter()
+    .collect()
 }
 
 /// Compute the Table 1 guarantee row: Equation 8 evaluated with the raw
@@ -237,7 +244,7 @@ mod tests {
     #[test]
     fn full_evaluation_shapes_match_the_paper() {
         let w = eq_2d();
-        let ev = evaluate(&w, &EvalConfig::default());
+        let ev = evaluate(&w, &EvalConfig::default()).unwrap();
         // Bouquet's MSO must respect its theoretical bound.
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         assert!(ev.bou_basic.mso <= b.mso_bound() * (1.0 + 1e-9));
@@ -258,7 +265,7 @@ mod tests {
     #[test]
     fn optimized_driver_dominates_basic_on_average() {
         let w = eq_2d();
-        let ev = evaluate(&w, &EvalConfig::default());
+        let ev = evaluate(&w, &EvalConfig::default()).unwrap();
         let opt = ev.bou_opt.expect("optimized run requested");
         assert!(
             opt.aso <= ev.bou_basic.aso * 1.02,
@@ -283,7 +290,7 @@ mod tests {
     #[test]
     fn harm_is_bounded_by_mso_minus_one() {
         let w = eq_2d();
-        let ev = evaluate(&w, &EvalConfig::default());
+        let ev = evaluate(&w, &EvalConfig::default()).unwrap();
         assert!(ev.bou_basic_harm.max_harm <= ev.bou_basic.mso - 1.0 + 1e-9);
         assert!(ev.bou_basic_harm.harm_fraction <= 1.0);
     }

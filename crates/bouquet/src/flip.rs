@@ -181,7 +181,7 @@ mod tests {
         let w = anti_workload();
         let err = Bouquet::identify(&w, &BouquetConfig::default());
         assert!(
-            err.is_err() && err.unwrap_err().contains("Monotonicity"),
+            err.is_err() && err.unwrap_err().to_string().contains("Monotonicity"),
             "raw anti-join space must violate PCM"
         );
         let (flipped, flips) = flip_decreasing(&w).unwrap();
@@ -191,7 +191,7 @@ mod tests {
         // Full guarantee over the flipped grid.
         for li in 0..flipped.ess.num_points() {
             let qa = flipped.ess.point(&flipped.ess.unlinear(li));
-            let run = b.run_basic(&qa);
+            let run = b.run_basic(&qa).unwrap();
             assert!(run.completed());
             assert!(
                 run.suboptimality(b.pic_cost_at(li)) <= b.mso_bound() * (1.0 + 1e-9),

@@ -32,6 +32,7 @@ pub mod workload;
 
 pub use bouquet::{Bouquet, BouquetConfig, CompileStats, PhaseTimings};
 pub use contour::Contour;
+pub use drivers::robust::{RobustConfig, RobustEvent, RobustRun};
 pub use drivers::{BouquetRun, ExecutionOutcome, PartialExec};
 pub use eval::{EvalConfig, WorkloadEvaluation};
 pub use grading::IsoCostGrading;

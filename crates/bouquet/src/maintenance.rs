@@ -296,7 +296,7 @@ mod tests {
         // measured against the *rebuilt* (exact) optimal costs.
         for li in (0..new_w.ess.num_points()).step_by(7) {
             let qa = new_w.ess.point(&new_w.ess.unlinear(li));
-            let run = maintained.run_basic(&qa);
+            let run = maintained.run_basic(&qa).unwrap();
             assert!(run.completed(), "maintained bouquet failed at {li}");
             let so = run.suboptimality(rebuilt.pic_cost_at(li));
             assert!(

@@ -55,7 +55,7 @@ pub fn single_plan_metrics(
         .copied()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty grid");
+        .unwrap_or((0, 0.0));
 
     // ASO: E_{qe,qa}[c_{P(qe)}(qa)/opt(qa)] = E_qa[ Σ_P w_P c_P(qa) ] / opt(qa)
     // with w_P the fraction of the grid assigned to P.
@@ -87,7 +87,7 @@ pub fn bouquet_metrics(subopt: &[f64], plan_cardinality: usize) -> MetricsSummar
         .copied()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty grid");
+        .unwrap_or((0, 0.0));
     let aso = subopt.iter().sum::<f64>() / subopt.len() as f64;
     MetricsSummary {
         mso,

@@ -11,37 +11,57 @@
 use std::io::{Read, Write};
 use std::path::Path;
 
+use pb_faults::PbError;
+
 use crate::bouquet::Bouquet;
 
 /// Serialize a bouquet to JSON.
-pub fn to_json(bouquet: &Bouquet) -> Result<String, String> {
-    serde_json::to_string(bouquet).map_err(|e| format!("serialize bouquet: {e}"))
+pub fn to_json(bouquet: &Bouquet) -> Result<String, PbError> {
+    serde_json::to_string(bouquet).map_err(|e| PbError::Internal(format!("serialize bouquet: {e}")))
 }
 
 /// Deserialize a bouquet from JSON, re-validating its internal consistency.
-pub fn from_json(json: &str) -> Result<Bouquet, String> {
-    let b: Bouquet = serde_json::from_str(json).map_err(|e| format!("parse bouquet: {e}"))?;
-    validate(&b)?;
+pub fn from_json(json: &str) -> Result<Bouquet, PbError> {
+    let corrupt = |message: String| PbError::Corrupt {
+        path: "<inline>".into(),
+        message,
+    };
+    let b: Bouquet =
+        serde_json::from_str(json).map_err(|e| corrupt(format!("parse bouquet: {e}")))?;
+    validate(&b).map_err(corrupt)?;
     Ok(b)
 }
 
 /// Write a bouquet to a file.
-pub fn save(bouquet: &Bouquet, path: impl AsRef<Path>) -> Result<(), String> {
+pub fn save(bouquet: &Bouquet, path: impl AsRef<Path>) -> Result<(), PbError> {
     let json = to_json(bouquet)?;
-    let mut f = std::fs::File::create(path.as_ref())
-        .map_err(|e| format!("create {}: {e}", path.as_ref().display()))?;
-    f.write_all(json.as_bytes())
-        .map_err(|e| format!("write bouquet: {e}"))
+    let io_err = |e: std::io::Error| PbError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    };
+    let mut f = std::fs::File::create(path.as_ref()).map_err(io_err)?;
+    f.write_all(json.as_bytes()).map_err(io_err)
 }
 
-/// Load a bouquet from a file.
-pub fn load(path: impl AsRef<Path>) -> Result<Bouquet, String> {
+/// Load a bouquet from a file (truncated or corrupted artifacts surface as
+/// [`PbError::Corrupt`] carrying the file path).
+pub fn load(path: impl AsRef<Path>) -> Result<Bouquet, PbError> {
+    let io_err = |e: std::io::Error| PbError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
+    };
     let mut json = String::new();
     std::fs::File::open(path.as_ref())
-        .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?
+        .map_err(io_err)?
         .read_to_string(&mut json)
-        .map_err(|e| format!("read bouquet: {e}"))?;
-    from_json(&json)
+        .map_err(io_err)?;
+    from_json(&json).map_err(|e| match e {
+        PbError::Corrupt { message, .. } => PbError::Corrupt {
+            path: path.as_ref().display().to_string(),
+            message,
+        },
+        other => other,
+    })
 }
 
 /// Structural validation of a (possibly externally-produced) artifact.
@@ -123,8 +143,14 @@ mod tests {
         // Identical discovery traces — the property that matters.
         for f in [0.1, 0.5, 0.9] {
             let qa = w.ess.point_at_fractions(&[f]);
-            assert_eq!(original.run_basic(&qa), loaded.run_basic(&qa));
-            assert_eq!(original.run_optimized(&qa), loaded.run_optimized(&qa));
+            assert_eq!(
+                original.run_basic(&qa).unwrap(),
+                loaded.run_basic(&qa).unwrap()
+            );
+            assert_eq!(
+                original.run_optimized(&qa).unwrap(),
+                loaded.run_optimized(&qa).unwrap()
+            );
         }
     }
 
@@ -137,6 +163,34 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_eq!(b.stats, loaded.stats);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_corrupt_error_with_the_path() {
+        use pb_faults::PbError;
+        let w = small_workload();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let path = std::env::temp_dir().join("pb_test_truncated_bouquet.json");
+        save(&b, &path).unwrap();
+        // Chop the artifact mid-stream, as a crashed writer would.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match load(&path) {
+            Err(PbError::Corrupt { path: p, .. }) => {
+                assert!(p.contains("pb_test_truncated_bouquet"))
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        use pb_faults::PbError;
+        match load("/nonexistent/pb_bouquet_nowhere.json") {
+            Err(PbError::Io { path, .. }) => assert!(path.contains("nowhere")),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

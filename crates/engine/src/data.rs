@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use pb_catalog::{Catalog, Distribution};
+use pb_faults::PbError;
 use pb_plan::{CmpOp, QuerySpec, SelectionPredicate};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -48,34 +49,43 @@ pub struct Database {
 }
 
 impl Database {
-    /// Generate data for every catalog table with the given seed.
-    pub fn generate(catalog: &Catalog, seed: u64, overrides: &[ColumnOverride]) -> Self {
+    /// Generate data for every catalog table with the given seed. Fails when
+    /// an override names a correlation source column the table lacks.
+    pub fn generate(
+        catalog: &Catalog,
+        seed: u64,
+        overrides: &[ColumnOverride],
+    ) -> Result<Self, PbError> {
         let mut tables = Vec::new();
         for t in catalog.tables() {
             let mut rng = StdRng::seed_from_u64(seed ^ (t.id.0 as u64).wrapping_mul(0x9E37));
             let nrows = t.rows.round() as usize;
             let mut columns: Vec<Vec<i64>> = Vec::with_capacity(t.columns.len());
             for col in &t.columns {
-                let ov = overrides.iter().find_map(|o| match o {
-                    ColumnOverride::EffectiveNdv { table, column, ndv }
-                        if *table == t.name && *column == col.name =>
-                    {
-                        Some(Ov::Ndv(*ndv))
+                let mut ov = None;
+                for o in overrides {
+                    match o {
+                        ColumnOverride::EffectiveNdv { table, column, ndv }
+                            if *table == t.name && *column == col.name =>
+                        {
+                            ov = Some(Ov::Ndv(*ndv));
+                        }
+                        ColumnOverride::CorrelatedWith {
+                            table,
+                            column,
+                            with,
+                        } if *table == t.name && *column == col.name => {
+                            let src = t.columns.iter().position(|c| c.name == *with).ok_or_else(
+                                || PbError::MissingEntity {
+                                    kind: "correlation source column".into(),
+                                    name: format!("{}.{with}", t.name),
+                                },
+                            )?;
+                            ov = Some(Ov::Corr(src));
+                        }
+                        _ => {}
                     }
-                    ColumnOverride::CorrelatedWith {
-                        table,
-                        column,
-                        with,
-                    } if *table == t.name && *column == col.name => {
-                        let src = t
-                            .columns
-                            .iter()
-                            .position(|c| c.name == *with)
-                            .unwrap_or_else(|| panic!("correlation source {with} missing"));
-                        Some(Ov::Corr(src))
-                    }
-                    _ => None,
-                });
+                }
                 let data: Vec<i64> = match ov {
                     Some(Ov::Ndv(ndv)) => {
                         let lo = col.stats.min as i64;
@@ -144,10 +154,10 @@ impl Database {
                 rows: nrows,
             });
         }
-        Database {
+        Ok(Database {
             catalog: catalog.clone(),
             tables,
-        }
+        })
     }
 
     pub fn table(&self, id: pb_catalog::TableId) -> &TableData {
@@ -163,7 +173,9 @@ impl Database {
         let mut cat = self.catalog.clone();
         let names: Vec<String> = self.catalog.tables().map(|t| t.name.clone()).collect();
         for tname in names {
-            let t = self.catalog.table(&tname).unwrap();
+            let Some(t) = self.catalog.table(&tname) else {
+                continue;
+            };
             let td = self.table(t.id);
             for col in &t.columns {
                 let data = &td.columns[col.id.column as usize];
@@ -175,8 +187,8 @@ impl Database {
                 distinct.sort_unstable();
                 distinct.dedup();
                 stats.ndv = distinct.len() as f64;
-                stats.min = *data.iter().min().unwrap() as f64;
-                stats.max = *data.iter().max().unwrap() as f64;
+                stats.min = data.iter().min().copied().unwrap_or(0) as f64;
+                stats.max = data.iter().max().copied().unwrap_or(0) as f64;
                 stats.histogram = pb_catalog::EquiDepthHistogram::from_values(
                     data.iter().map(|&v| v as f64).collect(),
                     histogram_buckets,
@@ -249,14 +261,14 @@ mod tests {
     use pb_plan::{QueryBuilder, SelSpec};
 
     fn db() -> Database {
-        Database::generate(&tpch::catalog(0.01), 42, &[])
+        Database::generate(&tpch::catalog(0.01), 42, &[]).expect("generate")
     }
 
     #[test]
     fn generation_is_deterministic() {
         let cat = tpch::catalog(0.01);
-        let a = Database::generate(&cat, 7, &[]);
-        let b = Database::generate(&cat, 7, &[]);
+        let a = Database::generate(&cat, 7, &[]).expect("generate");
+        let b = Database::generate(&cat, 7, &[]).expect("generate");
         let t = cat.table("part").unwrap().id;
         assert_eq!(a.table(t).columns, b.table(t).columns);
     }
@@ -286,7 +298,7 @@ mod tests {
     #[test]
     fn selection_selectivity_tracks_stats() {
         let cat = tpch::catalog(0.01);
-        let d = Database::generate(&cat, 3, &[]);
+        let d = Database::generate(&cat, 3, &[]).expect("generate");
         let mut qb = QueryBuilder::new(&cat, "t");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
@@ -301,7 +313,7 @@ mod tests {
     #[test]
     fn join_selectivity_matches_fk_expectation() {
         let cat = tpch::catalog(0.01);
-        let d = Database::generate(&cat, 3, &[]);
+        let d = Database::generate(&cat, 3, &[]).expect("generate");
         let mut qb = QueryBuilder::new(&cat, "t");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
@@ -320,7 +332,7 @@ mod tests {
             column: "l_partkey".into(),
             ndv: 50,
         }];
-        let d = Database::generate(&cat, 3, &ov);
+        let d = Database::generate(&cat, 3, &ov).expect("generate");
         let mut qb = QueryBuilder::new(&cat, "t");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
@@ -341,7 +353,7 @@ mod tests {
             column: "l_partkey".into(),
             ndv: 70,
         }];
-        let d = Database::generate(&cat, 3, &ov);
+        let d = Database::generate(&cat, 3, &ov).expect("generate");
         let fresh = d.analyze(16);
         let stats = fresh
             .table("lineitem")
@@ -386,7 +398,7 @@ mod tests {
             column: "p_size".into(),
             with: "p_retailprice".into(),
         }];
-        let d = Database::generate(&cat, 3, &ov);
+        let d = Database::generate(&cat, 3, &ov).expect("generate");
         let part = cat.table("part").unwrap();
         let td = d.table(part.id);
         let price = part.column("p_retailprice").unwrap().id.column as usize;

@@ -12,10 +12,11 @@ use std::collections::HashMap;
 
 use pb_catalog::ColumnId;
 use pb_cost::CostParams;
+use pb_faults::{FaultInjector, PbError};
 use pb_plan::{CmpOp, PlanNode, QuerySpec, RelIdx};
 
 use crate::data::{eval_pred, Database};
-use crate::ledger::{lin2, lin3, Abort, Ctx};
+use crate::ledger::{lin2, lin3, Ctx, Halt};
 
 /// Tuple counters for one plan node (PostgreSQL `Instrumentation` analogue).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -130,12 +131,22 @@ pub enum EngineOutcome {
         cost: f64,
         instr: Instrumentation,
     },
+    /// An operator faulted (injected fault or malformed plan) after spending
+    /// `cost` units. Distinct from [`EngineOutcome::Aborted`]: the budget was
+    /// *not* exhausted, the execution died.
+    Failed {
+        error: PbError,
+        cost: f64,
+        instr: Instrumentation,
+    },
 }
 
 impl EngineOutcome {
     pub fn cost(&self) -> f64 {
         match self {
-            EngineOutcome::Completed { cost, .. } | EngineOutcome::Aborted { cost, .. } => *cost,
+            EngineOutcome::Completed { cost, .. }
+            | EngineOutcome::Aborted { cost, .. }
+            | EngineOutcome::Failed { cost, .. } => *cost,
         }
     }
 
@@ -143,9 +154,18 @@ impl EngineOutcome {
         matches!(self, EngineOutcome::Completed { .. })
     }
 
+    pub fn error(&self) -> Option<&PbError> {
+        match self {
+            EngineOutcome::Failed { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+
     pub fn instr(&self) -> &Instrumentation {
         match self {
-            EngineOutcome::Completed { instr, .. } | EngineOutcome::Aborted { instr, .. } => instr,
+            EngineOutcome::Completed { instr, .. }
+            | EngineOutcome::Aborted { instr, .. }
+            | EngineOutcome::Failed { instr, .. } => instr,
         }
     }
 }
@@ -178,12 +198,34 @@ impl<'a> Engine<'a> {
         self.execute_vectorized(plan, budget)
     }
 
+    /// Vectorized execution with an armed fault injector (chaos campaigns).
+    /// With [`FaultInjector::none`] this is exactly [`Engine::execute`].
+    pub fn execute_with_faults(
+        &self,
+        plan: &PlanNode,
+        budget: f64,
+        faults: &FaultInjector,
+    ) -> EngineOutcome {
+        self.execute_vectorized_with(plan, budget, faults)
+    }
+
     /// Tuple-at-a-time reference execution.
     pub fn execute_tuple(&self, plan: &PlanNode, budget: f64) -> EngineOutcome {
+        self.execute_tuple_with(plan, budget, &FaultInjector::none())
+    }
+
+    /// Tuple-at-a-time execution with an armed fault injector.
+    pub fn execute_tuple_with(
+        &self,
+        plan: &PlanNode,
+        budget: f64,
+        faults: &FaultInjector,
+    ) -> EngineOutcome {
         let mut ctx = Ctx {
             spent: 0.0,
             budget,
             instr: vec![NodeStats::default(); plan.size()],
+            faults,
         };
         let mut next_id = 0usize;
         // The root's output is never consumed by another operator, so it is
@@ -198,7 +240,12 @@ impl<'a> Engine<'a> {
                     instr: Instrumentation { nodes: ctx.instr },
                 }
             }
-            Err(Abort) => EngineOutcome::Aborted {
+            Err(Halt::Abort) => EngineOutcome::Aborted {
+                cost: ctx.spent,
+                instr: Instrumentation { nodes: ctx.instr },
+            },
+            Err(Halt::Fault(error)) => EngineOutcome::Failed {
+                error,
                 cost: ctx.spent,
                 instr: Instrumentation { nodes: ctx.instr },
             },
@@ -213,15 +260,23 @@ impl<'a> Engine<'a> {
             .len()
     }
 
-    pub(crate) fn offset(&self, rels: &[RelIdx], rel: RelIdx, col: ColumnId) -> usize {
+    pub(crate) fn offset(
+        &self,
+        rels: &[RelIdx],
+        rel: RelIdx,
+        col: ColumnId,
+    ) -> Result<usize, Halt> {
         let mut off = 0;
         for &r in rels {
             if r == rel {
-                return off + col.column as usize;
+                return Ok(off + col.column as usize);
             }
             off += self.ncols(r);
         }
-        panic!("relation {rel} not in schema {rels:?}");
+        Err(Halt::Fault(PbError::MissingEntity {
+            kind: "relation".into(),
+            name: format!("{rel} not in schema {rels:?}"),
+        }))
     }
 
     /// Evaluate a subtree. With `store == false` the node's own output is
@@ -229,10 +284,10 @@ impl<'a> Engine<'a> {
     fn eval(
         &self,
         node: &PlanNode,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         next_id: &mut usize,
         store: bool,
-    ) -> Result<Rel, Abort> {
+    ) -> Result<Rel, Halt> {
         let my_id = *next_id;
         *next_id += 1;
         let p = self.params;
@@ -274,10 +329,12 @@ impl<'a> Engine<'a> {
                 let t = self.db.table(self.query.relations[*rel].table);
                 let preds = &self.query.relations[*rel].selections;
                 let key_pred = &preds[*sel_idx];
-                let ix = t
-                    .indexes
-                    .get(&key_pred.column.column)
-                    .expect("index scan over unindexed column");
+                let Some(ix) = t.indexes.get(&key_pred.column.column) else {
+                    return Err(Halt::Fault(PbError::UnindexedColumn(format!(
+                        "rel {rel} column {}",
+                        key_pred.column.column
+                    ))));
+                };
                 ctx.charge(3.0 * p.random_page)?;
                 let base = ctx.spent;
                 let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
@@ -309,10 +366,12 @@ impl<'a> Engine<'a> {
             PlanNode::FullIndexScan { rel, column } => {
                 let t = self.db.table(self.query.relations[*rel].table);
                 let preds = &self.query.relations[*rel].selections;
-                let ix = t
-                    .indexes
-                    .get(&column.column)
-                    .expect("full index scan over unindexed column");
+                let Some(ix) = t.indexes.get(&column.column) else {
+                    return Err(Halt::Fault(PbError::UnindexedColumn(format!(
+                        "rel {rel} column {}",
+                        column.column
+                    ))));
+                };
                 ctx.charge((t.rows as f64 / 256.0).max(1.0) * p.seq_page)?;
                 let base = ctx.spent;
                 let entry_rate = p.cpu_index_tuple
@@ -350,7 +409,7 @@ impl<'a> Engine<'a> {
                 let b = self.eval(build, ctx, next_id, true)?;
                 let pr = self.eval(probe, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0);
+                let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0)?;
                 let base = ctx.spent;
                 let build_rate = p.cpu_tuple + p.hash_build;
                 let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
@@ -374,7 +433,7 @@ impl<'a> Engine<'a> {
                         for &bi in bs {
                             let joined: Vec<i64> =
                                 b.rows[bi].iter().chain(prow.iter()).copied().collect();
-                            if self.residual_ok(&out_rels, &joined, &edges[1..]) {
+                            if self.residual_ok(&out_rels, &joined, &edges[1..])? {
                                 emitted += 1;
                                 ctx.settle(lin2(
                                     pbase,
@@ -407,7 +466,7 @@ impl<'a> Engine<'a> {
                 let mut l = self.eval(left, ctx, next_id, true)?;
                 let mut r = self.eval(right, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
                 // Sort both (an un-flagged input is already ordered, but
                 // re-sorting is a no-op for correctness; we charge only for
                 // flagged sorts, mirroring the cost model).
@@ -446,7 +505,7 @@ impl<'a> Engine<'a> {
                                     .chain(r.rows[rj].iter())
                                     .copied()
                                     .collect();
-                                if self.residual_ok(&out_rels, &joined, &edges[1..]) {
+                                if self.residual_ok(&out_rels, &joined, &edges[1..])? {
                                     emitted += 1;
                                     ctx.settle(lin2(
                                         base,
@@ -487,11 +546,13 @@ impl<'a> Engine<'a> {
                 } else {
                     (j0.right_rel, j0.right_col, j0.left_col)
                 };
-                let okey = self.offset(&o.rels, okey_rel, okey_col);
-                let ix = t
-                    .indexes
-                    .get(&ikey_col.column)
-                    .expect("index NL join over unindexed inner column");
+                let okey = self.offset(&o.rels, okey_rel, okey_col)?;
+                let Some(ix) = t.indexes.get(&ikey_col.column) else {
+                    return Err(Halt::Fault(PbError::UnindexedColumn(format!(
+                        "rel {inner_rel} column {}",
+                        ikey_col.column
+                    ))));
+                };
                 let out_rels: Vec<RelIdx> = o.rels.iter().copied().chain([*inner_rel]).collect();
                 let base = ctx.spent;
                 let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
@@ -536,7 +597,7 @@ impl<'a> Engine<'a> {
                             .copied()
                             .chain(t.columns.iter().map(|c| c[r]))
                             .collect();
-                        if self.residual_ok(&out_rels, &joined, &edges[1..]) {
+                        if self.residual_ok(&out_rels, &joined, &edges[1..])? {
                             emitted += 1;
                             ctx.settle(lin3(
                                 base,
@@ -577,7 +638,7 @@ impl<'a> Engine<'a> {
                         pairs += 1;
                         ctx.settle(lin2(base, pairs, pair_rate, emitted, p.emit_tuple))?;
                         let joined: Vec<i64> = orow.iter().chain(irow.iter()).copied().collect();
-                        if self.residual_ok(&out_rels, &joined, edges) {
+                        if self.residual_ok(&out_rels, &joined, edges)? {
                             emitted += 1;
                             ctx.settle(lin2(base, pairs, pair_rate, emitted, p.emit_tuple))?;
                             if store {
@@ -597,7 +658,7 @@ impl<'a> Engine<'a> {
                 let l = self.eval(left, ctx, next_id, true)?;
                 let r = self.eval(right, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
                 let base = ctx.spent;
                 let build_rate = p.cpu_tuple + p.hash_build;
                 let mut keys: std::collections::HashSet<i64> = std::collections::HashSet::new();
@@ -638,15 +699,16 @@ impl<'a> Engine<'a> {
                 let i = self.eval(input, ctx, next_id, true)?;
                 let base = ctx.spent;
                 let in_rate = p.cpu_tuple + p.hash_build;
+                let key_offs: Vec<usize> = self
+                    .query
+                    .group_by
+                    .iter()
+                    .map(|&(r, c)| self.offset(&i.rels, r, c))
+                    .collect::<Result<_, _>>()?;
                 let mut groups: HashMap<Vec<i64>, i64> = HashMap::new();
                 for (n, row) in i.rows.iter().enumerate() {
                     ctx.settle(lin2(base, n as u64 + 1, in_rate, 0, 0.0))?;
-                    let key: Vec<i64> = self
-                        .query
-                        .group_by
-                        .iter()
-                        .map(|&(r, c)| row[self.offset(&i.rels, r, c)])
-                        .collect();
+                    let key: Vec<i64> = key_offs.iter().map(|&c| row[c]).collect();
                     *groups.entry(key).or_insert(0) += 1;
                 }
                 let gbase = ctx.spent;
@@ -692,27 +754,30 @@ impl<'a> Engine<'a> {
         lrels: &[RelIdx],
         rrels: &[RelIdx],
         j: &pb_plan::JoinPredicate,
-    ) -> (usize, usize) {
+    ) -> Result<(usize, usize), Halt> {
         if lrels.contains(&j.left_rel) {
-            (
-                self.offset(lrels, j.left_rel, j.left_col),
-                self.offset(rrels, j.right_rel, j.right_col),
-            )
+            Ok((
+                self.offset(lrels, j.left_rel, j.left_col)?,
+                self.offset(rrels, j.right_rel, j.right_col)?,
+            ))
         } else {
-            (
-                self.offset(lrels, j.right_rel, j.right_col),
-                self.offset(rrels, j.left_rel, j.left_col),
-            )
+            Ok((
+                self.offset(lrels, j.right_rel, j.right_col)?,
+                self.offset(rrels, j.left_rel, j.left_col)?,
+            ))
         }
     }
 
-    fn residual_ok(&self, rels: &[RelIdx], row: &[i64], edges: &[usize]) -> bool {
-        edges.iter().all(|&e| {
+    fn residual_ok(&self, rels: &[RelIdx], row: &[i64], edges: &[usize]) -> Result<bool, Halt> {
+        for &e in edges {
             let j = &self.query.joins[e];
-            let a = self.offset(rels, j.left_rel, j.left_col);
-            let b = self.offset(rels, j.right_rel, j.right_col);
-            row[a] == row[b]
-        })
+            let a = self.offset(rels, j.left_rel, j.left_col)?;
+            let b = self.offset(rels, j.right_rel, j.right_col)?;
+            if row[a] != row[b] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -746,7 +811,7 @@ mod tests {
 
     fn setup() -> (Database, QuerySpec, CostModel) {
         let cat = tpch::catalog(0.01);
-        let db = Database::generate(&cat, 42, &[]);
+        let db = Database::generate(&cat, 42, &[]).expect("generate");
         let mut qb = QueryBuilder::new(&cat, "eq");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
@@ -872,10 +937,12 @@ mod tests {
             sort_left: true,
             sort_right: true,
         };
+        let inert = FaultInjector::none();
         let mut ctx = Ctx {
             spent: 0.0,
             budget: f64::INFINITY,
             instr: vec![NodeStats::default(); plan.size()],
+            faults: &inert,
         };
         let mut next_id = 0usize;
         let rel = eng.eval(&plan, &mut ctx, &mut next_id, false).ok().unwrap();

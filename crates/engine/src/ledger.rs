@@ -20,6 +20,12 @@
 //! that crossed, so the replay is guaranteed to abort, at the identical
 //! tuple, with the identical instrumentation and the identical clamped cost
 //! the reference engine produces.
+//!
+//! Fault injection enters here and only here: every ledger event consults
+//! the context's [`FaultInjector`]. An inert injector short-circuits before
+//! touching any arithmetic, keeping the no-fault paths bit-identical.
+
+use pb_faults::{FaultInjector, PbError};
 
 use crate::exec::NodeStats;
 
@@ -27,24 +33,45 @@ use crate::exec::NodeStats;
 /// bound on wasted work past an abort point.
 pub(crate) const BATCH: usize = 4096;
 
-/// Budget exhausted mid-execution.
-pub(crate) struct Abort;
+/// Why execution stopped early: the budget ran out (the normal, accounted
+/// outcome the bouquet drivers rely on) or an injected/real fault fired.
+pub(crate) enum Halt {
+    Abort,
+    Fault(PbError),
+}
 
 /// Execution context: the ledger plus per-node counters.
-pub(crate) struct Ctx {
+pub(crate) struct Ctx<'f> {
     pub spent: f64,
     pub budget: f64,
     pub instr: Vec<NodeStats>,
+    pub faults: &'f FaultInjector,
 }
 
-impl Ctx {
+impl Ctx<'_> {
+    /// Fault hook shared by every ledger event: may scale the prospective
+    /// value (transient over-charge) or kill the operator outright.
+    #[inline]
+    fn taxed(&mut self, v: f64) -> Result<f64, Halt> {
+        if let Some(e) = self.faults.tuple_failure("engine:ledger") {
+            self.spent = self.spent.min(self.budget);
+            return Err(Halt::Fault(e));
+        }
+        Ok(v * self.faults.ledger_factor())
+    }
+
     /// Add a one-off charge (operator setup, sorts, spill penalties).
     #[inline]
-    pub fn charge(&mut self, c: f64) -> Result<(), Abort> {
+    pub fn charge(&mut self, c: f64) -> Result<(), Halt> {
+        let c = if self.faults.is_active() {
+            self.taxed(c)?
+        } else {
+            c
+        };
         self.spent += c;
         if self.spent > self.budget {
             self.spent = self.budget;
-            Err(Abort)
+            Err(Halt::Abort)
         } else {
             Ok(())
         }
@@ -52,12 +79,31 @@ impl Ctx {
 
     /// Install an absolute ledger value computed by [`lin2`]/[`lin3`].
     #[inline]
-    pub fn settle(&mut self, s: f64) -> Result<(), Abort> {
+    pub fn settle(&mut self, s: f64) -> Result<(), Halt> {
+        let s = if self.faults.is_active() {
+            self.taxed(s)?
+        } else {
+            s
+        };
         if s > self.budget {
             self.spent = self.budget;
-            Err(Abort)
+            Err(Halt::Abort)
         } else {
             self.spent = s;
+            Ok(())
+        }
+    }
+
+    /// Batch-end settlement for the vectorized path. The caller has already
+    /// verified the raw closed-form value fits the budget, so with an inert
+    /// injector this is a plain store; armed faults route through
+    /// [`Ctx::settle`] and may abort or fail the batch.
+    #[inline]
+    pub fn commit(&mut self, end: f64) -> Result<(), Halt> {
+        if self.faults.is_active() {
+            self.settle(end)
+        } else {
+            self.spent = end;
             Ok(())
         }
     }
@@ -80,18 +126,65 @@ pub(crate) fn lin3(base: f64, c0: u64, r0: f64, c1: u64, r1: f64, c2: u64, r2: f
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pb_faults::{FaultKind, FaultPlan, Trigger};
 
-    #[test]
-    fn settle_clamps_to_budget_on_abort() {
-        let mut ctx = Ctx {
+    fn ctx(faults: &FaultInjector) -> Ctx<'_> {
+        Ctx {
             spent: 0.0,
             budget: 10.0,
             instr: Vec::new(),
-        };
+            faults,
+        }
+    }
+
+    #[test]
+    fn settle_clamps_to_budget_on_abort() {
+        let inert = FaultInjector::none();
+        let mut ctx = ctx(&inert);
         assert!(ctx.settle(9.5).is_ok());
         assert_eq!(ctx.spent, 9.5);
-        assert!(ctx.settle(10.0 + 1e-9).is_err());
+        assert!(matches!(ctx.settle(10.0 + 1e-9), Err(Halt::Abort)));
         assert_eq!(ctx.spent, 10.0);
+    }
+
+    #[test]
+    fn operator_failure_fires_on_nth_ledger_event() {
+        let plan = FaultPlan::new(1).with(
+            FaultKind::OperatorFailure { waste_frac: 0.0 },
+            Trigger::Nth(3),
+        );
+        let inj = FaultInjector::new(&plan);
+        let mut ctx = ctx(&inj);
+        assert!(ctx.settle(1.0).is_ok());
+        assert!(ctx.settle(2.0).is_ok());
+        match ctx.settle(3.0) {
+            Err(Halt::Fault(PbError::OperatorFailure { .. })) => {}
+            _ => panic!("third ledger event should fault"),
+        }
+        // Spend stays clamped within budget: no double-charging on faults.
+        assert!(ctx.spent <= ctx.budget);
+    }
+
+    #[test]
+    fn ledger_overcharge_can_force_an_abort() {
+        let plan = FaultPlan::new(1).with(
+            FaultKind::LedgerOverCharge { factor: 100.0 },
+            Trigger::Nth(2),
+        );
+        let inj = FaultInjector::new(&plan);
+        let mut ctx = ctx(&inj);
+        assert!(ctx.settle(0.5).is_ok());
+        // 0.6 × 100 > budget ⇒ abort with spend clamped.
+        assert!(matches!(ctx.settle(0.6), Err(Halt::Abort)));
+        assert_eq!(ctx.spent, 10.0);
+    }
+
+    #[test]
+    fn commit_is_a_plain_store_when_inert() {
+        let inert = FaultInjector::none();
+        let mut ctx = ctx(&inert);
+        assert!(ctx.commit(7.25).is_ok());
+        assert_eq!(ctx.spent.to_bits(), 7.25f64.to_bits());
     }
 
     #[test]

@@ -19,11 +19,21 @@
 use std::collections::{HashMap, HashSet};
 use std::hash::BuildHasherDefault;
 
+use pb_faults::{FaultInjector, PbError};
 use pb_plan::{PlanNode, RelIdx, SelectionPredicate};
 
 use crate::data::eval_pred;
 use crate::exec::{index_range, Engine, EngineOutcome, Instrumentation, NodeStats};
-use crate::ledger::{lin2, lin3, Abort, Ctx, BATCH};
+use crate::ledger::{lin2, lin3, Ctx, Halt, BATCH};
+
+/// The replay of an over-budget batch ran to completion without aborting —
+/// the ledger's monotonicity argument (or an injected ledger fault) has been
+/// violated; surface it as a typed error instead of dying.
+fn replay_anomaly() -> Halt {
+    Halt::Fault(PbError::MonotonicityViolation(
+        "batch-end ledger value exceeded the budget but replay completed".into(),
+    ))
+}
 
 /// Multiply–xorshift hasher for the vectorized engine's internal hash
 /// tables. Join/aggregate tables are private state — only the *outcome*
@@ -136,10 +146,21 @@ fn gather(src: &[Vec<i64>], sel: &[u32], out: &mut [Vec<i64>]) {
 impl Engine<'_> {
     /// Vectorized execution (the default behind [`Engine::execute`]).
     pub fn execute_vectorized(&self, plan: &PlanNode, budget: f64) -> EngineOutcome {
+        self.execute_vectorized_with(plan, budget, &FaultInjector::none())
+    }
+
+    /// Vectorized execution with an armed fault injector.
+    pub fn execute_vectorized_with(
+        &self,
+        plan: &PlanNode,
+        budget: f64,
+        faults: &FaultInjector,
+    ) -> EngineOutcome {
         let mut ctx = Ctx {
             spent: 0.0,
             budget,
             instr: vec![NodeStats::default(); plan.size()],
+            faults,
         };
         let mut next_id = 0usize;
         match self.veval(plan, &mut ctx, &mut next_id, false) {
@@ -151,26 +172,36 @@ impl Engine<'_> {
                     instr: Instrumentation { nodes: ctx.instr },
                 }
             }
-            Err(Abort) => EngineOutcome::Aborted {
+            Err(Halt::Abort) => EngineOutcome::Aborted {
+                cost: ctx.spent,
+                instr: Instrumentation { nodes: ctx.instr },
+            },
+            Err(Halt::Fault(error)) => EngineOutcome::Failed {
+                error,
                 cost: ctx.spent,
                 instr: Instrumentation { nodes: ctx.instr },
             },
         }
     }
 
-    fn resolve_residuals(&self, out_rels: &[RelIdx], lw: usize, edges: &[usize]) -> Vec<ResCheck> {
+    fn resolve_residuals(
+        &self,
+        out_rels: &[RelIdx],
+        lw: usize,
+        edges: &[usize],
+    ) -> Result<Vec<ResCheck>, Halt> {
         edges
             .iter()
             .map(|&e| {
                 let j = &self.query.joins[e];
-                let a = self.offset(out_rels, j.left_rel, j.left_col);
-                let b = self.offset(out_rels, j.right_rel, j.right_col);
-                ResCheck {
+                let a = self.offset(out_rels, j.left_rel, j.left_col)?;
+                let b = self.offset(out_rels, j.right_rel, j.right_col)?;
+                Ok(ResCheck {
                     a_left: a < lw,
                     a: if a < lw { a } else { a - lw },
                     b_left: b < lw,
                     b: if b < lw { b } else { b - lw },
-                }
+                })
             })
             .collect()
     }
@@ -180,14 +211,14 @@ impl Engine<'_> {
     #[allow(clippy::too_many_arguments)]
     fn ventry_scan(
         &self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         my_id: usize,
         entries: &[(i64, u32)],
         pass: &dyn Fn(usize) -> bool,
         source: &[Vec<i64>],
         entry_rate: f64,
         store: bool,
-    ) -> Result<(Vec<Vec<i64>>, u64), Abort> {
+    ) -> Result<(Vec<Vec<i64>>, u64), Halt> {
         let p = self.params;
         let base = ctx.spent;
         let mut emitted = 0u64;
@@ -219,9 +250,9 @@ impl Engine<'_> {
                         ctx.instr[my_id].output_tuples += 1;
                     }
                 }
-                unreachable!("batch-end ledger value exceeded the budget but replay completed");
+                return Err(replay_anomaly());
             }
-            ctx.spent = end;
+            ctx.commit(end)?;
             emitted += k;
             ctx.instr[my_id].output_tuples = emitted;
             if store {
@@ -239,7 +270,7 @@ impl Engine<'_> {
     #[allow(clippy::too_many_arguments)]
     fn smj_replay(
         &self,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         my_id: usize,
         base: f64,
         step_rate: f64,
@@ -254,16 +285,13 @@ impl Engine<'_> {
         mut j: usize,
         mut steps: u64,
         mut emitted: u64,
-    ) -> Abort {
+    ) -> Halt {
         let p = self.params;
         ctx.instr[my_id].output_tuples = emitted;
         while i < lk.len() && j < rk.len() {
             steps += 1;
-            if ctx
-                .settle(lin2(base, steps, step_rate, emitted, p.emit_tuple))
-                .is_err()
-            {
-                return Abort;
+            if let Err(h) = ctx.settle(lin2(base, steps, step_rate, emitted, p.emit_tuple)) {
+                return h;
             }
             let (a, b) = (lk[i], rk[j]);
             if a < b {
@@ -277,11 +305,10 @@ impl Engine<'_> {
                     for &rp in &rperm[j..j_end] {
                         if res_pass(residuals, lcols, lp as usize, rcols, rp as usize) {
                             emitted += 1;
-                            if ctx
-                                .settle(lin2(base, steps, step_rate, emitted, p.emit_tuple))
-                                .is_err()
+                            if let Err(h) =
+                                ctx.settle(lin2(base, steps, step_rate, emitted, p.emit_tuple))
                             {
-                                return Abort;
+                                return h;
                             }
                             ctx.instr[my_id].output_tuples += 1;
                         }
@@ -291,7 +318,7 @@ impl Engine<'_> {
                 j = j_end;
             }
         }
-        unreachable!("checkpointed ledger value exceeded the budget but replay completed")
+        replay_anomaly()
     }
 
     /// Evaluate a subtree vectorized. Mirrors `Engine::eval` operator by
@@ -299,10 +326,10 @@ impl Engine<'_> {
     fn veval(
         &self,
         node: &PlanNode,
-        ctx: &mut Ctx,
+        ctx: &mut Ctx<'_>,
         next_id: &mut usize,
         store: bool,
-    ) -> Result<VRel, Abort> {
+    ) -> Result<VRel, Halt> {
         let my_id = *next_id;
         *next_id += 1;
         let p = self.params;
@@ -351,11 +378,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     emitted += k;
                     ctx.instr[my_id].output_tuples = emitted;
                     if store {
@@ -380,10 +405,12 @@ impl Engine<'_> {
                 let t = self.db.table(self.query.relations[*rel].table);
                 let preds = &self.query.relations[*rel].selections;
                 let key_pred = &preds[*sel_idx];
-                let ix = t
-                    .indexes
-                    .get(&key_pred.column.column)
-                    .expect("index scan over unindexed column");
+                let Some(ix) = t.indexes.get(&key_pred.column.column) else {
+                    return Err(Halt::Fault(PbError::UnindexedColumn(format!(
+                        "rel {rel} column {}",
+                        key_pred.column.column
+                    ))));
+                };
                 ctx.charge(3.0 * p.random_page)?;
                 let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
                 let range = index_range(ix, key_pred);
@@ -403,10 +430,12 @@ impl Engine<'_> {
             PlanNode::FullIndexScan { rel, column } => {
                 let t = self.db.table(self.query.relations[*rel].table);
                 let preds = &self.query.relations[*rel].selections;
-                let ix = t
-                    .indexes
-                    .get(&column.column)
-                    .expect("full index scan over unindexed column");
+                let Some(ix) = t.indexes.get(&column.column) else {
+                    return Err(Halt::Fault(PbError::UnindexedColumn(format!(
+                        "rel {rel} column {}",
+                        column.column
+                    ))));
+                };
                 ctx.charge((t.rows as f64 / 256.0).max(1.0) * p.seq_page)?;
                 let entry_rate = p.cpu_index_tuple
                     + p.random_page * p.heap_fetch_factor
@@ -432,7 +461,7 @@ impl Engine<'_> {
                 let b = self.veval(build, ctx, next_id, true)?;
                 let pr = self.veval(probe, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0);
+                let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0)?;
                 let base = ctx.spent;
                 let build_rate = p.cpu_tuple + p.hash_build;
                 let mut table: FastMap<i64, Vec<u32>> = FastMap::default();
@@ -445,11 +474,9 @@ impl Engine<'_> {
                         for i in lo..hi {
                             ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     for (off, &v) in bcol[lo..hi].iter().enumerate() {
                         table.entry(v).or_default().push((lo + off) as u32);
                     }
@@ -457,7 +484,7 @@ impl Engine<'_> {
                 }
                 let out_rels: Vec<RelIdx> = b.rels.iter().chain(&pr.rels).copied().collect();
                 let lw: usize = b.rels.iter().map(|&x| self.ncols(x)).sum();
-                let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..]);
+                let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..])?;
                 let pbase = ctx.spent;
                 let mut emitted = 0u64;
                 let mut cols = if store {
@@ -509,11 +536,9 @@ impl Engine<'_> {
                                 }
                             }
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     emitted += k;
                     ctx.instr[my_id].output_tuples = emitted;
                     if store {
@@ -543,7 +568,7 @@ impl Engine<'_> {
                 let l = self.veval(left, ctx, next_id, true)?;
                 let r = self.veval(right, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
                 if *sort_left {
                     let n = l.len.max(2) as f64;
                     ctx.charge(n * n.log2() * 2.0 * p.cpu_operator)?;
@@ -563,7 +588,7 @@ impl Engine<'_> {
                 let rk: Vec<i64> = rperm.iter().map(|&x| r.cols[rkey][x as usize]).collect();
                 let out_rels: Vec<RelIdx> = l.rels.iter().chain(&r.rels).copied().collect();
                 let lw: usize = l.rels.iter().map(|&x| self.ncols(x)).sum();
-                let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..]);
+                let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..])?;
                 let base = ctx.spent;
                 let step_rate = 2.0 * p.cpu_operator;
                 let (ln, rn) = (lk.len(), rk.len());
@@ -625,7 +650,7 @@ impl Engine<'_> {
                                 &r.cols, &residuals, ci, cj, csteps, cemitted,
                             ));
                         }
-                        ctx.spent = end;
+                        ctx.commit(end)?;
                         ctx.instr[my_id].output_tuples = emitted;
                         if store {
                             for (c, o) in l.cols.iter().zip(&mut cols[..lw]) {
@@ -650,7 +675,7 @@ impl Engine<'_> {
                             &r.cols, &residuals, ci, cj, csteps, cemitted,
                         ));
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     ctx.instr[my_id].output_tuples = emitted;
                     if store {
                         for (c, o) in l.cols.iter().zip(&mut cols[..lw]) {
@@ -682,14 +707,16 @@ impl Engine<'_> {
                 } else {
                     (j0.right_rel, j0.right_col, j0.left_col)
                 };
-                let okey = self.offset(&o.rels, okey_rel, okey_col);
-                let ix = t
-                    .indexes
-                    .get(&ikey_col.column)
-                    .expect("index NL join over unindexed inner column");
+                let okey = self.offset(&o.rels, okey_rel, okey_col)?;
+                let Some(ix) = t.indexes.get(&ikey_col.column) else {
+                    return Err(Halt::Fault(PbError::UnindexedColumn(format!(
+                        "rel {inner_rel} column {}",
+                        ikey_col.column
+                    ))));
+                };
                 let out_rels: Vec<RelIdx> = o.rels.iter().copied().chain([*inner_rel]).collect();
                 let ow: usize = o.rels.iter().map(|&x| self.ncols(x)).sum();
-                let residuals = self.resolve_residuals(&out_rels, ow, &edges[1..]);
+                let residuals = self.resolve_residuals(&out_rels, ow, &edges[1..])?;
                 let base = ctx.spent;
                 let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
                 let (mut looks, mut probed, mut emitted) = (0u64, 0u64, 0u64);
@@ -774,11 +801,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     looks += 1;
                     probed += nprobe;
                     emitted += k;
@@ -808,7 +833,7 @@ impl Engine<'_> {
                 let inn = self.veval(inner, ctx, next_id, true)?;
                 let out_rels: Vec<RelIdx> = o.rels.iter().chain(&inn.rels).copied().collect();
                 let ow: usize = o.rels.iter().map(|&x| self.ncols(x)).sum();
-                let residuals = self.resolve_residuals(&out_rels, ow, edges);
+                let residuals = self.resolve_residuals(&out_rels, ow, edges)?;
                 let base = ctx.spent;
                 let pair_rate = p.cpu_operator * edges.len().max(1) as f64;
                 let (mut pairs_n, mut emitted) = (0u64, 0u64);
@@ -843,11 +868,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     pairs_n += inn.len as u64;
                     emitted += k;
                     ctx.instr[my_id].output_tuples = emitted;
@@ -871,7 +894,7 @@ impl Engine<'_> {
                 let l = self.veval(left, ctx, next_id, true)?;
                 let r = self.veval(right, ctx, next_id, true)?;
                 let j0 = &self.query.joins[edges[0]];
-                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0);
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
                 let base = ctx.spent;
                 let build_rate = p.cpu_tuple + p.hash_build;
                 let mut keys: FastSet<i64> = FastSet::default();
@@ -884,11 +907,9 @@ impl Engine<'_> {
                         for i in lo..hi {
                             ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     keys.extend(rcol[lo..hi].iter().copied());
                     lo = hi;
                 }
@@ -934,11 +955,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     emitted += k;
                     ctx.instr[my_id].output_tuples = emitted;
                     if store {
@@ -962,7 +981,7 @@ impl Engine<'_> {
                     .group_by
                     .iter()
                     .map(|&(r, c)| self.offset(&i.rels, r, c))
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 // Group keys: the general path hashes a Vec<i64> per row;
                 // zero- and one-column keys (the common shapes) skip that.
                 let mut groups: FastMap<Vec<i64>, i64> = FastMap::default();
@@ -975,11 +994,9 @@ impl Engine<'_> {
                         for n in lo..hi {
                             ctx.settle(lin2(base, n as u64 + 1, in_rate, 0, 0.0))?;
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     match key_offs.as_slice() {
                         [] => *groups.entry(Vec::new()).or_insert(0) += (hi - lo) as i64,
                         [c] => {
@@ -1017,14 +1034,16 @@ impl Engine<'_> {
                             ctx.settle(lin2(gbase, g, p.emit_tuple, 0, 0.0))?;
                             ctx.instr[my_id].output_tuples += 1;
                         }
-                        unreachable!(
-                            "batch-end ledger value exceeded the budget but replay completed"
-                        );
+                        return Err(replay_anomaly());
                     }
-                    ctx.spent = end;
+                    ctx.commit(end)?;
                     if store {
                         for _ in 0..chunk {
-                            let (key, count) = giter.next().expect("group under-count");
+                            let Some((key, count)) = giter.next() else {
+                                return Err(Halt::Fault(PbError::Internal(
+                                    "group under-count".into(),
+                                )));
+                            };
                             for (c, v) in cols.iter_mut().zip(key.iter().chain([count])) {
                                 c.push(*v);
                             }
@@ -1066,7 +1085,7 @@ mod tests {
 
     fn setup() -> (Database, QuerySpec, CostModel) {
         let cat = tpch::catalog(0.005);
-        let db = Database::generate(&cat, 7, &[]);
+        let db = Database::generate(&cat, 7, &[]).expect("generate");
         let mut qb = QueryBuilder::new(&cat, "vq");
         let p = qb.rel("part");
         let l = qb.rel("lineitem");
@@ -1092,10 +1111,12 @@ mod tests {
             sort_left: true,
             sort_right: true,
         };
+        let inert = FaultInjector::none();
         let mut ctx = Ctx {
             spent: 0.0,
             budget: f64::INFINITY,
             instr: vec![NodeStats::default(); plan.size()],
+            faults: &inert,
         };
         let mut next_id = 0usize;
         let rel = eng

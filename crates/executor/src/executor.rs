@@ -1,27 +1,39 @@
 //! Budgeted plan execution in cost units.
 
 use pb_cost::{CostPerturbation, CostProgram, Coster, NodeCost};
+use pb_faults::{FaultInjector, PbError};
 use pb_plan::{DimId, PlanFingerprint, PlanNode, QuerySpec, RelIdx};
 
 /// Outcome of a plain cost-limited execution (basic bouquet driver).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecOutcome {
     /// The plan finished within the budget; `cost` is what it consumed.
     Completed { cost: f64 },
     /// The budget was exhausted first; exactly `spent == budget` was wasted.
     Aborted { spent: f64 },
+    /// The execution died mid-flight (injected or real operator fault) after
+    /// consuming `spent` units. Unlike an abort, the budget was not the
+    /// limiting factor and nothing was learned.
+    Failed { spent: f64, error: PbError },
 }
 
 impl ExecOutcome {
     pub fn spent(&self) -> f64 {
-        match *self {
-            ExecOutcome::Completed { cost } => cost,
-            ExecOutcome::Aborted { spent } => spent,
+        match self {
+            ExecOutcome::Completed { cost } => *cost,
+            ExecOutcome::Aborted { spent } | ExecOutcome::Failed { spent, .. } => *spent,
         }
     }
 
     pub fn completed(&self) -> bool {
         matches!(self, ExecOutcome::Completed { .. })
+    }
+
+    pub fn error(&self) -> Option<&PbError> {
+        match self {
+            ExecOutcome::Failed { error, .. } => Some(error),
+            _ => None,
+        }
     }
 }
 
@@ -39,6 +51,9 @@ pub struct RunResult {
     /// Dimensions whose error node consumed its entire input — their true
     /// selectivity is now exactly known.
     pub resolved: Vec<DimId>,
+    /// Set when the execution died on a fault rather than completing or
+    /// exhausting the budget; `spent` still reflects the work wasted.
+    pub error: Option<PbError>,
 }
 
 /// Find the first node, in execution (post)order, that applies at least one
@@ -90,10 +105,13 @@ pub fn learnable_node<'p>(
 }
 
 /// Cost-unit execution simulator bound to (catalog, query, cost model) via a
-/// [`Coster`], with an optional bounded model-error perturbation.
+/// [`Coster`], with an optional bounded model-error perturbation and an
+/// optional fault injector (inert by default — with [`FaultInjector::none`]
+/// every outcome is bit-identical to the hook-free code).
 pub struct Executor<'a> {
     pub coster: Coster<'a>,
     pub perturb: CostPerturbation,
+    pub faults: FaultInjector,
 }
 
 impl<'a> Executor<'a> {
@@ -101,28 +119,80 @@ impl<'a> Executor<'a> {
         Executor {
             coster,
             perturb: CostPerturbation::none(),
+            faults: FaultInjector::none(),
         }
     }
 
     pub fn with_perturbation(coster: Coster<'a>, perturb: CostPerturbation) -> Self {
-        Executor { coster, perturb }
+        Executor {
+            coster,
+            perturb,
+            faults: FaultInjector::none(),
+        }
+    }
+
+    /// Arm a fault injector (chaos campaigns, robustness drivers).
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The actual run-time cost of executing `plan` to completion at the
-    /// true location `qa` (modeled cost × bounded model-error factor).
+    /// true location `qa` (modeled cost × bounded model-error factor; an
+    /// armed injector may additionally spike the cost beyond the δ band).
     pub fn actual_cost(&self, plan: &PlanNode, qa: &[f64]) -> f64 {
         let modeled = self.coster.plan_cost(plan, qa);
-        self.perturb.actual_cost(plan.fingerprint(), qa, modeled)
+        let actual = self.perturb.actual_cost(plan.fingerprint(), qa, modeled);
+        if self.faults.is_active() {
+            actual * self.faults.spike_factor()
+        } else {
+            actual
+        }
+    }
+
+    /// Shared budget logic: fault checks (operator failure, clock skew,
+    /// abort over-charge) happen here and only here, so the plain and
+    /// compiled paths stay interchangeable.
+    fn budgeted(&self, cost: f64, budget: f64, site: &str) -> ExecOutcome {
+        if !self.faults.is_active() {
+            return if cost <= budget {
+                ExecOutcome::Completed { cost }
+            } else {
+                ExecOutcome::Aborted { spent: budget }
+            };
+        }
+        if let Some((frac, error)) = self.faults.exec_failure(site) {
+            // Died after a fraction of the work it would have done (bounded
+            // by the budget when finite, so the spend is always chargeable).
+            let bound = if budget.is_finite() {
+                budget.min(cost)
+            } else {
+                cost
+            };
+            return ExecOutcome::Failed {
+                spent: bound * frac,
+                error,
+            };
+        }
+        // Clock skew only makes sense for finite budgets (∞ × 0 is NaN).
+        let effective = if budget.is_finite() {
+            self.faults.skewed_budget(budget)
+        } else {
+            budget
+        };
+        if cost <= effective {
+            ExecOutcome::Completed { cost }
+        } else {
+            ExecOutcome::Aborted {
+                spent: effective * self.faults.abort_charge_factor(),
+            }
+        }
     }
 
     /// Plain cost-limited execution (the basic driver's primitive).
     pub fn execute(&self, plan: &PlanNode, qa: &[f64], budget: f64) -> ExecOutcome {
         let cost = self.actual_cost(plan, qa);
-        if cost <= budget {
-            ExecOutcome::Completed { cost }
-        } else {
-            ExecOutcome::Aborted { spent: budget }
-        }
+        self.budgeted(cost, budget, "executor:execute")
     }
 
     /// [`actual_cost`](Executor::actual_cost) via a compiled program. The
@@ -138,7 +208,12 @@ impl<'a> Executor<'a> {
         stack: &mut Vec<NodeCost>,
     ) -> f64 {
         let modeled = prog.eval_with(qa, stack).cost;
-        self.perturb.actual_cost(fp, qa, modeled)
+        let actual = self.perturb.actual_cost(fp, qa, modeled);
+        if self.faults.is_active() {
+            actual * self.faults.spike_factor()
+        } else {
+            actual
+        }
     }
 
     /// [`execute`](Executor::execute) via a compiled program — the basic
@@ -153,11 +228,7 @@ impl<'a> Executor<'a> {
         stack: &mut Vec<NodeCost>,
     ) -> ExecOutcome {
         let cost = self.actual_cost_compiled(prog, fp, qa, stack);
-        if cost <= budget {
-            ExecOutcome::Completed { cost }
-        } else {
-            ExecOutcome::Aborted { spent: budget }
-        }
+        self.budgeted(cost, budget, "executor:execute-compiled")
     }
 
     /// Cost-limited execution with selectivity monitoring.
@@ -182,16 +253,61 @@ impl<'a> Executor<'a> {
         budget: f64,
         spilled: bool,
     ) -> RunResult {
+        if self.faults.is_active() {
+            if spilled {
+                if let Some(error) = self.faults.spill_failure("executor:spill") {
+                    // The pipeline break itself failed before any real work;
+                    // the driver decides whether to retry unspilled.
+                    return RunResult {
+                        completed: false,
+                        spent: 0.0,
+                        learned: None,
+                        resolved: Vec::new(),
+                        error: Some(error),
+                    };
+                }
+            }
+            if let Some((frac, error)) = self.faults.exec_failure("executor:monitored") {
+                let spent = if budget.is_finite() {
+                    budget * frac
+                } else {
+                    0.0
+                };
+                return RunResult {
+                    completed: false,
+                    spent,
+                    learned: None,
+                    resolved: Vec::new(),
+                    error: Some(error),
+                };
+            }
+        }
+        let budget = if budget.is_finite() {
+            self.faults.skewed_budget(budget)
+        } else {
+            budget
+        };
         let learnable = learnable_node(plan, self.coster.query, resolved);
         let Some((node, dims)) = learnable else {
             // No unresolved error dimension in this plan: pure completion
             // attempt; nothing to learn on abort.
-            let out = self.execute(plan, qa, budget);
-            return RunResult {
-                completed: out.completed(),
-                spent: out.spent(),
-                learned: None,
-                resolved: Vec::new(),
+            let cost = self.actual_cost(plan, qa);
+            return if cost <= budget {
+                RunResult {
+                    completed: true,
+                    spent: cost,
+                    learned: None,
+                    resolved: Vec::new(),
+                    error: None,
+                }
+            } else {
+                RunResult {
+                    completed: false,
+                    spent: budget * self.faults.abort_charge_factor(),
+                    learned: None,
+                    resolved: Vec::new(),
+                    error: None,
+                }
             };
         };
 
@@ -219,15 +335,17 @@ impl<'a> Executor<'a> {
                 RunResult {
                     completed: false,
                     spent: exec_tree_cost,
-                    learned: Some((dim, qa[dim])),
+                    learned: Some((dim, self.faults.corrupt_observation(qa[dim]))),
                     resolved: dims,
+                    error: None,
                 }
             } else {
                 RunResult {
                     completed: true,
                     spent: exec_tree_cost,
-                    learned: Some((dim, qa[dim])),
+                    learned: Some((dim, self.faults.corrupt_observation(qa[dim]))),
                     resolved: dims,
+                    error: None,
                 }
             }
         } else {
@@ -235,9 +353,11 @@ impl<'a> Executor<'a> {
             let frac = ((budget - input_cost) / denom).clamp(0.0, 1.0);
             RunResult {
                 completed: false,
-                spent: budget,
-                learned: (frac > 0.0).then_some((dim, frac * qa[dim])),
+                spent: budget * self.faults.abort_charge_factor(),
+                learned: (frac > 0.0)
+                    .then_some((dim, self.faults.corrupt_observation(frac * qa[dim]))),
                 resolved: Vec::new(),
+                error: None,
             }
         }
     }

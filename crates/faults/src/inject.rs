@@ -1,0 +1,315 @@
+//! The runtime injector: deterministic, interior-mutable, inert when empty.
+
+use std::cell::Cell;
+
+use crate::error::PbError;
+use crate::plan::{FaultKind, FaultPlan, Trigger};
+use crate::rng::{splitmix64, unit_f64};
+
+/// One armed fault: the spec plus its consultation counter and RNG stream.
+#[derive(Debug)]
+struct Armed {
+    kind: FaultKind,
+    trigger: Trigger,
+    count: Cell<u64>,
+    rng: Cell<u64>,
+}
+
+impl Armed {
+    /// Advance the consultation counter and decide whether this fault fires.
+    fn fires(&self) -> bool {
+        let n = self.count.get() + 1;
+        self.count.set(n);
+        match self.trigger {
+            Trigger::Nth(k) => n == k,
+            Trigger::Every(k) => k > 0 && n.is_multiple_of(k),
+            Trigger::PerMille(pm) => {
+                let mut s = self.rng.get();
+                let w = splitmix64(&mut s);
+                self.rng.set(s);
+                unit_f64(w) * 1000.0 < f64::from(pm)
+            }
+        }
+    }
+}
+
+/// Bit per [`FaultKind`] variant, for O(1) "nothing of this kind" checks so
+/// that hooks on hot paths cost one load + branch when a kind is unused.
+fn kind_bit(k: &FaultKind) -> u8 {
+    match k {
+        FaultKind::OperatorFailure { .. } => 1,
+        FaultKind::LedgerOverCharge { .. } => 1 << 1,
+        FaultKind::SpillFailure => 1 << 2,
+        FaultKind::CorruptObservation { .. } => 1 << 3,
+        FaultKind::BudgetClockSkew { .. } => 1 << 4,
+        FaultKind::PerturbationSpike { .. } => 1 << 5,
+    }
+}
+
+/// Consults a [`FaultPlan`] at well-defined hook points.
+///
+/// The injector is deterministic: hooks advance per-spec counters (and, for
+/// probabilistic triggers, a per-spec splitmix64 stream seeded from the plan
+/// seed), so a fixed call sequence always produces the same faults. An
+/// injector built from an empty plan never fires and never perturbs any
+/// value passed through it.
+#[derive(Debug)]
+pub struct FaultInjector {
+    armed: Vec<Armed>,
+    mask: u8,
+}
+
+impl FaultInjector {
+    /// The inert injector: every hook is an exact no-op.
+    pub fn none() -> Self {
+        FaultInjector {
+            armed: Vec::new(),
+            mask: 0,
+        }
+    }
+
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut mask = 0u8;
+        let armed = plan
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                mask |= kind_bit(&s.kind);
+                Armed {
+                    kind: s.kind.clone(),
+                    trigger: s.trigger,
+                    count: Cell::new(0),
+                    rng: Cell::new(plan.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+                }
+            })
+            .collect();
+        FaultInjector { armed, mask }
+    }
+
+    /// True when at least one fault is armed.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.mask != 0
+    }
+
+    #[inline]
+    fn has(&self, bit: u8) -> bool {
+        self.mask & bit != 0
+    }
+
+    // ---- engine-level hooks -------------------------------------------------
+
+    /// Operator failure at the Nth settled tuple (tuple path) or Nth batch
+    /// (vectorized path). Consulted once per tuple/batch.
+    #[inline]
+    pub fn tuple_failure(&self, site: &str) -> Option<PbError> {
+        if !self.has(1) {
+            return None;
+        }
+        self.operator_failure(site).map(|(_, e)| e)
+    }
+
+    /// Multiplicative factor applied to the triggered ledger charge/settle;
+    /// `1.0` when nothing fires. Consulted once per commit.
+    #[inline]
+    pub fn ledger_factor(&self) -> f64 {
+        if !self.has(1 << 1) {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        for a in &self.armed {
+            if let FaultKind::LedgerOverCharge { factor } = a.kind {
+                if a.fires() {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Spill failure at the given site.
+    #[inline]
+    pub fn spill_failure(&self, site: &str) -> Option<PbError> {
+        if !self.has(1 << 2) {
+            return None;
+        }
+        for a in &self.armed {
+            if matches!(a.kind, FaultKind::SpillFailure) && a.fires() {
+                return Some(PbError::SpillFailure { site: site.into() });
+            }
+        }
+        None
+    }
+
+    // ---- executor-level hooks ----------------------------------------------
+
+    /// Operator failure for a whole budgeted execution: returns the fraction
+    /// of the budget wasted before the fault, plus the error.
+    #[inline]
+    pub fn exec_failure(&self, site: &str) -> Option<(f64, PbError)> {
+        if !self.has(1) {
+            return None;
+        }
+        self.operator_failure(site)
+    }
+
+    fn operator_failure(&self, site: &str) -> Option<(f64, PbError)> {
+        for a in &self.armed {
+            if let FaultKind::OperatorFailure { waste_frac } = a.kind {
+                if a.fires() {
+                    return Some((
+                        waste_frac.clamp(0.0, 1.0),
+                        PbError::OperatorFailure { site: site.into() },
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Budget clock skew: the budget the executor actually honours.
+    #[inline]
+    pub fn skewed_budget(&self, budget: f64) -> f64 {
+        if !self.has(1 << 4) {
+            return budget;
+        }
+        let mut b = budget;
+        for a in &self.armed {
+            if let FaultKind::BudgetClockSkew { factor } = a.kind {
+                if a.fires() {
+                    b *= factor;
+                }
+            }
+        }
+        b
+    }
+
+    /// Cost-spike factor beyond the δ band; `1.0` when nothing fires.
+    #[inline]
+    pub fn spike_factor(&self) -> f64 {
+        if !self.has(1 << 5) {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        for a in &self.armed {
+            if let FaultKind::PerturbationSpike { factor } = a.kind {
+                if a.fires() {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Corrupt a learned selectivity observation.
+    #[inline]
+    pub fn corrupt_observation(&self, v: f64) -> f64 {
+        if !self.has(1 << 3) {
+            return v;
+        }
+        let mut x = v;
+        for a in &self.armed {
+            if let FaultKind::CorruptObservation { scale } = a.kind {
+                if a.fires() {
+                    x *= scale;
+                }
+            }
+        }
+        x
+    }
+
+    /// Factor applied to an abort's reported spend (executor-level ledger
+    /// over-charge); `1.0` when nothing fires.
+    #[inline]
+    pub fn abort_charge_factor(&self) -> f64 {
+        self.ledger_factor()
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultSpec;
+
+    #[test]
+    fn inert_injector_is_a_no_op() {
+        let i = FaultInjector::none();
+        assert!(!i.is_active());
+        assert!(i.tuple_failure("x").is_none());
+        assert!(i.exec_failure("x").is_none());
+        assert!(i.spill_failure("x").is_none());
+        // Neutral pass-throughs must be the *same bits*, not just close.
+        for v in [0.0, -0.0, 1.5e300, f64::MIN_POSITIVE] {
+            assert_eq!(i.skewed_budget(v).to_bits(), v.to_bits());
+            assert_eq!(i.corrupt_observation(v).to_bits(), v.to_bits());
+        }
+        assert_eq!(i.ledger_factor(), 1.0);
+        assert_eq!(i.spike_factor(), 1.0);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let p = FaultPlan::new(1).with(
+            FaultKind::OperatorFailure { waste_frac: 0.5 },
+            Trigger::Nth(3),
+        );
+        let i = FaultInjector::new(&p);
+        let fires: Vec<bool> = (0..6).map(|_| i.tuple_failure("op").is_some()).collect();
+        assert_eq!(fires, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn every_trigger_is_periodic() {
+        let p = FaultPlan::new(1).with(
+            FaultKind::LedgerOverCharge { factor: 2.0 },
+            Trigger::Every(2),
+        );
+        let i = FaultInjector::new(&p);
+        let fs: Vec<f64> = (0..4).map(|_| i.ledger_factor()).collect();
+        assert_eq!(fs, vec![1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn per_mille_is_deterministic_across_instances() {
+        let p = FaultPlan::new(77).with(
+            FaultKind::CorruptObservation { scale: 3.0 },
+            Trigger::PerMille(500),
+        );
+        let a = FaultInjector::new(&p);
+        let b = FaultInjector::new(&p);
+        let xa: Vec<f64> = (0..32).map(|_| a.corrupt_observation(1.0)).collect();
+        let xb: Vec<f64> = (0..32).map(|_| b.corrupt_observation(1.0)).collect();
+        assert_eq!(xa, xb);
+        // At 50% per-mille some but not all consultations fire.
+        assert!(xa.contains(&3.0) && xa.contains(&1.0));
+    }
+
+    #[test]
+    fn counters_are_per_spec() {
+        let p = FaultPlan {
+            seed: 0,
+            specs: vec![
+                FaultSpec {
+                    kind: FaultKind::BudgetClockSkew { factor: 0.5 },
+                    trigger: Trigger::Nth(1),
+                },
+                FaultSpec {
+                    kind: FaultKind::PerturbationSpike { factor: 4.0 },
+                    trigger: Trigger::Nth(2),
+                },
+            ],
+        };
+        let i = FaultInjector::new(&p);
+        assert_eq!(i.skewed_budget(10.0), 5.0);
+        assert_eq!(i.skewed_budget(10.0), 10.0);
+        assert_eq!(i.spike_factor(), 1.0);
+        assert_eq!(i.spike_factor(), 4.0);
+    }
+}

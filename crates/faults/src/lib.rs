@@ -1,0 +1,28 @@
+//! Typed errors and deterministic fault injection for the plan-bouquet stack.
+//!
+//! The paper's MSO guarantee assumes a well-behaved substrate: costs obey the
+//! plan cost monotonicity (PCM) assumption, executions fail only by exceeding
+//! their budget, and the driver itself never dies mid-contour. This crate
+//! supplies the two ingredients needed to *test* that assumption set and to
+//! survive its violation:
+//!
+//! * [`PbError`] — a workspace-wide error taxonomy replacing panics in
+//!   non-test library code, and
+//! * [`FaultPlan`] / [`FaultInjector`] — a seeded, fully deterministic fault
+//!   schedule that the engine, the cost-unit executor and the bouquet drivers
+//!   consult at well-defined hook points.
+//!
+//! Determinism contract: a given `(FaultPlan, hook-call sequence)` always
+//! fires the same faults, and an **empty** plan is inert — every hook is an
+//! exact no-op, so runs with `FaultInjector::none()` are bit-identical to
+//! runs compiled before this crate existed.
+
+mod error;
+mod inject;
+mod plan;
+mod rng;
+
+pub use error::PbError;
+pub use inject::FaultInjector;
+pub use plan::{FaultKind, FaultPlan, FaultSpec, Trigger};
+pub use rng::{splitmix64, unit_f64};

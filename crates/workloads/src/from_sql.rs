@@ -90,7 +90,7 @@ mod tests {
         let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
         assert!(b.stats.bouquet_cardinality >= 2);
         let qa = w.ess.point_at_fractions(&[0.7]);
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         assert!(run.completed());
         assert!(run.suboptimality(b.pic_cost(&qa)) <= b.mso_bound() * (1.0 + 1e-9));
     }

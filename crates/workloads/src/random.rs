@@ -200,7 +200,7 @@ mod tests {
             let n = w.ess.num_points();
             for li in (0..n).step_by((n / 50).max(1)) {
                 let qa = w.ess.point(&w.ess.unlinear(li));
-                for run in [b.run_basic(&qa), b.run_optimized(&qa)] {
+                for run in [b.run_basic(&qa).unwrap(), b.run_optimized(&qa).unwrap()] {
                     assert!(run.completed(), "seed {seed} li {li}");
                     let so = run.suboptimality(b.pic_cost_at(li));
                     assert!(

@@ -35,7 +35,7 @@ fn main() {
         t1.elapsed()
     );
     let qa = w.ess.point_at_fractions(&[0.65, 0.8]);
-    let run = loaded.run_optimized(&qa);
+    let run = loaded.run_optimized(&qa).unwrap();
     println!(
         "         discovered qa in {} executions, SubOpt {:.2} (guarantee {:.1})",
         run.trace.len(),
@@ -58,7 +58,7 @@ fn main() {
         report.new_plans
     );
     let qa4 = grown.ess.point_at_fractions(&[0.65, 0.8]);
-    let run4 = refreshed.run_optimized(&qa4);
+    let run4 = refreshed.run_optimized(&qa4).unwrap();
     println!(
         "refreshed bouquet still discovers within bound: SubOpt {:.2} <= {:.1}",
         run4.suboptimality(refreshed.pic_cost(&qa4)),

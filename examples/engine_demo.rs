@@ -51,7 +51,8 @@ fn main() {
                 ndv: 500,
             },
         ],
-    );
+    )
+    .expect("generate");
 
     // Where does the optimizer THINK the query is, and where IS it?
     let est = Estimator::new(&w.catalog);

@@ -80,7 +80,7 @@ fn measure(b: &Bouquet) -> (f64, f64) {
     let mut sum = 0.0f64;
     for li in 0..ess.num_points() {
         let qa = ess.point(&ess.unlinear(li));
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         assert!(run.completed());
         let so = run.suboptimality(b.pic_cost_at(li));
         worst = worst.max(so);

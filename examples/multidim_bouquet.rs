@@ -55,8 +55,8 @@ fn main() {
         qa[0], qa[1], qa[2]
     );
     for (label, run) in [
-        ("basic", b.run_basic(&qa)),
-        ("optimized", b.run_optimized(&qa)),
+        ("basic", b.run_basic(&qa).unwrap()),
+        ("optimized", b.run_optimized(&qa).unwrap()),
     ] {
         let opt = b.pic_cost(&qa);
         println!(

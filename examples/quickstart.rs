@@ -55,7 +55,7 @@ fn main() {
         "true selectivity qa = {:.2}% (never estimated!)",
         qa[0] * 100.0
     );
-    let run = bouquet.run_basic(&qa);
+    let run = bouquet.run_basic(&qa).unwrap();
     println!("discovery sequence:");
     for e in &run.trace {
         println!(
@@ -80,7 +80,7 @@ fn main() {
     );
 
     // Repeatability: the same query instance always yields the same strategy.
-    assert_eq!(run, bouquet.run_basic(&qa));
+    assert_eq!(run, bouquet.run_basic(&qa).unwrap());
     println!("re-running produces the identical execution strategy — repeatable.");
 }
 

@@ -27,7 +27,7 @@ fn main() {
         "evaluating {name} over {} grid locations ...",
         w.ess.num_points()
     );
-    let ev = evaluate(&w, &EvalConfig::default());
+    let ev = evaluate(&w, &EvalConfig::default()).expect("evaluate");
 
     println!("\ncost gradient C_max/C_min: {:.0}", ev.cmax / ev.cmin);
     println!("isocost contours: {}", ev.num_contours);

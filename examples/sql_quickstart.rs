@@ -42,7 +42,7 @@ fn main() {
     // Pretend the actual selectivity is whatever you like — say 5%.
     let qa = w.ess.point_at_fractions(&[0.72]);
     println!("discovering qa = {:.2}% ...", qa[0] * 100.0);
-    let run = b.run_basic(&qa);
+    let run = b.run_basic(&qa).unwrap();
     for e in &run.trace {
         println!(
             "  IC{:<2} P{:<2} {:>10.0}/{:>10.0} {}",

@@ -12,6 +12,8 @@
 //! * [`optimizer`] — dynamic-programming optimizer, POSP generation,
 //!   plan diagrams and anorexic reduction.
 //! * [`executor`] — cost-unit budgeted execution simulation.
+//! * [`faults`] — typed error taxonomy and deterministic seeded fault
+//!   injection for chaos testing the run-time stack.
 //! * [`engine`] — tuple-at-a-time volcano engine over generated data.
 //! * [`bouquet`] — the paper's contribution: isocost contours, bouquet
 //!   identification, run-time drivers, robustness metrics and theory bounds.
@@ -29,7 +31,7 @@
 //!
 //! // Run the bouquet at a "true" selectivity the optimizer never sees.
 //! let qa = w.ess.point_at_fractions(&[0.7]);
-//! let outcome = bouquet.run_basic(&qa);
+//! let outcome = bouquet.run_basic(&qa).unwrap();
 //! assert!(matches!(outcome.outcome, ExecutionOutcome::Completed { .. }));
 //! // The worst-case guarantee of Theorem 3 holds at every location.
 //! assert!(outcome.suboptimality(bouquet.pic_cost(&qa)) <= bouquet.mso_bound());
@@ -40,6 +42,7 @@ pub use pb_catalog as catalog;
 pub use pb_cost as cost;
 pub use pb_engine as engine;
 pub use pb_executor as executor;
+pub use pb_faults as faults;
 pub use pb_optimizer as optimizer;
 pub use pb_plan as plan;
 pub use pb_workloads as workloads;

@@ -59,7 +59,7 @@ fn discovery_completes_within_bound_everywhere() {
         let step = (n / 500).max(1);
         for li in (0..n).step_by(step) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            for run in [b.run_basic(&qa), b.run_optimized(&qa)] {
+            for run in [b.run_basic(&qa).unwrap(), b.run_optimized(&qa).unwrap()] {
                 assert!(run.completed(), "{} at {li}", w.name);
                 let so = run.suboptimality(b.pic_cost_at(li));
                 assert!(
@@ -80,8 +80,11 @@ fn execution_strategy_is_repeatable_and_estimate_free() {
     let b2 = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
     for f in [[0.3, 0.3, 0.3], [0.9, 0.1, 0.5], [0.7, 0.7, 0.7]] {
         let qa = w.ess.point_at_fractions(&f);
-        assert_eq!(b1.run_basic(&qa), b2.run_basic(&qa));
-        assert_eq!(b1.run_optimized(&qa), b2.run_optimized(&qa));
+        assert_eq!(b1.run_basic(&qa).unwrap(), b2.run_basic(&qa).unwrap());
+        assert_eq!(
+            b1.run_optimized(&qa).unwrap(),
+            b2.run_optimized(&qa).unwrap()
+        );
     }
 }
 
@@ -93,7 +96,7 @@ fn off_grid_locations_are_also_discovered() {
     let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
     for f in [[0.33, 0.77], [0.011, 0.93], [0.5001, 0.4999]] {
         let qa = w.ess.point_at_fractions(&f);
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         assert!(run.completed());
         // Compare against the true (re-optimized) optimal cost at qa.
         let opt = w.optimal_cost(&qa);
@@ -135,7 +138,7 @@ fn deeper_locations_cost_more_to_discover() {
     let mut last = 0.0;
     for f in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let qa = w.ess.point_at_fractions(&[f]);
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         assert!(
             run.total_cost >= last * 0.99,
             "discovery cost should grow with depth"

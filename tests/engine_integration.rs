@@ -11,7 +11,7 @@ use plan_bouquet::workloads;
 
 fn setup() -> (plan_bouquet::bouquet::Workload, Database) {
     let w = workloads::h_q8a_2d(0.01);
-    let db = Database::generate(&w.catalog, 42, &[]);
+    let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
     (w, db)
 }
 
@@ -156,7 +156,7 @@ fn engine_bouquet_result_matches_oracle() {
 #[test]
 fn overrides_shift_measured_selectivities() {
     let w = workloads::h_q8a_2d(0.01);
-    let plain = Database::generate(&w.catalog, 5, &[]);
+    let plain = Database::generate(&w.catalog, 5, &[]).expect("generate");
     let skewed = Database::generate(
         &w.catalog,
         5,
@@ -172,7 +172,8 @@ fn overrides_shift_measured_selectivities() {
                 ndv: 50,
             },
         ],
-    );
+    )
+    .expect("generate");
     let s_plain = plain.actual_join_selectivity(&w.query, 0);
     let s_skewed = skewed.actual_join_selectivity(&w.query, 0);
     assert!(

@@ -15,7 +15,7 @@ use plan_bouquet::plan::{CmpOp, PlanNode, QueryBuilder, QuerySpec, SelSpec};
 /// and a group-by, so every operator the engines implement can appear.
 fn setup3(seed: u64, price_cut: f64) -> (Database, QuerySpec, CostModel) {
     let cat = tpch::catalog(0.005);
-    let db = Database::generate(&cat, seed, &[]);
+    let db = Database::generate(&cat, seed, &[]).expect("generate");
     let mut qb = QueryBuilder::new(&cat, "prop3");
     let p = qb.rel("part");
     let l = qb.rel("lineitem");
@@ -96,7 +96,7 @@ fn shape3(idx: usize) -> PlanNode {
 
 fn setup(seed: u64, price_cut: f64) -> (Database, plan_bouquet::plan::QuerySpec, CostModel) {
     let cat = tpch::catalog(0.005);
-    let db = Database::generate(&cat, seed, &[]);
+    let db = Database::generate(&cat, seed, &[]).expect("generate");
     let mut qb = QueryBuilder::new(&cat, "prop");
     let p = qb.rel("part");
     let l = qb.rel("lineitem");
@@ -114,7 +114,9 @@ fn setup(seed: u64, price_cut: f64) -> (Database, plan_bouquet::plan::QuerySpec,
 fn rows(out: EngineOutcome) -> usize {
     match out {
         EngineOutcome::Completed { rows, .. } => rows,
-        EngineOutcome::Aborted { .. } => panic!("unbudgeted run must complete"),
+        EngineOutcome::Aborted { .. } | EngineOutcome::Failed { .. } => {
+            panic!("unbudgeted run must complete")
+        }
     }
 }
 
@@ -240,7 +242,7 @@ proptest! {
         frac in 0.01f64..1.2,
     ) {
         let cat = tpcds::catalog(0.01);
-        let db = Database::generate(&cat, seed, &[]);
+        let db = Database::generate(&cat, seed, &[]).expect("generate");
         let mut qb = QueryBuilder::new(&cat, "prop_ds");
         let i = qb.rel("item");
         let ss = qb.rel("store_sales");

@@ -69,7 +69,7 @@ proptest! {
         let b = bouquet_2d();
         let w = &b.workload;
         let qa = w.ess.point_at_fractions(&f);
-        let run = b.run_basic(&qa);
+        let run = b.run_basic(&qa).unwrap();
         prop_assert!(run.completed());
         let opt = w.optimal_cost(&qa);
         let so = run.suboptimality(opt);
@@ -77,7 +77,7 @@ proptest! {
         // Off-grid locations sit between grid layers; allow one grid-cell
         // of slack on top of the guarantee.
         prop_assert!(so <= b.mso_bound() * 1.10, "SubOpt {so} vs bound {}", b.mso_bound());
-        prop_assert_eq!(run, b.run_basic(&qa));
+        prop_assert_eq!(run, b.run_basic(&qa).unwrap());
     }
 
     /// First-quadrant invariant: every learned value in an optimized run is
@@ -87,7 +87,7 @@ proptest! {
         let b = bouquet_2d();
         let w = &b.workload;
         let qa = w.ess.point_at_fractions(&f);
-        let run = b.run_optimized(&qa);
+        let run = b.run_optimized(&qa).unwrap();
         prop_assert!(run.completed());
         let mut last = vec![0.0f64; w.ess.d()];
         for e in &run.trace {

@@ -1,0 +1,214 @@
+//! Robustness integration tests: the fault-free equivalence of the robust
+//! driver (property-tested over random TPC-H / TPC-DS locations), typed
+//! dimension-mismatch errors, budget exhaustion under extreme model error,
+//! and the degradation ladder under persistent faults.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use pb_faults::{FaultKind, FaultPlan, PbError, Trigger};
+use plan_bouquet::bouquet::{Bouquet, BouquetConfig, ExecutionOutcome, RobustConfig, RobustEvent};
+use plan_bouquet::cost::{CostPerturbation, SelPoint};
+use plan_bouquet::workloads;
+
+fn bouquet_h() -> &'static Bouquet {
+    static B: OnceLock<Bouquet> = OnceLock::new();
+    B.get_or_init(|| {
+        let w = workloads::eq_1d();
+        Bouquet::identify(&w, &BouquetConfig::default()).unwrap()
+    })
+}
+
+fn bouquet_ds() -> &'static Bouquet {
+    static B: OnceLock<Bouquet> = OnceLock::new();
+    B.get_or_init(|| {
+        let w = workloads::ds_q15_3d();
+        Bouquet::identify(&w, &BouquetConfig::default()).unwrap()
+    })
+}
+
+/// With an empty fault plan, `run_robust` must be structurally identical to
+/// the plain driver it wraps — same trace, same outcome, same total — and
+/// must record nothing.
+fn assert_inert_equivalence(b: &Bouquet, qa: &SelPoint) {
+    for optimized in [false, true] {
+        let cfg = RobustConfig {
+            faults: FaultPlan::none(),
+            optimized,
+            ..Default::default()
+        };
+        let robust = b.run_robust(qa, &cfg).unwrap();
+        let plain = if optimized {
+            b.run_optimized(qa).unwrap()
+        } else {
+            b.run_basic(qa).unwrap()
+        };
+        assert_eq!(robust.run, plain, "optimized={optimized}");
+        assert!(robust.events.is_empty());
+        assert!(!robust.degraded);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TPC-H 1D: fault-free robust runs are the plain runs, at any location.
+    #[test]
+    fn empty_fault_plan_is_inert_tpch(f in 0.0f64..=1.0) {
+        let b = bouquet_h();
+        let qa = b.workload.ess.point_at_fractions(&[f]);
+        assert_inert_equivalence(b, &qa);
+    }
+
+    /// TPC-DS 3D: same property on a multidimensional error space.
+    #[test]
+    fn empty_fault_plan_is_inert_tpcds(f in [0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0]) {
+        let b = bouquet_ds();
+        let qa = b.workload.ess.point_at_fractions(&f);
+        assert_inert_equivalence(b, &qa);
+    }
+}
+
+#[test]
+fn dimension_mismatch_is_a_typed_error() {
+    let b = bouquet_h();
+    let qa = SelPoint(vec![0.5, 0.5]); // 2D point against a 1D bouquet
+    match b.run_basic(&qa) {
+        Err(PbError::DimensionMismatch {
+            expected: 1,
+            got: 2,
+        }) => {}
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+    assert!(b.run_optimized(&qa).is_err());
+    let cfg = RobustConfig::default();
+    assert!(b.run_robust(&qa, &cfg).is_err());
+}
+
+/// Under extreme model error (δ so large actual costs can exceed every
+/// overflow doubling) the basic driver must report `BudgetExhausted` rather
+/// than looping or panicking — and must still charge every abort.
+#[test]
+fn extreme_model_error_exhausts_the_budget_schedule() {
+    let w = workloads::eq_1d();
+    let mut exhausted = false;
+    for seed in 0..64 {
+        let cfg = BouquetConfig {
+            perturbation: CostPerturbation::with_delta(1e300, seed),
+            ..Default::default()
+        };
+        let b = Bouquet::identify(&w, &cfg).unwrap();
+        let qa = w.ess.point_at_fractions(&[0.9]);
+        let run = b.run_basic(&qa).unwrap();
+        if let ExecutionOutcome::BudgetExhausted { contours_tried } = run.outcome {
+            exhausted = true;
+            // The full schedule — grading plus all overflow doublings — was
+            // driven to the end.
+            assert!(contours_tried > b.contours.len());
+            assert!(run.trace.iter().all(|e| !e.completed));
+            let sum: f64 = run.trace.iter().map(|e| e.spent).sum();
+            assert!(
+                (sum - run.total_cost).abs() <= 1e-9 * sum,
+                "aborts must stay charged"
+            );
+            break;
+        }
+    }
+    assert!(
+        exhausted,
+        "no perturbation seed exhausted the schedule — δ=1e300 should defeat 64 doublings"
+    );
+}
+
+/// A transient operator failure is retried on the same plan; the wasted
+/// attempt stays charged and the run still completes.
+#[test]
+fn transient_fault_is_retried_and_charged() {
+    let b = bouquet_h();
+    let qa = b.workload.ess.point_at_fractions(&[0.7]);
+    let plain = b.run_basic(&qa).unwrap();
+    let cfg = RobustConfig {
+        faults: FaultPlan::new(5).with(
+            FaultKind::OperatorFailure { waste_frac: 0.5 },
+            Trigger::Nth(1),
+        ),
+        ..Default::default()
+    };
+    let robust = b.run_robust(&qa, &cfg).unwrap();
+    assert!(robust.run.completed());
+    assert!(!robust.degraded);
+    assert!(robust
+        .events
+        .iter()
+        .any(|e| matches!(e, RobustEvent::Retry { .. })));
+    // The faulted first attempt is charged on top of the plain schedule.
+    assert!(robust.run.total_cost > plain.total_cost);
+    let sum: f64 = robust.run.trace.iter().map(|e| e.spent).sum();
+    assert!((sum - robust.run.total_cost).abs() <= 1e-9 * sum);
+}
+
+/// A clock-skew fault that starves every budget trips the spend monitor and
+/// degrades to the native-optimizer rung, which completes unbudgeted.
+#[test]
+fn persistent_skew_degrades_to_native_execution() {
+    let b = bouquet_h();
+    let qa = b.workload.ess.point_at_fractions(&[0.9]);
+    let cfg = RobustConfig {
+        faults: FaultPlan::new(1).with(
+            FaultKind::BudgetClockSkew { factor: 1e-6 },
+            Trigger::Every(1),
+        ),
+        max_violations: 3,
+        ..Default::default()
+    };
+    let robust = b.run_robust(&qa, &cfg).unwrap();
+    assert!(robust.degraded);
+    assert!(matches!(
+        robust.run.outcome,
+        ExecutionOutcome::Degraded { .. }
+    ));
+    assert!(robust
+        .events
+        .iter()
+        .any(|e| matches!(e, RobustEvent::MonitorViolation { .. })));
+    assert!(robust
+        .events
+        .iter()
+        .any(|e| matches!(e, RobustEvent::Degraded { .. })));
+    // The degraded execution is the last trace entry, unbudgeted, completed.
+    let last = robust.run.trace.last().unwrap();
+    assert!(last.completed && last.budget.is_infinite());
+    // Every aborted probe before degradation stays charged.
+    let sum: f64 = robust.run.trace.iter().map(|e| e.spent).sum();
+    assert!((sum - robust.run.total_cost).abs() <= 1e-9 * sum);
+}
+
+/// Faults that never stop (every execution fails, retries exhausted, and the
+/// degraded rung fails too) end in `BudgetExhausted` — never a panic or an
+/// unaccounted abort.
+#[test]
+fn unrecoverable_faults_end_in_budget_exhausted() {
+    let b = bouquet_h();
+    let qa = b.workload.ess.point_at_fractions(&[0.5]);
+    let cfg = RobustConfig {
+        faults: FaultPlan::new(2).with(
+            FaultKind::OperatorFailure { waste_frac: 0.5 },
+            Trigger::Every(1),
+        ),
+        plan_retries: 1,
+        max_violations: 2,
+        ..Default::default()
+    };
+    let robust = b.run_robust(&qa, &cfg).unwrap();
+    assert!(matches!(
+        robust.run.outcome,
+        ExecutionOutcome::BudgetExhausted { .. }
+    ));
+    assert!(robust
+        .events
+        .iter()
+        .any(|e| matches!(e, RobustEvent::PlanAbandoned { .. })));
+    let sum: f64 = robust.run.trace.iter().map(|e| e.spent).sum();
+    assert!((sum - robust.run.total_cost).abs() <= 1e-9 * sum.abs().max(1.0));
+}

@@ -19,7 +19,10 @@ fn theorem1_holds_for_all_ratios_1d() {
         let bound = (1.0 + cfg.lambda) * theory::mso_bound_1d(r);
         for li in 0..w.ess.num_points() {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let so = b.run_basic(&qa).suboptimality(b.pic_cost_at(li));
+            let so = b
+                .run_basic(&qa)
+                .expect("run")
+                .suboptimality(b.pic_cost_at(li));
             assert!(so <= bound * (1.0 + 1e-9), "r={r} li={li}: {so} > {bound}");
         }
     }
@@ -55,7 +58,10 @@ fn theorem3_multi_dimensional_bound() {
         let n = w.ess.num_points();
         for li in (0..n).step_by((n / 400).max(1)) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let so = b.run_basic(&qa).suboptimality(b.pic_cost_at(li));
+            let so = b
+                .run_basic(&qa)
+                .expect("run")
+                .suboptimality(b.pic_cost_at(li));
             assert!(so <= bound * (1.0 + 1e-9), "{}: {so} > {bound}", w.name);
         }
     }
@@ -76,7 +82,10 @@ fn anorexic_tradeoff_monotone_in_lambda() {
         assert!(b.rho() <= last_rho, "ρ must not grow with λ");
         last_rho = b.rho();
         let qa = w.ess.point_at_fractions(&[0.6, 0.6]);
-        let so = b.run_basic(&qa).suboptimality(b.pic_cost(&qa));
+        let so = b
+            .run_basic(&qa)
+            .expect("run")
+            .suboptimality(b.pic_cost(&qa));
         assert!(so <= b.mso_bound() * (1.0 + 1e-9), "λ={lambda}");
     }
 }
@@ -100,7 +109,7 @@ fn model_error_inflation_bounded() {
         let n = w.ess.num_points();
         for li in (0..n).step_by(7) {
             let qa = w.ess.point(&w.ess.unlinear(li));
-            let run = b.run_basic(&qa);
+            let run = b.run_basic(&qa).unwrap();
             assert!(run.completed(), "seed {seed} li {li}");
             // Actual optimal cost under the same adversary.
             let opt_actual = b
