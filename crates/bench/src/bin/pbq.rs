@@ -13,6 +13,7 @@
 //! pbq engine-speedup [--sf X] [--json PATH]  # vectorized-vs-tuple engine bench
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
 //! pbq chaos [--seed N]                       # fault-injection campaign
+//! pbq table3 [--sf N] [--json PATH]          # engine-backed Table 3 + cross-check
 //! ```
 //!
 //! Locations are given as per-axis fractions in `[0,1]` (geometric
@@ -43,6 +44,7 @@ fn main() {
         "engine-speedup" => engine_speedup(&args[1..]),
         "sql" => sql_cmd(&args[1..]),
         "chaos" => chaos_cmd(&args[1..]),
+        "table3" => table3_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -67,7 +69,7 @@ fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
 fn usage() {
     eprintln!(
         "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup\
-         |engine-speedup|chaos> [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
+         |engine-speedup|chaos|table3> [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
     );
 }
 
@@ -449,6 +451,45 @@ fn chaos_cmd(rest: &[String]) {
         "chaos campaign passed: {} scenarios, 0 breaches",
         report.scenarios
     );
+}
+
+/// Engine-backed Table 3 experiment through the canonical (substrate-
+/// generic) drivers: `pbq table3 [--sf N] [--json BENCH_table3.json]`.
+/// Runs the basic and optimized bouquet drivers over the real tuple engine,
+/// prints the per-contour breakdown, and exits non-zero if the basic
+/// driver's contour/plan/budget sequence on the engine differs from the
+/// simulator's at the engine's measured true location (cost-inversion
+/// cross-check).
+fn table3_cmd(rest: &[String]) {
+    let sf: f64 = match rest.iter().position(|a| a == "--sf") {
+        Some(i) => rest
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--sf needs a positive number");
+                std::process::exit(2);
+            }),
+        None => 0.01,
+    };
+    let json_path = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.get(i + 1).expect("--json PATH").clone());
+
+    let (text, report) = pb_bench::experiments::table3::run_at(sf);
+    print!("{text}");
+    if let Some(path) = json_path {
+        let json = serde_json::to_string(&report).expect("serialize table3 report");
+        std::fs::write(&path, json + "\n").expect("write --json report");
+        println!("wrote {path}");
+    }
+    if !report.crosscheck_ok {
+        eprintln!(
+            "table3 FAILED: basic-driver contour/plan/budget sequence diverges \
+             between the engine substrate and the simulator at the measured qa"
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Benchmark the vectorized engine against the tuple-at-a-time reference

@@ -264,6 +264,7 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
     }
 
     scenarios += engine_scenarios(seed, &mut breaches, &mut cells);
+    scenarios += engine_substrate_scenarios(seed, &mut breaches, &mut cells);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -300,6 +301,272 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
         breaches,
         table: out,
     }
+}
+
+/// Engine-substrate block: the full robust ladder (`run_robust_on`) driving
+/// the real tuple engine through [`pb_bouquet::EngineSubstrate`], under
+/// operator-failure and spill-failure faults. Checks the same invariants as
+/// the simulator block — no panics, no double charging, deterministic
+/// replay, and empty-plan equivalence with the plain substrate-generic
+/// drivers.
+fn engine_substrate_scenarios(
+    seed: u64,
+    breaches: &mut Vec<String>,
+    cells: &mut Vec<(String, Cell)>,
+) -> usize {
+    let w = h_q8a_2d(0.003);
+    let b = match catch_unwind(AssertUnwindSafe(|| {
+        Bouquet::identify(&w, &BouquetConfig::default())
+    })) {
+        Ok(Ok(b)) => b,
+        Ok(Err(e)) => {
+            breaches.push(format!("engine-substrate: identification failed: {e}"));
+            return 0;
+        }
+        Err(_) => {
+            breaches.push("engine-substrate: identification PANIC".into());
+            return 0;
+        }
+    };
+    // Duplicated join keys (Section 6.7 skew): the true location sits far
+    // from the AVI estimate, so discovery crosses several contours and the
+    // injected operator faults hit mid-campaign rather than on a trivial
+    // first-contour completion. (Spilled executions are exercised directly
+    // below — the driver only spills when a plan's modeled cost at qrun
+    // overshoots its budget, which observation lower bounds rarely cause.)
+    let overrides = [
+        pb_engine::ColumnOverride::EffectiveNdv {
+            table: "part".into(),
+            column: "p_partkey".into(),
+            ndv: 60,
+        },
+        pb_engine::ColumnOverride::EffectiveNdv {
+            table: "lineitem".into(),
+            column: "l_partkey".into(),
+            ndv: 60,
+        },
+        pb_engine::ColumnOverride::EffectiveNdv {
+            table: "orders".into(),
+            column: "o_orderkey".into(),
+            ndv: 240,
+        },
+        pb_engine::ColumnOverride::EffectiveNdv {
+            table: "lineitem".into(),
+            column: "l_orderkey".into(),
+            ndv: 240,
+        },
+    ];
+    let db = match Database::generate(&w.catalog, seed ^ 0xE5, &overrides) {
+        Ok(db) => db,
+        Err(e) => {
+            breaches.push(format!("engine-substrate: data generation failed: {e}"));
+            return 0;
+        }
+    };
+
+    let mut s = seed ^ 0xB0u64;
+    let mut nth = |hi: u64| 1 + splitmix64(&mut s) % hi;
+    let fault_plans: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        (
+            "operator-failure",
+            FaultPlan::new(seed ^ 11).with(
+                FaultKind::OperatorFailure { waste_frac: 0.5 },
+                Trigger::Nth(nth(16)),
+            ),
+        ),
+        (
+            "operator-storm",
+            FaultPlan::new(seed ^ 12).with(
+                FaultKind::OperatorFailure { waste_frac: 0.8 },
+                Trigger::PerMille(30),
+            ),
+        ),
+        (
+            "spill-failure",
+            FaultPlan::new(seed ^ 13).with(FaultKind::SpillFailure, Trigger::Nth(nth(2))),
+        ),
+        (
+            "combined",
+            FaultPlan::new(seed ^ 14)
+                .with(
+                    FaultKind::OperatorFailure { waste_frac: 0.4 },
+                    Trigger::PerMille(20),
+                )
+                .with(FaultKind::SpillFailure, Trigger::Every(2)),
+        ),
+    ];
+
+    let mut ran = 0usize;
+    for optimized in [false, true] {
+        let driver = if optimized { "opt" } else { "basic" };
+        for (label, fp) in &fault_plans {
+            let ci = cell_of(cells, format!("engine-sub:{label}|{driver}"));
+            for variant in 0..2u64 {
+                ran += 1;
+                cells[ci].1.scenarios += 1;
+                let mut faults = fp.clone();
+                faults.seed ^= variant;
+                let cfg = RobustConfig {
+                    faults,
+                    plan_retries: 1,
+                    max_violations: 3,
+                    optimized,
+                };
+                let tag = || format!("engine-sub/{driver}/{label}#{variant}");
+                let robust = |cfg: &RobustConfig| {
+                    let mut sub =
+                        pb_bouquet::EngineSubstrate::new(&b, &db, FaultInjector::new(&cfg.faults));
+                    b.run_robust_on(&mut sub, cfg)
+                };
+                let run = match catch_unwind(AssertUnwindSafe(|| robust(&cfg))) {
+                    Ok(Ok(r)) => r,
+                    Ok(Err(e)) => {
+                        breaches.push(format!("{}: driver error: {e}", tag()));
+                        continue;
+                    }
+                    Err(_) => {
+                        breaches.push(format!("{}: PANIC", tag()));
+                        continue;
+                    }
+                };
+
+                // Charging: total equals the sum of trace spends.
+                let sum: f64 = run.run.trace.iter().map(|e| e.spent).sum();
+                if (sum - run.run.total_cost).abs() > 1e-9 * sum.abs().max(1.0) {
+                    breaches.push(format!(
+                        "{}: double/under-charge: trace sum {sum} vs total {}",
+                        tag(),
+                        run.run.total_cost
+                    ));
+                }
+
+                // Determinism: a fresh substrate + injector replays
+                // bit-identically.
+                match catch_unwind(AssertUnwindSafe(|| robust(&cfg))) {
+                    Ok(Ok(replay)) if json(&replay) == json(&run) => {}
+                    Ok(Ok(_)) => breaches.push(format!("{}: replay diverged", tag())),
+                    Ok(Err(e)) => breaches.push(format!("{}: replay failed: {e}", tag())),
+                    Err(_) => breaches.push(format!("{}: replay PANIC", tag())),
+                }
+
+                // Inert equivalence: empty plan ⇒ the plain generic driver.
+                if fp.is_empty() {
+                    let reference = catch_unwind(AssertUnwindSafe(|| {
+                        let mut sub =
+                            pb_bouquet::EngineSubstrate::new(&b, &db, FaultInjector::none());
+                        if optimized {
+                            b.run_optimized_on(&mut sub)
+                        } else {
+                            b.run_basic_on(&mut sub)
+                        }
+                    }));
+                    match reference {
+                        Ok(Ok(r)) => {
+                            if json(&run.run) != json(&r) {
+                                breaches
+                                    .push(format!("{}: empty-plan run != plain driver run", tag()));
+                            }
+                            if !run.events.is_empty() || run.degraded {
+                                breaches.push(format!("{}: empty-plan run recorded events", tag()));
+                            }
+                        }
+                        Ok(Err(e)) => breaches.push(format!("{}: plain driver error: {e}", tag())),
+                        Err(_) => breaches.push(format!("{}: plain driver PANIC", tag())),
+                    }
+                }
+
+                cells[ci].1.events += run.events.len();
+                match run.run.outcome {
+                    ExecutionOutcome::Completed { .. } => cells[ci].1.completed += 1,
+                    ExecutionOutcome::Degraded { .. } => cells[ci].1.degraded += 1,
+                    ExecutionOutcome::BudgetExhausted { .. } => cells[ci].1.exhausted += 1,
+                }
+            }
+        }
+    }
+
+    // Direct spilled executions: the `engine:spill` fault site fires before
+    // a spilled prefix runs, so drive `execute_monitored(.., spilled=true)`
+    // straight at the substrate with spill-failure plans armed. Invariants:
+    // no panic, a failed spill charges nothing, a surviving spill stays
+    // within budget and never completes the query, and replays are
+    // bit-identical.
+    use pb_bouquet::ExecutionSubstrate as _;
+    let d = w.ess.d();
+    let pid = b.contours[0].plan_set[0];
+    let budget = b.contours[0].budget;
+    for (label, fp) in fault_plans
+        .iter()
+        .filter(|(l, _)| matches!(*l, "none" | "spill-failure" | "combined"))
+    {
+        let ci = cell_of(cells, format!("engine-sub:spill-direct|{label}"));
+        for variant in 0..2u64 {
+            ran += 1;
+            cells[ci].1.scenarios += 1;
+            let mut faults = fp.clone();
+            faults.seed ^= variant;
+            let tag = || format!("engine-sub/spill-direct/{label}#{variant}");
+            let spill_exec = || {
+                let mut sub =
+                    pb_bouquet::EngineSubstrate::new(&b, &db, FaultInjector::new(&faults));
+                sub.execute_monitored(pid, &vec![false; d], budget, true)
+            };
+            let out = match catch_unwind(AssertUnwindSafe(spill_exec)) {
+                Ok(o) => o,
+                Err(_) => {
+                    breaches.push(format!("{}: PANIC", tag()));
+                    continue;
+                }
+            };
+            if !out.spilled {
+                breaches.push(format!("{}: outcome not marked spilled", tag()));
+            }
+            match &out.error {
+                Some(pb_faults::PbError::SpillFailure { .. }) => {
+                    if out.spent != 0.0 {
+                        breaches.push(format!(
+                            "{}: failed spill charged {} (must be 0)",
+                            tag(),
+                            out.spent
+                        ));
+                    }
+                    cells[ci].1.events += 1;
+                }
+                _ => {
+                    if out.completed {
+                        breaches.push(format!("{}: spilled run completed the query", tag()));
+                    }
+                    if out.spent > budget * (1.0 + 1e-9) {
+                        breaches.push(format!(
+                            "{}: spill overspent budget: {} > {budget}",
+                            tag(),
+                            out.spent
+                        ));
+                    }
+                    for &(dm, v) in out.observed.iter().chain(&out.resolved) {
+                        if v < w.ess.dims[dm].lo || v > w.ess.dims[dm].hi {
+                            breaches.push(format!(
+                                "{}: observation {v} for dim {dm} outside ESS",
+                                tag()
+                            ));
+                        }
+                    }
+                    cells[ci].1.completed += 1;
+                }
+            }
+            match catch_unwind(AssertUnwindSafe(spill_exec)) {
+                Ok(replay)
+                    if replay.spent == out.spent
+                        && replay.error.is_some() == out.error.is_some()
+                        && replay.observed == out.observed
+                        && replay.resolved == out.resolved => {}
+                Ok(_) => breaches.push(format!("{}: spill replay diverged", tag())),
+                Err(_) => breaches.push(format!("{}: spill replay PANIC", tag())),
+            }
+        }
+    }
+    ran
 }
 
 /// Engine-level block: tuple and vectorized execution under engine-side

@@ -1,26 +1,27 @@
-//! Engine-backed bouquet execution — the Table 3 / Section 6.7 experiment.
+//! Thin adapters for engine-backed bouquet execution — the Table 3 /
+//! Section 6.7 experiment.
 //!
-//! Everything else in the evaluation works in optimizer cost units; here the
-//! bouquet's partial executions actually run against generated tuples in
-//! `pb-engine`, with budgets enforced by the engine's cost charging and
-//! selectivities observed from its node counters. This validates that the
-//! discovery machinery works when the "actual" costs come from a real
-//! executor rather than from the cost model itself.
-//!
-//! `Engine::execute` runs the vectorized (columnar batch) path by default;
-//! the tuple-at-a-time reference is available as `Engine::execute_tuple` and
-//! both produce identical `EngineOutcome`s (see `pbq engine-speedup`), so
-//! every driver below benefits from the batch kernels without any change in
-//! observed selectivities or abort behaviour.
+//! There is **no discovery loop here**: engine-backed runs go through the
+//! canonical drivers (`Bouquet::run_basic_on` / `run_optimized_on` /
+//! `run_robust_on`) over [`pb_bouquet::EngineSubstrate`], so the real-tuple
+//! path exercises exactly the same control logic — quadrant pruning,
+//! AxisPlans selection, spill-based learning, the robustness ladder — as
+//! the cost-unit simulator. This module only re-shapes the resulting
+//! [`BouquetRun`] into the report the `pbq table3` artefact serializes.
 
-use pb_bouquet::Bouquet;
+use std::collections::BTreeMap;
+
+use pb_bouquet::{Bouquet, BouquetRun, EngineSubstrate, ExecutionSubstrate};
 use pb_cost::SelPoint;
-use pb_engine::{Database, Engine, EngineOutcome};
-use pb_executor::learnable_node;
-use pb_plan::{PlanNode, QuerySpec};
+use pb_engine::Database;
+use pb_faults::{FaultInjector, PbError};
+use serde::Serialize;
 
-/// One engine-backed partial execution.
-#[derive(Debug, Clone)]
+pub use pb_bouquet::measure_qa;
+
+/// One engine-backed partial execution (a [`pb_bouquet::PartialExec`]
+/// flattened for the JSON artefact).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineExec {
     pub contour: usize,
     pub plan: usize,
@@ -31,7 +32,7 @@ pub struct EngineExec {
 }
 
 /// Outcome of an engine-backed bouquet run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineRunReport {
     pub executions: Vec<EngineExec>,
     pub total_cost: f64,
@@ -40,179 +41,64 @@ pub struct EngineRunReport {
 }
 
 impl EngineRunReport {
+    /// Re-shape a canonical driver run into the engine report.
+    pub fn from_run(run: &BouquetRun, result_rows: usize) -> Self {
+        EngineRunReport {
+            executions: run
+                .trace
+                .iter()
+                .map(|e| EngineExec {
+                    contour: e.contour,
+                    plan: e.plan,
+                    budget: e.budget,
+                    spent: e.spent,
+                    completed: e.completed,
+                    spilled: e.spilled,
+                })
+                .collect(),
+            total_cost: run.total_cost,
+            completed: run.completed(),
+            result_rows,
+        }
+    }
+
     /// Per-contour (executions, cost) breakdown — the rows of Table 3.
     pub fn contour_breakdown(&self) -> Vec<(usize, usize, f64)> {
-        let mut rows: Vec<(usize, usize, f64)> = Vec::new();
+        let mut rows: BTreeMap<usize, (usize, f64)> = BTreeMap::new();
         for e in &self.executions {
-            match rows.iter_mut().find(|r| r.0 == e.contour) {
-                Some(r) => {
-                    r.1 += 1;
-                    r.2 += e.spent;
-                }
-                None => rows.push((e.contour, 1, e.spent)),
-            }
+            let r = rows.entry(e.contour).or_insert((0, 0.0));
+            r.0 += 1;
+            r.1 += e.spent;
         }
-        rows
+        rows.into_iter().map(|(c, (n, s))| (c, n, s)).collect()
     }
 }
 
 /// Execute the native optimizer's choice (plan picked at the *estimated*
 /// location) to completion on the engine; returns its actual cost.
 pub fn engine_run_nat(bouquet: &Bouquet, db: &Database, qe: &SelPoint) -> f64 {
-    let w = &bouquet.workload;
-    let plan = w.optimizer().optimize(qe).plan;
-    let engine = Engine::new(db, &w.query, &w.model.p);
-    engine.execute(&plan.root, f64::INFINITY).cost()
+    EngineSubstrate::new(bouquet, db, FaultInjector::none()).run_native_at(qe)
 }
 
-/// Run the bouquet discovery against the engine. With `optimized == false`
-/// this is Figure 7 verbatim; with `optimized == true` the driver tracks
-/// qrun via the engine's tuple counters, prunes non-first-quadrant plans,
-/// and uses spilled prefix executions for focused learning.
-pub fn engine_run_bouquet(bouquet: &Bouquet, db: &Database, optimized: bool) -> EngineRunReport {
-    let w = &bouquet.workload;
-    let engine = Engine::new(db, &w.query, &w.model.p);
-    let ess = &w.ess;
-    let d = ess.d();
-    let mut qrun: Vec<f64> = ess.dims.iter().map(|dm| dm.lo).collect();
-    let mut resolved = vec![false; d];
-    let mut executions = Vec::new();
-    let mut total = 0.0;
-
-    let m = bouquet.contours.len();
-    let mut cid = 0usize;
-    let mut executed_on: Vec<(usize, u64)> = Vec::new();
-    let overflow_budget =
-        |k: usize| bouquet.contours[m - 1].budget * bouquet.config.r.powi((k - m + 1) as i32);
-
-    while cid < m + 48 {
-        let (contour_id, budget) = if cid < m {
-            (bouquet.contours[cid].id, bouquet.contours[cid].budget)
-        } else {
-            (cid + 1, overflow_budget(cid))
-        };
-        if optimized {
-            // Early contour change on the modeled PIC at qrun.
-            let pic = bouquet.pic_cost(&SelPoint(qrun.clone()));
-            if pic > budget {
-                cid += 1;
-                executed_on.clear();
-                continue;
-            }
-        }
-        let qix = ess.snap_floor(&SelPoint(qrun.clone()));
-        let plan_set: Vec<usize> = if optimized && cid < m {
-            bouquet.contours[cid].viable_plans(&bouquet.diagram, &qix)
-        } else {
-            bouquet.contours[cid.min(m - 1)].plan_set.clone()
-        };
-        let mask = resolved
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &b)| if b { acc | (1 << i) } else { acc });
-        let candidates: Vec<usize> = plan_set
-            .into_iter()
-            .filter(|&p| !executed_on.contains(&(p, mask)))
-            .collect();
-        if candidates.is_empty() {
-            cid += 1;
-            executed_on.clear();
-            continue;
-        }
-        // Same AxisPlans selection policy as the cost-unit driver.
-        let pid = if optimized {
-            let contour = &bouquet.contours[cid.min(m - 1)];
-            bouquet.select_plan(contour, &candidates, &qix, &qrun, &resolved)
-        } else {
-            candidates[0]
-        };
-        let plan = &bouquet.plan(pid).root;
-        let unresolved_dims: Vec<usize> = plan
-            .error_dims(&w.query)
-            .into_iter()
-            .filter(|&dm| !resolved[dm])
-            .collect();
-        let spill = optimized && unresolved_dims.len() >= 2;
-
-        let (exec_root, learn_dim): (PlanNode, Option<usize>) = if spill {
-            let (node, dims) = learnable_node(plan, &w.query, &resolved)
-                .expect("plan with unresolved dims must have a learnable node");
-            (node.clone().spilled(), Some(dims[0]))
-        } else {
-            let dim = learnable_node(plan, &w.query, &resolved).map(|(_, dims)| dims[0]);
-            (plan.clone(), dim)
-        };
-
-        let out = engine.execute(&exec_root, budget);
-        total += out.cost();
-        executed_on.push((pid, mask));
-        let completed_query = out.completed() && !spill;
-        executions.push(EngineExec {
-            contour: contour_id,
-            plan: pid,
-            budget,
-            spent: out.cost(),
-            completed: completed_query,
-            spilled: spill,
-        });
-        if completed_query {
-            let rows = match out {
-                EngineOutcome::Completed { rows, .. } => rows,
-                // `completed_query` implies `Completed`.
-                EngineOutcome::Aborted { .. } | EngineOutcome::Failed { .. } => 0,
-            };
-            return EngineRunReport {
-                executions,
-                total_cost: total,
-                completed: true,
-                result_rows: rows,
-            };
-        }
-        if optimized {
-            if let Some(dm) = learn_dim {
-                // Observe a selectivity lower bound from the counters of the
-                // executed tree (for a spilled run this is the prefix).
-                if let Some(s) = out
-                    .instr()
-                    .observed_selectivity(&exec_root, &w.query, db, dm)
-                {
-                    qrun[dm] = qrun[dm].max(s.clamp(ess.dims[dm].lo, ess.dims[dm].hi));
-                }
-                if spill && out.completed() {
-                    // Prefix consumed its entire input: dimension resolved.
-                    resolved[dm] = true;
-                }
-            }
-        }
-    }
-    EngineRunReport {
-        executions,
-        total_cost: total,
-        completed: false,
-        result_rows: 0,
-    }
-}
-
-/// Measure the true ESS location of a query against generated data.
-pub fn measure_qa(db: &Database, query: &QuerySpec, ess: &pb_cost::Ess) -> SelPoint {
-    let mut qa = vec![f64::NAN; query.num_dims];
-    for r in &query.relations {
-        for s in &r.selections {
-            if let Some(dm) = s.selectivity.error_dim() {
-                qa[dm] = db.actual_selection_selectivity(s);
-            }
-        }
-    }
-    for (ji, j) in query.joins.iter().enumerate() {
-        if let Some(dm) = j.selectivity.error_dim() {
-            qa[dm] = db.actual_join_selectivity(query, ji);
-        }
-    }
-    for (dm, v) in qa.iter_mut().enumerate() {
-        assert!(!v.is_nan(), "dimension {dm} unmeasured");
-        *v = v.clamp(ess.dims[dm].lo, ess.dims[dm].hi);
-    }
-    SelPoint(qa)
+/// Run the bouquet discovery against the engine through the canonical
+/// drivers: Figure 7 with `optimized == false`, Figure 13 (qrun tracking
+/// from the engine's tuple counters, first-quadrant pruning, spilled prefix
+/// executions) with `optimized == true`.
+pub fn engine_run_bouquet(
+    bouquet: &Bouquet,
+    db: &Database,
+    optimized: bool,
+) -> Result<EngineRunReport, PbError> {
+    let mut sub = EngineSubstrate::new(bouquet, db, FaultInjector::none());
+    let run = if optimized {
+        bouquet.run_optimized_on(&mut sub)?
+    } else {
+        bouquet.run_basic_on(&mut sub)?
+    };
+    Ok(EngineRunReport::from_run(
+        &run,
+        sub.result_rows().unwrap_or(0),
+    ))
 }
 
 #[cfg(test)]
@@ -261,14 +147,14 @@ mod tests {
     #[test]
     fn engine_bouquet_completes_and_produces_rows() {
         let (b, db) = setup();
-        let basic = engine_run_bouquet(&b, &db, false);
+        let basic = engine_run_bouquet(&b, &db, false).unwrap();
         assert!(
             basic.completed,
             "basic engine run failed: {:?}",
             basic.executions
         );
         assert!(basic.result_rows > 0);
-        let opt = engine_run_bouquet(&b, &db, true);
+        let opt = engine_run_bouquet(&b, &db, true).unwrap();
         assert!(opt.completed);
         assert_eq!(
             opt.result_rows, basic.result_rows,
@@ -279,8 +165,8 @@ mod tests {
     #[test]
     fn optimized_engine_run_is_no_costlier_than_basic() {
         let (b, db) = setup();
-        let basic = engine_run_bouquet(&b, &db, false);
-        let opt = engine_run_bouquet(&b, &db, true);
+        let basic = engine_run_bouquet(&b, &db, false).unwrap();
+        let opt = engine_run_bouquet(&b, &db, true).unwrap();
         assert!(
             opt.total_cost <= basic.total_cost * 1.1,
             "optimized {} vs basic {}",
@@ -293,7 +179,7 @@ mod tests {
     fn measured_qa_exceeds_avi_estimate_under_skew() {
         let (b, db) = setup();
         let w = &b.workload;
-        let qa = measure_qa(&db, &w.query, &w.ess);
+        let qa = measure_qa(&db, &w.query, &w.ess).unwrap();
         let est = pb_cost::Estimator::new(&w.catalog);
         let lo: Vec<f64> = w.ess.dims.iter().map(|d| d.lo).collect();
         let hi: Vec<f64> = w.ess.dims.iter().map(|d| d.hi).collect();
@@ -309,8 +195,22 @@ mod tests {
     #[test]
     fn contour_breakdown_accounts_for_all_cost() {
         let (b, db) = setup();
-        let run = engine_run_bouquet(&b, &db, false);
+        let run = engine_run_bouquet(&b, &db, false).unwrap();
         let sum: f64 = run.contour_breakdown().iter().map(|r| r.2).sum();
         assert!((sum - run.total_cost).abs() < 1e-6 * run.total_cost.max(1.0));
+    }
+
+    /// The robust ladder runs against the engine too (PR 5 tentpole): an
+    /// empty fault plan must be behaviourally inert on this substrate.
+    #[test]
+    fn robust_engine_run_with_empty_faults_matches_plain() {
+        let (b, db) = setup();
+        let cfg = pb_bouquet::RobustConfig::default();
+        let mut sub = EngineSubstrate::new(&b, &db, FaultInjector::new(&cfg.faults));
+        let robust = b.run_robust_on(&mut sub, &cfg).unwrap();
+        let mut plain_sub = EngineSubstrate::new(&b, &db, FaultInjector::none());
+        let plain = b.run_basic_on(&mut plain_sub).unwrap();
+        assert_eq!(robust.run, plain);
+        assert!(robust.events.is_empty() && !robust.degraded);
     }
 }

@@ -6,19 +6,47 @@
 //! discovers the true location through budget-limited engine executions.
 //! All times are engine cost units (hardware-neutral); the paper's shape —
 //! optimal < optimized BOU < basic BOU << NAT — is what's reproduced.
+//!
+//! Since PR 5 both bouquet rows are produced by the *canonical* drivers
+//! over [`pb_bouquet::EngineSubstrate`]; the cost-inversion cross-check
+//! verifies that the basic driver makes the same contour/plan/budget
+//! decisions on the engine as the cost-unit simulator does at the engine's
+//! measured true location.
 
 use std::fmt::Write as _;
 
-use pb_bouquet::{Bouquet, BouquetConfig};
+use pb_bouquet::{Bouquet, BouquetConfig, Workload};
 use pb_cost::Estimator;
 use pb_engine::{ColumnOverride, Database, Engine};
 use pb_workloads::h_q8a_2d;
+use serde::Serialize;
 
-use crate::engine_driver::{engine_run_bouquet, engine_run_nat, measure_qa};
+use crate::engine_driver::{engine_run_bouquet, engine_run_nat, measure_qa, EngineRunReport};
 use crate::table::{fnum, Table};
 
-pub fn run() -> String {
-    let mut w = h_q8a_2d(0.01);
+/// Structured result of the Table 3 experiment (the `BENCH_table3.json`
+/// artefact).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3Report {
+    pub workload: String,
+    pub sf: f64,
+    /// AVI-estimated location (stale statistics).
+    pub qe: Vec<f64>,
+    /// Location measured against the generated tuples.
+    pub qa: Vec<f64>,
+    pub nat_cost: f64,
+    pub oracle_cost: f64,
+    pub basic: EngineRunReport,
+    pub optimized: EngineRunReport,
+    /// Basic-driver (contour, plan, budget) sequence identical between the
+    /// engine substrate and the simulator substrate at the measured `qa`.
+    pub crosscheck_ok: bool,
+}
+
+/// The experiment's setup: the 2D_H_Q8A workload with stale statistics and
+/// generated data that violates the uniqueness assumptions.
+pub fn setup(sf: f64) -> (Workload, Bouquet, Database) {
+    let mut w = h_q8a_2d(sf);
     // Stale statistics: the estimator believes the join columns still have
     // their full-scale NDVs (as if the statistics were gathered on a much
     // larger database and never refreshed). The AVI join estimate 1/NDV is
@@ -58,11 +86,45 @@ pub fn run() -> String {
         ],
     )
     .expect("generate");
+    (w, b, db)
+}
+
+/// Cost-inversion cross-check: the basic driver's decision sequence —
+/// which plan ran on which contour with which budget — must be the same
+/// whether "actual cost" comes from the engine's ledger or from the cost
+/// model evaluated at the engine's measured true location. (Spends differ;
+/// decisions may not.)
+pub fn basic_sequences_match(b: &Bouquet, db: &Database, engine_basic: &EngineRunReport) -> bool {
+    let qa = match measure_qa(db, &b.workload.query, &b.workload.ess) {
+        Ok(qa) => qa,
+        Err(_) => return false,
+    };
+    let sim = match b.run_basic(&qa) {
+        Ok(run) => run,
+        Err(_) => return false,
+    };
+    let sim_seq: Vec<(usize, usize, f64)> = sim
+        .trace
+        .iter()
+        .map(|e| (e.contour, e.plan, e.budget))
+        .collect();
+    let eng_seq: Vec<(usize, usize, f64)> = engine_basic
+        .executions
+        .iter()
+        .map(|e| (e.contour, e.plan, e.budget))
+        .collect();
+    sim_seq == eng_seq
+}
+
+/// Run the full experiment at scale factor `sf`, returning the rendered
+/// text and the structured report.
+pub fn run_at(sf: f64) -> (String, Table3Report) {
+    let (w, b, db) = setup(sf);
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Table 3 — engine-measured bouquet execution for 2D_H_Q8A\n"
+        "Table 3 — engine-measured bouquet execution for 2D_H_Q8A (sf {sf})\n"
     );
 
     // Estimated vs actual locations.
@@ -70,7 +132,7 @@ pub fn run() -> String {
     let lo: Vec<f64> = w.ess.dims.iter().map(|d| d.lo).collect();
     let hi: Vec<f64> = w.ess.dims.iter().map(|d| d.hi).collect();
     let qe = est.estimate_point(&w.query, &lo, &hi);
-    let qa = measure_qa(&db, &w.query, &w.ess);
+    let qa = measure_qa(&db, &w.query, &w.ess).expect("measure qa");
     let _ = writeln!(
         out,
         "qe (AVI estimate) = [{:.3e}, {:.3e}]   qa (measured) = [{:.3e}, {:.3e}]",
@@ -90,12 +152,13 @@ pub fn run() -> String {
     let engine = Engine::new(&db, &w.query, &w.model.p);
     let oracle_cost = engine.execute(&oracle_plan.root, f64::INFINITY).cost();
 
-    let basic = engine_run_bouquet(&b, &db, false);
-    let optd = engine_run_bouquet(&b, &db, true);
+    let basic = engine_run_bouquet(&b, &db, false).expect("basic engine run");
+    let optd = engine_run_bouquet(&b, &db, true).expect("optimized engine run");
     assert!(
         basic.completed && optd.completed,
         "bouquet runs must complete"
     );
+    let crosscheck_ok = basic_sequences_match(&b, &db, &basic);
 
     let _ = writeln!(out, "contour-wise breakdown (engine cost units):");
     let mut t = Table::new(vec![
@@ -149,7 +212,28 @@ pub fn run() -> String {
         "(paper: NAT 579s, basic 117s, optimized 69s, optimal 16s — i.e. 36x/7.2x/4.3x)"
     );
     let _ = writeln!(out, "result rows: {}", basic.result_rows);
-    out
+    let _ = writeln!(
+        out,
+        "cost-inversion cross-check (engine vs simulator basic sequence): {}",
+        if crosscheck_ok { "OK" } else { "MISMATCH" }
+    );
+
+    let report = Table3Report {
+        workload: w.name.clone(),
+        sf,
+        qe: qe.0.clone(),
+        qa: qa.0.clone(),
+        nat_cost,
+        oracle_cost,
+        basic,
+        optimized: optd,
+        crosscheck_ok,
+    };
+    (out, report)
+}
+
+pub fn run() -> String {
+    run_at(0.01).0
 }
 
 #[cfg(test)]
@@ -158,7 +242,7 @@ mod tests {
 
     #[test]
     fn table3_shape_matches_paper() {
-        let s = run();
+        let (s, report) = run_at(0.01);
         let line = s
             .lines()
             .find(|l| l.starts_with("sub-optimality vs oracle"))
@@ -176,5 +260,6 @@ mod tests {
             "basic {basic} should not beat optimized {opt} materially"
         );
         assert!(opt >= 1.0);
+        assert!(report.crosscheck_ok, "engine/simulator sequence mismatch");
     }
 }

@@ -14,46 +14,41 @@
 //! the mechanism behind the `(1+δ)²` inflation bound of Section 3.4.
 
 use pb_cost::SelPoint;
-use pb_executor::Executor;
 use pb_faults::{FaultInjector, PbError};
 
 use crate::bouquet::Bouquet;
 use crate::drivers::robust::{RobustCtx, RobustEvent};
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
+use crate::substrate::{ExecutionSubstrate, SimulatorSubstrate};
 
 /// Safety valve: overflow contours beyond the grading (only reachable under
 /// model error). 64 doublings is far beyond any bounded δ.
 pub(crate) const MAX_OVERFLOW: usize = 64;
 
 impl Bouquet {
-    /// Run the basic (Figure 7) driver at true location `qa`.
+    /// Run the basic (Figure 7) driver at true location `qa` on the
+    /// cost-unit simulator substrate.
     pub fn run_basic(&self, qa: &SelPoint) -> Result<BouquetRun, PbError> {
-        self.run_basic_inner(qa, FaultInjector::none(), &mut RobustCtx::inert())
+        let mut sub = SimulatorSubstrate::new(self, qa, FaultInjector::none())?;
+        self.run_basic_core(&mut sub, &mut RobustCtx::inert())
     }
 
-    /// Shared driver loop: the plain entry point uses an inert injector and
-    /// an inert robustness context (no retries, no degradation, no events),
-    /// so its behaviour is unchanged; `run_robust` threads live ones.
-    pub(crate) fn run_basic_inner(
+    /// Run the basic (Figure 7) driver on an arbitrary substrate (e.g. the
+    /// real tuple engine via [`crate::substrate::EngineSubstrate`]). The
+    /// substrate must be bound to this bouquet.
+    pub fn run_basic_on<S: ExecutionSubstrate>(&self, sub: &mut S) -> Result<BouquetRun, PbError> {
+        self.run_basic_core(sub, &mut RobustCtx::inert())
+    }
+
+    /// Shared driver loop: the plain entry points use an inert robustness
+    /// context (no retries, no degradation, no events), so their behaviour
+    /// is unchanged; `run_robust` threads a live one.
+    pub(crate) fn run_basic_core<S: ExecutionSubstrate>(
         &self,
-        qa: &SelPoint,
-        faults: FaultInjector,
+        sub: &mut S,
         rc: &mut RobustCtx,
     ) -> Result<BouquetRun, PbError> {
         let d = self.workload.ess.d();
-        if qa.dims() != d {
-            return Err(PbError::DimensionMismatch {
-                expected: d,
-                got: qa.dims(),
-            });
-        }
-        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation)
-            .with_faults(faults);
-        // Compiled programs for the pool plans: each budget probe is one
-        // flat-program evaluation (bit-identical to the tree walk) instead
-        // of a recursive plan recosting.
-        let progs = self.programs();
-        let mut stack = Vec::new();
         let mut trace: Vec<PartialExec> = Vec::new();
         let mut total = 0.0;
 
@@ -72,41 +67,33 @@ impl Bouquet {
             for &pid in plan_set {
                 let mut attempt = 0usize;
                 loop {
-                    let out = ex.execute_compiled(
-                        &progs[pid],
-                        self.plan(pid).fingerprint(),
-                        qa,
-                        budget,
-                        &mut stack,
-                    );
-                    total += out.spent();
-                    let completed = out.completed();
-                    let error = out.error().cloned();
+                    let out = sub.execute_partial(pid, budget);
+                    total += out.spent;
                     trace.push(PartialExec {
                         contour: contour_id,
                         plan: pid,
                         budget,
-                        spent: out.spent(),
-                        completed,
+                        spent: out.spent,
+                        completed: out.completed,
                         spilled: false,
                         learned: None,
-                        error: error.clone(),
+                        error: out.error.clone(),
                     });
                     rc.monitor(
                         contour_id,
                         pid,
                         budget,
-                        out.spent(),
-                        completed,
-                        error.is_some(),
+                        out.spent,
+                        out.completed,
+                        out.error.is_some(),
                     );
-                    if completed {
+                    if out.completed {
                         return Ok(BouquetRun {
                             trace,
                             total_cost: total,
                             outcome: ExecutionOutcome::Completed {
                                 final_plan: pid,
-                                final_cost: out.spent(),
+                                final_cost: out.spent,
                             },
                         });
                     }
@@ -114,9 +101,9 @@ impl Bouquet {
                         // Best estimate available to the basic driver: the
                         // centre of the selectivity space.
                         let est = self.workload.ess.point_at_fractions(&vec![0.5; d]);
-                        return Ok(self.degraded_finish(qa, &est, &ex, trace, total, rc, k + 1));
+                        return Ok(self.degraded_finish(&est, sub, trace, total, rc, k + 1));
                     }
-                    match error {
+                    match out.error {
                         Some(error) if attempt < rc.retries => {
                             attempt += 1;
                             rc.push(RobustEvent::Retry {

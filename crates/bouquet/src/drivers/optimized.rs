@@ -25,7 +25,6 @@
 use std::collections::HashSet;
 
 use pb_cost::SelPoint;
-use pb_executor::Executor;
 use pb_faults::{FaultInjector, PbError};
 use pb_optimizer::PlanId;
 
@@ -34,31 +33,34 @@ use crate::contour::Contour;
 use crate::drivers::basic::MAX_OVERFLOW;
 use crate::drivers::robust::{RobustCtx, RobustEvent};
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
+use crate::substrate::{ExecutionSubstrate, SimulatorSubstrate};
 
 impl Bouquet {
-    /// Run the optimized (Figure 13) driver at true location `qa`.
+    /// Run the optimized (Figure 13) driver at true location `qa` on the
+    /// cost-unit simulator substrate.
     pub fn run_optimized(&self, qa: &SelPoint) -> Result<BouquetRun, PbError> {
-        self.run_optimized_inner(qa, FaultInjector::none(), &mut RobustCtx::inert())
+        let mut sub = SimulatorSubstrate::new(self, qa, FaultInjector::none())?;
+        self.run_optimized_core(&mut sub, &mut RobustCtx::inert())
     }
 
-    /// Shared driver loop (see [`Bouquet::run_basic_inner`] for the inert /
-    /// robust split).
-    pub(crate) fn run_optimized_inner(
+    /// Run the optimized (Figure 13) driver on an arbitrary substrate. The
+    /// substrate must be bound to this bouquet.
+    pub fn run_optimized_on<S: ExecutionSubstrate>(
         &self,
-        qa: &SelPoint,
-        faults: FaultInjector,
+        sub: &mut S,
+    ) -> Result<BouquetRun, PbError> {
+        self.run_optimized_core(sub, &mut RobustCtx::inert())
+    }
+
+    /// Shared driver loop (see [`Bouquet::run_basic_core`] for the inert /
+    /// robust split).
+    pub(crate) fn run_optimized_core<S: ExecutionSubstrate>(
+        &self,
+        sub: &mut S,
         rc: &mut RobustCtx,
     ) -> Result<BouquetRun, PbError> {
         let ess = &self.workload.ess;
-        if qa.dims() != ess.d() {
-            return Err(PbError::DimensionMismatch {
-                expected: ess.d(),
-                got: qa.dims(),
-            });
-        }
-        let ex = Executor::with_perturbation(self.workload.coster(), self.config.perturbation)
-            .with_faults(faults);
-        let faults_active = ex.faults.is_active();
+        let faults_active = sub.faults_active();
         let progs = self.programs();
         let mut stack = Vec::new();
         let d = ess.d();
@@ -113,8 +115,9 @@ impl Bouquet {
 
             let contour_for_axes = &self.contours[cid.min(m - 1)];
             let pid = self.select_plan(contour_for_axes, &candidates, &qix, &qrun, &resolved);
-            let plan = &self.plan(pid).root;
-            let has_unresolved = plan
+            let has_unresolved = self
+                .plan(pid)
+                .root
                 .error_dims(&self.workload.query)
                 .iter()
                 .any(|&dm| !resolved[dm]);
@@ -133,7 +136,7 @@ impl Bouquet {
             let mut attempt = 0usize;
             let mut spill_now = spilled;
             loop {
-                let r = ex.execute_monitored(plan, qa, &resolved, budget, spill_now);
+                let r = sub.execute_monitored(pid, &resolved, budget, spill_now);
                 total += r.spent;
                 trace.push(PartialExec {
                     contour: contour_id,
@@ -142,7 +145,7 @@ impl Bouquet {
                     spent: r.spent,
                     completed: r.completed,
                     spilled: spill_now,
-                    learned: r.learned,
+                    learned: r.observed.first().copied(),
                     error: r.error.clone(),
                 });
                 rc.monitor(
@@ -163,7 +166,7 @@ impl Bouquet {
                         },
                     });
                 }
-                if let Some((dim, v)) = r.learned {
+                for &(dim, v) in &r.observed {
                     let v = if faults_active {
                         // A corrupted observation may exceed the ESS; clamp
                         // it so qrun stays inside the space (first-quadrant
@@ -180,21 +183,17 @@ impl Bouquet {
                             v
                         }
                     } else {
-                        debug_assert!(
-                            v <= qa[dim] * (1.0 + 1e-9),
-                            "first-quadrant invariant violated"
-                        );
                         v
                     };
                     qrun[dim] = qrun[dim].max(v);
                 }
-                for dm in r.resolved {
+                for &(dm, v) in &r.resolved {
                     resolved[dm] = true;
-                    qrun[dm] = qa[dm];
+                    qrun[dm] = v;
                 }
                 if rc.should_degrade() {
                     let est = SelPoint(qrun.clone());
-                    return Ok(self.degraded_finish(qa, &est, &ex, trace, total, rc, cid + 1));
+                    return Ok(self.degraded_finish(&est, sub, trace, total, rc, cid + 1));
                 }
                 match r.error {
                     Some(PbError::SpillFailure { .. }) if spill_now => {

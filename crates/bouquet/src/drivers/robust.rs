@@ -27,7 +27,6 @@
 //! [`Bouquet::run_optimized`] (property-tested in `tests/robustness.rs`).
 
 use pb_cost::SelPoint;
-use pb_executor::Executor;
 use pb_faults::{FaultInjector, FaultPlan, PbError};
 use pb_optimizer::PlanId;
 use pb_plan::DimId;
@@ -35,6 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::bouquet::Bouquet;
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
+use crate::substrate::{ExecutionSubstrate, SimulatorSubstrate};
 
 /// Configuration of the robust driver.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -200,17 +200,30 @@ impl RobustCtx {
 }
 
 impl Bouquet {
-    /// Run the degradation-aware robust driver at true location `qa`.
+    /// Run the degradation-aware robust driver at true location `qa` on the
+    /// cost-unit simulator substrate.
     ///
     /// With an empty fault plan the returned [`BouquetRun`] is structurally
     /// identical to the one produced by the underlying driver.
     pub fn run_robust(&self, qa: &SelPoint, cfg: &RobustConfig) -> Result<RobustRun, PbError> {
-        let faults = FaultInjector::new(&cfg.faults);
+        let mut sub = SimulatorSubstrate::new(self, qa, FaultInjector::new(&cfg.faults))?;
+        self.run_robust_on(&mut sub, cfg)
+    }
+
+    /// Run the robust driver on an arbitrary substrate. The substrate must
+    /// be bound to this bouquet, and the caller is responsible for arming it
+    /// with `cfg.faults` (the config's fault plan is not re-injected here:
+    /// a substrate owns its injector from construction).
+    pub fn run_robust_on<S: ExecutionSubstrate>(
+        &self,
+        sub: &mut S,
+        cfg: &RobustConfig,
+    ) -> Result<RobustRun, PbError> {
         let mut rc = RobustCtx::new(cfg);
         let run = if cfg.optimized {
-            self.run_optimized_inner(qa, faults, &mut rc)?
+            self.run_optimized_core(sub, &mut rc)?
         } else {
-            self.run_basic_inner(qa, faults, &mut rc)?
+            self.run_basic_core(sub, &mut rc)?
         };
         Ok(RobustRun {
             degraded: matches!(run.outcome, ExecutionOutcome::Degraded { .. }),
@@ -223,12 +236,10 @@ impl Bouquet {
     /// plan at the estimate `est` (the driver's best current knowledge)
     /// without a budget. Spend from the abandoned discovery, and from every
     /// fallback attempt, stays charged.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn degraded_finish(
+    pub(crate) fn degraded_finish<S: ExecutionSubstrate>(
         &self,
-        qa: &SelPoint,
         est: &SelPoint,
-        ex: &Executor<'_>,
+        sub: &mut S,
         mut trace: Vec<PartialExec>,
         mut total: f64,
         rc: &mut RobustCtx,
@@ -240,33 +251,30 @@ impl Bouquet {
         let ess = &self.workload.ess;
         let li = ess.linear(&ess.snap_floor(est));
         let pid = self.diagram.optimal[li] as PlanId;
-        let plan = &self.plan(pid).root;
         for attempt in 0..=rc.retries {
-            let out = ex.execute(plan, qa, f64::INFINITY);
-            total += out.spent();
-            let completed = out.completed();
-            let error = out.error().cloned();
+            let out = sub.run_native(pid);
+            total += out.spent;
             trace.push(PartialExec {
                 contour: 0,
                 plan: pid,
                 budget: f64::INFINITY,
-                spent: out.spent(),
-                completed,
+                spent: out.spent,
+                completed: out.completed,
                 spilled: false,
                 learned: None,
-                error: error.clone(),
+                error: out.error.clone(),
             });
-            if completed {
+            if out.completed {
                 return BouquetRun {
                     trace,
                     total_cost: total,
                     outcome: ExecutionOutcome::Degraded {
                         final_plan: pid,
-                        final_cost: out.spent(),
+                        final_cost: out.spent,
                     },
                 };
             }
-            match error {
+            match out.error {
                 Some(error) => rc.push(RobustEvent::Retry {
                     contour: 0,
                     plan: pid,

@@ -27,6 +27,7 @@ pub mod grading;
 pub mod maintenance;
 pub mod metrics;
 pub mod persist;
+pub mod substrate;
 pub mod theory;
 pub mod workload;
 
@@ -37,4 +38,7 @@ pub use drivers::{BouquetRun, ExecutionOutcome, PartialExec};
 pub use eval::{EvalConfig, WorkloadEvaluation};
 pub use grading::IsoCostGrading;
 pub use metrics::{MetricsSummary, RobustnessDistribution};
+pub use substrate::{
+    measure_qa, EngineSubstrate, ExecutionSubstrate, SimulatorSubstrate, SubstrateOutcome,
+};
 pub use workload::Workload;

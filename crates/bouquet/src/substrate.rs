@@ -1,0 +1,380 @@
+//! Execution substrates: the runtime surface the bouquet drivers drive.
+//!
+//! The paper's drivers (Figures 7 and 13) only ever need three primitives
+//! from the thing that executes plans — a budgeted execution, a budgeted
+//! execution with selectivity monitoring, and an unbudgeted native run for
+//! the degradation rung. [`ExecutionSubstrate`] captures exactly that
+//! contract, so the same driver loops run against
+//!
+//! * [`SimulatorSubstrate`] — the cost-unit simulator
+//!   ([`pb_executor::Executor`]), which "executes" a plan by comparing its
+//!   actual cost at the true location `qa` against the budget. This is the
+//!   substrate every MSO/ASO number in the evaluation is computed on, and
+//!   its outputs are **byte-identical** to the pre-substrate drivers
+//!   (guarded by `tests/substrate_equivalence.rs` golden snapshots).
+//! * [`EngineSubstrate`] — the real vectorized engine
+//!   ([`pb_engine::Engine`]) running generated tuples, with budgets enforced
+//!   by the engine's cost ledger and selectivities observed from node tuple
+//!   counters ([`pb_engine::Instrumentation::observed_selectivity`]) at the
+//!   node picked by [`pb_executor::learnable_node`] inversion.
+//!
+//! The drivers never see `qa` directly: everything they learn arrives
+//! through [`SubstrateOutcome::observed`] (selectivity lower bounds) and
+//! [`SubstrateOutcome::resolved`] (exactly-known dimensions with their
+//! values), which is precisely the information a real system has at run
+//! time. Layering: `pb-executor` and `pb-engine` are independent leaves;
+//! `pb-bouquet` sits above both and owns the trait.
+
+use pb_cost::{NodeCost, SelPoint};
+use pb_engine::{Database, Engine, EngineOutcome};
+use pb_executor::{learnable_node, Executor};
+use pb_faults::{FaultInjector, PbError};
+use pb_optimizer::PlanId;
+use pb_plan::{DimId, PlanNode, QuerySpec};
+
+use crate::bouquet::Bouquet;
+
+/// What one partial (budget-limited) execution told the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubstrateOutcome {
+    /// Cost units actually consumed (charged to the run unconditionally).
+    pub spent: f64,
+    /// The *query* finished (never true for spilled executions).
+    pub completed: bool,
+    /// Whether this execution ran a spilled prefix (Section 5.3).
+    pub spilled: bool,
+    /// Selectivity lower bounds observed from the execution:
+    /// `(dim, new_lower_bound)`, first-quadrant safe.
+    pub observed: Vec<(DimId, f64)>,
+    /// Dimensions whose error node consumed its entire input, with the now
+    /// exactly-known selectivity: `(dim, true_value)`.
+    pub resolved: Vec<(DimId, f64)>,
+    /// Set when the execution died on a fault rather than completing or
+    /// exhausting its budget.
+    pub error: Option<PbError>,
+}
+
+impl SubstrateOutcome {
+    fn plain(spent: f64, completed: bool, error: Option<PbError>) -> Self {
+        SubstrateOutcome {
+            spent,
+            completed,
+            spilled: false,
+            observed: Vec::new(),
+            resolved: Vec::new(),
+            error,
+        }
+    }
+}
+
+/// A runtime surface the bouquet drivers can discover against.
+///
+/// Implementations are bound to one bouquet and one true query location
+/// (explicitly for the simulator, implicitly — via the generated data — for
+/// the engine) at construction time; `&mut self` lets them keep scratch
+/// state (evaluation stacks, result-row counters) across calls.
+pub trait ExecutionSubstrate {
+    /// Budget-limited execution of bouquet plan `pid` with no monitoring —
+    /// the basic (Figure 7) driver's primitive.
+    fn execute_partial(&mut self, pid: PlanId, budget: f64) -> SubstrateOutcome;
+
+    /// Budget-limited execution with selectivity monitoring — the optimized
+    /// (Figure 13) driver's primitive. With `spilled` the pipeline is broken
+    /// above the first unresolved error node, so the whole budget works on
+    /// discovery and the query cannot complete here.
+    fn execute_monitored(
+        &mut self,
+        pid: PlanId,
+        resolved: &[bool],
+        budget: f64,
+        spilled: bool,
+    ) -> SubstrateOutcome;
+
+    /// Unbudgeted execution of bouquet plan `pid` — the degradation rung
+    /// (classical query processing: one plan, no safety net).
+    fn run_native(&mut self, pid: PlanId) -> SubstrateOutcome;
+
+    /// Cost of the native optimizer baseline: pick the optimizer's plan at
+    /// the *estimated* location `point` and run it to completion, returning
+    /// the actual cost. This is the NAT row of Table 3.
+    fn run_native_at(&mut self, point: &SelPoint) -> f64;
+
+    /// Whether a fault injector is armed (drivers relax first-quadrant
+    /// assertions and clamp observations when it is).
+    fn faults_active(&self) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Cost-unit simulator substrate
+// ---------------------------------------------------------------------------
+
+/// The cost-unit simulator as a substrate: plan executions are resolved by
+/// [`pb_executor::Executor`] against the true location `qa`, using the
+/// bouquet's compiled cost programs on the plain path (the basic driver's
+/// hot loop re-costs whole pool plans once per budget probe).
+pub struct SimulatorSubstrate<'a> {
+    b: &'a Bouquet,
+    qa: SelPoint,
+    ex: Executor<'a>,
+    stack: Vec<NodeCost>,
+}
+
+impl<'a> SimulatorSubstrate<'a> {
+    /// Bind the simulator to `bouquet` at true location `qa` with an armed
+    /// (or inert) fault injector. Fails if `qa`'s dimensionality does not
+    /// match the workload's ESS.
+    pub fn new(
+        bouquet: &'a Bouquet,
+        qa: &SelPoint,
+        faults: FaultInjector,
+    ) -> Result<Self, PbError> {
+        let d = bouquet.workload.ess.d();
+        if qa.dims() != d {
+            return Err(PbError::DimensionMismatch {
+                expected: d,
+                got: qa.dims(),
+            });
+        }
+        let ex =
+            Executor::with_perturbation(bouquet.workload.coster(), bouquet.config.perturbation)
+                .with_faults(faults);
+        Ok(SimulatorSubstrate {
+            b: bouquet,
+            qa: qa.clone(),
+            ex,
+            stack: Vec::new(),
+        })
+    }
+}
+
+impl ExecutionSubstrate for SimulatorSubstrate<'_> {
+    fn execute_partial(&mut self, pid: PlanId, budget: f64) -> SubstrateOutcome {
+        let out = self.ex.execute_compiled(
+            &self.b.programs()[pid],
+            self.b.plan(pid).fingerprint(),
+            &self.qa,
+            budget,
+            &mut self.stack,
+        );
+        SubstrateOutcome::plain(out.spent(), out.completed(), out.error().cloned())
+    }
+
+    fn execute_monitored(
+        &mut self,
+        pid: PlanId,
+        resolved: &[bool],
+        budget: f64,
+        spilled: bool,
+    ) -> SubstrateOutcome {
+        let r =
+            self.ex
+                .execute_monitored(&self.b.plan(pid).root, &self.qa, resolved, budget, spilled);
+        if !self.ex.faults.is_active() {
+            if let Some((dim, v)) = r.learned {
+                debug_assert!(
+                    v <= self.qa[dim] * (1.0 + 1e-9),
+                    "first-quadrant invariant violated"
+                );
+            }
+        }
+        SubstrateOutcome {
+            spent: r.spent,
+            completed: r.completed,
+            spilled,
+            observed: r.learned.into_iter().collect(),
+            // The simulator knows truth exactly: a resolved dimension's value
+            // is qa's.
+            resolved: r.resolved.into_iter().map(|dm| (dm, self.qa[dm])).collect(),
+            error: r.error,
+        }
+    }
+
+    fn run_native(&mut self, pid: PlanId) -> SubstrateOutcome {
+        let out = self
+            .ex
+            .execute(&self.b.plan(pid).root, &self.qa, f64::INFINITY);
+        SubstrateOutcome::plain(out.spent(), out.completed(), out.error().cloned())
+    }
+
+    fn run_native_at(&mut self, point: &SelPoint) -> f64 {
+        let plan = self.b.workload.optimizer().optimize(point).plan;
+        self.ex.actual_cost(&plan.root, &self.qa)
+    }
+
+    fn faults_active(&self) -> bool {
+        self.ex.faults.is_active()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-engine substrate
+// ---------------------------------------------------------------------------
+
+/// The vectorized tuple engine as a substrate: budgets are enforced by the
+/// engine's cost ledger and selectivities come from node tuple counters,
+/// read at the node chosen by [`learnable_node`] inversion — the same node
+/// the simulator's learning model reasons about.
+pub struct EngineSubstrate<'a> {
+    b: &'a Bouquet,
+    db: &'a Database,
+    engine: Engine<'a>,
+    faults: FaultInjector,
+    /// Result cardinality of the last completed query execution.
+    last_rows: Option<usize>,
+}
+
+impl<'a> EngineSubstrate<'a> {
+    /// Bind the engine to `bouquet`'s query over the generated `db` with an
+    /// armed (or inert) fault injector.
+    pub fn new(bouquet: &'a Bouquet, db: &'a Database, faults: FaultInjector) -> Self {
+        let w = &bouquet.workload;
+        EngineSubstrate {
+            b: bouquet,
+            db,
+            engine: Engine::new(db, &w.query, &w.model.p),
+            faults,
+            last_rows: None,
+        }
+    }
+
+    /// Result cardinality of the last completed query execution, if any.
+    pub fn result_rows(&self) -> Option<usize> {
+        self.last_rows
+    }
+
+    /// Measure the true ESS location of the bound query against the data —
+    /// the engine-side analogue of the simulator's `qa` argument, used by
+    /// cross-substrate checks (`pbq table3`).
+    pub fn measured_qa(&self) -> Result<SelPoint, PbError> {
+        measure_qa(self.db, &self.b.workload.query, &self.b.workload.ess)
+    }
+
+    fn note_completion(&mut self, out: &EngineOutcome) {
+        if let EngineOutcome::Completed { rows, .. } = out {
+            self.last_rows = Some(*rows);
+        }
+    }
+}
+
+impl ExecutionSubstrate for EngineSubstrate<'_> {
+    fn execute_partial(&mut self, pid: PlanId, budget: f64) -> SubstrateOutcome {
+        let plan = &self.b.plan(pid).root;
+        let out = self.engine.execute_with_faults(plan, budget, &self.faults);
+        self.note_completion(&out);
+        SubstrateOutcome::plain(out.cost(), out.completed(), out.error().cloned())
+    }
+
+    fn execute_monitored(
+        &mut self,
+        pid: PlanId,
+        resolved: &[bool],
+        budget: f64,
+        spilled: bool,
+    ) -> SubstrateOutcome {
+        if spilled && self.faults.is_active() {
+            if let Some(error) = self.faults.spill_failure("engine:spill") {
+                // The pipeline break failed before any real work; the driver
+                // decides whether to retry unspilled.
+                return SubstrateOutcome {
+                    spent: 0.0,
+                    completed: false,
+                    spilled,
+                    observed: Vec::new(),
+                    resolved: Vec::new(),
+                    error: Some(error),
+                };
+            }
+        }
+        let w = &self.b.workload;
+        let plan = &self.b.plan(pid).root;
+        // Invert the plan to the deepest node applying an unresolved error
+        // dimension; for a spilled run only that node's prefix executes.
+        let learn = learnable_node(plan, &w.query, resolved);
+        let (exec_root, learn_dim): (PlanNode, Option<DimId>) = match (&learn, spilled) {
+            (Some((node, dims)), true) => ((*node).clone().spilled(), Some(dims[0])),
+            (Some((_, dims)), false) => (plan.clone(), Some(dims[0])),
+            (None, _) => (plan.clone(), None),
+        };
+        let out = self
+            .engine
+            .execute_with_faults(&exec_root, budget, &self.faults);
+        let completed_query = out.completed() && !spilled;
+        if completed_query {
+            self.note_completion(&out);
+        }
+        let mut observed = Vec::new();
+        let mut resolved_out = Vec::new();
+        if let Some(dm) = learn_dim {
+            if let Some(s) = out
+                .instr()
+                .observed_selectivity(&exec_root, &w.query, self.db, dm)
+            {
+                // Clamp into the ESS so qrun can never leave the space.
+                let s = s.clamp(w.ess.dims[dm].lo, w.ess.dims[dm].hi);
+                observed.push((dm, s));
+                if spilled && out.completed() {
+                    // The prefix consumed its entire input: the counter is
+                    // final, so the observation *is* the true selectivity.
+                    resolved_out.push((dm, s));
+                }
+            }
+        }
+        SubstrateOutcome {
+            spent: out.cost(),
+            completed: completed_query,
+            spilled,
+            observed,
+            resolved: resolved_out,
+            error: out.error().cloned(),
+        }
+    }
+
+    fn run_native(&mut self, pid: PlanId) -> SubstrateOutcome {
+        let plan = &self.b.plan(pid).root;
+        let out = self
+            .engine
+            .execute_with_faults(plan, f64::INFINITY, &self.faults);
+        self.note_completion(&out);
+        SubstrateOutcome::plain(out.cost(), out.completed(), out.error().cloned())
+    }
+
+    fn run_native_at(&mut self, point: &SelPoint) -> f64 {
+        let plan = self.b.workload.optimizer().optimize(point).plan;
+        self.engine.execute(&plan.root, f64::INFINITY).cost()
+    }
+
+    fn faults_active(&self) -> bool {
+        self.faults.is_active()
+    }
+}
+
+/// Measure the true ESS location of a query against generated data (exact
+/// selection/join selectivities, clamped into the ESS box).
+pub fn measure_qa(
+    db: &Database,
+    query: &QuerySpec,
+    ess: &pb_cost::Ess,
+) -> Result<SelPoint, PbError> {
+    let mut qa = vec![f64::NAN; query.num_dims];
+    for r in &query.relations {
+        for s in &r.selections {
+            if let Some(dm) = s.selectivity.error_dim() {
+                qa[dm] = db.actual_selection_selectivity(s);
+            }
+        }
+    }
+    for (ji, j) in query.joins.iter().enumerate() {
+        if let Some(dm) = j.selectivity.error_dim() {
+            qa[dm] = db.actual_join_selectivity(query, ji);
+        }
+    }
+    for (dm, v) in qa.iter_mut().enumerate() {
+        if v.is_nan() {
+            return Err(PbError::Internal(format!(
+                "error dimension {dm} has no measurable predicate"
+            )));
+        }
+        *v = v.clamp(ess.dims[dm].lo, ess.dims[dm].hi);
+    }
+    Ok(SelPoint(qa))
+}
