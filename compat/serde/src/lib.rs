@@ -91,6 +91,21 @@ pub trait Deserialize: Sized {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// Identity impls: a `Value` serializes to itself, so dynamically-shaped
+// documents (benchmark reports, baselines) can round-trip through
+// `serde_json::{to_string, from_str}` without a typed schema.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

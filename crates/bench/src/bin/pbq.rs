@@ -11,6 +11,8 @@
 //! pbq sensitivity WORKLOAD                   # §8 dimension analysis
 //! pbq speedup WORKLOAD [--workers N] [--json PATH]  # identification bench
 //! pbq engine-speedup [--sf X] [--json PATH]  # vectorized-vs-tuple engine bench
+//! pbq engine-mt [--sf X] [--workers 1,2,4] [--json PATH]  # morsel scaling curve
+//! pbq bench-check [--baseline PATH] [--update] [--tolerance F]  # regression gate
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
 //! pbq chaos [--seed N]                       # fault-injection campaign
 //! pbq table3 [--sf N] [--json PATH]          # engine-backed Table 3 + cross-check
@@ -18,7 +20,9 @@
 //!
 //! Locations are given as per-axis fractions in `[0,1]` (geometric
 //! interpolation between each dimension's bounds). Every subcommand accepts
-//! `--jobs N` to cap identification worker threads (default: all cores).
+//! `--jobs N` to cap identification worker threads (default: all cores) and
+//! `--engine-jobs N` to run the engine's morsel-driven kernels `N`-wide
+//! (default: 1, the serial engine; outcomes are bit-identical either way).
 
 use pb_bouquet::{dim_analysis, persist, Bouquet, BouquetConfig};
 use pb_cost::uncertainty::{classify, Uncertainty};
@@ -42,6 +46,8 @@ fn main() {
         "sensitivity" => with_workload(&args, sensitivity),
         "speedup" => with_workload(&args, speedup),
         "engine-speedup" => engine_speedup(&args[1..]),
+        "engine-mt" => engine_mt(&args[1..]),
+        "bench-check" => bench_check(&args[1..]),
         "sql" => sql_cmd(&args[1..]),
         "chaos" => chaos_cmd(&args[1..]),
         "table3" => table3_cmd(&args[1..]),
@@ -49,18 +55,36 @@ fn main() {
     }
 }
 
-/// Strip a global `--jobs N` flag, routing it to the pipeline's worker
-/// override.
+/// Engine worker count set by the global `--engine-jobs N` flag (default:
+/// serial — the multicore path is opt-in and outcome-neutral).
+static ENGINE_JOBS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+fn engine_par() -> Parallelism {
+    match ENGINE_JOBS.get() {
+        Some(&n) => Parallelism::new(n),
+        None => Parallelism::serial(),
+    }
+}
+
+/// Strip the global `--jobs N` (identification worker threads) and
+/// `--engine-jobs N` (engine morsel workers) flags, routing them to their
+/// overrides.
 fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
-    if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
-        let n: usize = args
-            .get(i + 1)
+    let numeric = |args: &[String], i: usize, flag: &str| -> usize {
+        args.get(i + 1)
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
-                eprintln!("--jobs needs a positive integer");
+                eprintln!("{flag} needs a positive integer");
                 std::process::exit(2);
-            });
-        pb_cost::set_default_workers(n);
+            })
+    };
+    if let Some(i) = args.iter().position(|a| a == "--jobs" || a == "-j") {
+        pb_cost::set_default_workers(numeric(&args, i, "--jobs"));
+        args.drain(i..=i + 1);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--engine-jobs") {
+        let n = numeric(&args, i, "--engine-jobs").max(1);
+        let _ = ENGINE_JOBS.set(n);
         args.drain(i..=i + 1);
     }
     args
@@ -69,7 +93,8 @@ fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
 fn usage() {
     eprintln!(
         "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup\
-         |engine-speedup|chaos|table3> [WORKLOAD] [args...] [--jobs N]\nrun `pbq list` for workload names"
+         |engine-speedup|engine-mt|bench-check|chaos|table3> [WORKLOAD] [args...] \
+         [--jobs N] [--engine-jobs N]\nrun `pbq list` for workload names"
     );
 }
 
@@ -476,7 +501,7 @@ fn table3_cmd(rest: &[String]) {
         .position(|a| a == "--json")
         .map(|i| rest.get(i + 1).expect("--json PATH").clone());
 
-    let (text, report) = pb_bench::experiments::table3::run_at(sf);
+    let (text, report) = pb_bench::experiments::table3::run_at_with(sf, engine_par());
     print!("{text}");
     if let Some(path) = json_path {
         let json = serde_json::to_string(&report).expect("serialize table3 report");
@@ -522,14 +547,14 @@ fn engine_speedup(rest: &[String]) {
     // p⋈l, edge 1 is l⋈o. All columns are indexed, so every operator in the
     // engine can appear.
     let w = pb_workloads::h_q8a_2d(sf);
-    let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
+    let db = Database::generate_with(&w.catalog, 42, &[], Parallelism::auto()).expect("generate");
     let base_rows: u64 = w
         .query
         .relations
         .iter()
         .map(|r| db.table(r.table).rows as u64)
         .sum();
-    let eng = Engine::new(&db, &w.query, &w.model.p);
+    let eng = Engine::new(&db, &w.query, &w.model.p).with_parallelism(engine_par());
 
     let hj_pl = || PlanNode::HashJoin {
         build: Box::new(PlanNode::SeqScan { rel: 0 }),
@@ -673,6 +698,164 @@ fn engine_speedup(rest: &[String]) {
     }
 
     if !all_equal {
+        std::process::exit(1);
+    }
+}
+
+/// Morsel-driven scaling curve: the engine benchmark suite at several
+/// worker counts, gated on bit-identical `EngineOutcome`s across counts.
+fn engine_mt(rest: &[String]) {
+    use pb_bench::regress;
+
+    let flag_f64 = |flag: &str, default: f64| -> f64 {
+        match rest.iter().position(|a| a == flag) {
+            Some(i) => rest
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a positive number");
+                    std::process::exit(2);
+                }),
+            None => default,
+        }
+    };
+    let sf = flag_f64("--sf", 0.1);
+    let reps = flag_f64("--reps", 3.0) as usize;
+    let workers: Vec<usize> = match rest.iter().position(|a| a == "--workers") {
+        Some(i) => rest
+            .get(i + 1)
+            .map(|s| {
+                s.split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .expect("--workers takes a comma list, e.g. 1,2,4")
+                    })
+                    .collect()
+            })
+            .expect("--workers takes a comma list, e.g. 1,2,4"),
+        None => vec![1, 2, 4],
+    };
+    let morsel_min: Option<usize> = rest.iter().position(|a| a == "--morsel-min").map(|i| {
+        rest.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--morsel-min needs a row count")
+    });
+    let json_path = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.get(i + 1).expect("--json PATH").clone());
+
+    println!(
+        "morsel-driven scaling curve (sf {sf}, workers {workers:?}, morsel gate {})",
+        morsel_min
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| format!("{} (default)", pb_cost::PARALLEL_MIN_MORSEL_ROWS)),
+    );
+    let report = match pb_bench::regress::engine_mt_bench(sf, &workers, morsel_min, reps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("engine-mt FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    let curve = regress::get(&report, "curve")
+        .and_then(serde::Value::as_arr)
+        .expect("curve");
+    println!(
+        "  {} budget-ladder outcome checks per worker count: all bit-identical",
+        regress::get(&report, "budget_checks_per_worker_count")
+            .and_then(regress::as_f64)
+            .unwrap_or(0.0)
+    );
+    for row in curve {
+        let v = |k: &str| {
+            regress::get(row, k)
+                .and_then(regress::as_f64)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "  {:>3.0} workers  {:>9.2}ms  speedup {:>5.2}x",
+            v("workers"),
+            v("wall_s") * 1e3,
+            v("speedup_vs_1")
+        );
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, regress::to_pretty(&report)).expect("write --json report");
+        println!("  wrote {path}");
+    }
+}
+
+/// Re-run the engine and identification benchmarks and diff them against
+/// the committed baseline file; exits non-zero on any regression.
+fn bench_check(rest: &[String]) {
+    use pb_bench::regress;
+    use serde::Value;
+
+    let baseline_path = rest
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| rest.get(i + 1).expect("--baseline PATH").clone())
+        .unwrap_or_else(|| "results/bench_baselines.json".into());
+    let update = rest.iter().any(|a| a == "--update");
+    let tol: f64 = match rest.iter().position(|a| a == "--tolerance") {
+        Some(i) => rest
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--tolerance needs a fraction, e.g. 0.25");
+                std::process::exit(2);
+            }),
+        None => 0.25,
+    };
+
+    println!("bench-check: re-running engine + identification benchmarks...");
+    let run = |label: &str, r: Result<Value, String>| -> Value {
+        match r {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench-check: {label} bench FAILED outright: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let engine = run("engine", regress::engine_bench(0.02));
+    let identify = run("identify", regress::identify_bench("2D_H_Q8A", 4));
+    let current = Value::Obj(vec![
+        ("engine".to_string(), engine),
+        ("identify".to_string(), identify),
+    ]);
+
+    if update {
+        std::fs::write(&baseline_path, regress::to_pretty(&current)).expect("write baseline");
+        println!("bench-check: wrote baseline {baseline_path}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench-check: cannot read baseline {baseline_path}: {e}\n\
+             (generate one with `pbq bench-check --update`)"
+        );
+        std::process::exit(2);
+    });
+    let baseline: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench-check: baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let diffs = regress::compare(&baseline, &current, tol);
+    if diffs.is_empty() {
+        println!(
+            "bench-check OK: current run within ±{:.0}% of {baseline_path} \
+             (timing fields banded, identity fields exact)",
+            tol * 100.0
+        );
+    } else {
+        eprintln!("bench-check FAILED against {baseline_path}:");
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
         std::process::exit(1);
     }
 }

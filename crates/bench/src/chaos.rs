@@ -264,6 +264,7 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
     }
 
     scenarios += engine_scenarios(seed, &mut breaches, &mut cells);
+    scenarios += parallel_engine_scenarios(seed, &mut breaches, &mut cells);
     scenarios += engine_substrate_scenarios(seed, &mut breaches, &mut cells);
 
     let mut out = String::new();
@@ -674,6 +675,122 @@ fn engine_scenarios(
                         || out.completed() != bare.completed()
                     {
                         breaches.push(format!("{}: inert engine run diverged", tag()));
+                    }
+                }
+            }
+        }
+    }
+    ran
+}
+
+/// Parallel-engine block: the vectorized path with morsel-driven kernels at
+/// several worker counts, under engine-side faults (operator failure,
+/// ledger over-charge, storms) and a spill-wrapped plan, with the morsel
+/// gate lowered so the parallel kernels engage at chaos scale. The
+/// invariant is total: for every (plan, fault plan, budget, worker count),
+/// the parallel engine must produce an `EngineOutcome` *bit-identical* to
+/// the serial engine's under an identically-seeded injector — faults
+/// included, because the coordinator replays the serial ledger event
+/// sequence no matter how many workers computed the batches.
+fn parallel_engine_scenarios(
+    seed: u64,
+    breaches: &mut Vec<String>,
+    cells: &mut Vec<(String, Cell)>,
+) -> usize {
+    use pb_cost::Parallelism;
+
+    let w = eq_1d();
+    let db = match Database::generate(&w.catalog, seed ^ 0xD0, &[]) {
+        Ok(db) => db,
+        Err(e) => {
+            breaches.push(format!("engine-par: data generation failed: {e}"));
+            return 0;
+        }
+    };
+    // Morsel gate lowered to a handful of batches so tiny chaos relations
+    // exercise the parallel kernels; gating is outcome-neutral by design.
+    let mk = |workers: usize| {
+        Engine::new(&db, &w.query, &w.model.p)
+            .with_parallelism(Parallelism::new(workers))
+            .with_morsel_threshold(64)
+    };
+    let serial = Engine::new(&db, &w.query, &w.model.p);
+    let qe = w.ess.point_at_fractions(&[0.5]);
+    let root = w.optimizer().optimize(&qe).plan.root;
+    let plans = [("plain", root.clone()), ("spilled", root.spilled())];
+
+    let fault_kinds: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        (
+            "operator-failure",
+            FaultPlan::new(seed).with(
+                FaultKind::OperatorFailure { waste_frac: 0.5 },
+                Trigger::Nth(1 + seed % 64),
+            ),
+        ),
+        (
+            "ledger-overcharge",
+            FaultPlan::new(seed ^ 9).with(
+                FaultKind::LedgerOverCharge { factor: 2.0 },
+                Trigger::Every(7),
+            ),
+        ),
+        (
+            "operator-storm",
+            FaultPlan::new(seed ^ 10).with(
+                FaultKind::OperatorFailure { waste_frac: 1.0 },
+                Trigger::PerMille(5),
+            ),
+        ),
+    ];
+
+    let mut ran = 0usize;
+    for (pname, plan) in &plans {
+        let ref_cost = serial.execute(plan, f64::INFINITY).cost();
+        for (label, fp) in &fault_kinds {
+            for workers in [1usize, 2, 4] {
+                let eng = mk(workers);
+                let key = format!("engine-par:{label}|{pname}x{workers}");
+                let ci = cell_of(cells, key);
+                for bi in 0..5u32 {
+                    ran += 1;
+                    cells[ci].1.scenarios += 1;
+                    let budget = if bi == 4 {
+                        f64::INFINITY
+                    } else {
+                        ref_cost * f64::from(bi + 1) / 4.0
+                    };
+                    let tag = || format!("engine-par/{label}/{pname}/{workers}w/budget#{bi}");
+                    let reference = {
+                        let faults = FaultInjector::new(fp);
+                        serial.execute_with_faults(plan, budget, &faults)
+                    };
+                    let out = {
+                        let faults = FaultInjector::new(fp);
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            eng.execute_with_faults(plan, budget, &faults)
+                        })) {
+                            Ok(o) => o,
+                            Err(_) => {
+                                breaches.push(format!("{}: PANIC", tag()));
+                                continue;
+                            }
+                        }
+                    };
+                    if out != reference {
+                        breaches.push(format!(
+                            "{}: parallel outcome != serial (cost {} vs {})",
+                            tag(),
+                            out.cost(),
+                            reference.cost()
+                        ));
+                    }
+                    if out.completed() {
+                        cells[ci].1.completed += 1;
+                    } else if out.error().is_some() {
+                        cells[ci].1.degraded += 1;
+                    } else {
+                        cells[ci].1.exhausted += 1;
                     }
                 }
             }

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use pb_bouquet::{Bouquet, BouquetRun, EngineSubstrate, ExecutionSubstrate};
-use pb_cost::SelPoint;
+use pb_cost::{Parallelism, SelPoint};
 use pb_engine::Database;
 use pb_faults::{FaultInjector, PbError};
 use serde::Serialize;
@@ -89,7 +89,20 @@ pub fn engine_run_bouquet(
     db: &Database,
     optimized: bool,
 ) -> Result<EngineRunReport, PbError> {
-    let mut sub = EngineSubstrate::new(bouquet, db, FaultInjector::none());
+    engine_run_bouquet_with(bouquet, db, optimized, Parallelism::serial())
+}
+
+/// [`engine_run_bouquet`] with the engine's morsel-driven kernels running
+/// `par`-wide. Outcomes are bit-identical to the serial run for every
+/// worker count; the knob only changes wall-clock time.
+pub fn engine_run_bouquet_with(
+    bouquet: &Bouquet,
+    db: &Database,
+    optimized: bool,
+    par: Parallelism,
+) -> Result<EngineRunReport, PbError> {
+    let mut sub =
+        EngineSubstrate::new(bouquet, db, FaultInjector::none()).with_engine_parallelism(par);
     let run = if optimized {
         bouquet.run_optimized_on(&mut sub)?
     } else {

@@ -16,12 +16,12 @@
 use std::fmt::Write as _;
 
 use pb_bouquet::{Bouquet, BouquetConfig, Workload};
-use pb_cost::Estimator;
+use pb_cost::{Estimator, Parallelism};
 use pb_engine::{ColumnOverride, Database, Engine};
 use pb_workloads::h_q8a_2d;
 use serde::Serialize;
 
-use crate::engine_driver::{engine_run_bouquet, engine_run_nat, measure_qa, EngineRunReport};
+use crate::engine_driver::{engine_run_bouquet_with, engine_run_nat, measure_qa, EngineRunReport};
 use crate::table::{fnum, Table};
 
 /// Structured result of the Table 3 experiment (the `BENCH_table3.json`
@@ -119,6 +119,13 @@ pub fn basic_sequences_match(b: &Bouquet, db: &Database, engine_basic: &EngineRu
 /// Run the full experiment at scale factor `sf`, returning the rendered
 /// text and the structured report.
 pub fn run_at(sf: f64) -> (String, Table3Report) {
+    run_at_with(sf, Parallelism::serial())
+}
+
+/// [`run_at`] with the engine's morsel-driven kernels running `par`-wide
+/// (`pbq table3 --engine-jobs N`). The report is bit-identical for every
+/// worker count; only wall-clock time changes.
+pub fn run_at_with(sf: f64, par: Parallelism) -> (String, Table3Report) {
     let (w, b, db) = setup(sf);
 
     let mut out = String::new();
@@ -149,11 +156,11 @@ pub fn run_at(sf: f64) -> (String, Table3Report) {
     let nat_cost = engine_run_nat(&b, &db, &qe);
     // Oracle: plan chosen at the true location, run to completion.
     let oracle_plan = w.optimizer().optimize(&qa).plan;
-    let engine = Engine::new(&db, &w.query, &w.model.p);
+    let engine = Engine::new(&db, &w.query, &w.model.p).with_parallelism(par);
     let oracle_cost = engine.execute(&oracle_plan.root, f64::INFINITY).cost();
 
-    let basic = engine_run_bouquet(&b, &db, false).expect("basic engine run");
-    let optd = engine_run_bouquet(&b, &db, true).expect("optimized engine run");
+    let basic = engine_run_bouquet_with(&b, &db, false, par).expect("basic engine run");
+    let optd = engine_run_bouquet_with(&b, &db, true, par).expect("optimized engine run");
     assert!(
         basic.completed && optd.completed,
         "bouquet runs must complete"

@@ -8,9 +8,12 @@
 pub mod calibration;
 pub mod chaos;
 pub mod engine_driver;
+pub mod regress;
 pub mod table;
 
-pub use engine_driver::{engine_run_bouquet, engine_run_nat, EngineRunReport};
+pub use engine_driver::{
+    engine_run_bouquet, engine_run_bouquet_with, engine_run_nat, EngineRunReport,
+};
 pub use table::Table;
 
 pub mod experiments;

@@ -25,7 +25,7 @@
 //! time. Layering: `pb-executor` and `pb-engine` are independent leaves;
 //! `pb-bouquet` sits above both and owns the trait.
 
-use pb_cost::{NodeCost, SelPoint};
+use pb_cost::{NodeCost, Parallelism, SelPoint};
 use pb_engine::{Database, Engine, EngineOutcome};
 use pb_executor::{learnable_node, Executor};
 use pb_faults::{FaultInjector, PbError};
@@ -235,6 +235,22 @@ impl<'a> EngineSubstrate<'a> {
             faults,
             last_rows: None,
         }
+    }
+
+    /// Run the engine's morsel-driven kernels with `par` workers. Outcomes
+    /// stay bit-identical to the serial engine for every plan × budget — the
+    /// knob only changes wall-clock time.
+    pub fn with_engine_parallelism(mut self, par: Parallelism) -> Self {
+        self.engine = self.engine.with_parallelism(par);
+        self
+    }
+
+    /// Lower the morsel-dispatch row threshold (default
+    /// [`pb_cost::PARALLEL_MIN_MORSEL_ROWS`]) so parallel kernels engage on
+    /// small test-scale relations.
+    pub fn with_engine_morsel_threshold(mut self, rows: usize) -> Self {
+        self.engine = self.engine.with_morsel_threshold(rows);
+        self
     }
 
     /// Result cardinality of the last completed query execution, if any.

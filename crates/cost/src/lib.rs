@@ -39,6 +39,9 @@ pub use ess::{Ess, EssDim, GridIx, SelPoint};
 pub use estimator::Estimator;
 pub use matrix::CostMatrix;
 pub use model_error::CostPerturbation;
-pub use parallel::{par_map, run_chunked, set_default_workers, Parallelism, PARALLEL_MIN_GRID};
+pub use parallel::{
+    par_map, run_chunked, set_default_workers, Parallelism, PARALLEL_MIN_GRID,
+    PARALLEL_MIN_MORSEL_ROWS,
+};
 pub use params::{CostModel, CostParams};
 pub use program::CostProgram;

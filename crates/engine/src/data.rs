@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use pb_catalog::{Catalog, Distribution};
+use pb_cost::Parallelism;
 use pb_faults::PbError;
 use pb_plan::{CmpOp, QuerySpec, SelectionPredicate};
 use rand::rngs::StdRng;
@@ -56,103 +57,23 @@ impl Database {
         seed: u64,
         overrides: &[ColumnOverride],
     ) -> Result<Self, PbError> {
-        let mut tables = Vec::new();
-        for t in catalog.tables() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (t.id.0 as u64).wrapping_mul(0x9E37));
-            let nrows = t.rows.round() as usize;
-            let mut columns: Vec<Vec<i64>> = Vec::with_capacity(t.columns.len());
-            for col in &t.columns {
-                let mut ov = None;
-                for o in overrides {
-                    match o {
-                        ColumnOverride::EffectiveNdv { table, column, ndv }
-                            if *table == t.name && *column == col.name =>
-                        {
-                            ov = Some(Ov::Ndv(*ndv));
-                        }
-                        ColumnOverride::CorrelatedWith {
-                            table,
-                            column,
-                            with,
-                        } if *table == t.name && *column == col.name => {
-                            let src = t.columns.iter().position(|c| c.name == *with).ok_or_else(
-                                || PbError::MissingEntity {
-                                    kind: "correlation source column".into(),
-                                    name: format!("{}.{with}", t.name),
-                                },
-                            )?;
-                            ov = Some(Ov::Corr(src));
-                        }
-                        _ => {}
-                    }
-                }
-                let data: Vec<i64> = match ov {
-                    Some(Ov::Ndv(ndv)) => {
-                        let lo = col.stats.min as i64;
-                        (0..nrows)
-                            .map(|_| lo + rng.random_range(0..ndv.max(1)) as i64)
-                            .collect()
-                    }
-                    Some(Ov::Corr(src)) => {
-                        // Monotone copy of the source column, rescaled into
-                        // this column's range.
-                        let source = &columns[src];
-                        let t_col = &t.columns[src];
-                        let (slo, shi) =
-                            (t_col.stats.min, t_col.stats.max.max(t_col.stats.min + 1.0));
-                        let (dlo, dhi) = (col.stats.min, col.stats.max.max(col.stats.min + 1.0));
-                        source
-                            .iter()
-                            .map(|&v| {
-                                let f = (v as f64 - slo) / (shi - slo);
-                                (dlo + f * (dhi - dlo)).round() as i64
-                            })
-                            .collect()
-                    }
-                    None => match col.stats.distribution {
-                        Distribution::Uniform => {
-                            let ndv = (col.stats.ndv.round() as i64).max(1);
-                            let lo = col.stats.min as i64;
-                            let span = ((col.stats.max - col.stats.min) as i64 + 1).max(1);
-                            if ndv >= span {
-                                (0..nrows).map(|_| lo + rng.random_range(0..span)).collect()
-                            } else {
-                                // fewer distinct values than the range: use a
-                                // deterministic stride embedding
-                                let stride = span / ndv;
-                                (0..nrows)
-                                    .map(|_| lo + rng.random_range(0..ndv) * stride)
-                                    .collect()
-                            }
-                        }
-                        Distribution::Zipf(skew) => {
-                            let ndv = (col.stats.ndv.round() as u64).max(1);
-                            let lo = col.stats.min as i64;
-                            (0..nrows)
-                                .map(|_| lo + zipf_sample(&mut rng, ndv, skew) as i64)
-                                .collect()
-                        }
-                    },
-                };
-                columns.push(data);
-            }
-            // Build indexes on every indexed column.
-            let mut indexes = HashMap::new();
-            for ix in &t.indexes {
-                let c = ix.column.column;
-                let mut entries: Vec<(i64, u32)> = columns[c as usize]
-                    .iter()
-                    .enumerate()
-                    .map(|(r, &v)| (v, r as u32))
-                    .collect();
-                entries.sort_unstable();
-                indexes.insert(c, entries);
-            }
-            tables.push(TableData {
-                columns,
-                indexes,
-                rows: nrows,
-            });
+        Self::generate_with(catalog, seed, overrides, Parallelism::serial())
+    }
+
+    /// [`Database::generate`] with tables generated in parallel. Each table
+    /// draws from its own seeded RNG stream, so the produced data is
+    /// bit-identical for every worker count — parallelism only changes which
+    /// thread materialises which table.
+    pub fn generate_with(
+        catalog: &Catalog,
+        seed: u64,
+        overrides: &[ColumnOverride],
+        par: Parallelism,
+    ) -> Result<Self, PbError> {
+        let specs: Vec<&pb_catalog::Table> = catalog.tables().collect();
+        let mut tables = Vec::with_capacity(specs.len());
+        for t in pb_cost::par_map(par, specs.len(), |i| gen_table(specs[i], seed, overrides)) {
+            tables.push(t?);
         }
         Ok(Database {
             catalog: catalog.clone(),
@@ -233,6 +154,113 @@ enum Ov {
     Corr(usize),
 }
 
+/// Materialise one table: columns in catalog order from the table's private
+/// RNG stream, then sorted secondary indexes. Pure function of
+/// `(table spec, seed, overrides)` — the unit of parallelism for
+/// [`Database::generate_with`].
+fn gen_table(
+    t: &pb_catalog::Table,
+    seed: u64,
+    overrides: &[ColumnOverride],
+) -> Result<TableData, PbError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (t.id.0 as u64).wrapping_mul(0x9E37));
+    let nrows = t.rows.round() as usize;
+    let mut columns: Vec<Vec<i64>> = Vec::with_capacity(t.columns.len());
+    for col in &t.columns {
+        let mut ov = None;
+        for o in overrides {
+            match o {
+                ColumnOverride::EffectiveNdv { table, column, ndv }
+                    if *table == t.name && *column == col.name =>
+                {
+                    ov = Some(Ov::Ndv(*ndv));
+                }
+                ColumnOverride::CorrelatedWith {
+                    table,
+                    column,
+                    with,
+                } if *table == t.name && *column == col.name => {
+                    let src = t
+                        .columns
+                        .iter()
+                        .position(|c| c.name == *with)
+                        .ok_or_else(|| PbError::MissingEntity {
+                            kind: "correlation source column".into(),
+                            name: format!("{}.{with}", t.name),
+                        })?;
+                    ov = Some(Ov::Corr(src));
+                }
+                _ => {}
+            }
+        }
+        let data: Vec<i64> = match ov {
+            Some(Ov::Ndv(ndv)) => {
+                let lo = col.stats.min as i64;
+                (0..nrows)
+                    .map(|_| lo + rng.random_range(0..ndv.max(1)) as i64)
+                    .collect()
+            }
+            Some(Ov::Corr(src)) => {
+                // Monotone copy of the source column, rescaled into
+                // this column's range.
+                let source = &columns[src];
+                let t_col = &t.columns[src];
+                let (slo, shi) = (t_col.stats.min, t_col.stats.max.max(t_col.stats.min + 1.0));
+                let (dlo, dhi) = (col.stats.min, col.stats.max.max(col.stats.min + 1.0));
+                source
+                    .iter()
+                    .map(|&v| {
+                        let f = (v as f64 - slo) / (shi - slo);
+                        (dlo + f * (dhi - dlo)).round() as i64
+                    })
+                    .collect()
+            }
+            None => match col.stats.distribution {
+                Distribution::Uniform => {
+                    let ndv = (col.stats.ndv.round() as i64).max(1);
+                    let lo = col.stats.min as i64;
+                    let span = ((col.stats.max - col.stats.min) as i64 + 1).max(1);
+                    if ndv >= span {
+                        (0..nrows).map(|_| lo + rng.random_range(0..span)).collect()
+                    } else {
+                        // fewer distinct values than the range: use a
+                        // deterministic stride embedding
+                        let stride = span / ndv;
+                        (0..nrows)
+                            .map(|_| lo + rng.random_range(0..ndv) * stride)
+                            .collect()
+                    }
+                }
+                Distribution::Zipf(skew) => {
+                    let ndv = (col.stats.ndv.round() as u64).max(1);
+                    let lo = col.stats.min as i64;
+                    (0..nrows)
+                        .map(|_| lo + zipf_sample(&mut rng, ndv, skew) as i64)
+                        .collect()
+                }
+            },
+        };
+        columns.push(data);
+    }
+    // Build indexes on every indexed column.
+    let mut indexes = HashMap::new();
+    for ix in &t.indexes {
+        let c = ix.column.column;
+        let mut entries: Vec<(i64, u32)> = columns[c as usize]
+            .iter()
+            .enumerate()
+            .map(|(r, &v)| (v, r as u32))
+            .collect();
+        entries.sort_unstable();
+        indexes.insert(c, entries);
+    }
+    Ok(TableData {
+        columns,
+        indexes,
+        rows: nrows,
+    })
+}
+
 /// Evaluate a selection predicate against an i64 value.
 pub fn eval_pred(pred: &SelectionPredicate, v: i64) -> bool {
     let x = v as f64;
@@ -271,6 +299,20 @@ mod tests {
         let b = Database::generate(&cat, 7, &[]).expect("generate");
         let t = cat.table("part").unwrap().id;
         assert_eq!(a.table(t).columns, b.table(t).columns);
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let cat = tpch::catalog(0.01);
+        let serial = Database::generate(&cat, 7, &[]).expect("generate");
+        for workers in [2, 4, 8] {
+            let par = Database::generate_with(&cat, 7, &[], Parallelism::new(workers))
+                .expect("generate_with");
+            for t in cat.tables() {
+                assert_eq!(serial.table(t.id).columns, par.table(t.id).columns);
+                assert_eq!(serial.table(t.id).indexes, par.table(t.id).indexes);
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use pb_catalog::ColumnId;
-use pb_cost::CostParams;
+use pb_cost::{CostParams, Parallelism};
 use pb_faults::{FaultInjector, PbError};
 use pb_plan::{CmpOp, PlanNode, QuerySpec, RelIdx};
 
@@ -175,6 +175,15 @@ pub struct Engine<'a> {
     pub db: &'a Database,
     pub query: &'a QuerySpec,
     pub params: &'a CostParams,
+    /// Worker pool for morsel-driven phases of the vectorized path. The
+    /// outcome is bit-identical for every worker count (see
+    /// `crate::morsel`); this only changes wall-clock.
+    pub par: Parallelism,
+    /// Inputs smaller than this many rows run their phase serially even
+    /// when workers are available (morsel-dispatch gating, the engine
+    /// analogue of `PARALLEL_MIN_GRID`). Tests lower it to exercise the
+    /// parallel kernels on small data.
+    pub morsel_min: usize,
 }
 
 /// Materialized intermediate relation: concatenated base-relation blocks.
@@ -186,7 +195,38 @@ struct Rel {
 
 impl<'a> Engine<'a> {
     pub fn new(db: &'a Database, query: &'a QuerySpec, params: &'a CostParams) -> Self {
-        Engine { db, query, params }
+        Engine {
+            db,
+            query,
+            params,
+            par: Parallelism::serial(),
+            morsel_min: pb_cost::PARALLEL_MIN_MORSEL_ROWS,
+        }
+    }
+
+    /// Use `par` workers for morsel-driven phases of the vectorized path.
+    /// Outcomes are unchanged — only wall-clock.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Override the morsel-dispatch gate (rows below which a phase stays
+    /// serial). Intended for tests and benches that need the parallel
+    /// kernels to engage on small inputs.
+    pub fn with_morsel_threshold(mut self, rows: usize) -> Self {
+        self.morsel_min = rows;
+        self
+    }
+
+    /// Effective parallelism for a phase over `n_rows` items: the engine's
+    /// pool, demoted to serial below the morsel gate.
+    pub(crate) fn mpar(&self, n_rows: usize) -> Parallelism {
+        if n_rows < self.morsel_min {
+            Parallelism::serial()
+        } else {
+            self.par
+        }
     }
 
     /// Execute `plan` with a cost budget (use `f64::INFINITY` to run to

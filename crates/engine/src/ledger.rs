@@ -40,6 +40,15 @@ pub(crate) enum Halt {
     Fault(PbError),
 }
 
+/// The replay of an over-budget batch ran to completion without aborting —
+/// the ledger's monotonicity argument (or an injected ledger fault) has been
+/// violated; surface it as a typed error instead of dying.
+pub(crate) fn replay_anomaly() -> Halt {
+    Halt::Fault(PbError::MonotonicityViolation(
+        "batch-end ledger value exceeded the budget but replay completed".into(),
+    ))
+}
+
 /// Execution context: the ledger plus per-node counters.
 pub(crate) struct Ctx<'f> {
     pub spent: f64,

@@ -23,6 +23,7 @@
 pub mod data;
 pub mod exec;
 mod ledger;
+mod morsel;
 mod vec_exec;
 
 pub use data::{ColumnOverride, Database, TableData};

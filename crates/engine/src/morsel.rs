@@ -1,0 +1,570 @@
+//! Morsel-driven parallel drivers for the vectorized engine.
+//!
+//! A morsel is one [`BATCH`]-row block of an operator phase's input. The
+//! drivers here split every linear phase into two halves:
+//!
+//! * **compute** — a pure function of the morsel's row range (filter, probe,
+//!   gather, index walk) that never touches the ledger or the fault
+//!   injector. These fan out over `pb-cost`'s deterministic chunked
+//!   work-stealing pool ([`par_map`]), in waves, and their results are
+//!   reassembled in morsel order.
+//! * **account** — the coordinator walks the per-morsel results *in morsel
+//!   order* and replays exactly the ledger event sequence the serial engine
+//!   produces: one [`Ctx::commit`] per batch with the closed-form
+//!   [`lin2`]/[`lin3`] end value, and on a budget crossing the usual
+//!   tuple-at-a-time replay of the offending batch.
+//!
+//! Because the ledger (and therefore the fault-trigger counters, the abort
+//! tuple, the clamped cost and the instrumentation) only ever advances on
+//! the coordinator, in batch order, with the exact values the serial engine
+//! computes, the outcome is bit-identical for every worker count — the
+//! per-worker "ledgers" are the closed-form counter deltas carried by each
+//! morsel result, merged in the one fixed order that exists: ascending
+//! morsel order.
+//!
+//! Waves bound the wasted work past an abort: at most one wave of morsels
+//! is in flight, and a wave is pre-trimmed against the budget using the
+//! emit-free lower bound of the closed form (monotonicity: if the value at
+//! batch end with zero emits already exceeds the budget, no later batch can
+//! be reached).
+
+use pb_cost::{par_map, run_chunked, Parallelism};
+
+use crate::ledger::{lin2, replay_anomaly, Ctx, Halt, BATCH};
+
+/// Constants of one two-counter linear phase: `base + items·item_rate +
+/// emitted·emit_rate`.
+pub(crate) struct LinPhase {
+    pub base: f64,
+    pub item_rate: f64,
+    pub emit_rate: f64,
+}
+
+/// Morsels dispatched per wave: enough to keep every worker busy through
+/// `run_chunked`'s ~8-chunks-per-worker stealing, small enough that an
+/// abort mid-wave wastes bounded compute.
+fn wave_batches(workers: usize) -> usize {
+    (workers * 8).max(16)
+}
+
+/// Drive one batch-granular linear phase over `0..n_items`.
+///
+/// `compute(lo, hi)` returns the batch's emit count and its payload (e.g.
+/// pre-gathered output columns); it must be pure in the row range. The
+/// coordinator consumes payloads in batch order via `consume` and settles
+/// the ledger exactly as the serial engine does; `replay(ctx, lo, hi,
+/// emitted)` re-runs the crossing batch tuple-at-a-time (it is only invoked
+/// when the batch-end value exceeds the budget, so it must abort — the
+/// driver converts a completed replay into the typed anomaly).
+///
+/// Returns the total emit count. The phase's `output_tuples` counter is
+/// maintained when `instr_node` is given.
+#[allow(clippy::too_many_arguments)] // one call-site contract per operator phase
+pub(crate) fn drive_batches<R, C, K, P>(
+    par: Parallelism,
+    ctx: &mut Ctx<'_>,
+    instr_node: Option<usize>,
+    n_items: usize,
+    ph: &LinPhase,
+    compute: C,
+    mut consume: K,
+    mut replay: P,
+) -> Result<u64, Halt>
+where
+    R: Send,
+    C: Fn(usize, usize) -> (u64, R) + Sync,
+    K: FnMut(R),
+    P: FnMut(&mut Ctx<'_>, usize, usize, u64) -> Result<(), Halt>,
+{
+    let mut emitted = 0u64;
+    if par.workers <= 1 || n_items == 0 {
+        let mut lo = 0usize;
+        while lo < n_items {
+            let hi = (lo + BATCH).min(n_items);
+            let (k, data) = compute(lo, hi);
+            let end = lin2(ph.base, hi as u64, ph.item_rate, emitted + k, ph.emit_rate);
+            if end > ctx.budget {
+                replay(ctx, lo, hi, emitted)?;
+                return Err(replay_anomaly());
+            }
+            ctx.commit(end)?;
+            emitted += k;
+            if let Some(id) = instr_node {
+                ctx.instr[id].output_tuples = emitted;
+            }
+            consume(data);
+            lo = hi;
+        }
+        return Ok(emitted);
+    }
+
+    let n_batches = n_items.div_ceil(BATCH);
+    let mut b0 = 0usize;
+    while b0 < n_batches {
+        let mut nb = wave_batches(par.workers).min(n_batches - b0);
+        // Trim the wave against the emit-free lower bound: batches past the
+        // first bound crossing can never be committed (monotonicity), so
+        // computing them would be pure waste. The trim depends only on the
+        // counters, never on worker count.
+        for i in 0..nb {
+            let hi = (((b0 + i) * BATCH) + BATCH).min(n_items);
+            if lin2(ph.base, hi as u64, ph.item_rate, emitted, ph.emit_rate) > ctx.budget {
+                nb = i + 1;
+                break;
+            }
+        }
+        let results = par_map(par, nb, |i| {
+            let lo = (b0 + i) * BATCH;
+            let hi = (lo + BATCH).min(n_items);
+            compute(lo, hi)
+        });
+        for (i, (k, data)) in results.into_iter().enumerate() {
+            let lo = (b0 + i) * BATCH;
+            let hi = (lo + BATCH).min(n_items);
+            let end = lin2(ph.base, hi as u64, ph.item_rate, emitted + k, ph.emit_rate);
+            if end > ctx.budget {
+                replay(ctx, lo, hi, emitted)?;
+                return Err(replay_anomaly());
+            }
+            ctx.commit(end)?;
+            emitted += k;
+            if let Some(id) = instr_node {
+                ctx.instr[id].output_tuples = emitted;
+            }
+            consume(data);
+        }
+        b0 += nb;
+    }
+    Ok(emitted)
+}
+
+/// Ledger-only linear phase (hash-join build, aggregate input): the charge
+/// depends only on the item count, so the coordinator settles all batches
+/// up front and the (parallel) data work runs only if the phase fit the
+/// budget. Identical event sequence to the serial engine's interleaved
+/// loop — the data work emits no ledger events either way.
+pub(crate) fn charge_linear(
+    ctx: &mut Ctx<'_>,
+    base: f64,
+    rate: f64,
+    n_items: usize,
+) -> Result<(), Halt> {
+    let mut lo = 0usize;
+    while lo < n_items {
+        let hi = (lo + BATCH).min(n_items);
+        let end = lin2(base, hi as u64, rate, 0, 0.0);
+        if end > ctx.budget {
+            for i in lo..hi {
+                ctx.settle(lin2(base, i as u64 + 1, rate, 0, 0.0))?;
+            }
+            return Err(replay_anomaly());
+        }
+        ctx.commit(end)?;
+        lo = hi;
+    }
+    Ok(())
+}
+
+/// Drive one item-granular phase (index/block nested-loops: one ledger
+/// commit per outer row).
+///
+/// `compute(item, &mut matches)` fills the item's match list and returns
+/// its secondary counter delta (probed index entries; unused counters
+/// return 0). `end_value(items_next, c1_next, emitted_next)` is the
+/// operator's closed form at prospective counter values. `consume(item,
+/// matches)` materializes in item order; `replay(ctx, item, c1, emitted)`
+/// re-runs the crossing item tuple-at-a-time and must abort.
+#[allow(clippy::too_many_arguments)] // one call-site contract per operator phase
+pub(crate) fn drive_items<C, E, K, P>(
+    par: Parallelism,
+    ctx: &mut Ctx<'_>,
+    instr_node: usize,
+    n_items: usize,
+    compute: C,
+    end_value: E,
+    mut consume: K,
+    mut replay: P,
+) -> Result<u64, Halt>
+where
+    C: Fn(usize, &mut Vec<u32>) -> u64 + Sync,
+    E: Fn(u64, u64, u64) -> f64,
+    K: FnMut(usize, &[u32]),
+    P: FnMut(&mut Ctx<'_>, usize, u64, u64) -> Result<(), Halt>,
+{
+    let (mut c1, mut emitted) = (0u64, 0u64);
+    if par.workers <= 1 || n_items == 0 {
+        let mut matches: Vec<u32> = Vec::new();
+        for item in 0..n_items {
+            matches.clear();
+            let d1 = compute(item, &mut matches);
+            let k = matches.len() as u64;
+            let end = end_value(item as u64 + 1, c1 + d1, emitted + k);
+            if end > ctx.budget {
+                replay(ctx, item, c1, emitted)?;
+                return Err(replay_anomaly());
+            }
+            ctx.commit(end)?;
+            c1 += d1;
+            emitted += k;
+            ctx.instr[instr_node].output_tuples = emitted;
+            consume(item, &matches);
+        }
+        return Ok(emitted);
+    }
+
+    // Waves of items; each chunk returns (per-item counter deltas, flat
+    // match payload) reassembled in chunk order = item order.
+    let wave = (par.workers * 1024).max(4096);
+    let mut i0 = 0usize;
+    while i0 < n_items {
+        let mut nw = wave.min(n_items - i0);
+        // Emit-free trim, as in `drive_batches`: c1 deltas are unknown but
+        // non-negative, so the items-only bound is still a lower bound.
+        for i in 0..nw {
+            if end_value((i0 + i) as u64 + 1, c1, emitted) > ctx.budget {
+                nw = i + 1;
+                break;
+            }
+        }
+        let chunks = run_chunked(par, nw, |_, range| {
+            let mut meta: Vec<(u64, u32)> = Vec::with_capacity(range.len());
+            let mut flat: Vec<u32> = Vec::new();
+            let mut matches: Vec<u32> = Vec::new();
+            for i in range {
+                matches.clear();
+                let d1 = compute(i0 + i, &mut matches);
+                meta.push((d1, matches.len() as u32));
+                flat.extend_from_slice(&matches);
+            }
+            (meta, flat)
+        });
+        let mut item = i0;
+        for (meta, flat) in chunks {
+            let mut off = 0usize;
+            for (d1, klen) in meta {
+                let k = u64::from(klen);
+                let end = end_value(item as u64 + 1, c1 + d1, emitted + k);
+                if end > ctx.budget {
+                    replay(ctx, item, c1, emitted)?;
+                    return Err(replay_anomaly());
+                }
+                ctx.commit(end)?;
+                c1 += d1;
+                emitted += k;
+                ctx.instr[instr_node].output_tuples = emitted;
+                consume(item, &flat[off..off + klen as usize]);
+                off += klen as usize;
+                item += 1;
+            }
+        }
+        i0 += nw;
+    }
+    Ok(emitted)
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash-join build
+// ---------------------------------------------------------------------------
+
+use crate::vec_exec::FastMap;
+
+/// Partition count for the parallel hash-join build. Fixed — never derived
+/// from the worker count — so the partition a key lands in, and therefore
+/// every per-partition table, is identical for every worker count.
+const JOIN_PARTS: usize = 64;
+
+#[inline]
+fn part_of(v: i64) -> usize {
+    // SplitMix64 finalizer — decorrelates from FastHasher so one partition
+    // doesn't inherit a whole hash bucket.
+    let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize & (JOIN_PARTS - 1)
+}
+
+/// Hash-join build side: a single map (serial) or fixed-fan-out partitions
+/// (parallel build). Probes see identical content either way: every
+/// per-key row list is in ascending row order because rows are inserted in
+/// ascending order — directly (serial) or as ordered chunk scatters merged
+/// in chunk order (parallel).
+pub(crate) enum JoinTable {
+    Single(FastMap<i64, Vec<u32>>),
+    Parts(Vec<FastMap<i64, Vec<u32>>>),
+}
+
+impl JoinTable {
+    /// Build from the key column's first `len` rows.
+    pub fn build(par: Parallelism, keys: &[i64], len: usize) -> JoinTable {
+        if par.workers <= 1 {
+            let mut table: FastMap<i64, Vec<u32>> = FastMap::default();
+            for (i, &v) in keys[..len].iter().enumerate() {
+                table.entry(v).or_default().push(i as u32);
+            }
+            return JoinTable::Single(table);
+        }
+        // Phase 1: scatter ascending row ranges into per-partition buckets.
+        let scattered = run_chunked(par, len, |_, range| {
+            let mut buckets: Vec<Vec<(i64, u32)>> = vec![Vec::new(); JOIN_PARTS];
+            for i in range {
+                let v = keys[i];
+                buckets[part_of(v)].push((v, i as u32));
+            }
+            buckets
+        });
+        // Phase 2: one map per partition, scanning the chunks in order so
+        // per-key row lists come out ascending.
+        let parts = par_map(par, JOIN_PARTS, |p| {
+            let mut m: FastMap<i64, Vec<u32>> = FastMap::default();
+            for chunk in &scattered {
+                for &(v, i) in &chunk[p] {
+                    m.entry(v).or_default().push(i);
+                }
+            }
+            m
+        });
+        JoinTable::Parts(parts)
+    }
+
+    #[inline]
+    pub fn get(&self, v: i64) -> Option<&[u32]> {
+        match self {
+            JoinTable::Single(m) => m.get(&v).map(Vec::as_slice),
+            JoinTable::Parts(parts) => parts[part_of(v)].get(&v).map(Vec::as_slice),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel stable argsort (sort-merge join)
+// ---------------------------------------------------------------------------
+
+/// Stable argsort of `keys`: chunk-local stable sorts merged pairwise with
+/// left-run preference on ties. A stable sort's output permutation is
+/// unique, so this equals `sort_by_key` on the identity permutation bit for
+/// bit, for every worker count and chunking.
+pub(crate) fn par_stable_argsort(par: Parallelism, keys: &[i64]) -> Vec<u32> {
+    let n = keys.len();
+    if par.workers <= 1 || n < 2 {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&x| keys[x as usize]);
+        return perm;
+    }
+    let n_chunks = (par.workers * 2).min(n);
+    let chunk = n.div_ceil(n_chunks);
+    let mut runs: Vec<Vec<u32>> = par_map(par, n.div_ceil(chunk), |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut perm: Vec<u32> = (lo as u32..hi as u32).collect();
+        perm.sort_by_key(|&x| keys[x as usize]);
+        perm
+    });
+    while runs.len() > 1 {
+        let pairs = runs.len() / 2;
+        let mut merged = par_map(par, pairs, |p| {
+            merge_runs(keys, &runs[2 * p], &runs[2 * p + 1])
+        });
+        if runs.len() % 2 == 1 {
+            // Odd run out: it holds the highest original indices, so it
+            // stays last and merges next round.
+            let last = runs.len() - 1;
+            merged.push(std::mem::take(&mut runs[last]));
+        }
+        runs = merged;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Stable two-run merge: ties take from `a`, whose indices all precede
+/// `b`'s in the original order.
+fn merge_runs(keys: &[i64], a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if keys[a[i] as usize] <= keys[b[j] as usize] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parallel grouped counting (hash aggregate)
+// ---------------------------------------------------------------------------
+
+/// Per-chunk distinct-key counts in chunk-first-occurrence order, merged in
+/// chunk order. The merged map's *insertion sequence of distinct keys* is
+/// then the global first-occurrence order — exactly the sequence the serial
+/// row-at-a-time loop produces — so the map's layout, and therefore its
+/// iteration order at emission, is bit-identical to the serial engine's.
+pub(crate) fn par_group_counts<K, G>(
+    par: Parallelism,
+    n_rows: usize,
+    key_of: G,
+    out: &mut FastMap<K, i64>,
+) where
+    K: std::hash::Hash + Eq + Clone + Send,
+    G: Fn(usize) -> K + Sync,
+{
+    if par.workers <= 1 {
+        for row in 0..n_rows {
+            *out.entry(key_of(row)).or_insert(0) += 1;
+        }
+        return;
+    }
+    let chunks = run_chunked(par, n_rows, |_, range| {
+        let mut order: Vec<(K, i64)> = Vec::new();
+        let mut seen: FastMap<K, usize> = FastMap::default();
+        for row in range {
+            let key = key_of(row);
+            match seen.get(&key) {
+                Some(&slot) => order[slot].1 += 1,
+                None => {
+                    seen.insert(key.clone(), order.len());
+                    order.push((key, 1));
+                }
+            }
+        }
+        order
+    });
+    for chunk in chunks {
+        for (key, count) in chunk {
+            *out.entry(key).or_insert(0) += count;
+        }
+    }
+}
+
+/// Chunk-parallel distinct-key collection for the anti-join build. Only
+/// membership is ever observed, so chunk-set union order is irrelevant.
+pub(crate) fn par_key_set(
+    par: Parallelism,
+    keys: &[i64],
+    len: usize,
+) -> crate::vec_exec::FastSet<i64> {
+    if par.workers <= 1 {
+        return keys[..len].iter().copied().collect();
+    }
+    let chunks = run_chunked(par, len, |_, range| {
+        keys[range]
+            .iter()
+            .copied()
+            .collect::<crate::vec_exec::FastSet<i64>>()
+    });
+    let mut out = crate::vec_exec::FastSet::default();
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_faults::FaultInjector;
+
+    fn ctx<'f>(budget: f64, faults: &'f FaultInjector, nodes: usize) -> Ctx<'f> {
+        Ctx {
+            spent: 0.0,
+            budget,
+            instr: vec![crate::exec::NodeStats::default(); nodes],
+            faults,
+        }
+    }
+
+    #[test]
+    fn drive_batches_matches_serial_for_any_worker_count() {
+        let n = 10_000usize;
+        let ph = LinPhase {
+            base: 1.0,
+            item_rate: 0.01,
+            emit_rate: 0.002,
+        };
+        let compute = |lo: usize, hi: usize| -> (u64, Vec<usize>) {
+            let sel: Vec<usize> = (lo..hi).filter(|i| i % 3 == 0).collect();
+            (sel.len() as u64, sel)
+        };
+        let inert = FaultInjector::none();
+        let run = |workers: usize, budget: f64| {
+            let mut c = ctx(budget, &inert, 1);
+            let mut got: Vec<usize> = Vec::new();
+            let r = drive_batches(
+                Parallelism::new(workers),
+                &mut c,
+                Some(0),
+                n,
+                &ph,
+                compute,
+                |d: Vec<usize>| got.extend(d),
+                |c, lo, hi, mut em| {
+                    let mut seen = lo as u64;
+                    for i in lo..hi {
+                        seen += 1;
+                        c.settle(lin2(ph.base, seen, ph.item_rate, em, ph.emit_rate))?;
+                        if i % 3 == 0 {
+                            em += 1;
+                            c.settle(lin2(ph.base, seen, ph.item_rate, em, ph.emit_rate))?;
+                        }
+                    }
+                    Ok(())
+                },
+            );
+            (r.is_ok(), c.spent.to_bits(), got)
+        };
+        for budget in [f64::INFINITY, 120.0, 60.0, 10.0, 1.5] {
+            let serial = run(1, budget);
+            for w in [2, 3, 8] {
+                assert_eq!(serial, run(w, budget), "workers {w} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_table_partitions_preserve_ascending_row_order() {
+        let keys: Vec<i64> = (0..20_000).map(|i| (i * 7919) % 97).collect();
+        let serial = JoinTable::build(Parallelism::serial(), &keys, keys.len());
+        for w in [2, 4, 8] {
+            let par = JoinTable::build(Parallelism::new(w), &keys, keys.len());
+            for k in 0..97i64 {
+                assert_eq!(serial.get(k), par.get(k), "key {k} workers {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_stable_argsort_equals_sort_by_key() {
+        let keys: Vec<i64> = (0..30_000)
+            .map(|i| (i * 2654435761u64 as usize % 50) as i64)
+            .collect();
+        let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
+        expect.sort_by_key(|&x| keys[x as usize]);
+        for w in [2, 3, 4, 8] {
+            assert_eq!(
+                expect,
+                par_stable_argsort(Parallelism::new(w), &keys),
+                "workers {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_group_counts_replicates_serial_insertion_order() {
+        let rows: Vec<i64> = (0..25_000).map(|i| ((i * 31) % 113) as i64).collect();
+        let mut serial: FastMap<i64, i64> = FastMap::default();
+        for &v in &rows {
+            *serial.entry(v).or_insert(0) += 1;
+        }
+        let serial_iter: Vec<(i64, i64)> = serial.iter().map(|(&k, &c)| (k, c)).collect();
+        for w in [2, 4, 8] {
+            let mut par: FastMap<i64, i64> = FastMap::default();
+            par_group_counts(Parallelism::new(w), rows.len(), |r| rows[r], &mut par);
+            let par_iter: Vec<(i64, i64)> = par.iter().map(|(&k, &c)| (k, c)).collect();
+            assert_eq!(serial_iter, par_iter, "workers {w}");
+        }
+    }
+}

@@ -24,23 +24,18 @@ use pb_plan::{PlanNode, RelIdx, SelectionPredicate};
 
 use crate::data::eval_pred;
 use crate::exec::{index_range, Engine, EngineOutcome, Instrumentation, NodeStats};
-use crate::ledger::{lin2, lin3, Ctx, Halt, BATCH};
-
-/// The replay of an over-budget batch ran to completion without aborting —
-/// the ledger's monotonicity argument (or an injected ledger fault) has been
-/// violated; surface it as a typed error instead of dying.
-fn replay_anomaly() -> Halt {
-    Halt::Fault(PbError::MonotonicityViolation(
-        "batch-end ledger value exceeded the budget but replay completed".into(),
-    ))
-}
+use crate::ledger::{lin2, lin3, replay_anomaly, Ctx, Halt, BATCH};
+use crate::morsel::{
+    charge_linear, drive_batches, drive_items, par_group_counts, par_key_set, par_stable_argsort,
+    JoinTable, LinPhase,
+};
 
 /// Multiply–xorshift hasher for the vectorized engine's internal hash
 /// tables. Join/aggregate tables are private state — only the *outcome*
 /// must match the reference engine, which uses SipHash — so the batch
 /// kernels get to trade DoS resistance for raw probe throughput.
 #[derive(Default)]
-struct FastHasher(u64);
+pub(crate) struct FastHasher(u64);
 
 impl std::hash::Hasher for FastHasher {
     fn finish(&self) -> u64 {
@@ -63,8 +58,8 @@ impl std::hash::Hasher for FastHasher {
     }
 }
 
-type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
-type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+pub(crate) type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
 
 /// Columnar intermediate: one `Vec<i64>` per physical column of the
 /// concatenated base-relation blocks. With `store == false` (plan root,
@@ -214,32 +209,52 @@ impl Engine<'_> {
         ctx: &mut Ctx<'_>,
         my_id: usize,
         entries: &[(i64, u32)],
-        pass: &dyn Fn(usize) -> bool,
+        pass: &(dyn Fn(usize) -> bool + Sync),
         source: &[Vec<i64>],
         entry_rate: f64,
         store: bool,
     ) -> Result<(Vec<Vec<i64>>, u64), Halt> {
         let p = self.params;
         let base = ctx.spent;
-        let mut emitted = 0u64;
         let mut cols = if store {
             vec![Vec::new(); source.len()]
         } else {
             Vec::new()
         };
-        let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
-        let mut lo = 0usize;
-        while lo < entries.len() {
-            let hi = (lo + BATCH).min(entries.len());
-            sel.clear();
+        let compute = |lo: usize, hi: usize| -> (u64, Vec<Vec<i64>>) {
+            let mut sel: Vec<u32> = Vec::with_capacity(hi - lo);
             for &(_, r) in &entries[lo..hi] {
                 if pass(r as usize) {
                     sel.push(r);
                 }
             }
             let k = sel.len() as u64;
-            let end = lin2(base, hi as u64, entry_rate, emitted + k, p.emit_tuple);
-            if end > ctx.budget {
+            let data = if store {
+                let mut d = vec![Vec::with_capacity(sel.len()); source.len()];
+                gather(source, &sel, &mut d);
+                d
+            } else {
+                Vec::new()
+            };
+            (k, data)
+        };
+        let emitted = drive_batches(
+            self.mpar(entries.len()),
+            ctx,
+            Some(my_id),
+            entries.len(),
+            &LinPhase {
+                base,
+                item_rate: entry_rate,
+                emit_rate: p.emit_tuple,
+            },
+            compute,
+            |data| {
+                for (o, d) in cols.iter_mut().zip(data) {
+                    o.extend(d);
+                }
+            },
+            |ctx, lo, hi, mut emitted| {
                 let mut seen = lo as u64;
                 for &(_, r) in &entries[lo..hi] {
                     seen += 1;
@@ -250,16 +265,9 @@ impl Engine<'_> {
                         ctx.instr[my_id].output_tuples += 1;
                     }
                 }
-                return Err(replay_anomaly());
-            }
-            ctx.commit(end)?;
-            emitted += k;
-            ctx.instr[my_id].output_tuples = emitted;
-            if store {
-                gather(source, &sel, &mut cols);
-            }
-            lo = hi;
-        }
+                Ok(())
+            },
+        )?;
         ctx.instr[my_id].complete = true;
         Ok((cols, emitted))
     }
@@ -344,27 +352,53 @@ impl Engine<'_> {
                 ctx.charge(table_meta.pages() * p.seq_page)?;
                 let base = ctx.spent;
                 let row_rate = p.cpu_tuple + preds.len() as f64 * p.cpu_operator;
-                let mut emitted = 0u64;
                 let mut cols = if store {
                     vec![Vec::new(); t.columns.len()]
                 } else {
                     Vec::new()
                 };
-                let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
-                let mut lo = 0usize;
-                while lo < t.rows {
-                    let hi = (lo + BATCH).min(t.rows);
-                    // Dense fast path: no predicates means the whole batch
-                    // qualifies and storing is a straight slice copy.
-                    let dense = preds.is_empty();
-                    let k = if dense {
-                        (hi - lo) as u64
+                // Dense fast path: no predicates means the whole batch
+                // qualifies and storing is a straight slice copy.
+                let dense = preds.is_empty();
+                let compute = |lo: usize, hi: usize| -> (u64, Vec<Vec<i64>>) {
+                    if dense {
+                        let data = if store {
+                            t.columns.iter().map(|c| c[lo..hi].to_vec()).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        ((hi - lo) as u64, data)
                     } else {
+                        let mut sel: Vec<u32> = Vec::with_capacity(hi - lo);
                         filter_batch(preds, &t.columns, lo, hi, &mut sel);
-                        sel.len() as u64
-                    };
-                    let end = lin2(base, hi as u64, row_rate, emitted + k, p.emit_tuple);
-                    if end > ctx.budget {
+                        let k = sel.len() as u64;
+                        let data = if store {
+                            let mut d = vec![Vec::with_capacity(sel.len()); t.columns.len()];
+                            gather(&t.columns, &sel, &mut d);
+                            d
+                        } else {
+                            Vec::new()
+                        };
+                        (k, data)
+                    }
+                };
+                let emitted = drive_batches(
+                    self.mpar(t.rows),
+                    ctx,
+                    Some(my_id),
+                    t.rows,
+                    &LinPhase {
+                        base,
+                        item_rate: row_rate,
+                        emit_rate: p.emit_tuple,
+                    },
+                    compute,
+                    |data| {
+                        for (o, d) in cols.iter_mut().zip(data) {
+                            o.extend(d);
+                        }
+                    },
+                    |ctx, lo, hi, mut emitted| {
                         let mut seen = lo as u64;
                         for r in lo..hi {
                             seen += 1;
@@ -378,22 +412,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    emitted += k;
-                    ctx.instr[my_id].output_tuples = emitted;
-                    if store {
-                        if dense {
-                            for (c, o) in t.columns.iter().zip(cols.iter_mut()) {
-                                o.extend_from_slice(&c[lo..hi]);
-                            }
-                        } else {
-                            gather(&t.columns, &sel, &mut cols);
-                        }
-                    }
-                    lo = hi;
-                }
+                        Ok(())
+                    },
+                )?;
                 ctx.instr[my_id].complete = true;
                 Ok(VRel {
                     rels: vec![*rel],
@@ -464,41 +485,26 @@ impl Engine<'_> {
                 let (bkey, pkey) = self.key_offsets(&b.rels, &pr.rels, j0)?;
                 let base = ctx.spent;
                 let build_rate = p.cpu_tuple + p.hash_build;
-                let mut table: FastMap<i64, Vec<u32>> = FastMap::default();
                 let bcol = &b.cols[bkey];
-                let mut lo = 0usize;
-                while lo < b.len {
-                    let hi = (lo + BATCH).min(b.len);
-                    let end = lin2(base, hi as u64, build_rate, 0, 0.0);
-                    if end > ctx.budget {
-                        for i in lo..hi {
-                            ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
-                        }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    for (off, &v) in bcol[lo..hi].iter().enumerate() {
-                        table.entry(v).or_default().push((lo + off) as u32);
-                    }
-                    lo = hi;
-                }
+                // The build charge depends only on the row count, so the
+                // ledger settles up front (identical event sequence — the
+                // inserts emit no events) and the partitioned build runs
+                // only if it fit the budget.
+                charge_linear(ctx, base, build_rate, b.len)?;
+                let table = JoinTable::build(self.mpar(b.len), bcol, b.len);
                 let out_rels: Vec<RelIdx> = b.rels.iter().chain(&pr.rels).copied().collect();
                 let lw: usize = b.rels.iter().map(|&x| self.ncols(x)).sum();
                 let residuals = self.resolve_residuals(&out_rels, lw, &edges[1..])?;
                 let pbase = ctx.spent;
-                let mut emitted = 0u64;
                 let mut cols = if store {
                     vec![Vec::new(); lw + pr.cols.len()]
                 } else {
                     Vec::new()
                 };
                 let pcol = &pr.cols[pkey];
-                let mut pairs: Vec<(u32, u32)> = Vec::new();
-                let mut lo = 0usize;
-                while lo < pr.len {
-                    let hi = (lo + BATCH).min(pr.len);
-                    pairs.clear();
-                    for (off, v) in pcol[lo..hi].iter().enumerate() {
+                let compute = |lo: usize, hi: usize| -> (u64, Vec<Vec<i64>>) {
+                    let mut pairs: Vec<(u32, u32)> = Vec::new();
+                    for (off, &v) in pcol[lo..hi].iter().enumerate() {
                         if let Some(bs) = table.get(v) {
                             let i = lo + off;
                             for &bi in bs {
@@ -509,9 +515,38 @@ impl Engine<'_> {
                         }
                     }
                     let k = pairs.len() as u64;
-                    let end = lin2(pbase, hi as u64, p.hash_probe, emitted + k, p.emit_tuple);
-                    if end > ctx.budget {
-                        for (off, v) in pcol[lo..hi].iter().enumerate() {
+                    let data = if store {
+                        let mut d = vec![Vec::with_capacity(pairs.len()); lw + pr.cols.len()];
+                        for (c, o) in b.cols.iter().zip(&mut d[..lw]) {
+                            o.extend(pairs.iter().map(|&(bi, _)| c[bi as usize]));
+                        }
+                        for (c, o) in pr.cols.iter().zip(&mut d[lw..]) {
+                            o.extend(pairs.iter().map(|&(_, pi)| c[pi as usize]));
+                        }
+                        d
+                    } else {
+                        Vec::new()
+                    };
+                    (k, data)
+                };
+                let emitted = drive_batches(
+                    self.mpar(pr.len),
+                    ctx,
+                    Some(my_id),
+                    pr.len,
+                    &LinPhase {
+                        base: pbase,
+                        item_rate: p.hash_probe,
+                        emit_rate: p.emit_tuple,
+                    },
+                    compute,
+                    |data| {
+                        for (o, d) in cols.iter_mut().zip(data) {
+                            o.extend(d);
+                        }
+                    },
+                    |ctx, lo, hi, mut emitted| {
+                        for (off, &v) in pcol[lo..hi].iter().enumerate() {
                             let i = lo + off;
                             ctx.settle(lin2(
                                 pbase,
@@ -536,21 +571,9 @@ impl Engine<'_> {
                                 }
                             }
                         }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    emitted += k;
-                    ctx.instr[my_id].output_tuples = emitted;
-                    if store {
-                        for (c, o) in b.cols.iter().zip(&mut cols[..lw]) {
-                            o.extend(pairs.iter().map(|&(bi, _)| c[bi as usize]));
-                        }
-                        for (c, o) in pr.cols.iter().zip(&mut cols[lw..]) {
-                            o.extend(pairs.iter().map(|&(_, pi)| c[pi as usize]));
-                        }
-                    }
-                    lo = hi;
-                }
+                        Ok(())
+                    },
+                )?;
                 ctx.instr[my_id].complete = true;
                 Ok(VRel {
                     rels: out_rels,
@@ -577,13 +600,12 @@ impl Engine<'_> {
                     let n = r.len.max(2) as f64;
                     ctx.charge(n * n.log2() * 2.0 * p.cpu_operator)?;
                 }
-                // Stable argsort over the key column: `sort_by_key` is
-                // stable, so this is the exact permutation the reference
-                // engine's row sort applies.
-                let mut lperm: Vec<u32> = (0..l.len as u32).collect();
-                lperm.sort_by_key(|&x| l.cols[lkey][x as usize]);
-                let mut rperm: Vec<u32> = (0..r.len as u32).collect();
-                rperm.sort_by_key(|&x| r.cols[rkey][x as usize]);
+                // Stable argsort over the key column: a stable sort's output
+                // permutation is unique, so the (possibly parallel) argsort
+                // is the exact permutation the reference engine's
+                // `sort_by_key` row sort applies.
+                let lperm = par_stable_argsort(self.mpar(l.len), &l.cols[lkey][..l.len]);
+                let rperm = par_stable_argsort(self.mpar(r.len), &r.cols[rkey][..r.len]);
                 let lk: Vec<i64> = lperm.iter().map(|&x| l.cols[lkey][x as usize]).collect();
                 let rk: Vec<i64> = rperm.iter().map(|&x| r.cols[rkey][x as usize]).collect();
                 let out_rels: Vec<RelIdx> = l.rels.iter().chain(&r.rels).copied().collect();
@@ -719,17 +741,15 @@ impl Engine<'_> {
                 let residuals = self.resolve_residuals(&out_rels, ow, &edges[1..])?;
                 let base = ctx.spent;
                 let entry_rate = p.cpu_index_tuple + p.random_page * p.heap_fetch_factor;
-                let (mut looks, mut probed, mut emitted) = (0u64, 0u64, 0u64);
                 let mut cols = if store {
                     vec![Vec::new(); ow + t.columns.len()]
                 } else {
                     Vec::new()
                 };
-                let mut matches: Vec<u32> = Vec::new();
                 let okeys = &o.cols[okey];
-                for (oi, &key) in okeys.iter().enumerate() {
+                let compute = |oi: usize, matches: &mut Vec<u32>| -> u64 {
+                    let key = okeys[oi];
                     let start = ix.partition_point(|&(v, _)| v < key);
-                    matches.clear();
                     let mut nprobe = 0u64;
                     for &(v, r) in &ix[start..] {
                         if v != key {
@@ -745,18 +765,39 @@ impl Engine<'_> {
                             matches.push(r as u32);
                         }
                     }
-                    let k = matches.len() as u64;
-                    let end = lin3(
-                        base,
-                        looks + 1,
-                        p.index_lookup,
-                        probed + nprobe,
-                        entry_rate,
-                        emitted + k,
-                        p.emit_tuple,
-                    );
-                    if end > ctx.budget {
-                        looks += 1;
+                    nprobe
+                };
+                let emitted = drive_items(
+                    self.mpar(okeys.len()),
+                    ctx,
+                    my_id,
+                    okeys.len(),
+                    compute,
+                    |looks, probed, emitted| {
+                        lin3(
+                            base,
+                            looks,
+                            p.index_lookup,
+                            probed,
+                            entry_rate,
+                            emitted,
+                            p.emit_tuple,
+                        )
+                    },
+                    |oi, matches| {
+                        if store {
+                            for (c, out) in o.cols.iter().zip(&mut cols[..ow]) {
+                                out.extend(std::iter::repeat_n(c[oi], matches.len()));
+                            }
+                            for (c, out) in t.columns.iter().zip(&mut cols[ow..]) {
+                                out.extend(matches.iter().map(|&r| c[r as usize]));
+                            }
+                        }
+                    },
+                    |ctx, oi, mut probed, mut emitted| {
+                        let key = okeys[oi];
+                        let start = ix.partition_point(|&(v, _)| v < key);
+                        let looks = oi as u64 + 1;
                         ctx.settle(lin3(
                             base,
                             looks,
@@ -801,22 +842,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    looks += 1;
-                    probed += nprobe;
-                    emitted += k;
-                    ctx.instr[my_id].output_tuples = emitted;
-                    if store {
-                        for (c, out) in o.cols.iter().zip(&mut cols[..ow]) {
-                            out.extend(std::iter::repeat_n(c[oi], matches.len()));
-                        }
-                        for (c, out) in t.columns.iter().zip(&mut cols[ow..]) {
-                            out.extend(matches.iter().map(|&r| c[r as usize]));
-                        }
-                    }
-                }
+                        Ok(())
+                    },
+                )?;
                 ctx.instr[my_id].complete = true;
                 Ok(VRel {
                     rels: out_rels,
@@ -836,29 +864,43 @@ impl Engine<'_> {
                 let residuals = self.resolve_residuals(&out_rels, ow, edges)?;
                 let base = ctx.spent;
                 let pair_rate = p.cpu_operator * edges.len().max(1) as f64;
-                let (mut pairs_n, mut emitted) = (0u64, 0u64);
                 let mut cols = if store {
                     vec![Vec::new(); ow + inn.cols.len()]
                 } else {
                     Vec::new()
                 };
-                let mut matches: Vec<u32> = Vec::new();
-                for oi in 0..o.len {
-                    matches.clear();
+                let inn_len = inn.len as u64;
+                let compute = |oi: usize, matches: &mut Vec<u32>| -> u64 {
                     for ii in 0..inn.len {
                         if res_pass(&residuals, &o.cols, oi, &inn.cols, ii) {
                             matches.push(ii as u32);
                         }
                     }
-                    let k = matches.len() as u64;
-                    let end = lin2(
-                        base,
-                        pairs_n + inn.len as u64,
-                        pair_rate,
-                        emitted + k,
-                        p.emit_tuple,
-                    );
-                    if end > ctx.budget {
+                    0
+                };
+                let emitted = drive_items(
+                    self.mpar(o.len),
+                    ctx,
+                    my_id,
+                    o.len,
+                    compute,
+                    // The pairs counter advances `inn.len` per outer row, so
+                    // at `items` processed rows it is `items * inn.len`.
+                    |items, _c1, emitted| {
+                        lin2(base, items * inn_len, pair_rate, emitted, p.emit_tuple)
+                    },
+                    |oi, matches| {
+                        if store {
+                            for (c, out) in o.cols.iter().zip(&mut cols[..ow]) {
+                                out.extend(std::iter::repeat_n(c[oi], matches.len()));
+                            }
+                            for (c, out) in inn.cols.iter().zip(&mut cols[ow..]) {
+                                out.extend(matches.iter().map(|&r| c[r as usize]));
+                            }
+                        }
+                    },
+                    |ctx, oi, _c1, mut emitted| {
+                        let mut pairs_n = oi as u64 * inn_len;
                         for ii in 0..inn.len {
                             pairs_n += 1;
                             ctx.settle(lin2(base, pairs_n, pair_rate, emitted, p.emit_tuple))?;
@@ -868,21 +910,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    pairs_n += inn.len as u64;
-                    emitted += k;
-                    ctx.instr[my_id].output_tuples = emitted;
-                    if store {
-                        for (c, out) in o.cols.iter().zip(&mut cols[..ow]) {
-                            out.extend(std::iter::repeat_n(c[oi], matches.len()));
-                        }
-                        for (c, out) in inn.cols.iter().zip(&mut cols[ow..]) {
-                            out.extend(matches.iter().map(|&r| c[r as usize]));
-                        }
-                    }
-                }
+                        Ok(())
+                    },
+                )?;
                 ctx.instr[my_id].complete = true;
                 Ok(VRel {
                     rels: out_rels,
@@ -897,43 +927,50 @@ impl Engine<'_> {
                 let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
                 let base = ctx.spent;
                 let build_rate = p.cpu_tuple + p.hash_build;
-                let mut keys: FastSet<i64> = FastSet::default();
                 let rcol = &r.cols[rkey];
-                let mut lo = 0usize;
-                while lo < r.len {
-                    let hi = (lo + BATCH).min(r.len);
-                    let end = lin2(base, hi as u64, build_rate, 0, 0.0);
-                    if end > ctx.budget {
-                        for i in lo..hi {
-                            ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
-                        }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    keys.extend(rcol[lo..hi].iter().copied());
-                    lo = hi;
-                }
+                charge_linear(ctx, base, build_rate, r.len)?;
+                let keys: FastSet<i64> = par_key_set(self.mpar(r.len), rcol, r.len);
                 let pbase = ctx.spent;
-                let mut emitted = 0u64;
                 let mut cols = if store {
                     vec![Vec::new(); l.cols.len()]
                 } else {
                     Vec::new()
                 };
                 let lcol = &l.cols[lkey];
-                let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
-                let mut lo = 0usize;
-                while lo < l.len {
-                    let hi = (lo + BATCH).min(l.len);
-                    sel.clear();
+                let compute = |lo: usize, hi: usize| -> (u64, Vec<Vec<i64>>) {
+                    let mut sel: Vec<u32> = Vec::with_capacity(hi - lo);
                     for (off, v) in lcol[lo..hi].iter().enumerate() {
                         if !keys.contains(v) {
                             sel.push((lo + off) as u32);
                         }
                     }
                     let k = sel.len() as u64;
-                    let end = lin2(pbase, hi as u64, p.hash_probe, emitted + k, p.emit_tuple);
-                    if end > ctx.budget {
+                    let data = if store {
+                        let mut d = vec![Vec::with_capacity(sel.len()); l.cols.len()];
+                        gather(&l.cols, &sel, &mut d);
+                        d
+                    } else {
+                        Vec::new()
+                    };
+                    (k, data)
+                };
+                let emitted = drive_batches(
+                    self.mpar(l.len),
+                    ctx,
+                    Some(my_id),
+                    l.len,
+                    &LinPhase {
+                        base: pbase,
+                        item_rate: p.hash_probe,
+                        emit_rate: p.emit_tuple,
+                    },
+                    compute,
+                    |data| {
+                        for (o, d) in cols.iter_mut().zip(data) {
+                            o.extend(d);
+                        }
+                    },
+                    |ctx, lo, hi, mut emitted| {
                         for (off, v) in lcol[lo..hi].iter().enumerate() {
                             let i = lo + off;
                             ctx.settle(lin2(
@@ -955,16 +992,9 @@ impl Engine<'_> {
                                 ctx.instr[my_id].output_tuples += 1;
                             }
                         }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    emitted += k;
-                    ctx.instr[my_id].output_tuples = emitted;
-                    if store {
-                        gather(&l.cols, &sel, &mut cols);
-                    }
-                    lo = hi;
-                }
+                        Ok(())
+                    },
+                )?;
                 ctx.instr[my_id].complete = true;
                 Ok(VRel {
                     rels: l.rels,
@@ -982,37 +1012,38 @@ impl Engine<'_> {
                     .iter()
                     .map(|&(r, c)| self.offset(&i.rels, r, c))
                     .collect::<Result<_, _>>()?;
+                // The input charge depends only on the row count: settle the
+                // ledger up front (identical event sequence), then count
+                // groups — in parallel when the input clears the morsel
+                // gate. The merged maps replicate the serial maps' distinct-
+                // key insertion sequence (global first-occurrence order), so
+                // their layout and iteration order are bit-identical to a
+                // serial build (see `morsel::par_group_counts`).
+                charge_linear(ctx, base, in_rate, i.len)?;
                 // Group keys: the general path hashes a Vec<i64> per row;
                 // zero- and one-column keys (the common shapes) skip that.
                 let mut groups: FastMap<Vec<i64>, i64> = FastMap::default();
                 let mut groups1: FastMap<i64, i64> = FastMap::default();
-                let mut lo = 0usize;
-                while lo < i.len {
-                    let hi = (lo + BATCH).min(i.len);
-                    let end = lin2(base, hi as u64, in_rate, 0, 0.0);
-                    if end > ctx.budget {
-                        for n in lo..hi {
-                            ctx.settle(lin2(base, n as u64 + 1, in_rate, 0, 0.0))?;
-                        }
-                        return Err(replay_anomaly());
-                    }
-                    ctx.commit(end)?;
-                    match key_offs.as_slice() {
-                        [] => *groups.entry(Vec::new()).or_insert(0) += (hi - lo) as i64,
-                        [c] => {
-                            for &v in &i.cols[*c][lo..hi] {
-                                *groups1.entry(v).or_insert(0) += 1;
-                            }
-                        }
-                        _ => {
-                            for row in lo..hi {
-                                let key: Vec<i64> =
-                                    key_offs.iter().map(|&c| i.cols[c][row]).collect();
-                                *groups.entry(key).or_insert(0) += 1;
-                            }
+                match key_offs.as_slice() {
+                    [] => {
+                        if i.len > 0 {
+                            *groups.entry(Vec::new()).or_insert(0) += i.len as i64;
                         }
                     }
-                    lo = hi;
+                    [c] => {
+                        let col = &i.cols[*c];
+                        par_group_counts(self.mpar(i.len), i.len, |row| col[row], &mut groups1);
+                    }
+                    _ => {
+                        par_group_counts(
+                            self.mpar(i.len),
+                            i.len,
+                            |row| -> Vec<i64> {
+                                key_offs.iter().map(|&c| i.cols[c][row]).collect()
+                            },
+                            &mut groups,
+                        );
+                    }
                 }
                 for (k, c) in groups1 {
                     groups.insert(vec![k], c);
