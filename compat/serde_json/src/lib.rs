@@ -282,13 +282,35 @@ impl<'a> Parser<'a> {
                     self.i += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slicing
-                    // on char boundaries is safe via chars()).
+                    // Bulk fast path: copy the run of plain ASCII bytes up
+                    // to the next quote, escape, or non-ASCII byte in one
+                    // push, instead of re-validating UTF-8 per character.
                     let rest = &self.bytes[self.i..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = text.chars().next().unwrap();
-                    s.push(c);
-                    self.i += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b >= 0x80)
+                        .unwrap_or(rest.len());
+                    if run > 0 {
+                        // The run is pure ASCII by construction.
+                        s.push_str(std::str::from_utf8(&rest[..run]).expect("ascii run"));
+                        self.i += run;
+                    } else {
+                        // Non-ASCII: decode one UTF-8 scalar (at most 4 bytes).
+                        let chunk = &rest[..rest.len().min(4)];
+                        let c = match std::str::from_utf8(chunk) {
+                            Ok(t) => t.chars().next(),
+                            Err(e) if e.valid_up_to() > 0 => {
+                                std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                    .expect("validated prefix")
+                                    .chars()
+                                    .next()
+                            }
+                            Err(_) => None,
+                        };
+                        let c = c.ok_or_else(|| self.err("invalid utf-8"))?;
+                        s.push(c);
+                        self.i += c.len_utf8();
+                    }
                 }
             }
         }

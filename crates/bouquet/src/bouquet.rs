@@ -8,9 +8,14 @@
 
 use std::time::{Duration, Instant};
 
-use pb_cost::{par_map, CostMatrix, CostPerturbation, CostProgram, Parallelism, SelPoint};
+use pb_cost::{
+    par_map, CostMatrix, CostPerturbation, CostProgram, Parallelism, SelPoint,
+    PARALLEL_MIN_CONTOUR_CELLS,
+};
 use pb_faults::PbError;
-use pb_optimizer::{PlanDiagram, PlanId};
+use pb_optimizer::{
+    IncrementalDiagramStats, PlanDiagram, PlanId, SampledBuildConfig, SampledBuildStats,
+};
 use pb_plan::PhysicalPlan;
 
 use crate::contour::{rho, Contour};
@@ -78,6 +83,18 @@ pub struct PhaseTimings {
     pub total: Duration,
 }
 
+/// What an incremental re-identification reused versus redid: the diagram
+/// layer's chunk accounting plus the contour layer's cache hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IncrementalIdentifyStats {
+    pub diagram: IncrementalDiagramStats,
+    pub contours_total: usize,
+    /// Contours lifted verbatim from the stale bouquet (their step cost,
+    /// frontier, PIC values, and cost-matrix columns were all bit-unchanged,
+    /// so anorexic reduction was skipped).
+    pub contours_reused: usize,
+}
+
 /// A compiled plan bouquet, ready for run-time discovery.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Bouquet {
@@ -120,18 +137,130 @@ impl Bouquet {
         cfg: &BouquetConfig,
         par: Parallelism,
     ) -> Result<(Bouquet, PhaseTimings), PbError> {
-        if cfg.lambda < 0.0 {
-            return Err(PbError::InvalidConfig("lambda must be non-negative".into()));
-        }
-        if cfg.r <= 1.0 {
-            return Err(PbError::InvalidConfig(
-                "isocost ratio r must exceed 1".into(),
-            ));
-        }
+        validate_config(cfg)?;
         let t_start = Instant::now();
         let diagram = PlanDiagram::build_with(&w.catalog, &w.query, &w.model, &w.ess, par);
         let t_diagram = t_start.elapsed();
 
+        let t0 = Instant::now();
+        let costs = diagram.cost_matrix_with(&w.catalog, &w.query, &w.model, par);
+        let t_cost_matrix = t0.elapsed();
+
+        let (bouquet, t_contours, _) =
+            Self::assemble_from_diagram(w, cfg, diagram, costs, w.ess.num_points(), None, par)?;
+        let timings = PhaseTimings {
+            workers: par.workers,
+            diagram: t_diagram,
+            cost_matrix: t_cost_matrix,
+            contours: t_contours,
+            total: t_start.elapsed(),
+        };
+        Ok((bouquet, timings))
+    }
+
+    /// Identification with a *sampled* plan diagram ([`PlanDiagram::
+    /// build_sampled`]): the exhaustive grid sweep of DP calls is replaced
+    /// by seeded sampling + refinement with an (ε, δ) optimality-mass
+    /// contract, and the diagram's pool-sweep cost matrix is reused for the
+    /// bouquet, so the cost-matrix phase vanishes. Contours, budgets, and
+    /// drivers work off the sampled diagram exactly as they would off the
+    /// exact one — `stats.exhaustive_optimizer_calls` records the DP calls
+    /// actually spent. The exact path ([`Bouquet::identify`]) is untouched.
+    pub fn identify_sampled(
+        w: &Workload,
+        cfg: &BouquetConfig,
+        scfg: &SampledBuildConfig,
+        par: Parallelism,
+    ) -> Result<(Bouquet, PhaseTimings, SampledBuildStats), PbError> {
+        validate_config(cfg)?;
+        let t_start = Instant::now();
+        let sd = PlanDiagram::build_sampled(&w.catalog, &w.query, &w.model, &w.ess, scfg, par)?;
+        let t_diagram = t_start.elapsed();
+        let (bouquet, t_contours, _) = Self::assemble_from_diagram(
+            w,
+            cfg,
+            sd.diagram,
+            sd.costs,
+            sd.stats.optimizer_calls,
+            None,
+            par,
+        )?;
+        let timings = PhaseTimings {
+            workers: par.workers,
+            diagram: t_diagram,
+            cost_matrix: Duration::ZERO,
+            contours: t_contours,
+            total: t_start.elapsed(),
+        };
+        Ok((bouquet, timings, sd.stats))
+    }
+
+    /// Re-identify after statistics drift, reusing a stale bouquet compiled
+    /// for the *same* query/ESS/config under older statistics. The diagram
+    /// layer reuses the stale winners as DP incumbents
+    /// ([`PlanDiagram::build_incremental`]), and contours whose inputs are
+    /// bit-unchanged — step cost, frontier, PIC values, and cost columns at
+    /// the frontier points — are lifted verbatim instead of re-reduced. The
+    /// result is bitwise identical to a from-scratch
+    /// [`Bouquet::identify_with`] on `w` (enforced by tests).
+    pub fn identify_incremental(
+        w: &Workload,
+        prev: &Bouquet,
+        par: Parallelism,
+    ) -> Result<(Bouquet, PhaseTimings, IncrementalIdentifyStats), PbError> {
+        let cfg = prev.config.clone();
+        validate_config(&cfg)?;
+        let t_start = Instant::now();
+        let (diagram, dstats) = PlanDiagram::build_incremental(
+            &w.catalog,
+            &w.query,
+            &w.model,
+            &w.ess,
+            &prev.diagram,
+            par,
+        );
+        let t_diagram = t_start.elapsed();
+        let t0 = Instant::now();
+        let costs = diagram.cost_matrix_with(&w.catalog, &w.query, &w.model, par);
+        let t_cost_matrix = t0.elapsed();
+        let (bouquet, t_contours, contours_reused) = Self::assemble_from_diagram(
+            w,
+            &cfg,
+            diagram,
+            costs,
+            w.ess.num_points(),
+            Some(prev),
+            par,
+        )?;
+        let stats = IncrementalIdentifyStats {
+            diagram: dstats,
+            contours_total: bouquet.contours.len(),
+            contours_reused,
+        };
+        let timings = PhaseTimings {
+            workers: par.workers,
+            diagram: t_diagram,
+            cost_matrix: t_cost_matrix,
+            contours: t_contours,
+            total: t_start.elapsed(),
+        };
+        Ok((bouquet, timings, stats))
+    }
+
+    /// Shared tail of every identification path: PCM check, isocost
+    /// grading, frontier scans, contour assembly (with per-contour reuse
+    /// against `reuse_from` when its inputs are bit-unchanged), and stats.
+    /// Returns the bouquet, the contour-phase wall time, and how many
+    /// contours were reused.
+    fn assemble_from_diagram(
+        w: &Workload,
+        cfg: &BouquetConfig,
+        diagram: PlanDiagram,
+        costs: CostMatrix,
+        optimizer_calls: usize,
+        reuse_from: Option<&Bouquet>,
+        par: Parallelism,
+    ) -> Result<(Bouquet, Duration, usize), PbError> {
         let (cmin, cmax) = diagram.cost_bounds();
         // PCM sanity: the PIC must be monotone along every axis; queries
         // violating this (e.g. existential operators, Section 2) are not
@@ -139,14 +268,17 @@ impl Bouquet {
         check_pic_monotone(&diagram)?;
 
         let grading = IsoCostGrading::geometric(cmin, cmax, cfg.r);
-        let t0 = Instant::now();
-        let costs = diagram.cost_matrix_with(&w.catalog, &w.query, &w.model, par);
-        let t_cost_matrix = t0.elapsed();
+        let n = w.ess.num_points();
+        // The frontier scan visits steps × grid-points cells of a few ns
+        // each — fan out only when that volume is large enough to repay
+        // thread handoff (the satellite fix for the 2D regression where a
+        // global grid-size threshold parallelised a 0.1 ms phase).
+        let cpar = par.for_cells(grading.steps.len() * n, PARALLEL_MIN_CONTOUR_CELLS);
 
         // One frontier scan per isocost step, fanned out across steps, then
         // reused for both ρ_posp and the contours themselves.
         let t0 = Instant::now();
-        let frontiers = par_map(par, grading.steps.len(), |k| {
+        let frontiers = par_map(cpar, grading.steps.len(), |k| {
             Contour::frontier(&diagram, grading.steps[k])
         });
 
@@ -162,8 +294,15 @@ impl Bouquet {
             .max()
             .unwrap_or(0);
 
-        let contours =
-            Contour::build_from_frontiers(&diagram, &grading, &costs, cfg.lambda, frontiers, par);
+        let (contours, contours_reused) = match reuse_from {
+            None => (
+                Contour::build_from_frontiers(
+                    &diagram, &grading, &costs, cfg.lambda, frontiers, cpar,
+                ),
+                0,
+            ),
+            Some(prev) => reuse_contours(&diagram, &grading, &costs, cfg.lambda, frontiers, prev),
+        };
         let t_contours = t0.elapsed();
 
         let bouquet_cardinality = {
@@ -173,7 +312,7 @@ impl Bouquet {
             all.len()
         };
         let stats = CompileStats {
-            exhaustive_optimizer_calls: w.ess.num_points(),
+            exhaustive_optimizer_calls: optimizer_calls,
             posp_cardinality: diagram.plan_count(),
             bouquet_cardinality,
             rho_posp,
@@ -181,13 +320,6 @@ impl Bouquet {
             num_contours: contours.len(),
             cmin,
             cmax,
-        };
-        let timings = PhaseTimings {
-            workers: par.workers,
-            diagram: t_diagram,
-            cost_matrix: t_cost_matrix,
-            contours: t_contours,
-            total: t_start.elapsed(),
         };
         Ok((
             Bouquet {
@@ -200,7 +332,8 @@ impl Bouquet {
                 stats,
                 programs: std::sync::OnceLock::new(),
             },
-            timings,
+            t_contours,
+            contours_reused,
         ))
     }
 
@@ -282,6 +415,77 @@ impl Bouquet {
         let ix = self.workload.ess.snap_floor(q);
         self.diagram.opt_cost[self.workload.ess.linear(&ix)]
     }
+}
+
+fn validate_config(cfg: &BouquetConfig) -> Result<(), PbError> {
+    if cfg.lambda < 0.0 {
+        return Err(PbError::InvalidConfig("lambda must be non-negative".into()));
+    }
+    if cfg.r <= 1.0 {
+        return Err(PbError::InvalidConfig(
+            "isocost ratio r must exceed 1".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Assemble contours, lifting one verbatim from `prev` whenever every input
+/// anorexic reduction reads is bit-unchanged. [`Contour::assemble`]'s output
+/// is a pure function of `(number of plans, cost columns and PIC values at
+/// the frontier points, lambda, k, step_cost, points)` — the plan-identity
+/// prerequisite additionally pins the *meaning* of the cached plan ids, so
+/// a reused contour equals what recomputation would produce, bit for bit.
+fn reuse_contours(
+    diagram: &PlanDiagram,
+    grading: &IsoCostGrading,
+    costs: &CostMatrix,
+    lambda: f64,
+    frontiers: Vec<Vec<usize>>,
+    prev: &Bouquet,
+) -> (Vec<Contour>, usize) {
+    let plans_unchanged = (lambda - prev.config.lambda).abs() == 0.0
+        && diagram.plans.len() == prev.diagram.plans.len()
+        && costs.len() == prev.costs.len()
+        && diagram
+            .plans
+            .iter()
+            .zip(&prev.diagram.plans)
+            .all(|(a, b)| a.fingerprint() == b.fingerprint());
+    let mut reused = 0;
+    let mut contours = Vec::with_capacity(grading.steps.len());
+    for (k, points) in frontiers.into_iter().enumerate() {
+        let cached = prev.contours.get(k).filter(|c| {
+            plans_unchanged
+                && prev
+                    .grading
+                    .steps
+                    .get(k)
+                    .is_some_and(|s| s.to_bits() == grading.steps[k].to_bits())
+                && c.points == points
+                && points.iter().all(|&li| {
+                    diagram.opt_cost[li].to_bits() == prev.diagram.opt_cost[li].to_bits()
+                        && (0..costs.len())
+                            .all(|p| costs[p][li].to_bits() == prev.costs[p][li].to_bits())
+                })
+        });
+        match cached {
+            Some(c) => {
+                reused += 1;
+                contours.push(c.clone());
+            }
+            None => {
+                contours.push(Contour::assemble(
+                    diagram,
+                    costs,
+                    lambda,
+                    k,
+                    grading.steps[k],
+                    points,
+                ));
+            }
+        }
+    }
+    (contours, reused)
 }
 
 fn check_pic_monotone(diagram: &PlanDiagram) -> Result<(), PbError> {
@@ -388,6 +592,107 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    fn eq_2d() -> Workload {
+        let cat = tpch::catalog(1.0);
+        let mut qb = QueryBuilder::new(&cat, "EQ2D");
+        let p = qb.rel("part");
+        let l = qb.rel("lineitem");
+        let o = qb.rel("orders");
+        qb.select(
+            p,
+            "p_retailprice",
+            CmpOp::Lt,
+            1000.0,
+            SelSpec::ErrorProne(0),
+        );
+        qb.join(p, "p_partkey", l, "l_partkey", SelSpec::ErrorProne(1));
+        qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
+        let q = qb.build();
+        let ess = Ess::uniform(
+            vec![
+                EssDim::new("p_retailprice", 1e-4, 1.0),
+                EssDim::new("p⋈l", 1e-8, 5e-6),
+            ],
+            24,
+        );
+        Workload::new("EQ_2D", cat.clone(), q, ess, CostModel::postgresish())
+    }
+
+    fn drift(w: &Workload, scale: f64) -> Workload {
+        Workload::new(
+            w.name.clone(),
+            tpch::catalog(scale),
+            w.query.clone(),
+            w.ess.clone(),
+            w.model.clone(),
+        )
+    }
+
+    #[test]
+    fn incremental_identify_is_bitwise_identical_to_fresh() {
+        let w = eq_1d();
+        let cfg = BouquetConfig::default();
+        let prev = Bouquet::identify(&w, &cfg).unwrap();
+        let drifted = drift(&w, 1.04);
+        let fresh = Bouquet::identify(&drifted, &cfg).unwrap();
+        let (inc, _, stats) =
+            Bouquet::identify_incremental(&drifted, &prev, Parallelism::serial()).unwrap();
+        assert!(!stats.diagram.full_rebuild);
+        assert_eq!(stats.contours_total, fresh.contours.len());
+        assert_eq!(
+            crate::persist::to_json(&inc).unwrap(),
+            crate::persist::to_json(&fresh).unwrap(),
+            "incremental re-identification must be bitwise identical to fresh"
+        );
+    }
+
+    #[test]
+    fn incremental_identify_without_drift_reuses_everything() {
+        let w = eq_1d();
+        let cfg = BouquetConfig::default();
+        let prev = Bouquet::identify(&w, &cfg).unwrap();
+        let (inc, _, stats) =
+            Bouquet::identify_incremental(&w, &prev, Parallelism::serial()).unwrap();
+        assert_eq!(stats.diagram.points_changed, 0);
+        assert_eq!(stats.contours_reused, stats.contours_total);
+        assert_eq!(
+            crate::persist::to_json(&inc).unwrap(),
+            crate::persist::to_json(&prev).unwrap()
+        );
+    }
+
+    #[test]
+    fn sampled_identify_yields_valid_deterministic_bouquet() {
+        let w = eq_2d();
+        let cfg = BouquetConfig::default();
+        let scfg = SampledBuildConfig {
+            seed: 11,
+            epsilon: 0.1,
+            delta: 0.1,
+            initial_samples: 48,
+            max_rounds: 8,
+        };
+        let (a, _, stats) =
+            Bouquet::identify_sampled(&w, &cfg, &scfg, Parallelism::serial()).unwrap();
+        assert!(stats.converged);
+        assert!(!stats.exhaustive_fallback);
+        assert_eq!(a.stats.exhaustive_optimizer_calls, stats.optimizer_calls);
+        assert!(stats.optimizer_calls < w.ess.num_points());
+        assert!(a.stats.num_contours >= 2);
+        assert!(a.mso_bound().is_finite());
+        // The sampled PIC never undercuts the exact one (pool ⊆ all plans).
+        let exact = Bouquet::identify(&w, &cfg).unwrap();
+        for li in 0..w.ess.num_points() {
+            assert!(a.pic_cost_at(li) >= exact.pic_cost_at(li) * (1.0 - 1e-9));
+        }
+        // Same seed, different worker count: bitwise-identical bouquet.
+        let (b, _, _) = Bouquet::identify_sampled(&w, &cfg, &scfg, Parallelism::new(4)).unwrap();
+        assert_eq!(
+            crate::persist::to_json(&a).unwrap(),
+            crate::persist::to_json(&b).unwrap()
+        );
     }
 
     #[test]

@@ -117,27 +117,47 @@ impl Contour {
         par: Parallelism,
     ) -> Vec<Contour> {
         assert_eq!(frontiers.len(), grading.steps.len());
-        let contours = par_map(par, grading.steps.len(), |k| {
-            let step_cost = grading.steps[k];
-            let points = frontiers[k].clone();
-            assert!(
-                !points.is_empty(),
-                "contour {} (budget {step_cost}) has no frontier points",
-                k + 1
-            );
-            let red = AnorexicReduction::reduce_points(diagram, costs, &points, lambda);
-            let mut plan_set = red.kept.clone();
-            plan_set.sort_unstable();
-            Contour {
-                id: k + 1,
-                step_cost,
-                budget: step_cost * (1.0 + lambda),
-                points,
-                assignment: red.assignment,
-                plan_set,
-            }
-        });
-        contours
+        par_map(par, grading.steps.len(), |k| {
+            Self::assemble(
+                diagram,
+                costs,
+                lambda,
+                k,
+                grading.steps[k],
+                frontiers[k].clone(),
+            )
+        })
+    }
+
+    /// Assemble one contour (0-based step index `k`) from its frontier: the
+    /// anorexic-reduction unit the batch builders — and the incremental
+    /// identifier, for steps whose cached contour cannot be reused — share.
+    /// Output is a pure function of `(costs columns and diagram PIC at
+    /// `points`, lambda, k, step_cost, points)`.
+    pub fn assemble(
+        diagram: &PlanDiagram,
+        costs: &CostMatrix,
+        lambda: f64,
+        k: usize,
+        step_cost: f64,
+        points: Vec<usize>,
+    ) -> Contour {
+        assert!(
+            !points.is_empty(),
+            "contour {} (budget {step_cost}) has no frontier points",
+            k + 1
+        );
+        let red = AnorexicReduction::reduce_points(diagram, costs, &points, lambda);
+        let mut plan_set = red.kept.clone();
+        plan_set.sort_unstable();
+        Contour {
+            id: k + 1,
+            step_cost,
+            budget: step_cost * (1.0 + lambda),
+            points,
+            assignment: red.assignment,
+            plan_set,
+        }
     }
 
     /// Number of plans on this contour (its density `n_k`).

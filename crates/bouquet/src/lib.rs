@@ -18,6 +18,7 @@
 pub mod band;
 pub mod baselines;
 pub mod bouquet;
+pub mod cache;
 pub mod contour;
 pub mod dim_analysis;
 pub mod drivers;
@@ -31,7 +32,8 @@ pub mod substrate;
 pub mod theory;
 pub mod workload;
 
-pub use bouquet::{Bouquet, BouquetConfig, CompileStats, PhaseTimings};
+pub use bouquet::{Bouquet, BouquetConfig, CompileStats, IncrementalIdentifyStats, PhaseTimings};
+pub use cache::{BouquetCache, CacheKey, CacheOutcome};
 pub use contour::Contour;
 pub use drivers::robust::{RobustConfig, RobustEvent, RobustRun};
 pub use drivers::{BouquetRun, ExecutionOutcome, PartialExec};

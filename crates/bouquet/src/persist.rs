@@ -28,7 +28,7 @@ pub fn from_json(json: &str) -> Result<Bouquet, PbError> {
     };
     let b: Bouquet =
         serde_json::from_str(json).map_err(|e| corrupt(format!("parse bouquet: {e}")))?;
-    validate(&b).map_err(corrupt)?;
+    validate_structure(&b).map_err(corrupt)?;
     Ok(b)
 }
 
@@ -64,8 +64,10 @@ pub fn load(path: impl AsRef<Path>) -> Result<Bouquet, PbError> {
     })
 }
 
-/// Structural validation of a (possibly externally-produced) artifact.
-fn validate(b: &Bouquet) -> Result<(), String> {
+/// Structural validation of a (possibly externally-produced) artifact —
+/// shared with the binary cache layer, which revalidates decoded entries
+/// the same way.
+pub(crate) fn validate_structure(b: &Bouquet) -> Result<(), String> {
     let n = b.workload.ess.num_points();
     if b.diagram.optimal.len() != n || b.diagram.opt_cost.len() != n {
         return Err("diagram size disagrees with ESS".into());

@@ -32,6 +32,7 @@ pub mod model_error;
 pub mod parallel;
 pub mod params;
 pub mod program;
+pub mod sample;
 pub mod uncertainty;
 
 pub use coster::{Coster, NodeCost};
@@ -40,8 +41,9 @@ pub use estimator::Estimator;
 pub use matrix::CostMatrix;
 pub use model_error::CostPerturbation;
 pub use parallel::{
-    par_map, run_chunked, set_default_workers, Parallelism, PARALLEL_MIN_GRID,
-    PARALLEL_MIN_MORSEL_ROWS,
+    par_map, run_chunked, set_default_workers, Parallelism, PARALLEL_MIN_CONTOUR_CELLS,
+    PARALLEL_MIN_GRID, PARALLEL_MIN_MATRIX_CELLS, PARALLEL_MIN_MORSEL_ROWS,
 };
 pub use params::{CostModel, CostParams};
 pub use program::CostProgram;
+pub use sample::{sample_distinct, SplitMix64};

@@ -82,6 +82,28 @@ impl CostMatrix {
     pub fn as_flat(&self) -> &[f64] {
         &self.data
     }
+
+    /// For every grid point, the row index of the cheapest plan; cost ties
+    /// break toward the lowest row index, so the result is a pure function
+    /// of the matrix contents (the sampled diagram build relies on this to
+    /// stay deterministic). Empty matrices yield an empty vector.
+    pub fn argmin_per_point(&self) -> Vec<u32> {
+        let nrows = self.len();
+        if nrows == 0 {
+            return Vec::new();
+        }
+        let mut best: Vec<u32> = vec![0; self.points];
+        let mut best_cost: Vec<f64> = self.row(0).to_vec();
+        for r in 1..nrows {
+            for (li, &c) in self.row(r).iter().enumerate() {
+                if c < best_cost[li] {
+                    best_cost[li] = c;
+                    best[li] = r as u32;
+                }
+            }
+        }
+        best
+    }
 }
 
 impl std::ops::Index<usize> for CostMatrix {
@@ -134,6 +156,17 @@ mod tests {
         m.push_row(&[3.0, 4.0]);
         assert_eq!(m.len(), 2);
         assert_eq!(m[1], [3.0, 4.0]);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_toward_lowest_row() {
+        let m = CostMatrix::from_rows(vec![
+            vec![1.0, 5.0, 2.0],
+            vec![1.0, 4.0, 2.0], // ties with row 0 at points 0 and 2
+            vec![0.5, 9.0, 9.0],
+        ]);
+        assert_eq!(m.argmin_per_point(), vec![2, 1, 0]);
+        assert!(CostMatrix::new(4).argmin_per_point().is_empty());
     }
 
     #[test]

@@ -91,6 +91,20 @@ impl Parallelism {
             *self
         }
     }
+
+    /// Generic per-phase gate: demote to serial when the phase's measured
+    /// work volume (in whatever unit the phase counts — grid points, matrix
+    /// cells, contour-scan cells) is below its crossover threshold. Each
+    /// identification phase has a different per-item cost, so each gets its
+    /// own threshold instead of sharing one grid-size cutoff; output is
+    /// unchanged either way (chunked merges are deterministic).
+    pub fn for_cells(&self, cells: usize, min_cells: usize) -> Parallelism {
+        if cells < min_cells {
+            Parallelism::serial()
+        } else {
+            *self
+        }
+    }
 }
 
 /// Grid sizes below this run serially even when workers are available:
@@ -102,6 +116,21 @@ pub const PARALLEL_MIN_GRID: usize = 4096;
 /// are available: above the 60k-row relations of the SF 0.01 smoke suite,
 /// below the 600k-row lineitem of SF 0.1 where morsel fan-out wins.
 pub const PARALLEL_MIN_MORSEL_ROWS: usize = 131_072;
+
+/// Cost-matrix builds with fewer plan×point cells than this run serially.
+/// A cell is one compiled-program evaluation (~100ns), so the threshold
+/// marks roughly the point where the phase outlasts thread spawn + chunk
+/// hand-off. The 2304-point 2D TPC-H grid (~17 plans ≈ 39k cells, where the
+/// 4-worker matrix ran 1.06ms vs 0.53ms serial per BENCH_identify.json)
+/// stays serial; 3D grids at 8000 points × ~20 plans clear it.
+pub const PARALLEL_MIN_MATRIX_CELLS: usize = 1 << 16;
+
+/// Contour phases (frontier scans + anorexic reduction) with fewer
+/// step×point scan cells than this run serially. A scan cell is one
+/// dominance probe (a few ns — far cheaper than a matrix cell), so the
+/// crossover sits higher: ~12 steps × 2304 points ≈ 28k cells on the 2D
+/// grid (slower parallel), while 5D grids at 10⁵+ points clear it.
+pub const PARALLEL_MIN_CONTOUR_CELLS: usize = 1 << 18;
 
 impl Default for Parallelism {
     fn default() -> Self {
@@ -252,6 +281,32 @@ mod tests {
         // SF 0.01 lineitem (60k rows) must stay serial; SF 0.1 must not.
         assert_eq!(par.for_morsels(60_000), Parallelism::serial());
         assert_eq!(par.for_morsels(600_000), par);
+    }
+
+    #[test]
+    fn for_cells_gates_on_phase_work_volume() {
+        let par = Parallelism::new(4);
+        assert_eq!(
+            par.for_cells(PARALLEL_MIN_MATRIX_CELLS - 1, PARALLEL_MIN_MATRIX_CELLS),
+            Parallelism::serial()
+        );
+        assert_eq!(
+            par.for_cells(PARALLEL_MIN_MATRIX_CELLS, PARALLEL_MIN_MATRIX_CELLS),
+            par
+        );
+        // The 2D regression case: 17 plans × 2304 points stays serial, and
+        // 12 contour steps × 2304 points stays serial, while 3D-scale work
+        // volumes engage the workers.
+        assert_eq!(
+            par.for_cells(17 * 2304, PARALLEL_MIN_MATRIX_CELLS),
+            Parallelism::serial()
+        );
+        assert_eq!(par.for_cells(20 * 8000, PARALLEL_MIN_MATRIX_CELLS), par);
+        assert_eq!(
+            par.for_cells(12 * 2304, PARALLEL_MIN_CONTOUR_CELLS),
+            Parallelism::serial()
+        );
+        assert_eq!(par.for_cells(5 * 100_000, PARALLEL_MIN_CONTOUR_CELLS), par);
     }
 
     #[test]

@@ -9,13 +9,64 @@
 use std::collections::HashMap;
 
 use pb_catalog::Catalog;
-use pb_cost::{run_chunked, CostMatrix, CostModel, CostProgram, Coster, Ess, Parallelism};
+use pb_cost::{
+    run_chunked, CostMatrix, CostModel, CostProgram, Coster, Ess, Parallelism,
+    PARALLEL_MIN_MATRIX_CELLS,
+};
 use pb_plan::{PhysicalPlan, PlanFingerprint, QuerySpec};
 
 use crate::dp::Optimizer;
 
+/// Evaluate a set of compiled plan programs at every grid point of `ess`,
+/// producing a `programs × points` [`CostMatrix`]. Work is chunked over the
+/// flattened program × point space (so per-plan cost skew balances across
+/// workers) and gated serial below [`PARALLEL_MIN_MATRIX_CELLS`] cells —
+/// the per-phase gate, since a matrix cell costs ~100ns while a diagram
+/// point costs a full DP invocation. Output is bit-identical at any worker
+/// count. Shared by the exhaustive cost-matrix phase and the sampled
+/// build's pool-matrix sweep.
+pub fn matrix_for_programs(progs: &[CostProgram], ess: &Ess, par: Parallelism) -> CostMatrix {
+    let n = ess.num_points();
+    let d = ess.d();
+    let total = progs.len() * n;
+    let par = par.for_cells(total, PARALLEL_MIN_MATRIX_CELLS);
+    let points = ess.points_flat();
+    let chunks = run_chunked(par, total, |_, range| {
+        let mut stack = Vec::new();
+        range
+            .map(|i| {
+                let li = i % n;
+                progs[i / n]
+                    .eval_with(&points[li * d..(li + 1) * d], &mut stack)
+                    .cost
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut flat = Vec::with_capacity(total);
+    for chunk in chunks {
+        flat.extend(chunk);
+    }
+    CostMatrix::from_flat(n, flat)
+}
+
 /// Index into a diagram's `plans` vector.
 pub type PlanId = usize;
+
+/// What an incremental rebuild actually had to redo, chunk by chunk (the
+/// chunking mirrors [`pb_cost::run_chunked`]'s fixed boundaries). A point
+/// "changed" when the drifted optimum's plan fingerprint differs from the
+/// cached winner's; unchanged points still run the DP, but bounded by the
+/// recosted cached winner, which prunes almost everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IncrementalDiagramStats {
+    pub chunks_total: usize,
+    pub chunks_changed: usize,
+    pub points_total: usize,
+    pub points_changed: usize,
+    /// The cached diagram was unusable (ESS or shape mismatch) and the
+    /// build fell back to a full from-scratch rebuild.
+    pub full_rebuild: bool,
+}
 
 /// Optimal plan + cost at every grid point of an ESS.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -175,6 +226,116 @@ impl PlanDiagram {
         }
     }
 
+    /// Rebuild the diagram after a catalog / cost-model drift, reusing a
+    /// previously computed diagram for the *same ESS* as a per-point
+    /// incumbent oracle: at each grid point the cached winner is recosted
+    /// under the drifted statistics (one compiled-program evaluation) and
+    /// fed to [`Optimizer::optimize_bounded`] as the upper bound. Points
+    /// whose winner survived prune almost the entire memo; points whose
+    /// winner changed pay (at most) a full DP. Either way
+    /// `optimize_bounded` is exact for any bound, so the result is
+    /// **bitwise identical** to a from-scratch [`build_with`]
+    /// (PlanDiagram::build_with) under the new statistics — enforced in
+    /// tests. If the cached diagram's ESS (or shape) does not match, the
+    /// incremental path is unsound and we fall back to a full rebuild,
+    /// reported in the stats.
+    pub fn build_incremental(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        model: &CostModel,
+        ess: &Ess,
+        prev: &PlanDiagram,
+        par: Parallelism,
+    ) -> (Self, IncrementalDiagramStats) {
+        let n = ess.num_points();
+        if prev.ess != *ess
+            || prev.optimal.len() != n
+            || prev.opt_cost.len() != n
+            || prev.plans.is_empty()
+            || prev.optimal.iter().any(|&p| p as usize >= prev.plans.len())
+        {
+            let d = Self::build_with(catalog, query, model, ess, par);
+            return (
+                d,
+                IncrementalDiagramStats {
+                    chunks_total: 0,
+                    chunks_changed: 0,
+                    points_total: n,
+                    points_changed: n,
+                    full_rebuild: true,
+                },
+            );
+        }
+        let par = par.for_grid(n);
+        let prev_progs: Vec<CostProgram> = prev
+            .plans
+            .iter()
+            .map(|p| CostProgram::compile(catalog, query, model, &p.root))
+            .collect();
+        let chunks = run_chunked(par, n, |_, range| {
+            let opt = Optimizer::new(catalog, query, model);
+            let mut seen: HashMap<PlanFingerprint, ()> = HashMap::new();
+            let mut out = Vec::with_capacity(range.len());
+            let mut ix = Vec::new();
+            let mut q = Vec::new();
+            let mut stack = Vec::new();
+            let mut changed = 0usize;
+            for li in range {
+                ess.unlinear_into(li, &mut ix);
+                ess.point_into(&ix, &mut q);
+                let cached = prev.optimal[li] as usize;
+                let bound = prev_progs[cached].eval_with(&q, &mut stack).cost;
+                let best = opt.optimize_bounded(&q, bound);
+                let fp = best.plan.fingerprint();
+                if fp != prev.plans[cached].fingerprint() {
+                    changed += 1;
+                }
+                let plan = if seen.insert(fp, ()).is_none() {
+                    Some(best.plan)
+                } else {
+                    None
+                };
+                out.push((fp, plan, best.cost));
+            }
+            (out, changed)
+        });
+
+        let mut plans: Vec<PhysicalPlan> = Vec::new();
+        let mut ids: HashMap<PlanFingerprint, u32> = HashMap::new();
+        let mut optimal = Vec::with_capacity(n);
+        let mut opt_cost = Vec::with_capacity(n);
+        let mut stats = IncrementalDiagramStats {
+            chunks_total: chunks.len(),
+            chunks_changed: 0,
+            points_total: n,
+            points_changed: 0,
+            full_rebuild: false,
+        };
+        for (chunk_res, changed) in chunks {
+            if changed > 0 {
+                stats.chunks_changed += 1;
+                stats.points_changed += changed;
+            }
+            for (fp, plan, cost) in chunk_res {
+                let id = *ids.entry(fp).or_insert_with(|| {
+                    plans.push(plan.expect("first occurrence carries the plan"));
+                    (plans.len() - 1) as u32
+                });
+                optimal.push(id);
+                opt_cost.push(cost);
+            }
+        }
+        (
+            PlanDiagram {
+                ess: ess.clone(),
+                plans,
+                optimal,
+                opt_cost,
+            },
+            stats,
+        )
+    }
+
     /// Number of distinct POSP plans.
     pub fn plan_count(&self) -> usize {
         self.plans.len()
@@ -227,12 +388,12 @@ impl PlanDiagram {
     }
 
     /// Cost matrix with an explicit worker policy. Every POSP plan is
-    /// compiled once into a [`CostProgram`]; grid points are materialized
-    /// once into a flat buffer; workers then evaluate cells with a reusable
-    /// stack — the inner loop performs no allocation and no tree walk. Work
-    /// is chunked over the flattened plans × grid space so skew between
-    /// plans (deep trees cost more to re-cost) still balances across
-    /// workers. Results are bit-identical to
+    /// compiled once into a [`CostProgram`], then handed to
+    /// [`matrix_for_programs`]: grid points are materialized once into a
+    /// flat buffer and workers evaluate cells with a reusable stack — the
+    /// inner loop performs no allocation and no tree walk. Parallelism is
+    /// gated on the plans × points cell count (the phase's actual work
+    /// volume), not the grid size. Results are bit-identical to
     /// [`cost_matrix_reference`](PlanDiagram::cost_matrix_reference).
     pub fn cost_matrix_with(
         &self,
@@ -241,34 +402,12 @@ impl PlanDiagram {
         model: &CostModel,
         par: Parallelism,
     ) -> CostMatrix {
-        let n = self.ess.num_points();
-        // Gate on grid size (not total work) so matrix and diagram builds
-        // flip to parallel at the same workload scale.
-        let par = par.for_grid(n);
-        let d = self.ess.d();
-        let total = self.plans.len() * n;
-        let points = self.ess.points_flat();
         let progs: Vec<CostProgram> = self
             .plans
             .iter()
             .map(|p| CostProgram::compile(catalog, query, model, &p.root))
             .collect();
-        let chunks = run_chunked(par, total, |_, range| {
-            let mut stack = Vec::new();
-            range
-                .map(|i| {
-                    let li = i % n;
-                    progs[i / n]
-                        .eval_with(&points[li * d..(li + 1) * d], &mut stack)
-                        .cost
-                })
-                .collect::<Vec<f64>>()
-        });
-        let mut flat = Vec::with_capacity(total);
-        for chunk in chunks {
-            flat.extend(chunk);
-        }
-        CostMatrix::from_flat(n, flat)
+        matrix_for_programs(&progs, &self.ess, par)
     }
 
     /// Reference cost matrix via the recursive [`Coster`] tree walk
@@ -429,6 +568,58 @@ mod tests {
         let reference = d.cost_matrix_reference(&cat, &q, &m);
         assert_eq!(compiled.len(), reference.len());
         for (a, b) in compiled.as_flat().iter().zip(reference.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_fresh_build_bitwise_under_drift() {
+        let (cat, q, m, ess) = setup_1d();
+        let prev = PlanDiagram::build_with(&cat, &q, &m, &ess, Parallelism::serial());
+        // Mild statistics drift: same schema, slightly larger base tables.
+        let drifted = tpch::catalog(1.05);
+        for par in [Parallelism::serial(), Parallelism::new(4)] {
+            let fresh = PlanDiagram::build_with(&drifted, &q, &m, &ess, par);
+            let (inc, stats) = PlanDiagram::build_incremental(&drifted, &q, &m, &ess, &prev, par);
+            assert!(!stats.full_rebuild);
+            assert_eq!(stats.points_total, ess.num_points());
+            assert_eq!(inc.optimal, fresh.optimal);
+            assert_eq!(inc.plan_count(), fresh.plan_count());
+            for (a, b) in inc.opt_cost.iter().zip(&fresh.opt_cost) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in inc.plans.iter().zip(&fresh.plans) {
+                assert_eq!(a.fingerprint(), b.fingerprint());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_with_no_drift_reports_zero_changes() {
+        let (cat, q, m, ess) = setup_1d();
+        let prev = PlanDiagram::build_with(&cat, &q, &m, &ess, Parallelism::serial());
+        let (inc, stats) =
+            PlanDiagram::build_incremental(&cat, &q, &m, &ess, &prev, Parallelism::serial());
+        assert!(!stats.full_rebuild);
+        assert_eq!(stats.points_changed, 0);
+        assert_eq!(stats.chunks_changed, 0);
+        assert_eq!(inc.optimal, prev.optimal);
+        for (a, b) in inc.opt_cost.iter().zip(&prev.opt_cost) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_rebuild_falls_back_on_grid_mismatch() {
+        let (cat, q, m, ess) = setup_1d();
+        let prev = PlanDiagram::build_with(&cat, &q, &m, &ess, Parallelism::serial());
+        let other = Ess::uniform(vec![EssDim::new("p_retailprice", 1e-4, 1.0)], 32);
+        let fresh = PlanDiagram::build_with(&cat, &q, &m, &other, Parallelism::serial());
+        let (inc, stats) =
+            PlanDiagram::build_incremental(&cat, &q, &m, &other, &prev, Parallelism::serial());
+        assert!(stats.full_rebuild);
+        assert_eq!(inc.optimal, fresh.optimal);
+        for (a, b) in inc.opt_cost.iter().zip(&fresh.opt_cost) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }

@@ -1,0 +1,129 @@
+//! Integration checks for sampling-based (PAO-style) identification through
+//! the public facade: determinism, the pointwise (1+ε) PIC contract, the
+//! optimizer-call savings that motivate the mode, and the realized MSO
+//! inflation of the resulting bouquet against an exhaustively-built one.
+
+use plan_bouquet::bouquet::{persist, Bouquet, BouquetConfig, Workload};
+use plan_bouquet::cost::{Ess, Parallelism};
+use plan_bouquet::optimizer::SampledBuildConfig;
+use plan_bouquet::workloads;
+
+fn coarse(w: Workload, res: usize) -> Workload {
+    let ess = Ess::uniform(w.ess.dims.clone(), res);
+    Workload::new(
+        w.name.clone(),
+        w.catalog.clone(),
+        w.query.clone(),
+        ess,
+        w.model.clone(),
+    )
+}
+
+fn scfg() -> SampledBuildConfig {
+    SampledBuildConfig {
+        seed: 17,
+        epsilon: 0.1,
+        delta: 0.1,
+        initial_samples: 48,
+        max_rounds: 8,
+    }
+}
+
+#[test]
+fn sampled_identification_is_deterministic_across_parallelism() {
+    let w = coarse(workloads::h_q8a_2d(1.0), 24);
+    let cfg = BouquetConfig::default();
+    let (a, _, sa) = Bouquet::identify_sampled(&w, &cfg, &scfg(), Parallelism::serial()).unwrap();
+    let (b, _, sb) = Bouquet::identify_sampled(&w, &cfg, &scfg(), Parallelism::new(4)).unwrap();
+    let (c, _, sc) = Bouquet::identify_sampled(&w, &cfg, &scfg(), Parallelism::serial()).unwrap();
+    assert_eq!(sa, sb);
+    assert_eq!(sa, sc);
+    let ja = persist::to_json(&a).unwrap();
+    assert_eq!(ja, persist::to_json(&b).unwrap());
+    assert_eq!(ja, persist::to_json(&c).unwrap());
+}
+
+#[test]
+fn sampled_pic_respects_the_epsilon_contract_on_a_3d_workload() {
+    let w = coarse(workloads::ds_q15_3d(), 8);
+    let cfg = BouquetConfig::default();
+    let eps = scfg().epsilon;
+    let (sampled, _, stats) =
+        Bouquet::identify_sampled(&w, &cfg, &scfg(), Parallelism::serial()).unwrap();
+    let exact = Bouquet::identify(&w, &cfg).unwrap();
+
+    assert!(
+        stats.converged,
+        "refinement must converge within the round cap"
+    );
+    assert!(
+        !stats.exhaustive_fallback && stats.optimizer_calls < w.ess.num_points(),
+        "sampling must beat the exhaustive sweep on optimizer calls \
+         ({} vs {})",
+        stats.optimizer_calls,
+        w.ess.num_points()
+    );
+
+    let n = w.ess.num_points();
+    let mut violations = 0usize;
+    for li in 0..n {
+        let s = sampled.pic_cost_at(li);
+        let e = exact.pic_cost_at(li);
+        // The sampled PIC is a min over a plan subset: never below the true
+        // optimum, and beyond (1+ε) only on an ε-bounded fraction of points.
+        assert!(
+            s >= e * (1.0 - 1e-9),
+            "sampled PIC below true optimum at {li}"
+        );
+        if s > (1.0 + eps) * e {
+            violations += 1;
+        }
+    }
+    assert!(
+        (violations as f64) <= eps * n as f64,
+        "violation mass {violations}/{n} exceeds ε = {eps}"
+    );
+}
+
+#[test]
+fn sampled_bouquet_mso_inflation_is_bounded() {
+    let w = coarse(workloads::ds_q15_3d(), 8);
+    let cfg = BouquetConfig::default();
+    let eps = scfg().epsilon;
+    let (sampled, _, _) =
+        Bouquet::identify_sampled(&w, &cfg, &scfg(), Parallelism::serial()).unwrap();
+    let exact = Bouquet::identify(&w, &cfg).unwrap();
+
+    // Realized MSO of both drivers, each judged against the *true* optimum.
+    let mut mso_exact = 0.0f64;
+    let mut mso_sampled = 0.0f64;
+    for li in 0..w.ess.num_points() {
+        let qa = w.ess.point(&w.ess.unlinear(li));
+        let opt = exact.pic_cost_at(li);
+        mso_exact = mso_exact.max(exact.run_basic(&qa).unwrap().suboptimality(opt));
+        mso_sampled = mso_sampled.max(sampled.run_basic(&qa).unwrap().suboptimality(opt));
+    }
+    let inflation = mso_sampled / mso_exact;
+    assert!(
+        inflation <= 1.0 + eps + 1e-9,
+        "realized MSO inflated by {inflation:.4}x (exact {mso_exact:.3}, \
+         sampled {mso_sampled:.3}) — beyond the 1+ε bound"
+    );
+}
+
+#[test]
+fn invalid_confidence_parameters_are_rejected() {
+    let w = coarse(workloads::h_q8a_2d(1.0), 12);
+    let cfg = BouquetConfig::default();
+    for (eps, delta) in [(0.0, 0.05), (f64::NAN, 0.05), (0.1, 0.0), (0.1, 1.0)] {
+        let bad = SampledBuildConfig {
+            epsilon: eps,
+            delta,
+            ..scfg()
+        };
+        assert!(
+            Bouquet::identify_sampled(&w, &cfg, &bad, Parallelism::serial()).is_err(),
+            "ε={eps}, δ={delta} must be rejected"
+        );
+    }
+}
