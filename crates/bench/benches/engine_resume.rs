@@ -1,0 +1,86 @@
+//! Checkpoint/resume benchmarks: the contour-style budget ladder (the same
+//! plan re-granted ever larger budgets until it completes) executed cold —
+//! every rung restarts from scratch — against resumed, where each rung
+//! fast-forwards through the completed operator prefix of the previous one.
+//! The criterion report directly shows the re-execution waste recovered.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pb_engine::{Database, Engine, ResumeBook};
+use pb_plan::PlanNode;
+use pb_workloads::h_q8a_2d;
+
+/// Ascending contour-style budget fractions ending in completion.
+const LADDER: [f64; 5] = [0.02, 0.1, 0.4, 0.75, 1.0];
+
+fn bench_engine_resume(c: &mut Criterion) {
+    let w = h_q8a_2d(0.01);
+    let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
+    let engine = Engine::new(&db, &w.query, &w.model.p);
+    let plan = PlanNode::HashJoin {
+        build: Box::new(PlanNode::HashJoin {
+            build: Box::new(PlanNode::SeqScan { rel: 0 }),
+            probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+            edges: vec![0],
+        }),
+        probe: Box::new(PlanNode::SeqScan { rel: 2 }),
+        edges: vec![1],
+    };
+    let full_cost = engine.execute(&plan, f64::INFINITY).cost();
+
+    // Sanity: with resume the ladder must pay strictly less than cold.
+    {
+        let mut book = ResumeBook::new();
+        let mut reused_total = 0.0;
+        for frac in LADDER {
+            let budget = full_cost * frac;
+            let plain = engine.execute(&plan, budget);
+            let (resumed, reused) = engine.execute_resumable(&plan, budget, &mut book);
+            assert_eq!(plain, resumed, "resume must be outcome-identical");
+            reused_total += reused;
+        }
+        assert!(reused_total > 0.0, "reuse must engage on the ladder");
+    }
+
+    let mut g = c.benchmark_group("engine_resume");
+    g.sample_size(20);
+    g.bench_function("ladder_cold", |bch| {
+        bch.iter(|| {
+            let mut spent = 0.0;
+            for frac in LADDER {
+                spent += engine.execute(black_box(&plan), full_cost * frac).cost();
+            }
+            black_box(spent)
+        })
+    });
+    g.bench_function("ladder_resumed", |bch| {
+        bch.iter(|| {
+            let mut book = ResumeBook::new();
+            let mut paid = 0.0;
+            for frac in LADDER {
+                let (out, reused) =
+                    engine.execute_resumable(black_box(&plan), full_cost * frac, &mut book);
+                paid += out.cost() - reused;
+            }
+            black_box(paid)
+        })
+    });
+    // The pure fast-forward path: replaying an already-completed plan.
+    g.bench_function("completed_replay", |bch| {
+        let mut book = ResumeBook::new();
+        engine.execute_resumable(&plan, f64::INFINITY, &mut book);
+        bch.iter(|| {
+            black_box(
+                engine
+                    .execute_resumable(black_box(&plan), f64::INFINITY, &mut book)
+                    .0
+                    .cost(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_resume);
+criterion_main!(benches);

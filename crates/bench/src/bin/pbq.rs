@@ -840,11 +840,13 @@ fn chaos_cmd(rest: &[String]) {
 
 /// Engine-backed Table 3 experiment through the canonical (substrate-
 /// generic) drivers: `pbq table3 [--sf N] [--json BENCH_table3.json]`.
-/// Runs the basic and optimized bouquet drivers over the real tuple engine,
-/// prints the per-contour breakdown, and exits non-zero if the basic
-/// driver's contour/plan/budget sequence on the engine differs from the
-/// simulator's at the engine's measured true location (cost-inversion
-/// cross-check).
+/// Runs the basic and optimized bouquet drivers over the real tuple engine
+/// — plain and with checkpoint/resume — prints the per-contour breakdown
+/// with the reused-cost columns, and exits non-zero if the basic driver's
+/// contour/plan/budget sequence on the engine differs from the simulator's
+/// at the engine's measured true location (cost-inversion cross-check).
+/// `--json` merges the report into the file's `table3` section, keeping any
+/// other sections of the artifact intact.
 fn table3_cmd(rest: &[String]) {
     let sf: f64 = match rest.iter().position(|a| a == "--sf") {
         Some(i) => rest
@@ -865,8 +867,8 @@ fn table3_cmd(rest: &[String]) {
     print!("{text}");
     if let Some(path) = json_path {
         let json = serde_json::to_string(&report).expect("serialize table3 report");
-        std::fs::write(&path, json + "\n").expect("write --json report");
-        println!("wrote {path}");
+        let section = serde_json::from_str::<serde::Value>(&json).expect("reparse table3 report");
+        merge_json_section(&path, "table3", section);
     }
     if !report.crosscheck_ok {
         eprintln!(
@@ -1186,10 +1188,12 @@ fn bench_check(rest: &[String]) {
         "engine_mt",
         regress::engine_mt_bench(0.02, &[1, 2, 4], Some(4096), 3),
     );
+    let resume = run("resume", regress::resume_bench(0.01));
     let current = Value::Obj(vec![
         ("engine".to_string(), engine),
         ("identify".to_string(), identify),
         ("engine_mt".to_string(), engine_mt),
+        ("resume".to_string(), resume),
     ]);
 
     if update {

@@ -203,6 +203,7 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
                         plan_retries: 1,
                         max_violations: 3,
                         optimized,
+                        resume: false,
                     };
                     let tag = || format!("{}/{driver}/{label}@{fracs:?}", b.workload.name);
 
@@ -413,6 +414,7 @@ fn engine_substrate_scenarios(
                     plan_retries: 1,
                     max_violations: 3,
                     optimized,
+                    resume: false,
                 };
                 let tag = || format!("engine-sub/{driver}/{label}#{variant}");
                 let robust = |cfg: &RobustConfig| {

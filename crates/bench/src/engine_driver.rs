@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use pb_bouquet::{Bouquet, BouquetRun, EngineSubstrate, ExecutionSubstrate};
+use pb_bouquet::{Bouquet, BouquetRun, EngineSubstrate, ExecutionSubstrate, ResumeStats};
 use pb_cost::{Parallelism, SelPoint};
 use pb_engine::Database;
 use pb_faults::{FaultInjector, PbError};
@@ -112,6 +112,29 @@ pub fn engine_run_bouquet_with(
         &run,
         sub.result_rows().unwrap_or(0),
     ))
+}
+
+/// [`engine_run_bouquet_with`] with checkpoint/resume enabled on the engine
+/// substrate: the (contour, plan, budget) sequence, completion decision and
+/// result rows are identical to the plain run, but completed operator
+/// prefixes are fast-forwarded from checkpoints instead of re-executed, so
+/// per-execution `spent` and `total_cost` shrink by the reused units
+/// reported in the stats.
+pub fn engine_run_bouquet_resumable(
+    bouquet: &Bouquet,
+    db: &Database,
+    optimized: bool,
+    par: Parallelism,
+) -> Result<(EngineRunReport, ResumeStats), PbError> {
+    let mut sub =
+        EngineSubstrate::new(bouquet, db, FaultInjector::none()).with_engine_parallelism(par);
+    let run = if optimized {
+        bouquet.run_optimized_resumable_on(&mut sub)?
+    } else {
+        bouquet.run_basic_resumable_on(&mut sub)?
+    };
+    let report = EngineRunReport::from_run(&run.0, sub.result_rows().unwrap_or(0));
+    Ok((report, run.1))
 }
 
 #[cfg(test)]

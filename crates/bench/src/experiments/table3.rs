@@ -15,13 +15,16 @@
 
 use std::fmt::Write as _;
 
-use pb_bouquet::{Bouquet, BouquetConfig, Workload};
+use pb_bouquet::{Bouquet, BouquetConfig, ResumeStats, Workload};
 use pb_cost::{Estimator, Parallelism};
 use pb_engine::{ColumnOverride, Database, Engine};
 use pb_workloads::h_q8a_2d;
 use serde::Serialize;
 
-use crate::engine_driver::{engine_run_bouquet_with, engine_run_nat, measure_qa, EngineRunReport};
+use crate::engine_driver::{
+    engine_run_bouquet_resumable, engine_run_bouquet_with, engine_run_nat, measure_qa,
+    EngineRunReport,
+};
 use crate::table::{fnum, Table};
 
 /// Structured result of the Table 3 experiment (the `BENCH_table3.json`
@@ -38,9 +41,18 @@ pub struct Table3Report {
     pub oracle_cost: f64,
     pub basic: EngineRunReport,
     pub optimized: EngineRunReport,
+    /// The same driver runs with checkpoint/resume enabled: identical
+    /// decision sequences and result rows, smaller spends.
+    pub basic_resumed: EngineRunReport,
+    pub optimized_resumed: EngineRunReport,
+    pub basic_resume: ResumeStats,
+    pub optimized_resume: ResumeStats,
     /// Basic-driver (contour, plan, budget) sequence identical between the
     /// engine substrate and the simulator substrate at the measured `qa`.
     pub crosscheck_ok: bool,
+    /// Resumed runs reproduced the plain runs' decision sequences and
+    /// result rows while spending no more.
+    pub resume_ok: bool,
 }
 
 /// The experiment's setup: the 2D_H_Q8A workload with stale statistics and
@@ -116,6 +128,13 @@ pub fn basic_sequences_match(b: &Bouquet, db: &Database, engine_basic: &EngineRu
     sim_seq == eng_seq
 }
 
+fn decision_seq(r: &EngineRunReport) -> Vec<(usize, usize, f64)> {
+    r.executions
+        .iter()
+        .map(|e| (e.contour, e.plan, e.budget))
+        .collect()
+}
+
 /// Run the full experiment at scale factor `sf`, returning the rendered
 /// text and the structured report.
 pub fn run_at(sf: f64) -> (String, Table3Report) {
@@ -167,16 +186,42 @@ pub fn run_at_with(sf: f64, par: Parallelism) -> (String, Table3Report) {
     );
     let crosscheck_ok = basic_sequences_match(&b, &db, &basic);
 
+    // The same discovery with checkpoint/resume: re-executed prefixes are
+    // fast-forwarded, so the per-contour spends shrink while the decision
+    // sequence — which plan ran where with which budget — stays identical.
+    let (basic_res, basic_rs) =
+        engine_run_bouquet_resumable(&b, &db, false, par).expect("resumed basic engine run");
+    let (optd_res, optd_rs) =
+        engine_run_bouquet_resumable(&b, &db, true, par).expect("resumed optimized engine run");
+    let resume_ok = decision_seq(&basic_res) == decision_seq(&basic)
+        && decision_seq(&optd_res) == decision_seq(&optd)
+        && basic_res.result_rows == basic.result_rows
+        && optd_res.result_rows == optd.result_rows
+        && basic_res.total_cost <= basic.total_cost * (1.0 + 1e-9)
+        && optd_res.total_cost <= optd.total_cost * (1.0 + 1e-9);
+    assert!(resume_ok, "resume must not change decisions or overspend");
+
     let _ = writeln!(out, "contour-wise breakdown (engine cost units):");
     let mut t = Table::new(vec![
         "contour",
         "#exec (basic)",
         "cost (basic)",
+        "reused (basic)",
         "#exec (opt)",
         "cost (opt)",
+        "reused (opt)",
     ]);
     let bb = basic.contour_breakdown();
     let oo = optd.contour_breakdown();
+    let bbr = basic_res.contour_breakdown();
+    let oor = optd_res.contour_breakdown();
+    // Per-contour reused cost: plain spend minus resumed spend on the same
+    // contour (the decision sequences are identical, so rows line up).
+    let reused_on = |plain: &[(usize, usize, f64)], res: &[(usize, usize, f64)], cid: usize| {
+        let p = plain.iter().find(|r| r.0 == cid)?;
+        let r = res.iter().find(|r| r.0 == cid)?;
+        Some(p.2 - r.2)
+    };
     let max_contour = bb.iter().chain(&oo).map(|r| r.0).max().unwrap_or(0);
     for cid in 1..=max_contour {
         let b_row = bb.iter().find(|r| r.0 == cid);
@@ -185,16 +230,24 @@ pub fn run_at_with(sf: f64, par: Parallelism) -> (String, Table3Report) {
             format!("{cid}"),
             b_row.map(|r| r.1.to_string()).unwrap_or_else(|| "-".into()),
             b_row.map(|r| fnum(r.2)).unwrap_or_else(|| "-".into()),
+            reused_on(&bb, &bbr, cid)
+                .map(fnum)
+                .unwrap_or_else(|| "-".into()),
             o_row.map(|r| r.1.to_string()).unwrap_or_else(|| "-".into()),
             o_row.map(|r| fnum(r.2)).unwrap_or_else(|| "-".into()),
+            reused_on(&oo, &oor, cid)
+                .map(fnum)
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     t.row(vec![
         "total".into(),
         basic.executions.len().to_string(),
         fnum(basic.total_cost),
+        fnum(basic.total_cost - basic_res.total_cost),
         optd.executions.len().to_string(),
         fnum(optd.total_cost),
+        fnum(optd.total_cost - optd_res.total_cost),
     ]);
     let _ = writeln!(out, "{}", t.render());
 
@@ -216,6 +269,16 @@ pub fn run_at_with(sf: f64, par: Parallelism) -> (String, Table3Report) {
     );
     let _ = writeln!(
         out,
+        "with checkpoint/resume:   basic {:.1} (reused {}, {} resumed execs)  optimized {:.1} (reused {}, {} resumed execs)",
+        basic_res.total_cost / oracle_cost,
+        fnum(basic_rs.reused_cost),
+        basic_rs.resumed_execs,
+        optd_res.total_cost / oracle_cost,
+        fnum(optd_rs.reused_cost),
+        optd_rs.resumed_execs,
+    );
+    let _ = writeln!(
+        out,
         "(paper: NAT 579s, basic 117s, optimized 69s, optimal 16s — i.e. 36x/7.2x/4.3x)"
     );
     let _ = writeln!(out, "result rows: {}", basic.result_rows);
@@ -234,7 +297,12 @@ pub fn run_at_with(sf: f64, par: Parallelism) -> (String, Table3Report) {
         oracle_cost,
         basic,
         optimized: optd,
+        basic_resumed: basic_res,
+        optimized_resumed: optd_res,
+        basic_resume: basic_rs,
+        optimized_resume: optd_rs,
         crosscheck_ok,
+        resume_ok,
     };
     (out, report)
 }
@@ -268,5 +336,28 @@ mod tests {
         );
         assert!(opt >= 1.0);
         assert!(report.crosscheck_ok, "engine/simulator sequence mismatch");
+    }
+
+    #[test]
+    fn table3_resume_engages_and_strictly_improves() {
+        let (_, report) = run_at(0.01);
+        assert!(report.resume_ok);
+        assert!(
+            report.basic_resume.reused_cost > 0.0,
+            "basic run must reuse at least one checkpointed prefix"
+        );
+        assert!(
+            report.basic_resumed.total_cost < report.basic.total_cost,
+            "resume must strictly reduce the basic driver's spend: {} vs {}",
+            report.basic_resumed.total_cost,
+            report.basic.total_cost
+        );
+        // Reused + paid must reconstruct restart accounting exactly.
+        let recon = report.basic_resumed.total_cost + report.basic_resume.reused_cost;
+        assert!(
+            (recon - report.basic.total_cost).abs() <= 1e-6 * report.basic.total_cost,
+            "reused + paid must equal the plain spend: {recon} vs {}",
+            report.basic.total_cost
+        );
     }
 }

@@ -368,6 +368,99 @@ pub fn engine_mt_bench(
     ]))
 }
 
+/// Checkpoint/resume ASO benchmark on the engine substrate: the Table 3
+/// discovery runs plain and resumed, asserting the decision sequences and
+/// result rows are identical before reporting the per-driver and
+/// per-contour reused-vs-recomputed cost. Every field is a deterministic
+/// engine cost unit (no wall-clock), so the baseline comparison is exact —
+/// any drift in what resume reuses or pays fails the gate.
+pub fn resume_bench(sf: f64) -> Result<Value, String> {
+    use crate::engine_driver::{engine_run_bouquet_resumable, engine_run_bouquet_with, measure_qa};
+    let (w, b, db) = crate::experiments::table3::setup(sf);
+    let par = Parallelism::serial();
+
+    let qa = measure_qa(&db, &w.query, &w.ess).map_err(|e| format!("resume bench: qa: {e}"))?;
+    let oracle_plan = w.optimizer().optimize(&qa).plan;
+    let oracle_cost = Engine::new(&db, &w.query, &w.model.p)
+        .execute(&oracle_plan.root, f64::INFINITY)
+        .cost();
+
+    let seq = |r: &crate::engine_driver::EngineRunReport| -> Vec<(usize, usize, f64)> {
+        r.executions
+            .iter()
+            .map(|e| (e.contour, e.plan, e.budget))
+            .collect()
+    };
+    let run_pair = |optimized: bool| -> Result<_, String> {
+        let plain = engine_run_bouquet_with(&b, &db, optimized, par)
+            .map_err(|e| format!("resume bench: plain run: {e}"))?;
+        let (res, stats) = engine_run_bouquet_resumable(&b, &db, optimized, par)
+            .map_err(|e| format!("resume bench: resumed run: {e}"))?;
+        if seq(&plain) != seq(&res) || plain.result_rows != res.result_rows {
+            return Err("resume bench: resumed run diverged from plain run".to_string());
+        }
+        Ok((plain, res, stats))
+    };
+    let (basic, basic_res, basic_rs) = run_pair(false)?;
+    let (optd, optd_res, optd_rs) = run_pair(true)?;
+
+    // Per-contour reused-vs-recomputed spend (basic driver).
+    let bb = basic.contour_breakdown();
+    let bbr = basic_res.contour_breakdown();
+    let contours: Vec<Value> = bb
+        .iter()
+        .map(|&(cid, n, plain_cost)| {
+            let resumed_cost = bbr
+                .iter()
+                .find(|r| r.0 == cid)
+                .map(|r| r.2)
+                .unwrap_or(plain_cost);
+            obj(vec![
+                ("contour", Value::UInt(cid as u64)),
+                ("executions", Value::UInt(n as u64)),
+                ("recomputed_cost", Value::Float(resumed_cost)),
+                ("reused_cost", Value::Float(plain_cost - resumed_cost)),
+            ])
+        })
+        .collect();
+
+    Ok(obj(vec![
+        ("workload", Value::Str(w.name.clone())),
+        ("scale_factor", Value::Float(sf)),
+        ("oracle_cost", Value::Float(oracle_cost)),
+        ("basic_cost", Value::Float(basic.total_cost)),
+        ("basic_resumed_cost", Value::Float(basic_res.total_cost)),
+        ("basic_reused_cost", Value::Float(basic_rs.reused_cost)),
+        (
+            "basic_resumed_execs",
+            Value::UInt(basic_rs.resumed_execs as u64),
+        ),
+        ("optimized_cost", Value::Float(optd.total_cost)),
+        ("optimized_resumed_cost", Value::Float(optd_res.total_cost)),
+        ("optimized_reused_cost", Value::Float(optd_rs.reused_cost)),
+        (
+            "optimized_resumed_execs",
+            Value::UInt(optd_rs.resumed_execs as u64),
+        ),
+        ("aso_basic", Value::Float(basic.total_cost / oracle_cost)),
+        (
+            "aso_basic_resumed",
+            Value::Float(basic_res.total_cost / oracle_cost),
+        ),
+        ("aso_optimized", Value::Float(optd.total_cost / oracle_cost)),
+        (
+            "aso_optimized_resumed",
+            Value::Float(optd_res.total_cost / oracle_cost),
+        ),
+        ("sequences_identical", Value::Bool(true)),
+        (
+            "reuse_engaged",
+            Value::Bool(basic_rs.reused_cost > 0.0 || optd_rs.reused_cost > 0.0),
+        ),
+        ("basic_contours", Value::Arr(contours)),
+    ]))
+}
+
 /// Wall-clock fields (`*_s`): banded by the relative tolerance with an
 /// absolute noise floor. Everything else must match the baseline exactly,
 /// except ratio fields (see [`is_ratio_key`]).

@@ -19,7 +19,7 @@ use pb_faults::{FaultInjector, PbError};
 use crate::bouquet::Bouquet;
 use crate::drivers::robust::{RobustCtx, RobustEvent};
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
-use crate::substrate::{ExecutionSubstrate, SimulatorSubstrate};
+use crate::substrate::{ExecutionSubstrate, ResumeStats, SimulatorSubstrate};
 
 /// Safety valve: overflow contours beyond the grading (only reachable under
 /// model error). 64 doublings is far beyond any bounded δ.
@@ -38,6 +38,29 @@ impl Bouquet {
     /// substrate must be bound to this bouquet.
     pub fn run_basic_on<S: ExecutionSubstrate>(&self, sub: &mut S) -> Result<BouquetRun, PbError> {
         self.run_basic_core(sub, &mut RobustCtx::inert())
+    }
+
+    /// Run the basic driver with checkpoint/resume enabled on the simulator
+    /// substrate. The (contour, plan, budget) sequence, the completion
+    /// decision and everything learned are identical to
+    /// [`Bouquet::run_basic`] — resume never changes *what* happens, only
+    /// *what is paid*: prefixes an earlier partial execution already
+    /// completed are fast-forwarded instead of re-executed, so `total_cost`
+    /// shrinks by the reused units reported in the stats.
+    pub fn run_basic_resumable(&self, qa: &SelPoint) -> Result<(BouquetRun, ResumeStats), PbError> {
+        let mut sub = SimulatorSubstrate::new(self, qa, FaultInjector::none())?;
+        self.run_basic_resumable_on(&mut sub)
+    }
+
+    /// Run the basic driver with checkpoint/resume on an arbitrary
+    /// substrate (a no-op opt-in on substrates that do not support resume).
+    pub fn run_basic_resumable_on<S: ExecutionSubstrate>(
+        &self,
+        sub: &mut S,
+    ) -> Result<(BouquetRun, ResumeStats), PbError> {
+        sub.enable_checkpoint_resume();
+        let run = self.run_basic_core(sub, &mut RobustCtx::inert())?;
+        Ok((run, sub.resume_stats()))
     }
 
     /// Shared driver loop: the plain entry points use an inert robustness
@@ -84,6 +107,7 @@ impl Bouquet {
                         pid,
                         budget,
                         out.spent,
+                        out.reused,
                         out.completed,
                         out.error.is_some(),
                     );

@@ -33,7 +33,7 @@ use crate::contour::Contour;
 use crate::drivers::basic::MAX_OVERFLOW;
 use crate::drivers::robust::{RobustCtx, RobustEvent};
 use crate::drivers::{BouquetRun, ExecutionOutcome, PartialExec};
-use crate::substrate::{ExecutionSubstrate, SimulatorSubstrate};
+use crate::substrate::{ExecutionSubstrate, ResumeStats, SimulatorSubstrate};
 
 impl Bouquet {
     /// Run the optimized (Figure 13) driver at true location `qa` on the
@@ -50,6 +50,30 @@ impl Bouquet {
         sub: &mut S,
     ) -> Result<BouquetRun, PbError> {
         self.run_optimized_core(sub, &mut RobustCtx::inert())
+    }
+
+    /// Run the optimized driver with checkpoint/resume enabled on the
+    /// simulator substrate: identical decision sequence, qrun trajectory and
+    /// learning to [`Bouquet::run_optimized`], with already-completed
+    /// prefixes (including spilled discovery prefixes) fast-forwarded
+    /// instead of re-paid. See [`Bouquet::run_basic_resumable`].
+    pub fn run_optimized_resumable(
+        &self,
+        qa: &SelPoint,
+    ) -> Result<(BouquetRun, ResumeStats), PbError> {
+        let mut sub = SimulatorSubstrate::new(self, qa, FaultInjector::none())?;
+        self.run_optimized_resumable_on(&mut sub)
+    }
+
+    /// Run the optimized driver with checkpoint/resume on an arbitrary
+    /// substrate (a no-op opt-in on substrates that do not support resume).
+    pub fn run_optimized_resumable_on<S: ExecutionSubstrate>(
+        &self,
+        sub: &mut S,
+    ) -> Result<(BouquetRun, ResumeStats), PbError> {
+        sub.enable_checkpoint_resume();
+        let run = self.run_optimized_core(sub, &mut RobustCtx::inert())?;
+        Ok((run, sub.resume_stats()))
     }
 
     /// Shared driver loop (see [`Bouquet::run_basic_core`] for the inert /
@@ -153,6 +177,7 @@ impl Bouquet {
                     pid,
                     budget,
                     r.spent,
+                    r.reused,
                     r.completed,
                     r.error.is_some(),
                 );

@@ -48,6 +48,12 @@ pub struct RobustConfig {
     pub max_violations: usize,
     /// Drive with the optimized (Figure 13) driver instead of the basic one.
     pub optimized: bool,
+    /// Enable checkpoint/resume on the substrate. Reuse engages only while
+    /// no faults are armed — an injected fault is never replayed from or
+    /// masked by a checkpoint — so with a non-empty fault plan this only
+    /// discounts the healthy executions.
+    #[serde(default)]
+    pub resume: bool,
 }
 
 impl Default for RobustConfig {
@@ -57,6 +63,7 @@ impl Default for RobustConfig {
             plan_retries: 1,
             max_violations: 3,
             optimized: false,
+            resume: false,
         }
     }
 }
@@ -157,18 +164,23 @@ impl RobustCtx {
     /// less than the budget; aborts must burn exactly the budget; nothing
     /// may ever exceed it. These are the accounting invariants behind the
     /// worst-case multiplier, so breaking them is a monotonicity violation.
+    #[allow(clippy::too_many_arguments)] // mirrors the substrate outcome fields
     pub(crate) fn monitor(
         &mut self,
         contour: usize,
         plan: PlanId,
         budget: f64,
         spent: f64,
+        reused: f64,
         completed: bool,
         faulted: bool,
     ) {
         if !budget.is_finite() {
             return;
         }
+        // `spent` excludes checkpoint-reused work; the accounting invariants
+        // are stated in restart semantics, so the monitor adds it back.
+        let spent = spent + reused;
         let overcharge = spent > budget * (1.0 + 1e-9);
         let skewed_abort = !completed && !faulted && spent < budget * (1.0 - 1e-9);
         if overcharge || skewed_abort {
@@ -220,6 +232,9 @@ impl Bouquet {
         cfg: &RobustConfig,
     ) -> Result<RobustRun, PbError> {
         let mut rc = RobustCtx::new(cfg);
+        if cfg.resume {
+            sub.enable_checkpoint_resume();
+        }
         let run = if cfg.optimized {
             self.run_optimized_core(sub, &mut rc)?
         } else {

@@ -41,6 +41,7 @@ pub use eval::{EvalConfig, WorkloadEvaluation};
 pub use grading::IsoCostGrading;
 pub use metrics::{MetricsSummary, RobustnessDistribution};
 pub use substrate::{
-    measure_qa, EngineSubstrate, ExecutionSubstrate, SimulatorSubstrate, SubstrateOutcome,
+    measure_qa, EngineSubstrate, ExecutionSubstrate, ResumeStats, SimulatorSubstrate,
+    SubstrateOutcome,
 };
 pub use workload::Workload;

@@ -26,11 +26,12 @@
 //! `pb-bouquet` sits above both and owns the trait.
 
 use pb_cost::{NodeCost, Parallelism, SelPoint};
-use pb_engine::{Database, Engine, EngineOutcome};
-use pb_executor::{learnable_node, Executor};
+use pb_engine::{Database, Engine, EngineOutcome, ResumeBook};
+use pb_executor::{learnable_node, CostResumeBook, Executor};
 use pb_faults::{FaultInjector, PbError};
 use pb_optimizer::PlanId;
 use pb_plan::{DimId, PlanNode, QuerySpec};
+use serde::{Deserialize, Serialize};
 
 use crate::bouquet::Bouquet;
 
@@ -38,7 +39,14 @@ use crate::bouquet::Bouquet;
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubstrateOutcome {
     /// Cost units actually consumed (charged to the run unconditionally).
+    /// With checkpoint/resume enabled this is the cost of the *un-executed
+    /// suffix only*: the restart-identical cost minus [`Self::reused`].
     pub spent: f64,
+    /// Cost units fast-forwarded from checkpoints of earlier executions
+    /// instead of re-executed. Zero on the plain paths. `spent + reused`
+    /// is always the restart-semantics cost — resume never changes what is
+    /// learned, only what is paid.
+    pub reused: f64,
     /// The *query* finished (never true for spilled executions).
     pub completed: bool,
     /// Whether this execution ran a spilled prefix (Section 5.3).
@@ -58,6 +66,7 @@ impl SubstrateOutcome {
     fn plain(spent: f64, completed: bool, error: Option<PbError>) -> Self {
         SubstrateOutcome {
             spent,
+            reused: 0.0,
             completed,
             spilled: false,
             observed: Vec::new(),
@@ -65,6 +74,19 @@ impl SubstrateOutcome {
             error,
         }
     }
+}
+
+/// Aggregate counters for a substrate's checkpoint/resume machinery, read
+/// through [`ExecutionSubstrate::resume_stats`] (all-zero when resume is
+/// unsupported or disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResumeStats {
+    /// Total cost units fast-forwarded from checkpoints across the run.
+    pub reused_cost: f64,
+    /// Executions that engaged at least one checkpoint.
+    pub resumed_execs: usize,
+    /// Checkpoints currently retained.
+    pub checkpoints: usize,
 }
 
 /// A runtime surface the bouquet drivers can discover against.
@@ -102,6 +124,24 @@ pub trait ExecutionSubstrate {
     /// Whether a fault injector is armed (drivers relax first-quadrant
     /// assertions and clamp observations when it is).
     fn faults_active(&self) -> bool;
+
+    /// Opt in to checkpoint/resume: completed operator prefixes of partial
+    /// executions are checkpointed and later executions sharing them (the
+    /// same plan at the next contour budget, or a different plan sharing a
+    /// completed join-subtree prefix) are fast-forwarded instead of
+    /// re-executed. Observed selectivities, abort points and completion
+    /// decisions stay bit-identical to restart semantics; only
+    /// [`SubstrateOutcome::spent`] shrinks by the reused cost. Returns
+    /// whether the substrate supports resume (the default does not).
+    fn enable_checkpoint_resume(&mut self) -> bool {
+        false
+    }
+
+    /// Counters for the resume machinery; all-zero when resume is
+    /// unsupported or was never enabled.
+    fn resume_stats(&self) -> ResumeStats {
+        ResumeStats::default()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -117,6 +157,11 @@ pub struct SimulatorSubstrate<'a> {
     qa: SelPoint,
     ex: Executor<'a>,
     stack: Vec<NodeCost>,
+    /// Checkpoint book for resumable executions (`None` until
+    /// [`ExecutionSubstrate::enable_checkpoint_resume`]).
+    resume: Option<CostResumeBook>,
+    reused_cost: f64,
+    resumed_execs: usize,
 }
 
 impl<'a> SimulatorSubstrate<'a> {
@@ -143,7 +188,45 @@ impl<'a> SimulatorSubstrate<'a> {
             qa: qa.clone(),
             ex,
             stack: Vec::new(),
+            resume: None,
+            reused_cost: 0.0,
+            resumed_execs: 0,
         })
+    }
+
+    /// Chaos hook: corrupt every retained checkpoint. Subsequent lookups
+    /// fail bit-identity validation and executions restart from scratch.
+    pub fn corrupt_checkpoints(&mut self) {
+        if let Some(book) = self.resume.as_mut() {
+            book.corrupt_all();
+        }
+    }
+
+    /// Credit the largest checkpointed prefix of `root`'s first-executed
+    /// chain against `spent`, then record the chain subtrees this execution
+    /// completed. Returns the reused cost (zero with resume disabled, armed
+    /// faults, or a faulted execution — a failed run is never checkpointed
+    /// and never discounted, so it cannot double-charge).
+    fn resume_discount(
+        &mut self,
+        root: &PlanNode,
+        spent: f64,
+        completed: bool,
+        errored: bool,
+    ) -> f64 {
+        if self.ex.faults.is_active() || errored {
+            return 0.0;
+        }
+        let Some(book) = self.resume.as_mut() else {
+            return 0.0;
+        };
+        let credit = book.credit(&self.ex, root, &self.qa).min(spent);
+        book.record(&self.ex, root, &self.qa, spent, completed);
+        if credit > 0.0 {
+            self.reused_cost += credit;
+            self.resumed_execs += 1;
+        }
+        credit
     }
 }
 
@@ -156,7 +239,13 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
             budget,
             &mut self.stack,
         );
-        SubstrateOutcome::plain(out.spent(), out.completed(), out.error().cloned())
+        let root = &self.b.plan(pid).root;
+        let reused =
+            self.resume_discount(root, out.spent(), out.completed(), out.error().is_some());
+        let mut o =
+            SubstrateOutcome::plain(out.spent() - reused, out.completed(), out.error().cloned());
+        o.reused = reused;
+        o
     }
 
     fn execute_monitored(
@@ -166,9 +255,10 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
         budget: f64,
         spilled: bool,
     ) -> SubstrateOutcome {
-        let r =
-            self.ex
-                .execute_monitored(&self.b.plan(pid).root, &self.qa, resolved, budget, spilled);
+        let plan = &self.b.plan(pid).root;
+        let r = self
+            .ex
+            .execute_monitored(plan, &self.qa, resolved, budget, spilled);
         if !self.ex.faults.is_active() {
             if let Some((dim, v)) = r.learned {
                 debug_assert!(
@@ -177,8 +267,21 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
                 );
             }
         }
+        // A spilled run executes only the prefix below the first unresolved
+        // error node, so the checkpointable chain is that subtree's; the
+        // prefix "completed" when the error node consumed its entire input
+        // (the dimension resolved).
+        let (resume_root, prefix_completed) = if spilled {
+            let node = learnable_node(plan, &self.b.workload.query, resolved).map(|(n, _)| n);
+            (node.unwrap_or(plan), !r.resolved.is_empty())
+        } else {
+            (plan, r.completed)
+        };
+        let reused =
+            self.resume_discount(resume_root, r.spent, prefix_completed, r.error.is_some());
         SubstrateOutcome {
-            spent: r.spent,
+            spent: r.spent - reused,
+            reused,
             completed: r.completed,
             spilled,
             observed: r.learned.into_iter().collect(),
@@ -193,7 +296,13 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
         let out = self
             .ex
             .execute(&self.b.plan(pid).root, &self.qa, f64::INFINITY);
-        SubstrateOutcome::plain(out.spent(), out.completed(), out.error().cloned())
+        let root = &self.b.plan(pid).root;
+        let reused =
+            self.resume_discount(root, out.spent(), out.completed(), out.error().is_some());
+        let mut o =
+            SubstrateOutcome::plain(out.spent() - reused, out.completed(), out.error().cloned());
+        o.reused = reused;
+        o
     }
 
     fn run_native_at(&mut self, point: &SelPoint) -> f64 {
@@ -203,6 +312,19 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
 
     fn faults_active(&self) -> bool {
         self.ex.faults.is_active()
+    }
+
+    fn enable_checkpoint_resume(&mut self) -> bool {
+        self.resume.get_or_insert_with(CostResumeBook::new);
+        true
+    }
+
+    fn resume_stats(&self) -> ResumeStats {
+        ResumeStats {
+            reused_cost: self.reused_cost,
+            resumed_execs: self.resumed_execs,
+            checkpoints: self.resume.as_ref().map_or(0, CostResumeBook::len),
+        }
     }
 }
 
@@ -221,6 +343,11 @@ pub struct EngineSubstrate<'a> {
     faults: FaultInjector,
     /// Result cardinality of the last completed query execution.
     last_rows: Option<usize>,
+    /// Checkpoint book for resumable executions (`None` until
+    /// [`ExecutionSubstrate::enable_checkpoint_resume`]).
+    resume: Option<ResumeBook>,
+    reused_cost: f64,
+    resumed_execs: usize,
 }
 
 impl<'a> EngineSubstrate<'a> {
@@ -234,6 +361,39 @@ impl<'a> EngineSubstrate<'a> {
             engine: Engine::new(db, &w.query, &w.model.p),
             faults,
             last_rows: None,
+            resume: None,
+            reused_cost: 0.0,
+            resumed_execs: 0,
+        }
+    }
+
+    /// Chaos hook: corrupt every retained checkpoint's integrity checksum.
+    /// Subsequent lookups fail validation and executions restart from
+    /// scratch, re-capturing healthy snapshots as subtrees complete.
+    pub fn corrupt_checkpoints(&mut self) {
+        if let Some(book) = self.resume.as_mut() {
+            book.corrupt_all();
+        }
+    }
+
+    /// Execute `plan` through the checkpoint book when resume is enabled
+    /// and no faults are armed (checkpoints must never replay or mask an
+    /// injected fault), falling back to the plain fault-aware path
+    /// otherwise. Returns the outcome and the cost units fast-forwarded.
+    fn run_resumable(&mut self, plan: &PlanNode, budget: f64) -> (EngineOutcome, f64) {
+        match self.resume.as_mut() {
+            Some(book) if !self.faults.is_active() => {
+                let (out, reused) = self.engine.execute_resumable(plan, budget, book);
+                if reused > 0.0 {
+                    self.reused_cost += reused;
+                    self.resumed_execs += 1;
+                }
+                (out, reused)
+            }
+            _ => (
+                self.engine.execute_with_faults(plan, budget, &self.faults),
+                0.0,
+            ),
         }
     }
 
@@ -275,9 +435,12 @@ impl<'a> EngineSubstrate<'a> {
 impl ExecutionSubstrate for EngineSubstrate<'_> {
     fn execute_partial(&mut self, pid: PlanId, budget: f64) -> SubstrateOutcome {
         let plan = &self.b.plan(pid).root;
-        let out = self.engine.execute_with_faults(plan, budget, &self.faults);
+        let (out, reused) = self.run_resumable(plan, budget);
         self.note_completion(&out);
-        SubstrateOutcome::plain(out.cost(), out.completed(), out.error().cloned())
+        let mut o =
+            SubstrateOutcome::plain(out.cost() - reused, out.completed(), out.error().cloned());
+        o.reused = reused;
+        o
     }
 
     fn execute_monitored(
@@ -293,6 +456,7 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
                 // decides whether to retry unspilled.
                 return SubstrateOutcome {
                     spent: 0.0,
+                    reused: 0.0,
                     completed: false,
                     spilled,
                     observed: Vec::new(),
@@ -311,9 +475,7 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
             (Some((_, dims)), false) => (plan.clone(), Some(dims[0])),
             (None, _) => (plan.clone(), None),
         };
-        let out = self
-            .engine
-            .execute_with_faults(&exec_root, budget, &self.faults);
+        let (out, reused) = self.run_resumable(&exec_root, budget);
         let completed_query = out.completed() && !spilled;
         if completed_query {
             self.note_completion(&out);
@@ -336,7 +498,8 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
             }
         }
         SubstrateOutcome {
-            spent: out.cost(),
+            spent: out.cost() - reused,
+            reused,
             completed: completed_query,
             spilled,
             observed,
@@ -347,11 +510,12 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
 
     fn run_native(&mut self, pid: PlanId) -> SubstrateOutcome {
         let plan = &self.b.plan(pid).root;
-        let out = self
-            .engine
-            .execute_with_faults(plan, f64::INFINITY, &self.faults);
+        let (out, reused) = self.run_resumable(plan, f64::INFINITY);
         self.note_completion(&out);
-        SubstrateOutcome::plain(out.cost(), out.completed(), out.error().cloned())
+        let mut o =
+            SubstrateOutcome::plain(out.cost() - reused, out.completed(), out.error().cloned());
+        o.reused = reused;
+        o
     }
 
     fn run_native_at(&mut self, point: &SelPoint) -> f64 {
@@ -361,6 +525,19 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
 
     fn faults_active(&self) -> bool {
         self.faults.is_active()
+    }
+
+    fn enable_checkpoint_resume(&mut self) -> bool {
+        self.resume.get_or_insert_with(ResumeBook::new);
+        true
+    }
+
+    fn resume_stats(&self) -> ResumeStats {
+        ResumeStats {
+            reused_cost: self.reused_cost,
+            resumed_execs: self.resumed_execs,
+            checkpoints: self.resume.as_ref().map_or(0, ResumeBook::checkpoints),
+        }
     }
 }
 

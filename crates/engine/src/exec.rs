@@ -266,6 +266,8 @@ impl<'a> Engine<'a> {
             budget,
             instr: vec![NodeStats::default(); plan.size()],
             faults,
+            resume: None,
+            reused: 0.0,
         };
         let mut next_id = 0usize;
         // The root's output is never consumed by another operator, so it is
@@ -983,6 +985,8 @@ mod tests {
             budget: f64::INFINITY,
             instr: vec![NodeStats::default(); plan.size()],
             faults: &inert,
+            resume: None,
+            reused: 0.0,
         };
         let mut next_id = 0usize;
         let rel = eng.eval(&plan, &mut ctx, &mut next_id, false).ok().unwrap();

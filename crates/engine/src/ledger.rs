@@ -55,6 +55,14 @@ pub(crate) struct Ctx<'f> {
     pub budget: f64,
     pub instr: Vec<NodeStats>,
     pub faults: &'f FaultInjector,
+    /// Checkpoint book for resumable executions (`None` on the plain paths,
+    /// which stay bit-identical to the pre-resume code). Lookups and
+    /// captures happen at subtree boundaries in the vectorized engine.
+    pub resume: Option<&'f mut crate::vec_exec::ResumeBook>,
+    /// Cost units fast-forwarded from checkpoints instead of re-executed.
+    /// Part of `spent` (the outcome stays restart-identical); the substrate
+    /// subtracts it to charge only the un-executed suffix.
+    pub reused: f64,
 }
 
 impl Ctx<'_> {
@@ -143,6 +151,8 @@ mod tests {
             budget: 10.0,
             instr: Vec::new(),
             faults,
+            resume: None,
+            reused: 0.0,
         }
     }
 

@@ -28,3 +28,4 @@ mod vec_exec;
 
 pub use data::{ColumnOverride, Database, TableData};
 pub use exec::{Engine, EngineOutcome, Instrumentation, NodeStats};
+pub use vec_exec::ResumeBook;

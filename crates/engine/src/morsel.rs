@@ -138,6 +138,55 @@ where
     Ok(emitted)
 }
 
+/// Tuple-exact replay of one over-budget batch for the standard two-counter
+/// row phases (scan filters, index-entry walks, hash/anti-join probes):
+/// row `r` advances the item counter to `r + 1` and emits `emits(r)`
+/// tuples. The per-row emit counts are a pure function of the row, so they
+/// are precomputed fanned over `par`; the coordinator then issues the
+/// serial engine's exact ledger event sequence — one settle per row, one
+/// settle per emitted tuple — so the abort tuple, the clamped cost and the
+/// instrumentation are bit-identical for every worker count, including the
+/// fault-trigger event ordering an armed injector observes.
+///
+/// Only invoked when the batch-end value exceeds the budget, so the settle
+/// loop must abort; callers convert a completed replay into the typed
+/// anomaly via `drive_batches`.
+#[allow(clippy::too_many_arguments)] // mirrors the drive_batches replay contract
+pub(crate) fn replay_rows<E>(
+    par: Parallelism,
+    ctx: &mut Ctx<'_>,
+    instr_node: usize,
+    lo: usize,
+    hi: usize,
+    mut emitted: u64,
+    ph: &LinPhase,
+    emits: E,
+) -> Result<(), Halt>
+where
+    E: Fn(usize) -> u64 + Sync,
+{
+    let counts: Vec<u64> = if par.workers <= 1 || hi - lo < 2 {
+        (lo..hi).map(&emits).collect()
+    } else {
+        run_chunked(par, hi - lo, |_, range| {
+            range.map(|i| emits(lo + i)).collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    for (off, &k) in counts.iter().enumerate() {
+        let seen = (lo + off) as u64 + 1;
+        ctx.settle(lin2(ph.base, seen, ph.item_rate, emitted, ph.emit_rate))?;
+        for _ in 0..k {
+            emitted += 1;
+            ctx.settle(lin2(ph.base, seen, ph.item_rate, emitted, ph.emit_rate))?;
+            ctx.instr[instr_node].output_tuples += 1;
+        }
+    }
+    Ok(())
+}
+
 /// Ledger-only linear phase (hash-join build, aggregate input): the charge
 /// depends only on the item count, so the coordinator settles all batches
 /// up front and the (parallel) data work runs only if the phase fit the
@@ -474,6 +523,8 @@ mod tests {
             budget,
             instr: vec![crate::exec::NodeStats::default(); nodes],
             faults,
+            resume: None,
+            reused: 0.0,
         }
     }
 
@@ -518,6 +569,45 @@ mod tests {
         };
         for budget in [f64::INFINITY, 120.0, 60.0, 10.0, 1.5] {
             let serial = run(1, budget);
+            for w in [2, 3, 8] {
+                assert_eq!(serial, run(w, budget), "workers {w} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_rows_is_bit_identical_across_worker_counts() {
+        // Replays abort by construction (the batch-end value exceeded the
+        // budget); every worker count must stop at the same ledger event
+        // with the same clamped spend and the same emitted-tuple count.
+        let (lo, hi) = (4096usize, 8192usize);
+        let ph = LinPhase {
+            base: 1.0,
+            item_rate: 0.01,
+            emit_rate: 0.002,
+        };
+        let emits = |i: usize| u64::from(i.is_multiple_of(5)) * (1 + (i % 3) as u64);
+        let inert = FaultInjector::none();
+        let run = |workers: usize, budget: f64| {
+            let mut c = ctx(budget, &inert, 1);
+            let aborted = matches!(
+                replay_rows(
+                    Parallelism::new(workers),
+                    &mut c,
+                    0,
+                    lo,
+                    hi,
+                    900,
+                    &ph,
+                    emits
+                ),
+                Err(Halt::Abort)
+            );
+            (aborted, c.spent.to_bits(), c.instr[0].output_tuples)
+        };
+        for budget in [55.0, 70.0, 85.0] {
+            let serial = run(1, budget);
+            assert!(serial.0, "replay must abort at budget {budget}");
             for w in [2, 3, 8] {
                 assert_eq!(serial, run(w, budget), "workers {w} budget {budget}");
             }

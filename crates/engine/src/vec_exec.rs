@@ -27,7 +27,7 @@ use crate::exec::{index_range, Engine, EngineOutcome, Instrumentation, NodeStats
 use crate::ledger::{lin2, lin3, replay_anomaly, Ctx, Halt, BATCH};
 use crate::morsel::{
     charge_linear, drive_batches, drive_items, par_group_counts, par_key_set, par_stable_argsort,
-    JoinTable, LinPhase,
+    replay_rows, JoinTable, LinPhase,
 };
 
 /// Multiply–xorshift hasher for the vectorized engine's internal hash
@@ -64,10 +64,110 @@ pub(crate) type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
 /// Columnar intermediate: one `Vec<i64>` per physical column of the
 /// concatenated base-relation blocks. With `store == false` (plan root,
 /// spill input) only `rels` is meaningful — rows are counted, not kept.
+#[derive(Clone)]
 struct VRel {
     rels: Vec<RelIdx>,
     cols: Vec<Vec<i64>>,
     len: usize,
+}
+
+/// One completed-subtree checkpoint: the materialized intermediate, the
+/// ledger endpoint and the subtree's instrumentation slice, all captured at
+/// the subtree boundary. `checksum` guards integrity — a corrupted snapshot
+/// fails validation at lookup and the subtree re-executes from scratch.
+#[derive(Clone)]
+struct Snapshot {
+    spent_after: f64,
+    vrel: VRel,
+    stats: Vec<NodeStats>,
+    checksum: u64,
+}
+
+fn snapshot_checksum(spent_after: f64, vrel: &VRel, stats: &[NodeStats]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FastHasher::default();
+    h.write_u64(spent_after.to_bits());
+    h.write_usize(vrel.len);
+    h.write_usize(vrel.rels.len());
+    for &r in &vrel.rels {
+        h.write_usize(r);
+    }
+    for col in &vrel.cols {
+        h.write_usize(col.len());
+        for &v in col {
+            h.write_i64(v);
+        }
+    }
+    for s in stats {
+        h.write_u64(s.output_tuples);
+        h.write_u64(u64::from(s.complete));
+    }
+    h.finish()
+}
+
+/// Checkpoint book for resumable vectorized executions.
+///
+/// Keyed by `(subtree fingerprint, ledger value at subtree entry, store
+/// flag)`: a hit means the exact same subtree previously ran to completion
+/// from the exact same ledger state, so fast-forwarding the ledger to the
+/// recorded endpoint and grafting the materialized intermediate is
+/// bit-identical to re-executing it — same `spent` bits, same
+/// instrumentation, same columns. Keying on the entry value is what makes
+/// both reuse modes fall out of one mechanism: the *same* plan re-run at
+/// the next contour budget hits every completed prefix in turn (each
+/// subtree re-enters at the identical ledger value), and a *different*
+/// plan sharing a completed join-subtree prefix grafts it because a shared
+/// first-executed prefix starts from the same ledger value too.
+///
+/// A hit additionally requires the recorded endpoint to fit the current
+/// budget (the closed-form ledger values inside a subtree are weakly
+/// monotone, so endpoint ≤ budget guarantees a restart would complete the
+/// subtree without aborting) and the snapshot to pass its checksum
+/// (corrupt checkpoints fall back to restart — never a double charge).
+#[derive(Default)]
+pub struct ResumeBook {
+    entries: FastMap<(u64, u64, bool), Snapshot>,
+    hits: u64,
+}
+
+impl ResumeBook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retained subtree checkpoints.
+    pub fn checkpoints(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of subtree fast-forwards served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Chaos hook: invalidate every checkpoint's integrity checksum.
+    /// Subsequent lookups fail validation and re-execute from scratch,
+    /// re-capturing healthy snapshots as they complete.
+    pub fn corrupt_all(&mut self) {
+        for snap in self.entries.values_mut() {
+            snap.checksum ^= 0x5EED_BAD0_DEAD_BEEF;
+        }
+    }
+
+    fn lookup(&mut self, key: &(u64, u64, bool), budget: f64) -> Option<Snapshot> {
+        let snap = self.entries.get(key)?;
+        if snap.spent_after > budget
+            || snapshot_checksum(snap.spent_after, &snap.vrel, &snap.stats) != snap.checksum
+        {
+            return None;
+        }
+        self.hits += 1;
+        Some(snap.clone())
+    }
+
+    fn insert(&mut self, key: (u64, u64, bool), snap: Snapshot) {
+        self.entries.insert(key, snap);
+    }
 }
 
 /// A residual join edge pre-resolved to (side, column) coordinates so the
@@ -151,14 +251,47 @@ impl Engine<'_> {
         budget: f64,
         faults: &FaultInjector,
     ) -> EngineOutcome {
+        self.vec_run(plan, budget, faults, None).0
+    }
+
+    /// Resumable vectorized execution: the outcome — cost bits, rows,
+    /// instrumentation, abort point — is bit-identical to
+    /// [`Engine::execute`] at the same budget, but subtrees checkpointed in
+    /// `book` by earlier executions are fast-forwarded instead of
+    /// re-executed. Returns the outcome plus the cost units reused; the
+    /// reused units are *included* in the outcome's cost (restart
+    /// accounting), so the caller charges `cost − reused` for the work
+    /// actually performed. Checkpoints never inject faults, so this path
+    /// always runs with an inert injector.
+    pub fn execute_resumable(
+        &self,
+        plan: &PlanNode,
+        budget: f64,
+        book: &mut ResumeBook,
+    ) -> (EngineOutcome, f64) {
+        let inert = FaultInjector::none();
+        self.vec_run(plan, budget, &inert, Some(book))
+    }
+
+    fn vec_run<'f>(
+        &self,
+        plan: &PlanNode,
+        budget: f64,
+        faults: &'f FaultInjector,
+        resume: Option<&'f mut ResumeBook>,
+    ) -> (EngineOutcome, f64) {
         let mut ctx = Ctx {
             spent: 0.0,
             budget,
             instr: vec![NodeStats::default(); plan.size()],
             faults,
+            resume,
+            reused: 0.0,
         };
         let mut next_id = 0usize;
-        match self.veval(plan, &mut ctx, &mut next_id, false) {
+        let res = self.veval(plan, &mut ctx, &mut next_id, false);
+        let reused = ctx.reused;
+        let outcome = match res {
             Ok(_) => {
                 let rows = ctx.instr[0].output_tuples as usize;
                 EngineOutcome::Completed {
@@ -176,7 +309,8 @@ impl Engine<'_> {
                 cost: ctx.spent,
                 instr: Instrumentation { nodes: ctx.instr },
             },
-        }
+        };
+        (outcome, reused)
     }
 
     fn resolve_residuals(
@@ -238,34 +372,28 @@ impl Engine<'_> {
             };
             (k, data)
         };
+        let par = self.mpar(entries.len());
+        let ph = LinPhase {
+            base,
+            item_rate: entry_rate,
+            emit_rate: p.emit_tuple,
+        };
         let emitted = drive_batches(
-            self.mpar(entries.len()),
+            par,
             ctx,
             Some(my_id),
             entries.len(),
-            &LinPhase {
-                base,
-                item_rate: entry_rate,
-                emit_rate: p.emit_tuple,
-            },
+            &ph,
             compute,
             |data| {
                 for (o, d) in cols.iter_mut().zip(data) {
                     o.extend(d);
                 }
             },
-            |ctx, lo, hi, mut emitted| {
-                let mut seen = lo as u64;
-                for &(_, r) in &entries[lo..hi] {
-                    seen += 1;
-                    ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
-                    if pass(r as usize) {
-                        emitted += 1;
-                        ctx.settle(lin2(base, seen, entry_rate, emitted, p.emit_tuple))?;
-                        ctx.instr[my_id].output_tuples += 1;
-                    }
-                }
-                Ok(())
+            |ctx, lo, hi, emitted| {
+                replay_rows(par, ctx, my_id, lo, hi, emitted, &ph, |i| {
+                    u64::from(pass(entries[i].1 as usize))
+                })
             },
         )?;
         ctx.instr[my_id].complete = true;
@@ -329,9 +457,59 @@ impl Engine<'_> {
         replay_anomaly()
     }
 
+    /// Evaluate a subtree vectorized, consulting the checkpoint book when
+    /// one is installed: a validated hit fast-forwards the ledger to the
+    /// recorded endpoint and grafts the materialized intermediate; a miss
+    /// runs [`Engine::veval_inner`] and checkpoints the subtree if it
+    /// completes. With no book (or an armed injector) this is exactly
+    /// `veval_inner` — the plain paths stay bit-identical.
+    fn veval(
+        &self,
+        node: &PlanNode,
+        ctx: &mut Ctx<'_>,
+        next_id: &mut usize,
+        store: bool,
+    ) -> Result<VRel, Halt> {
+        if ctx.resume.is_none() || ctx.faults.is_active() {
+            return self.veval_inner(node, ctx, next_id, store);
+        }
+        let my_id = *next_id;
+        let size = node.size();
+        let key = (node.fingerprint().0, ctx.spent.to_bits(), store);
+        let budget = ctx.budget;
+        let hit = ctx
+            .resume
+            .as_deref_mut()
+            .and_then(|book| book.lookup(&key, budget));
+        if let Some(snap) = hit {
+            ctx.reused += snap.spent_after - ctx.spent;
+            ctx.spent = snap.spent_after;
+            ctx.instr[my_id..my_id + size].clone_from_slice(&snap.stats);
+            *next_id = my_id + size;
+            return Ok(snap.vrel);
+        }
+        let out = self.veval_inner(node, ctx, next_id, store)?;
+        if ctx.instr[my_id].complete {
+            let stats = ctx.instr[my_id..my_id + size].to_vec();
+            let checksum = snapshot_checksum(ctx.spent, &out, &stats);
+            if let Some(book) = ctx.resume.as_deref_mut() {
+                book.insert(
+                    key,
+                    Snapshot {
+                        spent_after: ctx.spent,
+                        vrel: out.clone(),
+                        stats,
+                        checksum,
+                    },
+                );
+            }
+        }
+        Ok(out)
+    }
+
     /// Evaluate a subtree vectorized. Mirrors `Engine::eval` operator by
     /// operator; every phase settles via the same closed forms.
-    fn veval(
+    fn veval_inner(
         &self,
         node: &PlanNode,
         ctx: &mut Ctx<'_>,
@@ -382,39 +560,33 @@ impl Engine<'_> {
                         (k, data)
                     }
                 };
-                let emitted = drive_batches(
-                    self.mpar(t.rows),
-                    ctx,
-                    Some(my_id),
-                    t.rows,
-                    &LinPhase {
-                        base,
-                        item_rate: row_rate,
-                        emit_rate: p.emit_tuple,
-                    },
-                    compute,
-                    |data| {
-                        for (o, d) in cols.iter_mut().zip(data) {
-                            o.extend(d);
-                        }
-                    },
-                    |ctx, lo, hi, mut emitted| {
-                        let mut seen = lo as u64;
-                        for r in lo..hi {
-                            seen += 1;
-                            ctx.settle(lin2(base, seen, row_rate, emitted, p.emit_tuple))?;
-                            if preds
-                                .iter()
-                                .all(|pr| eval_pred(pr, t.columns[pr.column.column as usize][r]))
-                            {
-                                emitted += 1;
-                                ctx.settle(lin2(base, seen, row_rate, emitted, p.emit_tuple))?;
-                                ctx.instr[my_id].output_tuples += 1;
+                let par = self.mpar(t.rows);
+                let ph = LinPhase {
+                    base,
+                    item_rate: row_rate,
+                    emit_rate: p.emit_tuple,
+                };
+                let emitted =
+                    drive_batches(
+                        par,
+                        ctx,
+                        Some(my_id),
+                        t.rows,
+                        &ph,
+                        compute,
+                        |data| {
+                            for (o, d) in cols.iter_mut().zip(data) {
+                                o.extend(d);
                             }
-                        }
-                        Ok(())
-                    },
-                )?;
+                        },
+                        |ctx, lo, hi, emitted| {
+                            replay_rows(par, ctx, my_id, lo, hi, emitted, &ph, |r| {
+                                u64::from(preds.iter().all(|pr| {
+                                    eval_pred(pr, t.columns[pr.column.column as usize][r])
+                                }))
+                            })
+                        },
+                    )?;
                 ctx.instr[my_id].complete = true;
                 Ok(VRel {
                     rels: vec![*rel],
@@ -529,49 +701,36 @@ impl Engine<'_> {
                     };
                     (k, data)
                 };
+                let par = self.mpar(pr.len);
+                let ph = LinPhase {
+                    base: pbase,
+                    item_rate: p.hash_probe,
+                    emit_rate: p.emit_tuple,
+                };
                 let emitted = drive_batches(
-                    self.mpar(pr.len),
+                    par,
                     ctx,
                     Some(my_id),
                     pr.len,
-                    &LinPhase {
-                        base: pbase,
-                        item_rate: p.hash_probe,
-                        emit_rate: p.emit_tuple,
-                    },
+                    &ph,
                     compute,
                     |data| {
                         for (o, d) in cols.iter_mut().zip(data) {
                             o.extend(d);
                         }
                     },
-                    |ctx, lo, hi, mut emitted| {
-                        for (off, &v) in pcol[lo..hi].iter().enumerate() {
-                            let i = lo + off;
-                            ctx.settle(lin2(
-                                pbase,
-                                i as u64 + 1,
-                                p.hash_probe,
-                                emitted,
-                                p.emit_tuple,
-                            ))?;
-                            if let Some(bs) = table.get(v) {
+                    |ctx, lo, hi, emitted| {
+                        replay_rows(par, ctx, my_id, lo, hi, emitted, &ph, |i| {
+                            let mut k = 0u64;
+                            if let Some(bs) = table.get(pcol[i]) {
                                 for &bi in bs {
                                     if res_pass(&residuals, &b.cols, bi as usize, &pr.cols, i) {
-                                        emitted += 1;
-                                        ctx.settle(lin2(
-                                            pbase,
-                                            i as u64 + 1,
-                                            p.hash_probe,
-                                            emitted,
-                                            p.emit_tuple,
-                                        ))?;
-                                        ctx.instr[my_id].output_tuples += 1;
+                                        k += 1;
                                     }
                                 }
                             }
-                        }
-                        Ok(())
+                            k
+                        })
                     },
                 )?;
                 ctx.instr[my_id].complete = true;
@@ -954,45 +1113,28 @@ impl Engine<'_> {
                     };
                     (k, data)
                 };
+                let par = self.mpar(l.len);
+                let ph = LinPhase {
+                    base: pbase,
+                    item_rate: p.hash_probe,
+                    emit_rate: p.emit_tuple,
+                };
                 let emitted = drive_batches(
-                    self.mpar(l.len),
+                    par,
                     ctx,
                     Some(my_id),
                     l.len,
-                    &LinPhase {
-                        base: pbase,
-                        item_rate: p.hash_probe,
-                        emit_rate: p.emit_tuple,
-                    },
+                    &ph,
                     compute,
                     |data| {
                         for (o, d) in cols.iter_mut().zip(data) {
                             o.extend(d);
                         }
                     },
-                    |ctx, lo, hi, mut emitted| {
-                        for (off, v) in lcol[lo..hi].iter().enumerate() {
-                            let i = lo + off;
-                            ctx.settle(lin2(
-                                pbase,
-                                i as u64 + 1,
-                                p.hash_probe,
-                                emitted,
-                                p.emit_tuple,
-                            ))?;
-                            if !keys.contains(v) {
-                                emitted += 1;
-                                ctx.settle(lin2(
-                                    pbase,
-                                    i as u64 + 1,
-                                    p.hash_probe,
-                                    emitted,
-                                    p.emit_tuple,
-                                ))?;
-                                ctx.instr[my_id].output_tuples += 1;
-                            }
-                        }
-                        Ok(())
+                    |ctx, lo, hi, emitted| {
+                        replay_rows(par, ctx, my_id, lo, hi, emitted, &ph, |i| {
+                            u64::from(!keys.contains(&lcol[i]))
+                        })
                     },
                 )?;
                 ctx.instr[my_id].complete = true;
@@ -1148,6 +1290,8 @@ mod tests {
             budget: f64::INFINITY,
             instr: vec![NodeStats::default(); plan.size()],
             faults: &inert,
+            resume: None,
+            reused: 0.0,
         };
         let mut next_id = 0usize;
         let rel = eng

@@ -363,6 +363,89 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Closed-form checkpoint book for the cost-unit simulator — the
+/// [`Executor`]'s side of the substrate checkpoint/resume contract.
+///
+/// The engine checkpoints a plan's completed operator prefix at batch
+/// boundaries; the simulator mirrors that with arithmetic. A plan's
+/// checkpointable prefixes are the subtrees along its first-executed chain
+/// ([`PlanNode::exec_chain`]): a budget-limited run completes exactly the
+/// chain subtrees whose standalone actual cost fits the spend. The book
+/// records those completed subtrees by structural fingerprint; a later
+/// execution — the same plan at the next contour budget, or a different
+/// plan sharing a join-subtree prefix — is credited the largest recorded
+/// prefix on its own chain and pays only the un-executed suffix.
+///
+/// Every stored cost is validated bit-for-bit against a recomputation at
+/// use time (the simulator analogue of a checkpoint checksum): a corrupted
+/// entry yields no credit, so the execution falls back to full restart
+/// charging — never a double charge, never a changed observation.
+#[derive(Debug, Clone, Default)]
+pub struct CostResumeBook {
+    /// Completed chain-subtree fingerprint → standalone actual cost.
+    done: std::collections::BTreeMap<u64, f64>,
+}
+
+impl CostResumeBook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded checkpoints.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// Largest recorded-and-valid prefix credit on `root`'s first-executed
+    /// chain, in cost units at the true location `qa`. Entries whose stored
+    /// cost does not reproduce bit-identically are ignored (checksum
+    /// failure → restart semantics).
+    pub fn credit(&self, ex: &Executor<'_>, root: &PlanNode, qa: &[f64]) -> f64 {
+        let mut credit = 0.0;
+        for sub in root.exec_chain() {
+            if let Some(&stored) = self.done.get(&sub.fingerprint().0) {
+                let cost = ex.actual_cost(sub, qa);
+                if stored.to_bits() == cost.to_bits() && cost > credit {
+                    credit = cost;
+                }
+            }
+        }
+        credit
+    }
+
+    /// Record the prefixes completed by an execution of `root` that spent
+    /// `spent` cost units (`completed` marks a full completion, which
+    /// checkpoints the entire chain regardless of the spend bookkeeping).
+    pub fn record(
+        &mut self,
+        ex: &Executor<'_>,
+        root: &PlanNode,
+        qa: &[f64],
+        spent: f64,
+        completed: bool,
+    ) {
+        for sub in root.exec_chain() {
+            let cost = ex.actual_cost(sub, qa);
+            if completed || cost <= spent {
+                self.done.insert(sub.fingerprint().0, cost);
+            }
+        }
+    }
+
+    /// Chaos hook: corrupt every stored checkpoint. Subsequent credit
+    /// lookups fail their bit-identity validation and fall back to restart
+    /// charging.
+    pub fn corrupt_all(&mut self) {
+        for v in self.done.values_mut() {
+            *v = f64::from_bits(v.to_bits() ^ 1) + 1.0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +606,46 @@ mod tests {
         assert!(!r.completed);
         assert!(r.learned.is_none());
         assert_eq!(r.spent, cost * 0.5);
+    }
+
+    #[test]
+    fn resume_book_credits_recorded_prefixes_and_rejects_corruption() {
+        let (cat, q, m) = setup();
+        let ex = Executor::new(Coster::new(&cat, &q, &m));
+        let qa = [0.05, 2e-6];
+        let plan = sample_plan();
+        let chain = plan.exec_chain();
+        let leaf_cost = ex.actual_cost(chain[0], &qa);
+        let mid_cost = ex.actual_cost(chain[1], &qa);
+
+        let mut book = CostResumeBook::new();
+        assert_eq!(book.credit(&ex, &plan, &qa), 0.0);
+        // An abort that spent enough for the leaf but not the hash join
+        // checkpoints only the leaf.
+        book.record(&ex, &plan, &qa, (leaf_cost + mid_cost) / 2.0, false);
+        assert_eq!(book.credit(&ex, &plan, &qa).to_bits(), leaf_cost.to_bits());
+        // A deeper abort checkpoints the join prefix too.
+        book.record(&ex, &plan, &qa, mid_cost * 1.01, false);
+        assert_eq!(book.credit(&ex, &plan, &qa).to_bits(), mid_cost.to_bits());
+        // A different plan sharing the hash-join prefix grafts the same
+        // credit.
+        let other = PlanNode::SortMergeJoin {
+            left: Box::new(chain[1].clone()),
+            right: Box::new(PlanNode::SeqScan { rel: 2 }),
+            edges: vec![1],
+            sort_left: true,
+            sort_right: true,
+        };
+        assert_eq!(book.credit(&ex, &other, &qa).to_bits(), mid_cost.to_bits());
+        // Corrupt checkpoints yield zero credit (restart fallback).
+        book.corrupt_all();
+        assert_eq!(book.credit(&ex, &plan, &qa), 0.0);
+        // Re-recording heals the book.
+        book.record(&ex, &plan, &qa, ex.actual_cost(&plan, &qa), true);
+        assert_eq!(
+            book.credit(&ex, &plan, &qa).to_bits(),
+            ex.actual_cost(&plan, &qa).to_bits()
+        );
     }
 
     #[test]

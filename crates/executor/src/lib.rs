@@ -24,4 +24,4 @@
 
 pub mod executor;
 
-pub use executor::{learnable_node, ExecOutcome, Executor, RunResult};
+pub use executor::{learnable_node, CostResumeBook, ExecOutcome, Executor, RunResult};

@@ -223,6 +223,29 @@ impl PlanNode {
         }
     }
 
+    /// Subtrees along the first-executed chain: the nodes reached by
+    /// repeatedly descending into the first-executed child (`children()[0]`
+    /// — the build side of a hash join, the left input of a merge or anti
+    /// join, the outer of a nested-loops join), returned deepest-first with
+    /// the full plan last. Every operator evaluates its first child to
+    /// completion before doing its own work, so a budget-limited execution
+    /// completes exactly the chain subtrees whose cost fits the spend —
+    /// these are the checkpointable prefixes used by the substrate
+    /// checkpoint/resume contract.
+    pub fn exec_chain(&self) -> Vec<&PlanNode> {
+        let mut chain = Vec::new();
+        let mut node = self;
+        loop {
+            chain.push(node);
+            match node.children().first() {
+                Some(c) => node = c,
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
     /// Pretty-print an EXPLAIN-style operator tree.
     pub fn explain(&self, query: &QuerySpec, catalog: &Catalog) -> String {
         let mut out = String::new();
@@ -460,6 +483,27 @@ mod tests {
         assert_eq!(p.size(), 4);
         assert_eq!(p.depth(), 3);
         assert_eq!(p.clone().spilled().size(), 5);
+    }
+
+    #[test]
+    fn exec_chain_follows_first_executed_child() {
+        let p = sample_plan();
+        let chain = p.exec_chain();
+        // IndexScan leaf first, then the hash join (build side), then root.
+        assert_eq!(chain.len(), 3);
+        assert!(matches!(chain[0], PlanNode::IndexScan { rel: 0, .. }));
+        assert!(matches!(chain[1], PlanNode::HashJoin { .. }));
+        assert!(matches!(chain[2], PlanNode::IndexNLJoin { .. }));
+        assert_eq!(chain[2].fingerprint(), p.fingerprint());
+        // A shared prefix fingerprints identically from a different root.
+        let other = PlanNode::SortMergeJoin {
+            left: Box::new(chain[1].clone()),
+            right: Box::new(PlanNode::SeqScan { rel: 2 }),
+            edges: vec![1],
+            sort_left: true,
+            sort_right: true,
+        };
+        assert_eq!(other.exec_chain()[1].fingerprint(), chain[1].fingerprint());
     }
 
     #[test]
