@@ -18,6 +18,10 @@
 //! pbq engine-mt [--sf X] [--workers 1,2,4] [--json PATH]  # morsel scaling curve
 //! pbq bench-check [--baseline PATH] [--update] [--tolerance F]  # regression gate
 //! pbq sql "SELECT ... ?"  [f1,f2,...]        # ad-hoc SQL: identify (+run)
+//! pbq serve [--addr A] [--workloads W1,W2] [--workers N] [--queue-cap N]
+//!           [--tenant-cap F] [--smoke]       # bouquet-as-a-service server
+//! pbq serve-bench [--clients 1,2,4,8] [--requests N] [--json PATH]
+//!                                            # concurrent-client sweep
 //! pbq chaos [--seed N]                       # fault-injection campaign
 //! pbq table3 [--sf N] [--json PATH]          # engine-backed Table 3 + cross-check
 //! ```
@@ -55,6 +59,8 @@ fn main() {
         "engine-mt" => engine_mt(&args[1..]),
         "bench-check" => bench_check(&args[1..]),
         "sql" => sql_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "serve-bench" => serve_bench_cmd(&args[1..]),
         "chaos" => chaos_cmd(&args[1..]),
         "table3" => table3_cmd(&args[1..]),
         _ => usage(),
@@ -99,7 +105,8 @@ fn extract_jobs_flag(mut args: Vec<String>) -> Vec<String> {
 fn usage() {
     eprintln!(
         "usage: pbq <list|show|classify|diagram|optimize|identify|run|sensitivity|speedup\
-         |identify-cache|identify-sampled|engine-speedup|engine-mt|bench-check|chaos|table3> \
+         |identify-cache|identify-sampled|engine-speedup|engine-mt|bench-check|serve\
+         |serve-bench|chaos|table3> \
          [WORKLOAD] [args...] \
          [--jobs N] [--engine-jobs N]\nrun `pbq list` for workload names"
     );
@@ -812,6 +819,126 @@ fn identify_sampled_cmd(w: pb_bouquet::Workload, rest: &[String]) {
 /// table and exits non-zero if any robustness invariant is breached (panic,
 /// double charging, nondeterminism, or an empty fault plan failing to be
 /// bit-identical to the plain drivers).
+/// Bouquet-as-a-service: `pbq serve` boots the multi-tenant server and
+/// blocks until a client drains it (`--smoke` instead runs the scripted
+/// protocol round-trip + seeded server-fault chaos block and exits).
+fn serve_cmd(rest: &[String]) {
+    use pb_server::{PbServer, ServerConfig};
+
+    if rest.iter().any(|a| a == "--smoke") {
+        match pb_bench::serve::smoke() {
+            Ok(report) => {
+                print!("{report}");
+                println!("serve smoke OK");
+            }
+            Err(e) => {
+                eprintln!("serve smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let flag = |name: &str| {
+        rest.iter().position(|a| a == name).map(|i| {
+            rest.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let mut cfg = ServerConfig::default();
+    if let Some(a) = flag("--addr") {
+        cfg.addr = a.to_string();
+    }
+    if let Some(w) = flag("--workloads") {
+        cfg.workloads = w.split(',').map(|s| s.trim().to_string()).collect();
+    }
+    if let Some(n) = flag("--workers") {
+        cfg.workers = n.parse().expect("--workers needs a count");
+    }
+    if let Some(n) = flag("--queue-cap") {
+        cfg.queue_cap = n.parse().expect("--queue-cap needs a count");
+    }
+    if let Some(f) = flag("--tenant-cap") {
+        cfg.tenant_cap = f.parse().expect("--tenant-cap needs cost units");
+    }
+    if let Some(ms) = flag("--deadline-ms") {
+        cfg.default_deadline_ms = Some(ms.parse().expect("--deadline-ms needs milliseconds"));
+    }
+    let server = match PbServer::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve FAILED to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("pb-server listening on {}", server.addr());
+    println!("(newline-delimited JSON; send \"Drain\" to shut down gracefully)");
+    let stats = server.wait();
+    println!(
+        "drained: {} accepted, {} completed, {} degraded, {} budget-exhausted, \
+         {} cancelled, {} failed, {} rejected",
+        stats.accepted,
+        stats.completed,
+        stats.degraded,
+        stats.budget_exhausted,
+        stats.cancelled,
+        stats.failed,
+        stats.rejected
+    );
+}
+
+/// Concurrent-client serving sweep: `pbq serve-bench [--clients 1,2,4,8]
+/// [--requests N] [--json BENCH_serve.json]`. Shows the bounded admission
+/// queue shedding load while tail latency stays bounded; `--json` merges
+/// the rows into the artifact's `serve` section.
+fn serve_bench_cmd(rest: &[String]) {
+    let clients: Vec<usize> = match rest.iter().position(|a| a == "--clients") {
+        Some(i) => rest
+            .get(i + 1)
+            .map(|s| {
+                s.split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .expect("--clients takes a comma list, e.g. 1,2,4,8")
+                    })
+                    .collect()
+            })
+            .expect("--clients takes a comma list, e.g. 1,2,4,8"),
+        None => vec![1, 2, 4, 8],
+    };
+    let requests: usize = match rest.iter().position(|a| a == "--requests") {
+        Some(i) => rest
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--requests needs a count");
+                std::process::exit(2);
+            }),
+        None => 6,
+    };
+    let json_path = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.get(i + 1).expect("--json PATH").clone());
+
+    println!("serving sweep: {clients:?} concurrent clients x {requests} requests each");
+    match pb_bench::serve::sweep(&clients, requests) {
+        Ok((table, section)) => {
+            print!("{table}");
+            if let Some(path) = json_path {
+                merge_json_section(&path, "serve", section);
+            }
+        }
+        Err(e) => {
+            eprintln!("serve-bench FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn chaos_cmd(rest: &[String]) {
     let seed: u64 = match rest.iter().position(|a| a == "--seed") {
         Some(i) => rest
@@ -1189,11 +1316,13 @@ fn bench_check(rest: &[String]) {
         regress::engine_mt_bench(0.02, &[1, 2, 4], Some(4096), 3),
     );
     let resume = run("resume", regress::resume_bench(0.01));
+    let serve = run("serve", pb_bench::serve::serve_bench());
     let current = Value::Obj(vec![
         ("engine".to_string(), engine),
         ("identify".to_string(), identify),
         ("engine_mt".to_string(), engine_mt),
         ("resume".to_string(), resume),
+        ("serve".to_string(), serve),
     ]);
 
     if update {
@@ -1213,6 +1342,26 @@ fn bench_check(rest: &[String]) {
         eprintln!("bench-check: baseline {baseline_path} is not valid JSON: {e}");
         std::process::exit(2);
     });
+    // A whole section absent from the baseline usually means the baseline
+    // predates a newer benchmark suite — diagnose it per section (instead
+    // of drowning it in per-key diffs) and fail.
+    if let (Value::Obj(cur), Value::Obj(base)) = (&current, &baseline) {
+        let missing: Vec<&str> = cur
+            .iter()
+            .filter(|(k, _)| serde::find(base, k).is_none())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        if !missing.is_empty() {
+            for section in &missing {
+                eprintln!(
+                    "bench-check: baseline {baseline_path} has no `{section}` section \
+                     (it predates this benchmark suite)"
+                );
+            }
+            eprintln!("regenerate the baseline with `pbq bench-check --update`");
+            std::process::exit(1);
+        }
+    }
     let diffs = regress::compare(&baseline, &current, tol);
     if diffs.is_empty() {
         println!(

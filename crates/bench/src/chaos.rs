@@ -204,6 +204,7 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
                         max_violations: 3,
                         optimized,
                         resume: false,
+                        ..Default::default()
                     };
                     let tag = || format!("{}/{driver}/{label}@{fracs:?}", b.workload.name);
 
@@ -257,7 +258,8 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
                     match run.run.outcome {
                         ExecutionOutcome::Completed { .. } => cells[ci].1.completed += 1,
                         ExecutionOutcome::Degraded { .. } => cells[ci].1.degraded += 1,
-                        ExecutionOutcome::BudgetExhausted { .. } => cells[ci].1.exhausted += 1,
+                        ExecutionOutcome::BudgetExhausted { .. }
+                        | ExecutionOutcome::Cancelled { .. } => cells[ci].1.exhausted += 1,
                     }
                 }
             }
@@ -267,6 +269,8 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
     scenarios += engine_scenarios(seed, &mut breaches, &mut cells);
     scenarios += parallel_engine_scenarios(seed, &mut breaches, &mut cells);
     scenarios += engine_substrate_scenarios(seed, &mut breaches, &mut cells);
+    scenarios += cancel_resume_scenarios(seed, &bouquets[0], &mut breaches, &mut cells);
+    scenarios += server_scenarios(seed, &mut breaches, &mut cells);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -415,6 +419,7 @@ fn engine_substrate_scenarios(
                     max_violations: 3,
                     optimized,
                     resume: false,
+                    ..Default::default()
                 };
                 let tag = || format!("engine-sub/{driver}/{label}#{variant}");
                 let robust = |cfg: &RobustConfig| {
@@ -483,7 +488,8 @@ fn engine_substrate_scenarios(
                 match run.run.outcome {
                     ExecutionOutcome::Completed { .. } => cells[ci].1.completed += 1,
                     ExecutionOutcome::Degraded { .. } => cells[ci].1.degraded += 1,
-                    ExecutionOutcome::BudgetExhausted { .. } => cells[ci].1.exhausted += 1,
+                    ExecutionOutcome::BudgetExhausted { .. }
+                    | ExecutionOutcome::Cancelled { .. } => cells[ci].1.exhausted += 1,
                 }
             }
         }
@@ -567,6 +573,387 @@ fn engine_substrate_scenarios(
                 Ok(_) => breaches.push(format!("{}: spill replay diverged", tag())),
                 Err(_) => breaches.push(format!("{}: spill replay PANIC", tag())),
             }
+        }
+    }
+    ran
+}
+
+/// A substrate wrapper that trips a cancellation token after `remaining`
+/// executions — the library-level model of a deadline landing mid-run at an
+/// arbitrary retry/abandon decision point.
+struct TripAfter<'a> {
+    inner: pb_bouquet::SimulatorSubstrate<'a>,
+    token: pb_faults::CancelToken,
+    remaining: usize,
+}
+
+impl TripAfter<'_> {
+    fn tick(&mut self) {
+        if self.remaining == 0 {
+            self.token.cancel();
+        } else {
+            self.remaining -= 1;
+        }
+    }
+}
+
+impl pb_bouquet::ExecutionSubstrate for TripAfter<'_> {
+    fn execute_partial(
+        &mut self,
+        pid: pb_optimizer::PlanId,
+        budget: f64,
+    ) -> pb_bouquet::SubstrateOutcome {
+        self.tick();
+        self.inner.execute_partial(pid, budget)
+    }
+
+    fn execute_monitored(
+        &mut self,
+        pid: pb_optimizer::PlanId,
+        resolved: &[bool],
+        budget: f64,
+        spilled: bool,
+    ) -> pb_bouquet::SubstrateOutcome {
+        self.tick();
+        self.inner.execute_monitored(pid, resolved, budget, spilled)
+    }
+
+    fn run_native(&mut self, pid: pb_optimizer::PlanId) -> pb_bouquet::SubstrateOutcome {
+        self.tick();
+        self.inner.run_native(pid)
+    }
+
+    fn run_native_at(&mut self, point: &pb_cost::SelPoint) -> f64 {
+        self.inner.run_native_at(point)
+    }
+
+    fn faults_active(&self) -> bool {
+        self.inner.faults_active()
+    }
+
+    fn enable_checkpoint_resume(&mut self) -> bool {
+        self.inner.enable_checkpoint_resume()
+    }
+
+    fn resume_stats(&self) -> pb_bouquet::ResumeStats {
+        self.inner.resume_stats()
+    }
+}
+
+/// Cancel/resume bit-identity block: trip a cancellation token after every
+/// possible execution count, carry the cancelled run's checkpoint book into
+/// a fresh substrate, and require the resumed rerun to be **bit-identical**
+/// to an uninterrupted reference with `spent + reused == restart cost` —
+/// cancellation at any decision point loses progress, never correctness.
+fn cancel_resume_scenarios(
+    seed: u64,
+    b: &Bouquet,
+    breaches: &mut Vec<String>,
+    cells: &mut Vec<(String, Cell)>,
+) -> usize {
+    use pb_bouquet::ExecutionSubstrate as _;
+    use pb_faults::CancelToken;
+
+    let mut s = seed ^ 0xCA_7CE1;
+    let mut ran = 0usize;
+    for optimized in [false, true] {
+        let driver = if optimized { "opt" } else { "basic" };
+        let ci = cell_of(cells, format!("server:cancel-resume|{driver}"));
+        for _ in 0..3 {
+            let frac = unit_f64(splitmix64(&mut s)).clamp(0.05, 0.95);
+            let qa = b.workload.ess.point_at_fractions(&[frac]);
+            let tag = |n: usize| format!("cancel-resume/{driver}@{frac:.3}/trip#{n}");
+
+            // Uninterrupted restart-semantics reference (no resume): its
+            // total is the cost every resumed rerun must account for as
+            // `spent + reused`.
+            let cfg_plain = RobustConfig {
+                optimized,
+                ..Default::default()
+            };
+            let cfg = RobustConfig {
+                optimized,
+                resume: true,
+                ..Default::default()
+            };
+            let mk = |cancel: Option<CancelToken>| {
+                pb_bouquet::SimulatorSubstrate::new(b, &qa, FaultInjector::none()).map(|sub| {
+                    match cancel {
+                        Some(t) => sub.with_cancel(t),
+                        None => sub,
+                    }
+                })
+            };
+            let reference = match mk(None).map(|mut sub| b.run_robust_on(&mut sub, &cfg_plain)) {
+                Ok(Ok(r)) => r,
+                Ok(Err(e)) | Err(e) => {
+                    breaches.push(format!("{}: reference run failed: {e}", tag(0)));
+                    continue;
+                }
+            };
+            let total_executions = reference.run.trace.len();
+
+            for trip in 0..total_executions {
+                ran += 1;
+                cells[ci].1.scenarios += 1;
+                let token = CancelToken::new();
+                let inner = match mk(Some(token.clone())) {
+                    Ok(sub) => sub,
+                    Err(e) => {
+                        breaches.push(format!("{}: substrate: {e}", tag(trip)));
+                        continue;
+                    }
+                };
+                let mut tripped = TripAfter {
+                    inner,
+                    token: token.clone(),
+                    remaining: trip,
+                };
+                let trip_cfg = RobustConfig {
+                    optimized,
+                    resume: true,
+                    cancel: Some(token),
+                    ..Default::default()
+                };
+                let first = match b.run_robust_on(&mut tripped, &trip_cfg) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        breaches.push(format!("{}: tripped run failed: {e}", tag(trip)));
+                        continue;
+                    }
+                };
+                if !matches!(first.run.outcome, ExecutionOutcome::Cancelled { .. }) {
+                    breaches.push(format!(
+                        "{}: expected Cancelled after {trip} executions, got {}",
+                        tag(trip),
+                        json(&first.run.outcome)
+                    ));
+                    continue;
+                }
+
+                // Carry the cancelled run's checkpoints into a fresh
+                // substrate and rerun the identical submission.
+                let mut resumed_sub = match mk(None) {
+                    Ok(sub) => sub,
+                    Err(e) => {
+                        breaches.push(format!("{}: resume substrate: {e}", tag(trip)));
+                        continue;
+                    }
+                };
+                resumed_sub.enable_checkpoint_resume();
+                if let Some(book) = tripped.inner.take_resume_book() {
+                    resumed_sub.install_resume_book(book);
+                }
+                let resumed = match b.run_robust_on(&mut resumed_sub, &cfg) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        breaches.push(format!("{}: resumed run failed: {e}", tag(trip)));
+                        continue;
+                    }
+                };
+
+                // Outcome bits identical to the uninterrupted reference.
+                // `final_cost` is the final execution's *paid* cost — the
+                // one number resume must shrink — so compare the variant
+                // and plan choice, not the paid amount.
+                let norm = |o: &ExecutionOutcome| match o {
+                    ExecutionOutcome::Completed { final_plan, .. } => format!("C{final_plan}"),
+                    ExecutionOutcome::Degraded { final_plan, .. } => format!("D{final_plan}"),
+                    ExecutionOutcome::BudgetExhausted { .. } => "BE".into(),
+                    ExecutionOutcome::Cancelled { .. } => "X".into(),
+                };
+                if norm(&resumed.run.outcome) != norm(&reference.run.outcome) {
+                    breaches.push(format!("{}: resumed outcome != reference", tag(trip)));
+                }
+                let seq = |r: &pb_bouquet::RobustRun| -> Vec<(usize, usize, f64)> {
+                    r.run
+                        .trace
+                        .iter()
+                        .map(|e| (e.contour, e.plan, e.budget))
+                        .collect()
+                };
+                if seq(&resumed) != seq(&reference) {
+                    breaches.push(format!(
+                        "{}: resumed decision sequence != reference",
+                        tag(trip)
+                    ));
+                }
+                // Progress: spent + reused equals the restart cost exactly.
+                let reused = resumed_sub.resume_stats().reused_cost;
+                let paid = resumed.run.total_cost + reused;
+                let restart = reference.run.total_cost;
+                if (paid - restart).abs() > 1e-9 * restart.abs().max(1.0) {
+                    breaches.push(format!(
+                        "{}: spent+reused {paid} != restart cost {restart}",
+                        tag(trip)
+                    ));
+                }
+                match resumed.run.outcome {
+                    ExecutionOutcome::Completed { .. } => cells[ci].1.completed += 1,
+                    ExecutionOutcome::Degraded { .. } => cells[ci].1.degraded += 1,
+                    _ => cells[ci].1.exhausted += 1,
+                }
+                cells[ci].1.events += usize::from(reused > 0.0);
+            }
+        }
+    }
+    ran
+}
+
+/// Server block: boot the full `pb-server` stack with **all four** server
+/// fault sites armed (worker-panic, slow-client, queue-stall,
+/// client-disconnect) plus finite tenant budgets, drive a multi-tenant
+/// request mix over real TCP with reconnect-on-disconnect clients, then
+/// drain. Invariants: the server never goes down, every accepted request is
+/// answered, `failed` outcomes are exactly the contained worker panics,
+/// no tenant ever exceeds its budget, and drain leaves nothing queued or in
+/// flight.
+fn server_scenarios(
+    seed: u64,
+    breaches: &mut Vec<String>,
+    cells: &mut Vec<(String, Cell)>,
+) -> usize {
+    use std::time::Duration;
+
+    use pb_server::{PbClient, PbServer, Request, Response, ServerConfig};
+
+    let submit_one = |addr: std::net::SocketAddr, req: &Request| -> Result<u64, String> {
+        for _ in 0..500 {
+            let Ok(mut c) = PbClient::connect(addr) else {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            };
+            match c.submit(req) {
+                Ok(Ok(id)) => return Ok(id),
+                Ok(Err(Response::Rejected { .. })) => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Ok(Err(other)) => return Err(format!("unexpected submit reply: {other:?}")),
+                // Dropped by the disconnect fault before the reply: the
+                // request may have been admitted server-side; resubmitting
+                // is safe (both copies are answered and accounted).
+                Err(_) => {}
+            }
+        }
+        Err("submission never accepted".into())
+    };
+    let poll_done = |addr: std::net::SocketAddr, id: u64| -> Result<String, String> {
+        for _ in 0..500 {
+            let Ok(mut c) = PbClient::connect(addr) else {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            };
+            // On Err the connection dropped mid-poll; reconnect and retry.
+            if let Ok(r) = c.wait(id, Duration::from_secs(30)) {
+                return Ok(r.outcome);
+            }
+        }
+        Err(format!("request {id} never reached a terminal state"))
+    };
+
+    let mut ran = 0usize;
+    for (label, faults, tenant_cap) in [
+        ("clean", FaultPlan::none(), f64::INFINITY),
+        (
+            "faulted",
+            FaultPlan::new(seed ^ 0x5E)
+                .with(FaultKind::WorkerPanic, Trigger::Nth(3))
+                .with(FaultKind::SlowClient { ms: 5 }, Trigger::Every(7))
+                .with(FaultKind::QueueStall { ms: 5 }, Trigger::Every(5))
+                .with(FaultKind::ClientDisconnect, Trigger::Nth(11)),
+            1.5e6,
+        ),
+    ] {
+        let ci = cell_of(cells, format!("server:{label}"));
+        let tag = |what: &str| format!("server/{label}: {what}");
+        let server = match PbServer::start(ServerConfig {
+            workers: 2,
+            queue_cap: 3,
+            tenant_cap,
+            faults,
+            ..ServerConfig::default()
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                breaches.push(tag(&format!("failed to start: {e}")));
+                continue;
+            }
+        };
+        let addr = server.addr();
+
+        let mut rng = seed ^ 0x5EC7;
+        let requests = 12;
+        for i in 0..requests {
+            ran += 1;
+            cells[ci].1.scenarios += 1;
+            let frac = unit_f64(splitmix64(&mut rng)).clamp(0.02, 0.98);
+            // A couple of zero-deadline submissions per server exercise the
+            // cancelled rung alongside the fault mix.
+            let deadline_ms = (i % 6 == 5).then_some(0);
+            let req = Request::Submit {
+                tenant: format!("tenant-{}", i % 3),
+                workload: "EQ_1D".into(),
+                fractions: vec![frac],
+                optimized: i % 2 == 1,
+                resume: false,
+                deadline_ms,
+            };
+            let outcome = submit_one(addr, &req).and_then(|id| poll_done(addr, id));
+            match outcome.as_deref() {
+                Ok("completed") => cells[ci].1.completed += 1,
+                Ok("degraded") => cells[ci].1.degraded += 1,
+                Ok("budget-exhausted") | Ok("cancelled") => cells[ci].1.exhausted += 1,
+                Ok("failed") if label == "faulted" => cells[ci].1.events += 1,
+                Ok(other) => breaches.push(tag(&format!("request ended `{other}`"))),
+                Err(e) => breaches.push(tag(e)),
+            }
+        }
+
+        // The server survived the whole mix: a fresh connection still works.
+        match PbClient::connect(addr).and_then(|mut c| c.request(&Request::Ping)) {
+            Ok(Response::Pong) => {}
+            other => breaches.push(tag(&format!("unresponsive after mix: {other:?}"))),
+        }
+
+        let stats = server.stop();
+        let answered = stats.completed
+            + stats.degraded
+            + stats.budget_exhausted
+            + stats.cancelled
+            + stats.failed;
+        if answered != stats.accepted {
+            breaches.push(tag(&format!(
+                "accepted {} but answered {answered}",
+                stats.accepted
+            )));
+        }
+        if stats.queue_depth != 0 || stats.inflight != 0 {
+            breaches.push(tag(&format!(
+                "drain left queue_depth={} inflight={}",
+                stats.queue_depth, stats.inflight
+            )));
+        }
+        if stats.failed != stats.worker_panics {
+            breaches.push(tag(&format!(
+                "{} failed outcomes vs {} contained panics — \
+                 a request failed for a non-injected reason",
+                stats.failed, stats.worker_panics
+            )));
+        }
+        for (tenant, spent, cap) in &stats.tenants {
+            if *cap >= 0.0 && *spent > cap * (1.0 + 1e-9) {
+                breaches.push(tag(&format!("tenant {tenant} over cap: {spent} > {cap}")));
+            }
+        }
+        if label == "faulted" {
+            if stats.worker_panics == 0 {
+                breaches.push(tag("worker-panic fault never fired"));
+            }
+            if stats.workers_replaced == 0 {
+                breaches.push(tag("poisoned worker was never replaced"));
+            }
+        } else if stats.worker_panics != 0 || stats.failed != 0 {
+            breaches.push(tag("clean server recorded failures"));
         }
     }
     ran

@@ -9,6 +9,7 @@ pub mod calibration;
 pub mod chaos;
 pub mod engine_driver;
 pub mod regress;
+pub mod serve;
 pub mod table;
 
 pub use engine_driver::{

@@ -1,0 +1,372 @@
+//! Serving-layer exercises: smoke round-trip, concurrent-client sweep and
+//! the regression-gate benchmark for `pb-server`.
+//!
+//! Everything here boots real servers on `127.0.0.1:0` and talks to them
+//! over TCP — no test doubles — so the numbers in `BENCH_serve.json`
+//! measure the same path a deployment would.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use pb_faults::{FaultKind, FaultPlan, Trigger};
+use pb_server::{PbClient, PbServer, QueryResult, Request, Response, ServerConfig, ServerStats};
+use serde::Value;
+
+use crate::table::Table;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn submit_req(tenant: &str, frac: f64, resume: bool, deadline_ms: Option<u64>) -> Request {
+    Request::Submit {
+        tenant: tenant.into(),
+        workload: "EQ_1D".into(),
+        fractions: vec![frac],
+        optimized: false,
+        resume,
+        deadline_ms,
+    }
+}
+
+/// Submit with bounded retry on backpressure; returns the id and how many
+/// rejections were absorbed along the way.
+fn submit_with_retry(c: &mut PbClient, req: &Request) -> Result<(u64, u64), String> {
+    let mut rejects = 0u64;
+    for _ in 0..500 {
+        match c.submit(req).map_err(|e| e.to_string())? {
+            Ok(id) => return Ok((id, rejects)),
+            Err(Response::Rejected { retry_after_ms, .. }) => {
+                rejects += 1;
+                std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 50)));
+            }
+            Err(other) => return Err(format!("unexpected submit reply: {other:?}")),
+        }
+    }
+    Err("submission never accepted after 500 attempts".into())
+}
+
+fn wait_done(c: &mut PbClient, id: u64) -> Result<QueryResult, String> {
+    c.wait(id, Duration::from_secs(60))
+        .map_err(|e| e.to_string())
+}
+
+/// Every-accepted-request-answered accounting identity.
+fn check_accounting(stats: &ServerStats) -> Result<(), String> {
+    let answered =
+        stats.completed + stats.degraded + stats.budget_exhausted + stats.cancelled + stats.failed;
+    if answered != stats.accepted {
+        return Err(format!(
+            "accepted {} but answered {answered}",
+            stats.accepted
+        ));
+    }
+    if stats.queue_depth != 0 || stats.inflight != 0 {
+        return Err(format!(
+            "drain left queue_depth={} inflight={}",
+            stats.queue_depth, stats.inflight
+        ));
+    }
+    for (tenant, spent, cap) in &stats.tenants {
+        if *cap >= 0.0 && *spent > cap * (1.0 + 1e-9) {
+            return Err(format!("tenant {tenant} over cap: {spent} > {cap}"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Smoke round-trip (CI)
+// ---------------------------------------------------------------------------
+
+/// Boot a server and drive the full protocol round-trip: ping,
+/// submit/status, deadline-cancel + resumed resubmission, tenant budget
+/// isolation, worker-panic containment, backpressure shedding, disconnect
+/// survival, graceful drain. Returns a human-readable summary; any broken
+/// invariant is an `Err`.
+pub fn smoke() -> Result<String, String> {
+    let mut out = String::new();
+
+    // --- clean server: lifecycle + cancel/resume identity -----------------
+    let server = PbServer::start(ServerConfig::default()).map_err(|e| format!("start: {e}"))?;
+    let mut c = PbClient::connect(server.addr()).map_err(|e| e.to_string())?;
+    if c.request(&Request::Ping).map_err(|e| e.to_string())? != Response::Pong {
+        return Err("ping did not pong".into());
+    }
+
+    let (id, _) = submit_with_retry(&mut c, &submit_req("alice", 0.63, false, None))?;
+    let r = wait_done(&mut c, id)?;
+    if r.outcome != "completed" {
+        return Err(format!("plain submit ended {}", r.outcome));
+    }
+    let _ = writeln!(
+        out,
+        "submit/status: completed, cost {:.0}, subopt {:.2}",
+        r.total_cost,
+        r.subopt.unwrap_or(f64::NAN)
+    );
+
+    // Deadline 0 cancels before the first grant; identical resubmission
+    // resumes and lands on the uninterrupted result with
+    // spent + reused == restart cost.
+    let (cid, _) = submit_with_retry(&mut c, &submit_req("t", 0.8, true, Some(0)))?;
+    let rc = wait_done(&mut c, cid)?;
+    if rc.outcome != "cancelled" {
+        return Err(format!("deadline-0 submit ended {}", rc.outcome));
+    }
+    let (refid, _) = submit_with_retry(&mut c, &submit_req("ref", 0.8, false, None))?;
+    let rref = wait_done(&mut c, refid)?;
+    let (rid, _) = submit_with_retry(&mut c, &submit_req("t", 0.8, true, None))?;
+    let rres = wait_done(&mut c, rid)?;
+    if rres.outcome != "completed" || rres.final_plan != rref.final_plan {
+        return Err(format!(
+            "resumed resubmit diverged: {} plan {:?} vs reference plan {:?}",
+            rres.outcome, rres.final_plan, rref.final_plan
+        ));
+    }
+    let paid = rres.total_cost + rres.reused_cost;
+    if (paid - rref.total_cost).abs() > 1e-9 * rref.total_cost {
+        return Err(format!(
+            "resume cost identity broken: spent+reused {paid} != restart {}",
+            rref.total_cost
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "cancel/resubmit: resumed, reused {:.0} of {:.0} restart units",
+        rres.reused_cost, rref.total_cost
+    );
+    match c.request(&Request::Drain).map_err(|e| e.to_string())? {
+        Response::Drained { stats } => check_accounting(&stats)?,
+        other => return Err(format!("unexpected drain reply: {other:?}")),
+    }
+    server.wait();
+
+    // --- capped tenants: budget exhaustion degrades only its owner --------
+    let server = PbServer::start(ServerConfig {
+        tenant_cap: 1.0,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("start capped: {e}"))?;
+    let mut c = PbClient::connect(server.addr()).map_err(|e| e.to_string())?;
+    let (pid, _) = submit_with_retry(&mut c, &submit_req("poor", 0.6, false, None))?;
+    let rp = wait_done(&mut c, pid)?;
+    if rp.outcome != "budget-exhausted" && rp.outcome != "degraded" {
+        return Err(format!("capped tenant got {}", rp.outcome));
+    }
+    if rp.total_cost > 1.0 + 1e-9 {
+        return Err(format!("capped run overspent: {}", rp.total_cost));
+    }
+    let stats = server.stop();
+    check_accounting(&stats)?;
+    let _ = writeln!(out, "tenant caps: capped run landed on {}", rp.outcome);
+
+    // --- seeded server-fault chaos block ----------------------------------
+    let faults = FaultPlan::new(11)
+        .with(FaultKind::WorkerPanic, Trigger::Nth(2))
+        .with(FaultKind::SlowClient { ms: 10 }, Trigger::Every(5))
+        .with(FaultKind::QueueStall { ms: 10 }, Trigger::Every(4))
+        .with(FaultKind::ClientDisconnect, Trigger::Nth(9));
+    let server = PbServer::start(ServerConfig {
+        workers: 2,
+        queue_cap: 4,
+        faults,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("start faulted: {e}"))?;
+    let mut panics = 0u64;
+    let mut disconnects = 0u64;
+    let mut completed = 0u64;
+    for i in 0..12 {
+        let frac = 0.1 + 0.07 * f64::from(i);
+        // Reconnect per request: the client-disconnect fault may drop any
+        // connection; the server must shrug it off.
+        let mut c = PbClient::connect(server.addr()).map_err(|e| e.to_string())?;
+        let Ok((id, _)) = submit_with_retry(&mut c, &submit_req("chaos", frac, false, None)) else {
+            disconnects += 1;
+            continue;
+        };
+        match wait_done(&mut c, id) {
+            Ok(r) if r.outcome == "completed" => completed += 1,
+            Ok(r) if r.outcome == "failed" => panics += 1,
+            Ok(r) => return Err(format!("chaos request ended {}", r.outcome)),
+            Err(_) => disconnects += 1, // dropped mid-poll; answered server-side
+        }
+    }
+    // The server survived everything; a fresh connection still works.
+    let mut c = PbClient::connect(server.addr()).map_err(|e| e.to_string())?;
+    if c.request(&Request::Ping).map_err(|e| e.to_string())? != Response::Pong {
+        return Err("server unresponsive after chaos".into());
+    }
+    let stats = server.stop();
+    check_accounting(&stats)?;
+    if stats.worker_panics == 0 {
+        return Err("worker-panic fault never fired".into());
+    }
+    if stats.workers_replaced == 0 {
+        return Err("poisoned worker was never replaced".into());
+    }
+    let _ = writeln!(
+        out,
+        "chaos block: {completed} completed, {panics} contained panic(s), \
+         {disconnects} dropped connection(s), {} worker(s) replaced",
+        stats.workers_replaced
+    );
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-client sweep (BENCH_serve.json)
+// ---------------------------------------------------------------------------
+
+struct SweepRow {
+    clients: usize,
+    rejects: u64,
+    wall_s: f64,
+    stats: ServerStats,
+}
+
+/// Run `requests` closed-loop requests from each of `n` clients against a
+/// fresh server and collect the final stats.
+fn run_step(n: usize, requests: usize, cfg: &ServerConfig) -> Result<SweepRow, String> {
+    let server = PbServer::start(cfg.clone()).map_err(|e| format!("start: {e}"))?;
+    let addr = server.addr();
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for ci in 0..n {
+        handles.push(std::thread::spawn(move || -> Result<u64, String> {
+            let mut c = PbClient::connect(addr).map_err(|e| e.to_string())?;
+            let mut rejects = 0u64;
+            for r in 0..requests {
+                let frac = 0.05 + 0.9 * ((ci * 31 + r * 7) % 97) as f64 / 96.0;
+                let req = submit_req(&format!("tenant-{ci}"), frac, false, None);
+                let (id, rj) = submit_with_retry(&mut c, &req)?;
+                rejects += rj;
+                let res = wait_done(&mut c, id)?;
+                if res.outcome != "completed" {
+                    return Err(format!("sweep request ended {}", res.outcome));
+                }
+            }
+            Ok(rejects)
+        }));
+    }
+    let mut rejects = 0u64;
+    for h in handles {
+        rejects += h
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = server.stop();
+    check_accounting(&stats)?;
+    Ok(SweepRow {
+        clients: n,
+        rejects,
+        wall_s,
+        stats,
+    })
+}
+
+/// The 1→N concurrent-client sweep: a small worker pool behind a small
+/// bounded queue, closed-loop clients retrying on rejection. Saturation
+/// must surface as *shed load* (rejects rise with the client count) while
+/// the bounded queue keeps tail latency flat — never as collapse.
+pub fn sweep(clients: &[usize], requests: usize) -> Result<(String, Value), String> {
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_cap: 2,
+        ..ServerConfig::default()
+    };
+    let mut t = Table::new(vec![
+        "clients",
+        "accepted",
+        "rejected",
+        "qps",
+        "p50 ms",
+        "p99 ms",
+        "max subopt",
+    ]);
+    let mut rows = Vec::new();
+    for &n in clients {
+        let row = run_step(n, requests, &cfg)?;
+        let qps = row.stats.completed as f64 / row.wall_s.max(1e-9);
+        t.row(vec![
+            row.clients.to_string(),
+            row.stats.accepted.to_string(),
+            row.rejects.to_string(),
+            format!("{qps:.0}"),
+            format!("{:.2}", row.stats.p50_ms),
+            format!("{:.2}", row.stats.p99_ms),
+            format!("{:.2}", row.stats.max_subopt),
+        ]);
+        rows.push(obj(vec![
+            ("clients", Value::UInt(row.clients as u64)),
+            ("requests", Value::UInt((row.clients * requests) as u64)),
+            ("accepted", Value::UInt(row.stats.accepted)),
+            ("rejected", Value::UInt(row.rejects)),
+            ("completed", Value::UInt(row.stats.completed)),
+            ("qps", Value::Float(qps)),
+            ("p50_ms", Value::Float(row.stats.p50_ms)),
+            ("p99_ms", Value::Float(row.stats.p99_ms)),
+            ("max_subopt", Value::Float(row.stats.max_subopt)),
+            ("wall_s", Value::Float(row.wall_s)),
+        ]));
+    }
+    let section = obj(vec![
+        ("workload", Value::Str("EQ_1D".into())),
+        ("workers", Value::UInt(2)),
+        ("queue_cap", Value::UInt(2)),
+        ("requests_per_client", Value::UInt(requests as u64)),
+        ("sweep", Value::Arr(rows)),
+    ]);
+    Ok((t.render(), section))
+}
+
+// ---------------------------------------------------------------------------
+// Regression-gate benchmark (`pbq bench-check` section "serve")
+// ---------------------------------------------------------------------------
+
+/// Deterministic-shape serving benchmark for the regression gate: a single
+/// stalled worker behind a one-slot queue must shed load under 4 clients
+/// (`sheds_load` exact) while latency stays bounded (banded `_s` keys) and
+/// every accepted request is answered (`answered_all` exact).
+pub fn serve_bench() -> Result<Value, String> {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        faults: FaultPlan::new(5).with(FaultKind::QueueStall { ms: 20 }, Trigger::Every(1)),
+        ..ServerConfig::default()
+    };
+    let requests = 5;
+    let solo = run_step(1, requests, &cfg)?;
+    let loaded = run_step(4, requests, &cfg)?;
+    let answered = |r: &SweepRow| {
+        r.stats.completed
+            + r.stats.degraded
+            + r.stats.budget_exhausted
+            + r.stats.cancelled
+            + r.stats.failed
+            == r.stats.accepted
+    };
+    Ok(obj(vec![
+        ("workload", Value::Str("EQ_1D".into())),
+        ("solo_clients", Value::UInt(1)),
+        ("loaded_clients", Value::UInt(4)),
+        ("requests_per_client", Value::UInt(requests as u64)),
+        (
+            "solo_per_req_s",
+            Value::Float(solo.wall_s / requests as f64),
+        ),
+        ("loaded_p99_s", Value::Float(loaded.stats.p99_ms / 1e3)),
+        ("sheds_load", Value::Bool(loaded.rejects > 0)),
+        (
+            "answered_all",
+            Value::Bool(answered(&solo) && answered(&loaded)),
+        ),
+    ]))
+}

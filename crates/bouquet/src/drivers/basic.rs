@@ -90,6 +90,29 @@ impl Bouquet {
             for &pid in plan_set {
                 let mut attempt = 0usize;
                 loop {
+                    // Cooperative cancellation: poll between executions so a
+                    // tripped token (client cancel, deadline) stops the run
+                    // before more budget is committed. Spend so far stays
+                    // charged; checkpoints survive for a resumed resubmit.
+                    if let Some(error) = rc.check_cancelled() {
+                        rc.push(RobustEvent::Cancelled {
+                            reason: error.to_string(),
+                        });
+                        return Ok(BouquetRun {
+                            trace,
+                            total_cost: total,
+                            outcome: ExecutionOutcome::Cancelled {
+                                contours_tried: k + 1,
+                            },
+                        });
+                    }
+                    // Tenant budget: granting this execution would push past
+                    // the cumulative spend cap, so finish on the capped rung
+                    // instead of starting work that cannot be afforded.
+                    if rc.cap_blocks(total, budget) {
+                        let est = self.workload.ess.point_at_fractions(&vec![0.5; d]);
+                        return Ok(self.capped_finish(&est, sub, trace, total, rc, k + 1));
+                    }
                     let out = sub.execute_partial(pid, budget);
                     total += out.spent;
                     trace.push(PartialExec {
@@ -128,6 +151,19 @@ impl Bouquet {
                         return Ok(self.degraded_finish(&est, sub, trace, total, rc, k + 1));
                     }
                     match out.error {
+                        // A cancellation surfaced from inside the substrate
+                        // is terminal, never retried: the controller asked
+                        // the run to stop.
+                        Some(PbError::Cancelled(reason)) => {
+                            rc.push(RobustEvent::Cancelled { reason });
+                            return Ok(BouquetRun {
+                                trace,
+                                total_cost: total,
+                                outcome: ExecutionOutcome::Cancelled {
+                                    contours_tried: k + 1,
+                                },
+                            });
+                        }
                         Some(error) if attempt < rc.retries => {
                             attempt += 1;
                             rc.push(RobustEvent::Retry {

@@ -57,6 +57,11 @@ pub enum ExecutionOutcome {
     /// accounting-monitor violations) and fell back to a single
     /// native-optimizer plan executed without a budget.
     Degraded { final_plan: PlanId, final_cost: f64 },
+    /// The run was cooperatively cancelled (client cancel or deadline)
+    /// before reaching any other terminal state. Spend up to the
+    /// cancellation point stays charged; checkpoints captured before the
+    /// trip survive, so a resubmitted run resumes instead of restarting.
+    Cancelled { contours_tried: usize },
 }
 
 /// A complete bouquet run: the execution trace and its total cost

@@ -160,6 +160,27 @@ impl Bouquet {
             let mut attempt = 0usize;
             let mut spill_now = spilled;
             loop {
+                // Cooperative cancellation: poll between executions (see the
+                // basic driver for the contract — spend stays charged,
+                // checkpoints survive for a resumed resubmit).
+                if let Some(error) = rc.check_cancelled() {
+                    rc.push(RobustEvent::Cancelled {
+                        reason: error.to_string(),
+                    });
+                    return Ok(BouquetRun {
+                        trace,
+                        total_cost: total,
+                        outcome: ExecutionOutcome::Cancelled {
+                            contours_tried: cid + 1,
+                        },
+                    });
+                }
+                // Tenant budget: stop before granting what cannot be paid.
+                // qrun is the best current estimate for the capped rung.
+                if rc.cap_blocks(total, budget) {
+                    let est = SelPoint(qrun.clone());
+                    return Ok(self.capped_finish(&est, sub, trace, total, rc, cid + 1));
+                }
                 let r = sub.execute_monitored(pid, &resolved, budget, spill_now);
                 total += r.spent;
                 trace.push(PartialExec {
@@ -221,6 +242,18 @@ impl Bouquet {
                     return Ok(self.degraded_finish(&est, sub, trace, total, rc, cid + 1));
                 }
                 match r.error {
+                    // Cancellation from inside the substrate is terminal,
+                    // never retried.
+                    Some(PbError::Cancelled(reason)) => {
+                        rc.push(RobustEvent::Cancelled { reason });
+                        return Ok(BouquetRun {
+                            trace,
+                            total_cost: total,
+                            outcome: ExecutionOutcome::Cancelled {
+                                contours_tried: cid + 1,
+                            },
+                        });
+                    }
                     Some(PbError::SpillFailure { .. }) if spill_now => {
                         // Spill machinery failed: retry the same plan
                         // unspilled (shallower learning, same budget).

@@ -27,7 +27,7 @@
 //! [`Bouquet::run_optimized`] (property-tested in `tests/robustness.rs`).
 
 use pb_cost::SelPoint;
-use pb_faults::{FaultInjector, FaultPlan, PbError};
+use pb_faults::{CancelToken, FaultInjector, FaultPlan, PbError};
 use pb_optimizer::PlanId;
 use pb_plan::DimId;
 use serde::{Deserialize, Serialize};
@@ -54,6 +54,21 @@ pub struct RobustConfig {
     /// discounts the healthy executions.
     #[serde(default)]
     pub resume: bool,
+    /// Hard cumulative spend cap for the whole run (restart-semantics cost
+    /// units: `spent + reused`), the tenant-budget hook the serving layer
+    /// uses. When granting the next execution's budget would push past the
+    /// cap, discovery stops and the driver finishes on the capped rung:
+    /// one native-plan attempt within the leftover budget
+    /// ([`ExecutionOutcome::Degraded`] if it completes,
+    /// [`ExecutionOutcome::BudgetExhausted`] otherwise). Total charged
+    /// spend never exceeds the cap. `None` disables.
+    #[serde(default)]
+    pub spend_cap: Option<f64>,
+    /// Cooperative cancellation token, polled between executions by the
+    /// driver loops (and, when threaded into the substrate, inside
+    /// executions too). Not serialized: a deserialized config is live.
+    #[serde(skip)]
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RobustConfig {
@@ -64,6 +79,8 @@ impl Default for RobustConfig {
             max_violations: 3,
             optimized: false,
             resume: false,
+            spend_cap: None,
+            cancel: None,
         }
     }
 }
@@ -97,6 +114,11 @@ pub enum RobustEvent {
     MonitorViolation { detail: String },
     /// Discovery was abandoned in favour of the native-optimizer fallback.
     Degraded { reason: String },
+    /// The cumulative spend cap blocked the next execution; the run moved
+    /// to the capped finishing rung.
+    SpendCapReached { cap: f64, spent: f64 },
+    /// The run was cooperatively cancelled (client cancel or deadline).
+    Cancelled { reason: String },
 }
 
 /// A robust run: the underlying bouquet run plus the recovery log.
@@ -118,6 +140,10 @@ pub(crate) struct RobustCtx {
     abandonments: usize,
     recording: bool,
     pub(crate) events: Vec<RobustEvent>,
+    /// Hard cumulative spend cap (tenant budget); `None` = unbounded.
+    pub(crate) spend_cap: Option<f64>,
+    /// Cooperative cancellation token polled between executions.
+    cancel: Option<CancelToken>,
 }
 
 impl RobustCtx {
@@ -129,6 +155,8 @@ impl RobustCtx {
             abandonments: 0,
             recording: false,
             events: Vec::new(),
+            spend_cap: None,
+            cancel: None,
         }
     }
 
@@ -140,7 +168,24 @@ impl RobustCtx {
             abandonments: 0,
             recording: true,
             events: Vec::new(),
+            spend_cap: cfg.spend_cap,
+            cancel: cfg.cancel.clone(),
         }
+    }
+
+    /// Poll the cancellation token (between executions). `Some` carries the
+    /// typed error to record; the driver returns
+    /// [`ExecutionOutcome::Cancelled`] immediately.
+    pub(crate) fn check_cancelled(&self) -> Option<PbError> {
+        self.cancel.as_ref().and_then(CancelToken::cancel_error)
+    }
+
+    /// Would granting `budget` to the next execution push cumulative spend
+    /// past the cap? (Executions spend at most their granted budget, so
+    /// blocking here keeps `total ≤ cap` an invariant, not a hope.)
+    pub(crate) fn cap_blocks(&self, total: f64, budget: f64) -> bool {
+        self.spend_cap
+            .is_some_and(|cap| total + budget > cap * (1.0 + 1e-9))
     }
 
     pub(crate) fn push(&mut self, ev: RobustEvent) {
@@ -267,12 +312,24 @@ impl Bouquet {
         let li = ess.linear(&ess.snap_floor(est));
         let pid = self.diagram.optimal[li] as PlanId;
         for attempt in 0..=rc.retries {
-            let out = sub.run_native(pid);
+            // Under a tenant spend cap even the degraded rung stays
+            // budgeted: the fallback gets whatever headroom is left, so the
+            // cap is never exceeded (an abort then lands BudgetExhausted).
+            let (out, granted) = match rc.spend_cap {
+                Some(cap) => {
+                    let remaining = cap - total;
+                    if remaining <= 0.0 {
+                        break;
+                    }
+                    (sub.execute_partial(pid, remaining), remaining)
+                }
+                None => (sub.run_native(pid), f64::INFINITY),
+            };
             total += out.spent;
             trace.push(PartialExec {
                 contour: 0,
                 plan: pid,
-                budget: f64::INFINITY,
+                budget: granted,
                 spent: out.spent,
                 completed: out.completed,
                 spilled: false,
@@ -299,6 +356,67 @@ impl Bouquet {
                 // An abort under an infinite budget cannot happen; bail out
                 // rather than loop.
                 None => break,
+            }
+        }
+        BouquetRun {
+            trace,
+            total_cost: total,
+            outcome: ExecutionOutcome::BudgetExhausted { contours_tried },
+        }
+    }
+
+    /// The tenant-budget rung: the cumulative spend cap blocks the next
+    /// bouquet execution, so discovery stops and the leftover budget (if
+    /// any) funds one native-plan attempt at the best current estimate.
+    /// Outcome is [`ExecutionOutcome::Degraded`] when that attempt
+    /// completes, [`ExecutionOutcome::BudgetExhausted`] otherwise — and
+    /// total charged spend never exceeds the cap.
+    pub(crate) fn capped_finish<S: ExecutionSubstrate>(
+        &self,
+        est: &SelPoint,
+        sub: &mut S,
+        mut trace: Vec<PartialExec>,
+        mut total: f64,
+        rc: &mut RobustCtx,
+        contours_tried: usize,
+    ) -> BouquetRun {
+        let cap = rc.spend_cap.unwrap_or(f64::INFINITY);
+        rc.push(RobustEvent::SpendCapReached { cap, spent: total });
+        let remaining = cap - total;
+        if remaining > 0.0 {
+            let ess = &self.workload.ess;
+            let li = ess.linear(&ess.snap_floor(est));
+            let pid = self.diagram.optimal[li] as PlanId;
+            let out = sub.execute_partial(pid, remaining);
+            total += out.spent;
+            trace.push(PartialExec {
+                contour: 0,
+                plan: pid,
+                budget: remaining,
+                spent: out.spent,
+                completed: out.completed,
+                spilled: false,
+                learned: None,
+                error: out.error.clone(),
+            });
+            rc.monitor(
+                0,
+                pid,
+                remaining,
+                out.spent,
+                out.reused,
+                out.completed,
+                out.error.is_some(),
+            );
+            if out.completed {
+                return BouquetRun {
+                    trace,
+                    total_cost: total,
+                    outcome: ExecutionOutcome::Degraded {
+                        final_plan: pid,
+                        final_cost: out.spent,
+                    },
+                };
             }
         }
         BouquetRun {

@@ -28,7 +28,7 @@
 use pb_cost::{NodeCost, Parallelism, SelPoint};
 use pb_engine::{Database, Engine, EngineOutcome, ResumeBook};
 use pb_executor::{learnable_node, CostResumeBook, Executor};
-use pb_faults::{FaultInjector, PbError};
+use pb_faults::{CancelToken, FaultInjector, PbError};
 use pb_optimizer::PlanId;
 use pb_plan::{DimId, PlanNode, QuerySpec};
 use serde::{Deserialize, Serialize};
@@ -162,6 +162,12 @@ pub struct SimulatorSubstrate<'a> {
     resume: Option<CostResumeBook>,
     reused_cost: f64,
     resumed_execs: usize,
+    /// Byte cap applied to the resume book (`0` = unbounded).
+    resume_byte_cap: usize,
+    /// Cooperative cancellation token, polled at the entry of every
+    /// budgeted execution (executions themselves are closed-form and
+    /// instantaneous on this substrate).
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> SimulatorSubstrate<'a> {
@@ -191,7 +197,41 @@ impl<'a> SimulatorSubstrate<'a> {
             resume: None,
             reused_cost: 0.0,
             resumed_execs: 0,
+            resume_byte_cap: 0,
+            cancel: None,
         })
+    }
+
+    /// Thread a cooperative cancellation token: a tripped token makes every
+    /// subsequent budgeted execution return [`PbError::Cancelled`] without
+    /// spending, so the driver stops at its next step.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bound the resume book to roughly `cap` bytes (`0` = unbounded),
+    /// evicting least-recently-used checkpoints past it. Applies to the
+    /// current book immediately and to any book created later.
+    pub fn set_resume_byte_cap(&mut self, cap: usize) {
+        self.resume_byte_cap = cap;
+        if let Some(book) = self.resume.as_mut() {
+            book.set_byte_cap(cap);
+        }
+    }
+
+    /// Detach the checkpoint book (e.g. to retain it across requests so a
+    /// cancelled query's resubmission resumes instead of restarting).
+    /// Resume is disabled until a book is installed or re-enabled.
+    pub fn take_resume_book(&mut self) -> Option<CostResumeBook> {
+        self.resume.take()
+    }
+
+    /// Install a previously detached checkpoint book and enable resume.
+    pub fn install_resume_book(&mut self, mut book: CostResumeBook) {
+        book.set_byte_cap(self.resume_byte_cap);
+        self.resume = Some(book);
     }
 
     /// Chaos hook: corrupt every retained checkpoint. Subsequent lookups
@@ -200,6 +240,13 @@ impl<'a> SimulatorSubstrate<'a> {
         if let Some(book) = self.resume.as_mut() {
             book.corrupt_all();
         }
+    }
+
+    /// Poll the cancellation token; `Some` is the outcome a cancelled
+    /// execution reports (nothing spent, typed error).
+    fn cancelled_outcome(&self) -> Option<SubstrateOutcome> {
+        let e = self.cancel.as_ref()?.cancel_error()?;
+        Some(SubstrateOutcome::plain(0.0, false, Some(e)))
     }
 
     /// Credit the largest checkpointed prefix of `root`'s first-executed
@@ -232,6 +279,9 @@ impl<'a> SimulatorSubstrate<'a> {
 
 impl ExecutionSubstrate for SimulatorSubstrate<'_> {
     fn execute_partial(&mut self, pid: PlanId, budget: f64) -> SubstrateOutcome {
+        if let Some(o) = self.cancelled_outcome() {
+            return o;
+        }
         let out = self.ex.execute_compiled(
             &self.b.programs()[pid],
             self.b.plan(pid).fingerprint(),
@@ -255,6 +305,10 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
         budget: f64,
         spilled: bool,
     ) -> SubstrateOutcome {
+        if let Some(mut o) = self.cancelled_outcome() {
+            o.spilled = spilled;
+            return o;
+        }
         let plan = &self.b.plan(pid).root;
         let r = self
             .ex
@@ -293,6 +347,9 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
     }
 
     fn run_native(&mut self, pid: PlanId) -> SubstrateOutcome {
+        if let Some(o) = self.cancelled_outcome() {
+            return o;
+        }
         let out = self
             .ex
             .execute(&self.b.plan(pid).root, &self.qa, f64::INFINITY);
@@ -315,7 +372,9 @@ impl ExecutionSubstrate for SimulatorSubstrate<'_> {
     }
 
     fn enable_checkpoint_resume(&mut self) -> bool {
-        self.resume.get_or_insert_with(CostResumeBook::new);
+        let cap = self.resume_byte_cap;
+        self.resume
+            .get_or_insert_with(|| CostResumeBook::with_byte_cap(cap));
         true
     }
 
@@ -348,6 +407,12 @@ pub struct EngineSubstrate<'a> {
     resume: Option<ResumeBook>,
     reused_cost: f64,
     resumed_execs: usize,
+    /// Byte cap applied to the resume book (`0` = unbounded).
+    resume_byte_cap: usize,
+    /// Cooperative cancellation token: polled at execution entry here, and
+    /// threaded into the engine so a trip also halts a run mid-flight at
+    /// its next batch commit.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> EngineSubstrate<'a> {
@@ -364,7 +429,50 @@ impl<'a> EngineSubstrate<'a> {
             resume: None,
             reused_cost: 0.0,
             resumed_execs: 0,
+            resume_byte_cap: 0,
+            cancel: None,
         }
+    }
+
+    /// Thread a cooperative cancellation token. A trip surfaces as
+    /// [`PbError::Cancelled`] at the next execution entry *and* — via the
+    /// engine's ledger — at the next batch commit of a run already in
+    /// flight, with the interrupted batch's work still charged.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.engine.cancel = Some(token.clone());
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bound the resume book to roughly `cap` bytes (`0` = unbounded),
+    /// evicting least-recently-used snapshots past it. Applies to the
+    /// current book immediately and to any book created later.
+    pub fn set_resume_byte_cap(&mut self, cap: usize) {
+        self.resume_byte_cap = cap;
+        if let Some(book) = self.resume.as_mut() {
+            book.set_byte_cap(cap);
+        }
+    }
+
+    /// Detach the checkpoint book (e.g. to retain it across requests so a
+    /// cancelled query's resubmission resumes instead of restarting).
+    /// Resume is disabled until a book is installed or re-enabled.
+    pub fn take_resume_book(&mut self) -> Option<ResumeBook> {
+        self.resume.take()
+    }
+
+    /// Install a previously detached checkpoint book and enable resume.
+    pub fn install_resume_book(&mut self, mut book: ResumeBook) {
+        book.set_byte_cap(self.resume_byte_cap);
+        self.resume = Some(book);
+    }
+
+    /// Poll the cancellation token; `Some` is the outcome a cancelled
+    /// execution reports (nothing spent, typed error).
+    fn cancelled_outcome(&self) -> Option<SubstrateOutcome> {
+        let e = self.cancel.as_ref()?.cancel_error()?;
+        Some(SubstrateOutcome::plain(0.0, false, Some(e)))
     }
 
     /// Chaos hook: corrupt every retained checkpoint's integrity checksum.
@@ -434,6 +542,9 @@ impl<'a> EngineSubstrate<'a> {
 
 impl ExecutionSubstrate for EngineSubstrate<'_> {
     fn execute_partial(&mut self, pid: PlanId, budget: f64) -> SubstrateOutcome {
+        if let Some(o) = self.cancelled_outcome() {
+            return o;
+        }
         let plan = &self.b.plan(pid).root;
         let (out, reused) = self.run_resumable(plan, budget);
         self.note_completion(&out);
@@ -450,6 +561,10 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
         budget: f64,
         spilled: bool,
     ) -> SubstrateOutcome {
+        if let Some(mut o) = self.cancelled_outcome() {
+            o.spilled = spilled;
+            return o;
+        }
         if spilled && self.faults.is_active() {
             if let Some(error) = self.faults.spill_failure("engine:spill") {
                 // The pipeline break failed before any real work; the driver
@@ -509,6 +624,9 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
     }
 
     fn run_native(&mut self, pid: PlanId) -> SubstrateOutcome {
+        if let Some(o) = self.cancelled_outcome() {
+            return o;
+        }
         let plan = &self.b.plan(pid).root;
         let (out, reused) = self.run_resumable(plan, f64::INFINITY);
         self.note_completion(&out);
@@ -528,7 +646,9 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
     }
 
     fn enable_checkpoint_resume(&mut self) -> bool {
-        self.resume.get_or_insert_with(ResumeBook::new);
+        let cap = self.resume_byte_cap;
+        self.resume
+            .get_or_insert_with(|| ResumeBook::with_byte_cap(cap));
         true
     }
 

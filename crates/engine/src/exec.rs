@@ -184,6 +184,11 @@ pub struct Engine<'a> {
     /// analogue of `PARALLEL_MIN_GRID`). Tests lower it to exercise the
     /// parallel kernels on small data.
     pub morsel_min: usize,
+    /// Cooperative cancellation token, polled by the vectorized path at
+    /// batch commits and one-off charges (the tuple reference path ignores
+    /// it — its job is bit-identity with uninterrupted runs). `None`
+    /// disables polling entirely.
+    pub cancel: Option<pb_faults::CancelToken>,
 }
 
 /// Materialized intermediate relation: concatenated base-relation blocks.
@@ -201,7 +206,17 @@ impl<'a> Engine<'a> {
             params,
             par: Parallelism::serial(),
             morsel_min: pb_cost::PARALLEL_MIN_MORSEL_ROWS,
+            cancel: None,
         }
+    }
+
+    /// Thread a cooperative cancellation token through vectorized
+    /// executions. A tripped token halts the run at its next batch commit
+    /// with [`pb_faults::PbError::Cancelled`]; checkpoints captured before
+    /// the trip survive for resumable re-execution.
+    pub fn with_cancel(mut self, token: pb_faults::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Use `par` workers for morsel-driven phases of the vectorized path.
@@ -268,6 +283,7 @@ impl<'a> Engine<'a> {
             faults,
             resume: None,
             reused: 0.0,
+            cancel: None,
         };
         let mut next_id = 0usize;
         // The root's output is never consumed by another operator, so it is
@@ -987,6 +1003,7 @@ mod tests {
             faults: &inert,
             resume: None,
             reused: 0.0,
+            cancel: None,
         };
         let mut next_id = 0usize;
         let rel = eng.eval(&plan, &mut ctx, &mut next_id, false).ok().unwrap();

@@ -25,7 +25,7 @@
 //! the context's [`FaultInjector`]. An inert injector short-circuits before
 //! touching any arithmetic, keeping the no-fault paths bit-identical.
 
-use pb_faults::{FaultInjector, PbError};
+use pb_faults::{CancelToken, FaultInjector, PbError};
 
 use crate::exec::NodeStats;
 
@@ -63,9 +63,24 @@ pub(crate) struct Ctx<'f> {
     /// Part of `spent` (the outcome stays restart-identical); the substrate
     /// subtracts it to charge only the un-executed suffix.
     pub reused: f64,
+    /// Cooperative cancellation token (`None` on the plain paths, which
+    /// stay bit-identical to the pre-cancellation code). Polled at batch
+    /// commits and one-off charges — coarse enough to stay off the
+    /// per-tuple hot path, fine enough to bound post-trip work by one
+    /// batch. Completed-subtree checkpoints captured before the trip
+    /// survive, so a resubmitted execution resumes instead of restarting.
+    pub cancel: Option<&'f CancelToken>,
 }
 
 impl Ctx<'_> {
+    /// Poll the cancellation token; `Some` holds the halt to surface.
+    #[inline]
+    fn cancelled(&self) -> Option<Halt> {
+        self.cancel
+            .and_then(CancelToken::cancel_error)
+            .map(Halt::Fault)
+    }
+
     /// Fault hook shared by every ledger event: may scale the prospective
     /// value (transient over-charge) or kill the operator outright.
     #[inline]
@@ -80,6 +95,9 @@ impl Ctx<'_> {
     /// Add a one-off charge (operator setup, sorts, spill penalties).
     #[inline]
     pub fn charge(&mut self, c: f64) -> Result<(), Halt> {
+        if let Some(h) = self.cancelled() {
+            return Err(h);
+        }
         let c = if self.faults.is_active() {
             self.taxed(c)?
         } else {
@@ -117,6 +135,12 @@ impl Ctx<'_> {
     /// [`Ctx::settle`] and may abort or fail the batch.
     #[inline]
     pub fn commit(&mut self, end: f64) -> Result<(), Halt> {
+        if let Some(h) = self.cancelled() {
+            // The batch's work happened; charge it (clamped) before
+            // surfacing the cancellation so spend accounting stays honest.
+            self.spent = end.min(self.budget);
+            return Err(h);
+        }
         if self.faults.is_active() {
             self.settle(end)
         } else {
@@ -153,6 +177,7 @@ mod tests {
             faults,
             resume: None,
             reused: 0.0,
+            cancel: None,
         }
     }
 
@@ -196,6 +221,26 @@ mod tests {
         // 0.6 × 100 > budget ⇒ abort with spend clamped.
         assert!(matches!(ctx.settle(0.6), Err(Halt::Abort)));
         assert_eq!(ctx.spent, 10.0);
+    }
+
+    #[test]
+    fn tripped_token_halts_commit_with_work_charged() {
+        let inert = FaultInjector::none();
+        let tok = CancelToken::new();
+        let mut c = ctx(&inert);
+        c.cancel = Some(&tok);
+        assert!(c.commit(3.0).is_ok());
+        tok.cancel();
+        match c.commit(4.0) {
+            Err(Halt::Fault(PbError::Cancelled(_))) => {}
+            _ => panic!("commit after cancel must surface Cancelled"),
+        }
+        // The interrupted batch's work is still charged, clamped to budget.
+        assert_eq!(c.spent, 4.0);
+        match c.charge(1.0) {
+            Err(Halt::Fault(PbError::Cancelled(_))) => {}
+            _ => panic!("charge after cancel must surface Cancelled"),
+        }
     }
 
     #[test]

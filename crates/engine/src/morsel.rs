@@ -525,6 +525,7 @@ mod tests {
             faults,
             resume: None,
             reused: 0.0,
+            cancel: None,
         }
     }
 

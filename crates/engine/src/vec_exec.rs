@@ -127,12 +127,47 @@ fn snapshot_checksum(spent_after: f64, vrel: &VRel, stats: &[NodeStats]) -> u64 
 #[derive(Default)]
 pub struct ResumeBook {
     entries: FastMap<(u64, u64, bool), Snapshot>,
+    /// Last-use tick per entry, for LRU eviction under the byte cap.
+    stamps: FastMap<(u64, u64, bool), u64>,
+    tick: u64,
+    /// Approximate retained bytes across all snapshots.
+    bytes: usize,
+    /// Byte budget for retained snapshots; `0` means unbounded. A long-lived
+    /// server sets this so books cannot grow without bound.
+    byte_cap: usize,
+    evictions: u64,
     hits: u64,
+}
+
+/// Approximate heap footprint of one snapshot: the materialized columns
+/// dominate; stats and fixed overhead are charged flatly.
+fn snapshot_bytes(s: &Snapshot) -> usize {
+    let cols: usize = s.vrel.cols.iter().map(|c| c.len() * 8).sum();
+    cols + s.vrel.rels.len() * 8 + s.stats.len() * 24 + 128
 }
 
 impl ResumeBook {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A book whose retained snapshots are bounded by `cap` bytes
+    /// (approximate), evicting least-recently-used checkpoints when
+    /// exceeded. Eviction only ever costs re-execution — a missing
+    /// checkpoint falls back to restart semantics, never a wrong answer
+    /// (see `tests/resume_eviction.rs`).
+    pub fn with_byte_cap(cap: usize) -> Self {
+        ResumeBook {
+            byte_cap: cap,
+            ..Self::default()
+        }
+    }
+
+    /// Set or change the byte cap (`0` = unbounded); evicts immediately if
+    /// the current contents exceed the new cap.
+    pub fn set_byte_cap(&mut self, cap: usize) {
+        self.byte_cap = cap;
+        self.evict_over_cap();
     }
 
     /// Number of retained subtree checkpoints.
@@ -143,6 +178,16 @@ impl ResumeBook {
     /// Number of subtree fast-forwards served so far.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Approximate bytes currently retained.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Checkpoints evicted to stay under the byte cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Chaos hook: invalidate every checkpoint's integrity checksum.
@@ -162,11 +207,38 @@ impl ResumeBook {
             return None;
         }
         self.hits += 1;
+        self.tick += 1;
+        self.stamps.insert(*key, self.tick);
         Some(snap.clone())
     }
 
     fn insert(&mut self, key: (u64, u64, bool), snap: Snapshot) {
-        self.entries.insert(key, snap);
+        self.bytes += snapshot_bytes(&snap);
+        if let Some(old) = self.entries.insert(key, snap) {
+            self.bytes -= snapshot_bytes(&old);
+        }
+        self.tick += 1;
+        self.stamps.insert(key, self.tick);
+        self.evict_over_cap();
+    }
+
+    /// Evict least-recently-used snapshots until under the byte cap. The
+    /// cap is hard: even the just-inserted snapshot goes if it alone
+    /// exceeds it (the book then simply stops accelerating that subtree).
+    fn evict_over_cap(&mut self) {
+        if self.byte_cap == 0 {
+            return;
+        }
+        while self.bytes > self.byte_cap && !self.entries.is_empty() {
+            let Some((&key, _)) = self.stamps.iter().min_by_key(|(_, &t)| t) else {
+                break;
+            };
+            if let Some(old) = self.entries.remove(&key) {
+                self.bytes -= snapshot_bytes(&old);
+            }
+            self.stamps.remove(&key);
+            self.evictions += 1;
+        }
     }
 }
 
@@ -287,6 +359,7 @@ impl Engine<'_> {
             faults,
             resume,
             reused: 0.0,
+            cancel: self.cancel.as_ref(),
         };
         let mut next_id = 0usize;
         let res = self.veval(plan, &mut ctx, &mut next_id, false);
@@ -1292,6 +1365,7 @@ mod tests {
             faults: &inert,
             resume: None,
             reused: 0.0,
+            cancel: None,
         };
         let mut next_id = 0usize;
         let rel = eng

@@ -384,11 +384,59 @@ impl<'a> Executor<'a> {
 pub struct CostResumeBook {
     /// Completed chain-subtree fingerprint → standalone actual cost.
     done: std::collections::BTreeMap<u64, f64>,
+    /// Last-use tick per fingerprint, for LRU eviction under the cap.
+    stamps: std::collections::BTreeMap<u64, u64>,
+    tick: u64,
+    /// Maximum retained entries (derived from a byte cap); `0` = unbounded.
+    entry_cap: usize,
+    evictions: u64,
 }
+
+/// Approximate heap footprint of one entry: fingerprint + cost + stamp in
+/// two B-tree maps, with per-node overhead charged flatly.
+const COST_ENTRY_BYTES: usize = 48;
 
 impl CostResumeBook {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A book bounded to roughly `cap` bytes of retained checkpoints
+    /// (entries are fixed-size, so the cap divides down to an entry count),
+    /// evicting least-recently-used entries when exceeded. Eviction only
+    /// ever costs re-execution: a missing entry yields no credit, which is
+    /// exactly restart semantics.
+    pub fn with_byte_cap(cap: usize) -> Self {
+        CostResumeBook {
+            entry_cap: cap / COST_ENTRY_BYTES,
+            ..Self::default()
+        }
+    }
+
+    /// Set or change the byte cap (`0` = unbounded); evicts immediately if
+    /// the current contents exceed the new cap.
+    pub fn set_byte_cap(&mut self, cap: usize) {
+        self.entry_cap = cap / COST_ENTRY_BYTES;
+        self.evict_over_cap();
+    }
+
+    /// Entries evicted to stay under the cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn evict_over_cap(&mut self) {
+        if self.entry_cap == 0 {
+            return;
+        }
+        while self.done.len() > self.entry_cap {
+            let Some((&lru, _)) = self.stamps.iter().min_by_key(|(_, &t)| t) else {
+                break;
+            };
+            self.done.remove(&lru);
+            self.stamps.remove(&lru);
+            self.evictions += 1;
+        }
     }
 
     /// Number of recorded checkpoints.
@@ -404,13 +452,18 @@ impl CostResumeBook {
     /// chain, in cost units at the true location `qa`. Entries whose stored
     /// cost does not reproduce bit-identically are ignored (checksum
     /// failure → restart semantics).
-    pub fn credit(&self, ex: &Executor<'_>, root: &PlanNode, qa: &[f64]) -> f64 {
+    pub fn credit(&mut self, ex: &Executor<'_>, root: &PlanNode, qa: &[f64]) -> f64 {
         let mut credit = 0.0;
         for sub in root.exec_chain() {
-            if let Some(&stored) = self.done.get(&sub.fingerprint().0) {
+            let fp = sub.fingerprint().0;
+            if let Some(&stored) = self.done.get(&fp) {
                 let cost = ex.actual_cost(sub, qa);
-                if stored.to_bits() == cost.to_bits() && cost > credit {
-                    credit = cost;
+                if stored.to_bits() == cost.to_bits() {
+                    self.tick += 1;
+                    self.stamps.insert(fp, self.tick);
+                    if cost > credit {
+                        credit = cost;
+                    }
                 }
             }
         }
@@ -431,9 +484,13 @@ impl CostResumeBook {
         for sub in root.exec_chain() {
             let cost = ex.actual_cost(sub, qa);
             if completed || cost <= spent {
-                self.done.insert(sub.fingerprint().0, cost);
+                let fp = sub.fingerprint().0;
+                self.done.insert(fp, cost);
+                self.tick += 1;
+                self.stamps.insert(fp, self.tick);
             }
         }
+        self.evict_over_cap();
     }
 
     /// Chaos hook: corrupt every stored checkpoint. Subsequent credit

@@ -35,6 +35,14 @@ pub enum PbError {
     /// A named entity (table, column, relation…) is missing from a catalog
     /// or schema.
     MissingEntity { kind: String, name: String },
+    /// The execution was cooperatively cancelled (client cancel RPC or a
+    /// per-request deadline). Work already checkpointed survives: a resubmit
+    /// resumes instead of restarting.
+    Cancelled(String),
+    /// The serving layer refused or lost the request (queue full, drain in
+    /// progress, worker replaced mid-request…). Carries the admission-level
+    /// reason; never raised by the execution stack itself.
+    ServiceUnavailable(String),
     /// An internal invariant was violated; carries a diagnostic message.
     Internal(String),
 }
@@ -56,6 +64,8 @@ impl fmt::Display for PbError {
             PbError::OperatorFailure { site } => write!(f, "operator failure at {site}"),
             PbError::SpillFailure { site } => write!(f, "spill failure at {site}"),
             PbError::MissingEntity { kind, name } => write!(f, "missing {kind}: {name}"),
+            PbError::Cancelled(m) => write!(f, "execution cancelled: {m}"),
+            PbError::ServiceUnavailable(m) => write!(f, "service unavailable: {m}"),
             PbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -35,7 +35,7 @@ impl Armed {
 
 /// Bit per [`FaultKind`] variant, for O(1) "nothing of this kind" checks so
 /// that hooks on hot paths cost one load + branch when a kind is unused.
-fn kind_bit(k: &FaultKind) -> u8 {
+fn kind_bit(k: &FaultKind) -> u16 {
     match k {
         FaultKind::OperatorFailure { .. } => 1,
         FaultKind::LedgerOverCharge { .. } => 1 << 1,
@@ -43,6 +43,10 @@ fn kind_bit(k: &FaultKind) -> u8 {
         FaultKind::CorruptObservation { .. } => 1 << 3,
         FaultKind::BudgetClockSkew { .. } => 1 << 4,
         FaultKind::PerturbationSpike { .. } => 1 << 5,
+        FaultKind::WorkerPanic => 1 << 6,
+        FaultKind::SlowClient { .. } => 1 << 7,
+        FaultKind::QueueStall { .. } => 1 << 8,
+        FaultKind::ClientDisconnect => 1 << 9,
     }
 }
 
@@ -56,7 +60,7 @@ fn kind_bit(k: &FaultKind) -> u8 {
 #[derive(Debug)]
 pub struct FaultInjector {
     armed: Vec<Armed>,
-    mask: u8,
+    mask: u16,
 }
 
 impl FaultInjector {
@@ -69,7 +73,7 @@ impl FaultInjector {
     }
 
     pub fn new(plan: &FaultPlan) -> Self {
-        let mut mask = 0u8;
+        let mut mask = 0u16;
         let armed = plan
             .specs
             .iter()
@@ -94,7 +98,7 @@ impl FaultInjector {
     }
 
     #[inline]
-    fn has(&self, bit: u8) -> bool {
+    fn has(&self, bit: u16) -> bool {
         self.mask & bit != 0
     }
 
@@ -225,6 +229,67 @@ impl FaultInjector {
     pub fn abort_charge_factor(&self) -> f64 {
         self.ledger_factor()
     }
+
+    // ---- server-level hooks -------------------------------------------------
+
+    /// Should the worker executing the current request panic? Consulted once
+    /// per dispatched request, before execution begins.
+    #[inline]
+    pub fn worker_panic(&self) -> bool {
+        if !self.has(1 << 6) {
+            return false;
+        }
+        self.armed
+            .iter()
+            .any(|a| matches!(a.kind, FaultKind::WorkerPanic) && a.fires())
+    }
+
+    /// Milliseconds the connection handler should stall before processing a
+    /// request line; `None` when nothing fires. Consulted once per line.
+    #[inline]
+    pub fn slow_client_ms(&self) -> Option<u64> {
+        if !self.has(1 << 7) {
+            return None;
+        }
+        for a in &self.armed {
+            if let FaultKind::SlowClient { ms } = a.kind {
+                if a.fires() {
+                    return Some(ms);
+                }
+            }
+        }
+        None
+    }
+
+    /// Milliseconds queue dispatch should stall before handing the next
+    /// request to a worker; `None` when nothing fires. Consulted once per
+    /// dequeue.
+    #[inline]
+    pub fn queue_stall_ms(&self) -> Option<u64> {
+        if !self.has(1 << 8) {
+            return None;
+        }
+        for a in &self.armed {
+            if let FaultKind::QueueStall { ms } = a.kind {
+                if a.fires() {
+                    return Some(ms);
+                }
+            }
+        }
+        None
+    }
+
+    /// Should the client's connection be dropped before its response is
+    /// written? Consulted once per response.
+    #[inline]
+    pub fn client_disconnect(&self) -> bool {
+        if !self.has(1 << 9) {
+            return false;
+        }
+        self.armed
+            .iter()
+            .any(|a| matches!(a.kind, FaultKind::ClientDisconnect) && a.fires())
+    }
 }
 
 impl Default for FaultInjector {
@@ -289,6 +354,34 @@ mod tests {
         assert_eq!(xa, xb);
         // At 50% per-mille some but not all consultations fire.
         assert!(xa.contains(&3.0) && xa.contains(&1.0));
+    }
+
+    #[test]
+    fn server_hooks_fire_on_schedule() {
+        let p = FaultPlan::new(5)
+            .with(FaultKind::WorkerPanic, Trigger::Nth(2))
+            .with(FaultKind::SlowClient { ms: 25 }, Trigger::Nth(1))
+            .with(FaultKind::QueueStall { ms: 40 }, Trigger::Every(2))
+            .with(FaultKind::ClientDisconnect, Trigger::Nth(1));
+        let i = FaultInjector::new(&p);
+        assert!(!i.worker_panic());
+        assert!(i.worker_panic());
+        assert!(!i.worker_panic());
+        assert_eq!(i.slow_client_ms(), Some(25));
+        assert_eq!(i.slow_client_ms(), None);
+        assert_eq!(i.queue_stall_ms(), None);
+        assert_eq!(i.queue_stall_ms(), Some(40));
+        assert!(i.client_disconnect());
+        assert!(!i.client_disconnect());
+    }
+
+    #[test]
+    fn inert_injector_server_hooks_are_no_ops() {
+        let i = FaultInjector::none();
+        assert!(!i.worker_panic());
+        assert!(i.slow_client_ms().is_none());
+        assert!(i.queue_stall_ms().is_none());
+        assert!(!i.client_disconnect());
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! exact no-op, so runs with `FaultInjector::none()` are bit-identical to
 //! runs compiled before this crate existed.
 
+mod cancel;
 mod error;
 mod inject;
 mod plan;
 mod rng;
 
+pub use cancel::CancelToken;
 pub use error::PbError;
 pub use inject::FaultInjector;
 pub use plan::{FaultKind, FaultPlan, FaultSpec, Trigger};

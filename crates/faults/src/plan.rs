@@ -29,6 +29,19 @@ pub enum FaultKind {
     /// A cost spike beyond the configured δ band: actual execution cost is
     /// multiplied by `factor` for the triggered executions.
     PerturbationSpike { factor: f64 },
+    /// Server: a worker thread panics mid-request. The containment drill —
+    /// the in-flight request must come back as a typed error, the worker
+    /// must be replaced, and the server must stay up.
+    WorkerPanic,
+    /// Server: the connection handler stalls `ms` before processing a
+    /// request line (a slow-loris client holding its socket open).
+    SlowClient { ms: u64 },
+    /// Server: dispatch from the admission queue stalls `ms`, backing work
+    /// up against the bounded queue so backpressure engages.
+    QueueStall { ms: u64 },
+    /// Server: the client vanishes before its response can be written. The
+    /// request must still run to a terminal state reachable via `status`.
+    ClientDisconnect,
 }
 
 impl FaultKind {
@@ -41,6 +54,10 @@ impl FaultKind {
             FaultKind::CorruptObservation { .. } => "corrupt-observation",
             FaultKind::BudgetClockSkew { .. } => "budget-clock-skew",
             FaultKind::PerturbationSpike { .. } => "perturbation-spike",
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::SlowClient { .. } => "slow-client",
+            FaultKind::QueueStall { .. } => "queue-stall",
+            FaultKind::ClientDisconnect => "client-disconnect",
         }
     }
 }

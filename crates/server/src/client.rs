@@ -1,0 +1,69 @@
+//! A small blocking client for the NDJSON protocol — used by `pbq serve`
+//! smoke mode, the serving benchmark and the chaos campaign.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use pb_faults::PbError;
+
+use crate::protocol::{read_line, write_line, QueryResult, ReqPhase, Request, Response};
+
+/// One TCP connection speaking the line protocol.
+pub struct PbClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl PbClient {
+    pub fn connect(addr: SocketAddr) -> Result<PbClient, PbError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| PbError::Internal(format!("connect {addr}: {e}")))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| PbError::Internal(format!("clone stream: {e}")))?;
+        Ok(PbClient {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// One request, one response. A dropped connection (e.g. the
+    /// `client-disconnect` fault) surfaces as an error.
+    pub fn request(&mut self, req: &Request) -> Result<Response, PbError> {
+        write_line(&mut self.writer, req)?;
+        read_line(&mut self.reader)?
+            .ok_or_else(|| PbError::Internal("connection closed by server".into()))
+    }
+
+    /// Submit and return the assigned id, or the rejection.
+    pub fn submit(&mut self, req: &Request) -> Result<Result<u64, Response>, PbError> {
+        match self.request(req)? {
+            Response::Accepted { id, .. } => Ok(Ok(id)),
+            other => Ok(Err(other)),
+        }
+    }
+
+    /// Poll `status` until the request is terminal or `timeout` passes.
+    pub fn wait(&mut self, id: u64, timeout: Duration) -> Result<QueryResult, PbError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.request(&Request::Status { id })? {
+                Response::Status {
+                    phase: ReqPhase::Done(result),
+                    ..
+                } => return Ok(result),
+                Response::Status { .. } => {}
+                other => {
+                    return Err(PbError::Internal(format!(
+                        "unexpected status reply: {other:?}"
+                    )))
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(PbError::Internal(format!("request {id} timed out")));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}

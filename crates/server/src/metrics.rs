@@ -1,0 +1,126 @@
+//! Server-wide counters and latency quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::protocol::ServerStats;
+
+/// Lock-free counters plus a mutex-guarded latency record. Latencies are
+/// kept exactly (one f64 per completed request) — a serving benchmark runs
+/// thousands of requests, not billions, and exact p99 beats a sketch when
+/// the numbers land in a regression gate.
+#[derive(Default)]
+pub struct Metrics {
+    pub submitted: AtomicU64,
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub degraded: AtomicU64,
+    pub budget_exhausted: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub failed: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub workers_replaced: AtomicU64,
+    latencies_ms: Mutex<Vec<f64>>,
+    max_subopt: Mutex<f64>,
+}
+
+impl Metrics {
+    pub fn observe_latency(&self, ms: f64) {
+        self.latencies_ms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(ms);
+    }
+
+    /// Fold one completed run's sub-optimality into the running maximum —
+    /// the server's "MSO so far".
+    pub fn observe_subopt(&self, subopt: f64) {
+        let mut m = self
+            .max_subopt
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if subopt > *m {
+            *m = subopt;
+        }
+    }
+
+    /// Latency quantile in milliseconds (nearest-rank); `0` with no data.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut v = self
+            .latencies_ms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(f64::total_cmp);
+        let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+        v[idx]
+    }
+
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        inflight: usize,
+        tenants: Vec<(String, f64, f64)>,
+    ) -> ServerStats {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServerStats {
+            submitted: g(&self.submitted),
+            accepted: g(&self.accepted),
+            rejected: g(&self.rejected),
+            completed: g(&self.completed),
+            degraded: g(&self.degraded),
+            budget_exhausted: g(&self.budget_exhausted),
+            cancelled: g(&self.cancelled),
+            failed: g(&self.failed),
+            worker_panics: g(&self.worker_panics),
+            workers_replaced: g(&self.workers_replaced),
+            queue_depth,
+            inflight,
+            p50_ms: self.latency_quantile(0.50),
+            p99_ms: self.latency_quantile(0.99),
+            max_subopt: *self
+                .max_subopt
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let m = Metrics::default();
+        for i in 1..=100 {
+            m.observe_latency(f64::from(i));
+        }
+        assert_eq!(m.latency_quantile(0.50), 50.0);
+        assert_eq!(m.latency_quantile(0.99), 99.0);
+        assert_eq!(m.latency_quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_zero() {
+        let m = Metrics::default();
+        let s = m.snapshot(0, 0, Vec::new());
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.max_subopt, 0.0);
+        assert_eq!(s.accepted, 0);
+    }
+
+    #[test]
+    fn max_subopt_is_monotone() {
+        let m = Metrics::default();
+        m.observe_subopt(2.0);
+        m.observe_subopt(1.5);
+        m.observe_subopt(3.0);
+        assert_eq!(m.snapshot(0, 0, Vec::new()).max_subopt, 3.0);
+    }
+}

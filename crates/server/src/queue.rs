@@ -1,0 +1,146 @@
+//! Bounded admission queue with explicit backpressure.
+//!
+//! Producers never block: a full queue rejects immediately (the protocol
+//! turns that into `Rejected { retry_after_ms }`), so admission cost is
+//! O(1) regardless of load. Consumers block on a condvar. `close()` stops
+//! admission but lets consumers drain what was already accepted — the
+//! mechanism behind graceful drain: every accepted request is answered.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity — back off and retry.
+    Full,
+    /// Closed (draining/shut down) — do not retry here.
+    Closed,
+}
+
+struct State<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue (mutex + condvar, std only).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Recover the guard even if a holder panicked: queue state is a plain
+    /// VecDeque plus a flag, valid at every instruction boundary, and
+    /// poisoning-on-panic would otherwise take the whole server down with
+    /// the one faulty worker.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking admission; `Ok(depth)` is the queue depth after the
+    /// push.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.q.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        s.q.push_back(item);
+        let depth = s.q.len();
+        drop(s);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop: `None` only once the queue is closed **and** empty, so
+    /// closing never abandons accepted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.q.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop admission; blocked consumers wake and drain the remainder.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_accepted_items_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

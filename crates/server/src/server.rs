@@ -1,0 +1,703 @@
+//! The bouquet server: admission, dispatch, containment, drain.
+//!
+//! ```text
+//!             ┌──────────── accept loop ───────────┐
+//!  TCP conn ──► connection thread (NDJSON lines)   │
+//!             │    submit ──► bounded queue ───────┼──► worker pool
+//!             │    status/cancel/stats ─► registry │      │ per-request
+//!             │    drain ──► stop + await pending  │      │ catch_unwind
+//!             └────────────────────────────────────┘      ▼
+//!                 supervisor respawns poisoned workers, requests run the
+//!                 robust driver on a SimulatorSubstrate with a per-tenant
+//!                 spend cap and a per-request cancellation token
+//! ```
+//!
+//! Everything is std: threads, mutexes, condvars, `std::net`. Catalogs,
+//! workloads and bouquets are loaded **once** at startup (warm-started
+//! through [`BouquetCache`] when a cache directory is given) and shared
+//! read-only across workers.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pb_bouquet::{
+    Bouquet, BouquetCache, BouquetConfig, ExecutionOutcome, ExecutionSubstrate, RobustConfig,
+    SimulatorSubstrate,
+};
+use pb_cost::Parallelism;
+use pb_executor::CostResumeBook;
+use pb_faults::{CancelToken, FaultInjector, FaultPlan, PbError};
+
+use crate::metrics::Metrics;
+use crate::protocol::{
+    read_line, write_line, QueryResult, ReqPhase, Request, Response, ServerStats,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::tenant::{Reservation, TenantLedger};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` to let the OS pick (read it back from
+    /// [`PbServer::addr`]).
+    pub addr: String,
+    /// Workload names to load and identify at startup (registry names).
+    pub workloads: Vec<String>,
+    /// Worker threads executing bouquet runs.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects with backpressure.
+    pub queue_cap: usize,
+    /// Per-tenant cumulative spend cap in cost units (`INFINITY` = none).
+    pub tenant_cap: f64,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Backoff hint attached to backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Server-side fault plan (slow-client, queue-stall, worker-panic,
+    /// client-disconnect sites). Empty = no faults.
+    pub faults: FaultPlan,
+    /// Byte cap for each retained checkpoint book.
+    pub resume_byte_cap: usize,
+    /// Warm-start identification through this [`BouquetCache`] directory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workloads: vec!["EQ_1D".into()],
+            workers: 2,
+            queue_cap: 16,
+            tenant_cap: f64::INFINITY,
+            default_deadline_ms: None,
+            retry_after_ms: 50,
+            faults: FaultPlan::none(),
+            resume_byte_cap: 1 << 20,
+            cache_dir: None,
+        }
+    }
+}
+
+/// A loaded, identified workload shared read-only across workers.
+struct Loaded {
+    bouquet: Bouquet,
+}
+
+/// Everything a dispatched request needs outside the registry lock.
+struct ReqMeta {
+    tenant: String,
+    workload: String,
+    fractions: Vec<f64>,
+    optimized: bool,
+    resume: bool,
+    cancel: CancelToken,
+    reservation: Reservation,
+}
+
+struct ReqState {
+    tenant: String,
+    workload: String,
+    fractions: Vec<f64>,
+    optimized: bool,
+    resume: bool,
+    cancel: CancelToken,
+    submitted: Instant,
+    phase: ReqPhase,
+}
+
+/// Retained checkpoint books, keyed by (tenant, workload, qa bits) so a
+/// cancelled request's **identical resubmission** resumes.
+type BookKey = (String, String, Vec<u64>);
+
+struct Shared {
+    cfg: ServerConfig,
+    loaded: HashMap<String, Arc<Loaded>>,
+    queue: BoundedQueue<u64>,
+    reqs: Mutex<HashMap<u64, ReqState>>,
+    next_id: AtomicU64,
+    ledger: TenantLedger,
+    metrics: Metrics,
+    faults: Mutex<FaultInjector>,
+    books: Mutex<HashMap<BookKey, CostResumeBook>>,
+    /// Requests accepted but not yet terminal.
+    pending: AtomicUsize,
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    /// Set once drain decided workers may exit; stops supervisor respawns.
+    stop_workers: AtomicBool,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        self.metrics.snapshot(
+            self.queue.len(),
+            self.inflight.load(Ordering::Relaxed),
+            self.ledger.snapshot(),
+        )
+    }
+
+    fn book_key(&self, m: &ReqMeta) -> BookKey {
+        (
+            m.tenant.clone(),
+            m.workload.clone(),
+            m.fractions.iter().map(|f| f.to_bits()).collect(),
+        )
+    }
+}
+
+/// Payload [`FaultPlan`]-driven worker panics unwind with, so genuine bugs
+/// (which unwind with other payloads) stay distinguishable in logs.
+struct InjectedPanic;
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`PbServer::stop`] (immediate drain) or [`PbServer::wait`] (serve until
+/// a client drains it).
+pub struct PbServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl PbServer {
+    /// Load + identify every configured workload, bind, and start serving.
+    pub fn start(cfg: ServerConfig) -> Result<PbServer, PbError> {
+        let mut loaded = HashMap::new();
+        let bcfg = BouquetConfig::default();
+        let cache = match &cfg.cache_dir {
+            Some(dir) => Some(BouquetCache::new(dir)?),
+            None => None,
+        };
+        for name in &cfg.workloads {
+            let w = pb_workloads::by_name(name)
+                .ok_or_else(|| PbError::Internal(format!("unknown workload {name}")))?;
+            let bouquet = match &cache {
+                Some(c) => c.get_or_identify(&w, &bcfg, Parallelism::auto())?.0,
+                None => Bouquet::identify(&w, &bcfg)?,
+            };
+            loaded.insert(name.clone(), Arc::new(Loaded { bouquet }));
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| PbError::Internal(format!("bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PbError::Internal(format!("local_addr: {e}")))?;
+
+        let workers = cfg.workers.max(1);
+        let queue_cap = cfg.queue_cap.max(1);
+        let tenant_cap = cfg.tenant_cap;
+        let faults = FaultInjector::new(&cfg.faults);
+        let shared = Arc::new(Shared {
+            cfg,
+            loaded,
+            queue: BoundedQueue::new(queue_cap),
+            reqs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            ledger: TenantLedger::new(tenant_cap),
+            metrics: Metrics::default(),
+            faults: Mutex::new(faults),
+            books: Mutex::new(HashMap::new()),
+            pending: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&s))
+            })
+            .collect();
+        let supervisor = {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || supervise(&s, handles))
+        };
+        let accept = {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&s, &listener))
+        };
+        Ok(PbServer {
+            shared,
+            accept: Some(accept),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serve until a client issues `drain`, then join all threads.
+    pub fn wait(mut self) -> ServerStats {
+        self.join_threads();
+        self.shared.stats()
+    }
+
+    /// Drain and shut down from the owning process: stop admitting, answer
+    /// everything accepted, stop workers, close the listener.
+    pub fn stop(mut self) -> ServerStats {
+        drain_to_stop(&self.shared);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        poke_accept(&self.shared);
+        self.join_threads();
+        self.shared.stats()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Stop admission, wait for every accepted request to reach a terminal
+/// state, then let workers exit. Bounded wait: a wedged run past its
+/// deadline still counts down via its cancellation token, so in practice
+/// pending always reaches zero; the cap is a last-resort escape.
+fn drain_to_stop(s: &Shared) {
+    s.draining.store(true, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while s.pending.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    s.stop_workers.store(true, Ordering::SeqCst);
+    s.queue.close();
+}
+
+/// Unblock the accept loop after `shutdown` is set.
+fn poke_accept(s: &Shared) {
+    let _ = TcpStream::connect(s.addr);
+}
+
+fn accept_loop(s: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if s.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let s2 = Arc::clone(s);
+        std::thread::spawn(move || serve_connection(&s2, stream));
+    }
+}
+
+fn serve_connection(s: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let req: Request = match read_line(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_line(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                continue;
+            }
+        };
+        // Fault site `server:slow-client`: the handler stalls as if the
+        // client trickled its line in; workers are unaffected.
+        let stall = lock(&s.faults).slow_client_ms();
+        if let Some(ms) = stall {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let is_drain = req == Request::Drain;
+        let resp = handle_request(s, req);
+        // Fault site `server:client-disconnect`: drop the connection
+        // before the response is written. The request itself (if any) was
+        // already admitted and will complete server-side.
+        if lock(&s.faults).client_disconnect() {
+            return;
+        }
+        if write_line(&mut writer, &resp).is_err() {
+            return;
+        }
+        if is_drain {
+            s.shutdown.store(true, Ordering::SeqCst);
+            poke_accept(s);
+            return;
+        }
+    }
+}
+
+fn handle_request(s: &Arc<Shared>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Submit {
+            tenant,
+            workload,
+            fractions,
+            optimized,
+            resume,
+            deadline_ms,
+        } => submit(
+            s,
+            tenant,
+            workload,
+            fractions,
+            optimized,
+            resume,
+            deadline_ms,
+        ),
+        Request::Status { id } => match lock(&s.reqs).get(&id) {
+            Some(r) => Response::Status {
+                id,
+                phase: r.phase.clone(),
+            },
+            None => Response::Error {
+                message: format!("unknown request id {id}"),
+            },
+        },
+        Request::Cancel { id } => match lock(&s.reqs).get(&id) {
+            Some(r) => {
+                r.cancel.cancel();
+                Response::Status {
+                    id,
+                    phase: r.phase.clone(),
+                }
+            }
+            None => Response::Error {
+                message: format!("unknown request id {id}"),
+            },
+        },
+        Request::Stats => Response::Stats { stats: s.stats() },
+        Request::Drain => {
+            drain_to_stop(s);
+            Response::Drained { stats: s.stats() }
+        }
+    }
+}
+
+fn submit(
+    s: &Arc<Shared>,
+    tenant: String,
+    workload: String,
+    fractions: Vec<f64>,
+    optimized: bool,
+    resume: bool,
+    deadline_ms: Option<u64>,
+) -> Response {
+    s.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+    if s.draining.load(Ordering::SeqCst) {
+        s.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::Rejected {
+            reason: "draining".into(),
+            retry_after_ms: s.cfg.retry_after_ms,
+        };
+    }
+    let Some(loaded) = s.loaded.get(&workload) else {
+        return Response::Error {
+            message: format!("unknown workload {workload}"),
+        };
+    };
+    let d = loaded.bouquet.workload.ess.d();
+    if fractions.len() != d || fractions.iter().any(|f| !(0.0..=1.0).contains(f)) {
+        return Response::Error {
+            message: format!("fractions must be {d} values in [0,1]"),
+        };
+    }
+    let cancel = match deadline_ms.or(s.cfg.default_deadline_ms) {
+        Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    let id = s.next_id.fetch_add(1, Ordering::SeqCst);
+    lock(&s.reqs).insert(
+        id,
+        ReqState {
+            tenant,
+            workload,
+            fractions,
+            optimized,
+            resume,
+            cancel,
+            submitted: Instant::now(),
+            phase: ReqPhase::Queued,
+        },
+    );
+    s.pending.fetch_add(1, Ordering::SeqCst);
+    match s.queue.try_push(id) {
+        Ok(depth) => {
+            s.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            Response::Accepted {
+                id,
+                queue_depth: depth,
+            }
+        }
+        Err(e) => {
+            lock(&s.reqs).remove(&id);
+            s.pending.fetch_sub(1, Ordering::SeqCst);
+            s.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Rejected {
+                reason: match e {
+                    PushError::Full => "queue full".into(),
+                    PushError::Closed => "draining".into(),
+                },
+                retry_after_ms: s.cfg.retry_after_ms,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(s: &Arc<Shared>) {
+    while let Some(id) = s.queue.pop() {
+        // Fault site `server:queue-stall`: dispatch hiccups, surfacing as
+        // added queueing latency — never as a dropped request.
+        let stall = lock(&s.faults).queue_stall_ms();
+        if let Some(ms) = stall {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let Some(meta) = begin_request(s, id) else {
+            continue;
+        };
+        s.inflight.fetch_add(1, Ordering::SeqCst);
+        let run = catch_unwind(AssertUnwindSafe(|| execute_request(s, id, &meta)));
+        s.inflight.fetch_sub(1, Ordering::SeqCst);
+        if run.is_err() {
+            // Containment: the request gets a typed terminal error, the
+            // tenant is charged its full reservation (an over- but never an
+            // under-charge: the run's spend is bounded by it), and this
+            // worker is considered poisoned — it exits and the supervisor
+            // replaces it. The server never goes down.
+            s.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let charged = if meta.reservation.amount.is_finite() {
+                meta.reservation.amount
+            } else {
+                0.0
+            };
+            s.ledger.settle(&meta.reservation, charged);
+            finish(
+                s,
+                id,
+                QueryResult {
+                    outcome: "failed".into(),
+                    total_cost: charged,
+                    reused_cost: 0.0,
+                    final_plan: None,
+                    subopt: None,
+                    events: 0,
+                    error: Some(
+                        PbError::Internal("worker panicked; request aborted".into()).to_string(),
+                    ),
+                },
+            );
+            return;
+        }
+    }
+}
+
+/// Respawn poisoned workers until the server decides they may exit.
+fn supervise(s: &Arc<Shared>, mut handles: Vec<JoinHandle<()>>) {
+    loop {
+        std::thread::sleep(Duration::from_millis(5));
+        let stopping = s.stop_workers.load(Ordering::SeqCst);
+        for h in &mut handles {
+            if h.is_finished() && !stopping {
+                let s2 = Arc::clone(s);
+                let fresh = std::thread::spawn(move || worker_loop(&s2));
+                let dead = std::mem::replace(h, fresh);
+                let _ = dead.join();
+                s.metrics.workers_replaced.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if stopping && handles.iter().all(JoinHandle::is_finished) {
+            for h in handles {
+                let _ = h.join();
+            }
+            return;
+        }
+    }
+}
+
+/// Mark `id` running, snapshot its fields and reserve its tenant budget.
+fn begin_request(s: &Arc<Shared>, id: u64) -> Option<ReqMeta> {
+    let (tenant, workload, fractions, optimized, resume, cancel) = {
+        let mut reqs = lock(&s.reqs);
+        let r = reqs.get_mut(&id)?;
+        r.phase = ReqPhase::Running;
+        (
+            r.tenant.clone(),
+            r.workload.clone(),
+            r.fractions.clone(),
+            r.optimized,
+            r.resume,
+            r.cancel.clone(),
+        )
+    };
+    let reservation = s.ledger.reserve(&tenant);
+    Some(ReqMeta {
+        tenant,
+        workload,
+        fractions,
+        optimized,
+        resume,
+        cancel,
+        reservation,
+    })
+}
+
+/// Execute one admitted request end to end. Panics (injected or genuine)
+/// unwind to the worker loop's containment.
+#[allow(clippy::panic)] // the worker-panic fault site unwinds on purpose
+fn execute_request(s: &Arc<Shared>, id: u64, meta: &ReqMeta) {
+    if lock(&s.faults).worker_panic() {
+        // Deliberate unwind — the `server:worker-panic` fault site.
+        std::panic::panic_any(InjectedPanic);
+    }
+    let Some(loaded) = s.loaded.get(&meta.workload) else {
+        s.ledger.settle(&meta.reservation, 0.0);
+        finish(
+            s,
+            id,
+            fail_result(&PbError::Internal("workload vanished".into())),
+        );
+        return;
+    };
+    let b = &loaded.bouquet;
+    let qa = b.workload.ess.point_at_fractions(&meta.fractions);
+    let cfg = RobustConfig {
+        optimized: meta.optimized,
+        resume: meta.resume,
+        spend_cap: meta
+            .reservation
+            .amount
+            .is_finite()
+            .then_some(meta.reservation.amount),
+        cancel: Some(meta.cancel.clone()),
+        ..Default::default()
+    };
+    let mut sub = match SimulatorSubstrate::new(b, &qa, FaultInjector::none()) {
+        Ok(sub) => sub.with_cancel(meta.cancel.clone()),
+        Err(e) => {
+            s.ledger.settle(&meta.reservation, 0.0);
+            finish(s, id, fail_result(&e));
+            return;
+        }
+    };
+    if meta.resume {
+        sub.set_resume_byte_cap(s.cfg.resume_byte_cap);
+        let key = s.book_key(meta);
+        if let Some(book) = lock(&s.books).remove(&key) {
+            sub.install_resume_book(book);
+        }
+    }
+
+    match b.run_robust_on(&mut sub, &cfg) {
+        Ok(rr) => {
+            let stats = sub.resume_stats();
+            let (outcome, final_plan, cancelled) = match rr.run.outcome {
+                ExecutionOutcome::Completed { final_plan, .. } => {
+                    ("completed", Some(final_plan), false)
+                }
+                ExecutionOutcome::Degraded { final_plan, .. } => {
+                    ("degraded", Some(final_plan), false)
+                }
+                ExecutionOutcome::BudgetExhausted { .. } => ("budget-exhausted", None, false),
+                ExecutionOutcome::Cancelled { .. } => ("cancelled", None, true),
+            };
+            let key = s.book_key(meta);
+            if meta.resume {
+                match (cancelled, sub.take_resume_book()) {
+                    // Retain checkpoints for the resubmission of a
+                    // cancelled request; drop them once a terminal answer
+                    // was produced.
+                    (true, Some(book)) => {
+                        lock(&s.books).insert(key, book);
+                    }
+                    _ => {
+                        lock(&s.books).remove(&key);
+                    }
+                }
+            }
+            let subopt = if outcome == "completed" {
+                let opt = sub.run_native_at(&qa);
+                let so = (stats.reused_cost + rr.run.total_cost) / opt;
+                s.metrics.observe_subopt(so);
+                Some(so)
+            } else {
+                None
+            };
+            s.ledger.settle(&meta.reservation, rr.run.total_cost);
+            finish(
+                s,
+                id,
+                QueryResult {
+                    outcome: outcome.into(),
+                    total_cost: rr.run.total_cost,
+                    reused_cost: stats.reused_cost,
+                    final_plan,
+                    subopt,
+                    events: rr.events.len(),
+                    error: None,
+                },
+            );
+        }
+        Err(e) => {
+            s.ledger.settle(&meta.reservation, 0.0);
+            finish(s, id, fail_result(&e));
+        }
+    }
+}
+
+fn fail_result(e: &PbError) -> QueryResult {
+    QueryResult {
+        outcome: "failed".into(),
+        total_cost: 0.0,
+        reused_cost: 0.0,
+        final_plan: None,
+        subopt: None,
+        events: 0,
+        error: Some(e.to_string()),
+    }
+}
+
+/// Record a request's terminal state: registry phase, outcome counter,
+/// latency, pending count. Every accepted request passes through here
+/// exactly once.
+fn finish(s: &Arc<Shared>, id: u64, result: QueryResult) {
+    match result.outcome.as_str() {
+        "completed" => &s.metrics.completed,
+        "degraded" => &s.metrics.degraded,
+        "budget-exhausted" => &s.metrics.budget_exhausted,
+        "cancelled" => &s.metrics.cancelled,
+        _ => &s.metrics.failed,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    let mut reqs = lock(&s.reqs);
+    if let Some(r) = reqs.get_mut(&id) {
+        s.metrics
+            .observe_latency(r.submitted.elapsed().as_secs_f64() * 1e3);
+        r.phase = ReqPhase::Done(result);
+    }
+    drop(reqs);
+    s.pending.fetch_sub(1, Ordering::SeqCst);
+}

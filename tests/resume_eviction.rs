@@ -1,0 +1,220 @@
+//! Byte-capped checkpoint books: eviction never breaks resume ≡ restart.
+//!
+//! The LRU byte caps on [`CostResumeBook`] (simulator) and [`ResumeBook`]
+//! (engine) bound a long-lived process's checkpoint memory — the serving
+//! layer keys a book per (tenant, workload, location) and cannot let any of
+//! them grow without bound. The contract under eviction is strict:
+//!
+//! * a capped book only ever loses **credit** — the observable outcome of
+//!   every execution stays bit-identical to both the uncapped book and a
+//!   cold restart;
+//! * `spent + reused` still equals the restart-semantics cost exactly;
+//! * the cap is actually enforced (evictions observed, retained bytes /
+//!   entries bounded).
+
+use std::sync::OnceLock;
+
+use plan_bouquet::bouquet::{
+    Bouquet, BouquetConfig, ExecutionSubstrate, RobustConfig, SimulatorSubstrate,
+};
+use plan_bouquet::engine::{Database, Engine, ResumeBook};
+use plan_bouquet::faults::FaultInjector;
+use plan_bouquet::plan::PlanNode;
+use plan_bouquet::workloads;
+
+/// A tiny cap: enough bytes for a couple of checkpoints, far fewer than a
+/// full discovery run captures.
+const TINY_CAP: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Engine book (ResumeBook)
+// ---------------------------------------------------------------------------
+
+fn engine_fixture() -> &'static (plan_bouquet::bouquet::Workload, Database) {
+    static F: OnceLock<(plan_bouquet::bouquet::Workload, Database)> = OnceLock::new();
+    F.get_or_init(|| {
+        let w = workloads::h_q8a_2d(0.01);
+        let db = Database::generate(&w.catalog, 42, &[]).expect("generate");
+        (w, db)
+    })
+}
+
+/// The contour-style ascending budget ladder, twice over (the second pass
+/// replays against whatever checkpoints survived the cap).
+const LADDER: [f64; 6] = [0.1, 0.4, 0.75, 1.0, 0.4, 1.0];
+
+#[test]
+fn engine_ladder_with_tiny_cap_is_bit_identical_and_evicts() {
+    let (w, db) = engine_fixture();
+    let engine = Engine::new(db, &w.query, &w.model.p);
+    let plan = PlanNode::HashJoin {
+        build: Box::new(PlanNode::HashJoin {
+            build: Box::new(PlanNode::SeqScan { rel: 0 }),
+            probe: Box::new(PlanNode::SeqScan { rel: 1 }),
+            edges: vec![0],
+        }),
+        probe: Box::new(PlanNode::SeqScan { rel: 2 }),
+        edges: vec![1],
+    };
+    let full = engine.execute(&plan, f64::INFINITY).cost();
+
+    let mut unbounded = ResumeBook::new();
+    let mut capped = ResumeBook::with_byte_cap(TINY_CAP);
+    let mut reused_unbounded = 0.0;
+    let mut reused_capped = 0.0;
+    for frac in LADDER {
+        let budget = full * frac;
+        let plain = engine.execute(&plan, budget);
+        let (r_unb, c_unb) = engine.execute_resumable(&plan, budget, &mut unbounded);
+        let (r_cap, c_cap) = engine.execute_resumable(&plan, budget, &mut capped);
+        assert_eq!(
+            plain, r_unb,
+            "@{frac}: unbounded book diverged from restart"
+        );
+        assert_eq!(plain, r_cap, "@{frac}: capped book diverged from restart");
+        assert_eq!(
+            plain.cost().to_bits(),
+            r_cap.cost().to_bits(),
+            "@{frac}: cost bits diverged under eviction"
+        );
+        reused_unbounded += c_unb;
+        reused_capped += c_cap;
+    }
+    assert!(
+        reused_unbounded > 0.0,
+        "unbounded book never engaged — the ladder is not exercising resume"
+    );
+    assert!(
+        reused_capped <= reused_unbounded,
+        "eviction cannot create credit: capped {reused_capped} > unbounded {reused_unbounded}"
+    );
+    assert!(
+        capped.evictions() > 0,
+        "tiny cap never evicted ({} checkpoints, {} bytes retained)",
+        capped.checkpoints(),
+        capped.bytes()
+    );
+    assert!(
+        capped.bytes() <= TINY_CAP,
+        "cap not enforced: {} bytes retained under a {TINY_CAP}-byte cap",
+        capped.bytes()
+    );
+    assert_eq!(unbounded.evictions(), 0, "unbounded book must never evict");
+}
+
+// ---------------------------------------------------------------------------
+// Simulator book (CostResumeBook) through the robust driver
+// ---------------------------------------------------------------------------
+
+fn bouquet_1d() -> &'static Bouquet {
+    static B: OnceLock<Bouquet> = OnceLock::new();
+    B.get_or_init(|| {
+        Bouquet::identify(&workloads::eq_1d(), &BouquetConfig::default()).expect("identify")
+    })
+}
+
+/// Decision sequence + outcome, the bits resume must never change. The
+/// outcome's `final_cost` is the final execution's *paid* cost — the one
+/// number resume is allowed (required) to shrink — so it is normalized
+/// away; the plan choice and every (contour, plan, budget) decision are
+/// compared exactly.
+fn decisions(run: &plan_bouquet::bouquet::RobustRun) -> (String, Vec<(usize, usize, f64)>) {
+    use plan_bouquet::bouquet::ExecutionOutcome as O;
+    let outcome = match &run.run.outcome {
+        O::Completed { final_plan, .. } => format!("completed:{final_plan}"),
+        O::Degraded { final_plan, .. } => format!("degraded:{final_plan}"),
+        O::BudgetExhausted { .. } => "budget-exhausted".into(),
+        O::Cancelled { .. } => "cancelled".into(),
+    };
+    (
+        outcome,
+        run.run
+            .trace
+            .iter()
+            .map(|e| (e.contour, e.plan, e.budget))
+            .collect(),
+    )
+}
+
+#[test]
+fn robust_driver_with_tiny_cap_matches_restart_at_every_location() {
+    let b = bouquet_1d();
+    // One retained entry: every additional checkpoint evicts the previous.
+    let sim_cap = 48;
+
+    let mut evictions_seen = 0u64;
+    let mut reuse_seen = false;
+    for (frac, optimized) in [
+        (0.15, false),
+        (0.35, true),
+        (0.55, false),
+        (0.8, true),
+        (0.97, false),
+    ] {
+        let cfg_plain = RobustConfig {
+            optimized,
+            ..Default::default()
+        };
+        let cfg_resume = RobustConfig {
+            optimized,
+            resume: true,
+            ..Default::default()
+        };
+        let qa = b.workload.ess.point_at_fractions(&[frac]);
+        let mk = || SimulatorSubstrate::new(b, &qa, FaultInjector::none()).expect("substrate");
+
+        let mut plain_sub = mk();
+        let plain = b.run_robust_on(&mut plain_sub, &cfg_plain).expect("plain");
+
+        let mut unb_sub = mk();
+        let unbounded = b
+            .run_robust_on(&mut unb_sub, &cfg_resume)
+            .expect("unbounded");
+
+        let mut cap_sub = mk();
+        cap_sub.set_resume_byte_cap(sim_cap);
+        let capped = b.run_robust_on(&mut cap_sub, &cfg_resume).expect("capped");
+
+        // Outcome and decision sequence: identical across plain, resumed
+        // and capped-resumed.
+        assert_eq!(
+            decisions(&plain),
+            decisions(&unbounded),
+            "@{frac}: resume changed the run"
+        );
+        assert_eq!(
+            decisions(&plain),
+            decisions(&capped),
+            "@{frac}: eviction changed the run"
+        );
+
+        // Cost identity: spent + reused == restart cost, for both books.
+        let restart = plain.run.total_cost;
+        for (label, run, sub) in [
+            ("unbounded", &unbounded, &unb_sub),
+            ("capped", &capped, &cap_sub),
+        ] {
+            let reused = sub.resume_stats().reused_cost;
+            let paid = run.run.total_cost + reused;
+            assert!(
+                (paid - restart).abs() <= 1e-9 * restart.abs().max(1.0),
+                "@{frac} {label}: spent+reused {paid} != restart {restart}"
+            );
+        }
+        // Eviction only sheds credit, never creates it.
+        assert!(
+            cap_sub.resume_stats().reused_cost <= unb_sub.resume_stats().reused_cost + 1e-9,
+            "@{frac}: capped book reused more than the unbounded book"
+        );
+        reuse_seen |= unb_sub.resume_stats().reused_cost > 0.0;
+        evictions_seen += cap_sub
+            .take_resume_book()
+            .map(|book| book.evictions())
+            .unwrap_or(0);
+    }
+    assert!(reuse_seen, "resume never engaged across the location sweep");
+    assert!(
+        evictions_seen > 0,
+        "the tiny cap never evicted across the location sweep"
+    );
+}
