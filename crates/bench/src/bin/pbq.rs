@@ -144,6 +144,7 @@ fn list() {
         );
     }
     println!("auxiliary: EQ_1D  2D_H_Q8A  3D_H_Q5B  4D_H_Q8B");
+    println!("hostile:   HOSTILE_INEQ_2D  HOSTILE_ANTI_2D");
 }
 
 fn show(w: pb_bouquet::Workload, _rest: &[String]) {
@@ -973,7 +974,10 @@ fn chaos_cmd(rest: &[String]) {
 /// contour/plan/budget sequence on the engine differs from the simulator's
 /// at the engine's measured true location (cost-inversion cross-check).
 /// `--json` merges the report into the file's `table3` section, keeping any
-/// other sections of the artifact intact.
+/// other sections of the artifact intact. Also runs the hostile
+/// typed-dimension workloads (`HOSTILE_INEQ_2D`, `HOSTILE_ANTI_2D`) through
+/// the same ladder, merged as the `table3_hostile` section; a cross-check
+/// divergence or a violated MSO bound on either exits non-zero.
 fn table3_cmd(rest: &[String]) {
     let sf: f64 = match rest.iter().position(|a| a == "--sf") {
         Some(i) => rest
@@ -992,10 +996,17 @@ fn table3_cmd(rest: &[String]) {
 
     let (text, report) = pb_bench::experiments::table3::run_at_with(sf, engine_par());
     print!("{text}");
+    let (htext, hreports) = pb_bench::experiments::hostile::run_at_with(sf, engine_par());
+    println!();
+    print!("{htext}");
     if let Some(path) = json_path {
         let json = serde_json::to_string(&report).expect("serialize table3 report");
         let section = serde_json::from_str::<serde::Value>(&json).expect("reparse table3 report");
         merge_json_section(&path, "table3", section);
+        let hjson = serde_json::to_string(&hreports).expect("serialize hostile reports");
+        let hsection =
+            serde_json::from_str::<serde::Value>(&hjson).expect("reparse hostile reports");
+        merge_json_section(&path, "table3_hostile", hsection);
     }
     if !report.crosscheck_ok {
         eprintln!(
@@ -1003,6 +1014,22 @@ fn table3_cmd(rest: &[String]) {
              between the engine substrate and the simulator at the measured qa"
         );
         std::process::exit(1);
+    }
+    for r in &hreports {
+        if !r.crosscheck_ok || !r.mso_within_bound {
+            eprintln!(
+                "table3 FAILED: hostile workload {} {} (crosscheck {}, MSO bound {})",
+                r.workload,
+                if r.crosscheck_ok {
+                    "violates its MSO bound"
+                } else {
+                    "diverges between engine and simulator"
+                },
+                r.crosscheck_ok,
+                r.mso_within_bound,
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -1317,12 +1344,14 @@ fn bench_check(rest: &[String]) {
     );
     let resume = run("resume", regress::resume_bench(0.01));
     let serve = run("serve", pb_bench::serve::serve_bench());
+    let hostile = run("hostile", regress::hostile_bench(0.005));
     let current = Value::Obj(vec![
         ("engine".to_string(), engine),
         ("identify".to_string(), identify),
         ("engine_mt".to_string(), engine_mt),
         ("resume".to_string(), resume),
         ("serve".to_string(), serve),
+        ("hostile".to_string(), hostile),
     ]);
 
     if update {
@@ -1382,8 +1411,11 @@ fn sensitivity(w: pb_bouquet::Workload, _rest: &[String]) {
     println!("dimension sensitivity (Section 8 low-resolution map):");
     for s in dim_analysis::sensitivities(&w, 3) {
         println!(
-            "  dim {} ({:<14}) max cost swing {:>10.1}x",
-            s.dim, s.name, s.max_cost_ratio
+            "  dim {} ({:<14} {:<15}) max cost swing {:>10.1}x",
+            s.dim,
+            s.name,
+            s.kind.label(),
+            s.max_cost_ratio
         );
     }
 }

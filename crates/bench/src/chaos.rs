@@ -25,7 +25,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use pb_bouquet::{Bouquet, BouquetConfig, ExecutionOutcome, RobustConfig};
 use pb_engine::{Database, Engine};
 use pb_faults::{splitmix64, unit_f64, FaultInjector, FaultKind, FaultPlan, Trigger};
-use pb_workloads::{ds_q15_3d, eq_1d, h_q8a_2d};
+use pb_workloads::{ds_q15_3d, eq_1d, h_q8a_2d, hostile_anti_2d, hostile_ineq_2d};
 
 use crate::table::Table;
 
@@ -166,7 +166,16 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
 
     // Identified once, reused for every scenario (identification is
     // fault-free; the campaign targets the run-time drivers).
-    let workloads = [eq_1d(), h_q8a_2d(0.01), ds_q15_3d()];
+    let workloads = [
+        eq_1d(),
+        h_q8a_2d(0.01),
+        ds_q15_3d(),
+        // Typed-dimension hostile spaces: the inequality-join and
+        // (pre-flipped) anti-join axes must survive the same fault sweep as
+        // the classic selection/PK–FK spaces.
+        hostile_ineq_2d(0.01),
+        hostile_anti_2d(0.01),
+    ];
     let bouquets: Vec<Bouquet> = workloads
         .iter()
         .map(|w| {
@@ -269,6 +278,7 @@ pub fn run_campaign(seed: u64) -> CampaignReport {
     scenarios += engine_scenarios(seed, &mut breaches, &mut cells);
     scenarios += parallel_engine_scenarios(seed, &mut breaches, &mut cells);
     scenarios += engine_substrate_scenarios(seed, &mut breaches, &mut cells);
+    scenarios += hostile_engine_scenarios(seed, &mut breaches, &mut cells);
     scenarios += cancel_resume_scenarios(seed, &bouquets[0], &mut breaches, &mut cells);
     scenarios += server_scenarios(seed, &mut breaches, &mut cells);
 
@@ -572,6 +582,141 @@ fn engine_substrate_scenarios(
                         && replay.resolved == out.resolved => {}
                 Ok(_) => breaches.push(format!("{}: spill replay diverged", tag())),
                 Err(_) => breaches.push(format!("{}: spill replay PANIC", tag())),
+            }
+        }
+    }
+    ran
+}
+
+/// Hostile typed-dimension block: the inequality-join and anti-join error
+/// spaces (stale-statistics setups from the `hostile` experiment) driven
+/// through the robust ladder on the real engine substrate under operator
+/// and spill faults. The new semi/anti/BNL kernels and the per-kind
+/// observation mapping (including the flipped anti axis) must uphold the
+/// same invariants as the classic spaces: no panics, exact charging,
+/// bit-identical replay, and empty-plan equivalence with the plain driver.
+fn hostile_engine_scenarios(
+    seed: u64,
+    breaches: &mut Vec<String>,
+    cells: &mut Vec<(String, Cell)>,
+) -> usize {
+    let setups = [("ineq", 0usize), ("anti", 1usize)].map(|(short, which)| {
+        let made = catch_unwind(AssertUnwindSafe(|| {
+            if which == 0 {
+                crate::experiments::hostile::setup_ineq(0.003)
+            } else {
+                crate::experiments::hostile::setup_anti(0.003)
+            }
+        }));
+        (short, made)
+    });
+
+    let mut s = seed ^ 0x0005_11E5;
+    let mut nth = |hi: u64| 1 + splitmix64(&mut s) % hi;
+    let fault_plans: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        (
+            "operator-failure",
+            FaultPlan::new(seed ^ 21).with(
+                FaultKind::OperatorFailure { waste_frac: 0.6 },
+                Trigger::Nth(nth(8)),
+            ),
+        ),
+        (
+            "spill-failure",
+            FaultPlan::new(seed ^ 22).with(FaultKind::SpillFailure, Trigger::Nth(nth(2))),
+        ),
+    ];
+
+    let mut ran = 0usize;
+    for (short, made) in setups {
+        let (_w, b, db) = match made {
+            Ok(t) => t,
+            Err(_) => {
+                breaches.push(format!("hostile-{short}: setup PANIC"));
+                continue;
+            }
+        };
+        for optimized in [false, true] {
+            let driver = if optimized { "opt" } else { "basic" };
+            for (label, fp) in &fault_plans {
+                let ci = cell_of(cells, format!("hostile-{short}:{label}|{driver}"));
+                ran += 1;
+                cells[ci].1.scenarios += 1;
+                let cfg = RobustConfig {
+                    faults: fp.clone(),
+                    plan_retries: 1,
+                    max_violations: 3,
+                    optimized,
+                    resume: false,
+                    ..Default::default()
+                };
+                let tag = || format!("hostile-{short}/{driver}/{label}");
+                let robust = |cfg: &RobustConfig| {
+                    let mut sub =
+                        pb_bouquet::EngineSubstrate::new(&b, &db, FaultInjector::new(&cfg.faults));
+                    b.run_robust_on(&mut sub, cfg)
+                };
+                let run = match catch_unwind(AssertUnwindSafe(|| robust(&cfg))) {
+                    Ok(Ok(r)) => r,
+                    Ok(Err(e)) => {
+                        breaches.push(format!("{}: driver error: {e}", tag()));
+                        continue;
+                    }
+                    Err(_) => {
+                        breaches.push(format!("{}: PANIC", tag()));
+                        continue;
+                    }
+                };
+
+                let sum: f64 = run.run.trace.iter().map(|e| e.spent).sum();
+                if (sum - run.run.total_cost).abs() > 1e-9 * sum.abs().max(1.0) {
+                    breaches.push(format!(
+                        "{}: double/under-charge: trace sum {sum} vs total {}",
+                        tag(),
+                        run.run.total_cost
+                    ));
+                }
+
+                match catch_unwind(AssertUnwindSafe(|| robust(&cfg))) {
+                    Ok(Ok(replay)) if json(&replay) == json(&run) => {}
+                    Ok(Ok(_)) => breaches.push(format!("{}: replay diverged", tag())),
+                    Ok(Err(e)) => breaches.push(format!("{}: replay failed: {e}", tag())),
+                    Err(_) => breaches.push(format!("{}: replay PANIC", tag())),
+                }
+
+                if fp.is_empty() {
+                    let reference = catch_unwind(AssertUnwindSafe(|| {
+                        let mut sub =
+                            pb_bouquet::EngineSubstrate::new(&b, &db, FaultInjector::none());
+                        if optimized {
+                            b.run_optimized_on(&mut sub)
+                        } else {
+                            b.run_basic_on(&mut sub)
+                        }
+                    }));
+                    match reference {
+                        Ok(Ok(r)) => {
+                            if json(&run.run) != json(&r) {
+                                breaches
+                                    .push(format!("{}: empty-plan run != plain driver run", tag()));
+                            }
+                            if !run.events.is_empty() || run.degraded {
+                                breaches.push(format!("{}: empty-plan run recorded events", tag()));
+                            }
+                        }
+                        Ok(Err(e)) => breaches.push(format!("{}: plain driver error: {e}", tag())),
+                        Err(_) => breaches.push(format!("{}: plain driver PANIC", tag())),
+                    }
+                }
+
+                cells[ci].1.events += run.events.len();
+                match run.run.outcome {
+                    ExecutionOutcome::Completed { .. } => cells[ci].1.completed += 1,
+                    ExecutionOutcome::Degraded { .. } => cells[ci].1.degraded += 1,
+                    ExecutionOutcome::BudgetExhausted { .. }
+                    | ExecutionOutcome::Cancelled { .. } => cells[ci].1.exhausted += 1,
+                }
             }
         }
     }

@@ -26,6 +26,7 @@ pub fn fig19() -> String {
         "metric",
         "NAT",
         "SEER",
+        "PARQO",
         "BOU basic",
         "BOU opt",
     ]);
@@ -36,6 +37,7 @@ pub fn fig19() -> String {
             "MSO".into(),
             fnum(ev.nat.mso),
             fnum(ev.seer.mso),
+            fnum(ev.parqo.mso),
             format!("{:.1}", ev.bou_basic.mso),
             format!("{:.1}", ev.bou_opt.as_ref().unwrap().mso),
         ]);
@@ -44,12 +46,14 @@ pub fn fig19() -> String {
             "ASO".into(),
             fnum(ev.nat.aso),
             fnum(ev.seer.aso),
+            fnum(ev.parqo.aso),
             format!("{:.2}", ev.bou_basic.aso),
             format!("{:.2}", ev.bou_opt.as_ref().unwrap().aso),
         ]);
         t.row(vec![
             ev.name.clone(),
             "MH".into(),
+            "-".into(),
             "-".into(),
             "-".into(),
             format!("{:.2}", ev.bou_basic_harm.max_harm),
@@ -60,6 +64,7 @@ pub fn fig19() -> String {
             "plans".into(),
             format!("{}", ev.posp_cardinality),
             format!("{}", ev.seer_cardinality),
+            format!("{}", ev.parqo_cardinality),
             format!("{}", ev.bouquet_cardinality),
             format!("{}", ev.bouquet_cardinality),
         ]);

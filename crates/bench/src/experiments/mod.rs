@@ -9,6 +9,7 @@ pub mod com;
 pub mod compiletime;
 pub mod contours_2d;
 pub mod extensions;
+pub mod hostile;
 pub mod intro_1d;
 pub mod modelerror;
 pub mod rsweep;
@@ -31,6 +32,7 @@ pub const ALL: &[&str] = &[
     "fig17",
     "fig18",
     "table3",
+    "hostile",
     "fig19",
     "modelerror",
     "compiletime",
@@ -58,6 +60,7 @@ pub fn run(id: &str) -> Option<String> {
         "fig17" => suite::fig17(),
         "fig18" => suite::fig18(),
         "table3" => table3::run(),
+        "hostile" => hostile::run(),
         "fig19" => com::fig19(),
         "modelerror" => modelerror::run(),
         "compiletime" => compiletime::run(),

@@ -94,6 +94,7 @@ pub fn fig14() -> String {
         "query",
         "NAT",
         "SEER",
+        "PARQO",
         "BOU basic",
         "BOU opt",
         "bound",
@@ -103,6 +104,7 @@ pub fn fig14() -> String {
             ev.name.clone(),
             fnum(ev.nat.mso),
             fnum(ev.seer.mso),
+            fnum(ev.parqo.mso),
             format!("{:.1}", ev.bou_basic.mso),
             format!(
                 "{:.1}",
@@ -124,12 +126,20 @@ pub fn fig15() -> String {
          (paper shape: BOU comparable or better than NAT, typically < 4 absolute;\n\
           SEER again similar to NAT)\n"
     );
-    let mut t = Table::new(vec!["query", "NAT", "SEER", "BOU basic", "BOU opt"]);
+    let mut t = Table::new(vec![
+        "query",
+        "NAT",
+        "SEER",
+        "PARQO",
+        "BOU basic",
+        "BOU opt",
+    ]);
     for ev in suite_evaluations() {
         t.row(vec![
             ev.name.clone(),
             fnum(ev.nat.aso),
             fnum(ev.seer.aso),
+            fnum(ev.parqo.aso),
             format!("{:.2}", ev.bou_basic.aso),
             format!(
                 "{:.2}",

@@ -461,6 +461,63 @@ pub fn resume_bench(sf: f64) -> Result<Value, String> {
     ]))
 }
 
+/// Hostile typed-dimension gate: both hostile workloads
+/// (`HOSTILE_INEQ_2D`, `HOSTILE_ANTI_2D`) through the full ladder —
+/// engine-substrate basic/optimized/robust drivers, simulator cross-check
+/// and whole-grid MSO evaluation. Everything reported is computed in
+/// deterministic cost units (no wall clock except `wall_s`), so every
+/// field other than `wall_s` compares **exactly** against the baseline: a
+/// drifting decision sequence, a lost guarantee, or a cost-model change on
+/// the inequality/anti axes fails the gate.
+pub fn hostile_bench(sf: f64) -> Result<Value, String> {
+    let t0 = Instant::now();
+    let (_, reports) = crate::experiments::hostile::run_at_with(sf, Parallelism::serial());
+    let rows = reports
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("workload", Value::Str(r.workload.clone())),
+                (
+                    "dim_kinds",
+                    Value::Arr(r.dim_kinds.iter().cloned().map(Value::Str).collect()),
+                ),
+                (
+                    "completed",
+                    Value::Bool(r.basic.completed && r.optimized.completed),
+                ),
+                ("crosscheck_ok", Value::Bool(r.crosscheck_ok)),
+                ("mso_within_bound", Value::Bool(r.mso_within_bound)),
+                ("robust_degraded", Value::Bool(r.robust_degraded)),
+                (
+                    "basic_executions",
+                    Value::UInt(r.basic.executions.len() as u64),
+                ),
+                (
+                    "optimized_executions",
+                    Value::UInt(r.optimized.executions.len() as u64),
+                ),
+                ("result_rows", Value::UInt(r.basic.result_rows as u64)),
+                ("nat_cost", Value::Float(r.nat_cost)),
+                ("oracle_cost", Value::Float(r.oracle_cost)),
+                ("basic_cost", Value::Float(r.basic.total_cost)),
+                ("optimized_cost", Value::Float(r.optimized.total_cost)),
+                ("robust_cost", Value::Float(r.robust_cost)),
+                ("nat_mso", Value::Float(r.nat_mso)),
+                ("seer_mso", Value::Float(r.seer_mso)),
+                ("parqo_mso", Value::Float(r.parqo_mso)),
+                ("bou_mso", Value::Float(r.bou_mso)),
+                ("bou_aso", Value::Float(r.bou_aso)),
+                ("mso_bound", Value::Float(r.mso_bound)),
+            ])
+        })
+        .collect();
+    Ok(obj(vec![
+        ("sf", Value::Float(sf)),
+        ("workloads", Value::Arr(rows)),
+        ("wall_s", Value::Float(t0.elapsed().as_secs_f64())),
+    ]))
+}
+
 /// Wall-clock fields (`*_s`): banded by the relative tolerance with an
 /// absolute noise floor. Everything else must match the baseline exactly,
 /// except ratio fields (see [`is_ratio_key`]).

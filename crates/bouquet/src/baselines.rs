@@ -15,8 +15,9 @@
 //! geometrically-graded budget ladder, which is why only it has an MSO
 //! guarantee.
 
-use pb_cost::SelPoint;
+use pb_cost::{CostMatrix, Ess, SelPoint};
 use pb_executor::learnable_node;
+use pb_optimizer::PlanDiagram;
 use serde::{Deserialize, Serialize};
 
 use crate::workload::Workload;
@@ -109,6 +110,115 @@ pub fn reopt_worst_profile(w: &Workload, opt_cost: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Configuration for the PARQO-style penalty-aware selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParqoConfig {
+    /// Chebyshev radius of the error neighborhood, in grid steps per
+    /// dimension. Radius 0 degenerates to NAT (trust the estimate).
+    pub radius: usize,
+    /// Per-step geometric decay of a neighbor's weight: a neighbor at
+    /// Manhattan distance `m` weighs `decay^m`. 1.0 is a uniform box.
+    pub decay: f64,
+}
+
+impl Default for ParqoConfig {
+    fn default() -> Self {
+        ParqoConfig {
+            radius: 1,
+            decay: 0.5,
+        }
+    }
+}
+
+/// PARQO-style penalty-aware plan selection (see PAPERS.md).
+///
+/// A third static baseline between NAT and SEER: instead of trusting the
+/// point estimate outright (NAT) or demanding a globally-safe replacement
+/// (SEER), hedge *locally*. For each estimate location the candidate set is
+/// the POSP plans that are optimal somewhere in an error neighborhood
+/// around the estimate, and the winner minimizes the expected **penalty**
+///
+/// ```text
+///   penalty(P, q) = cost_P(q) − opt(q)
+/// ```
+///
+/// over that neighborhood under a distance-decayed error distribution.
+/// Like NAT and SEER this yields one plan per estimate location, so it is
+/// evaluated with the same `single_plan_metrics` machinery — and like both,
+/// it carries no worst-case guarantee: the neighborhood is a guess about
+/// the error magnitude, and an actual location outside it can still be
+/// arbitrarily penalized (which is exactly what the hostile workloads
+/// demonstrate against the bouquet's bounded ladder).
+pub fn parqo_assignment(
+    ess: &Ess,
+    diagram: &PlanDiagram,
+    costs: &CostMatrix,
+    cfg: &ParqoConfig,
+) -> Vec<usize> {
+    let d = ess.d();
+    let n = ess.num_points();
+    assert_eq!(diagram.optimal.len(), n);
+    let r = cfg.radius as isize;
+    (0..n)
+        .map(|li| {
+            let center = ess.unlinear(li);
+            // Gather the (neighbor, weight) support of the error
+            // distribution; neighbors falling off the grid are dropped
+            // (truncated distribution), not clamped, so boundary cells do
+            // not double-weight their edge.
+            let mut support: Vec<(usize, f64)> = Vec::new();
+            let mut offs = vec![-r; d];
+            'odometer: loop {
+                let mut ix = Vec::with_capacity(d);
+                let mut dist = 0usize;
+                let mut ok = true;
+                for (dim, &o) in offs.iter().enumerate() {
+                    let i = center[dim] as isize + o;
+                    if i < 0 || i as usize >= ess.res[dim] {
+                        ok = false;
+                        break;
+                    }
+                    ix.push(i as usize);
+                    dist += o.unsigned_abs();
+                }
+                if ok {
+                    support.push((ess.linear(&ix), cfg.decay.powi(dist as i32)));
+                }
+                for slot in (0..d).rev() {
+                    if offs[slot] < r {
+                        offs[slot] += 1;
+                        for later in offs.iter_mut().skip(slot + 1) {
+                            *later = -r;
+                        }
+                        continue 'odometer;
+                    }
+                }
+                break;
+            }
+            // Candidates: plans optimal somewhere in the neighborhood.
+            let mut cands: Vec<usize> = support
+                .iter()
+                .map(|&(q, _)| diagram.optimal[q] as usize)
+                .collect();
+            cands.sort_unstable();
+            cands.dedup();
+            // Lowest expected penalty wins; ties break to the smaller plan
+            // id so the assignment is deterministic.
+            let mut best = (f64::INFINITY, usize::MAX);
+            for &p in &cands {
+                let score: f64 = support
+                    .iter()
+                    .map(|&(q, w)| w * (costs[p][q] - diagram.opt_cost[q]))
+                    .sum();
+                if score < best.0 {
+                    best = (score, p);
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +291,40 @@ mod tests {
             "reopt MSO {reopt_mso} unexpectedly within the bouquet bound {}",
             b.mso_bound()
         );
+    }
+
+    #[test]
+    fn parqo_radius_zero_degenerates_to_nat() {
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let cfg = ParqoConfig {
+            radius: 0,
+            decay: 0.5,
+        };
+        let asg = parqo_assignment(&w.ess, &b.diagram, &b.costs, &cfg);
+        let nat: Vec<usize> = b.diagram.optimal.iter().map(|&p| p as usize).collect();
+        assert_eq!(asg, nat);
+    }
+
+    #[test]
+    fn parqo_hedges_without_beating_the_bouquet_guarantee() {
+        use crate::metrics::single_plan_metrics;
+        let w = eq_2d();
+        let b = Bouquet::identify(&w, &BouquetConfig::default()).unwrap();
+        let asg = parqo_assignment(&w.ess, &b.diagram, &b.costs, &ParqoConfig::default());
+        assert_eq!(asg.len(), w.ess.num_points());
+        let mut used = asg.clone();
+        used.sort_unstable();
+        used.dedup();
+        assert!(used.len() <= b.diagram.plan_count());
+        let m = single_plan_metrics(&b.costs, &b.diagram.opt_cost, &asg);
+        let nat: Vec<usize> = b.diagram.optimal.iter().map(|&p| p as usize).collect();
+        let nat_m = single_plan_metrics(&b.costs, &b.diagram.opt_cost, &nat);
+        // Hedging never hurts the *average* much on this fixture...
+        assert!(m.aso <= nat_m.aso * 1.5, "{} vs {}", m.aso, nat_m.aso);
+        // ...but the worst case stays unbounded relative to the bouquet's
+        // ladder (the module's whole thesis).
+        assert!(m.mso >= b.mso_bound() || nat_m.mso <= b.mso_bound());
     }
 
     #[test]

@@ -50,7 +50,10 @@ use crate::workload::Workload;
 
 const MAGIC: [u8; 4] = *b"PBQC";
 /// Bump on any layout change: mismatched versions are evicted, not parsed.
-const FORMAT_VERSION: u32 = 1;
+/// v2: typed ESS dimensions — `EssDim` gained a `kind` and `JoinPredicate`
+/// gained `semi`/`op` fields, which change the canonical-JSON skeleton key,
+/// so v1 entries must be evicted rather than misread.
+const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a, 64-bit: stable across platforms and toolchains (unlike
 /// `DefaultHasher`), cheap, and good enough for content addressing where

@@ -20,6 +20,10 @@ use crate::workload::Workload;
 pub struct DimSensitivity {
     pub dim: usize,
     pub name: String,
+    /// The axis's dimension kind (selection, pk-fk join, …), carried from
+    /// the ESS declaration so reports can group sensitivities by kind.
+    #[serde(default)]
+    pub kind: pb_cost::DimKind,
     /// Maximum over anchors of `opt_cost(dim = hi) / opt_cost(dim = lo)`.
     pub max_cost_ratio: f64,
 }
@@ -70,6 +74,7 @@ pub fn sensitivities(w: &Workload, probe_res: usize) -> Vec<DimSensitivity> {
             DimSensitivity {
                 dim,
                 name: w.ess.dims[dim].name.clone(),
+                kind: w.ess.dims[dim].kind,
                 max_cost_ratio: worst,
             }
         })

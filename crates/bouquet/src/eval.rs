@@ -5,6 +5,7 @@ use pb_faults::PbError;
 use pb_optimizer::SeerReduction;
 use serde::{Deserialize, Serialize};
 
+use crate::baselines::{parqo_assignment, ParqoConfig};
 use crate::bouquet::{Bouquet, BouquetConfig};
 use crate::contour::Contour;
 use crate::metrics::{
@@ -19,6 +20,8 @@ pub struct EvalConfig {
     pub bouquet: BouquetConfig,
     /// λ used by the SEER baseline's safety check.
     pub seer_lambda: f64,
+    /// Error-neighborhood shape for the PARQO penalty-aware baseline.
+    pub parqo: ParqoConfig,
     /// Also evaluate the optimized (Figure 13) driver.
     pub run_optimized: bool,
 }
@@ -28,6 +31,7 @@ impl Default for EvalConfig {
         EvalConfig {
             bouquet: BouquetConfig::default(),
             seer_lambda: 0.2,
+            parqo: ParqoConfig::default(),
             run_optimized: true,
         }
     }
@@ -55,6 +59,8 @@ pub struct WorkloadEvaluation {
     pub nat: MetricsSummary,
     /// SEER robust selection (Figure 14/15 "SEER").
     pub seer: MetricsSummary,
+    /// PARQO penalty-aware selection (third static baseline).
+    pub parqo: MetricsSummary,
     /// Basic bouquet driver.
     pub bou_basic: MetricsSummary,
     pub bou_basic_harm: HarmReport,
@@ -66,6 +72,7 @@ pub struct WorkloadEvaluation {
     /// Figure 18 cardinalities.
     pub posp_cardinality: usize,
     pub seer_cardinality: usize,
+    pub parqo_cardinality: usize,
     pub bouquet_cardinality: usize,
     /// Table 1 row.
     pub guarantees: GuaranteeRow,
@@ -101,6 +108,16 @@ pub fn evaluate_with_bouquet(
     let seer_red = SeerReduction::reduce(d, costs, cfg.seer_lambda);
     let seer = single_plan_metrics(costs, &d.opt_cost, &seer_red.assignment);
 
+    // PARQO: locally penalty-hedged assignment.
+    let parqo_asg = parqo_assignment(&w.ess, d, costs, &cfg.parqo);
+    let parqo = single_plan_metrics(costs, &d.opt_cost, &parqo_asg);
+    let parqo_cardinality = {
+        let mut used = parqo_asg;
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    };
+
     // Bouquet drivers, evaluated at every grid location in parallel.
     let subopt_bou = run_profile(bouquet, false)?;
     let bou_basic = bouquet_metrics(&subopt_bou, bouquet.stats.bouquet_cardinality);
@@ -127,6 +144,7 @@ pub fn evaluate_with_bouquet(
         num_contours: bouquet.stats.num_contours,
         nat,
         seer,
+        parqo,
         bou_basic,
         bou_basic_harm,
         bou_opt,
@@ -134,6 +152,7 @@ pub fn evaluate_with_bouquet(
         distribution,
         posp_cardinality: d.plan_count(),
         seer_cardinality: seer_red.plan_count(),
+        parqo_cardinality,
         bouquet_cardinality: bouquet.stats.bouquet_cardinality,
         guarantees,
         subopt_bou,
@@ -257,9 +276,13 @@ mod tests {
         );
         // SEER does not materially improve on NAT's MSO (Section 6.2).
         assert!(ev.seer.mso > ev.bou_basic.mso);
+        // PARQO hedges locally but, like NAT/SEER, has no ladder bound.
+        assert!(ev.parqo.mso >= 1.0 && ev.parqo.mso.is_finite());
+        assert!(ev.parqo.mso > ev.bou_basic.mso);
         // Cardinalities: bouquet ≤ SEER ≤ POSP (Figure 18 shape).
         assert!(ev.bouquet_cardinality <= ev.posp_cardinality);
         assert!(ev.seer_cardinality <= ev.posp_cardinality);
+        assert!(ev.parqo_cardinality <= ev.posp_cardinality);
     }
 
     #[test]

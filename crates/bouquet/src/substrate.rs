@@ -602,7 +602,14 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
                 .instr()
                 .observed_selectivity(&exec_root, &w.query, self.db, dm)
             {
-                // Clamp into the ESS so qrun can never leave the space.
+                // The engine reports a *raw* selectivity bound; map it into
+                // axis coordinates (identity except on flipped axes, where
+                // the raw upper bound becomes a coordinate lower bound) and
+                // clamp into the ESS so qrun can never leave the space.
+                let s = w
+                    .query
+                    .spec_for_dim(dm)
+                    .map_or(s, |spec| spec.to_coordinate(s));
                 let s = s.clamp(w.ess.dims[dm].lo, w.ess.dims[dm].hi);
                 observed.push((dm, s));
                 if spilled && out.completed() {
@@ -661,8 +668,12 @@ impl ExecutionSubstrate for EngineSubstrate<'_> {
     }
 }
 
-/// Measure the true ESS location of a query against generated data (exact
-/// selection/join selectivities, clamped into the ESS box).
+/// Measure the true ESS location of a query against generated data: exact
+/// selection/join selectivities per dimension kind (equality via value
+/// frequencies, inequality via sorted counting, anti/semi via the same
+/// pair density their cost formulas consume), mapped into axis coordinates
+/// (`SelSpec::to_coordinate` — identity except on flipped axes) and
+/// clamped into the ESS box.
 pub fn measure_qa(
     db: &Database,
     query: &QuerySpec,
@@ -672,13 +683,17 @@ pub fn measure_qa(
     for r in &query.relations {
         for s in &r.selections {
             if let Some(dm) = s.selectivity.error_dim() {
-                qa[dm] = db.actual_selection_selectivity(s);
+                qa[dm] = s
+                    .selectivity
+                    .to_coordinate(db.actual_selection_selectivity(s));
             }
         }
     }
     for (ji, j) in query.joins.iter().enumerate() {
         if let Some(dm) = j.selectivity.error_dim() {
-            qa[dm] = db.actual_join_selectivity(query, ji);
+            qa[dm] = j
+                .selectivity
+                .to_coordinate(db.actual_join_selectivity(query, ji));
         }
     }
     for (dm, v) in qa.iter_mut().enumerate() {

@@ -243,6 +243,21 @@ impl<'a> Coster<'a> {
         formulas::anti_join(&self.model.p, left, right, self.edges_sel(&edges[..1], q))
     }
 
+    /// Hash semi-join (EXISTS): build a key set from `right`, stream `left`
+    /// past it, keep the matching rows. With match density `s` (the edge
+    /// parameter), a left row survives with probability `min(s·|R|, 0.99)`
+    /// (1% floor) — the complement of [`Coster::anti_join`], monotone
+    /// *increasing* in `s` and therefore PCM-clean.
+    pub fn semi_join(
+        &self,
+        left: &NodeCost,
+        right: &NodeCost,
+        edges: &[usize],
+        q: &[f64],
+    ) -> NodeCost {
+        formulas::semi_join(&self.model.p, left, right, self.edges_sel(&edges[..1], q))
+    }
+
     /// Hash aggregation: one output row per distinct grouping-key value,
     /// capped by the input cardinality (distinct counts from statistics).
     pub fn hash_aggregate(&self, input: &NodeCost, _q: &[f64]) -> NodeCost {
@@ -316,6 +331,11 @@ impl<'a> Coster<'a> {
                 let l = self.cost(left, q);
                 let r = self.cost(right, q);
                 self.anti_join(&l, &r, edges, q)
+            }
+            PlanNode::SemiJoin { left, right, edges } => {
+                let l = self.cost(left, q);
+                let r = self.cost(right, q);
+                self.semi_join(&l, &r, edges, q)
             }
             PlanNode::HashAggregate { input } => {
                 let i = self.cost(input, q);

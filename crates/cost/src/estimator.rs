@@ -34,30 +34,52 @@ impl<'a> Estimator<'a> {
         .clamp(1e-9, 1.0)
     }
 
-    /// Estimate a join predicate's selectivity: Selinger's
-    /// `1 / max(NDV(left), NDV(right))`.
+    /// Estimate a join predicate's selectivity, per edge kind:
+    ///
+    /// * equality (also anti/semi membership tests): Selinger's
+    ///   `1 / max(NDV(left), NDV(right))` match density;
+    /// * inequality (`<` / `>`): the left column's distribution integrated
+    ///   against the right column's CDF
+    ///   ([`ColumnStats::lt_join_selectivity`]), i.e. `P(l op r)` per row
+    ///   pair under whatever the histograms believe — the error-prone part.
+    ///
+    /// [`ColumnStats::lt_join_selectivity`]: pb_catalog::ColumnStats::lt_join_selectivity
     pub fn join(&self, pred: &JoinPredicate) -> f64 {
-        let ndv = |c: pb_catalog::ColumnId| {
+        let stats = |c: pb_catalog::ColumnId| {
             let t = self.catalog.table_by_id(c.table);
-            t.columns[c.column as usize].stats.ndv.max(1.0)
+            &t.columns[c.column as usize].stats
         };
-        (1.0 / ndv(pred.left_col).max(ndv(pred.right_col))).clamp(1e-12, 1.0)
+        match pred.op {
+            CmpOp::Lt => stats(pred.left_col)
+                .lt_join_selectivity(stats(pred.right_col))
+                .clamp(1e-12, 1.0),
+            CmpOp::Gt => stats(pred.left_col)
+                .gt_join_selectivity(stats(pred.right_col))
+                .clamp(1e-12, 1.0),
+            // Equality and the existential membership tests built on it.
+            CmpOp::Eq | CmpOp::Between => {
+                let ndv = |c: pb_catalog::ColumnId| stats(c).ndv.max(1.0);
+                (1.0 / ndv(pred.left_col).max(ndv(pred.right_col))).clamp(1e-12, 1.0)
+            }
+        }
     }
 
     /// The native optimizer's estimated ESS location `qe` for a query:
-    /// per-dimension AVI estimates, clamped into the given bounds.
+    /// per-dimension AVI estimates mapped into axis coordinates (identity
+    /// except for flipped axes, where the estimate lands at `pivot / s`),
+    /// clamped into the given bounds.
     pub fn estimate_point(&self, query: &QuerySpec, lo: &[f64], hi: &[f64]) -> SelPoint {
         let mut q = vec![f64::NAN; query.num_dims];
         for r in &query.relations {
             for s in &r.selections {
                 if let Some(d) = s.selectivity.error_dim() {
-                    q[d] = self.selection(s);
+                    q[d] = s.selectivity.to_coordinate(self.selection(s));
                 }
             }
         }
         for j in &query.joins {
             if let Some(d) = j.selectivity.error_dim() {
-                q[d] = self.join(j);
+                q[d] = j.selectivity.to_coordinate(self.join(j));
             }
         }
         for (d, v) in q.iter_mut().enumerate() {

@@ -221,6 +221,26 @@ pub(crate) fn anti_join(p: &CostParams, left: &NodeCost, right: &NodeCost, s: f6
     }
 }
 
+/// Hash semi-join; `s` is the first (lookup) edge's selectivity. The
+/// survivor fraction `min(s · |R|, 0.99)` is the expected-match count capped
+/// below saturation — the exact mirror of [`anti_join`]'s complement, so the
+/// two operators partition the left input (up to the clamps) and the
+/// semi-join axis is monotone *increasing* (PCM-clean, no flip needed).
+pub(crate) fn semi_join(p: &CostParams, left: &NodeCost, right: &NodeCost, s: f64) -> NodeCost {
+    let matched = (s * right.rows).clamp(0.01, 0.99);
+    let rows = left.rows * matched;
+    let cost = left.cost
+        + right.cost
+        + right.rows * (p.cpu_tuple + p.hash_build)
+        + left.rows * p.hash_probe
+        + rows * p.emit_tuple;
+    NodeCost {
+        rows,
+        cost,
+        width: left.width,
+    }
+}
+
 /// Hash aggregation; `ndv_product` and `width` are statistics constants.
 pub(crate) fn hash_aggregate(
     p: &CostParams,

@@ -45,5 +45,6 @@ pub use parallel::{
     PARALLEL_MIN_GRID, PARALLEL_MIN_MATRIX_CELLS, PARALLEL_MIN_MORSEL_ROWS,
 };
 pub use params::{CostModel, CostParams};
+pub use pb_plan::DimKind;
 pub use program::CostProgram;
 pub use sample::{sample_distinct, SplitMix64};

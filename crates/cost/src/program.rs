@@ -87,6 +87,9 @@ enum ProgOp {
     AntiJoin {
         first_edge: SelRange,
     },
+    SemiJoin {
+        first_edge: SelRange,
+    },
     HashAggregate {
         ndv_product: f64,
         width: f64,
@@ -265,6 +268,13 @@ impl CostProgram {
                     self.push_sels(edges[..1].iter().map(|&e| &query.joins[e].selectivity));
                 ProgOp::AntiJoin { first_edge }
             }
+            PlanNode::SemiJoin { left, right, edges } => {
+                self.lower(catalog, query, left);
+                self.lower(catalog, query, right);
+                let first_edge =
+                    self.push_sels(edges[..1].iter().map(|&e| &query.joins[e].selectivity));
+                ProgOp::SemiJoin { first_edge }
+            }
             PlanNode::HashAggregate { input } => {
                 self.lower(catalog, query, input);
                 let ndv_product: f64 = query
@@ -406,6 +416,11 @@ impl CostProgram {
                     let right = stack.pop().expect("anti join: missing right input");
                     let left = stack.pop().expect("anti join: missing left input");
                     formulas::anti_join(p, &left, &right, self.sel_product(*first_edge, q))
+                }
+                ProgOp::SemiJoin { first_edge } => {
+                    let right = stack.pop().expect("semi join: missing right input");
+                    let left = stack.pop().expect("semi join: missing left input");
+                    formulas::semi_join(p, &left, &right, self.sel_product(*first_edge, q))
                 }
                 ProgOp::HashAggregate { ndv_product, width } => {
                     let input = stack.pop().expect("aggregate: missing input");

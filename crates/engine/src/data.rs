@@ -30,6 +30,20 @@ pub enum ColumnOverride {
         column: String,
         with: String,
     },
+    /// [`ColumnOverride::CorrelatedWith`] with controllable strength
+    /// `rho ∈ [0, 1]`: each row follows the monotone copy of the source
+    /// with probability `rho` and is drawn independently (uniform over the
+    /// column's range) otherwise, dialing the AVI violation from none
+    /// (`rho = 0`) to total (`rho = 1`). The mixture draws from a
+    /// column-derived RNG stream, so the table's main stream — and with it
+    /// every other column of every table — stays bit-identical to an
+    /// un-overridden run.
+    CorrelatedWithStrength {
+        table: String,
+        column: String,
+        with: String,
+        rho: f64,
+    },
 }
 
 /// Column-major table data plus sorted secondary indexes.
@@ -130,7 +144,10 @@ impl Database {
         hits as f64 / col.len() as f64
     }
 
-    /// Actual selectivity of a join predicate: |matches| / (|L| · |R|).
+    /// Actual selectivity of a join predicate: |matching pairs| / (|L| · |R|),
+    /// under the edge's comparison op (`=` via value frequencies, `<` / `>`
+    /// via a sort + per-value partition point — O((n+m) log m), never the
+    /// n·m pair product).
     pub fn actual_join_selectivity(&self, query: &QuerySpec, join_idx: usize) -> f64 {
         let j = &query.joins[join_idx];
         let lt = self.table(query.relations[j.left_rel].table);
@@ -140,11 +157,35 @@ impl Database {
         if lcol.is_empty() || rcol.is_empty() {
             return 0.0;
         }
-        let mut freq: HashMap<i64, u64> = HashMap::new();
-        for &v in lcol {
-            *freq.entry(v).or_insert(0) += 1;
-        }
-        let matches: u64 = rcol.iter().map(|v| freq.get(v).copied().unwrap_or(0)).sum();
+        let matches: u64 = match j.op {
+            // Existential edges consume the ≥1-match fraction per left row
+            // (the anti/semi cost formulas read `s` as match-fraction /
+            // |right|), not pair multiplicity: a right side with duplicate
+            // keys must not inflate the density.
+            CmpOp::Eq | CmpOp::Between if j.anti || j.semi => {
+                let set: std::collections::HashSet<i64> = rcol.iter().copied().collect();
+                lcol.iter().filter(|v| set.contains(v)).count() as u64
+            }
+            CmpOp::Eq | CmpOp::Between => {
+                let mut freq: HashMap<i64, u64> = HashMap::new();
+                for &v in lcol {
+                    *freq.entry(v).or_insert(0) += 1;
+                }
+                rcol.iter().map(|v| freq.get(v).copied().unwrap_or(0)).sum()
+            }
+            CmpOp::Lt | CmpOp::Gt => {
+                let mut sorted = rcol.clone();
+                sorted.sort_unstable();
+                lcol.iter()
+                    .map(|&l| match j.op {
+                        // pairs with l < r: right values strictly above l
+                        CmpOp::Lt => (sorted.len() - sorted.partition_point(|&r| r <= l)) as u64,
+                        // pairs with l > r: right values strictly below l
+                        _ => sorted.partition_point(|&r| r < l) as u64,
+                    })
+                    .sum()
+            }
+        };
         matches as f64 / (lcol.len() as f64 * rcol.len() as f64)
     }
 }
@@ -152,6 +193,7 @@ impl Database {
 enum Ov {
     Ndv(u64),
     Corr(usize),
+    CorrStrength(usize, f64),
 }
 
 /// Materialise one table: columns in catalog order from the table's private
@@ -190,6 +232,22 @@ fn gen_table(
                         })?;
                     ov = Some(Ov::Corr(src));
                 }
+                ColumnOverride::CorrelatedWithStrength {
+                    table,
+                    column,
+                    with,
+                    rho,
+                } if *table == t.name && *column == col.name => {
+                    let src = t
+                        .columns
+                        .iter()
+                        .position(|c| c.name == *with)
+                        .ok_or_else(|| PbError::MissingEntity {
+                            kind: "correlation source column".into(),
+                            name: format!("{}.{with}", t.name),
+                        })?;
+                    ov = Some(Ov::CorrStrength(src, rho.clamp(0.0, 1.0)));
+                }
                 _ => {}
             }
         }
@@ -212,6 +270,33 @@ fn gen_table(
                     .map(|&v| {
                         let f = (v as f64 - slo) / (shi - slo);
                         (dlo + f * (dhi - dlo)).round() as i64
+                    })
+                    .collect()
+            }
+            Some(Ov::CorrStrength(src, rho)) => {
+                // rho-mixture of the monotone copy and independent uniform
+                // draws, from a column-derived stream (the main `rng` is
+                // untouched, keeping all other columns bit-identical).
+                let mut crng = StdRng::seed_from_u64(
+                    seed ^ (t.id.0 as u64).wrapping_mul(0x9E37)
+                        ^ (col.id.column as u64 + 1).wrapping_mul(0xC2B2_AE3D),
+                );
+                let source = &columns[src];
+                let t_col = &t.columns[src];
+                let (slo, shi) = (t_col.stats.min, t_col.stats.max.max(t_col.stats.min + 1.0));
+                let (dlo, dhi) = (col.stats.min, col.stats.max.max(col.stats.min + 1.0));
+                let span = ((dhi - dlo) as i64 + 1).max(1);
+                source
+                    .iter()
+                    .map(|&v| {
+                        let follow: f64 = crng.random();
+                        let indep = dlo as i64 + crng.random_range(0..span);
+                        if follow < rho {
+                            let f = (v as f64 - slo) / (shi - slo);
+                            (dlo + f * (dhi - dlo)).round() as i64
+                        } else {
+                            indep
+                        }
                     })
                     .collect()
             }
@@ -430,6 +515,116 @@ mod tests {
                 .ndv
         };
         1.0 / ndv(j.left_col).max(ndv(j.right_col)).max(1.0)
+    }
+
+    #[test]
+    fn correlation_strength_interpolates_and_preserves_other_columns() {
+        let cat = tpch::catalog(0.01);
+        let ov = |rho: f64| {
+            vec![ColumnOverride::CorrelatedWithStrength {
+                table: "part".into(),
+                column: "p_size".into(),
+                with: "p_retailprice".into(),
+                rho,
+            }]
+        };
+        let full = Database::generate(&cat, 3, &ov(1.0)).expect("generate");
+        let none = Database::generate(&cat, 3, &ov(0.0)).expect("generate");
+        let part = cat.table("part").unwrap();
+        let price = part.column("p_retailprice").unwrap().id.column as usize;
+        let size = part.column("p_size").unwrap().id.column as usize;
+
+        // rho = 1 is the pure monotone copy.
+        let pure = Database::generate(
+            &cat,
+            3,
+            &[ColumnOverride::CorrelatedWith {
+                table: "part".into(),
+                column: "p_size".into(),
+                with: "p_retailprice".into(),
+            }],
+        )
+        .expect("generate");
+        assert_eq!(
+            full.table(part.id).columns[size],
+            pure.table(part.id).columns[size]
+        );
+
+        // The mixture draws from a column-derived stream and consumes zero
+        // draws from the table's main stream — exactly like the pure
+        // `CorrelatedWith` override — so every *other* column is
+        // bit-identical across all strengths.
+        for c in 0..part.columns.len() {
+            if c != size {
+                assert_eq!(
+                    pure.table(part.id).columns[c],
+                    none.table(part.id).columns[c],
+                    "column {c} disturbed by the override stream"
+                );
+                assert_eq!(
+                    pure.table(part.id).columns[c],
+                    full.table(part.id).columns[c],
+                    "column {c} disturbed by the override stream"
+                );
+            }
+        }
+
+        // Sample Pearson correlation with the source orders by strength.
+        let corr = |d: &Database| {
+            let td = d.table(part.id);
+            let (xs, ys) = (&td.columns[price], &td.columns[size]);
+            let n = xs.len() as f64;
+            let (mx, my) = (
+                xs.iter().sum::<i64>() as f64 / n,
+                ys.iter().sum::<i64>() as f64 / n,
+            );
+            let cov: f64 = xs
+                .iter()
+                .zip(ys)
+                .map(|(&x, &y)| (x as f64 - mx) * (y as f64 - my))
+                .sum();
+            let vx: f64 = xs.iter().map(|&x| (x as f64 - mx).powi(2)).sum();
+            let vy: f64 = ys.iter().map(|&y| (y as f64 - my).powi(2)).sum();
+            cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+        };
+        let half = Database::generate(&cat, 3, &ov(0.5)).expect("generate");
+        assert!(corr(&full) > 0.95, "rho=1: {}", corr(&full));
+        assert!(corr(&none).abs() < 0.2, "rho=0: {}", corr(&none));
+        let mid = corr(&half);
+        assert!(
+            mid > corr(&none) + 0.15 && mid < corr(&full) - 0.15,
+            "rho=0.5 not between: {mid}"
+        );
+    }
+
+    #[test]
+    fn inequality_join_selectivity_matches_brute_force() {
+        let cat = tpch::catalog(0.01);
+        let d = Database::generate(&cat, 3, &[]).expect("generate");
+        let mut qb = QueryBuilder::new(&cat, "t");
+        let p = qb.rel("part");
+        let s = qb.rel("supplier");
+        qb.ineq_join(
+            p,
+            "p_size",
+            CmpOp::Lt,
+            s,
+            "s_nationkey",
+            SelSpec::ErrorProne(0),
+        );
+        let q = qb.build();
+        let fast = d.actual_join_selectivity(&q, 0);
+        let part = cat.table("part").unwrap();
+        let supp = cat.table("supplier").unwrap();
+        let lcol = &d.table(part.id).columns[part.column("p_size").unwrap().id.column as usize];
+        let rcol =
+            &d.table(supp.id).columns[supp.column("s_nationkey").unwrap().id.column as usize];
+        let brute: u64 = lcol
+            .iter()
+            .map(|&l| rcol.iter().filter(|&&r| l < r).count() as u64)
+            .sum();
+        let expect = brute as f64 / (lcol.len() as f64 * rcol.len() as f64);
+        assert!((fast - expect).abs() < 1e-12, "{fast} vs {expect}");
     }
 
     #[test]

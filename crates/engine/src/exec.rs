@@ -47,10 +47,26 @@ impl Instrumentation {
         found
     }
 
-    /// Observed lower bound for error dimension `dim` (Section 5.2): find
-    /// the deepest node applying `dim`, divide its output count by the full
-    /// input-cardinality product. Inputs must be complete for the bound to
-    /// be meaningful; returns `None` otherwise.
+    /// Observed *raw* selectivity bound for error dimension `dim`
+    /// (Section 5.2): find the deepest node applying `dim` and derive the
+    /// tightest first-quadrant-safe value its counters support. The caller
+    /// maps raw selectivity into axis coordinates
+    /// (`SelSpec::to_coordinate`), under which every returned value is a
+    /// coordinate lower bound:
+    ///
+    /// * generic (selection / pk-fk / inequality-join) sites: output count
+    ///   over the full input-cardinality product — a lower bound while
+    ///   running, exact on completion;
+    /// * semi-join sites: match fraction `out / left_in` over the built
+    ///   side's cardinality — the fraction only grows as the probe
+    ///   proceeds, so this is a raw (and coordinate) lower bound;
+    /// * anti-join sites: survivor fraction gives the *upper* bound
+    ///   `(1 - out/left_in) / right_out` on the raw match density, which
+    ///   the flipped axis (`pivot / s`) turns into a coordinate lower
+    ///   bound. With zero survivors there is no finite bound yet — `None`.
+    ///
+    /// Existential sites need both children complete (the hash set is built
+    /// before the probe starts); `None` otherwise.
     pub fn observed_selectivity(
         &self,
         root: &PlanNode,
@@ -61,15 +77,60 @@ impl Instrumentation {
         // Candidates are collected children-first, so the first entry is the
         // deepest node applying `dim`.
         let mut id = 0usize;
-        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        let mut candidates: Vec<DimSite> = Vec::new();
         collect_dim_nodes(root, query, db, dim, &mut id, &mut candidates);
-        let &(nid, denom) = candidates.first()?;
-        let stats = self.nodes.get(nid)?;
-        if denom <= 0.0 {
-            return None;
+        match *candidates.first()? {
+            DimSite::Generic { nid, denom } => {
+                let stats = self.nodes.get(nid)?;
+                if denom <= 0.0 {
+                    return None;
+                }
+                Some((stats.output_tuples as f64 / denom).min(1.0))
+            }
+            DimSite::Existential {
+                nid,
+                left_id,
+                right_id,
+                anti,
+            } => {
+                let node = self.nodes.get(nid)?;
+                let left = self.nodes.get(left_id)?;
+                let right = self.nodes.get(right_id)?;
+                if !left.complete || !right.complete {
+                    return None;
+                }
+                let left_in = left.output_tuples as f64;
+                let right_out = right.output_tuples as f64;
+                if left_in <= 0.0 || right_out <= 0.0 {
+                    return None;
+                }
+                let frac = (node.output_tuples as f64 / left_in).min(1.0);
+                if anti {
+                    if node.output_tuples == 0 {
+                        return None;
+                    }
+                    Some(((1.0 - frac) / right_out).min(1.0))
+                } else {
+                    Some((frac / right_out).min(1.0))
+                }
+            }
         }
-        Some((stats.output_tuples as f64 / denom).min(1.0))
     }
+}
+
+/// One plan site applying an error dimension, with what its counters mean.
+#[derive(Debug, Clone, Copy)]
+enum DimSite {
+    /// Output count over a statically-known input product.
+    Generic { nid: usize, denom: f64 },
+    /// Anti/semi-join kernel: interpret `out / left_in` against the built
+    /// side's output cardinality.
+    Existential {
+        nid: usize,
+        left_id: usize,
+        right_id: usize,
+        anti: bool,
+    },
 }
 
 /// Post-order collection of nodes applying `dim`, with the full input
@@ -81,7 +142,7 @@ fn collect_dim_nodes(
     db: &Database,
     dim: usize,
     id: &mut usize,
-    out: &mut Vec<(usize, f64)>,
+    out: &mut Vec<DimSite>,
 ) {
     let my_id = *id;
     *id += 1;
@@ -93,6 +154,17 @@ fn collect_dim_nodes(
         .edges()
         .iter()
         .any(|&e| query.joins[e].selectivity.error_dim() == Some(dim));
+    if applies_join {
+        if let PlanNode::AntiJoin { left, .. } | PlanNode::SemiJoin { left, .. } = node {
+            out.push(DimSite::Existential {
+                nid: my_id,
+                left_id: my_id + 1,
+                right_id: my_id + 1 + left.size(),
+                anti: matches!(node, PlanNode::AntiJoin { .. }),
+            });
+            return;
+        }
+    }
     let scan_rel: Option<RelIdx> = match node {
         PlanNode::SeqScan { rel }
         | PlanNode::IndexScan { rel, .. }
@@ -115,7 +187,7 @@ fn collect_dim_nodes(
                 denom *= db.table(query.relations[r].table).rows as f64;
             }
         }
-        out.push((my_id, denom));
+        out.push(DimSite::Generic { nid: my_id, denom });
     }
 }
 
@@ -753,6 +825,49 @@ impl<'a> Engine<'a> {
                 ctx.instr[my_id].complete = true;
                 Ok(Rel { rels: l.rels, rows })
             }
+            PlanNode::SemiJoin { left, right, edges } => {
+                // Mirror of the anti-join kernel with the membership test
+                // un-negated: keep each left row with at least one match.
+                let l = self.eval(left, ctx, next_id, true)?;
+                let r = self.eval(right, ctx, next_id, true)?;
+                let j0 = &self.query.joins[edges[0]];
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
+                let base = ctx.spent;
+                let build_rate = p.cpu_tuple + p.hash_build;
+                let mut keys: std::collections::HashSet<i64> = std::collections::HashSet::new();
+                for (i, row) in r.rows.iter().enumerate() {
+                    ctx.settle(lin2(base, i as u64 + 1, build_rate, 0, 0.0))?;
+                    keys.insert(row[rkey]);
+                }
+                let pbase = ctx.spent;
+                let mut emitted = 0u64;
+                let mut rows = Vec::new();
+                for (i, lrow) in l.rows.iter().enumerate() {
+                    ctx.settle(lin2(
+                        pbase,
+                        i as u64 + 1,
+                        p.hash_probe,
+                        emitted,
+                        p.emit_tuple,
+                    ))?;
+                    if keys.contains(&lrow[lkey]) {
+                        emitted += 1;
+                        ctx.settle(lin2(
+                            pbase,
+                            i as u64 + 1,
+                            p.hash_probe,
+                            emitted,
+                            p.emit_tuple,
+                        ))?;
+                        if store {
+                            rows.push(lrow.clone());
+                        }
+                        ctx.instr[my_id].output_tuples += 1;
+                    }
+                }
+                ctx.instr[my_id].complete = true;
+                Ok(Rel { rels: l.rels, rows })
+            }
             PlanNode::HashAggregate { input } => {
                 let i = self.eval(input, ctx, next_id, true)?;
                 let base = ctx.spent;
@@ -831,7 +946,12 @@ impl<'a> Engine<'a> {
             let j = &self.query.joins[e];
             let a = self.offset(rels, j.left_rel, j.left_col)?;
             let b = self.offset(rels, j.right_rel, j.right_col)?;
-            if row[a] != row[b] {
+            let pass = match j.op {
+                CmpOp::Lt => row[a] < row[b],
+                CmpOp::Gt => row[a] > row[b],
+                CmpOp::Eq | CmpOp::Between => row[a] == row[b],
+            };
+            if !pass {
                 return Ok(false);
             }
         }

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::BuildHasherDefault;
 
 use pb_faults::{FaultInjector, PbError};
-use pb_plan::{PlanNode, RelIdx, SelectionPredicate};
+use pb_plan::{CmpOp, PlanNode, RelIdx, SelectionPredicate};
 
 use crate::data::eval_pred;
 use crate::exec::{index_range, Engine, EngineOutcome, Instrumentation, NodeStats};
@@ -243,16 +243,18 @@ impl ResumeBook {
 }
 
 /// A residual join edge pre-resolved to (side, column) coordinates so the
-/// probe kernels never re-derive offsets per tuple.
+/// probe kernels never re-derive offsets per tuple. `a` is always the
+/// predicate's *left* column, so inequality ops keep their orientation.
 struct ResCheck {
     a_left: bool,
     a: usize,
     b_left: bool,
     b: usize,
+    op: CmpOp,
 }
 
 /// Does the (left row `li`, right row `ri`) pair satisfy every residual
-/// equi-join edge?
+/// join edge (equality or inequality, per its declared op)?
 fn res_pass(
     res: &[ResCheck],
     lcols: &[Vec<i64>],
@@ -271,7 +273,11 @@ fn res_pass(
         } else {
             rcols[rc.b][ri]
         };
-        va == vb
+        match rc.op {
+            CmpOp::Lt => va < vb,
+            CmpOp::Gt => va > vb,
+            CmpOp::Eq | CmpOp::Between => va == vb,
+        }
     })
 }
 
@@ -403,6 +409,7 @@ impl Engine<'_> {
                     a: if a < lw { a } else { a - lw },
                     b_left: b < lw,
                     b: if b < lw { b } else { b - lw },
+                    op: j.op,
                 })
             })
             .collect()
@@ -1207,6 +1214,72 @@ impl Engine<'_> {
                     |ctx, lo, hi, emitted| {
                         replay_rows(par, ctx, my_id, lo, hi, emitted, &ph, |i| {
                             u64::from(!keys.contains(&lcol[i]))
+                        })
+                    },
+                )?;
+                ctx.instr[my_id].complete = true;
+                Ok(VRel {
+                    rels: l.rels,
+                    cols,
+                    len: if store { emitted as usize } else { 0 },
+                })
+            }
+            PlanNode::SemiJoin { left, right, edges } => {
+                // Anti-join kernel with the membership test un-negated.
+                let l = self.veval(left, ctx, next_id, true)?;
+                let r = self.veval(right, ctx, next_id, true)?;
+                let j0 = &self.query.joins[edges[0]];
+                let (lkey, rkey) = self.key_offsets(&l.rels, &r.rels, j0)?;
+                let base = ctx.spent;
+                let build_rate = p.cpu_tuple + p.hash_build;
+                let rcol = &r.cols[rkey];
+                charge_linear(ctx, base, build_rate, r.len)?;
+                let keys: FastSet<i64> = par_key_set(self.mpar(r.len), rcol, r.len);
+                let pbase = ctx.spent;
+                let mut cols = if store {
+                    vec![Vec::new(); l.cols.len()]
+                } else {
+                    Vec::new()
+                };
+                let lcol = &l.cols[lkey];
+                let compute = |lo: usize, hi: usize| -> (u64, Vec<Vec<i64>>) {
+                    let mut sel: Vec<u32> = Vec::with_capacity(hi - lo);
+                    for (off, v) in lcol[lo..hi].iter().enumerate() {
+                        if keys.contains(v) {
+                            sel.push((lo + off) as u32);
+                        }
+                    }
+                    let k = sel.len() as u64;
+                    let data = if store {
+                        let mut d = vec![Vec::with_capacity(sel.len()); l.cols.len()];
+                        gather(&l.cols, &sel, &mut d);
+                        d
+                    } else {
+                        Vec::new()
+                    };
+                    (k, data)
+                };
+                let par = self.mpar(l.len);
+                let ph = LinPhase {
+                    base: pbase,
+                    item_rate: p.hash_probe,
+                    emit_rate: p.emit_tuple,
+                };
+                let emitted = drive_batches(
+                    par,
+                    ctx,
+                    Some(my_id),
+                    l.len,
+                    &ph,
+                    compute,
+                    |data| {
+                        for (o, d) in cols.iter_mut().zip(data) {
+                            o.extend(d);
+                        }
+                    },
+                    |ctx, lo, hi, emitted| {
+                        replay_rows(par, ctx, my_id, lo, hi, emitted, &ph, |i| {
+                            u64::from(keys.contains(&lcol[i]))
                         })
                     },
                 )?;

@@ -53,6 +53,12 @@ impl ColClasses {
             x
         }
         for j in &query.joins {
+            // Inequality edges do not equate their endpoints — a sort order
+            // on one side says nothing about the other — so they contribute
+            // no equivalence-class merges (and no interesting orders).
+            if !j.is_equi() {
+                continue;
+            }
             let a = intern((j.left_rel, j.left_col), &mut keys, &mut parent, &mut index);
             let b = intern(
                 (j.right_rel, j.right_col),
@@ -125,19 +131,23 @@ struct DpEntry {
 
 /// The dynamic-programming optimizer, bound to (catalog, query, model).
 ///
-/// Anti-join (NOT EXISTS) edges are not freely reorderable with inner
-/// joins; following common practice the DP enumerates the inner-join core
-/// and the anti-joins are applied on top in edge order, each against the
-/// anti relation's cheapest access path.
+/// Existential edges (anti-join / NOT EXISTS and semi-join / EXISTS) are
+/// not freely reorderable with inner joins; following common practice the
+/// DP enumerates the inner-join core and the existential operators are
+/// applied on top in edge order, each against its relation's cheapest
+/// access path. Inequality (`<` / `>`) edges *are* part of the core — they
+/// connect the join graph like any inner edge — but they produce no sort
+/// orders and only block-nested-loops can use one as its primary edge.
 pub struct Optimizer<'a> {
     pub catalog: &'a Catalog,
     pub query: &'a QuerySpec,
     pub model: &'a CostModel,
-    /// Join graph over the *inner* (non-anti) edges only.
+    /// Join graph over the *inner* (non-existential) edges only.
     graph: JoinGraph,
     classes: ColClasses,
-    /// (edge index, anti relation) pairs, ascending by edge.
-    anti: Vec<(usize, RelIdx)>,
+    /// (edge index, hanger relation) pairs for anti/semi edges, ascending
+    /// by edge — the application order on top of the core.
+    hangers: Vec<(usize, RelIdx)>,
     /// Bitmask of the inner-join core relations.
     core_mask: u32,
 }
@@ -148,8 +158,9 @@ impl<'a> Optimizer<'a> {
             query.num_relations() <= 16,
             "DP enumeration limited to 16 relations"
         );
-        // Identify anti relations: the side of each anti edge that touches
-        // no other edge (the NOT EXISTS subquery relation).
+        // Identify existential hanger relations: the side of each anti/semi
+        // edge that touches no other edge (the EXISTS / NOT EXISTS subquery
+        // relation).
         let degree = |r: RelIdx| {
             query
                 .joins
@@ -157,22 +168,22 @@ impl<'a> Optimizer<'a> {
                 .filter(|j| j.left_rel == r || j.right_rel == r)
                 .count()
         };
-        let mut anti = Vec::new();
-        let mut anti_rels: u32 = 0;
+        let mut hangers = Vec::new();
+        let mut hanger_rels: u32 = 0;
         for (ji, j) in query.joins.iter().enumerate() {
-            if j.anti {
+            if j.existential() {
                 let rel = if degree(j.right_rel) == 1 {
                     j.right_rel
                 } else if degree(j.left_rel) == 1 {
                     j.left_rel
                 } else {
-                    panic!("anti-join relation must hang off a single edge");
+                    panic!("anti/semi-join relation must hang off a single edge");
                 };
-                anti.push((ji, rel));
-                anti_rels |= 1 << rel;
+                hangers.push((ji, rel));
+                hanger_rels |= 1 << rel;
             }
         }
-        let core_mask = (((1u64 << query.num_relations()) - 1) as u32) & !anti_rels;
+        let core_mask = (((1u64 << query.num_relations()) - 1) as u32) & !hanger_rels;
         assert!(
             core_mask != 0,
             "query must have at least one inner relation"
@@ -180,7 +191,7 @@ impl<'a> Optimizer<'a> {
         let inner_edges: Vec<(usize, usize)> = query
             .joins
             .iter()
-            .filter(|j| !j.anti)
+            .filter(|j| !j.existential())
             .map(|j| j.rels())
             .collect();
         let graph = JoinGraph::new(query.num_relations(), inner_edges);
@@ -194,7 +205,7 @@ impl<'a> Optimizer<'a> {
             model,
             graph,
             classes: ColClasses::build(query),
-            anti,
+            hangers,
             core_mask,
         }
     }
@@ -203,19 +214,29 @@ impl<'a> Optimizer<'a> {
         Coster::new(self.catalog, self.query, self.model)
     }
 
-    /// Cross inner-join edges between disjoint subsets, ascending by index.
+    /// Cross inner-join edges between disjoint subsets — equality edges
+    /// first, then inequality edges, each group ascending by index. The
+    /// stable equi-first partition keeps `edges[0]` usable as the lookup /
+    /// merge key whenever any equality edge crosses the cut (and is the
+    /// identity permutation for all-equality queries, preserving legacy
+    /// plans byte-for-byte); inequality edges then cost as residuals.
     fn cross_edges(&self, a: u32, b: u32) -> Vec<usize> {
-        self.query
+        let crossing: Vec<usize> = self
+            .query
             .joins
             .iter()
             .enumerate()
-            .filter(|(_, j)| !j.anti)
+            .filter(|(_, j)| !j.existential())
             .filter(|(_, j)| {
                 let (l, r) = (1u32 << j.left_rel, 1u32 << j.right_rel);
                 (l & a != 0 && r & b != 0) || (l & b != 0 && r & a != 0)
             })
             .map(|(i, _)| i)
-            .collect()
+            .collect();
+        let (equi, ineq): (Vec<usize>, Vec<usize>) = crossing
+            .into_iter()
+            .partition(|&i| self.query.joins[i].is_equi());
+        equi.into_iter().chain(ineq).collect()
     }
 
     /// Access-path entries for a single relation at location `q`.
@@ -372,9 +393,9 @@ impl<'a> Optimizer<'a> {
             },
         );
         let mut est = memo[full as usize][best].est;
-        // Apply anti-joins on top, each against the anti relation's
-        // cheapest access path.
-        for &(edge, rel) in &self.anti {
+        // Apply existential operators on top, each against its relation's
+        // cheapest access path, in edge order.
+        for &(edge, rel) in &self.hangers {
             let right_entries = &memo[1usize << rel];
             let ridx = right_entries
                 .iter()
@@ -388,12 +409,21 @@ impl<'a> Optimizer<'a> {
                     idx: ridx,
                 },
             );
-            est = c.anti_join(&est, &right_entries[ridx].est, &[edge], q);
-            root = PlanNode::AntiJoin {
-                left: Box::new(root),
-                right: Box::new(right),
-                edges: vec![edge],
-            };
+            if self.query.joins[edge].semi {
+                est = c.semi_join(&est, &right_entries[ridx].est, &[edge], q);
+                root = PlanNode::SemiJoin {
+                    left: Box::new(root),
+                    right: Box::new(right),
+                    edges: vec![edge],
+                };
+            } else {
+                est = c.anti_join(&est, &right_entries[ridx].est, &[edge], q);
+                root = PlanNode::AntiJoin {
+                    left: Box::new(root),
+                    right: Box::new(right),
+                    edges: vec![edge],
+                };
+            }
         }
         // Aggregation, if the query groups.
         if !self.query.group_by.is_empty() {
@@ -447,22 +477,32 @@ impl<'a> Optimizer<'a> {
         let l = &lefts[li].est;
         let r = &rights[ri].est;
 
+        // Hash, merge and index-NL joins all key on the primary edge, so
+        // they require an equality there; `cross_edges` sorts equalities
+        // first, so a non-equi `edges[0]` means *every* crossing edge is an
+        // inequality and only block-nested-loops below can evaluate it.
+        let primary_is_equi = self.query.joins[edges[0]].is_equi();
+
         // Hash join: left side builds.
-        cands.push(DpEntry {
-            order: None,
-            op: EntryOp::Hash {
-                build: lref,
-                probe: rref,
-                edges: edges.to_vec(),
-            },
-            est: c.hash_join(l, r, edges, q),
-        });
+        if primary_is_equi {
+            cands.push(DpEntry {
+                order: None,
+                op: EntryOp::Hash {
+                    build: lref,
+                    probe: rref,
+                    edges: edges.to_vec(),
+                },
+                est: c.hash_join(l, r, edges, q),
+            });
+        }
 
         // Sort-merge join on the primary edge's class: try (cheapest +
         // explicit sort) and (pre-ordered entry, no sort) on each side.
-        let merge_class = {
+        let merge_class = if primary_is_equi {
             let j = &self.query.joins[edges[0]];
             self.classes.class_of(j.left_rel, j.left_col)
+        } else {
+            None
         };
         if let Some(cls) = merge_class {
             let pick = |entries: &[DpEntry]| -> Vec<(usize, bool)> {
@@ -510,7 +550,7 @@ impl<'a> Optimizer<'a> {
         // Index nested-loops: right side must be a single base relation; the
         // lookup key is the first cross edge. Preserves the outer's order, so
         // every outer memo entry is a candidate.
-        if right_mask.count_ones() == 1 {
+        if primary_is_equi && right_mask.count_ones() == 1 {
             let inner_rel = right_mask.trailing_zeros() as usize;
             let inner_table = self
                 .catalog

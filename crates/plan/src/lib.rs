@@ -21,7 +21,7 @@ pub mod sql;
 pub use graph::{GraphShape, JoinGraph};
 pub use plan::{PhysicalPlan, PlanFingerprint, PlanNode};
 pub use query::{
-    CmpOp, DimId, JoinPredicate, QueryBuilder, QuerySpec, RelIdx, RelationRef, SelSpec,
+    CmpOp, DimId, DimKind, JoinPredicate, QueryBuilder, QuerySpec, RelIdx, RelationRef, SelSpec,
     SelectionPredicate,
 };
 pub use sql::{parse as parse_sql, ParseError};

@@ -75,6 +75,19 @@ pub enum PlanNode {
     /// pipeline just above the first error-prone node so the entire cost
     /// budget is spent on selectivity learning.
     Spill { input: Box<PlanNode> },
+    /// Hash semi-join (EXISTS): emit `left` rows with at least one key match
+    /// in `right`. Output grows monotonically with the match selectivity
+    /// (saturating at the left cardinality), so it is PCM-clean.
+    ///
+    /// NOTE: this variant is deliberately declared *last*. [`PlanNode`]
+    /// derives `Hash`, and plan fingerprints feed persisted bouquets and
+    /// golden traces — appending keeps every pre-existing variant's
+    /// discriminant (and hence every legacy fingerprint) unchanged.
+    SemiJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        edges: Vec<usize>,
+    },
 }
 
 impl PlanNode {
@@ -86,7 +99,9 @@ impl PlanNode {
             | PlanNode::FullIndexScan { .. } => vec![],
             PlanNode::HashJoin { build, probe, .. } => vec![build, probe],
             PlanNode::SortMergeJoin { left, right, .. } => vec![left, right],
-            PlanNode::AntiJoin { left, right, .. } => vec![left, right],
+            PlanNode::AntiJoin { left, right, .. } | PlanNode::SemiJoin { left, right, .. } => {
+                vec![left, right]
+            }
             PlanNode::IndexNLJoin { outer, .. } => vec![outer],
             PlanNode::BlockNLJoin { outer, inner, .. } => vec![outer, inner],
             PlanNode::HashAggregate { input } | PlanNode::Spill { input } => vec![input],
@@ -100,7 +115,8 @@ impl PlanNode {
             | PlanNode::SortMergeJoin { edges, .. }
             | PlanNode::IndexNLJoin { edges, .. }
             | PlanNode::BlockNLJoin { edges, .. }
-            | PlanNode::AntiJoin { edges, .. } => edges,
+            | PlanNode::AntiJoin { edges, .. }
+            | PlanNode::SemiJoin { edges, .. } => edges,
             _ => &[],
         }
     }
@@ -265,8 +281,13 @@ impl PlanNode {
                 .iter()
                 .map(|&e| {
                     let j = &query.joins[e];
+                    let op = match j.op {
+                        crate::query::CmpOp::Lt => "<",
+                        crate::query::CmpOp::Gt => ">",
+                        _ => "=",
+                    };
                     format!(
-                        "{}.{} = {}.{}",
+                        "{}.{} {op} {}.{}",
                         rel_name(j.left_rel),
                         col_name(j.left_col),
                         rel_name(j.right_rel),
@@ -347,6 +368,11 @@ impl PlanNode {
             }
             PlanNode::AntiJoin { left, right, edges } => {
                 let _ = writeln!(out, "{pad}AntiJoin (NOT EXISTS) [{}]", edge_desc(edges));
+                left.explain_into(query, catalog, indent + 1, out);
+                right.explain_into(query, catalog, indent + 1, out);
+            }
+            PlanNode::SemiJoin { left, right, edges } => {
+                let _ = writeln!(out, "{pad}SemiJoin (EXISTS) [{}]", edge_desc(edges));
                 left.explain_into(query, catalog, indent + 1, out);
                 right.explain_into(query, catalog, indent + 1, out);
             }

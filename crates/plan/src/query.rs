@@ -12,6 +12,49 @@ pub type RelIdx = usize;
 /// Index of an error-prone selectivity dimension within the query's ESS.
 pub type DimId = usize;
 
+/// The *kind* of plan site an error-prone selectivity dimension is bound
+/// to. The paper's ESS only ever prices selection and PK–FK join
+/// selectivities; the typed model makes the binding explicit so the stack
+/// can express (and validate) axes with different cost/observation
+/// semantics:
+///
+/// * [`DimKind::Selection`] — a base-relation filter predicate.
+/// * [`DimKind::PkFkJoin`] — an equi-join match density.
+/// * [`DimKind::InequalityJoin`] — a non-equi (`<`/`>`) join pair density;
+///   only nested-loop operators can evaluate it.
+/// * [`DimKind::AntiJoin`] — a NOT EXISTS match density. PCM-violating in
+///   raw form (output shrinks as it grows); run under the axis flip.
+/// * [`DimKind::SemiJoin`] — an EXISTS match density (output saturates at
+///   the left cardinality but grows monotonically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DimKind {
+    #[default]
+    Selection,
+    PkFkJoin,
+    InequalityJoin,
+    AntiJoin,
+    SemiJoin,
+}
+
+impl DimKind {
+    /// Short lowercase label used in reports and docs.
+    pub fn label(self) -> &'static str {
+        match self {
+            DimKind::Selection => "selection",
+            DimKind::PkFkJoin => "pk-fk-join",
+            DimKind::InequalityJoin => "inequality-join",
+            DimKind::AntiJoin => "anti-join",
+            DimKind::SemiJoin => "semi-join",
+        }
+    }
+}
+
+impl std::fmt::Display for DimKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// How a predicate's selectivity is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SelSpec {
@@ -48,11 +91,26 @@ impl SelSpec {
             SelSpec::Flipped { dim, .. } => Some(dim),
         }
     }
+
+    /// Map a *raw* (actual) selectivity into the ESS coordinate this spec's
+    /// dimension uses — the inverse of [`SelSpec::resolve`] along the
+    /// error axis. Identity for plain error-prone dims; the multiplicative
+    /// reflection `pivot / s` for flipped (anti-join) axes. Callers clamp
+    /// the result into the dimension's `[lo, hi]` box.
+    #[inline]
+    pub fn to_coordinate(&self, raw: f64) -> f64 {
+        match *self {
+            SelSpec::Flipped { pivot, .. } => pivot / raw.max(f64::MIN_POSITIVE),
+            _ => raw,
+        }
+    }
 }
 
-/// Comparison operator of a selection predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Comparison operator of a selection predicate (and, for `Eq`/`Lt`/`Gt`,
+/// of a join predicate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum CmpOp {
+    #[default]
     Eq,
     Lt,
     Gt,
@@ -71,13 +129,20 @@ pub struct SelectionPredicate {
     pub selectivity: SelSpec,
 }
 
-/// An equi-join predicate `left.col = right.col` between two relations.
+/// A join predicate `left.col op right.col` between two relations.
 ///
-/// With `anti == true` the edge is a NOT EXISTS (anti-join): the left side
-/// keeps the tuples with *no* match on the right. The selectivity parameter
-/// is still the match density `|matches| / (|L|·|R|)`, but the operator's
-/// output — and hence downstream cost — *decreases* as it grows: the
-/// PCM-breaking case of the paper's Section 2.
+/// The default shape (`op == Eq`, `anti == semi == false`) is the plain
+/// equi-join. With `anti == true` the edge is a NOT EXISTS (anti-join): the
+/// left side keeps the tuples with *no* match on the right. The selectivity
+/// parameter is still the match density `|matches| / (|L|·|R|)`, but the
+/// operator's output — and hence downstream cost — *decreases* as it grows:
+/// the PCM-breaking case of the paper's Section 2. With `semi == true` the
+/// edge is an EXISTS (semi-join): the left side keeps the tuples with at
+/// least one right match, which is monotone-increasing in the density.
+/// With `op` of `Lt`/`Gt` the edge is an inequality join (`left.col op
+/// right.col`); only nested-loop operators can evaluate it, and its
+/// selectivity is the fraction of cross-product pairs satisfying the
+/// comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JoinPredicate {
     pub left_rel: RelIdx,
@@ -87,6 +152,10 @@ pub struct JoinPredicate {
     pub selectivity: SelSpec,
     #[serde(default)]
     pub anti: bool,
+    #[serde(default)]
+    pub semi: bool,
+    #[serde(default)]
+    pub op: CmpOp,
 }
 
 impl JoinPredicate {
@@ -103,6 +172,32 @@ impl JoinPredicate {
             Some(self.right_col)
         } else {
             None
+        }
+    }
+
+    /// Whether the comparison is an equality (hash/merge/index operators
+    /// apply). Anti/semi edges are equality membership tests, so they count.
+    pub fn is_equi(&self) -> bool {
+        self.op == CmpOp::Eq
+    }
+
+    /// Whether the edge is existential (anti or semi): its right relation
+    /// hangs off the core join tree and is applied on top as a filter.
+    pub fn existential(&self) -> bool {
+        self.anti || self.semi
+    }
+
+    /// The typed dimension kind this edge binds (regardless of whether its
+    /// selectivity is error-prone).
+    pub fn dim_kind(&self) -> DimKind {
+        if self.anti {
+            DimKind::AntiJoin
+        } else if self.semi {
+            DimKind::SemiJoin
+        } else if self.op != CmpOp::Eq {
+            DimKind::InequalityJoin
+        } else {
+            DimKind::PkFkJoin
         }
     }
 }
@@ -153,6 +248,44 @@ impl QuerySpec {
             .collect()
     }
 
+    /// The typed kind of error dimension `d`, derived from the predicate it
+    /// is bound to: selections are [`DimKind::Selection`]; join edges carry
+    /// their own kind ([`JoinPredicate::dim_kind`]). `None` when no
+    /// predicate references `d`. If several predicates share the dimension
+    /// the join edge's kind wins (join kinds drive operator-specific
+    /// observation; shared selection dims stay plain selections).
+    pub fn dim_kind(&self, d: DimId) -> Option<DimKind> {
+        if let Some(j) = self
+            .joins
+            .iter()
+            .find(|j| j.selectivity.error_dim() == Some(d))
+        {
+            return Some(j.dim_kind());
+        }
+        self.relations
+            .iter()
+            .flat_map(|r| &r.selections)
+            .find(|s| s.selectivity.error_dim() == Some(d))
+            .map(|_| DimKind::Selection)
+    }
+
+    /// The selectivity spec binding error dimension `d` (the join edge's if
+    /// one exists, mirroring [`QuerySpec::dim_kind`]).
+    pub fn spec_for_dim(&self, d: DimId) -> Option<SelSpec> {
+        if let Some(j) = self
+            .joins
+            .iter()
+            .find(|j| j.selectivity.error_dim() == Some(d))
+        {
+            return Some(j.selectivity);
+        }
+        self.relations
+            .iter()
+            .flat_map(|r| &r.selections)
+            .find(|s| s.selectivity.error_dim() == Some(d))
+            .map(|s| s.selectivity)
+    }
+
     /// Whether dimension `d` is referenced by any predicate (sanity check).
     pub fn references_dim(&self, d: DimId) -> bool {
         self.joins
@@ -187,6 +320,18 @@ impl QuerySpec {
             assert_ne!(j.left_rel, j.right_rel, "self-join edge");
             assert_eq!(j.left_col.table, self.relations[j.left_rel].table);
             assert_eq!(j.right_col.table, self.relations[j.right_rel].table);
+            assert!(
+                !(j.anti && j.semi),
+                "a join edge cannot be both anti and semi"
+            );
+            assert!(
+                !j.existential() || j.op == CmpOp::Eq,
+                "anti/semi edges are equality membership tests"
+            );
+            assert!(
+                matches!(j.op, CmpOp::Eq | CmpOp::Lt | CmpOp::Gt),
+                "join comparison must be Eq, Lt or Gt"
+            );
         }
         assert!(
             self.join_graph().is_connected(),
@@ -338,6 +483,8 @@ impl<'a> QueryBuilder<'a> {
             right_col: rcid,
             selectivity: sel,
             anti: false,
+            semi: false,
+            op: CmpOp::Eq,
         });
         self
     }
@@ -355,6 +502,43 @@ impl<'a> QueryBuilder<'a> {
     ) -> &mut Self {
         self.join(l, lcol, r, rcol, sel);
         self.spec.joins.last_mut().unwrap().anti = true;
+        self
+    }
+
+    /// Add a semi-join edge: keep `l` rows with at least one `r` match on
+    /// `l.lcol = r.rcol` (EXISTS). The relation `r` must hang off the query
+    /// exclusively through this edge.
+    pub fn semi_join(
+        &mut self,
+        l: RelIdx,
+        lcol: &str,
+        r: RelIdx,
+        rcol: &str,
+        sel: SelSpec,
+    ) -> &mut Self {
+        self.join(l, lcol, r, rcol, sel);
+        self.spec.joins.last_mut().unwrap().semi = true;
+        self
+    }
+
+    /// Add an inequality-join edge `l.lcol op r.rcol` (`op` of `Lt`/`Gt`).
+    /// Only nested-loop operators can evaluate the edge, so it is always a
+    /// residual or BNL predicate in physical plans.
+    pub fn ineq_join(
+        &mut self,
+        l: RelIdx,
+        lcol: &str,
+        op: CmpOp,
+        r: RelIdx,
+        rcol: &str,
+        sel: SelSpec,
+    ) -> &mut Self {
+        assert!(
+            matches!(op, CmpOp::Lt | CmpOp::Gt),
+            "inequality join requires Lt or Gt"
+        );
+        self.join(l, lcol, r, rcol, sel);
+        self.spec.joins.last_mut().unwrap().op = op;
         self
     }
 

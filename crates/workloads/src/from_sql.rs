@@ -18,7 +18,7 @@ pub fn derive_ess(catalog: &Catalog, query: &QuerySpec, decades: f64, resolution
             if let Some(d) = s.selectivity.error_dim() {
                 let t = catalog.table_by_id(s.column.table);
                 let name = format!("{}.{}", r.alias, t.columns[s.column.column as usize].name);
-                dims[d] = Some(EssDim::new(name, 10f64.powf(-decades), 1.0));
+                dims[d] = Some(EssDim::selection(name, 10f64.powf(-decades), 1.0));
             }
         }
     }
@@ -31,7 +31,10 @@ pub fn derive_ess(catalog: &Catalog, query: &QuerySpec, decades: f64, resolution
                 "{}⋈{}",
                 query.relations[j.left_rel].alias, query.relations[j.right_rel].alias
             );
-            dims[d] = Some(EssDim::new(name, hi / 10f64.powf(decades), hi));
+            // Join axes carry the edge's own kind (PK–FK, inequality,
+            // anti/semi) so the typed-dimension validation holds for any
+            // parsed query shape.
+            dims[d] = Some(EssDim::new(name, hi / 10f64.powf(decades), hi).with_kind(j.dim_kind()));
         }
     }
     Ess::uniform(

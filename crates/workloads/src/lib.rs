@@ -9,17 +9,21 @@
 //! of the paper's Table 2 values.
 //!
 //! Also provided: the 1D introductory example `EQ` (Figures 1–4), the
-//! run-time experiment query `2D_H_Q8A` (Table 3), and the commercial-engine
+//! run-time experiment query `2D_H_Q8A` (Table 3), the commercial-engine
 //! variants `3D_H_Q5B` / `4D_H_Q8B` whose error dimensions are selection
-//! predicates (Section 6.8).
+//! predicates (Section 6.8), and the hostile typed-dimension spaces
+//! `HOSTILE_INEQ_2D` / `HOSTILE_ANTI_2D` (inequality-join and anti-join
+//! axes).
 
 pub mod from_sql;
+pub mod hostile;
 pub mod random;
 pub mod registry;
 pub mod tpcds_queries;
 pub mod tpch_queries;
 
 pub use from_sql::{derive_ess, workload_from_sql};
+pub use hostile::{hostile_anti_2d, hostile_ineq_2d};
 pub use random::{random_workload, RandomConfig};
 pub use registry::{benchmark_suite, by_name, specs, WorkloadSpec};
 pub use tpcds_queries::*;

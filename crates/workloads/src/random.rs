@@ -117,7 +117,7 @@ pub fn random_workload(cfg: &RandomConfig) -> Workload {
             let hi = (1.0 / cat.table(pk_table).unwrap().rows).min(1.0);
             ess_dims.push((
                 d,
-                EssDim::new(format!("{fc}⋈{pc}"), hi / 10f64.powf(cfg.decades), hi),
+                EssDim::pk_fk_join(format!("{fc}⋈{pc}"), hi / 10f64.powf(cfg.decades), hi),
             ));
             SelSpec::ErrorProne(d)
         } else {

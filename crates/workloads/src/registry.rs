@@ -4,7 +4,7 @@
 use pb_bouquet::Workload;
 use pb_plan::GraphShape;
 
-use crate::{tpcds_queries::*, tpch_queries::*};
+use crate::{hostile::*, tpcds_queries::*, tpch_queries::*};
 
 /// Static description of one Table 2 entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +128,8 @@ pub fn by_name(name: &str) -> Option<Workload> {
         "ANTI_2D" => Some(anti_2d()),
         "3D_H_Q5B" => Some(h_q5b_3d_com()),
         "4D_H_Q8B" => Some(h_q8b_4d_com()),
+        "HOSTILE_INEQ_2D" => Some(hostile_ineq_2d(0.01)),
+        "HOSTILE_ANTI_2D" => Some(hostile_anti_2d(0.01)),
         _ => None,
     }
 }
@@ -155,6 +157,8 @@ mod tests {
             assert!(by_name(s.name).is_some(), "{} missing", s.name);
         }
         assert!(by_name("EQ_1D").is_some());
+        assert!(by_name("HOSTILE_INEQ_2D").is_some());
+        assert!(by_name("HOSTILE_ANTI_2D").is_some());
         assert!(by_name("nope").is_none());
     }
 }

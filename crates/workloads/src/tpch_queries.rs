@@ -20,7 +20,7 @@ pub fn default_resolution(dims: usize) -> usize {
 /// maximum legal join selectivity `1 / |PK relation|` (Section 4.1).
 pub(crate) fn join_dim(name: &str, catalog: &Catalog, pk_table: &str, decades: f64) -> EssDim {
     let hi = (1.0 / catalog.table(pk_table).unwrap().rows).min(1.0);
-    EssDim::new(name, hi / 10f64.powf(decades), hi)
+    EssDim::pk_fk_join(name, hi / 10f64.powf(decades), hi)
 }
 
 /// The paper's introductory example EQ (Figure 1): part ⋈ lineitem ⋈ orders
@@ -43,7 +43,7 @@ pub fn eq_1d() -> Workload {
     qb.join(l, "l_orderkey", o, "o_orderkey", SelSpec::Fixed(6.7e-7));
     let query = qb.build();
     let ess = Ess::uniform(
-        vec![EssDim::new("p_retailprice", 1e-4, 1.0)],
+        vec![EssDim::selection("p_retailprice", 1e-4, 1.0)],
         default_resolution(1),
     );
     Workload::new("EQ_1D", cat.clone(), query, ess, CostModel::postgresish())
@@ -77,8 +77,8 @@ pub fn h_q8a_2d(scale: f64) -> Workload {
     let hi1 = (100.0 / cat.table("orders").unwrap().rows).min(1.0);
     let ess = Ess::uniform(
         vec![
-            EssDim::new("p⋈l", hi0 / 10f64.powf(3.5), hi0),
-            EssDim::new("l⋈o", hi1 / 10f64.powf(3.5), hi1),
+            EssDim::pk_fk_join("p⋈l", hi0 / 10f64.powf(3.5), hi0),
+            EssDim::pk_fk_join("l⋈o", hi1 / 10f64.powf(3.5), hi1),
         ],
         default_resolution(2),
     );
@@ -229,9 +229,9 @@ pub fn h_q5b_3d_com() -> Workload {
     let query = qb.build();
     let ess = Ess::uniform(
         vec![
-            EssDim::new("s_acctbal", 1e-3, 1.0),
-            EssDim::new("o_totalprice", 1e-3, 1.0),
-            EssDim::new("c_acctbal", 1e-3, 1.0),
+            EssDim::selection("s_acctbal", 1e-3, 1.0),
+            EssDim::selection("o_totalprice", 1e-3, 1.0),
+            EssDim::selection("c_acctbal", 1e-3, 1.0),
         ],
         default_resolution(3),
     );
@@ -264,10 +264,10 @@ pub fn h_q8b_4d_com() -> Workload {
     let query = qb.build();
     let ess = Ess::uniform(
         vec![
-            EssDim::new("p_retailprice", 1e-3, 1.0),
-            EssDim::new("s_acctbal", 1e-3, 1.0),
-            EssDim::new("o_totalprice", 1e-3, 1.0),
-            EssDim::new("c_acctbal", 1e-3, 1.0),
+            EssDim::selection("p_retailprice", 1e-3, 1.0),
+            EssDim::selection("s_acctbal", 1e-3, 1.0),
+            EssDim::selection("o_totalprice", 1e-3, 1.0),
+            EssDim::selection("c_acctbal", 1e-3, 1.0),
         ],
         default_resolution(4),
     );
@@ -303,8 +303,8 @@ pub fn anti_2d() -> Workload {
     let hi = 1.0 / cat.table("partsupp").unwrap().rows;
     let ess = Ess::uniform(
         vec![
-            EssDim::new("p_retailprice", 1e-4, 1.0),
-            EssDim::new("anti l⋈ps", hi / 100.0, hi),
+            EssDim::selection("p_retailprice", 1e-4, 1.0),
+            EssDim::anti_join("anti l⋈ps", hi / 100.0, hi),
         ],
         16,
     );
